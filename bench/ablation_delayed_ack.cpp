@@ -1,0 +1,64 @@
+// Ablation: delayed ACKs (RFC 1122) vs per-packet ACKs.
+//
+// The paper's ns-2 sinks ACKed every packet. Real receivers delay ACKs,
+// which halves the ACK clock and smooths the send process slightly. The √n
+// sizing conclusion should be insensitive to this.
+#include <cmath>
+#include <cstdio>
+
+#include "core/sizing_rules.hpp"
+#include "experiment/cli.hpp"
+#include "experiment/long_flow_experiment.hpp"
+#include "experiment/reporting.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbs;
+  const auto opts = experiment::parse_cli(
+      argc, argv, "Ablation: delayed ACKs vs immediate ACKs at sqrt-rule buffers");
+
+  experiment::LongFlowExperimentConfig base;
+  base.bottleneck_rate_bps = 155e6;
+  base.num_flows = opts.full ? 200 : 100;
+  base.warmup = sim::SimTime::seconds(opts.full ? 20 : 10);
+  base.measure = sim::SimTime::seconds(opts.full ? 60 : 25);
+  base.seed = opts.seed;
+
+  const double rtt_sec = 0.080;
+  const auto rule =
+      core::sqrt_rule_packets(rtt_sec, base.bottleneck_rate_bps, base.num_flows, 1000);
+
+  std::printf("Delayed-ACK sweep — OC3, n=%d, sqrt rule = %lld pkts\n\n", base.num_flows,
+              static_cast<long long>(rule));
+  experiment::TablePrinter table{{"buffer", "per-packet ACK util", "delayed ACK util",
+                                  "per-packet loss", "delayed loss"}};
+  std::string csv = "multiple,delayed,utilization,loss\n";
+
+  for (const double mult : {0.5, 1.0, 2.0, 3.0}) {
+    auto cfg = base;
+    cfg.buffer_packets =
+        std::max<std::int64_t>(4, static_cast<std::int64_t>(std::llround(mult * rule)));
+
+    cfg.sink.delayed_ack = false;
+    const auto immediate = run_long_flow_experiment(cfg);
+    cfg.sink.delayed_ack = true;
+    const auto delayed = run_long_flow_experiment(cfg);
+
+    table.add_row({experiment::format("%.1f x", mult),
+                   experiment::format("%.2f%%", 100 * immediate.utilization),
+                   experiment::format("%.2f%%", 100 * delayed.utilization),
+                   experiment::format("%.3f%%", 100 * immediate.loss_rate),
+                   experiment::format("%.3f%%", 100 * delayed.loss_rate)});
+    csv += experiment::format("%.1f,0,%.4f,%.5f\n", mult, immediate.utilization,
+                              immediate.loss_rate);
+    csv += experiment::format("%.1f,1,%.4f,%.5f\n", mult, delayed.utilization,
+                              delayed.loss_rate);
+    std::fprintf(stderr, "  [delack] finished %.1fx\n", mult);
+  }
+  std::printf("%s\n", table.render().c_str());
+  if (opts.want_csv()) experiment::write_file(opts.csv_dir + "/ablation_delack.csv", csv);
+
+  std::printf("expected shape: delayed ACKs track the per-packet column within a couple of\n"
+              "points at every multiple — the sizing rule does not hinge on the ns-2 sink's\n"
+              "ACK-every-packet behaviour.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Ablation (§5.1): the paper assumes a single congested link. What happens
+// to end-to-end flows that cross SEVERAL links, each sized at RTT·C/√n for
+// its own flow count?
+//
+// Parking-lot chain: e2e flows traverse every segment; each segment also
+// carries its own local cross-traffic. We congest 1, 2, or 3 segments and
+// report per-segment utilization plus e2e goodput.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/sizing_rules.hpp"
+#include "experiment/cli.hpp"
+#include "experiment/reporting.hpp"
+#include "net/parking_lot.hpp"
+#include "sim/simulation.hpp"
+#include "stats/utilization.hpp"
+#include "tcp/tcp_sink.hpp"
+#include "tcp/tcp_source.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbs;
+  const auto opts = experiment::parse_cli(
+      argc, argv, "Ablation: multiple congested links on one path (Section 5.1)");
+
+  const int e2e = opts.full ? 30 : 15;
+  const int local_per_seg = opts.full ? 30 : 15;
+  const auto warmup = sim::SimTime::seconds(10);
+  const auto measure = sim::SimTime::seconds(opts.full ? 60 : 25);
+
+  std::printf("Parking lot — 3 segments at 50 Mb/s, %d e2e flows, buffers = RTT*C/sqrt(n)\n",
+              e2e);
+  std::printf("congested segments carry %d extra local flows each\n\n", local_per_seg);
+
+  experiment::TablePrinter table{{"congested segs", "seg0 util", "seg1 util", "seg2 util",
+                                  "e2e goodput share", "e2e timeouts/s"}};
+  std::string csv = "congested,seg0,seg1,seg2,e2e_share,e2e_timeouts_per_sec\n";
+
+  for (int congested = 1; congested <= 3; ++congested) {
+    sim::Simulation sim{opts.seed};
+    net::ParkingLotConfig cfg;
+    cfg.num_segments = 3;
+    cfg.segment_rate_bps = 50e6;
+    cfg.num_e2e_leaves = e2e;
+    cfg.num_local_leaves_per_segment = local_per_seg;
+    // Size each segment's buffer for the flows it actually carries.
+    const double rtt_sec = 0.06;  // ~mean propagation RTT in this topology
+    cfg.buffer_packets = core::sqrt_rule_packets(rtt_sec, cfg.segment_rate_bps,
+                                                 e2e + local_per_seg, 1000);
+    net::ParkingLot lot{sim, cfg};
+
+    std::vector<std::unique_ptr<tcp::TcpSink>> sinks;
+    std::vector<std::unique_ptr<tcp::TcpSource>> sources;
+    std::vector<tcp::TcpSource*> e2e_sources;
+    auto rng = sim.rng().fork(0xE2E);
+    net::FlowId flow = 1;
+
+    const auto launch = [&](net::Host& snd, net::Host& rcv, bool is_e2e) {
+      sinks.push_back(std::make_unique<tcp::TcpSink>(sim, rcv, flow));
+      sources.push_back(
+          std::make_unique<tcp::TcpSource>(sim, snd, rcv.id(), flow, tcp::TcpConfig{}, -1));
+      if (is_e2e) e2e_sources.push_back(sources.back().get());
+      sources.back()->start(
+          sim::SimTime::picoseconds(rng.uniform_int(0, sim::SimTime::seconds(5).ps())));
+      ++flow;
+    };
+
+    for (int i = 0; i < e2e; ++i) launch(lot.e2e_sender(i), lot.e2e_receiver(i), true);
+    // Local cross-traffic only on the first `congested` segments.
+    for (int s = 0; s < congested; ++s) {
+      for (int i = 0; i < local_per_seg; ++i) {
+        launch(lot.local_sender(s, i), lot.local_receiver(s, i), false);
+      }
+    }
+
+    sim.run_until(warmup);
+    for (int s = 0; s < 3; ++s) lot.segment(s).reset_stats();
+    std::vector<std::int64_t> una0;
+    for (auto* src : e2e_sources) una0.push_back(src->snd_una());
+    std::uint64_t timeouts0 = 0;
+    for (const auto& src : sources) timeouts0 += src->stats().timeouts;
+    std::vector<stats::UtilizationMeter> meters;
+    meters.reserve(3);
+    for (int s = 0; s < 3; ++s) meters.emplace_back(sim, lot.segment(s));
+    for (auto& m : meters) m.begin();
+
+    sim.run_until(warmup + measure);
+
+    // E2E goodput share of segment 0 (their common bottleneck).
+    double e2e_pkts = 0;
+    for (std::size_t i = 0; i < e2e_sources.size(); ++i) {
+      e2e_pkts += static_cast<double>(e2e_sources[i]->snd_una() - una0[i]);
+    }
+    const double e2e_share =
+        e2e_pkts * 8000.0 / (cfg.segment_rate_bps * measure.to_seconds());
+    std::uint64_t timeouts1 = 0;
+    for (const auto& src : sources) timeouts1 += src->stats().timeouts;
+    const double to_rate =
+        static_cast<double>(timeouts1 - timeouts0) / measure.to_seconds();
+
+    table.add_row({experiment::format("%d", congested),
+                   experiment::format("%.1f%%", 100 * meters[0].utilization()),
+                   experiment::format("%.1f%%", 100 * meters[1].utilization()),
+                   experiment::format("%.1f%%", 100 * meters[2].utilization()),
+                   experiment::format("%.1f%%", 100 * e2e_share),
+                   experiment::format("%.1f", to_rate)});
+    csv += experiment::format("%d,%.4f,%.4f,%.4f,%.4f,%.2f\n", congested,
+                              meters[0].utilization(), meters[1].utilization(),
+                              meters[2].utilization(), e2e_share, to_rate);
+    std::fprintf(stderr, "  [parking] finished %d congested segment(s)\n", congested);
+  }
+  std::printf("%s\n", table.render().c_str());
+  if (opts.want_csv()) experiment::write_file(opts.csv_dir + "/ablation_parking.csv", csv);
+
+  std::printf("expected shape: congested segments stay near full utilization with sqrt-rule\n"
+              "buffers even when a path crosses two or three of them; e2e flows lose share\n"
+              "to single-hop cross traffic (they see more loss), but no collapse occurs —\n"
+              "the single-bottleneck assumption is a modeling convenience, not a\n"
+              "correctness requirement.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Extension bench: paced TCP with very small buffers.
+//
+// The buffer-sizing line of work that followed this paper ("Routers with
+// Very Small Buffers", Enachescu et al.) showed that if senders pace —
+// spreading each window over an RTT instead of bursting on ACKs — buffers
+// can shrink another order of magnitude, to O(log W) packets. This bench
+// reproduces the effect: sweep buffers from far below the √n rule upward,
+// unpaced vs paced.
+#include <cmath>
+#include <cstdio>
+
+#include "core/sizing_rules.hpp"
+#include "experiment/cli.hpp"
+#include "experiment/long_flow_experiment.hpp"
+#include "experiment/reporting.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbs;
+  const auto opts = experiment::parse_cli(
+      argc, argv, "Extension: paced TCP sustains utilization with very small buffers");
+
+  experiment::LongFlowExperimentConfig base;
+  base.bottleneck_rate_bps = 155e6;
+  base.num_flows = opts.full ? 200 : 100;
+  base.warmup = sim::SimTime::seconds(opts.full ? 20 : 10);
+  base.measure = sim::SimTime::seconds(opts.full ? 60 : 25);
+  base.seed = opts.seed;
+
+  const double rtt_sec = 0.080;
+  const auto rule =
+      core::sqrt_rule_packets(rtt_sec, base.bottleneck_rate_bps, base.num_flows, 1000);
+
+  std::printf("Pacing at very small buffers — OC3, n=%d, sqrt rule = %lld pkts\n\n",
+              base.num_flows, static_cast<long long>(rule));
+  experiment::TablePrinter table{{"buffer (pkts)", "unpaced util", "paced util",
+                                  "unpaced loss", "paced loss"}};
+  std::string csv = "buffer,paced,utilization,loss\n";
+
+  for (const std::int64_t buffer :
+       {std::int64_t{5}, std::int64_t{10}, std::int64_t{20}, rule / 2, rule}) {
+    auto cfg = base;
+    cfg.buffer_packets = buffer;
+
+    cfg.tcp.pacing = false;
+    const auto unpaced = run_long_flow_experiment(cfg);
+    cfg.tcp.pacing = true;
+    cfg.tcp.pacing_initial_rtt = sim::SimTime::milliseconds(80);
+    const auto paced = run_long_flow_experiment(cfg);
+
+    table.add_row({experiment::format("%lld", static_cast<long long>(buffer)),
+                   experiment::format("%.2f%%", 100 * unpaced.utilization),
+                   experiment::format("%.2f%%", 100 * paced.utilization),
+                   experiment::format("%.3f%%", 100 * unpaced.loss_rate),
+                   experiment::format("%.3f%%", 100 * paced.loss_rate)});
+    csv += experiment::format("%lld,0,%.4f,%.5f\n", static_cast<long long>(buffer),
+                              unpaced.utilization, unpaced.loss_rate);
+    csv += experiment::format("%lld,1,%.4f,%.5f\n", static_cast<long long>(buffer),
+                              paced.utilization, paced.loss_rate);
+    std::fprintf(stderr, "  [pacing] finished buffer=%lld\n",
+                 static_cast<long long>(buffer));
+  }
+  std::printf("%s\n", table.render().c_str());
+  if (opts.want_csv()) experiment::write_file(opts.csv_dir + "/ablation_pacing.csv", csv);
+
+  std::printf("expected shape (follow-up work): unpaced TCP needs ~the sqrt rule; paced\n"
+              "TCP holds high utilization down to buffers of a few tens of packets —\n"
+              "the gap is widest at 10-20 packets and closes by the sqrt rule.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// §5.1.3 ablation: "We ran similar experiments with Pareto distributed flow
+// lengths with essentially identical results."
+//
+// Repeats the Figure 9 comparison with heavy-tailed (Pareto) short-flow
+// sizes instead of fixed sizes.
+#include <cstdio>
+
+#include "core/sizing_rules.hpp"
+#include "experiment/cli.hpp"
+#include "experiment/mixed_flow_experiment.hpp"
+#include "experiment/reporting.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbs;
+  const auto opts = experiment::parse_cli(
+      argc, argv, "Ablation: Pareto vs fixed short-flow sizes (Section 5.1.3)");
+
+  experiment::MixedFlowExperimentConfig base;
+  base.bottleneck_rate_bps = 155e6;
+  base.num_long_flows = opts.full ? 100 : 50;
+  base.short_flow_load = 0.2;
+  base.warmup = sim::SimTime::seconds(10);
+  base.measure = sim::SimTime::seconds(opts.full ? 60 : 25);
+  base.seed = opts.seed;
+
+  const double rtt_sec = 0.080;
+  const auto bdp = core::rule_of_thumb_packets(rtt_sec, base.bottleneck_rate_bps, 1000);
+  const auto sqrt_b = core::sqrt_rule_packets(rtt_sec, base.bottleneck_rate_bps,
+                                              base.num_long_flows, 1000);
+
+  std::printf("Pareto vs fixed short flows — %d long flows + short load %.1f, OC3\n\n",
+              base.num_long_flows, base.short_flow_load);
+  experiment::TablePrinter table{{"sizing", "buffer", "utilization", "AFCT (ms)",
+                                  "drop prob"}};
+  std::string csv = "sizing,buffer_pkts,utilization,afct_ms,drop_prob\n";
+
+  for (const bool pareto : {false, true}) {
+    for (const auto buffer : {sqrt_b, bdp}) {
+      auto cfg = base;
+      cfg.buffer_packets = buffer;
+      cfg.short_sizing =
+          pareto ? experiment::ShortFlowSizing::kPareto : experiment::ShortFlowSizing::kFixed;
+      cfg.short_flow_packets = 62;
+      cfg.pareto_alpha = 1.2;
+      cfg.pareto_min_packets = 2;
+      cfg.pareto_max_packets = 2000;
+      const auto r = run_mixed_flow_experiment(cfg);
+
+      const char* label = pareto ? "pareto(1.2)" : "fixed(62)";
+      const char* bname = buffer == sqrt_b ? "RTT*C/sqrt(n)" : "RTT*C";
+      table.add_row({label, experiment::format("%s (%lld)", bname, static_cast<long long>(buffer)),
+                     experiment::format("%.2f%%", 100 * r.utilization),
+                     experiment::format("%.1f", 1e3 * r.afct_seconds),
+                     experiment::format("%.3f%%", 100 * r.drop_probability)});
+      csv += experiment::format("%s,%lld,%.4f,%.3f,%.5f\n", label,
+                                static_cast<long long>(buffer), r.utilization,
+                                1e3 * r.afct_seconds, r.drop_probability);
+      std::fprintf(stderr, "  [pareto] finished %s buffer=%lld\n", label,
+                   static_cast<long long>(buffer));
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  if (opts.want_csv()) experiment::write_file(opts.csv_dir + "/ablation_pareto.csv", csv);
+
+  std::printf("expected shape (§5.1.3): conclusions unchanged under heavy-tailed sizes —\n"
+              "full utilization at the small buffer, and lower AFCT than with RTT*C.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// §5.1 ablation: the paper expects the √n result to hold for queueing
+// disciplines beyond drop-tail, RED in particular. Same sweep under both.
+#include <cmath>
+#include <cstdio>
+
+#include "core/sizing_rules.hpp"
+#include "experiment/cli.hpp"
+#include "experiment/long_flow_experiment.hpp"
+#include "experiment/reporting.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbs;
+  const auto opts = experiment::parse_cli(
+      argc, argv, "Ablation: drop-tail vs RED at sqrt-rule buffers (Section 5.1)");
+
+  experiment::LongFlowExperimentConfig base;
+  base.bottleneck_rate_bps = 155e6;
+  base.num_flows = opts.full ? 200 : 100;
+  base.warmup = sim::SimTime::seconds(opts.full ? 20 : 10);
+  base.measure = sim::SimTime::seconds(opts.full ? 60 : 25);
+  base.seed = opts.seed;
+
+  const double rtt_sec = 0.080;
+  const auto rule = core::sqrt_rule_packets(rtt_sec, base.bottleneck_rate_bps,
+                                            base.num_flows, 1000);
+
+  std::printf("Queue disciplines — OC3, n=%d, buffer = k * RTT*C/sqrt(n) (= %lld pkts)\n\n",
+              base.num_flows, static_cast<long long>(rule));
+  experiment::TablePrinter table{{"buffer", "drop-tail util", "RED util", "RED+ECN util",
+                                  "DRR util", "drop-tail loss", "RED loss", "RED+ECN loss",
+                                  "DRR loss"}};
+  std::string csv = "multiple,droptail_util,red_util,ecn_util,drr_util,droptail_loss,"
+                    "red_loss,ecn_loss,drr_loss\n";
+
+  for (const double mult : {0.5, 1.0, 2.0, 3.0}) {
+    auto cfg = base;
+    cfg.buffer_packets =
+        std::max<std::int64_t>(4, static_cast<std::int64_t>(std::llround(mult * rule)));
+
+    cfg.discipline = net::QueueDiscipline::kDropTail;
+    const auto dt = run_long_flow_experiment(cfg);
+    cfg.discipline = net::QueueDiscipline::kRed;
+    // Tune RED for the small-buffer regime: Floyd's default thresholds
+    // (limit/4, 3*limit/4) would early-drop away most of an already-small
+    // buffer; in deployment the thresholds sit near the physical limit.
+    cfg.red.min_threshold = static_cast<double>(cfg.buffer_packets) / 2.0;
+    cfg.red.max_threshold = static_cast<double>(cfg.buffer_packets);
+    const auto red = run_long_flow_experiment(cfg);
+    cfg.red.ecn_marking = true;
+    const auto ecn = run_long_flow_experiment(cfg);
+    cfg.red.ecn_marking = false;
+    cfg.discipline = net::QueueDiscipline::kDrr;
+    const auto drr = run_long_flow_experiment(cfg);
+
+    table.add_row({experiment::format("%.1f x", mult),
+                   experiment::format("%.2f%%", 100 * dt.utilization),
+                   experiment::format("%.2f%%", 100 * red.utilization),
+                   experiment::format("%.2f%%", 100 * ecn.utilization),
+                   experiment::format("%.2f%%", 100 * drr.utilization),
+                   experiment::format("%.3f%%", 100 * dt.loss_rate),
+                   experiment::format("%.3f%%", 100 * red.loss_rate),
+                   experiment::format("%.3f%%", 100 * ecn.loss_rate),
+                   experiment::format("%.3f%%", 100 * drr.loss_rate)});
+    csv += experiment::format("%.1f,%.4f,%.4f,%.4f,%.4f,%.5f,%.5f,%.5f,%.5f\n", mult,
+                              dt.utilization, red.utilization, ecn.utilization,
+                              drr.utilization, dt.loss_rate, red.loss_rate, ecn.loss_rate,
+                              drr.loss_rate);
+    std::fprintf(stderr, "  [red] finished %.1fx\n", mult);
+  }
+  std::printf("%s\n", table.render().c_str());
+  if (opts.want_csv()) experiment::write_file(opts.csv_dir + "/ablation_red.csv", csv);
+
+  std::printf("expected shape: RED tracks drop-tail within a few points of utilization at\n"
+              "every buffer multiple (trading a little throughput for lower loss via early\n"
+              "drops) and converges toward it as the multiple grows — the sizing rule is\n"
+              "not a drop-tail artifact.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Ablation: two-way congestion (reverse traffic and ACK compression).
+//
+// The paper's experiments congest one direction only. Real backbone links
+// carry data both ways, so ACKs of forward flows share the reverse queue
+// with reverse-direction data, get compressed into bursts, and roughen the
+// forward ACK clock. We run n flows forward and n flows backward with both
+// bottleneck directions sized at RTT·C/√n and check the sizing rule's
+// resilience.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/sizing_rules.hpp"
+#include "experiment/cli.hpp"
+#include "experiment/reporting.hpp"
+#include "net/dumbbell.hpp"
+#include "sim/simulation.hpp"
+#include "stats/utilization.hpp"
+#include "tcp/tcp_sink.hpp"
+#include "tcp/tcp_source.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbs;
+  const auto opts = experiment::parse_cli(
+      argc, argv, "Ablation: two-way traffic / ACK compression at sqrt-rule buffers");
+
+  const int n = opts.full ? 200 : 100;
+  const auto warmup = sim::SimTime::seconds(opts.full ? 20 : 10);
+  const auto measure = sim::SimTime::seconds(opts.full ? 60 : 25);
+  const double rtt_sec = 0.080;
+  const double rate = 155e6;
+  const auto rule = core::sqrt_rule_packets(rtt_sec, rate, n, 1000);
+
+  std::printf("Two-way traffic — OC3 both directions, %d flows each way, "
+              "buffer = k * RTT*C/sqrt(n) (= %lld pkts) per direction\n\n",
+              n, static_cast<long long>(rule));
+
+  experiment::TablePrinter table{{"buffer", "fwd util (1-way)", "fwd util (2-way)",
+                                  "rev util (2-way)", "fwd loss (2-way)"}};
+  std::string csv = "multiple,fwd_util_oneway,fwd_util_twoway,rev_util,fwd_loss\n";
+
+  for (const double mult : {1.0, 2.0, 3.0}) {
+    const auto buffer =
+        std::max<std::int64_t>(4, static_cast<std::int64_t>(std::llround(mult * rule)));
+
+    auto run = [&](bool two_way) {
+      sim::Simulation sim{opts.seed};
+      net::DumbbellConfig cfg;
+      cfg.num_leaves = n;
+      cfg.bottleneck_rate_bps = rate;
+      cfg.buffer_packets = buffer;
+      cfg.reverse_buffer_packets = two_way ? buffer : 1'000'000;
+      net::Dumbbell topo{sim, cfg};
+
+      std::vector<std::unique_ptr<tcp::TcpSink>> sinks;
+      std::vector<std::unique_ptr<tcp::TcpSource>> sources;
+      auto rng = sim.rng().fork(0x2A7);
+      net::FlowId flow = 1;
+      const auto start = [&] {
+        return sim::SimTime::picoseconds(rng.uniform_int(0, sim::SimTime::seconds(5).ps()));
+      };
+      for (int i = 0; i < n; ++i) {  // forward flows
+        sinks.push_back(std::make_unique<tcp::TcpSink>(sim, topo.receiver(i), flow));
+        sources.push_back(std::make_unique<tcp::TcpSource>(
+            sim, topo.sender(i), topo.receiver(i).id(), flow, tcp::TcpConfig{}, -1));
+        sources.back()->start(start());
+        ++flow;
+      }
+      if (two_way) {
+        for (int i = 0; i < n; ++i) {  // reverse flows
+          sinks.push_back(std::make_unique<tcp::TcpSink>(sim, topo.sender(i), flow));
+          sources.push_back(std::make_unique<tcp::TcpSource>(
+              sim, topo.receiver(i), topo.sender(i).id(), flow, tcp::TcpConfig{}, -1));
+          sources.back()->start(start());
+          ++flow;
+        }
+      }
+
+      sim.run_until(warmup);
+      topo.bottleneck().reset_stats();
+      topo.reverse_bottleneck().reset_stats();
+      stats::UtilizationMeter fwd{sim, topo.bottleneck()};
+      stats::UtilizationMeter rev{sim, topo.reverse_bottleneck()};
+      fwd.begin();
+      rev.begin();
+      sim.run_until(warmup + measure);
+
+      const auto& q = topo.bottleneck().queue().stats();
+      const auto offered = topo.bottleneck().stats().packets_delivered +
+                           static_cast<std::uint64_t>(topo.bottleneck().queue().size_packets()) +
+                           q.dropped_packets;
+      const double loss =
+          offered ? static_cast<double>(q.dropped_packets) / static_cast<double>(offered)
+                  : 0.0;
+      return std::tuple{fwd.utilization(), rev.utilization(), loss};
+    };
+
+    const auto [fwd1, rev1, loss1] = run(false);
+    const auto [fwd2, rev2, loss2] = run(true);
+    (void)rev1;
+    (void)loss1;
+
+    table.add_row({experiment::format("%.1f x", mult),
+                   experiment::format("%.2f%%", 100 * fwd1),
+                   experiment::format("%.2f%%", 100 * fwd2),
+                   experiment::format("%.2f%%", 100 * rev2),
+                   experiment::format("%.3f%%", 100 * loss2)});
+    csv += experiment::format("%.1f,%.4f,%.4f,%.4f,%.5f\n", mult, fwd1, fwd2, rev2, loss2);
+    std::fprintf(stderr, "  [reverse] finished %.1fx\n", mult);
+  }
+  std::printf("%s\n", table.render().c_str());
+  if (opts.want_csv()) experiment::write_file(opts.csv_dir + "/ablation_reverse.csv", csv);
+
+  std::printf("expected shape: reverse data compresses the forward ACK clock and costs a\n"
+              "few points at 1x, but both directions stay near full by 2-3x the sqrt rule —\n"
+              "two-way congestion bends the rule, it does not break it.\n");
+  return 0;
+}

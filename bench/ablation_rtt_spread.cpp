@@ -1,0 +1,77 @@
+// Ablation: how much RTT heterogeneity does desynchronization need?
+//
+// §3's argument rests on flows being desynchronized, citing [10]: "small
+// variations in RTT or processing time are sufficient to prevent
+// synchronization". We sweep the spread of access delays from none (all
+// flows identical) to wide, at a fixed √n-rule buffer, and measure both the
+// synchronization metrics and the utilization cost of lockstep sawtooths.
+#include <cmath>
+#include <cstdio>
+
+#include "core/sizing_rules.hpp"
+#include "experiment/cli.hpp"
+#include "experiment/long_flow_experiment.hpp"
+#include "experiment/reporting.hpp"
+#include "stats/synchronization.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbs;
+  const auto opts = experiment::parse_cli(
+      argc, argv, "Ablation: RTT spread vs synchronization (Section 3)");
+
+  experiment::LongFlowExperimentConfig base;
+  base.bottleneck_rate_bps = 155e6;
+  base.num_flows = opts.full ? 100 : 50;
+  base.warmup = sim::SimTime::seconds(opts.full ? 20 : 10);
+  base.measure = sim::SimTime::seconds(opts.full ? 60 : 30);
+  base.cwnd_sample_interval = sim::SimTime::milliseconds(50);
+  base.sample_per_flow_cwnd = true;
+  base.seed = opts.seed;
+
+  // Keep the mean access delay at 29 ms (mean RTT 80 ms) while varying the
+  // spread around it.
+  struct Spread {
+    const char* name;
+    sim::SimTime lo;
+    sim::SimTime hi;
+  };
+  const Spread spreads[] = {
+      {"none (identical RTTs)", sim::SimTime::milliseconds(29), sim::SimTime::milliseconds(29)},
+      {"±2 ms", sim::SimTime::milliseconds(27), sim::SimTime::milliseconds(31)},
+      {"±10 ms", sim::SimTime::milliseconds(19), sim::SimTime::milliseconds(39)},
+      {"±24 ms (default)", sim::SimTime::milliseconds(5), sim::SimTime::milliseconds(53)},
+  };
+
+  const auto rule = core::sqrt_rule_packets(0.080, base.bottleneck_rate_bps,
+                                            base.num_flows, 1000);
+  std::printf("RTT spread sweep — OC3, n=%d, buffer = RTT*C/sqrt(n) = %lld pkts\n\n",
+              base.num_flows, static_cast<long long>(rule));
+
+  experiment::TablePrinter table{{"spread", "pairwise corr", "utilization", "loss"}};
+  std::string csv = "spread_ms,pairwise_corr,utilization,loss\n";
+
+  for (const auto& s : spreads) {
+    auto cfg = base;
+    cfg.access_delay_min = s.lo;
+    cfg.access_delay_max = s.hi;
+    cfg.buffer_packets = rule;
+    const auto r = run_long_flow_experiment(cfg);
+    const double corr = stats::mean_pairwise_correlation(r.per_flow_cwnd);
+
+    table.add_row({s.name, experiment::format("%.3f", corr),
+                   experiment::format("%.2f%%", 100 * r.utilization),
+                   experiment::format("%.3f%%", 100 * r.loss_rate)});
+    csv += experiment::format("%.1f,%.4f,%.4f,%.5f\n",
+                              (s.hi - s.lo).to_seconds() * 500.0, corr, r.utilization,
+                              r.loss_rate);
+    std::fprintf(stderr, "  [spread] finished %s\n", s.name);
+  }
+  std::printf("%s\n", table.render().c_str());
+  if (opts.want_csv()) experiment::write_file(opts.csv_dir + "/ablation_rtt_spread.csv", csv);
+
+  std::printf("expected shape (§3, [10]): identical RTTs leave residual synchronization\n"
+              "(higher correlation, lower utilization at the same buffer); even a few\n"
+              "milliseconds of spread collapse the correlation, and utilization recovers —\n"
+              "staggered start times alone already break most of the lockstep.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// §3 ablation: TCP window synchronization versus the number of flows.
+//
+// The paper: in-phase synchronization is common below ~100 concurrent flows
+// and essentially gone above ~500; desynchronization is what makes the
+// aggregate window Gaussian and the √n rule work. We sample per-flow
+// congestion windows and report the mean pairwise correlation and the
+// coincidence of window-halving events.
+#include <cmath>
+#include <cstdio>
+
+#include "experiment/cli.hpp"
+#include "experiment/long_flow_experiment.hpp"
+#include "experiment/reporting.hpp"
+#include "stats/gaussian_fit.hpp"
+#include "stats/synchronization.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbs;
+  const auto opts = experiment::parse_cli(
+      argc, argv, "Ablation: window synchronization vs number of flows (Section 3)");
+
+  experiment::LongFlowExperimentConfig base;
+  base.bottleneck_rate_bps = 155e6;
+  base.warmup = sim::SimTime::seconds(opts.full ? 20 : 10);
+  base.measure = sim::SimTime::seconds(opts.full ? 60 : 30);
+  base.cwnd_sample_interval = sim::SimTime::milliseconds(50);
+  base.sample_per_flow_cwnd = true;
+  base.seed = opts.seed;
+
+  const auto counts = opts.full ? std::vector<int>{2, 5, 10, 30, 100, 300, 500}
+                                : std::vector<int>{2, 5, 10, 30, 100, 200};
+
+  std::printf("Synchronization vs n — OC3, buffer = 1x RTT*C/sqrt(n)\n\n");
+  experiment::TablePrinter table{{"n", "pairwise corr", "halving coincidence",
+                                  "KS dist of sum(W)", "utilization"}};
+  std::string csv = "n,pairwise_correlation,halving_coincidence,ks_distance,utilization\n";
+
+  for (const int n : counts) {
+    auto cfg = base;
+    cfg.num_flows = n;
+    cfg.buffer_packets =
+        std::max<std::int64_t>(4, static_cast<std::int64_t>(
+                                      std::llround(1550.0 / std::sqrt(static_cast<double>(n)))));
+    const auto r = run_long_flow_experiment(cfg);
+
+    const double corr = stats::mean_pairwise_correlation(r.per_flow_cwnd);
+    // Halvings of synchronized flows land within ~one RTT of each other,
+    // i.e. ~2 samples at 50 ms. Keep the window tight: with hundreds of
+    // flows halving frequently, a wide window manufactures coincidences.
+    const double coincidence = stats::halving_coincidence(r.per_flow_cwnd, /*tolerance=*/2);
+    const auto fit = stats::fit_gaussian(r.total_cwnd.values());
+
+    table.add_row({experiment::format("%d", n), experiment::format("%.3f", corr),
+                   experiment::format("%.3f", coincidence),
+                   experiment::format("%.3f", fit.ks_distance),
+                   experiment::format("%.1f%%", 100 * r.utilization)});
+    csv += experiment::format("%d,%.4f,%.4f,%.4f,%.4f\n", n, corr, coincidence,
+                              fit.ks_distance, r.utilization);
+    std::fprintf(stderr, "  [sync] finished n=%d\n", n);
+  }
+  std::printf("%s\n", table.render().c_str());
+  if (opts.want_csv()) experiment::write_file(opts.csv_dir + "/ablation_sync.csv", csv);
+
+  std::printf("expected shape (§3): pairwise correlation (the headline sync measure) falls\n"
+              "from ~1 toward 0 as n grows, and the aggregate window becomes more Gaussian\n"
+              "(small KS) — why the sqrt(n) rule works at backbone flow counts.\n"
+              "notes: halving coincidence is a stricter event-level measure and is noisy at\n"
+              "small n, where a drop-tail overflow often clips only one flow's burst;\n"
+              "utilization at n <= 10 is a lower bound because an OC3 congestion-avoidance\n"
+              "ramp takes minutes, longer than this bench's measurement window.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation: does the √n result depend on the TCP flavor?
+//
+// The paper's simulations used ns-2's Reno-family TCP. We sweep Tahoe /
+// Reno / NewReno over buffer multiples of RTT·C/√n; the sizing story should
+// be flavor-insensitive (all are AIMD with the same sawtooth geometry),
+// with Tahoe paying a small throughput tax for its slow-start restarts.
+#include <cmath>
+#include <cstdio>
+
+#include "core/sizing_rules.hpp"
+#include "experiment/cli.hpp"
+#include "experiment/long_flow_experiment.hpp"
+#include "experiment/reporting.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbs;
+  const auto opts = experiment::parse_cli(
+      argc, argv, "Ablation: TCP flavor (Tahoe/Reno/NewReno) vs buffer multiple");
+
+  experiment::LongFlowExperimentConfig base;
+  base.bottleneck_rate_bps = 155e6;
+  base.num_flows = opts.full ? 200 : 100;
+  base.warmup = sim::SimTime::seconds(opts.full ? 20 : 10);
+  base.measure = sim::SimTime::seconds(opts.full ? 60 : 25);
+  base.seed = opts.seed;
+
+  const double rtt_sec = 0.080;
+  const auto rule =
+      core::sqrt_rule_packets(rtt_sec, base.bottleneck_rate_bps, base.num_flows, 1000);
+
+  struct Flavor {
+    const char* name;
+    tcp::TcpFlavor flavor;
+  };
+  const Flavor flavors[] = {{"tahoe", tcp::TcpFlavor::kTahoe},
+                            {"reno", tcp::TcpFlavor::kReno},
+                            {"newreno", tcp::TcpFlavor::kNewReno}};
+
+  std::printf("TCP flavor sweep — OC3, n=%d, sqrt rule = %lld pkts\n\n", base.num_flows,
+              static_cast<long long>(rule));
+  experiment::TablePrinter table{{"buffer", "tahoe util", "reno util", "newreno util",
+                                  "tahoe loss", "reno loss", "newreno loss"}};
+  std::string csv = "multiple,flavor,utilization,loss\n";
+
+  for (const double mult : {0.5, 1.0, 2.0}) {
+    std::vector<std::string> row{experiment::format("%.1f x", mult)};
+    std::vector<std::string> losses;
+    for (const auto& f : flavors) {
+      auto cfg = base;
+      cfg.buffer_packets =
+          std::max<std::int64_t>(4, static_cast<std::int64_t>(std::llround(mult * rule)));
+      cfg.tcp.flavor = f.flavor;
+      const auto r = run_long_flow_experiment(cfg);
+      row.push_back(experiment::format("%.2f%%", 100 * r.utilization));
+      losses.push_back(experiment::format("%.3f%%", 100 * r.loss_rate));
+      csv += experiment::format("%.1f,%s,%.4f,%.5f\n", mult, f.name, r.utilization,
+                                r.loss_rate);
+    }
+    row.insert(row.end(), losses.begin(), losses.end());
+    table.add_row(std::move(row));
+    std::fprintf(stderr, "  [flavor] finished %.1fx\n", mult);
+  }
+  std::printf("%s\n", table.render().c_str());
+  if (opts.want_csv()) experiment::write_file(opts.csv_dir + "/ablation_flavor.csv", csv);
+
+  std::printf("expected shape: all three flavors reach ~full utilization by 2x the sqrt\n"
+              "rule; Tahoe trails slightly at small buffers (slow-start restarts), so the\n"
+              "sizing rule is a property of AIMD, not of a particular recovery scheme.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Figure 6: the distribution of the sum of congestion windows of many
+// desynchronized flows converges to a Gaussian.
+//
+// Runs n long-lived flows, samples W(t) = Σ cwnd_i, fits a normal
+// distribution, prints a textual histogram-vs-fit comparison plus normality
+// diagnostics, and verifies the CLT 1/√n width scaling across n.
+#include <cmath>
+#include <cstdio>
+
+#include "experiment/cli.hpp"
+#include "experiment/long_flow_experiment.hpp"
+#include "experiment/reporting.hpp"
+#include "stats/gaussian_fit.hpp"
+#include "stats/histogram.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbs;
+  const auto opts = experiment::parse_cli(
+      argc, argv, "Fig 6: aggregate congestion window converges to a Gaussian");
+
+  const int base_flows = opts.full ? 200 : 100;
+  experiment::LongFlowExperimentConfig cfg;
+  cfg.num_flows = base_flows;
+  cfg.buffer_packets = 200;
+  cfg.warmup = sim::SimTime::seconds(opts.full ? 30 : 15);
+  cfg.measure = sim::SimTime::seconds(opts.full ? 120 : 40);
+  cfg.cwnd_sample_interval = sim::SimTime::milliseconds(10);
+  cfg.seed = opts.seed;
+
+  std::printf("Figure 6 — distribution of W(t) = sum of congestion windows, n=%d flows\n\n",
+              cfg.num_flows);
+  const auto result = experiment::run_long_flow_experiment(cfg);
+  const auto samples = result.total_cwnd.values();
+  const auto fit = stats::fit_gaussian(samples);
+
+  std::printf("samples: %zu   mean: %.1f pkts   stddev: %.1f pkts\n", samples.size(), fit.mean,
+              fit.stddev);
+  std::printf("normality: KS distance %.4f, skewness %+.3f, excess kurtosis %+.3f\n\n",
+              fit.ks_distance, fit.skewness, fit.excess_kurtosis);
+
+  // Textual density plot: empirical histogram vs fitted normal.
+  const double lo = fit.mean - 4 * fit.stddev;
+  const double hi = fit.mean + 4 * fit.stddev;
+  stats::Histogram hist{lo, hi, 31};
+  for (const double s : samples) hist.add(s);
+
+  // The paper's figure draws two vertical marks: below `pipe` the link
+  // goes idle; above `pipe + B` the buffer overflows and packets drop.
+  const double pipe = result.bdp_packets;
+  const double overflow = pipe + static_cast<double>(cfg.buffer_packets);
+  std::printf("%10s  %-30s %-30s\n", "W (pkts)", "empirical density", "gaussian fit");
+  double peak = 0;
+  for (int b = 0; b < hist.bins(); ++b) {
+    peak = std::max(peak, hist.density(b));
+  }
+  std::string csv = "w_pkts,empirical_density,gaussian_density\n";
+  for (int b = 0; b < hist.bins(); ++b) {
+    const double x = hist.bin_center(b);
+    const double emp = hist.density(b);
+    const double model = stats::normal_pdf(x, fit.mean, fit.stddev);
+    const auto bar = [&](double v) {
+      return std::string(static_cast<std::size_t>(29.0 * v / peak + 0.5), '#');
+    };
+    const char* mark = "";
+    if (std::abs(x - pipe) <= hist.bin_width() / 2) {
+      mark = "  <- link idle below (2Tp*C)";
+    } else if (std::abs(x - overflow) <= hist.bin_width() / 2) {
+      mark = "  <- buffer overflows above (2Tp*C + B)";
+    }
+    std::printf("%10.0f  %-30s %-30s%s\n", x, bar(emp).c_str(), bar(model).c_str(), mark);
+    csv += experiment::format("%.2f,%.8g,%.8g\n", x, emp, model);
+  }
+  std::printf("boundaries: link idle below W = %.0f pkts; drops above W = %.0f pkts\n", pipe,
+              overflow);
+  if (opts.want_csv()) {
+    experiment::write_file(opts.csv_dir + "/fig6_distribution.csv", csv);
+    experiment::write_gnuplot_script(
+        opts.csv_dir, "fig6_distribution", "Aggregate congestion window distribution (Fig 6)",
+        "sum of congestion windows (pkts)", "probability density",
+        {{"empirical", 1, 2}, {"gaussian fit", 1, 3}});
+  }
+
+  // CLT check: stddev of W should shrink ~1/sqrt(n) relative to its mean.
+  std::printf("\nCLT width scaling (stddev/mean of W vs n):\n");
+  experiment::TablePrinter table{{"n", "mean W", "stddev W", "cv", "cv*sqrt(n)"}};
+  for (const int n : {25, 50, base_flows}) {
+    auto c = cfg;
+    c.num_flows = n;
+    c.sample_per_flow_cwnd = false;
+    const auto r = experiment::run_long_flow_experiment(c);
+    const auto f = stats::fit_gaussian(r.total_cwnd.values());
+    const double cv = f.stddev / f.mean;
+    table.add_row({experiment::format("%d", n), experiment::format("%.0f", f.mean),
+                   experiment::format("%.1f", f.stddev), experiment::format("%.4f", cv),
+                   experiment::format("%.3f", cv * std::sqrt(static_cast<double>(n)))});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("(a roughly constant last column is the 1/sqrt(n) scaling of Section 3)\n");
+  return 0;
+}

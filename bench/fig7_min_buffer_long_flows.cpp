@@ -1,0 +1,100 @@
+// Figure 7: minimum buffer required for 98 / 99.5 / 99.9 % utilization of an
+// OC3 (155 Mb/s) link carrying n long-lived TCP flows (~80 ms average RTT),
+// compared with the paper's model line RTT·C/√n.
+//
+// Also reports the measured loss rate at the √n buffer — the §5.1.1
+// observation that smaller buffers raise the loss rate as l ≈ 0.76/W².
+#include <cmath>
+#include <cstdio>
+
+#include "core/sizing_rules.hpp"
+#include "experiment/cli.hpp"
+#include "experiment/long_flow_experiment.hpp"
+#include "experiment/reporting.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbs;
+  const auto opts = experiment::parse_cli(
+      argc, argv, "Fig 7: minimum buffer for target utilization vs number of long flows");
+
+  experiment::LongFlowExperimentConfig base;
+  base.bottleneck_rate_bps = 155e6;
+  base.warmup = sim::SimTime::seconds(opts.full ? 20 : 10);
+  base.measure = sim::SimTime::seconds(opts.full ? 60 : 20);
+  base.seed = opts.seed;
+
+  const std::vector<int> flow_counts =
+      opts.full ? std::vector<int>{50, 100, 150, 200, 250, 300, 400, 500}
+                : std::vector<int>{50, 100, 200, 300};
+  const std::vector<double> targets =
+      opts.full ? std::vector<double>{0.980, 0.995, 0.999} : std::vector<double>{0.980, 0.995};
+
+  // Mean RTT of the default topology: 2*(29 + 10 + 1) ms = 80 ms.
+  const double rtt_sec = 0.080;
+  const double bdp_pkts = rtt_sec * base.bottleneck_rate_bps / 8000.0;
+
+  std::printf("Figure 7 — OC3 (155 Mb/s), mean RTT 80 ms, BDP = %.0f packets\n", bdp_pkts);
+  std::printf("model line: B = RTT*C/sqrt(n) (2x for 99.9%%)\n\n");
+
+  std::vector<std::string> headers{"n", "model RTT*C/sqrt(n)"};
+  for (const double t : targets) headers.push_back(experiment::format("min B @%.1f%%", 100 * t));
+  headers.push_back("loss @ sqrt-rule B");
+  experiment::TablePrinter table{headers};
+  std::string csv = "n,model_pkts";
+  for (const double t : targets) csv += experiment::format(",min_buffer_%.1f", 100 * t);
+  csv += ",loss_at_sqrt_rule\n";
+
+  for (const int n : flow_counts) {
+    auto cfg = base;
+    cfg.num_flows = n;
+    const auto model_pkts = core::sqrt_rule_packets(rtt_sec, cfg.bottleneck_rate_bps, n, 1000);
+
+    std::vector<std::string> row{experiment::format("%d", n),
+                                 experiment::format("%lld", static_cast<long long>(model_pkts))};
+    std::string csv_row =
+        experiment::format("%d,%lld", n, static_cast<long long>(model_pkts));
+
+    for (const double target : targets) {
+      // Bracket the search around the model prediction; a result pinned at
+      // the top of the bracket is reported as a ">= bound" (synchronized
+      // small-n cases can need far more than the model says).
+      const auto lo = std::max<std::int64_t>(2, model_pkts / 3);
+      const auto hi =
+          std::min<std::int64_t>(static_cast<std::int64_t>(bdp_pkts) * 2, model_pkts * 8);
+      const auto min_b = experiment::min_buffer_for_utilization(cfg, target, lo, hi);
+      const char* prefix = min_b >= hi ? ">=" : "";
+      row.push_back(experiment::format("%s%lld (%.2fx)", prefix,
+                                       static_cast<long long>(min_b),
+                                       static_cast<double>(min_b) /
+                                           static_cast<double>(model_pkts)));
+      csv_row += experiment::format(",%lld", static_cast<long long>(min_b));
+    }
+
+    cfg.buffer_packets = model_pkts;
+    const auto at_rule = experiment::run_long_flow_experiment(cfg);
+    row.push_back(experiment::format("%.3f%%", 100.0 * at_rule.loss_rate));
+    csv_row += experiment::format(",%.6f", at_rule.loss_rate);
+
+    table.add_row(std::move(row));
+    csv += csv_row + "\n";
+    std::fprintf(stderr, "  [fig7] finished n=%d\n", n);
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  if (opts.want_csv()) {
+    experiment::write_file(opts.csv_dir + "/fig7_min_buffer.csv", csv);
+    std::vector<experiment::PlotSeries> series{{"model RTT*C/sqrt(n)", 1, 2}};
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      series.push_back({experiment::format("measured @%.1f%%", 100 * targets[t]), 1,
+                        static_cast<int>(3 + t)});
+    }
+    experiment::write_gnuplot_script(opts.csv_dir, "fig7_min_buffer",
+                                     "Minimum buffer vs number of long flows (Fig 7)",
+                                     "concurrent long-lived flows n", "buffer (pkts)",
+                                     series, /*logscale_y=*/true);
+  }
+  std::printf("expected shape (paper Fig 7): the minimum buffer tracks RTT*C/sqrt(n)\n"
+              "(within ~0.5-2x once n exceeds ~250, where synchronization vanishes), and\n"
+              "the 99.9%% column needs about twice the 98%% column.\n");
+  return 0;
+}

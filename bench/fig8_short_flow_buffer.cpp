@@ -1,0 +1,98 @@
+// Figure 8: minimum buffer so that short-flow AFCT is inflated by no more
+// than 12.5% relative to an (effectively) infinite buffer, for bottlenecks
+// of 40 / 80 / 200 Mb/s at load 0.8 — compared with the paper's M/G/1 model
+// at P(Q > B) = 0.025.
+//
+// The headline: the required buffer is (nearly) independent of line rate —
+// it depends only on load and burst size.
+#include <cmath>
+#include <cstdio>
+
+#include "core/batch_queue.hpp"
+#include "core/short_flow_model.hpp"
+#include "experiment/cli.hpp"
+#include "experiment/reporting.hpp"
+#include "experiment/short_flow_experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbs;
+  const auto opts = experiment::parse_cli(
+      argc, argv,
+      "Fig 8: minimum buffer for <=12.5% AFCT penalty, short flows, load 0.8");
+
+  const double load = 0.8;
+  const std::int64_t flow_packets = 62;  // bursts 2,4,8,16,32
+  const auto bursts = core::burst_moments_for_flow(flow_packets);
+  const double model_buffer = core::buffer_for_drop_probability(load, bursts, 0.025);
+
+  std::printf("Figure 8 — short flows (%lld pkts, slow-start only), load %.1f\n",
+              static_cast<long long>(flow_packets), load);
+  std::printf("M/G/1 model (P(Q>B)=0.025): E[X]=%.1f, E[X^2]/E[X]=%.1f -> B = %.0f pkts\n",
+              bursts.mean, bursts.ratio(), model_buffer);
+
+  // Cross-check the bound against the exact M[X]/D/1 batch queue — the
+  // queueing model itself, without the network around it.
+  {
+    core::BatchQueueConfig bq;
+    bq.load = load;
+    bq.burst_sizes = core::slow_start_bursts(flow_packets);
+    bq.num_batches = opts.full ? 2'000'000 : 400'000;
+    bq.seed = opts.seed;
+    const auto exact = core::run_batch_queue(bq);
+    const auto b = static_cast<std::size_t>(model_buffer);
+    std::printf("exact M[X]/D/1 tail at the model buffer: P(Q>=%.0f) = %.4f vs the\n"
+                "two-moment formula's 0.0250 — the formula approximates its own queueing\n"
+                "model within ~%.1fx; the real network (below) sits far under both, because\n"
+                "ACK clocking spaces a flow's bursts an RTT apart.\n\n",
+                model_buffer, exact.tail[b],
+                exact.tail[b] > 0 ? exact.tail[b] / 0.025 : 0.0);
+  }
+
+  experiment::TablePrinter table{{"bandwidth", "model B (pkts)", "measured min B (pkts)",
+                                  "baseline AFCT (ms)", "AFCT at min B (ms)"}};
+  std::string csv = "rate_bps,model_buffer,measured_buffer,baseline_afct_ms,afct_at_min_ms\n";
+
+  const std::vector<double> rates =
+      opts.full ? std::vector<double>{40e6, 80e6, 200e6} : std::vector<double>{40e6, 80e6, 200e6};
+  for (const double rate : rates) {
+    experiment::ShortFlowExperimentConfig cfg;
+    cfg.bottleneck_rate_bps = rate;
+    cfg.load = load;
+    cfg.flow_packets = flow_packets;
+    cfg.measure = sim::SimTime::seconds(opts.full ? 60 : 25);
+    cfg.seed = opts.seed;
+
+    // Baseline: a buffer far beyond any excursion.
+    cfg.buffer_packets = 4000;
+    const auto baseline = run_short_flow_experiment(cfg);
+
+    const auto min_b = experiment::min_buffer_for_afct(cfg, baseline.afct_seconds,
+                                                       /*afct_penalty=*/0.125,
+                                                       /*lo=*/5, /*hi=*/1200);
+    cfg.buffer_packets = min_b;
+    const auto at_min = run_short_flow_experiment(cfg);
+
+    table.add_row({experiment::format("%.0f Mb/s", rate / 1e6),
+                   experiment::format("%.0f", model_buffer),
+                   experiment::format("%lld", static_cast<long long>(min_b)),
+                   experiment::format("%.1f", 1e3 * baseline.afct_seconds),
+                   experiment::format("%.1f", 1e3 * at_min.afct_seconds)});
+    csv += experiment::format("%.0f,%.0f,%lld,%.3f,%.3f\n", rate, model_buffer,
+                              static_cast<long long>(min_b), 1e3 * baseline.afct_seconds,
+                              1e3 * at_min.afct_seconds);
+    std::fprintf(stderr, "  [fig8] finished %.0f Mb/s\n", rate / 1e6);
+  }
+  std::printf("%s\n", table.render().c_str());
+  if (opts.want_csv()) {
+    experiment::write_file(opts.csv_dir + "/fig8_short_flow_buffer.csv", csv);
+    experiment::write_gnuplot_script(
+        opts.csv_dir, "fig8_short_flow_buffer",
+        "Short-flow buffer requirement vs line rate (Fig 8)", "line rate (b/s)",
+        "buffer (pkts)", {{"M/G/1 model", 1, 2}, {"measured minimum", 1, 3}});
+  }
+
+  std::printf("expected shape (paper Fig 8): the measured minimum buffer is a few hundred\n"
+              "packets, does NOT grow with line rate, and sits at or below the M/G/1 bound\n"
+              "(the bound is conservative).\n");
+  return 0;
+}

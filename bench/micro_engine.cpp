@@ -1,0 +1,61 @@
+// Engine microbenchmarks (google-benchmark): event scheduling, queue ops,
+// and end-to-end simulated-seconds-per-wall-second for a reference dumbbell.
+#include <benchmark/benchmark.h>
+
+#include "experiment/long_flow_experiment.hpp"
+#include "net/drop_tail_queue.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace rbs;
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  const auto n = state.range(0);
+  for (auto _ : state) {
+    sim::Simulation sim;
+    for (std::int64_t i = 0; i < n; ++i) {
+      sim.after(sim::SimTime::nanoseconds(i % 1000), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.scheduler().executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SchedulerScheduleRun)->Arg(1'000)->Arg(100'000);
+
+void BM_DropTailEnqueueDequeue(benchmark::State& state) {
+  net::DropTailQueue q{1024};
+  net::Packet p;
+  p.size_bytes = 1000;
+  for (auto _ : state) {
+    q.enqueue(p);
+    benchmark::DoNotOptimize(q.dequeue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DropTailEnqueueDequeue);
+
+void BM_RngUniform(benchmark::State& state) {
+  sim::Rng rng{42};
+  for (auto _ : state) benchmark::DoNotOptimize(rng.uniform());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_DumbbellSimulatedSecond(benchmark::State& state) {
+  // How long one simulated second of a loaded 50-flow OC3 dumbbell takes.
+  for (auto _ : state) {
+    experiment::LongFlowExperimentConfig cfg;
+    cfg.num_flows = static_cast<int>(state.range(0));
+    cfg.buffer_packets = 100;
+    cfg.warmup = sim::SimTime::seconds(1);
+    cfg.measure = sim::SimTime::seconds(1);
+    benchmark::DoNotOptimize(experiment::run_long_flow_experiment(cfg));
+  }
+}
+BENCHMARK(BM_DumbbellSimulatedSecond)->Arg(10)->Arg(50)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

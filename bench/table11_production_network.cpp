@@ -1,0 +1,113 @@
+// Figure 11 (table): the Stanford production-network experiment — a
+// 20 Mb/s-throttled router carrying live mixed traffic (~400 concurrent
+// flows), measured at buffers of 500/85/65/46 packets.
+//
+// Our stand-in for live dormitory traffic (per DESIGN.md substitutions):
+// long-lived TCP flows + Poisson short flows with heavy-tailed sizes +
+// a small non-reactive UDP share. Also reruns the §5.3 Internet2
+// qualitative check: 0.5% of the default buffer at high flow counts causes
+// no measurable degradation.
+#include <cmath>
+#include <cstdio>
+
+#include "core/long_flow_model.hpp"
+#include "core/sizing_rules.hpp"
+#include "experiment/cli.hpp"
+#include "experiment/long_flow_experiment.hpp"
+#include "experiment/mixed_flow_experiment.hpp"
+#include "experiment/reporting.hpp"
+
+namespace {
+struct PaperRow {
+  std::int64_t buffer;
+  double paper_util;  ///< published measured utilization (%)
+};
+constexpr PaperRow kPaperRows[] = {{500, 99.92}, {85, 98.55}, {65, 97.55}, {46, 97.41}};
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rbs;
+  const auto opts = experiment::parse_cli(
+      argc, argv, "Table (Fig 11): Stanford production-network experiment, 20 Mb/s");
+
+  // 45 long flows makes RTT*C/sqrt(n) ~= 54 pkts, so the paper's buffer
+  // points 46/65/85 land at 0.85x/1.2x/1.6x — the same multiples as the
+  // published table (0.8x/1.2x/1.5x). Short flows and UDP bring the
+  // *concurrent* flow count toward the paper's "~400 estimated".
+  experiment::MixedFlowExperimentConfig base;
+  base.bottleneck_rate_bps = 20e6;
+  base.num_long_flows = 45;
+  base.short_flow_load = 0.10;
+  base.short_sizing = experiment::ShortFlowSizing::kPareto;
+  base.pareto_alpha = 1.2;
+  base.pareto_min_packets = 2;
+  base.pareto_max_packets = 2000;
+  base.udp_load = 0.03;
+  base.num_short_leaves = 40;
+  // Wider delay spread, max RTT ~250 ms as the paper assumed.
+  base.access_delay_min = sim::SimTime::milliseconds(10);
+  base.access_delay_max = sim::SimTime::milliseconds(112);
+  base.warmup = sim::SimTime::seconds(opts.full ? 30 : 15);
+  base.measure = sim::SimTime::seconds(opts.full ? 120 : 40);
+  base.seed = opts.seed;
+
+  const double rtt_sec = 2.0 * (0.061 + 0.010 + 0.001);  // mean propagation RTT = 144 ms
+  const auto sqrt_rule = core::sqrt_rule_packets(rtt_sec, base.bottleneck_rate_bps,
+                                                 base.num_long_flows, 1000);
+  std::printf("Figure 11 table — 20 Mb/s, ~%d long + short/UDP mix, RTT*C/sqrt(n) = %lld pkts\n\n",
+              base.num_long_flows, static_cast<long long>(sqrt_rule));
+
+  experiment::TablePrinter table{{"buffer (pkts)", "multiple of sqrt-rule", "sim util",
+                                  "paper util", "model util", "short-flow AFCT (ms)"}};
+  std::string csv = "buffer,multiple,sim_util,paper_util,model_util,afct_ms\n";
+
+  for (const auto& row : kPaperRows) {
+    auto cfg = base;
+    cfg.buffer_packets = row.buffer;
+    const auto r = run_mixed_flow_experiment(cfg);
+    const core::LongFlowLink model{base.bottleneck_rate_bps, rtt_sec, base.num_long_flows,
+                                   1000};
+    const double model_util = core::predicted_utilization(model, row.buffer);
+    const double multiple =
+        static_cast<double>(row.buffer) / static_cast<double>(sqrt_rule);
+
+    table.add_row({experiment::format("%lld", static_cast<long long>(row.buffer)),
+                   experiment::format("%.2f x", multiple),
+                   experiment::format("%.2f%%", 100 * r.utilization),
+                   experiment::format("%.2f%%", row.paper_util),
+                   experiment::format("%.2f%%", 100 * model_util),
+                   experiment::format("%.1f", 1e3 * r.afct_seconds)});
+    csv += experiment::format("%lld,%.3f,%.4f,%.4f,%.4f,%.3f\n",
+                              static_cast<long long>(row.buffer), multiple, r.utilization,
+                              row.paper_util / 100.0, model_util, 1e3 * r.afct_seconds);
+    std::fprintf(stderr, "  [table11] finished buffer=%lld\n",
+                 static_cast<long long>(row.buffer));
+  }
+  std::printf("%s\n", table.render().c_str());
+  if (opts.want_csv()) experiment::write_file(opts.csv_dir + "/table11_production.csv", csv);
+
+  std::printf("expected shape (paper Fig 11): ~full utilization at 500 and ~1.5x, then a\n"
+              "drop of a few percent as the buffer falls below ~1x of RTT*C/sqrt(n).\n\n");
+
+  // §5.3 Internet2 qualitative check: the trial ran the router at 5 ms of
+  // buffering instead of the default 1 second (0.5%) and saw no measurable
+  // degradation. Same time-units comparison at our scale: a 5 ms buffer on a
+  // loaded OC3 with hundreds of flows should still run ~full.
+  {
+    experiment::LongFlowExperimentConfig cfg;
+    cfg.num_flows = opts.full ? 500 : 300;
+    cfg.bottleneck_rate_bps = 155e6;
+    cfg.warmup = sim::SimTime::seconds(10);
+    cfg.measure = sim::SimTime::seconds(opts.full ? 60 : 20);
+    cfg.seed = opts.seed;
+    const auto one_second =
+        static_cast<std::int64_t>(1.0 * cfg.bottleneck_rate_bps / 8000.0);
+    cfg.buffer_packets = one_second / 200;  // 5 ms worth of packets
+    const auto r = run_long_flow_experiment(cfg);
+    std::printf("Internet2-style check (§5.3): %d flows, buffer = 5 ms instead of 1 s "
+                "(%lld of %lld pkts, 0.5%%) -> utilization %.2f%%\n",
+                cfg.num_flows, static_cast<long long>(cfg.buffer_packets),
+                static_cast<long long>(one_second), 100 * r.utilization);
+  }
+  return 0;
+}

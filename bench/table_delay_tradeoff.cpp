@@ -1,0 +1,78 @@
+// §1.1 table: the cost of overbuffering — queueing delay vs buffer size.
+//
+// "Overbuffering increases end-to-end delay in the presence of congestion.
+// Large buffers conflict with the low-latency needs of real time
+// applications." This bench quantifies that: per-packet bottleneck delay
+// (mean / p50 / p99), utilization, loss, and inter-flow fairness across
+// buffer sizes from half the √n rule up to the full rule of thumb.
+#include <cmath>
+#include <cstdio>
+
+#include "core/sizing_rules.hpp"
+#include "experiment/cli.hpp"
+#include "experiment/long_flow_experiment.hpp"
+#include "experiment/reporting.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbs;
+  const auto opts = experiment::parse_cli(
+      argc, argv, "Table (Section 1.1): queueing-delay cost of overbuffering");
+
+  experiment::LongFlowExperimentConfig base;
+  base.bottleneck_rate_bps = 155e6;
+  base.num_flows = opts.full ? 200 : 100;
+  base.warmup = sim::SimTime::seconds(opts.full ? 20 : 10);
+  base.measure = sim::SimTime::seconds(opts.full ? 60 : 20);
+  base.record_delays = true;
+  base.seed = opts.seed;
+
+  const double rtt_sec = 0.080;
+  const auto rule =
+      core::sqrt_rule_packets(rtt_sec, base.bottleneck_rate_bps, base.num_flows, 1000);
+  const auto bdp = core::rule_of_thumb_packets(rtt_sec, base.bottleneck_rate_bps, 1000);
+
+  std::printf("Delay cost of buffering — OC3, n=%d, sqrt rule = %lld pkts, RTT*C = %lld\n\n",
+              base.num_flows, static_cast<long long>(rule), static_cast<long long>(bdp));
+  experiment::TablePrinter table{{"buffer (pkts)", "util", "mean delay", "p99 delay",
+                                  "loss", "fairness"}};
+  std::string csv = "buffer,utilization,mean_delay_ms,p99_delay_ms,loss,fairness\n";
+
+  const std::vector<std::int64_t> buffers = {rule / 2, rule, 2 * rule, bdp / 4, bdp / 2, bdp};
+  for (const auto buffer : buffers) {
+    auto cfg = base;
+    cfg.buffer_packets = std::max<std::int64_t>(buffer, 4);
+    const auto r = run_long_flow_experiment(cfg);
+    table.add_row({experiment::format("%lld%s", static_cast<long long>(cfg.buffer_packets),
+                                      cfg.buffer_packets == rule          ? " (sqrt)"
+                                      : cfg.buffer_packets == bdp         ? " (RTT*C)"
+                                                                          : ""),
+                   experiment::format("%.2f%%", 100 * r.utilization),
+                   experiment::format("%.2f ms", 1e3 * r.delay_mean_sec),
+                   experiment::format("%.2f ms", 1e3 * r.delay_p99_sec),
+                   experiment::format("%.3f%%", 100 * r.loss_rate),
+                   experiment::format("%.3f", r.fairness)});
+    csv += experiment::format("%lld,%.4f,%.4f,%.4f,%.5f,%.4f\n",
+                              static_cast<long long>(cfg.buffer_packets), r.utilization,
+                              1e3 * r.delay_mean_sec, 1e3 * r.delay_p99_sec, r.loss_rate,
+                              r.fairness);
+    std::fprintf(stderr, "  [delay] finished buffer=%lld\n",
+                 static_cast<long long>(cfg.buffer_packets));
+  }
+  std::printf("%s\n", table.render().c_str());
+  if (opts.want_csv()) {
+    experiment::write_file(opts.csv_dir + "/table_delay.csv", csv);
+    experiment::write_gnuplot_script(
+        opts.csv_dir, "table_delay", "Delay cost of buffering (Section 1.1)",
+        "buffer (pkts)", "milliseconds / fraction",
+        {{"mean delay (ms)", 1, 3}, {"p99 delay (ms)", 1, 4}});
+  }
+
+  // Context: what the buffer means in worst-case milliseconds.
+  std::printf("worst-case buffer drain time: sqrt rule %.1f ms vs RTT*C %.1f ms\n",
+              static_cast<double>(rule) * 8000.0 / base.bottleneck_rate_bps * 1e3,
+              static_cast<double>(bdp) * 8000.0 / base.bottleneck_rate_bps * 1e3);
+  std::printf("expected shape (§1.1): utilization saturates at ~the sqrt rule while p99\n"
+              "delay keeps climbing linearly with the buffer — everything beyond the rule\n"
+              "buys only latency (and slightly less loss), not throughput.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// §1.3 table: what buffer memory each sizing rule implies for real line
+// cards, using the paper's 2004 device parameters — the engineering
+// motivation for the whole result.
+#include <cstdio>
+
+#include "core/memory_model.hpp"
+#include "core/sizing_rules.hpp"
+#include "experiment/cli.hpp"
+#include "experiment/reporting.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbs;
+  const auto opts = experiment::parse_cli(
+      argc, argv, "Table (Section 1.3): buffer memory feasibility by sizing rule");
+
+  const double rtt_sec = 0.25;  // the 250 ms the paper's operators demand
+  struct Rule {
+    const char* name;
+    std::int64_t n;  // 0 = rule of thumb
+  };
+  const Rule rules[] = {{"RTT*C (rule of thumb)", 0},
+                        {"RTT*C/sqrt(10k flows)", 10'000},
+                        {"RTT*C/sqrt(50k flows)", 50'000}};
+
+  std::printf("Memory feasibility (2004 devices: SRAM 36Mb/4ns, DRAM 1Gb/50ns, eDRAM 256Mb)\n");
+  std::printf("min-packet access budget shown per line rate; RTT = 250 ms\n\n");
+
+  experiment::TablePrinter table{{"line rate", "rule", "buffer", "SRAM chips", "DRAM chips",
+                                  "DRAM access", "fits on-chip eDRAM"}};
+  std::string csv = "rate_bps,rule,buffer_bits,sram_chips,dram_chips,dram_ok,edram_fits\n";
+
+  for (const double rate : {2.5e9, 10e9, 40e9, 100e9}) {
+    for (const auto& rule : rules) {
+      const double bits = rule.n == 0 ? core::bandwidth_delay_product_bits(rtt_sec, rate)
+                                      : core::sqrt_rule_bits(rtt_sec, rate, rule.n);
+      const auto memories = core::evaluate_reference_memories(bits, rate);
+      const auto& sram = memories[0];
+      const auto& dram = memories[1];
+      const auto& edram = memories[2];
+
+      const char* size_fmt = bits >= 1e9 ? "%.1f Gbit" : "%.1f Mbit";
+      table.add_row(
+          {experiment::format("%.1f Gb/s", rate / 1e9), rule.name,
+           experiment::format(size_fmt, bits >= 1e9 ? bits / 1e9 : bits / 1e6),
+           experiment::format("%lld", static_cast<long long>(sram.chips_required)),
+           experiment::format("%lld", static_cast<long long>(dram.chips_required)),
+           dram.access_time_ok ? "ok" : experiment::format("too slow (%.0fns > %.2fns)",
+                                                           dram.device.random_access_ns,
+                                                           dram.packet_time_ns),
+           edram.single_chip_ok ? "yes" : "no"});
+      csv += experiment::format("%.3g,%s,%.4g,%lld,%lld,%d,%d\n", rate, rule.name, bits,
+                                static_cast<long long>(sram.chips_required),
+                                static_cast<long long>(dram.chips_required),
+                                dram.access_time_ok ? 1 : 0, edram.single_chip_ok ? 1 : 0);
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  if (opts.want_csv()) experiment::write_file(opts.csv_dir + "/table_memory.csv", csv);
+
+  // The paper's trend remark: DRAM access improves only ~7%/year.
+  std::printf("DRAM random access projection (7%%/yr): 2004 %.0f ns",
+              core::projected_dram_access_ns(0));
+  for (const int y : {5, 10, 20}) {
+    std::printf(" | %d: %.1f ns", 2004 + y, core::projected_dram_access_ns(y));
+  }
+  std::printf("\nheadline check: a 10 Gb/s link with 50k flows needs %.1f Mbit — %s\n",
+              core::sqrt_rule_bits(rtt_sec, 10e9, 50'000) / 1e6,
+              "\"easily implemented using fast, on-chip SRAM\" (abstract)");
+  if (opts.full) {
+    std::printf("(--full adds nothing here: the table is analytic)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// mixed_traffic_study — evaluate candidate buffer sizes against a custom
+// traffic mix before deploying one.
+//
+// Demonstrates composing the experiment API: long-lived TCP + heavy-tailed
+// short flows + a non-reactive UDP share on one bottleneck, swept over a set
+// of candidate buffers, reporting everything an operator would weigh:
+// utilization, loss, queueing delay, and short-flow completion time.
+//
+//   $ ./mixed_traffic_study            # defaults: 50 Mb/s, 40 long flows
+#include <cmath>
+#include <cstdio>
+
+#include "core/sizing_rules.hpp"
+#include "experiment/mixed_flow_experiment.hpp"
+#include "experiment/reporting.hpp"
+
+int main() {
+  using namespace rbs;
+
+  experiment::MixedFlowExperimentConfig cfg;
+  cfg.bottleneck_rate_bps = 50e6;
+  cfg.num_long_flows = 40;
+  cfg.short_flow_load = 0.15;
+  cfg.short_sizing = experiment::ShortFlowSizing::kPareto;
+  cfg.pareto_alpha = 1.2;
+  cfg.pareto_max_packets = 1000;
+  cfg.udp_load = 0.05;
+  cfg.num_short_leaves = 20;
+  cfg.warmup = sim::SimTime::seconds(10);
+  cfg.measure = sim::SimTime::seconds(30);
+
+  const double rtt = 0.080;
+  const auto bdp = core::rule_of_thumb_packets(rtt, cfg.bottleneck_rate_bps, 1000);
+  const auto sqrt_rule =
+      core::sqrt_rule_packets(rtt, cfg.bottleneck_rate_bps, cfg.num_long_flows, 1000);
+
+  std::printf("mixed traffic study — 50 Mb/s, %d long flows + Pareto short flows (%.0f%%)"
+              " + UDP (%.0f%%)\n",
+              cfg.num_long_flows, 100 * cfg.short_flow_load, 100 * cfg.udp_load);
+  std::printf("candidates: rule of thumb = %lld pkts, sqrt rule = %lld pkts\n\n",
+              static_cast<long long>(bdp), static_cast<long long>(sqrt_rule));
+
+  experiment::TablePrinter table{{"buffer (pkts)", "utilization", "loss", "mean queue",
+                                  "queue delay", "short-flow AFCT"}};
+  for (const auto buffer : {sqrt_rule / 2, sqrt_rule, 2 * sqrt_rule, bdp / 2, bdp}) {
+    cfg.buffer_packets = buffer;
+    const auto r = run_mixed_flow_experiment(cfg);
+    const double queue_delay_ms =
+        r.mean_queue_packets * 8000.0 / cfg.bottleneck_rate_bps * 1e3;
+    table.add_row({experiment::format("%lld", static_cast<long long>(buffer)),
+                   experiment::format("%.2f%%", 100 * r.utilization),
+                   experiment::format("%.3f%%", 100 * r.drop_probability),
+                   experiment::format("%.1f pkts", r.mean_queue_packets),
+                   experiment::format("%.1f ms", queue_delay_ms),
+                   experiment::format("%.1f ms", 1e3 * r.afct_seconds)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("reading the table: utilization saturates around the sqrt rule; everything\n"
+              "beyond it only grows the queue (delay) and slows short flows down.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// provision_link — command-line buffer provisioning tool.
+//
+// The workflow a network operator would use: describe the link, get the
+// paper's recommendation with a memory-technology feasibility check.
+//
+//   $ ./provision_link --rate-gbps 10 --rtt-ms 250 --flows 50000 --load 0.8
+//
+// All flags optional; defaults model a 2004-era 10 Gb/s backbone linecard.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/recommendation.hpp"
+#include "core/sizing_rules.hpp"
+
+namespace {
+
+double arg_double(int argc, char** argv, const char* name, double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (has_flag(argc, argv, "--help") || has_flag(argc, argv, "-h")) {
+    std::printf(
+        "usage: provision_link [--rate-gbps G] [--rtt-ms MS] [--flows N]\n"
+        "                      [--load RHO] [--packet-bytes B] [--sweep]\n\n"
+        "Sizes a router buffer per Appenzeller et al. (SIGCOMM 2004):\n"
+        "B = RTT*C/sqrt(n), floored by the short-flow M/G/1 bound.\n"
+        "--sweep prints the recommendation across a range of flow counts.\n");
+    return 0;
+  }
+
+  rbs::core::LinkProfile link;
+  link.rate_bps = arg_double(argc, argv, "--rate-gbps", 10.0) * 1e9;
+  link.mean_rtt_sec = arg_double(argc, argv, "--rtt-ms", 250.0) / 1e3;
+  link.num_long_flows =
+      static_cast<std::int64_t>(arg_double(argc, argv, "--flows", 50'000.0));
+  link.load = arg_double(argc, argv, "--load", 0.8);
+  link.packet_bytes =
+      static_cast<std::int32_t>(arg_double(argc, argv, "--packet-bytes", 1000.0));
+
+  const auto rec = rbs::core::recommend_buffer(link);
+  std::printf("%s\n", rbs::core::to_report(link, rec).c_str());
+
+  if (has_flag(argc, argv, "--sweep")) {
+    std::printf("sweep over concurrent long flows (same link):\n");
+    std::printf("%10s %14s %14s %12s\n", "flows", "buffer (pkts)", "buffer (Mbit)",
+                "vs RTT*C");
+    for (const std::int64_t n : {1, 10, 100, 1'000, 10'000, 100'000}) {
+      auto p = link;
+      p.num_long_flows = n;
+      const auto r = rbs::core::recommend_buffer(p);
+      std::printf("%10lld %14lld %14.2f %11.2f%%\n", static_cast<long long>(n),
+                  static_cast<long long>(r.recommended_pkts), r.recommended_bits / 1e6,
+                  100.0 * (1.0 - r.buffer_reduction_vs_rule_of_thumb));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Quickstart: size the buffer for a link, then check the recommendation by
+// simulating the link with that buffer.
+//
+//   $ ./quickstart
+//
+// Walks through the library's two halves: the analytic models in rbs::core
+// and the packet-level simulator behind rbs::experiment.
+#include <cstdio>
+
+#include "core/recommendation.hpp"
+#include "core/sizing_rules.hpp"
+#include "experiment/long_flow_experiment.hpp"
+
+int main() {
+  using namespace rbs;
+
+  // --- 1. Ask the models: how much buffer does this link need? ------------
+  core::LinkProfile profile;
+  profile.rate_bps = 155e6;      // an OC3 interface
+  profile.mean_rtt_sec = 0.080;  // 80 ms average flow RTT
+  profile.num_long_flows = 200;  // concurrent long-lived TCP flows
+  profile.load = 0.8;
+
+  const auto rec = core::recommend_buffer(profile);
+  std::printf("%s\n", core::to_report(profile, rec).c_str());
+
+  // --- 2. Check it in simulation: run 200 long-lived TCP Reno flows -------
+  experiment::LongFlowExperimentConfig cfg;
+  cfg.num_flows = 200;
+  cfg.buffer_packets = rec.recommended_pkts;
+  cfg.bottleneck_rate_bps = profile.rate_bps;
+  cfg.warmup = sim::SimTime::seconds(10);
+  cfg.measure = sim::SimTime::seconds(20);
+
+  std::printf("simulating %d flows with B = %lld packets...\n", cfg.num_flows,
+              static_cast<long long>(cfg.buffer_packets));
+  const auto result = experiment::run_long_flow_experiment(cfg);
+  std::printf("  measured utilization : %6.2f %%\n", 100.0 * result.utilization);
+  std::printf("  measured loss rate   : %.4f %%\n", 100.0 * result.loss_rate);
+  std::printf("  mean queue occupancy : %.1f packets\n", result.mean_queue_packets);
+
+  // --- 3. Contrast with the rule of thumb ---------------------------------
+  std::printf("\nrule of thumb would have used %lld packets (%.0fx more)\n",
+              static_cast<long long>(rec.rule_of_thumb_pkts),
+              static_cast<double>(rec.rule_of_thumb_pkts) /
+                  static_cast<double>(cfg.buffer_packets));
+  return 0;
+}

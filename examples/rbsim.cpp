@@ -1,0 +1,250 @@
+// rbsim — config-driven buffer-sizing simulator.
+//
+// Runs one experiment described by key=value pairs (from the command line or
+// a config file, one pair per line; '#' comments allowed) and prints a full
+// report: utilization, loss, queueing delay percentiles, fairness, AFCT, and
+// the model predictions side by side.
+//
+//   $ ./rbsim mode=long flows=200 rate_mbps=155 buffer=auto
+//   $ ./rbsim mode=mixed flows=50 short_load=0.2 buffer=1550 duration=30
+//   $ ./rbsim config.txt
+//
+// Keys (defaults in brackets):
+//   mode        long | short | mixed | trace  [long]
+//   trace       trace file to replay (mode=trace; see traffic/trace_workload.hpp)
+//   rate_mbps   bottleneck rate               [155]
+//   flows       long-lived TCP flows          [100]
+//   buffer      packets, or "auto" = sqrt rule, or "bdp" [auto]
+//   duration    measurement seconds           [20]
+//   warmup      warm-up seconds               [10]
+//   short_load  short-flow offered load       [0.2, mixed/short modes]
+//   flow_len    short-flow length in packets  [62]
+//   red         0|1 use RED at the bottleneck [0]
+//   ecn         0|1 RED marks instead of drops [0]
+//   pacing      0|1 paced TCP senders         [0]
+//   delack      0|1 delayed ACKs              [0]
+//   seed        RNG seed                      [1]
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/recommendation.hpp"
+#include "core/sizing_rules.hpp"
+#include "experiment/long_flow_experiment.hpp"
+#include "experiment/mixed_flow_experiment.hpp"
+#include "experiment/short_flow_experiment.hpp"
+#include "stats/utilization.hpp"
+#include "traffic/trace_workload.hpp"
+
+namespace {
+
+using KeyValues = std::map<std::string, std::string>;
+
+void parse_pair(const std::string& token, KeyValues& out) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    std::fprintf(stderr, "rbsim: ignoring malformed option '%s'\n", token.c_str());
+    return;
+  }
+  out[token.substr(0, eq)] = token.substr(eq + 1);
+}
+
+bool load_config_file(const std::string& path, KeyValues& out) {
+  std::ifstream in{path};
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream tokens{line};
+    std::string token;
+    while (tokens >> token) parse_pair(token, out);
+  }
+  return true;
+}
+
+double get_num(const KeyValues& kv, const std::string& key, double fallback) {
+  const auto it = kv.find(key);
+  return it == kv.end() ? fallback : std::atof(it->second.c_str());
+}
+
+std::string get_str(const KeyValues& kv, const std::string& key, const std::string& fallback) {
+  const auto it = kv.find(key);
+  return it == kv.end() ? fallback : it->second;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rbs;
+
+  KeyValues kv;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: rbsim [key=value ...] [config-file]\n"
+                  "see the header of examples/rbsim.cpp for the key list\n");
+      return 0;
+    }
+    if (arg.find('=') == std::string::npos) {
+      if (!load_config_file(arg, kv)) {
+        std::fprintf(stderr, "rbsim: cannot read config file '%s'\n", arg.c_str());
+        return 2;
+      }
+    } else {
+      parse_pair(arg, kv);
+    }
+  }
+
+  const std::string mode = get_str(kv, "mode", "long");
+  const double rate_bps = get_num(kv, "rate_mbps", 155.0) * 1e6;
+  const int flows = static_cast<int>(get_num(kv, "flows", 100));
+  const double duration = get_num(kv, "duration", 20.0);
+  const double warmup = get_num(kv, "warmup", 10.0);
+  const auto seed = static_cast<std::uint64_t>(get_num(kv, "seed", 1));
+  const double rtt_sec = 0.080;  // topology default
+
+  const auto sqrt_rule = core::sqrt_rule_packets(rtt_sec, rate_bps, std::max(flows, 1), 1000);
+  const auto bdp = core::rule_of_thumb_packets(rtt_sec, rate_bps, 1000);
+  std::int64_t buffer = sqrt_rule;
+  const std::string buffer_str = get_str(kv, "buffer", "auto");
+  if (buffer_str == "bdp") {
+    buffer = bdp;
+  } else if (buffer_str != "auto") {
+    buffer = std::atoll(buffer_str.c_str());
+  }
+
+  std::printf("rbsim: mode=%s rate=%.0f Mb/s flows=%d buffer=%lld pkts "
+              "(sqrt rule %lld, RTT*C %lld)\n\n",
+              mode.c_str(), rate_bps / 1e6, flows, static_cast<long long>(buffer),
+              static_cast<long long>(sqrt_rule), static_cast<long long>(bdp));
+
+  if (mode == "long") {
+    experiment::LongFlowExperimentConfig cfg;
+    cfg.num_flows = flows;
+    cfg.buffer_packets = buffer;
+    cfg.bottleneck_rate_bps = rate_bps;
+    cfg.warmup = sim::SimTime::from_seconds(warmup);
+    cfg.measure = sim::SimTime::from_seconds(duration);
+    cfg.record_delays = true;
+    cfg.seed = seed;
+    if (get_num(kv, "red", 0) > 0) cfg.discipline = net::QueueDiscipline::kRed;
+    if (get_num(kv, "ecn", 0) > 0) {
+      cfg.discipline = net::QueueDiscipline::kRed;
+      cfg.red.ecn_marking = true;
+    }
+    cfg.tcp.pacing = get_num(kv, "pacing", 0) > 0;
+    cfg.sink.delayed_ack = get_num(kv, "delack", 0) > 0;
+
+    const auto r = run_long_flow_experiment(cfg);
+    const core::LongFlowLink model{rate_bps, rtt_sec, flows, 1000};
+    std::printf("utilization     : %.2f%%   (model predicts %.2f%%)\n",
+                100 * r.utilization,
+                100 * core::predicted_utilization(model, buffer));
+    std::printf("loss rate       : %.3f%%  (model ~ %.3f%%)\n", 100 * r.loss_rate,
+                100 * core::predicted_loss_rate(model, buffer));
+    std::printf("queue occupancy : %.1f pkts mean (limit %lld)\n", r.mean_queue_packets,
+                static_cast<long long>(buffer));
+    std::printf("queue delay     : %.2f ms mean, %.2f ms p99\n", 1e3 * r.delay_mean_sec,
+                1e3 * r.delay_p99_sec);
+    std::printf("fairness (Jain) : %.3f over %d flows\n", r.fairness, flows);
+    std::printf("tcp             : %llu timeouts, %llu fast retransmits, %llu ECN cuts\n",
+                static_cast<unsigned long long>(r.tcp_stats.timeouts),
+                static_cast<unsigned long long>(r.tcp_stats.fast_retransmits),
+                static_cast<unsigned long long>(r.tcp_stats.ecn_reductions));
+    return 0;
+  }
+
+  if (mode == "short") {
+    experiment::ShortFlowExperimentConfig cfg;
+    cfg.bottleneck_rate_bps = rate_bps;
+    cfg.buffer_packets = buffer;
+    cfg.load = get_num(kv, "short_load", 0.8);
+    cfg.flow_packets = static_cast<std::int64_t>(get_num(kv, "flow_len", 62));
+    cfg.warmup = sim::SimTime::from_seconds(warmup);
+    cfg.measure = sim::SimTime::from_seconds(duration);
+    cfg.seed = seed;
+    const auto r = run_short_flow_experiment(cfg);
+    const auto m = core::burst_moments_for_flow(cfg.flow_packets);
+    std::printf("utilization : %.2f%% (offered load %.2f)\n", 100 * r.utilization, cfg.load);
+    std::printf("AFCT        : %.1f ms over %llu flows (model ~ %.1f ms)\n",
+                1e3 * r.afct_seconds,
+                static_cast<unsigned long long>(r.flows_completed),
+                1e3 * core::predicted_afct_seconds(cfg.flow_packets, r.mean_rtt_sec,
+                                                   rate_bps, 1000, cfg.load, m));
+    std::printf("drop prob   : %.4f (M/G/1 bound at this buffer: %.4f)\n",
+                r.drop_probability,
+                core::queue_tail_probability(cfg.load, m,
+                                             static_cast<double>(buffer)));
+    return 0;
+  }
+
+  if (mode == "mixed") {
+    experiment::MixedFlowExperimentConfig cfg;
+    cfg.bottleneck_rate_bps = rate_bps;
+    cfg.num_long_flows = flows;
+    cfg.buffer_packets = buffer;
+    cfg.short_flow_load = get_num(kv, "short_load", 0.2);
+    cfg.short_flow_packets = static_cast<std::int64_t>(get_num(kv, "flow_len", 62));
+    cfg.warmup = sim::SimTime::from_seconds(warmup);
+    cfg.measure = sim::SimTime::from_seconds(duration);
+    cfg.seed = seed;
+    const auto r = run_mixed_flow_experiment(cfg);
+    std::printf("utilization       : %.2f%%\n", 100 * r.utilization);
+    std::printf("short-flow AFCT   : %.1f ms over %llu flows\n", 1e3 * r.afct_seconds,
+                static_cast<unsigned long long>(r.short_flows_completed));
+    std::printf("long-flow goodput : %.1f Mb/s\n", r.long_flow_throughput_bps / 1e6);
+    std::printf("drop probability  : %.4f\n", r.drop_probability);
+    std::printf("mean queue        : %.1f pkts\n", r.mean_queue_packets);
+    return 0;
+  }
+
+  if (mode == "trace") {
+    const std::string trace_path = get_str(kv, "trace", "");
+    if (trace_path.empty()) {
+      std::fprintf(stderr, "rbsim: mode=trace requires trace=FILE\n");
+      return 2;
+    }
+    std::vector<traffic::TraceRecord> records;
+    try {
+      records = traffic::load_trace_file(trace_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "rbsim: %s\n", e.what());
+      return 2;
+    }
+    if (records.empty()) {
+      std::fprintf(stderr, "rbsim: trace '%s' contains no flows\n", trace_path.c_str());
+      return 2;
+    }
+
+    sim::Simulation sim{seed};
+    net::DumbbellConfig topo_cfg;
+    topo_cfg.num_leaves = std::max(flows, 1);
+    topo_cfg.bottleneck_rate_bps = rate_bps;
+    topo_cfg.buffer_packets = buffer;
+    net::Dumbbell topo{sim, topo_cfg};
+    traffic::TraceWorkload wl{sim, topo, records, traffic::TraceWorkloadConfig{}};
+
+    stats::UtilizationMeter meter{sim, topo.bottleneck()};
+    meter.begin();
+    const double trace_end = records.back().arrival_sec;
+    sim.run_until(sim::SimTime::from_seconds(trace_end + duration));
+
+    std::printf("trace        : %zu flows from %s (last arrival %.1f s)\n", records.size(),
+                trace_path.c_str(), trace_end);
+    std::printf("completed    : %llu (active at cutoff: %zu)\n",
+                static_cast<unsigned long long>(wl.flows_completed()), wl.flows_active());
+    std::printf("AFCT         : %.1f ms\n", 1e3 * wl.completions().afct_seconds());
+    std::printf("utilization  : %.2f%% over the replay window\n", 100 * meter.utilization());
+    std::printf("drops        : %llu\n",
+                static_cast<unsigned long long>(
+                    topo.bottleneck().queue().stats().dropped_packets));
+    return 0;
+  }
+
+  std::fprintf(stderr, "rbsim: unknown mode '%s' (long|short|mixed|trace)\n", mode.c_str());
+  return 2;
+}

@@ -1,0 +1,84 @@
+// sawtooth_trace — reproduce the paper's Figure 3 trace for your own link.
+//
+// Runs one long-lived TCP flow over a configurable bottleneck and writes
+// CSV traces of the congestion window W(t) and queue occupancy Q(t), plus an
+// ASCII rendering so the sawtooth is visible without plotting.
+//
+//   $ ./sawtooth_trace                # 10 Mb/s, RTT 92 ms, B = BDP
+//   $ ./sawtooth_trace 0.25          # B = BDP/4 (Figure 4, underbuffered)
+//   $ ./sawtooth_trace 2.0 traces/   # B = 2*BDP, CSVs into traces/
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "experiment/reporting.hpp"
+#include "net/dumbbell.hpp"
+#include "sim/simulation.hpp"
+#include "stats/time_series.hpp"
+#include "stats/utilization.hpp"
+#include "tcp/tcp_sink.hpp"
+#include "tcp/tcp_source.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbs;
+
+  const double buffer_multiple = argc > 1 ? std::atof(argv[1]) : 1.0;
+  const std::string out_dir = argc > 2 ? argv[2] : "";
+
+  sim::Simulation sim{1};
+  net::DumbbellConfig topo_cfg;
+  topo_cfg.num_leaves = 1;
+  topo_cfg.bottleneck_rate_bps = 10e6;
+  topo_cfg.bottleneck_delay = sim::SimTime::milliseconds(10);
+  topo_cfg.access_delays = {sim::SimTime::milliseconds(35)};  // RTT = 92 ms
+  const double bdp = 0.092 * 10e6 / 8000.0;                   // 115 packets
+  topo_cfg.buffer_packets =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(buffer_multiple * bdp + 0.5));
+  net::Dumbbell topo{sim, topo_cfg};
+
+  tcp::TcpSink sink{sim, topo.receiver(0), 1};
+  tcp::TcpSource source{sim, topo.sender(0), topo.receiver(0).id(), 1, tcp::TcpConfig{}};
+  source.start(sim::SimTime::zero());
+
+  // Let the slow-start transient die down, then trace 40 seconds.
+  sim.run_until(sim::SimTime::seconds(25));
+  stats::UtilizationMeter meter{sim, topo.bottleneck()};
+  meter.begin();
+  stats::PeriodicSampler window{sim, sim::SimTime::milliseconds(25),
+                                [&] { return source.cwnd(); }};
+  stats::PeriodicSampler queue{sim, sim::SimTime::milliseconds(25), [&] {
+    return static_cast<double>(topo.bottleneck().occupancy_packets());
+  }};
+  window.start(sim.now());
+  queue.start(sim.now());
+  sim.run_until(sim::SimTime::seconds(65));
+
+  std::printf("single TCP flow, 10 Mb/s bottleneck, RTT 92 ms, BDP = 115 pkts\n");
+  std::printf("buffer = %.2f x BDP = %lld pkts -> utilization %.2f%%\n\n", buffer_multiple,
+              static_cast<long long>(topo_cfg.buffer_packets), 100.0 * meter.utilization());
+
+  // ASCII strip chart, one row per 0.5 s.
+  const auto& w = window.series().points();
+  const auto& q = queue.series().points();
+  const double w_max = window.series().summary().max();
+  std::printf("%6s  %-40s  %-20s\n", "t(s)", "cwnd (# = packets)", "queue");
+  for (std::size_t i = 0; i < w.size(); i += 20) {
+    const auto bar = [](double v, double vmax, int width) {
+      const int n = vmax > 0 ? static_cast<int>(v / vmax * width + 0.5) : 0;
+      return std::string(static_cast<std::size_t>(std::clamp(n, 0, width)), '#');
+    };
+    std::printf("%6.1f  %-40s  %-20s\n", w[i].time.to_seconds(),
+                bar(w[i].value, w_max, 40).c_str(),
+                bar(q[i].value, static_cast<double>(topo_cfg.buffer_packets), 20).c_str());
+  }
+
+  if (!out_dir.empty()) {
+    experiment::write_file(out_dir + "/window.csv",
+                           "time_sec,cwnd_pkts\n" + window.series().to_csv());
+    experiment::write_file(out_dir + "/queue.csv",
+                           "time_sec,queue_pkts\n" + queue.series().to_csv());
+    std::printf("\nwrote %s/window.csv and %s/queue.csv\n", out_dir.c_str(), out_dir.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "core/batch_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "sim/random.hpp"
+
+namespace rbs::core {
+
+BatchQueueResult run_batch_queue(const BatchQueueConfig& config) {
+  assert(config.load > 0 && config.load < 1);
+  assert(!config.burst_sizes.empty());
+  assert(config.max_tracked >= 2);
+
+  double mean_burst = 0.0;
+  for (const auto b : config.burst_sizes) {
+    assert(b >= 1);
+    mean_burst += static_cast<double>(b);
+  }
+  mean_burst /= static_cast<double>(config.burst_sizes.size());
+
+  // Service time of one packet is the time unit, so a batch-arrival rate of
+  // rho/E[X] delivers offered load rho.
+  const double batch_rate = config.load / mean_burst;
+
+  sim::Rng rng{config.seed};
+  double workload = 0.0;  // unfinished work, in packet service times
+  double total_time = 0.0;
+  double busy_time = 0.0;
+  double workload_integral = 0.0;
+  std::vector<double> time_at_or_above(static_cast<std::size_t>(config.max_tracked), 0.0);
+
+  for (std::uint64_t i = 0; i < config.num_batches; ++i) {
+    const double gap = rng.exponential(1.0 / batch_rate);
+
+    // Drain phase: workload falls linearly from `workload` over `gap`.
+    const double drained = std::min(workload, gap);
+    busy_time += drained;
+    // Time with workload >= b while draining from w0 to w0-drained:
+    // min(drained, w0 - b) for b < w0.
+    const auto top = static_cast<std::int64_t>(
+        std::min(std::ceil(workload), static_cast<double>(config.max_tracked)));
+    for (std::int64_t b = 1; b <= top; ++b) {
+      const double above = std::min(drained, workload - static_cast<double>(b - 1));
+      if (above <= 0) break;
+      // tail[b-1] counts P(workload >= b-1); shift so tail[0] == 1.
+      time_at_or_above[static_cast<std::size_t>(b - 1)] += above;
+    }
+    // Integral of the trapezoid while draining plus zero afterwards.
+    workload_integral += drained * (workload - drained / 2.0);
+
+    workload = std::max(0.0, workload - gap);
+    total_time += gap;
+
+    // Batch arrival.
+    const auto pick = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(config.burst_sizes.size()) - 1));
+    workload += static_cast<double>(config.burst_sizes[pick]);
+  }
+
+  BatchQueueResult result;
+  result.tail.resize(time_at_or_above.size());
+  if (total_time > 0) {
+    for (std::size_t b = 0; b < time_at_or_above.size(); ++b) {
+      result.tail[b] = time_at_or_above[b] / total_time;
+    }
+    // P(workload >= 0) is 1 by definition.
+    if (!result.tail.empty()) result.tail[0] = 1.0;
+    result.mean_workload_packets = workload_integral / total_time;
+    result.observed_load = busy_time / total_time;
+  }
+  return result;
+}
+
+}  // namespace rbs::core

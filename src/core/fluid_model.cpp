@@ -1,0 +1,114 @@
+#include "core/fluid_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "stats/online_stats.hpp"
+
+namespace rbs::core {
+
+FluidResult run_fluid_model(const FluidConfig& config) {
+  assert(config.num_flows >= 1);
+  assert(config.rate_bps > 0 && config.packet_bytes > 0);
+
+  const auto n = static_cast<std::size_t>(config.num_flows);
+  const double capacity_pps =
+      config.rate_bps / (8.0 * static_cast<double>(config.packet_bytes));
+  const double buffer = static_cast<double>(config.buffer_packets);
+
+  sim::Rng rng{config.seed};
+
+  // Propagation RTTs.
+  std::vector<double> prop(n);
+  if (!config.rtts.empty()) {
+    assert(config.rtts.size() == n);
+    prop = config.rtts;
+  } else {
+    for (auto& r : prop) r = rng.uniform(config.rtt_min_sec, config.rtt_max_sec);
+  }
+  const double min_rtt = *std::min_element(prop.begin(), prop.end());
+  const double dt = std::max(1e-6, config.step_fraction * min_rtt);
+
+  // Start windows spread across the sawtooth range of a fair share.
+  std::vector<double> window(n);
+  std::vector<double> last_halve(n, -1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double fair =
+        (capacity_pps * prop[i] + buffer) / static_cast<double>(config.num_flows);
+    window[i] = std::max(1.0, fair * rng.uniform(0.55, 1.05));
+  }
+
+  double queue = 0.0;
+  double time = 0.0;
+  const double horizon = config.warmup_sec + config.measure_sec;
+
+  double delivered_pkts = 0.0;
+  double measured_time = 0.0;
+  stats::OnlineStats queue_stats;
+  stats::OnlineStats window_stats;
+  std::uint64_t loss_events = 0;
+
+  std::vector<double> rate(n);
+  while (time < horizon) {
+    const bool measuring = time >= config.warmup_sec;
+    const double q_delay = queue / capacity_pps;
+
+    double arrival = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double rtt = prop[i] + q_delay;
+      rate[i] = window[i] / rtt;
+      arrival += rate[i];
+      window[i] += dt / rtt;  // additive increase: +1 packet per RTT
+    }
+
+    const double served = queue > 0.0 ? capacity_pps : std::min(arrival, capacity_pps);
+    if (measuring) {
+      delivered_pkts += served * dt;
+      measured_time += dt;
+      queue_stats.add(queue);
+      double total_w = 0.0;
+      for (const double w : window) total_w += w;
+      window_stats.add(total_w);
+    }
+
+    queue += (arrival - capacity_pps) * dt;
+    if (queue < 0.0) queue = 0.0;
+    if (queue > buffer) {
+      // Overflow: attribute the excess to flows by rate share; a flow halves
+      // if at least one of its packets was hit, at most once per RTT.
+      const double overflow_pkts = queue - buffer;
+      queue = buffer;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double expected_losses = overflow_pkts * rate[i] / arrival;
+        const double hit_probability = 1.0 - std::exp(-expected_losses);
+        if (time - last_halve[i] > prop[i] + q_delay &&
+            rng.bernoulli(hit_probability)) {
+          window[i] = std::max(1.0, window[i] / 2.0);
+          last_halve[i] = time;
+          if (measuring) ++loss_events;
+        }
+      }
+    }
+    time += dt;
+  }
+
+  FluidResult result;
+  result.utilization =
+      measured_time > 0 ? delivered_pkts / (capacity_pps * measured_time) : 0.0;
+  result.mean_queue_packets = queue_stats.mean();
+  result.mean_total_window = window_stats.mean();
+  result.stddev_total_window = window_stats.stddev();
+  result.loss_events_per_flow_per_sec =
+      measured_time > 0
+          ? static_cast<double>(loss_events) /
+                (static_cast<double>(config.num_flows) * measured_time)
+          : 0.0;
+  return result;
+}
+
+double fluid_utilization(const FluidConfig& config) {
+  return run_fluid_model(config).utilization;
+}
+
+}  // namespace rbs::core

@@ -1,0 +1,117 @@
+#include "core/long_flow_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "stats/gaussian_fit.hpp"
+
+namespace rbs::core {
+
+namespace {
+
+/// Pipe capacity 2·T_p·C in packets.
+double pipe_packets(const LongFlowLink& link) noexcept {
+  return link.rtt_sec * link.rate_bps / (8.0 * static_cast<double>(link.packet_bytes));
+}
+
+/// E[(a − W)⁺] for W ~ N(mu, sigma).
+double expected_deficit(double a, double mu, double sigma) noexcept {
+  if (sigma <= 0) return std::max(0.0, a - mu);
+  const double z = (a - mu) / sigma;
+  const double phi = std::exp(-0.5 * z * z) / std::sqrt(2.0 * 3.14159265358979323846);
+  const double Phi = 0.5 * (1.0 + std::erf(z / std::sqrt(2.0)));
+  return (a - mu) * Phi + sigma * phi;
+}
+
+}  // namespace
+
+double mean_flow_window(const LongFlowLink& link, std::int64_t buffer_packets) noexcept {
+  assert(link.num_flows >= 1);
+  // In equilibrium the total outstanding data fills the pipe plus (on
+  // average) half the buffer; each flow holds a 1/n share.
+  const double total = pipe_packets(link) + static_cast<double>(buffer_packets) / 2.0;
+  return total / static_cast<double>(link.num_flows);
+}
+
+double aggregate_window_stddev(const LongFlowLink& link, std::int64_t buffer_packets) noexcept {
+  // A single AIMD sawtooth is uniform on [W_max/2, W_max]:
+  // sigma_i = W̄_i/√27. Independent flows add in variance, so the aggregate
+  // sigma is √n · W̄_i/√27, times the (calibratable) scale factor.
+  const double per_flow_sigma = mean_flow_window(link, buffer_packets) / std::sqrt(27.0);
+  return link.sigma_scale * per_flow_sigma * std::sqrt(static_cast<double>(link.num_flows));
+}
+
+double predicted_utilization(const LongFlowLink& link, std::int64_t buffer_packets) noexcept {
+  const double pipe = pipe_packets(link);
+  const double mu = pipe + static_cast<double>(buffer_packets) / 2.0;
+  const double sigma = aggregate_window_stddev(link, buffer_packets);
+  const double deficit = expected_deficit(pipe, mu, sigma);
+  return std::clamp(1.0 - deficit / pipe, 0.0, 1.0);
+}
+
+std::int64_t required_buffer_packets(const LongFlowLink& link,
+                                     double target_utilization) noexcept {
+  assert(target_utilization > 0 && target_utilization < 1.0 + 1e-12);
+  // predicted_utilization is monotone nondecreasing in B; bisect.
+  std::int64_t lo = 0;
+  std::int64_t hi = 1;
+  const std::int64_t cap = 1 << 24;
+  while (predicted_utilization(link, hi) < target_utilization && hi < cap) hi *= 2;
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (predicted_utilization(link, mid) >= target_utilization) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+double predicted_loss_rate(const LongFlowLink& link, std::int64_t buffer_packets) noexcept {
+  const double w = mean_flow_window(link, buffer_packets);
+  return 0.76 / (w * w);
+}
+
+double calibrate_sigma_scale(LongFlowLink link,
+                             const std::vector<UtilizationObservation>& observations) {
+  if (observations.empty()) return 1.0;
+
+  const auto squared_error = [&](double scale) {
+    link.sigma_scale = scale;
+    double err = 0.0;
+    for (const auto& obs : observations) {
+      const double predicted = predicted_utilization(link, obs.buffer_packets);
+      err += (predicted - obs.utilization) * (predicted - obs.utilization);
+    }
+    return err;
+  };
+
+  // Golden-section search: the error is unimodal in the scale for the
+  // monotone utilization curve this model produces.
+  constexpr double kPhi = 0.6180339887498949;
+  double lo = 0.5, hi = 20.0;
+  double a = hi - kPhi * (hi - lo);
+  double b = lo + kPhi * (hi - lo);
+  double fa = squared_error(a);
+  double fb = squared_error(b);
+  for (int iter = 0; iter < 80; ++iter) {
+    if (fa < fb) {
+      hi = b;
+      b = a;
+      fb = fa;
+      a = hi - kPhi * (hi - lo);
+      fa = squared_error(a);
+    } else {
+      lo = a;
+      a = b;
+      fa = fb;
+      b = lo + kPhi * (hi - lo);
+      fb = squared_error(b);
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace rbs::core

@@ -1,0 +1,73 @@
+// Gaussian model of n desynchronized long-lived TCP flows (§3).
+//
+// Each flow's congestion window follows an AIMD sawtooth, uniform between
+// W_max/2 and W_max over a cycle. With n desynchronized flows the aggregate
+// window ΣW_i is (by the CLT) approximately Gaussian with
+//   mean  μ = (3/4)(2T_p·C + B)       (the pipe plus buffer, at sawtooth mean)
+//   stdev σ = μ / (√27 · √n)          (uniform sawtooth: σ_i = W̄_i/√27)
+//
+// The bottleneck is idle exactly when the total outstanding data W falls
+// below the pipe capacity P = 2T_p·C, and the throughput shortfall is
+// proportional to the deficit, giving
+//   utilization(B) = 1 − E[(P − W)⁺] / P.
+// Buffer B enters through both μ (more buffer → larger windows) and the
+// overflow boundary. This reproduces the paper's qualitative "Model" column:
+// utilization climbs steeply to ~100% around B = RTT·C/√n and the required
+// buffer shrinks as 1/√n.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rbs::core {
+
+/// Inputs of the long-flow utilization model.
+struct LongFlowLink {
+  double rate_bps{155e6};
+  double rtt_sec{0.1};          ///< two-way propagation (2·T_p), no queueing
+  std::int64_t num_flows{100};  ///< concurrent long-lived TCP flows
+  std::int32_t packet_bytes{1000};
+  /// Multiplier on the theoretical aggregate-window stddev. 1.0 = the pure
+  /// CLT sawtooth value (W̄/√27 per flow); real traffic has extra
+  /// variability (slow-start restarts, timeouts, burst losses), so a
+  /// calibrated value — see calibrate_sigma_scale() — is typically 3–7.
+  double sigma_scale{1.0};
+};
+
+/// Predicted utilization (0..1] for a buffer of `buffer_packets`.
+[[nodiscard]] double predicted_utilization(const LongFlowLink& link,
+                                           std::int64_t buffer_packets) noexcept;
+
+/// Smallest buffer (packets) whose predicted utilization reaches
+/// `target_utilization`. Monotone in B, solved by bisection.
+[[nodiscard]] std::int64_t required_buffer_packets(const LongFlowLink& link,
+                                                   double target_utilization) noexcept;
+
+/// Mean per-flow window (packets) once the pipe and a buffer B are shared by
+/// n flows: W̄ = 3/4 · (2T_p·C + B) / n.
+[[nodiscard]] double mean_flow_window(const LongFlowLink& link,
+                                      std::int64_t buffer_packets) noexcept;
+
+/// Standard deviation of the *aggregate* window process under the model.
+[[nodiscard]] double aggregate_window_stddev(const LongFlowLink& link,
+                                             std::int64_t buffer_packets) noexcept;
+
+/// Loss rate implied by the model's mean window, via l = 0.76/W̄².
+[[nodiscard]] double predicted_loss_rate(const LongFlowLink& link,
+                                         std::int64_t buffer_packets) noexcept;
+
+/// One observed operating point for calibration.
+struct UtilizationObservation {
+  std::int64_t buffer_packets{0};
+  double utilization{0.0};  ///< measured (simulation or live), in (0, 1]
+};
+
+/// Fits `sigma_scale` so the model best matches the observations (least
+/// squares, solved by golden-section search over [0.5, 20]). Feed it one or
+/// two measured points — e.g. a quick run at half the intended buffer — and
+/// the model's utilization curve becomes quantitatively usable instead of
+/// just shape-correct. Returns 1.0 when `observations` is empty.
+[[nodiscard]] double calibrate_sigma_scale(
+    LongFlowLink link, const std::vector<UtilizationObservation>& observations);
+
+}  // namespace rbs::core

@@ -1,0 +1,45 @@
+#include "core/memory_model.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace rbs::core {
+
+MemoryDevice commodity_sram_2004() { return {"SRAM 36Mb", 36e6, 4.0, false}; }
+MemoryDevice commodity_dram_2004() { return {"DRAM 1Gb", 1e9, 50.0, false}; }
+MemoryDevice embedded_dram_2004() { return {"eDRAM 256Mb", 256e6, 15.0, true}; }
+
+double min_packet_time_ns(double rate_bps, std::int32_t min_packet_bytes) noexcept {
+  assert(rate_bps > 0);
+  return static_cast<double>(min_packet_bytes) * 8.0 / rate_bps * 1e9;
+}
+
+MemoryFeasibility evaluate_memory(const MemoryDevice& device, double buffer_bits,
+                                  double rate_bps, std::int32_t min_packet_bytes) {
+  assert(buffer_bits >= 0 && device.capacity_bits > 0);
+  MemoryFeasibility f;
+  f.device = device;
+  f.chips_required =
+      static_cast<std::int64_t>(std::ceil(buffer_bits / device.capacity_bits));
+  if (f.chips_required == 0) f.chips_required = 1;  // control state still needs one
+  f.packet_time_ns = min_packet_time_ns(rate_bps, min_packet_bytes);
+  f.access_time_ok = device.random_access_ns <= f.packet_time_ns;
+  f.single_chip_ok = device.on_chip && buffer_bits <= device.capacity_bits;
+  return f;
+}
+
+std::vector<MemoryFeasibility> evaluate_reference_memories(double buffer_bits, double rate_bps,
+                                                           std::int32_t min_packet_bytes) {
+  return {
+      evaluate_memory(commodity_sram_2004(), buffer_bits, rate_bps, min_packet_bytes),
+      evaluate_memory(commodity_dram_2004(), buffer_bits, rate_bps, min_packet_bytes),
+      evaluate_memory(embedded_dram_2004(), buffer_bits, rate_bps, min_packet_bytes),
+  };
+}
+
+double projected_dram_access_ns(int years_after_2004) noexcept {
+  assert(years_after_2004 >= 0);
+  return commodity_dram_2004().random_access_ns * std::pow(1.0 - 0.07, years_after_2004);
+}
+
+}  // namespace rbs::core

@@ -1,0 +1,60 @@
+// Router memory-technology feasibility model (§1.3).
+//
+// Captures the paper's argument for why buffer size drives router design:
+// large buffers force wide banks of slow off-chip DRAM, while √n-sized
+// buffers fit in on-chip SRAM or embedded DRAM. Device parameters default to
+// the paper's 2004 figures and are configurable for what-if studies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rbs::core {
+
+/// One memory device family.
+struct MemoryDevice {
+  std::string name;
+  double capacity_bits{0};        ///< per chip
+  double random_access_ns{0};     ///< worst-case access latency
+  bool on_chip{false};            ///< embedded in the packet processor
+};
+
+/// The paper's reference devices.
+[[nodiscard]] MemoryDevice commodity_sram_2004();   ///< 36 Mbit, ~4 ns
+[[nodiscard]] MemoryDevice commodity_dram_2004();   ///< 1 Gbit, ~50 ns
+[[nodiscard]] MemoryDevice embedded_dram_2004();    ///< 256 Mbit on-chip
+
+/// Result of checking one device family against a buffer requirement.
+struct MemoryFeasibility {
+  MemoryDevice device;
+  std::int64_t chips_required{0};
+  /// Shortest time between back-to-back minimum-size packets at line rate;
+  /// a device must complete an access within this budget.
+  double packet_time_ns{0};
+  /// True if a single device's access time meets the per-packet budget
+  /// (banking/interleaving aside — the paper's first-order argument).
+  bool access_time_ok{false};
+  /// True if the whole buffer fits in one on-chip device.
+  bool single_chip_ok{false};
+};
+
+/// Time between minimum-size packets: min_packet_bits / rate. The paper's
+/// example: 40-byte packets at 40 Gb/s → 8 ns.
+[[nodiscard]] double min_packet_time_ns(double rate_bps,
+                                        std::int32_t min_packet_bytes = 40) noexcept;
+
+/// Evaluates `device` for a buffer of `buffer_bits` on a `rate_bps` line.
+[[nodiscard]] MemoryFeasibility evaluate_memory(const MemoryDevice& device, double buffer_bits,
+                                                double rate_bps,
+                                                std::int32_t min_packet_bytes = 40);
+
+/// Evaluates the three reference devices at once.
+[[nodiscard]] std::vector<MemoryFeasibility> evaluate_reference_memories(
+    double buffer_bits, double rate_bps, std::int32_t min_packet_bytes = 40);
+
+/// DRAM access time projected `years` ahead of 2004 at the paper's quoted
+/// 7%/year improvement — the "problem gets worse" trend.
+[[nodiscard]] double projected_dram_access_ns(int years_after_2004) noexcept;
+
+}  // namespace rbs::core

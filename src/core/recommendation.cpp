@@ -1,0 +1,115 @@
+#include "core/recommendation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/sizing_rules.hpp"
+
+namespace rbs::core {
+
+namespace {
+
+/// The paper's reference short flow: 62 packets, never leaving slow start
+/// (bursts 2, 4, 8, 16, 32).
+std::vector<FlowLengthClass> default_short_mix() { return {{62, 1.0}}; }
+
+std::string format_bits(double bits) {
+  char buf[64];
+  if (bits >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f Gbit", bits / 1e9);
+  } else if (bits >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f Mbit", bits / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f kbit", bits / 1e3);
+  }
+  return buf;
+}
+
+}  // namespace
+
+BufferRecommendation recommend_buffer(const LinkProfile& link) {
+  BufferRecommendation rec;
+
+  rec.rule_of_thumb_pkts =
+      rule_of_thumb_packets(link.mean_rtt_sec, link.rate_bps, link.packet_bytes);
+  rec.sqrt_rule_pkts = sqrt_rule_packets(link.mean_rtt_sec, link.rate_bps,
+                                         std::max<std::int64_t>(link.num_long_flows, 1),
+                                         link.packet_bytes);
+
+  const auto mix = link.short_flow_mix.empty() ? default_short_mix() : link.short_flow_mix;
+  const BurstMoments bursts = burst_moments_for_mixture(mix);
+  rec.short_flow_floor_pkts = static_cast<std::int64_t>(std::ceil(
+      buffer_for_drop_probability(link.load, bursts, link.target_drop_probability)));
+
+  rec.recommended_pkts = std::max(rec.sqrt_rule_pkts, rec.short_flow_floor_pkts);
+  rec.recommended_bits =
+      static_cast<double>(rec.recommended_pkts) * 8.0 * link.packet_bytes;
+
+  const LongFlowLink model{link.rate_bps, link.mean_rtt_sec,
+                           std::max<std::int64_t>(link.num_long_flows, 1),
+                           link.packet_bytes};
+  rec.predicted_utilization = predicted_utilization(model, rec.recommended_pkts);
+  rec.buffer_reduction_vs_rule_of_thumb =
+      rec.rule_of_thumb_pkts > 0
+          ? 1.0 - static_cast<double>(rec.recommended_pkts) /
+                      static_cast<double>(rec.rule_of_thumb_pkts)
+          : 0.0;
+  rec.memory = evaluate_reference_memories(rec.recommended_bits, link.rate_bps);
+
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%s of buffering (%lld pkts) suffices for %lld long flows; "
+                "the rule of thumb would demand %lld pkts (%.1f%% more memory).",
+                format_bits(rec.recommended_bits).c_str(),
+                static_cast<long long>(rec.recommended_pkts),
+                static_cast<long long>(link.num_long_flows),
+                static_cast<long long>(rec.rule_of_thumb_pkts),
+                100.0 * (static_cast<double>(rec.rule_of_thumb_pkts) /
+                             std::max<double>(1.0, static_cast<double>(rec.recommended_pkts)) -
+                         1.0));
+  rec.rationale = buf;
+  return rec;
+}
+
+std::string to_report(const LinkProfile& link, const BufferRecommendation& rec) {
+  std::string out;
+  char buf[256];
+
+  std::snprintf(buf, sizeof buf, "Link: %.3g Gb/s, mean RTT %.0f ms, %lld long flows, load %.2f\n",
+                link.rate_bps / 1e9, link.mean_rtt_sec * 1e3,
+                static_cast<long long>(link.num_long_flows), link.load);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  rule of thumb  (RTT*C)   : %10lld pkts (%s)\n",
+                static_cast<long long>(rec.rule_of_thumb_pkts),
+                format_bits(static_cast<double>(rec.rule_of_thumb_pkts) * 8 * link.packet_bytes)
+                    .c_str());
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  sqrt rule      (RTT*C/sqrt(n)): %6lld pkts (%s)\n",
+                static_cast<long long>(rec.sqrt_rule_pkts),
+                format_bits(static_cast<double>(rec.sqrt_rule_pkts) * 8 * link.packet_bytes)
+                    .c_str());
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  short-flow floor (M/G/1)  : %8lld pkts\n",
+                static_cast<long long>(rec.short_flow_floor_pkts));
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  recommended               : %8lld pkts, predicted util %.2f%%\n",
+                static_cast<long long>(rec.recommended_pkts),
+                100.0 * rec.predicted_utilization);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  buffer reduction vs rule of thumb: %.1f%%\n",
+                100.0 * rec.buffer_reduction_vs_rule_of_thumb);
+  out += buf;
+  out += "  memory feasibility:\n";
+  for (const auto& m : rec.memory) {
+    std::snprintf(buf, sizeof buf, "    %-12s: %6lld chip(s), access %s (budget %.2f ns)%s\n",
+                  m.device.name.c_str(), static_cast<long long>(m.chips_required),
+                  m.access_time_ok ? "OK" : "TOO SLOW", m.packet_time_ns,
+                  m.single_chip_ok ? ", fits on-chip" : "");
+    out += buf;
+  }
+  out += "  " + rec.rationale + "\n";
+  return out;
+}
+
+}  // namespace rbs::core

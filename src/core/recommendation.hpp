@@ -1,0 +1,52 @@
+// One-stop buffer recommendation API — the library's headline entry point.
+//
+// Given a link's rate, mean flow RTT, and traffic profile, produces the
+// buffer the paper recommends alongside the rule-of-thumb it replaces, the
+// short-flow floor, the predicted utilization, and a memory-technology
+// feasibility summary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/long_flow_model.hpp"
+#include "core/memory_model.hpp"
+#include "core/short_flow_model.hpp"
+
+namespace rbs::core {
+
+/// Description of the link to provision.
+struct LinkProfile {
+  double rate_bps{2.5e9};
+  double mean_rtt_sec{0.25};       ///< average two-way propagation of flows
+  std::int64_t num_long_flows{10'000};
+  double load{0.8};                ///< offered load, for the short-flow floor
+  /// Flow-length mix used for the short-flow burst moments. Empty → the
+  /// paper's reference short flow (62 packets: bursts 2,4,8,16,32).
+  std::vector<FlowLengthClass> short_flow_mix{};
+  double target_drop_probability{0.025};  ///< short-flow tail target (Fig 8)
+  std::int32_t packet_bytes{1000};
+};
+
+/// The recommendation and everything needed to justify it.
+struct BufferRecommendation {
+  std::int64_t rule_of_thumb_pkts{0};   ///< B = RTT·C
+  std::int64_t sqrt_rule_pkts{0};       ///< B = RTT·C/√n
+  std::int64_t short_flow_floor_pkts{0};///< M/G/1 bound at the target drop prob.
+  /// max(sqrt rule, short-flow floor): buffers must satisfy both regimes.
+  std::int64_t recommended_pkts{0};
+  double recommended_bits{0};
+  double predicted_utilization{0};      ///< long-flow model at the recommendation
+  double buffer_reduction_vs_rule_of_thumb{0};  ///< e.g. 0.99 = "remove 99%"
+  std::vector<MemoryFeasibility> memory{};      ///< SRAM/DRAM/eDRAM check
+  std::string rationale;                ///< human-readable summary
+};
+
+/// Computes the recommendation for `link`.
+[[nodiscard]] BufferRecommendation recommend_buffer(const LinkProfile& link);
+
+/// Renders a short multi-line report (used by examples and tools).
+[[nodiscard]] std::string to_report(const LinkProfile& link, const BufferRecommendation& rec);
+
+}  // namespace rbs::core

@@ -1,0 +1,90 @@
+#include "core/short_flow_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rbs::core {
+
+std::vector<std::int64_t> slow_start_bursts(std::int64_t flow_packets,
+                                            std::int64_t initial_window,
+                                            std::int64_t max_window) {
+  assert(flow_packets >= 0 && initial_window >= 1 && max_window >= initial_window);
+  std::vector<std::int64_t> bursts;
+  std::int64_t remaining = flow_packets;
+  std::int64_t window = initial_window;
+  while (remaining > 0) {
+    const std::int64_t burst = std::min(window, remaining);
+    bursts.push_back(burst);
+    remaining -= burst;
+    window = std::min(window * 2, max_window);
+  }
+  return bursts;
+}
+
+BurstMoments burst_moments_for_flow(std::int64_t flow_packets, std::int64_t initial_window,
+                                    std::int64_t max_window) {
+  return burst_moments_for_mixture({{flow_packets, 1.0}}, initial_window, max_window);
+}
+
+BurstMoments burst_moments_for_mixture(const std::vector<FlowLengthClass>& mix,
+                                       std::int64_t initial_window,
+                                       std::int64_t max_window) {
+  double weight_sum = 0.0;
+  double burst_count = 0.0;  // expected bursts per flow (weighted)
+  double sum_x = 0.0;
+  double sum_x2 = 0.0;
+  for (const auto& cls : mix) {
+    weight_sum += cls.weight;
+    for (const std::int64_t b : slow_start_bursts(cls.packets, initial_window, max_window)) {
+      const auto x = static_cast<double>(b);
+      burst_count += cls.weight;
+      sum_x += cls.weight * x;
+      sum_x2 += cls.weight * x * x;
+    }
+  }
+  assert(weight_sum > 0);
+  BurstMoments m;
+  if (burst_count > 0) {
+    m.mean = sum_x / burst_count;
+    m.mean_square = sum_x2 / burst_count;
+  }
+  return m;
+}
+
+double queue_tail_probability(double rho, const BurstMoments& bursts,
+                              double buffer_packets) noexcept {
+  assert(rho > 0 && rho < 1);
+  assert(bursts.mean > 0);
+  const double exponent = -buffer_packets * (2.0 * (1.0 - rho) / rho) / bursts.ratio();
+  return std::exp(exponent);
+}
+
+double buffer_for_drop_probability(double rho, const BurstMoments& bursts,
+                                   double drop_probability) noexcept {
+  assert(rho > 0 && rho < 1);
+  assert(drop_probability > 0 && drop_probability < 1);
+  return std::log(1.0 / drop_probability) * (rho / (2.0 * (1.0 - rho))) * bursts.ratio();
+}
+
+double md1_buffer_for_drop_probability(double rho, double drop_probability) noexcept {
+  BurstMoments unit{1.0, 1.0};
+  return buffer_for_drop_probability(rho, unit, drop_probability);
+}
+
+double expected_queue_packets(double rho, const BurstMoments& bursts) noexcept {
+  assert(rho > 0 && rho < 1);
+  return (rho / (2.0 * (1.0 - rho))) * bursts.ratio();
+}
+
+double predicted_afct_seconds(std::int64_t flow_packets, double rtt_sec, double rate_bps,
+                              std::int32_t packet_bytes, double rho,
+                              const BurstMoments& bursts, std::int64_t initial_window) {
+  const double t_pkt = 8.0 * static_cast<double>(packet_bytes) / rate_bps;
+  const auto rounds =
+      static_cast<double>(slow_start_bursts(flow_packets, initial_window).size());
+  const double queueing = expected_queue_packets(rho, bursts) * t_pkt;
+  return rounds * (rtt_sec + queueing) + static_cast<double>(flow_packets) * t_pkt;
+}
+
+}  // namespace rbs::core

@@ -1,0 +1,78 @@
+// Buffer sizing for short (slow-start-only) flows — §4 of the paper.
+//
+// Short flows arrive as a Poisson process and each deposits slow-start
+// bursts of 2, 4, 8, ... packets at the bottleneck. Modelling the queue as
+// M/G/1 with batch ("burst") arrivals, effective-bandwidth theory gives the
+// paper's bound on the queue-length tail:
+//
+//   P(Q ≥ b) = exp( −b · 2(1−ρ)/ρ · E[X]/E[X²] )
+//
+// where ρ is the link load and X the burst-size distribution. The striking
+// consequence: the buffer needed for a target drop probability depends only
+// on ρ and the burst moments — not on line rate, RTT, or flow count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rbs::core {
+
+/// First and second moments of the slow-start burst-size distribution.
+struct BurstMoments {
+  double mean{0.0};         ///< E[X] in packets
+  double mean_square{0.0};  ///< E[X²] in packets²
+
+  /// E[X²]/E[X] — the only distribution statistic the bound needs.
+  [[nodiscard]] double ratio() const noexcept { return mean_square / mean; }
+};
+
+/// Bursts a slow-start flow of `flow_packets` emits with initial window
+/// `initial_window`: iw, 2·iw, 4·iw, ... capped by `max_window` and by the
+/// remaining flow length (e.g. 62 packets → 2,4,8,16,32).
+[[nodiscard]] std::vector<std::int64_t> slow_start_bursts(std::int64_t flow_packets,
+                                                          std::int64_t initial_window = 2,
+                                                          std::int64_t max_window = 1 << 20);
+
+/// Burst moments for a single deterministic flow length.
+[[nodiscard]] BurstMoments burst_moments_for_flow(std::int64_t flow_packets,
+                                                  std::int64_t initial_window = 2,
+                                                  std::int64_t max_window = 1 << 20);
+
+/// Burst moments for a mixture of flow lengths with weights (probabilities;
+/// they are normalized internally). Every burst of every flow contributes.
+struct FlowLengthClass {
+  std::int64_t packets{1};
+  double weight{1.0};
+};
+[[nodiscard]] BurstMoments burst_moments_for_mixture(const std::vector<FlowLengthClass>& mix,
+                                                     std::int64_t initial_window = 2,
+                                                     std::int64_t max_window = 1 << 20);
+
+/// The paper's tail bound: P(Q ≥ b) for load `rho` in (0,1).
+[[nodiscard]] double queue_tail_probability(double rho, const BurstMoments& bursts,
+                                            double buffer_packets) noexcept;
+
+/// Smallest buffer (packets) with P(Q ≥ B) ≤ `drop_probability`:
+///   B = ln(1/p) · ρ/(2(1−ρ)) · E[X²]/E[X].
+[[nodiscard]] double buffer_for_drop_probability(double rho, const BurstMoments& bursts,
+                                                 double drop_probability) noexcept;
+
+/// M/D/1 variant for fully smoothed (per-packet Poisson) arrivals: X ≡ 1.
+[[nodiscard]] double md1_buffer_for_drop_probability(double rho,
+                                                     double drop_probability) noexcept;
+
+/// Expected queueing delay (in packets of service time) seen by an arrival,
+/// from M/G/1 batch-arrival waiting time: E[Q] ≈ ρ/(2(1−ρ)) · E[X²]/E[X].
+[[nodiscard]] double expected_queue_packets(double rho, const BurstMoments& bursts) noexcept;
+
+/// Model of a short flow's completion time (§5.1.2): slow-start doubling
+/// takes ~log2 rounds of one RTT each, plus serialization and average
+/// queueing delay per round.
+///   AFCT ≈ (rounds) · (RTT + E[Q]·t_pkt) + flow · t_pkt
+/// where t_pkt is the bottleneck packet service time.
+[[nodiscard]] double predicted_afct_seconds(std::int64_t flow_packets, double rtt_sec,
+                                            double rate_bps, std::int32_t packet_bytes,
+                                            double rho, const BurstMoments& bursts,
+                                            std::int64_t initial_window = 2);
+
+}  // namespace rbs::core

@@ -1,0 +1,46 @@
+#include "core/sizing_rules.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace rbs::core {
+
+double bandwidth_delay_product_bits(double rtt_sec, double rate_bps) noexcept {
+  return rtt_sec * rate_bps;
+}
+
+std::int64_t rule_of_thumb_packets(double rtt_sec, double rate_bps,
+                                   std::int32_t packet_bytes) noexcept {
+  const double bits = bandwidth_delay_product_bits(rtt_sec, rate_bps);
+  return static_cast<std::int64_t>(
+      std::ceil(bits / (8.0 * static_cast<double>(packet_bytes))));
+}
+
+double sqrt_rule_bits(double rtt_sec, double rate_bps, std::int64_t n) noexcept {
+  assert(n >= 1);
+  return bandwidth_delay_product_bits(rtt_sec, rate_bps) / std::sqrt(static_cast<double>(n));
+}
+
+std::int64_t sqrt_rule_packets(double rtt_sec, double rate_bps, std::int64_t n,
+                               std::int32_t packet_bytes) noexcept {
+  const double bits = sqrt_rule_bits(rtt_sec, rate_bps, n);
+  return static_cast<std::int64_t>(
+      std::ceil(bits / (8.0 * static_cast<double>(packet_bytes))));
+}
+
+double buffer_reduction_fraction(std::int64_t n) noexcept {
+  assert(n >= 1);
+  return 1.0 - 1.0 / std::sqrt(static_cast<double>(n));
+}
+
+double loss_rate_for_window(double mean_window_packets) noexcept {
+  assert(mean_window_packets > 0);
+  return 0.76 / (mean_window_packets * mean_window_packets);
+}
+
+double window_for_loss_rate(double loss_rate) noexcept {
+  assert(loss_rate > 0);
+  return std::sqrt(0.76 / loss_rate);
+}
+
+}  // namespace rbs::core

@@ -1,0 +1,42 @@
+// The buffer-sizing rules the paper studies.
+//
+//   * Rule of thumb (Villamizar & Song '94):  B = RTT × C
+//   * The paper's result (Appenzeller et al.): B = RTT × C / √n
+//
+// Both are expressed here in bits and in packets. RTT is the average
+// round-trip *propagation* time of flows through the link (2·T_p in the
+// paper's notation), C the bottleneck capacity, and n the number of
+// concurrent long-lived TCP flows.
+#pragma once
+
+#include <cstdint>
+
+namespace rbs::core {
+
+/// Bandwidth-delay product in bits: RTT × C.
+[[nodiscard]] double bandwidth_delay_product_bits(double rtt_sec, double rate_bps) noexcept;
+
+/// Rule-of-thumb buffer in packets of `packet_bytes`: ceil(RTT × C / packet).
+[[nodiscard]] std::int64_t rule_of_thumb_packets(double rtt_sec, double rate_bps,
+                                                 std::int32_t packet_bytes) noexcept;
+
+/// The paper's buffer in bits: RTT × C / √n. Requires n >= 1.
+[[nodiscard]] double sqrt_rule_bits(double rtt_sec, double rate_bps, std::int64_t n) noexcept;
+
+/// The paper's buffer in packets: ceil(RTT × C / (√n · packet)).
+[[nodiscard]] std::int64_t sqrt_rule_packets(double rtt_sec, double rate_bps, std::int64_t n,
+                                             std::int32_t packet_bytes) noexcept;
+
+/// Buffer reduction factor relative to the rule of thumb: 1 − 1/√n
+/// (the "remove 99% of buffers" headline when n = 10,000).
+[[nodiscard]] double buffer_reduction_fraction(std::int64_t n) noexcept;
+
+/// TCP loss-rate model the paper cites (§5.1.1, after [16] Morris):
+/// l ≈ 0.76 / W² for average window W packets.
+[[nodiscard]] double loss_rate_for_window(double mean_window_packets) noexcept;
+
+/// Inverse of the above: the average per-flow window that a loss rate
+/// implies, W = sqrt(0.76 / l).
+[[nodiscard]] double window_for_loss_rate(double loss_rate) noexcept;
+
+}  // namespace rbs::core

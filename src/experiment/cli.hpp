@@ -1,0 +1,47 @@
+// Minimal command-line handling shared by the bench binaries.
+//
+// Every bench supports:
+//   --full       paper-scale parameters (slower, closer to published setup)
+//   --csv DIR    also write machine-readable CSV into DIR
+//   --seed N     override the base RNG seed
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace rbs::experiment {
+
+struct CliOptions {
+  bool full{false};
+  std::string csv_dir;  ///< empty = no CSV output
+  std::uint64_t seed{1};
+
+  [[nodiscard]] bool want_csv() const noexcept { return !csv_dir.empty(); }
+};
+
+/// Parses the common flags; exits with a usage message on unknown arguments.
+inline CliOptions parse_cli(int argc, char** argv, const char* description) {
+  CliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--full") == 0) {
+      opts.full = true;
+    } else if (std::strcmp(arg, "--csv") == 0 && i + 1 < argc) {
+      opts.csv_dir = argv[++i];
+    } else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
+      opts.seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      std::printf("%s\n\nusage: %s [--full] [--csv DIR] [--seed N]\n", description, argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (try --help)\n", arg);
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+}  // namespace rbs::experiment

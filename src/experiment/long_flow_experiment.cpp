@@ -1,0 +1,149 @@
+#include "experiment/long_flow_experiment.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "sim/simulation.hpp"
+#include "stats/delay_recorder.hpp"
+#include "stats/online_stats.hpp"
+#include "stats/utilization.hpp"
+#include "traffic/long_flow_workload.hpp"
+
+namespace rbs::experiment {
+
+LongFlowExperimentResult run_long_flow_experiment(const LongFlowExperimentConfig& config) {
+  assert(config.num_flows >= 1);
+  sim::Simulation sim{config.seed};
+
+  net::DumbbellConfig topo_cfg;
+  topo_cfg.num_leaves = config.num_flows;
+  topo_cfg.bottleneck_rate_bps = config.bottleneck_rate_bps;
+  topo_cfg.bottleneck_delay = config.bottleneck_delay;
+  topo_cfg.buffer_packets = config.buffer_packets;
+  topo_cfg.access_rate_bps = config.access_rate_bps;
+  topo_cfg.access_delay_min = config.access_delay_min;
+  topo_cfg.access_delay_max = config.access_delay_max;
+  topo_cfg.discipline = config.discipline;
+  topo_cfg.red = config.red;
+  net::Dumbbell topo{sim, topo_cfg};
+
+  traffic::LongFlowWorkloadConfig wl_cfg;
+  wl_cfg.tcp = config.tcp;
+  wl_cfg.sink = config.sink;
+  wl_cfg.start_stagger = std::min(config.warmup, sim::SimTime::seconds(5));
+  traffic::LongFlowWorkload workload{sim, topo, wl_cfg};
+
+  // Warm up, then reset counters and measure.
+  sim.run_until(config.warmup);
+  topo.bottleneck().reset_stats();
+  const tcp::TcpSourceStats tcp_at_warmup = workload.total_stats();
+  stats::UtilizationMeter meter{sim, topo.bottleneck()};
+  meter.begin();
+
+  // Samplers during the measurement window.
+  stats::OnlineStats queue_occupancy;
+  const auto queue_interval = sim::SimTime::milliseconds(10);
+  stats::PeriodicSampler queue_sampler{sim, queue_interval, [&] {
+    const auto q = static_cast<double>(topo.bottleneck().occupancy_packets());
+    queue_occupancy.add(q);
+    return q;
+  }};
+  queue_sampler.start(sim.now() + queue_interval);
+
+  LongFlowExperimentResult result;
+
+  stats::DelayRecorder delays;
+  std::vector<std::int64_t> una_at_start;
+  if (config.record_delays) {
+    topo.bottleneck().on_queue_delay = [&delays](sim::SimTime d) { delays.record(d); };
+    una_at_start.reserve(static_cast<std::size_t>(config.num_flows));
+    for (int i = 0; i < config.num_flows; ++i) {
+      una_at_start.push_back(workload.source(i).snd_una());
+    }
+  }
+
+  std::unique_ptr<stats::PeriodicSampler> cwnd_sampler;
+  if (config.cwnd_sample_interval > sim::SimTime::zero()) {
+    if (config.sample_per_flow_cwnd) {
+      result.per_flow_cwnd.assign(static_cast<std::size_t>(config.num_flows), {});
+    }
+    cwnd_sampler = std::make_unique<stats::PeriodicSampler>(
+        sim, config.cwnd_sample_interval, [&workload, &result, per_flow = config.sample_per_flow_cwnd] {
+          if (per_flow) {
+            const auto snapshot = workload.cwnd_snapshot();
+            for (std::size_t i = 0; i < snapshot.size(); ++i) {
+              result.per_flow_cwnd[i].push_back(snapshot[i]);
+            }
+          }
+          return workload.total_cwnd();
+        });
+    cwnd_sampler->start(sim.now() + config.cwnd_sample_interval);
+  }
+
+  sim.run_until(config.warmup + config.measure);
+
+  result.utilization = meter.utilization();
+  const auto& qstats = topo.bottleneck().queue().stats();
+  // Everything offered to the link either got delivered, is still queued, or
+  // was dropped (the in-service packet is a ±1 rounding).
+  const auto offered = topo.bottleneck().stats().packets_delivered +
+                       static_cast<std::uint64_t>(topo.bottleneck().queue().size_packets()) +
+                       qstats.dropped_packets;
+  result.loss_rate = offered > 0 ? static_cast<double>(qstats.dropped_packets) /
+                                       static_cast<double>(offered)
+                                 : 0.0;
+  result.bottleneck_drops = qstats.dropped_packets;
+  result.mean_queue_packets = queue_occupancy.mean();
+  result.mean_rtt_sec = topo.mean_rtt().to_seconds();
+  result.bdp_packets = topo.bdp_packets(config.tcp.segment_bytes);
+  // Report TCP counters over the measurement window only, consistent with
+  // the link/queue statistics.
+  result.tcp_stats = workload.total_stats();
+  result.tcp_stats.data_packets_sent -= tcp_at_warmup.data_packets_sent;
+  result.tcp_stats.retransmissions -= tcp_at_warmup.retransmissions;
+  result.tcp_stats.fast_retransmits -= tcp_at_warmup.fast_retransmits;
+  result.tcp_stats.timeouts -= tcp_at_warmup.timeouts;
+  result.tcp_stats.acks_received -= tcp_at_warmup.acks_received;
+  result.tcp_stats.dup_acks_received -= tcp_at_warmup.dup_acks_received;
+  result.tcp_stats.ecn_reductions -= tcp_at_warmup.ecn_reductions;
+  if (cwnd_sampler) result.total_cwnd = std::move(cwnd_sampler->series());
+
+  if (config.record_delays) {
+    result.delay_mean_sec = delays.mean_seconds();
+    result.delay_p50_sec = delays.quantile_seconds(0.50);
+    result.delay_p99_sec = delays.quantile_seconds(0.99);
+    std::vector<double> goodput;
+    goodput.reserve(una_at_start.size());
+    for (int i = 0; i < config.num_flows; ++i) {
+      goodput.push_back(static_cast<double>(workload.source(i).snd_una() -
+                                            una_at_start[static_cast<std::size_t>(i)]));
+    }
+    result.fairness = stats::jain_fairness_index(goodput);
+  }
+  return result;
+}
+
+std::int64_t min_buffer_for_utilization(LongFlowExperimentConfig config,
+                                        double target_utilization, std::int64_t lo,
+                                        std::int64_t hi) {
+  assert(lo >= 1 && hi >= lo);
+  auto measure = [&](std::int64_t buffer) {
+    config.buffer_packets = buffer;
+    return run_long_flow_experiment(config).utilization;
+  };
+
+  if (measure(hi) < target_utilization) return hi;  // unreachable within range
+
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (measure(mid) >= target_utilization) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace rbs::experiment

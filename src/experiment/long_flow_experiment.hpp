@@ -1,0 +1,86 @@
+// Canonical long-lived-flow experiment: n TCP flows through one bottleneck,
+// measure utilization / loss / queue occupancy after warm-up.
+//
+// This is the engine behind Figure 7, the Figure 10 table, and the
+// synchronization ablation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/dumbbell.hpp"
+#include "stats/time_series.hpp"
+#include "tcp/tcp_sink.hpp"
+#include "tcp/tcp_source.hpp"
+
+namespace rbs::experiment {
+
+struct LongFlowExperimentConfig {
+  int num_flows{100};
+  std::int64_t buffer_packets{100};
+
+  double bottleneck_rate_bps{155e6};  ///< OC3
+  sim::SimTime bottleneck_delay{sim::SimTime::milliseconds(10)};
+  /// Sender-side access delay spread; mean RTT ≈ 2*(mean access + bottleneck
+  /// + receiver). Defaults give the paper's ~80 ms average RTT.
+  sim::SimTime access_delay_min{sim::SimTime::milliseconds(5)};
+  sim::SimTime access_delay_max{sim::SimTime::milliseconds(53)};
+  double access_rate_bps{1e9};
+
+  net::QueueDiscipline discipline{net::QueueDiscipline::kDropTail};
+  net::RedConfig red{};  ///< used when discipline == kRed
+
+  tcp::TcpConfig tcp{};
+  tcp::TcpSinkConfig sink{};
+  sim::SimTime warmup{sim::SimTime::seconds(20)};
+  sim::SimTime measure{sim::SimTime::seconds(40)};
+  std::uint64_t seed{1};
+
+  /// When > 0, samples the aggregate (and per-flow) congestion windows at
+  /// this interval during the measurement phase.
+  sim::SimTime cwnd_sample_interval{};
+  bool sample_per_flow_cwnd{false};
+
+  /// Record per-packet bottleneck delay percentiles and per-flow fairness.
+  bool record_delays{false};
+};
+
+struct LongFlowExperimentResult {
+  double utilization{0.0};
+  /// Bottleneck drops / data packets offered to the bottleneck queue.
+  double loss_rate{0.0};
+  double mean_queue_packets{0.0};
+  double mean_rtt_sec{0.0};          ///< propagation-only mean RTT of the flows
+  double bdp_packets{0.0};           ///< RTT × C in packets of tcp.segment_bytes
+  std::uint64_t bottleneck_drops{0};
+  tcp::TcpSourceStats tcp_stats{};
+
+  /// Aggregate window W(t) samples (empty unless requested).
+  stats::TimeSeries total_cwnd;
+  /// Per-flow window series, one inner vector per flow (empty unless
+  /// requested).
+  std::vector<std::vector<double>> per_flow_cwnd;
+
+  /// Bottleneck per-packet delay (queueing + serialization), seconds; only
+  /// filled when record_delays is set.
+  double delay_mean_sec{0.0};
+  double delay_p50_sec{0.0};
+  double delay_p99_sec{0.0};
+  /// Jain fairness index of per-flow goodput over the measurement window;
+  /// only filled when record_delays is set.
+  double fairness{0.0};
+};
+
+/// Builds the dumbbell, runs warm-up + measurement, and reports.
+[[nodiscard]] LongFlowExperimentResult run_long_flow_experiment(
+    const LongFlowExperimentConfig& config);
+
+/// Smallest buffer (packets) achieving `target_utilization`, by bisection
+/// over fresh simulation runs in [lo, hi]. Utilization is noisy, so the
+/// result is the smallest probed buffer whose measured utilization met the
+/// target while its predecessor missed it.
+[[nodiscard]] std::int64_t min_buffer_for_utilization(LongFlowExperimentConfig config,
+                                                      double target_utilization,
+                                                      std::int64_t lo, std::int64_t hi);
+
+}  // namespace rbs::experiment

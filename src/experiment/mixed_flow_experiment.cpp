@@ -1,0 +1,132 @@
+#include "experiment/mixed_flow_experiment.hpp"
+
+#include <cassert>
+#include <memory>
+
+#include "sim/simulation.hpp"
+#include "stats/online_stats.hpp"
+#include "stats/time_series.hpp"
+#include "stats/utilization.hpp"
+#include "traffic/long_flow_workload.hpp"
+#include "traffic/short_flow_workload.hpp"
+#include "traffic/udp_source.hpp"
+
+namespace rbs::experiment {
+
+namespace {
+constexpr net::FlowId kFirstLongFlow = 1;
+constexpr net::FlowId kFirstShortFlow = 1'000'000;
+constexpr net::FlowId kUdpFlow = 900'000;
+}  // namespace
+
+MixedFlowExperimentResult run_mixed_flow_experiment(const MixedFlowExperimentConfig& config) {
+  assert(config.num_long_flows >= 0 && config.num_short_leaves >= 1);
+  sim::Simulation sim{config.seed};
+
+  net::DumbbellConfig topo_cfg;
+  topo_cfg.num_leaves = config.num_long_flows + config.num_short_leaves;
+  topo_cfg.bottleneck_rate_bps = config.bottleneck_rate_bps;
+  topo_cfg.bottleneck_delay = config.bottleneck_delay;
+  topo_cfg.buffer_packets = config.buffer_packets;
+  topo_cfg.access_rate_bps = config.access_rate_bps;
+  topo_cfg.access_delay_min = config.access_delay_min;
+  topo_cfg.access_delay_max = config.access_delay_max;
+  net::Dumbbell topo{sim, topo_cfg};
+
+  // Long-lived flows on the first `num_long_flows` leaves. The workload
+  // spans all leaves of a topology, so build it over a trimmed view: we
+  // instead launch long flows manually on the leading leaves.
+  std::vector<std::unique_ptr<tcp::TcpSink>> long_sinks;
+  std::vector<std::unique_ptr<tcp::TcpSource>> long_sources;
+  {
+    auto rng = sim.rng().fork(0x10F6);
+    for (int i = 0; i < config.num_long_flows; ++i) {
+      const net::FlowId flow = kFirstLongFlow + static_cast<net::FlowId>(i);
+      long_sinks.push_back(std::make_unique<tcp::TcpSink>(sim, topo.receiver(i), flow));
+      long_sources.push_back(std::make_unique<tcp::TcpSource>(
+          sim, topo.sender(i), topo.receiver(i).id(), flow, config.tcp, -1));
+      long_sources.back()->start(
+          sim::SimTime::picoseconds(rng.uniform_int(0, sim::SimTime::seconds(5).ps())));
+    }
+  }
+
+  // Short flows on the remaining leaves.
+  std::unique_ptr<traffic::FlowSizeDistribution> sizes;
+  if (config.short_sizing == ShortFlowSizing::kPareto) {
+    sizes = std::make_unique<traffic::ParetoFlowSize>(config.pareto_alpha,
+                                                      config.pareto_min_packets,
+                                                      config.pareto_max_packets);
+  } else {
+    sizes = std::make_unique<traffic::FixedFlowSize>(config.short_flow_packets);
+  }
+  traffic::ShortFlowWorkloadConfig sf_cfg;
+  sf_cfg.tcp = config.tcp;
+  sf_cfg.first_flow_id = kFirstShortFlow;
+  sf_cfg.leaf_offset = config.num_long_flows;
+  sf_cfg.leaf_count = config.num_short_leaves;
+  sf_cfg.arrivals_per_sec = traffic::arrival_rate_for_load(
+      config.short_flow_load, config.bottleneck_rate_bps, sizes->mean(),
+      config.tcp.segment_bytes);
+  traffic::ShortFlowWorkload short_flows{sim, topo, *sizes, sf_cfg};
+
+  // Optional non-reactive UDP share, Poisson packet gaps.
+  std::unique_ptr<traffic::UdpSource> udp;
+  std::unique_ptr<traffic::UdpSink> udp_sink;
+  if (config.udp_load > 0) {
+    const int leaf = config.num_long_flows;  // first short leaf
+    traffic::UdpSourceConfig udp_cfg;
+    udp_cfg.rate_bps = config.udp_load * config.bottleneck_rate_bps;
+    udp_cfg.packet_bytes = config.tcp.segment_bytes;
+    udp_cfg.poisson_gaps = true;
+    udp_sink = std::make_unique<traffic::UdpSink>(topo.receiver(leaf), kUdpFlow);
+    udp = std::make_unique<traffic::UdpSource>(sim, topo.sender(leaf),
+                                               topo.receiver(leaf).id(), kUdpFlow, udp_cfg);
+    udp->start(sim::SimTime::zero());
+  }
+
+  sim.run_until(config.warmup);
+  topo.bottleneck().reset_stats();
+  const auto measure_start = sim.now();
+  stats::UtilizationMeter meter{sim, topo.bottleneck()};
+  meter.begin();
+
+  std::uint64_t long_flow_bits = 0;
+  topo.bottleneck().on_delivered = [&](const net::Packet& p) {
+    if (p.kind == net::PacketKind::kTcpData && p.flow < kUdpFlow) {
+      long_flow_bits += static_cast<std::uint64_t>(p.size_bytes) * 8;
+    }
+  };
+
+  stats::OnlineStats queue_occupancy;
+  const auto queue_interval = sim::SimTime::milliseconds(10);
+  stats::PeriodicSampler queue_sampler{sim, queue_interval, [&] {
+    const auto q = static_cast<double>(topo.bottleneck().occupancy_packets());
+    queue_occupancy.add(q);
+    return q;
+  }};
+  queue_sampler.start(sim.now() + queue_interval);
+
+  sim.run_until(config.warmup + config.measure);
+
+  MixedFlowExperimentResult result;
+  result.utilization = meter.utilization();
+  const auto afct = short_flows.completions().afct_filtered(measure_start);
+  result.afct_seconds = afct.mean();
+  result.short_flows_completed = afct.count();
+  result.mean_queue_packets = queue_occupancy.mean();
+  result.mean_rtt_sec = topo.mean_rtt().to_seconds();
+  result.bdp_packets = topo.bdp_packets(config.tcp.segment_bytes);
+  result.long_flow_throughput_bps =
+      static_cast<double>(long_flow_bits) / config.measure.to_seconds();
+
+  const auto& qstats = topo.bottleneck().queue().stats();
+  const auto offered = topo.bottleneck().stats().packets_delivered +
+                       static_cast<std::uint64_t>(topo.bottleneck().queue().size_packets()) +
+                       qstats.dropped_packets;
+  result.drop_probability = offered > 0 ? static_cast<double>(qstats.dropped_packets) /
+                                              static_cast<double>(offered)
+                                        : 0.0;
+  return result;
+}
+
+}  // namespace rbs::experiment

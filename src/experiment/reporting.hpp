@@ -1,0 +1,49 @@
+// Table and CSV output helpers shared by the bench binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rbs::experiment {
+
+/// Accumulates rows and renders an aligned plain-text table (paper-style).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header separator.
+  [[nodiscard]] std::string render() const;
+
+  /// Comma-separated form (header + rows) for machine consumption.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper returning std::string.
+[[nodiscard]] std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Writes `content` to `path`, creating parent directories as needed.
+/// Returns false (and prints to stderr) on failure.
+bool write_file(const std::string& path, const std::string& content);
+
+/// One curve of a gnuplot script: which CSV columns to plot (1-based).
+struct PlotSeries {
+  std::string title;
+  int x_column{1};
+  int y_column{2};
+};
+
+/// Writes `<dir>/<name>.gp`, a self-contained gnuplot script that renders
+/// `<name>.png` from `<name>.csv` (assumed to live in the same directory
+/// with a one-line header). Usage: `gnuplot <name>.gp`.
+bool write_gnuplot_script(const std::string& dir, const std::string& name,
+                          const std::string& title, const std::string& xlabel,
+                          const std::string& ylabel, const std::vector<PlotSeries>& series,
+                          bool logscale_y = false);
+
+}  // namespace rbs::experiment

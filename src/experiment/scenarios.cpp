@@ -1,0 +1,89 @@
+#include "experiment/scenarios.hpp"
+
+namespace rbs::experiment::scenarios {
+
+core::LinkProfile oc48_backbone() {
+  core::LinkProfile link;
+  link.rate_bps = 2.5e9;
+  link.mean_rtt_sec = 0.250;
+  link.num_long_flows = 10'000;
+  link.load = 0.8;
+  return link;
+}
+
+core::LinkProfile oc192_backbone() {
+  core::LinkProfile link;
+  link.rate_bps = 10e9;
+  link.mean_rtt_sec = 0.250;
+  link.num_long_flows = 50'000;
+  link.load = 0.8;
+  return link;
+}
+
+core::LinkProfile linecard_40g() {
+  core::LinkProfile link;
+  link.rate_bps = 40e9;
+  link.mean_rtt_sec = 0.250;
+  link.num_long_flows = 100'000;
+  link.load = 0.8;
+  return link;
+}
+
+LongFlowExperimentConfig single_flow(std::int64_t buffer_packets) {
+  LongFlowExperimentConfig cfg;
+  cfg.num_flows = 1;
+  cfg.buffer_packets = buffer_packets;
+  cfg.bottleneck_rate_bps = 10e6;
+  cfg.bottleneck_delay = sim::SimTime::milliseconds(10);
+  cfg.access_delay_min = cfg.access_delay_max = sim::SimTime::milliseconds(35);
+  // A single flow's congestion-avoidance ramp is slow at 10 Mb/s; give the
+  // transient time to die before measuring.
+  cfg.warmup = sim::SimTime::seconds(25);
+  cfg.measure = sim::SimTime::seconds(40);
+  return cfg;
+}
+
+LongFlowExperimentConfig oc3_lab(int flows, std::int64_t buffer_packets) {
+  LongFlowExperimentConfig cfg;
+  cfg.num_flows = flows;
+  cfg.buffer_packets = buffer_packets;
+  cfg.bottleneck_rate_bps = 155e6;
+  cfg.warmup = sim::SimTime::seconds(10);
+  cfg.measure = sim::SimTime::seconds(20);
+  return cfg;  // default delays give the paper's ~80 ms mean RTT
+}
+
+ShortFlowExperimentConfig fig8_short_flows(double rate_bps, std::int64_t buffer_packets) {
+  ShortFlowExperimentConfig cfg;
+  cfg.bottleneck_rate_bps = rate_bps;
+  cfg.buffer_packets = buffer_packets;
+  cfg.load = 0.8;
+  cfg.flow_packets = 62;  // bursts 2,4,8,16,32
+  cfg.warmup = sim::SimTime::seconds(5);
+  cfg.measure = sim::SimTime::seconds(30);
+  return cfg;
+}
+
+MixedFlowExperimentConfig production_network(std::int64_t buffer_packets) {
+  MixedFlowExperimentConfig cfg;
+  cfg.bottleneck_rate_bps = 20e6;
+  cfg.buffer_packets = buffer_packets;
+  cfg.num_long_flows = 45;
+  cfg.short_flow_load = 0.10;
+  cfg.short_sizing = ShortFlowSizing::kPareto;
+  cfg.pareto_alpha = 1.2;
+  cfg.pareto_min_packets = 2;
+  cfg.pareto_max_packets = 2000;
+  cfg.udp_load = 0.03;
+  cfg.num_short_leaves = 40;
+  cfg.access_delay_min = sim::SimTime::milliseconds(10);
+  cfg.access_delay_max = sim::SimTime::milliseconds(112);  // max RTT ~250 ms
+  cfg.warmup = sim::SimTime::seconds(15);
+  cfg.measure = sim::SimTime::seconds(40);
+  return cfg;
+}
+
+std::int64_t oc3_bdp_packets() { return 1550; }          // 80 ms * 155 Mb/s
+std::int64_t single_flow_bdp_packets() { return 115; }   // 92 ms * 10 Mb/s
+
+}  // namespace rbs::experiment::scenarios

@@ -1,0 +1,53 @@
+// Canned scenarios: the paper's experimental setups as ready-made configs.
+//
+// Downstream users get the exact environments behind each figure/table with
+// one call, instead of re-deriving rates, delays, and flow counts from the
+// paper's prose. Every scenario is pinned by unit tests.
+#pragma once
+
+#include <cstdint>
+
+#include "core/recommendation.hpp"
+#include "experiment/long_flow_experiment.hpp"
+#include "experiment/mixed_flow_experiment.hpp"
+#include "experiment/short_flow_experiment.hpp"
+
+namespace rbs::experiment::scenarios {
+
+// --- Link profiles for the analytic models (core::recommend_buffer) -------
+
+/// The paper's recurring backbone example: 2.5 Gb/s (OC48), 250 ms RTT,
+/// 10,000 long flows — "could reduce its buffers by 99%".
+[[nodiscard]] core::LinkProfile oc48_backbone();
+
+/// The abstract's headline: 10 Gb/s carrying 50,000 flows — "requires only
+/// 10Mbits of buffering".
+[[nodiscard]] core::LinkProfile oc192_backbone();
+
+/// The 40 Gb/s linecard of §1.3 (the memory-technology argument).
+[[nodiscard]] core::LinkProfile linecard_40g();
+
+// --- Simulation scenarios ---------------------------------------------------
+
+/// Figure 1/2–5 topology: one TCP flow, 10 Mb/s bottleneck, RTT 92 ms
+/// (BDP = 115 packets), with the given buffer.
+[[nodiscard]] LongFlowExperimentConfig single_flow(std::int64_t buffer_packets);
+
+/// §5.1.1 / Figure 10 setup: OC3 POS, mean RTT 80 ms, n long-lived flows.
+[[nodiscard]] LongFlowExperimentConfig oc3_lab(int flows, std::int64_t buffer_packets);
+
+/// Figure 8 setup: slow-start-only flows, Poisson arrivals, load 0.8,
+/// 62-packet transfers, on a bottleneck of the given rate.
+[[nodiscard]] ShortFlowExperimentConfig fig8_short_flows(double rate_bps,
+                                                         std::int64_t buffer_packets);
+
+/// Figure 11 setup: the Stanford production network — 20 Mb/s, mixed
+/// long/short/UDP traffic, max RTT ~250 ms.
+[[nodiscard]] MixedFlowExperimentConfig production_network(std::int64_t buffer_packets);
+
+/// The bandwidth-delay product (in 1000-byte packets) of a scenario built by
+/// oc3_lab()/single_flow(), for sizing buffers in multiples.
+[[nodiscard]] std::int64_t oc3_bdp_packets();
+[[nodiscard]] std::int64_t single_flow_bdp_packets();
+
+}  // namespace rbs::experiment::scenarios

@@ -1,0 +1,113 @@
+#include "experiment/short_flow_experiment.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/simulation.hpp"
+#include "stats/online_stats.hpp"
+#include "stats/time_series.hpp"
+#include "stats/utilization.hpp"
+#include "traffic/short_flow_workload.hpp"
+
+namespace rbs::experiment {
+
+ShortFlowExperimentResult run_short_flow_experiment(const ShortFlowExperimentConfig& config) {
+  sim::Simulation sim{config.seed};
+
+  net::DumbbellConfig topo_cfg;
+  topo_cfg.num_leaves = config.num_leaves;
+  topo_cfg.bottleneck_rate_bps = config.bottleneck_rate_bps;
+  topo_cfg.bottleneck_delay = config.bottleneck_delay;
+  topo_cfg.buffer_packets = config.buffer_packets;
+  topo_cfg.access_rate_bps = config.access_rate_bps;
+  topo_cfg.access_delay_min = config.access_delay_min;
+  topo_cfg.access_delay_max = config.access_delay_max;
+  net::Dumbbell topo{sim, topo_cfg};
+
+  traffic::FixedFlowSize sizes{config.flow_packets};
+  traffic::ShortFlowWorkloadConfig wl_cfg;
+  wl_cfg.tcp = config.tcp;
+  wl_cfg.arrivals_per_sec = traffic::arrival_rate_for_load(
+      config.load, config.bottleneck_rate_bps, sizes.mean(), config.tcp.segment_bytes);
+  traffic::ShortFlowWorkload workload{sim, topo, sizes, wl_cfg};
+
+  sim.run_until(config.warmup);
+  topo.bottleneck().reset_stats();
+  // Only flows that start inside the measurement window count toward AFCT.
+  const auto measure_start = sim.now();
+  stats::UtilizationMeter meter{sim, topo.bottleneck()};
+  meter.begin();
+
+  // Sample the queue once per packet service time — fine-grained enough to
+  // catch burst-scale excursions.
+  const double pkt_time_sec =
+      8.0 * static_cast<double>(config.tcp.segment_bytes) / config.bottleneck_rate_bps;
+  const auto sample_every = sim::SimTime::from_seconds(std::max(pkt_time_sec, 1e-6));
+  std::vector<std::uint64_t> occupancy_counts;  // index = occupancy in packets
+  std::uint64_t occupancy_samples = 0;
+  stats::OnlineStats queue_occupancy;
+  stats::PeriodicSampler queue_sampler{sim, sample_every, [&] {
+    const auto q = topo.bottleneck().occupancy_packets();
+    if (static_cast<std::size_t>(q) >= occupancy_counts.size()) {
+      occupancy_counts.resize(static_cast<std::size_t>(q) + 1, 0);
+    }
+    ++occupancy_counts[static_cast<std::size_t>(q)];
+    ++occupancy_samples;
+    queue_occupancy.add(static_cast<double>(q));
+    return static_cast<double>(q);
+  }};
+  queue_sampler.start(sim.now() + sample_every);
+
+  sim.run_until(config.warmup + config.measure);
+
+  ShortFlowExperimentResult result;
+  const auto afct = workload.completions().afct_filtered(measure_start);
+  result.afct_seconds = afct.mean();
+  result.flows_completed = afct.count();
+  result.utilization = meter.utilization();
+  result.mean_queue_packets = queue_occupancy.mean();
+  result.mean_rtt_sec = topo.mean_rtt().to_seconds();
+
+  const auto& qstats = topo.bottleneck().queue().stats();
+  const auto offered = topo.bottleneck().stats().packets_delivered +
+                       static_cast<std::uint64_t>(topo.bottleneck().queue().size_packets()) +
+                       qstats.dropped_packets;
+  result.drop_probability = offered > 0 ? static_cast<double>(qstats.dropped_packets) /
+                                              static_cast<double>(offered)
+                                        : 0.0;
+
+  // Survival function P(Q >= b) from the occupancy census.
+  if (occupancy_samples > 0) {
+    result.queue_tail.resize(occupancy_counts.size() + 1, 0.0);
+    double above = 0.0;
+    for (std::size_t b = occupancy_counts.size(); b-- > 0;) {
+      above += static_cast<double>(occupancy_counts[b]);
+      result.queue_tail[b] = above / static_cast<double>(occupancy_samples);
+    }
+  }
+  return result;
+}
+
+std::int64_t min_buffer_for_afct(ShortFlowExperimentConfig config, double baseline_afct_sec,
+                                 double afct_penalty, std::int64_t lo, std::int64_t hi) {
+  assert(lo >= 1 && hi >= lo && baseline_afct_sec > 0);
+  const double threshold = baseline_afct_sec * (1.0 + afct_penalty);
+  auto acceptable = [&](std::int64_t buffer) {
+    config.buffer_packets = buffer;
+    const auto r = run_short_flow_experiment(config);
+    return r.afct_seconds <= threshold;
+  };
+
+  if (!acceptable(hi)) return hi;
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (acceptable(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace rbs::experiment

@@ -1,0 +1,62 @@
+// Short-flow experiment: Poisson arrivals of slow-start flows through one
+// bottleneck; measures AFCT, drop probability, and the queue-length tail.
+//
+// Engine behind Figure 8 and the short-flow half of Figure 9.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/dumbbell.hpp"
+#include "stats/histogram.hpp"
+#include "tcp/tcp_source.hpp"
+#include "traffic/flow_size.hpp"
+
+namespace rbs::experiment {
+
+struct ShortFlowExperimentConfig {
+  double bottleneck_rate_bps{80e6};
+  sim::SimTime bottleneck_delay{sim::SimTime::milliseconds(20)};
+  std::int64_t buffer_packets{500};
+  double load{0.8};
+
+  /// Flow length distribution; the paper's reference is fixed 62-packet
+  /// flows (bursts 2,4,8,16,32).
+  std::int64_t flow_packets{62};
+
+  /// Access links are faster than the bottleneck (the paper's worst case is
+  /// infinitely fast access; 10× is effectively that).
+  double access_rate_bps{1e9};
+  sim::SimTime access_delay_min{sim::SimTime::milliseconds(2)};
+  sim::SimTime access_delay_max{sim::SimTime::milliseconds(30)};
+  int num_leaves{50};
+
+  tcp::TcpConfig tcp{};
+  sim::SimTime warmup{sim::SimTime::seconds(5)};
+  sim::SimTime measure{sim::SimTime::seconds(40)};
+  std::uint64_t seed{1};
+};
+
+struct ShortFlowExperimentResult {
+  double afct_seconds{0.0};
+  std::uint64_t flows_completed{0};
+  double drop_probability{0.0};  ///< bottleneck packet drop fraction
+  double utilization{0.0};
+  double mean_queue_packets{0.0};
+  /// Empirical queue-length survival function: P(Q >= b) for b = index,
+  /// sampled every packet-service-time during measurement.
+  std::vector<double> queue_tail;
+  double mean_rtt_sec{0.0};
+};
+
+[[nodiscard]] ShortFlowExperimentResult run_short_flow_experiment(
+    const ShortFlowExperimentConfig& config);
+
+/// Smallest buffer whose AFCT is within `afct_penalty` (e.g. 0.125 = +12.5%)
+/// of the given baseline AFCT (measured with an effectively infinite
+/// buffer). Bisection over fresh runs.
+[[nodiscard]] std::int64_t min_buffer_for_afct(ShortFlowExperimentConfig config,
+                                               double baseline_afct_sec, double afct_penalty,
+                                               std::int64_t lo, std::int64_t hi);
+
+}  // namespace rbs::experiment

@@ -1,0 +1,40 @@
+#include "net/drop_tail_queue.hpp"
+
+#include <cassert>
+
+namespace rbs::net {
+
+DropTailQueue::DropTailQueue(std::int64_t limit_packets, std::int64_t limit_bytes)
+    : limit_{limit_packets}, limit_bytes_{limit_bytes} {
+  assert(limit_packets >= 0 && limit_bytes >= 0);
+}
+
+bool DropTailQueue::enqueue(const Packet& p) {
+  if (static_cast<std::int64_t>(fifo_.size()) >= limit_ ||
+      (limit_bytes_ > 0 && bytes_ + p.size_bytes > limit_bytes_)) {
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += static_cast<std::uint64_t>(p.size_bytes);
+    return false;
+  }
+  fifo_.push_back(p);
+  bytes_ += p.size_bytes;
+  ++stats_.enqueued_packets;
+  stats_.enqueued_bytes += static_cast<std::uint64_t>(p.size_bytes);
+  return true;
+}
+
+std::optional<Packet> DropTailQueue::dequeue() {
+  if (fifo_.empty()) return std::nullopt;
+  Packet p = fifo_.front();
+  fifo_.pop_front();
+  bytes_ -= p.size_bytes;
+  ++stats_.dequeued_packets;
+  return p;
+}
+
+void DropTailQueue::set_limit_packets(std::int64_t limit) {
+  assert(limit >= 0);
+  limit_ = limit;
+}
+
+}  // namespace rbs::net

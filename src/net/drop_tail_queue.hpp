@@ -1,0 +1,39 @@
+// Drop-tail FIFO queue — the discipline the paper's routers use.
+#pragma once
+
+#include <deque>
+
+#include "net/queue.hpp"
+
+namespace rbs::net {
+
+/// FIFO queue that drops arriving packets once `limit` packets (or,
+/// optionally, `limit_bytes` bytes) are queued.
+class DropTailQueue final : public Queue {
+ public:
+  /// `limit_packets` is the buffer size B in packets (the unit used
+  /// throughout the paper). `limit_bytes` adds a byte ceiling as real
+  /// interface queues have; 0 disables it.
+  explicit DropTailQueue(std::int64_t limit_packets, std::int64_t limit_bytes = 0);
+
+  bool enqueue(const Packet& p) override;
+  std::optional<Packet> dequeue() override;
+
+  [[nodiscard]] std::int64_t size_packets() const noexcept override {
+    return static_cast<std::int64_t>(fifo_.size());
+  }
+  [[nodiscard]] std::int64_t size_bytes() const noexcept override { return bytes_; }
+  [[nodiscard]] std::int64_t limit_packets() const noexcept override { return limit_; }
+  void set_limit_packets(std::int64_t limit) override;
+
+  [[nodiscard]] std::int64_t limit_bytes() const noexcept { return limit_bytes_; }
+  void set_limit_bytes(std::int64_t limit_bytes) noexcept { limit_bytes_ = limit_bytes; }
+
+ private:
+  std::int64_t limit_;
+  std::int64_t limit_bytes_;
+  std::int64_t bytes_{0};
+  std::deque<Packet> fifo_;
+};
+
+}  // namespace rbs::net

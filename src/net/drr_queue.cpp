@@ -1,0 +1,94 @@
+#include "net/drr_queue.hpp"
+
+#include <cassert>
+
+namespace rbs::net {
+
+DrrQueue::DrrQueue(std::int64_t limit_packets, std::int64_t quantum_bytes)
+    : limit_{limit_packets}, quantum_{quantum_bytes} {
+  assert(limit_packets >= 0 && quantum_bytes >= 1);
+}
+
+bool DrrQueue::enqueue(const Packet& p) {
+  if (total_packets_ >= limit_) {
+    // Longest-queue drop: evict from the flow hogging the pool.
+    auto longest = flows_.end();
+    for (auto it = flows_.begin(); it != flows_.end(); ++it) {
+      if (longest == flows_.end() ||
+          it->second.fifo.size() > longest->second.fifo.size()) {
+        longest = it;
+      }
+    }
+    if (longest == flows_.end() || longest->first == p.flow) {
+      // Nothing to evict, or the arrival itself belongs to the hog.
+      ++stats_.dropped_packets;
+      stats_.dropped_bytes += static_cast<std::uint64_t>(p.size_bytes);
+      return false;
+    }
+    const Packet& victim = longest->second.fifo.back();
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += static_cast<std::uint64_t>(victim.size_bytes);
+    total_bytes_ -= victim.size_bytes;
+    --total_packets_;
+    longest->second.fifo.pop_back();
+    if (longest->second.fifo.empty()) {
+      active_.remove(longest->first);
+      flows_.erase(longest);
+    }
+  }
+  auto [it, inserted] = flows_.try_emplace(p.flow);
+  if (inserted || it->second.fifo.empty()) {
+    // Newly backlogged flow joins the end of the round with a fresh deficit.
+    if (inserted) it->second.deficit = 0;
+    active_.push_back(p.flow);
+  }
+  it->second.fifo.push_back(p);
+  ++total_packets_;
+  total_bytes_ += p.size_bytes;
+  ++stats_.enqueued_packets;
+  stats_.enqueued_bytes += static_cast<std::uint64_t>(p.size_bytes);
+  return true;
+}
+
+std::optional<Packet> DrrQueue::dequeue() {
+  // Every pass over the round adds a quantum to each backlogged flow, so a
+  // serveable head packet appears within ceil(max_packet/quantum) rotations;
+  // the loop always terminates while the queue is non-empty.
+  while (!active_.empty()) {
+    const FlowId flow = active_.front();
+    auto it = flows_.find(flow);
+    assert(it != flows_.end() && !it->second.fifo.empty());
+    FlowState& state = it->second;
+
+    if (state.deficit < state.fifo.front().size_bytes) {
+      // Not enough credit: refill and move to the back of the round.
+      state.deficit += quantum_;
+      active_.pop_front();
+      active_.push_back(flow);
+      continue;
+    }
+
+    Packet p = state.fifo.front();
+    state.fifo.pop_front();
+    state.deficit -= p.size_bytes;
+    --total_packets_;
+    total_bytes_ -= p.size_bytes;
+    ++stats_.dequeued_packets;
+
+    if (state.fifo.empty()) {
+      // Flow leaves the round; per DRR it forfeits its remaining deficit.
+      state.deficit = 0;
+      active_.pop_front();
+      flows_.erase(it);
+    }
+    return p;
+  }
+  return std::nullopt;
+}
+
+void DrrQueue::set_limit_packets(std::int64_t limit) {
+  assert(limit >= 0);
+  limit_ = limit;
+}
+
+}  // namespace rbs::net

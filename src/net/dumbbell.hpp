@@ -1,0 +1,103 @@
+// Dumbbell topology — the paper's experimental setup (Figure 1, generalized
+// to many senders).
+//
+//   sender_0 ---access--- \                          / ---access--- receiver_0
+//   sender_1 ---access--- left_router ==bottleneck== right_router --- receiver_1
+//   ...                   /                          \ ...
+//
+// Each sender/receiver pair ("leaf") has its own access links with a
+// per-leaf propagation delay, which spreads round-trip times and
+// desynchronizes flows — the mechanism the paper relies on in §3. The
+// bottleneck queue is the router buffer under study; every other queue is
+// provisioned large enough never to drop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/drop_tail_queue.hpp"
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/red_queue.hpp"
+#include "sim/simulation.hpp"
+
+namespace rbs::net {
+
+enum class QueueDiscipline : std::uint8_t { kDropTail, kRed, kDrr };
+
+struct DumbbellConfig {
+  int num_leaves{1};
+
+  double bottleneck_rate_bps{155e6};      ///< OC3 by default
+  sim::SimTime bottleneck_delay{sim::SimTime::milliseconds(10)};  ///< one-way
+  std::int64_t buffer_packets{100};       ///< the router buffer B under study
+
+  double access_rate_bps{1e9};            ///< per-leaf, both sides
+  /// One-way access propagation delay range; each leaf draws uniformly from
+  /// [min, max] unless `access_delays` supplies explicit values. Applied on
+  /// the sender side only (receiver side uses `receiver_delay`), so
+  /// RTT_i = 2*(access_delay_i + bottleneck_delay + receiver_delay).
+  sim::SimTime access_delay_min{sim::SimTime::milliseconds(5)};
+  sim::SimTime access_delay_max{sim::SimTime::milliseconds(35)};
+  sim::SimTime receiver_delay{sim::SimTime::milliseconds(1)};
+  std::vector<sim::SimTime> access_delays;  ///< optional explicit per-leaf delays
+
+  QueueDiscipline discipline{QueueDiscipline::kDropTail};
+  RedConfig red{};
+
+  /// Buffering for uncongested links (access links); sized to never drop.
+  std::int64_t uncongested_buffer_packets{1'000'000};
+
+  /// Buffer of the reverse bottleneck direction. Defaults to "never drops";
+  /// set a finite value to study two-way congestion (ACK compression).
+  std::int64_t reverse_buffer_packets{1'000'000};
+};
+
+/// Builds and owns all nodes and links of a dumbbell.
+class Dumbbell {
+ public:
+  Dumbbell(sim::Simulation& sim, DumbbellConfig config);
+
+  [[nodiscard]] int num_leaves() const noexcept { return config_.num_leaves; }
+  [[nodiscard]] Host& sender(int i) noexcept { return *senders_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] Host& receiver(int i) noexcept {
+    return *receivers_.at(static_cast<std::size_t>(i));
+  }
+
+  /// The congested direction (left → right): its queue is the buffer under
+  /// study.
+  [[nodiscard]] Link& bottleneck() noexcept { return *forward_bottleneck_; }
+  [[nodiscard]] Link& reverse_bottleneck() noexcept { return *reverse_bottleneck_; }
+
+  /// Two-way propagation delay (zero queueing) for leaf `i`.
+  [[nodiscard]] sim::SimTime rtt(int i) const;
+
+  /// Mean two-way propagation delay over all leaves.
+  [[nodiscard]] sim::SimTime mean_rtt() const;
+
+  /// Bandwidth-delay product of the bottleneck in packets of
+  /// `packet_bytes`, using the mean propagation RTT — the paper's
+  /// RTT × C.
+  [[nodiscard]] double bdp_packets(std::int32_t packet_bytes) const;
+
+  [[nodiscard]] const DumbbellConfig& config() const noexcept { return config_; }
+
+ private:
+  std::unique_ptr<Queue> make_bottleneck_queue();
+  Link& add_link(std::string name, Link::Config cfg, PacketSink& dst, std::int64_t buffer);
+
+  sim::Simulation& sim_;
+  DumbbellConfig config_;
+  std::vector<sim::SimTime> leaf_delays_;
+
+  std::unique_ptr<Router> left_router_;
+  std::unique_ptr<Router> right_router_;
+  std::vector<std::unique_ptr<Host>> senders_;
+  std::vector<std::unique_ptr<Host>> receivers_;
+  std::vector<std::unique_ptr<Link>> links_;
+  Link* forward_bottleneck_{nullptr};
+  Link* reverse_bottleneck_{nullptr};
+};
+
+}  // namespace rbs::net

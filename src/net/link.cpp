@@ -1,0 +1,55 @@
+#include "net/link.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rbs::net {
+
+Link::Link(sim::Simulation& sim, std::string name, Config config, std::unique_ptr<Queue> queue,
+           PacketSink& downstream)
+    : sim_{sim},
+      name_{std::move(name)},
+      config_{config},
+      queue_{std::move(queue)},
+      downstream_{downstream} {
+  assert(config_.rate_bps > 0);
+  assert(queue_ != nullptr);
+}
+
+void Link::receive(const Packet& p) {
+  Packet stamped = p;
+  stamped.hop_arrival = sim_.now();
+  if (!busy_) {
+    start_transmission(stamped);
+    return;
+  }
+  if (!queue_->enqueue(stamped) && on_drop) on_drop(stamped);
+}
+
+void Link::start_transmission(const Packet& p) {
+  busy_ = true;
+  const sim::SimTime tx =
+      sim::transmission_time(static_cast<std::int64_t>(p.size_bytes) * 8, config_.rate_bps);
+  sim_.after(tx, [this, p, tx] {
+    stats_.busy_time += tx;
+    finish_transmission(p);
+  });
+}
+
+void Link::finish_transmission(const Packet& p) {
+  ++stats_.packets_delivered;
+  stats_.bits_delivered += static_cast<std::uint64_t>(p.size_bytes) * 8;
+  if (on_delivered) on_delivered(p);
+  if (on_queue_delay) on_queue_delay(sim_.now() - p.hop_arrival);
+
+  // Hand the packet to propagation; it no longer occupies the transmitter.
+  sim_.after(config_.propagation, [this, p] { downstream_.receive(p); });
+
+  if (auto next = queue_->dequeue()) {
+    start_transmission(*next);
+  } else {
+    busy_ = false;
+  }
+}
+
+}  // namespace rbs::net

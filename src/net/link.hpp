@@ -1,0 +1,87 @@
+// Unidirectional point-to-point link with an output buffer.
+//
+// A Link models the output port of the upstream device: packets offered to it
+// are serialized at the link rate, one at a time; packets arriving while the
+// link is busy wait in the attached Queue (or are dropped by its policy).
+// After serialization a packet propagates for the configured delay and is
+// delivered to the downstream sink. As in ns-2, the packet in service has
+// left the queue, so a B-packet queue buffers B packets beyond the one on
+// the wire.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "sim/simulation.hpp"
+
+namespace rbs::net {
+
+/// Counters a Link accumulates; the basis of utilization measurement.
+struct LinkStats {
+  std::uint64_t packets_delivered{0};  ///< finished serialization
+  std::uint64_t bits_delivered{0};
+  sim::SimTime busy_time{};  ///< total time spent serializing
+};
+
+/// One direction of a point-to-point link.
+class Link final : public PacketSink {
+ public:
+  struct Config {
+    double rate_bps{1e9};
+    sim::SimTime propagation{};
+  };
+
+  /// `queue` buffers packets while the link is busy; `downstream` receives
+  /// them after serialization + propagation. `downstream` must outlive the
+  /// link.
+  Link(sim::Simulation& sim, std::string name, Config config, std::unique_ptr<Queue> queue,
+       PacketSink& downstream);
+
+  /// Offers a packet for transmission (possibly queueing or dropping it).
+  void receive(const Packet& p) override;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] double rate_bps() const noexcept { return config_.rate_bps; }
+  [[nodiscard]] sim::SimTime propagation() const noexcept { return config_.propagation; }
+  [[nodiscard]] Queue& queue() noexcept { return *queue_; }
+  [[nodiscard]] const Queue& queue() const noexcept { return *queue_; }
+  [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] bool busy() const noexcept { return busy_; }
+
+  /// Queue occupancy including the packet in service, in packets — the value
+  /// plotted as Q(t) in the paper's figures.
+  [[nodiscard]] std::int64_t occupancy_packets() const noexcept {
+    return queue_->size_packets() + (busy_ ? 1 : 0);
+  }
+
+  void reset_stats() noexcept {
+    stats_ = LinkStats{};
+    queue_->reset_stats();
+  }
+
+  /// Observation hooks (may be empty). `on_delivered` fires when a packet
+  /// finishes serialization; `on_drop` when the queue rejects one;
+  /// `on_queue_delay` reports each delivered packet's time at this hop
+  /// (queueing + serialization).
+  std::function<void(const Packet&)> on_delivered;
+  std::function<void(const Packet&)> on_drop;
+  std::function<void(sim::SimTime)> on_queue_delay;
+
+ private:
+  void start_transmission(const Packet& p);
+  void finish_transmission(const Packet& p);
+
+  sim::Simulation& sim_;
+  std::string name_;
+  Config config_;
+  std::unique_ptr<Queue> queue_;
+  PacketSink& downstream_;
+  bool busy_{false};
+  LinkStats stats_;
+};
+
+}  // namespace rbs::net

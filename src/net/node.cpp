@@ -1,0 +1,45 @@
+#include "net/node.hpp"
+
+#include <cassert>
+
+namespace rbs::net {
+
+void Host::register_agent(FlowId flow, Agent& agent) {
+  const auto [it, inserted] = agents_.emplace(flow, &agent);
+  assert(inserted && "flow already has an agent on this host");
+  (void)it;
+  (void)inserted;
+}
+
+void Host::unregister_agent(FlowId flow) noexcept { agents_.erase(flow); }
+
+void Host::send(const Packet& p) {
+  assert(uplink_ != nullptr && "host has no uplink attached");
+  uplink_->receive(p);
+}
+
+void Host::receive(const Packet& p) {
+  const auto it = agents_.find(p.flow);
+  if (it == agents_.end()) {
+    ++unclaimed_;
+    return;
+  }
+  it->second->on_packet(p);
+}
+
+void Router::add_route(NodeId dst, PacketSink& next_hop) { routes_[dst] = &next_hop; }
+
+void Router::receive(const Packet& p) {
+  const auto it = routes_.find(p.dst);
+  if (it != routes_.end()) {
+    it->second->receive(p);
+    return;
+  }
+  if (default_route_ != nullptr) {
+    default_route_->receive(p);
+    return;
+  }
+  ++unroutable_;
+}
+
+}  // namespace rbs::net

@@ -1,0 +1,60 @@
+#include "net/packet_tracer.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace rbs::net {
+
+void PacketTracer::attach(Link& link) {
+  const std::string name = link.name();
+
+  auto prev_delivered = std::move(link.on_delivered);
+  link.on_delivered = [this, name, prev = std::move(prev_delivered)](const Packet& p) {
+    if (prev) prev(p);
+    record(Event::kDeliver, name, p);
+  };
+
+  auto prev_drop = std::move(link.on_drop);
+  link.on_drop = [this, name, prev = std::move(prev_drop)](const Packet& p) {
+    if (prev) prev(p);
+    record(Event::kDrop, name, p);
+  };
+}
+
+void PacketTracer::record(Event event, const std::string& link, const Packet& p) {
+  if (!flows_.empty() && !flows_.contains(p.flow)) return;
+  if (records_.size() >= max_records_) {
+    ++overflow_;
+    return;
+  }
+  records_.push_back(
+      {sim_.now(), event, link, p.flow, p.seq, p.ack, p.kind, p.size_bytes, p.retransmit});
+}
+
+std::vector<PacketTracer::Record> PacketTracer::records_for_flow(FlowId flow) const {
+  std::vector<Record> out;
+  for (const auto& r : records_) {
+    if (r.flow == flow) out.push_back(r);
+  }
+  return out;
+}
+
+std::string PacketTracer::to_text() const {
+  std::string out;
+  out.reserve(records_.size() * 64);
+  char line[160];
+  for (const auto& r : records_) {
+    const char* ev = r.event == Event::kDeliver ? "DLV" : "DRP";
+    const char* kind = r.kind == PacketKind::kTcpData  ? "DATA"
+                       : r.kind == PacketKind::kTcpAck ? "ACK"
+                                                       : "UDP";
+    std::snprintf(line, sizeof line, "%12.6f %s %-16s flow=%u seq=%lld ack=%lld %s %dB%s\n",
+                  r.time.to_seconds(), ev, r.link.c_str(), r.flow,
+                  static_cast<long long>(r.seq), static_cast<long long>(r.ack), kind,
+                  r.size_bytes, r.retransmit ? " RTX" : "");
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace rbs::net

@@ -1,0 +1,107 @@
+#include "net/parking_lot.hpp"
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace rbs::net {
+
+ParkingLot::ParkingLot(sim::Simulation& sim, ParkingLotConfig config)
+    : sim_{sim}, config_{std::move(config)} {
+  assert(config_.num_segments >= 1);
+  assert(config_.num_e2e_leaves >= 0 && config_.num_local_leaves_per_segment >= 0);
+
+  auto rng = sim_.rng().fork(/*stream=*/0x9A121'07);
+  const auto draw_delay = [&rng, this] {
+    const auto lo = config_.access_delay_min.ps();
+    const auto hi = config_.access_delay_max.ps();
+    return sim::SimTime::picoseconds(hi > lo ? rng.uniform_int(lo, hi) : lo);
+  };
+
+  NodeId next_id = 0;
+  for (int r = 0; r <= config_.num_segments; ++r) {
+    routers_.push_back(
+        std::make_unique<Router>(sim_, next_id++, "router_" + std::to_string(r)));
+  }
+
+  // Segment links (both directions). Forward carries the studied traffic and
+  // gets the configured buffer; reverse is provisioned to never drop.
+  const Link::Config seg_cfg{config_.segment_rate_bps, config_.segment_delay};
+  for (int s = 0; s < config_.num_segments; ++s) {
+    forward_segments_.push_back(&add_link("seg_fwd_" + std::to_string(s), seg_cfg,
+                                          *routers_[static_cast<std::size_t>(s + 1)],
+                                          config_.buffer_packets));
+    reverse_segments_.push_back(&add_link("seg_rev_" + std::to_string(s), seg_cfg,
+                                          *routers_[static_cast<std::size_t>(s)],
+                                          config_.uncongested_buffer_packets));
+  }
+
+  // A host attached to router `attach` with a drawn access delay; returns
+  // (host, downlink) after wiring the uplink.
+  const auto make_host = [&](const std::string& name, int attach,
+                             sim::SimTime delay) -> std::pair<std::unique_ptr<Host>, Link*> {
+    auto host = std::make_unique<Host>(sim_, next_id++, name);
+    const Link::Config acc_cfg{config_.access_rate_bps, delay};
+    Link& up = add_link(name + "_up", acc_cfg, *routers_[static_cast<std::size_t>(attach)],
+                        config_.uncongested_buffer_packets);
+    Link& down = add_link(name + "_down", acc_cfg, *host,
+                          config_.uncongested_buffer_packets);
+    host->attach_uplink(up);
+    return {std::move(host), &down};
+  };
+
+  // End-to-end leaves: senders at router 0, receivers at the last router.
+  for (int i = 0; i < config_.num_e2e_leaves; ++i) {
+    const auto delay = draw_delay();
+    e2e_delays_.push_back(delay);
+    auto [snd, snd_down] = make_host("e2e_snd_" + std::to_string(i), 0, delay);
+    install_routes(*snd, 0, *snd_down);
+    e2e_senders_.push_back(std::move(snd));
+    auto [rcv, rcv_down] = make_host("e2e_rcv_" + std::to_string(i), config_.num_segments,
+                                     sim::SimTime::milliseconds(1));
+    install_routes(*rcv, config_.num_segments, *rcv_down);
+    e2e_receivers_.push_back(std::move(rcv));
+  }
+
+  // Local leaves for segment s: sender at router s, receiver at router s+1.
+  for (int s = 0; s < config_.num_segments; ++s) {
+    for (int i = 0; i < config_.num_local_leaves_per_segment; ++i) {
+      const auto tag = std::to_string(s) + "_" + std::to_string(i);
+      auto [snd, snd_down] = make_host("loc_snd_" + tag, s, draw_delay());
+      install_routes(*snd, s, *snd_down);
+      local_senders_.push_back(std::move(snd));
+      auto [rcv, rcv_down] = make_host("loc_rcv_" + tag, s + 1, sim::SimTime::milliseconds(1));
+      install_routes(*rcv, s + 1, *rcv_down);
+      local_receivers_.push_back(std::move(rcv));
+    }
+  }
+}
+
+Link& ParkingLot::add_link(std::string name, Link::Config cfg, PacketSink& dst,
+                           std::int64_t buffer) {
+  links_.push_back(std::make_unique<Link>(sim_, std::move(name), cfg,
+                                          std::make_unique<DropTailQueue>(buffer), dst));
+  return *links_.back();
+}
+
+void ParkingLot::install_routes(Host& host, int attach, Link& access_down) {
+  for (int r = 0; r <= config_.num_segments; ++r) {
+    Router& router = *routers_[static_cast<std::size_t>(r)];
+    if (r == attach) {
+      router.add_route(host.id(), access_down);
+    } else if (r < attach) {
+      router.add_route(host.id(), *forward_segments_[static_cast<std::size_t>(r)]);
+    } else {
+      router.add_route(host.id(), *reverse_segments_[static_cast<std::size_t>(r - 1)]);
+    }
+  }
+}
+
+sim::SimTime ParkingLot::e2e_rtt(int i) const {
+  const auto one_way = e2e_delays_.at(static_cast<std::size_t>(i)) +
+                       config_.num_segments * config_.segment_delay +
+                       sim::SimTime::milliseconds(1);
+  return 2 * one_way;
+}
+
+}  // namespace rbs::net

@@ -1,0 +1,97 @@
+// Parking-lot topology: a chain of potentially congested segments.
+//
+//                seg0          seg1          seg2
+//   [e2e senders]──R0══════════R1══════════R2══════════R3──[e2e receivers]
+//                   \          /\           /\          /
+//              local(0) leaves   local(1)      local(2)
+//
+// End-to-end flows traverse every segment; each segment also carries local
+// cross-traffic that enters just before it and leaves just after it. The
+// paper assumes a single point of congestion (§5.1); this topology exists to
+// test what happens when that assumption is broken.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/drop_tail_queue.hpp"
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "sim/simulation.hpp"
+
+namespace rbs::net {
+
+struct ParkingLotConfig {
+  int num_segments{3};
+  double segment_rate_bps{50e6};
+  sim::SimTime segment_delay{sim::SimTime::milliseconds(5)};  ///< one-way
+  std::int64_t buffer_packets{100};  ///< per congested segment queue
+
+  int num_e2e_leaves{10};
+  int num_local_leaves_per_segment{10};
+
+  double access_rate_bps{1e9};
+  sim::SimTime access_delay_min{sim::SimTime::milliseconds(2)};
+  sim::SimTime access_delay_max{sim::SimTime::milliseconds(20)};
+
+  std::int64_t uncongested_buffer_packets{1'000'000};
+};
+
+/// Builds and owns the chain, the leaves, and full routing tables.
+class ParkingLot {
+ public:
+  ParkingLot(sim::Simulation& sim, ParkingLotConfig config);
+
+  [[nodiscard]] int num_segments() const noexcept { return config_.num_segments; }
+  [[nodiscard]] int num_e2e_leaves() const noexcept { return config_.num_e2e_leaves; }
+  [[nodiscard]] int num_local_leaves(int segment) const noexcept {
+    (void)segment;
+    return config_.num_local_leaves_per_segment;
+  }
+
+  [[nodiscard]] Host& e2e_sender(int i) noexcept {
+    return *e2e_senders_.at(static_cast<std::size_t>(i));
+  }
+  [[nodiscard]] Host& e2e_receiver(int i) noexcept {
+    return *e2e_receivers_.at(static_cast<std::size_t>(i));
+  }
+  [[nodiscard]] Host& local_sender(int segment, int i) noexcept {
+    return *local_senders_.at(index(segment, i));
+  }
+  [[nodiscard]] Host& local_receiver(int segment, int i) noexcept {
+    return *local_receivers_.at(index(segment, i));
+  }
+
+  /// The forward (congested-direction) link of segment `s`.
+  [[nodiscard]] Link& segment(int s) noexcept {
+    return *forward_segments_.at(static_cast<std::size_t>(s));
+  }
+
+  /// Propagation RTT of an end-to-end leaf pair (no queueing).
+  [[nodiscard]] sim::SimTime e2e_rtt(int i) const;
+
+ private:
+  [[nodiscard]] std::size_t index(int segment, int i) const noexcept {
+    return static_cast<std::size_t>(segment * config_.num_local_leaves_per_segment + i);
+  }
+  Link& add_link(std::string name, Link::Config cfg, PacketSink& dst, std::int64_t buffer);
+  /// Installs a route for `host` (attached to router `attach`) at every
+  /// router, pointing along the chain or down the access link.
+  void install_routes(Host& host, int attach, Link& access_down);
+
+  sim::Simulation& sim_;
+  ParkingLotConfig config_;
+
+  std::vector<std::unique_ptr<Router>> routers_;  // num_segments + 1
+  std::vector<std::unique_ptr<Host>> e2e_senders_;
+  std::vector<std::unique_ptr<Host>> e2e_receivers_;
+  std::vector<std::unique_ptr<Host>> local_senders_;
+  std::vector<std::unique_ptr<Host>> local_receivers_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<Link*> forward_segments_;
+  std::vector<Link*> reverse_segments_;  // reverse_segments_[s]: R(s+1) -> R(s)
+  std::vector<sim::SimTime> e2e_delays_;
+};
+
+}  // namespace rbs::net

@@ -1,0 +1,64 @@
+// Queue discipline interface for router output buffers.
+//
+// A Queue holds packets awaiting transmission on a link. The packet currently
+// being serialized has already left the queue (as in ns-2), so a queue
+// "limit" of B packets means B packets of buffering in addition to the one in
+// service. Implementations decide the drop policy (drop-tail, RED, ...).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/packet.hpp"
+
+namespace rbs::net {
+
+/// Running totals every queue maintains. Enqueue attempts are either
+/// accepted or dropped; bytes/packets track current occupancy.
+struct QueueStats {
+  std::uint64_t enqueued_packets{0};
+  std::uint64_t dropped_packets{0};
+  std::uint64_t dequeued_packets{0};
+  std::uint64_t enqueued_bytes{0};
+  std::uint64_t dropped_bytes{0};
+
+  [[nodiscard]] double drop_fraction() const noexcept {
+    const auto offered = enqueued_packets + dropped_packets;
+    return offered == 0 ? 0.0 : static_cast<double>(dropped_packets) / static_cast<double>(offered);
+  }
+};
+
+/// Abstract buffer with a drop policy.
+class Queue {
+ public:
+  virtual ~Queue() = default;
+
+  /// Offers `p` to the queue. Returns false (and counts a drop) if the
+  /// policy rejects it.
+  virtual bool enqueue(const Packet& p) = 0;
+
+  /// Removes and returns the next packet to transmit, or nullopt if empty.
+  virtual std::optional<Packet> dequeue() = 0;
+
+  /// Current occupancy in packets.
+  [[nodiscard]] virtual std::int64_t size_packets() const noexcept = 0;
+
+  /// Current occupancy in bytes.
+  [[nodiscard]] virtual std::int64_t size_bytes() const noexcept = 0;
+
+  /// Configured capacity in packets.
+  [[nodiscard]] virtual std::int64_t limit_packets() const noexcept = 0;
+
+  /// Changes the capacity. Packets already queued beyond a reduced limit are
+  /// kept (they drain naturally) — mirroring how an operator resizes a live
+  /// interface queue.
+  virtual void set_limit_packets(std::int64_t limit) = 0;
+
+  [[nodiscard]] const QueueStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = QueueStats{}; }
+
+ protected:
+  QueueStats stats_;
+};
+
+}  // namespace rbs::net

@@ -1,0 +1,122 @@
+#include "net/red_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rbs::net {
+
+RedQueue::RedQueue(sim::Simulation& sim, std::int64_t limit_packets, RedConfig config)
+    : sim_{sim}, limit_{limit_packets}, cfg_{config} {
+  assert(limit_packets >= 1);
+  min_th_ = cfg_.min_threshold > 0 ? cfg_.min_threshold
+                                   : std::max(1.0, static_cast<double>(limit_) / 4.0);
+  max_th_ = cfg_.max_threshold > 0 ? cfg_.max_threshold
+                                   : std::max(min_th_ + 1.0, 3.0 * static_cast<double>(limit_) / 4.0);
+}
+
+void RedQueue::update_average() noexcept {
+  const auto q = static_cast<double>(fifo_.size());
+  if (idle_ && cfg_.mean_packet_time_sec > 0) {
+    // While the queue was idle, pretend m small packets departed and decay
+    // the average accordingly (Floyd's idle-period correction).
+    const double idle_sec = (sim_.now() - idle_since_).to_seconds();
+    const double m = idle_sec / cfg_.mean_packet_time_sec;
+    avg_ *= std::pow(1.0 - cfg_.weight, m);
+    avg_ += cfg_.weight * q;  // account for this arrival
+  } else {
+    avg_ = (1.0 - cfg_.weight) * avg_ + cfg_.weight * q;
+  }
+  idle_ = false;
+}
+
+double RedQueue::drop_probability() const noexcept {
+  if (avg_ < min_th_) return 0.0;
+  double pb;
+  if (avg_ < max_th_) {
+    pb = cfg_.max_probability * (avg_ - min_th_) / (max_th_ - min_th_);
+  } else if (cfg_.gentle && avg_ < 2.0 * max_th_) {
+    pb = cfg_.max_probability +
+         (1.0 - cfg_.max_probability) * (avg_ - max_th_) / max_th_;
+  } else {
+    return 1.0;
+  }
+  // Spread drops uniformly: p_a = p_b / (1 - count * p_b).
+  const double denom = 1.0 - static_cast<double>(count_since_drop_) * pb;
+  if (denom <= 0.0) return 1.0;
+  return std::min(1.0, pb / denom);
+}
+
+void RedQueue::record_drop(const Packet& p, bool early) noexcept {
+  ++stats_.dropped_packets;
+  stats_.dropped_bytes += static_cast<std::uint64_t>(p.size_bytes);
+  if (early) ++early_drops_;
+  count_since_drop_ = 0;
+}
+
+bool RedQueue::enqueue(const Packet& p) {
+  update_average();
+
+  if (static_cast<std::int64_t>(fifo_.size()) >= limit_) {
+    record_drop(p, /*early=*/false);
+    return false;
+  }
+
+  bool mark = false;
+  if (avg_ >= min_th_) {
+    ++count_since_drop_;
+    if (sim_.rng().bernoulli(drop_probability())) {
+      // In ECN mode, mark instead of dropping — unless the average is so
+      // high (>= 2*max_th) that marking has lost control (RFC 3168 §7).
+      if (cfg_.ecn_marking && p.kind == PacketKind::kTcpData &&
+          avg_ < 2.0 * max_th_) {
+        mark = true;
+        ++marked_;
+        count_since_drop_ = 0;
+      } else {
+        record_drop(p, /*early=*/true);
+        return false;
+      }
+    }
+  } else {
+    count_since_drop_ = -1;
+  }
+
+  if (mark) {
+    Packet marked_pkt = p;
+    marked_pkt.ecn_ce = true;
+    fifo_.push_back(marked_pkt);
+    bytes_ += p.size_bytes;
+    ++stats_.enqueued_packets;
+    stats_.enqueued_bytes += static_cast<std::uint64_t>(p.size_bytes);
+    return true;
+  }
+  fifo_.push_back(p);
+  bytes_ += p.size_bytes;
+  ++stats_.enqueued_packets;
+  stats_.enqueued_bytes += static_cast<std::uint64_t>(p.size_bytes);
+  return true;
+}
+
+std::optional<Packet> RedQueue::dequeue() {
+  if (fifo_.empty()) return std::nullopt;
+  Packet p = fifo_.front();
+  fifo_.pop_front();
+  bytes_ -= p.size_bytes;
+  ++stats_.dequeued_packets;
+  if (fifo_.empty()) {
+    idle_ = true;
+    idle_since_ = sim_.now();
+  }
+  return p;
+}
+
+void RedQueue::set_limit_packets(std::int64_t limit) {
+  assert(limit >= 1);
+  limit_ = limit;
+  if (cfg_.min_threshold <= 0) min_th_ = std::max(1.0, static_cast<double>(limit_) / 4.0);
+  if (cfg_.max_threshold <= 0)
+    max_th_ = std::max(min_th_ + 1.0, 3.0 * static_cast<double>(limit_) / 4.0);
+}
+
+}  // namespace rbs::net

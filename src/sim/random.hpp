@@ -1,0 +1,65 @@
+// Deterministic random-number generation for simulations.
+//
+// Every stochastic element of an experiment draws from an Rng that is seeded
+// from the experiment configuration, so a (seed, config) pair fully determines
+// a run. We use xoshiro256** — fast, high quality, and identical on every
+// platform (unlike std:: distributions, whose output is implementation-
+// defined; all distribution transforms here are our own).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace rbs::sim {
+
+/// xoshiro256** pseudo-random generator with explicit, portable
+/// distribution transforms.
+class Rng {
+ public:
+  /// Seeds the state via SplitMix64 so that nearby seeds give
+  /// uncorrelated streams.
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, 1). Uses the top 53 bits, so every value is an exactly
+  /// representable double.
+  double uniform() noexcept;
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Exponential with the given mean (= 1/rate). Used for Poisson
+  /// inter-arrival times.
+  double exponential(double mean) noexcept;
+
+  /// Bounded Pareto-type heavy tail: classic Pareto with shape `alpha` and
+  /// minimum `xm`. mean = alpha*xm/(alpha-1) for alpha > 1.
+  double pareto(double xm, double alpha) noexcept;
+
+  /// Standard normal via Marsaglia polar method (deterministic given state).
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// True with probability p.
+  bool bernoulli(double p) noexcept;
+
+  /// A child generator with an independent stream, derived from this
+  /// generator's seed and `stream`. Lets per-flow randomness stay stable when
+  /// unrelated parts of a config change.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  std::uint64_t seed_{0};
+  double cached_normal_{0.0};
+  bool has_cached_normal_{false};
+};
+
+}  // namespace rbs::sim

@@ -1,0 +1,71 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rbs::sim {
+
+void Scheduler::EventHandle::cancel() noexcept {
+  if (auto rec = record_.lock()) {
+    rec->cancelled = true;
+    rec->callback = nullptr;  // release captured state eagerly
+  }
+}
+
+bool Scheduler::EventHandle::pending() const noexcept {
+  const auto rec = record_.lock();
+  return rec != nullptr && !rec->cancelled;
+}
+
+Scheduler::EventHandle Scheduler::schedule_at(SimTime t, Callback cb) {
+  assert(t >= now_ && "cannot schedule into the past");
+  auto record = std::make_shared<EventHandle::Record>();
+  record->callback = std::move(cb);
+  queue_.push(QueueEntry{t, next_seq_++, record});
+  return EventHandle{std::move(record)};
+}
+
+Scheduler::EventHandle Scheduler::schedule_after(SimTime delay, Callback cb) {
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Scheduler::execute_next() {
+  while (!queue_.empty()) {
+    QueueEntry entry = queue_.top();
+    queue_.pop();
+    if (entry.record->cancelled) continue;  // reap cancelled events lazily
+    now_ = entry.time;
+    Callback cb = std::move(entry.record->callback);
+    entry.record->cancelled = true;  // mark as fired so pending() is false
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run() {
+  stopped_ = false;
+  while (!stopped_ && execute_next()) {
+  }
+}
+
+bool Scheduler::run_until(SimTime t) {
+  stopped_ = false;
+  while (!stopped_) {
+    // Peek past cancelled entries to find the next live event time.
+    while (!queue_.empty() && queue_.top().record->cancelled) queue_.pop();
+    if (queue_.empty()) {
+      now_ = t;
+      return true;
+    }
+    if (queue_.top().time > t) {
+      now_ = t;
+      return false;
+    }
+    execute_next();
+  }
+  return queue_.empty();
+}
+
+}  // namespace rbs::sim

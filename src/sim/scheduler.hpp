@@ -1,0 +1,104 @@
+// The discrete-event scheduler at the heart of the simulator.
+//
+// Components schedule callbacks at absolute or relative simulated times; the
+// scheduler executes them in (time, insertion-order) order, which makes runs
+// bit-for-bit reproducible. Handles returned by schedule_*() can cancel a
+// pending event (used by TCP retransmission timers).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rbs::sim {
+
+/// Executes scheduled callbacks in deterministic time order.
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Cancellation token for a scheduled event. Default-constructed handles
+  /// refer to no event; cancelling is idempotent and safe after the event
+  /// has fired.
+  class EventHandle {
+   public:
+    EventHandle() noexcept = default;
+
+    /// Prevents the event from firing. No-op if it already fired or was
+    /// already cancelled.
+    void cancel() noexcept;
+
+    /// True if the event is still scheduled to fire.
+    [[nodiscard]] bool pending() const noexcept;
+
+   private:
+    friend class Scheduler;
+    struct Record;
+    explicit EventHandle(std::shared_ptr<Record> rec) noexcept : record_{std::move(rec)} {}
+    std::weak_ptr<Record> record_;
+  };
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated time. Advances only while run()/run_until() executes
+  /// events.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `cb` at absolute time `t`. Requires t >= now().
+  EventHandle schedule_at(SimTime t, Callback cb);
+
+  /// Schedules `cb` at now() + delay. Requires delay >= 0.
+  EventHandle schedule_after(SimTime delay, Callback cb);
+
+  /// Runs until the event queue is empty or stop() is called.
+  void run();
+
+  /// Runs all events with timestamp <= `t`, then sets now() to `t`.
+  /// Returns true if the queue was drained before reaching `t`.
+  bool run_until(SimTime t);
+
+  /// Requests that run()/run_until() return after the current callback.
+  void stop() noexcept { stopped_ = true; }
+
+  /// Number of events still scheduled (including cancelled ones not yet
+  /// reaped).
+  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+
+  /// Total callbacks executed so far.
+  [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_; }
+
+ private:
+  struct QueueEntry;
+  bool execute_next();  // pops and runs one event; false if queue empty
+
+  SimTime now_{SimTime::zero()};
+  std::uint64_t next_seq_{0};
+  std::uint64_t executed_{0};
+  bool stopped_{false};
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>> queue_;
+};
+
+struct Scheduler::EventHandle::Record {
+  Callback callback;
+  bool cancelled{false};
+};
+
+struct Scheduler::QueueEntry {
+  SimTime time;
+  std::uint64_t seq;
+  std::shared_ptr<EventHandle::Record> record;
+
+  // priority_queue is a max-heap; invert so the earliest (time, seq) wins.
+  friend bool operator<(const QueueEntry& a, const QueueEntry& b) noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace rbs::sim

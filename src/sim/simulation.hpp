@@ -1,0 +1,48 @@
+// Simulation context: one object that owns the scheduler and the root RNG.
+//
+// Every network component receives a Simulation& at construction and uses it
+// for time, event scheduling, and randomness. Two Simulations never share
+// state, so independent experiments can run side by side (or in parallel
+// threads) within one process.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace rbs::sim {
+
+/// Owns the event loop and root randomness for one simulated world.
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1) : rng_{seed} {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] Scheduler& scheduler() noexcept { return scheduler_; }
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] SimTime now() const noexcept { return scheduler_.now(); }
+
+  /// Convenience pass-throughs.
+  Scheduler::EventHandle at(SimTime t, Scheduler::Callback cb) {
+    return scheduler_.schedule_at(t, std::move(cb));
+  }
+  Scheduler::EventHandle after(SimTime delay, Scheduler::Callback cb) {
+    return scheduler_.schedule_after(delay, std::move(cb));
+  }
+
+  /// Runs the world forward to absolute time `t`.
+  void run_until(SimTime t) { scheduler_.run_until(t); }
+
+  /// Runs until no events remain.
+  void run() { scheduler_.run(); }
+
+ private:
+  Scheduler scheduler_;
+  Rng rng_;
+};
+
+}  // namespace rbs::sim

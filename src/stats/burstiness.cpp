@@ -1,0 +1,56 @@
+#include "stats/burstiness.hpp"
+
+#include <cmath>
+
+namespace rbs::stats {
+
+double autocorrelation(const std::vector<double>& series, std::size_t lag) {
+  const std::size_t n = series.size();
+  if (n < 2 || lag >= n) return 0.0;
+
+  double mean = 0.0;
+  for (const double x : series) mean += x;
+  mean /= static_cast<double>(n);
+
+  double var = 0.0;
+  for (const double x : series) var += (x - mean) * (x - mean);
+  if (var <= 0.0) return 0.0;
+
+  double cov = 0.0;
+  for (std::size_t i = 0; i + lag < n; ++i) {
+    cov += (series[i] - mean) * (series[i + lag] - mean);
+  }
+  return cov / var;
+}
+
+double index_of_dispersion(const std::vector<double>& interval_counts) {
+  const std::size_t n = interval_counts.size();
+  if (n < 2) return 0.0;
+  double mean = 0.0;
+  for (const double c : interval_counts) mean += c;
+  mean /= static_cast<double>(n);
+  if (mean <= 0.0) return 0.0;
+  double var = 0.0;
+  for (const double c : interval_counts) var += (c - mean) * (c - mean);
+  var /= static_cast<double>(n - 1);
+  return var / mean;
+}
+
+std::vector<double> aggregate_counts(const std::vector<double>& counts, std::size_t factor) {
+  if (factor <= 1) return counts;
+  std::vector<double> out;
+  out.reserve(counts.size() / factor + 1);
+  double acc = 0.0;
+  std::size_t in_block = 0;
+  for (const double c : counts) {
+    acc += c;
+    if (++in_block == factor) {
+      out.push_back(acc);
+      acc = 0.0;
+      in_block = 0;
+    }
+  }
+  return out;  // trailing partial block discarded
+}
+
+}  // namespace rbs::stats

@@ -1,0 +1,29 @@
+// Burstiness diagnostics: autocorrelation and the index of dispersion for
+// counts (IDC).
+//
+// Used to characterize arrival processes at the bottleneck: Poisson arrivals
+// have IDC ≈ 1 at every timescale; slow-start bursts push IDC well above 1.
+// This quantifies §4's smoothing claim (slow access links → near-Poisson
+// arrivals → M/D/1 buffers).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rbs::stats {
+
+/// Sample autocorrelation of `series` at `lag` (0 <= lag < series.size()).
+/// Returns 0 for degenerate inputs; autocorrelation(x, 0) == 1 for any
+/// non-constant series.
+[[nodiscard]] double autocorrelation(const std::vector<double>& series, std::size_t lag);
+
+/// Index of dispersion for counts: Var(N) / E(N) over the given per-interval
+/// counts. 1 for Poisson; > 1 for bursty processes.
+[[nodiscard]] double index_of_dispersion(const std::vector<double>& interval_counts);
+
+/// Aggregates per-interval counts into coarser intervals (factor k) —
+/// IDC across aggregation levels is the classic self-similarity diagnostic.
+[[nodiscard]] std::vector<double> aggregate_counts(const std::vector<double>& counts,
+                                                   std::size_t factor);
+
+}  // namespace rbs::stats

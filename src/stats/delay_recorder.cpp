@@ -1,0 +1,32 @@
+#include "stats/delay_recorder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rbs::stats {
+
+double DelayRecorder::quantile_seconds(double q) {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double jain_fairness_index(const std::vector<double>& shares) noexcept {
+  if (shares.empty()) return 0.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (const double x : shares) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(shares.size()) * sum_sq);
+}
+
+}  // namespace rbs::stats

@@ -1,0 +1,48 @@
+// Per-packet delay distribution: mean and tail percentiles.
+//
+// Backs the paper's §1.1 argument that overbuffering "increases end-to-end
+// delay in the presence of congestion" — the quantity real-time applications
+// care about is the p95/p99 queueing delay, which this recorder reports.
+#pragma once
+
+#include <vector>
+
+#include "sim/time.hpp"
+#include "stats/online_stats.hpp"
+
+namespace rbs::stats {
+
+/// Collects delay samples and answers quantile queries. Stores raw samples
+/// (a simulation produces at most a few million), sorting lazily on query.
+class DelayRecorder {
+ public:
+  void record(sim::SimTime delay) {
+    samples_.push_back(delay.to_seconds());
+    summary_.add(delay.to_seconds());
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] const OnlineStats& summary() const noexcept { return summary_; }
+  [[nodiscard]] double mean_seconds() const noexcept { return summary_.mean(); }
+
+  /// q in [0, 1]; returns 0 when empty.
+  [[nodiscard]] double quantile_seconds(double q);
+
+  void clear() {
+    samples_.clear();
+    summary_ = OnlineStats{};
+    sorted_ = false;
+  }
+
+ private:
+  std::vector<double> samples_;
+  OnlineStats summary_;
+  bool sorted_{false};
+};
+
+/// Jain's fairness index over per-flow throughputs (or any shares):
+/// (Σx)² / (n·Σx²) — 1.0 is perfectly fair, 1/n is maximally unfair.
+[[nodiscard]] double jain_fairness_index(const std::vector<double>& shares) noexcept;
+
+}  // namespace rbs::stats

@@ -1,0 +1,56 @@
+// Flow-completion-time accounting — the paper's §5.1.2/§5.1.3 metric.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "stats/online_stats.hpp"
+
+namespace rbs::stats {
+
+/// One finished flow.
+struct FlowRecord {
+  std::int64_t size_packets{0};
+  sim::SimTime start{};
+  sim::SimTime finish{};
+
+  [[nodiscard]] sim::SimTime completion_time() const noexcept { return finish - start; }
+};
+
+/// Collects completion records and reports average flow completion time
+/// (AFCT), optionally restricted to flows that finished inside a measurement
+/// window or to a size range.
+class FctTracker {
+ public:
+  void record(std::int64_t size_packets, sim::SimTime start, sim::SimTime finish) {
+    records_.push_back({size_packets, start, finish});
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return records_.size(); }
+  [[nodiscard]] const std::vector<FlowRecord>& records() const noexcept { return records_; }
+
+  /// AFCT in seconds over all records.
+  [[nodiscard]] double afct_seconds() const noexcept { return afct_filtered().mean(); }
+
+  /// Summary of completion times (seconds) for flows that *started* at or
+  /// after `from` (so warm-up flows can be excluded) and whose size is within
+  /// [min_size, max_size].
+  [[nodiscard]] OnlineStats afct_filtered(
+      sim::SimTime from = sim::SimTime::zero(), std::int64_t min_size = 0,
+      std::int64_t max_size = std::numeric_limits<std::int64_t>::max()) const noexcept {
+    OnlineStats s;
+    for (const auto& r : records_) {
+      if (r.start < from || r.size_packets < min_size || r.size_packets > max_size) continue;
+      s.add(r.completion_time().to_seconds());
+    }
+    return s;
+  }
+
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<FlowRecord> records_;
+};
+
+}  // namespace rbs::stats

@@ -1,0 +1,68 @@
+#include "stats/gaussian_fit.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rbs::stats {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+double normal_pdf(double x, double mean, double stddev) noexcept {
+  const double z = (x - mean) / stddev;
+  return std::exp(-0.5 * z * z) / (stddev * std::sqrt(2.0 * kPi));
+}
+
+double normal_cdf(double x, double mean, double stddev) noexcept {
+  const double z = (x - mean) / (stddev * std::sqrt(2.0));
+  return 0.5 * (1.0 + std::erf(z));
+}
+
+GaussianFit fit_gaussian(std::vector<double> samples) {
+  assert(samples.size() >= 2);
+  const auto n = static_cast<double>(samples.size());
+
+  double mean = 0.0;
+  for (double x : samples) mean += x;
+  mean /= n;
+
+  double m2 = 0.0, m3 = 0.0, m4 = 0.0;
+  for (double x : samples) {
+    const double d = x - mean;
+    m2 += d * d;
+    m3 += d * d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= n;
+  m3 /= n;
+  m4 /= n;
+
+  GaussianFit fit;
+  fit.mean = mean;
+  fit.stddev = std::sqrt(m2 * n / (n - 1.0));
+  if (m2 > 0) {
+    fit.skewness = m3 / std::pow(m2, 1.5);
+    fit.excess_kurtosis = m4 / (m2 * m2) - 3.0;
+  }
+
+  if (fit.stddev <= 0) {
+    fit.ks_distance = 1.0;
+    return fit;
+  }
+
+  // KS distance between the empirical CDF and the fitted normal.
+  std::sort(samples.begin(), samples.end());
+  double ks = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double model = normal_cdf(samples[i], fit.mean, fit.stddev);
+    const double emp_hi = static_cast<double>(i + 1) / n;
+    const double emp_lo = static_cast<double>(i) / n;
+    ks = std::max({ks, std::abs(model - emp_hi), std::abs(model - emp_lo)});
+  }
+  fit.ks_distance = ks;
+  return fit;
+}
+
+}  // namespace rbs::stats

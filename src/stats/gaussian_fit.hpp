@@ -1,0 +1,27 @@
+// Normality analysis for the aggregate congestion-window process (Figure 6).
+#pragma once
+
+#include <vector>
+
+namespace rbs::stats {
+
+/// Standard normal pdf/cdf helpers (erf-based, no tables).
+[[nodiscard]] double normal_pdf(double x, double mean, double stddev) noexcept;
+[[nodiscard]] double normal_cdf(double x, double mean, double stddev) noexcept;
+
+/// Result of fitting a Gaussian to a sample by moments.
+struct GaussianFit {
+  double mean{0.0};
+  double stddev{0.0};
+  /// Kolmogorov–Smirnov distance between the empirical CDF and the fitted
+  /// normal CDF; small (≲0.05) means "visually Gaussian" as in Fig 6.
+  double ks_distance{1.0};
+  /// Excess kurtosis and skewness — additional normality diagnostics.
+  double skewness{0.0};
+  double excess_kurtosis{0.0};
+};
+
+/// Fits by moments and computes the KS distance. Requires >= 2 samples.
+[[nodiscard]] GaussianFit fit_gaussian(std::vector<double> samples);
+
+}  // namespace rbs::stats

@@ -1,0 +1,89 @@
+#include "stats/synchronization.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace rbs::stats {
+
+double pearson_correlation(const std::vector<double>& a, const std::vector<double>& b) noexcept {
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n < 2) return 0.0;
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+double mean_pairwise_correlation(const std::vector<std::vector<double>>& series) {
+  const std::size_t n = series.size();
+  if (n < 2) return 0.0;
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      total += pearson_correlation(series[i], series[j]);
+      ++pairs;
+    }
+  }
+  return pairs ? total / static_cast<double>(pairs) : 0.0;
+}
+
+std::vector<int> halving_events(const std::vector<double>& series, double drop_fraction) {
+  std::vector<int> events;
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    if (series[i - 1] > 0 && series[i] < series[i - 1] * (1.0 - drop_fraction)) {
+      events.push_back(static_cast<int>(i));
+    }
+  }
+  return events;
+}
+
+double halving_coincidence(const std::vector<std::vector<double>>& series, int tolerance,
+                           double quorum_fraction) {
+  const std::size_t n = series.size();
+  if (n < 2) return 0.0;
+
+  std::vector<std::vector<int>> events;
+  events.reserve(n);
+  for (const auto& s : series) events.push_back(halving_events(s));
+
+  // For each halving event, count how many *other* flows halved within the
+  // tolerance window; the event is "coincident" if a quorum did.
+  std::size_t total_events = 0;
+  std::size_t coincident_events = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int t : events[i]) {
+      ++total_events;
+      std::size_t matching = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const auto& ev = events[j];
+        const auto lo = std::lower_bound(ev.begin(), ev.end(), t - tolerance);
+        if (lo != ev.end() && *lo <= t + tolerance) ++matching;
+      }
+      if (static_cast<double>(matching) >=
+          quorum_fraction * static_cast<double>(n - 1)) {
+        ++coincident_events;
+      }
+    }
+  }
+  return total_events ? static_cast<double>(coincident_events) /
+                            static_cast<double>(total_events)
+                      : 0.0;
+}
+
+}  // namespace rbs::stats

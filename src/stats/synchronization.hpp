@@ -1,0 +1,32 @@
+// Synchronization metrics for sets of TCP flows (§3).
+//
+// The paper observes in-phase window synchronization for <~100 concurrent
+// flows and essentially none above ~500. We quantify this from sampled
+// per-flow congestion-window series in two ways:
+//   * mean pairwise Pearson correlation of the series, and
+//   * co-occurrence of window-halving events across flows.
+#pragma once
+
+#include <vector>
+
+namespace rbs::stats {
+
+/// Pearson correlation of two equal-length series; 0 if degenerate.
+[[nodiscard]] double pearson_correlation(const std::vector<double>& a,
+                                         const std::vector<double>& b) noexcept;
+
+/// Mean pairwise correlation over all flow pairs (series must share length).
+/// Values near 1 mean lock-step sawtooths; near 0 means desynchronized.
+[[nodiscard]] double mean_pairwise_correlation(const std::vector<std::vector<double>>& series);
+
+/// Sample indices where a series drops by at least `drop_fraction` between
+/// consecutive samples — window-halving events.
+[[nodiscard]] std::vector<int> halving_events(const std::vector<double>& series,
+                                              double drop_fraction = 0.3);
+
+/// Fraction of halving events that co-occur (within `tolerance` samples) in
+/// at least `quorum_fraction` of the other flows. 1.0 = fully in-phase.
+[[nodiscard]] double halving_coincidence(const std::vector<std::vector<double>>& series,
+                                         int tolerance = 1, double quorum_fraction = 0.5);
+
+}  // namespace rbs::stats

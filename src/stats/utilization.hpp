@@ -1,0 +1,45 @@
+// Link utilization measurement over an explicit window.
+#pragma once
+
+#include "net/link.hpp"
+#include "sim/simulation.hpp"
+
+namespace rbs::stats {
+
+/// Measures the fraction of a link's capacity used between begin() and the
+/// query time: bits delivered / (rate × elapsed). Call begin() after warm-up.
+class UtilizationMeter {
+ public:
+  UtilizationMeter(sim::Simulation& sim, const net::Link& link) : sim_{sim}, link_{link} {}
+
+  /// Starts (or restarts) the measurement window at the current time.
+  void begin() noexcept {
+    start_time_ = sim_.now();
+    start_bits_ = link_.stats().bits_delivered;
+  }
+
+  /// Utilization since begin(). Returns 0 for an empty window. A packet
+  /// whose serialization straddles the window start counts fully when it
+  /// completes, so a saturated link can read up to ~one packet above 1.0
+  /// on short windows.
+  [[nodiscard]] double utilization() const noexcept {
+    const auto elapsed = sim_.now() - start_time_;
+    if (elapsed <= sim::SimTime::zero()) return 0.0;
+    const double delivered =
+        static_cast<double>(link_.stats().bits_delivered - start_bits_);
+    return delivered / (link_.rate_bps() * elapsed.to_seconds());
+  }
+
+  /// Bits delivered since begin().
+  [[nodiscard]] std::uint64_t bits() const noexcept {
+    return link_.stats().bits_delivered - start_bits_;
+  }
+
+ private:
+  sim::Simulation& sim_;
+  const net::Link& link_;
+  sim::SimTime start_time_{};
+  std::uint64_t start_bits_{0};
+};
+
+}  // namespace rbs::stats

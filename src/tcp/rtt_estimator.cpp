@@ -1,0 +1,31 @@
+#include "tcp/rtt_estimator.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace rbs::tcp {
+
+void RttEstimator::sample(sim::SimTime rtt) noexcept {
+  if (!has_sample_) {
+    srtt_ = rtt;
+    rttvar_ = sim::SimTime::picoseconds(rtt.ps() / 2);
+    has_sample_ = true;
+  } else {
+    // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - R'|; SRTT = 7/8 SRTT + 1/8 R'
+    const std::int64_t err = std::llabs(srtt_.ps() - rtt.ps());
+    rttvar_ = sim::SimTime::picoseconds((3 * rttvar_.ps() + err) / 4);
+    srtt_ = sim::SimTime::picoseconds((7 * srtt_.ps() + rtt.ps()) / 8);
+  }
+  recompute_rto();
+}
+
+void RttEstimator::recompute_rto() noexcept {
+  const auto raw = sim::SimTime::picoseconds(srtt_.ps() + 4 * rttvar_.ps());
+  rto_ = std::clamp(raw, config_.min_rto, config_.max_rto);
+}
+
+void RttEstimator::backoff() noexcept {
+  rto_ = std::min(sim::SimTime::picoseconds(rto_.ps() * 2), config_.max_rto);
+}
+
+}  // namespace rbs::tcp

@@ -1,0 +1,48 @@
+// Round-trip-time estimation and retransmission timeout per RFC 6298.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace rbs::tcp {
+
+/// Maintains SRTT/RTTVAR and derives the RTO, with exponential backoff.
+/// Samples must be Karn-safe (the caller only samples unambiguous
+/// transmissions; our sink echoes per-transmission timestamps, which makes
+/// every sample unambiguous).
+class RttEstimator {
+ public:
+  struct Config {
+    sim::SimTime initial_rto{sim::SimTime::seconds(1)};
+    sim::SimTime min_rto{sim::SimTime::milliseconds(200)};
+    sim::SimTime max_rto{sim::SimTime::seconds(60)};
+  };
+
+  RttEstimator() noexcept;  // default Config (defined after the class)
+  explicit RttEstimator(Config config) noexcept;
+
+  /// Incorporates a new RTT measurement and resets any backoff.
+  void sample(sim::SimTime rtt) noexcept;
+
+  /// Doubles the RTO (clamped to max) after a retransmission timeout.
+  void backoff() noexcept;
+
+  [[nodiscard]] sim::SimTime rto() const noexcept { return rto_; }
+  [[nodiscard]] sim::SimTime srtt() const noexcept { return srtt_; }
+  [[nodiscard]] sim::SimTime rttvar() const noexcept { return rttvar_; }
+  [[nodiscard]] bool has_sample() const noexcept { return has_sample_; }
+
+ private:
+  void recompute_rto() noexcept;
+
+  Config config_;
+  sim::SimTime srtt_{};
+  sim::SimTime rttvar_{};
+  sim::SimTime rto_;
+  bool has_sample_{false};
+};
+
+inline RttEstimator::RttEstimator(Config config) noexcept
+    : config_{config}, rto_{config.initial_rto} {}
+inline RttEstimator::RttEstimator() noexcept : RttEstimator(Config{}) {}
+
+}  // namespace rbs::tcp

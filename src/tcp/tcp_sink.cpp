@@ -1,0 +1,83 @@
+#include "tcp/tcp_sink.hpp"
+
+namespace rbs::tcp {
+
+TcpSink::TcpSink(sim::Simulation& sim, net::Host& host, net::FlowId flow,
+                 TcpSinkConfig config)
+    : sim_{sim}, host_{host}, flow_{flow}, config_{config} {
+  host_.register_agent(flow_, *this);
+}
+
+TcpSink::~TcpSink() {
+  delack_timer_.cancel();
+  host_.unregister_agent(flow_);
+}
+
+void TcpSink::send_ack() {
+  delack_timer_.cancel();
+  unacked_in_order_ = 0;
+
+  net::Packet ack;
+  ack.flow = flow_;
+  ack.kind = net::PacketKind::kTcpAck;
+  ack.src = host_.id();
+  ack.dst = peer_;
+  ack.ack = next_expected_;
+  ack.size_bytes = config_.ack_bytes;
+  ack.timestamp = pending_echo_;  // echo for Karn-safe RTT sampling
+  ack.ecn_ce = pending_ecn_echo_;  // ECN-Echo (simplified: per marked packet)
+  pending_ecn_echo_ = false;
+  host_.send(ack);
+  ++acks_sent_;
+}
+
+void TcpSink::on_packet(const net::Packet& p) {
+  if (p.kind != net::PacketKind::kTcpData) return;
+  ++packets_received_;
+  peer_ = p.src;
+  pending_echo_ = p.timestamp;
+  if (p.ecn_ce) pending_ecn_echo_ = true;
+
+  const bool had_gap = !out_of_order_.empty();
+  bool in_order = false;
+  if (p.seq == next_expected_) {
+    in_order = true;
+    ++next_expected_;
+    // Absorb any contiguous out-of-order run.
+    auto it = out_of_order_.begin();
+    while (it != out_of_order_.end() && *it == next_expected_) {
+      ++next_expected_;
+      it = out_of_order_.erase(it);
+    }
+  } else if (p.seq > next_expected_) {
+    const bool fresh = out_of_order_.insert(p.seq).second;
+    if (!fresh) ++duplicates_;
+  } else {
+    ++duplicates_;  // already delivered; spurious retransmission
+  }
+
+  if (!config_.delayed_ack) {
+    send_ack();
+    return;
+  }
+
+  // RFC 1122/5681 delayed ACK: out-of-order data and data that fills (or
+  // shrinks) a gap are acknowledged immediately; in-order data every
+  // `ack_every` packets or at the timeout, whichever comes first.
+  if (!in_order || had_gap || !out_of_order_.empty()) {
+    send_ack();
+    return;
+  }
+  if (++unacked_in_order_ >= config_.ack_every) {
+    send_ack();
+    return;
+  }
+  if (!delack_timer_.pending()) {
+    delack_timer_ = sim_.after(config_.delack_timeout, [this] {
+      ++delack_fires_;
+      send_ack();
+    });
+  }
+}
+
+}  // namespace rbs::tcp

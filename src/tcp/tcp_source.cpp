@@ -1,0 +1,279 @@
+#include "tcp/tcp_source.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rbs::tcp {
+
+TcpSource::TcpSource(sim::Simulation& sim, net::Host& host, net::NodeId dst, net::FlowId flow,
+                     TcpConfig config, std::int64_t flow_packets)
+    : sim_{sim},
+      host_{host},
+      dst_{dst},
+      flow_{flow},
+      config_{config},
+      flow_packets_{flow_packets},
+      cwnd_{config.initial_cwnd},
+      ssthresh_{config.initial_ssthresh},
+      rtt_{config.rtt} {
+  assert(config_.segment_bytes > 0);
+  assert(config_.initial_cwnd >= 1.0);
+  host_.register_agent(flow_, *this);
+}
+
+TcpSource::~TcpSource() {
+  disarm_timer();
+  pace_timer_.cancel();
+  host_.unregister_agent(flow_);
+}
+
+void TcpSource::start(sim::SimTime at) {
+  assert(!started_);
+  started_ = true;
+  start_time_ = at;
+  sim_.at(at, [this] { send_available(); });
+}
+
+std::int64_t TcpSource::effective_window() const noexcept {
+  const auto w = static_cast<std::int64_t>(cwnd_);
+  return std::min(std::max<std::int64_t>(w, 1), config_.max_window);
+}
+
+void TcpSource::send_available() {
+  if (finished_) return;
+  if (config_.pacing) {
+    schedule_paced_send();
+    return;
+  }
+  const std::int64_t limit =
+      flow_packets_ >= 0 ? std::min(snd_una_ + effective_window(), flow_packets_)
+                         : snd_una_ + effective_window();
+  while (snd_nxt_ < limit) {
+    transmit(snd_nxt_);
+    ++snd_nxt_;
+  }
+}
+
+sim::SimTime TcpSource::pacing_interval() const noexcept {
+  const auto rtt = rtt_.has_sample() ? rtt_.srtt() : config_.pacing_initial_rtt;
+  const double window = std::max(cwnd_, 1.0);
+  return sim::SimTime::picoseconds(
+      static_cast<std::int64_t>(static_cast<double>(rtt.ps()) / window));
+}
+
+void TcpSource::schedule_paced_send() {
+  if (pace_timer_.pending() || finished_) return;
+  const std::int64_t limit =
+      flow_packets_ >= 0 ? std::min(snd_una_ + effective_window(), flow_packets_)
+                         : snd_una_ + effective_window();
+  if (snd_nxt_ >= limit) return;  // window closed; reopened by the next ACK
+
+  const auto earliest = last_paced_send_ + pacing_interval();
+  const auto when = std::max(earliest, sim_.now());
+  pace_timer_ = sim_.at(when, [this] {
+    const std::int64_t lim =
+        flow_packets_ >= 0 ? std::min(snd_una_ + effective_window(), flow_packets_)
+                           : snd_una_ + effective_window();
+    if (!finished_ && snd_nxt_ < lim) {
+      last_paced_send_ = sim_.now();
+      transmit(snd_nxt_);
+      ++snd_nxt_;
+    }
+    schedule_paced_send();
+  });
+}
+
+void TcpSource::transmit(std::int64_t seq) {
+  net::Packet p;
+  p.flow = flow_;
+  p.kind = net::PacketKind::kTcpData;
+  p.src = host_.id();
+  p.dst = dst_;
+  p.seq = seq;
+  p.size_bytes = config_.segment_bytes;
+  p.timestamp = sim_.now();
+  p.retransmit = seq <= max_sent_;
+
+  ++stats_.data_packets_sent;
+  if (p.retransmit) ++stats_.retransmissions;
+  max_sent_ = std::max(max_sent_, seq);
+  host_.send(p);
+
+  if (!timer_.pending()) arm_timer();
+}
+
+void TcpSource::on_packet(const net::Packet& p) {
+  if (p.kind != net::PacketKind::kTcpAck || finished_) return;
+  ++stats_.acks_received;
+
+  // ECN-Echo: reduce the window once per window of data (RFC 3168), without
+  // retransmitting anything — the packet was delivered, only marked.
+  if (p.ecn_ce && !in_recovery_ && snd_una_ > ecn_recover_) {
+    ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
+    cwnd_ = ssthresh_;
+    ecn_recover_ = snd_nxt_ - 1;
+    ++stats_.ecn_reductions;
+  }
+
+  if (p.ack > snd_una_) {
+    handle_new_ack(p.ack, p.timestamp);
+  } else if (p.ack == snd_una_ && snd_nxt_ > snd_una_) {
+    ++stats_.dup_acks_received;
+    handle_dup_ack();
+  }
+  // ACKs below snd_una_ are stale; ignore.
+}
+
+void TcpSource::handle_new_ack(std::int64_t ack, sim::SimTime echoed) {
+  const std::int64_t newly_acked = ack - snd_una_;
+  snd_una_ = ack;
+  snd_nxt_ = std::max(snd_nxt_, snd_una_);
+
+  // Timestamp echo makes every sample unambiguous (Karn-safe): a
+  // retransmitted packet carries its own transmission time.
+  rtt_.sample(sim_.now() - echoed);
+
+  if (in_recovery_) {
+    if (ack > recover_) {
+      // Full ACK: deflate to ssthresh and leave recovery.
+      cwnd_ = ssthresh_;
+      in_recovery_ = false;
+      dup_acks_ = 0;
+      partial_ack_seen_ = false;
+    } else if (config_.flavor == TcpFlavor::kNewReno) {
+      // Partial ACK: the next hole is also lost. Retransmit it, deflate by
+      // the amount acknowledged, and stay in recovery (RFC 6582).
+      cwnd_ = std::max(1.0, cwnd_ - static_cast<double>(newly_acked) + 1.0);
+      transmit(snd_una_);
+      // "Impatient" variant: only the first partial ACK restarts the
+      // retransmit timer. A burst with many holes then falls back to RTO +
+      // slow start instead of spending one RTT per hole.
+      if (!partial_ack_seen_) {
+        partial_ack_seen_ = true;
+        arm_timer();
+      }
+      send_available();
+      return;
+    } else {
+      // Plain Reno leaves recovery on any new ACK.
+      cwnd_ = ssthresh_;
+      in_recovery_ = false;
+      dup_acks_ = 0;
+    }
+  } else {
+    dup_acks_ = 0;
+    const std::int64_t increments = config_.increase_per_acked_packet ? newly_acked : 1;
+    for (std::int64_t i = 0; i < increments; ++i) {
+      if (cwnd_ < ssthresh_) {
+        cwnd_ += 1.0;  // slow start
+      } else {
+        cwnd_ += 1.0 / cwnd_;  // congestion avoidance
+      }
+    }
+    cwnd_ = std::min(cwnd_, static_cast<double>(config_.max_window));
+  }
+
+  if (flow_packets_ >= 0 && snd_una_ >= flow_packets_) {
+    complete();
+    return;
+  }
+
+  if (snd_nxt_ > snd_una_) {
+    arm_timer();  // restart for remaining outstanding data
+  } else {
+    disarm_timer();
+  }
+  send_available();
+}
+
+void TcpSource::handle_dup_ack() {
+  if (in_recovery_) {
+    cwnd_ += 1.0;  // inflation: each dup ACK signals a departure
+    send_available();
+    return;
+  }
+  ++dup_acks_;
+  // RFC 6582 gate: only treat 3 dup ACKs as a new loss event once the
+  // cumulative ACK has passed `recover_`. Dup ACKs generated while holes
+  // from a previous loss event (or post-timeout go-back-N resends) are
+  // still being repaired must not trigger another window halving.
+  if (dup_acks_ >= 3 && snd_una_ > recover_) {
+    enter_fast_recovery();
+    return;
+  }
+  // Limited transmit (RFC 3042): the first two dup ACKs each release one
+  // new segment beyond the window, keeping the ACK clock alive for flows
+  // whose windows are too small to produce three dup ACKs.
+  if (config_.limited_transmit && dup_acks_ <= 2 && snd_una_ > recover_ &&
+      (flow_packets_ < 0 || snd_nxt_ < flow_packets_) &&
+      snd_nxt_ < snd_una_ + effective_window() + 2) {
+    transmit(snd_nxt_);
+    ++snd_nxt_;
+  }
+}
+
+void TcpSource::enter_fast_recovery() {
+  ++stats_.fast_retransmits;
+  const auto flight = static_cast<double>(packets_in_flight());
+  ssthresh_ = std::max(flight / 2.0, 2.0);
+  recover_ = snd_nxt_ - 1;
+  if (config_.flavor == TcpFlavor::kTahoe) {
+    // Tahoe: retransmit and restart from slow start; no recovery phase.
+    cwnd_ = 1.0;
+    in_recovery_ = false;
+    dup_acks_ = 0;
+    snd_nxt_ = snd_una_;  // go-back-N, as after a timeout
+    send_available();
+    arm_timer();
+    return;
+  }
+  cwnd_ = ssthresh_ + 3.0;
+  in_recovery_ = true;
+  partial_ack_seen_ = false;
+  transmit(snd_una_);
+  arm_timer();
+}
+
+void TcpSource::on_timeout() {
+  if (finished_) return;
+  ++stats_.timeouts;
+  rtt_.backoff();
+
+  // Reduce the window once per loss event: if the timeout interrupts an
+  // ongoing fast recovery, ssthresh was already halved when that event was
+  // detected, and flight is inflated by recovery sends — halving again from
+  // it would shrink the window far below half and trigger oscillation.
+  if (!in_recovery_) {
+    const auto flight = static_cast<double>(packets_in_flight());
+    ssthresh_ = std::max(flight / 2.0, 2.0);
+  }
+  cwnd_ = 1.0;
+  dup_acks_ = 0;
+  in_recovery_ = false;
+  partial_ack_seen_ = false;
+  recover_ = snd_nxt_ - 1;
+
+  // Go-back-N: resume from the cumulative-ACK point. Anything the receiver
+  // already holds is re-covered by the jump in its cumulative ACK.
+  snd_nxt_ = snd_una_;
+  send_available();
+  arm_timer();
+}
+
+void TcpSource::arm_timer() {
+  disarm_timer();
+  timer_ = sim_.after(rtt_.rto(), [this] { on_timeout(); });
+}
+
+void TcpSource::disarm_timer() { timer_.cancel(); }
+
+void TcpSource::complete() {
+  finished_ = true;
+  finish_time_ = sim_.now();
+  disarm_timer();
+  pace_timer_.cancel();
+  if (on_complete_) on_complete_(*this);
+}
+
+}  // namespace rbs::tcp

@@ -1,0 +1,155 @@
+// TCP sender implementing Reno / NewReno congestion control at packet
+// granularity: slow start, congestion avoidance (AIMD), fast retransmit,
+// fast recovery, and RFC 6298 retransmission timeouts.
+//
+// Windows are counted in packets (MSS units), matching the paper. The flow
+// either sends forever (long-lived, the paper's §2–3) or exactly
+// `flow_packets` segments (short flows, §4), invoking a completion callback
+// when the last segment is acknowledged.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/rtt_estimator.hpp"
+
+namespace rbs::tcp {
+
+/// Congestion-control flavor.
+enum class TcpFlavor : std::uint8_t {
+  kTahoe,    ///< fast retransmit, then slow start from cwnd = 1 (no recovery)
+  kReno,     ///< fast recovery; exit on any new ACK
+  kNewReno,  ///< fast recovery; repair each hole on partial ACKs (RFC 6582)
+};
+
+struct TcpConfig {
+  std::int32_t segment_bytes{1000};  ///< wire size of a data packet
+  double initial_cwnd{2.0};          ///< packets; the paper's slow start "first sends two"
+  double initial_ssthresh{1e12};     ///< effectively unbounded
+  std::int64_t max_window{1'000'000};  ///< receiver window cap, packets
+  TcpFlavor flavor{TcpFlavor::kNewReno};
+  /// true: window growth counts acknowledged *packets* (robust under
+  /// delayed ACKs, like RFC 3465 byte counting). false: growth counts ACK
+  /// arrivals (classic ns-2 behaviour; halves slow-start speed under
+  /// delayed ACKs).
+  bool increase_per_acked_packet{true};
+  /// Pace new data at cwnd/SRTT instead of sending back-to-back on each
+  /// ACK. Pacing removes the slow-start burst structure, which is what lets
+  /// buffers shrink to O(log W) in the "very small buffers" follow-up work
+  /// (Enachescu et al.). Retransmissions are never paced.
+  bool pacing{false};
+  /// Limited transmit (RFC 3042): send one new segment on each of the first
+  /// two duplicate ACKs, so flows with windows too small to generate three
+  /// dup ACKs can still trigger fast retransmit instead of timing out.
+  /// Off by default (the paper-era ns-2 behaviour).
+  bool limited_transmit{false};
+  /// RTT assumed for the pacing rate before the first RTT sample arrives.
+  sim::SimTime pacing_initial_rtt{sim::SimTime::milliseconds(100)};
+  RttEstimator::Config rtt{};
+};
+
+/// Sender-side counters for analysis.
+struct TcpSourceStats {
+  std::uint64_t data_packets_sent{0};  ///< including retransmissions
+  std::uint64_t retransmissions{0};
+  std::uint64_t fast_retransmits{0};
+  std::uint64_t timeouts{0};
+  std::uint64_t acks_received{0};
+  std::uint64_t dup_acks_received{0};
+  std::uint64_t ecn_reductions{0};  ///< window halvings from ECN-Echo
+};
+
+/// One TCP connection's sender.
+class TcpSource final : public net::Agent {
+ public:
+  /// Invoked once when the final segment of a finite flow is acknowledged.
+  /// Must not destroy the source synchronously; defer destruction with
+  /// Simulation::after(0, ...) if needed.
+  using CompletionCallback = std::function<void(TcpSource&)>;
+
+  /// Registers on `host` for `flow`; data is addressed to node `dst`
+  /// (the host where the matching TcpSink lives).
+  /// `flow_packets` < 0 means long-lived (never completes).
+  TcpSource(sim::Simulation& sim, net::Host& host, net::NodeId dst, net::FlowId flow,
+            TcpConfig config, std::int64_t flow_packets = -1);
+  ~TcpSource() override;
+
+  TcpSource(const TcpSource&) = delete;
+  TcpSource& operator=(const TcpSource&) = delete;
+
+  /// Begins transmitting at absolute time `at` (>= now).
+  void start(sim::SimTime at);
+
+  /// Handles incoming ACKs.
+  void on_packet(const net::Packet& p) override;
+
+  void set_completion_callback(CompletionCallback cb) { on_complete_ = std::move(cb); }
+
+  // --- Observability -------------------------------------------------------
+  [[nodiscard]] double cwnd() const noexcept { return cwnd_; }
+  [[nodiscard]] double ssthresh() const noexcept { return ssthresh_; }
+  [[nodiscard]] bool in_slow_start() const noexcept { return cwnd_ < ssthresh_; }
+  [[nodiscard]] bool in_recovery() const noexcept { return in_recovery_; }
+  [[nodiscard]] std::int64_t packets_in_flight() const noexcept { return snd_nxt_ - snd_una_; }
+  [[nodiscard]] std::int64_t snd_una() const noexcept { return snd_una_; }
+  [[nodiscard]] std::int64_t snd_nxt() const noexcept { return snd_nxt_; }
+  [[nodiscard]] bool started() const noexcept { return started_; }
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+  [[nodiscard]] sim::SimTime start_time() const noexcept { return start_time_; }
+  [[nodiscard]] sim::SimTime finish_time() const noexcept { return finish_time_; }
+  [[nodiscard]] std::int64_t flow_packets() const noexcept { return flow_packets_; }
+  [[nodiscard]] net::FlowId flow() const noexcept { return flow_; }
+  [[nodiscard]] const TcpSourceStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const RttEstimator& rtt_estimator() const noexcept { return rtt_; }
+  [[nodiscard]] const TcpConfig& config() const noexcept { return config_; }
+
+ private:
+  void send_available();
+  void schedule_paced_send();
+  [[nodiscard]] sim::SimTime pacing_interval() const noexcept;
+  void transmit(std::int64_t seq);
+  void handle_new_ack(std::int64_t ack, sim::SimTime echoed);
+  void handle_dup_ack();
+  void enter_fast_recovery();
+  void on_timeout();
+  void arm_timer();
+  void disarm_timer();
+  void complete();
+  [[nodiscard]] std::int64_t effective_window() const noexcept;
+
+  sim::Simulation& sim_;
+  net::Host& host_;
+  net::NodeId dst_;
+  net::FlowId flow_;
+  TcpConfig config_;
+  std::int64_t flow_packets_;
+
+  // Reno state. Sequence numbers count packets.
+  std::int64_t snd_una_{0};   ///< lowest unacknowledged
+  std::int64_t snd_nxt_{0};   ///< next to send
+  std::int64_t max_sent_{-1}; ///< highest sequence ever transmitted
+  double cwnd_;
+  double ssthresh_;
+  int dup_acks_{0};
+  bool in_recovery_{false};
+  bool partial_ack_seen_{false};  ///< impatient-timer state (RFC 6582)
+  std::int64_t recover_{-1};  ///< highest outstanding seq when loss detected
+  std::int64_t ecn_recover_{-1};  ///< once-per-window guard for ECN reductions
+
+  RttEstimator rtt_;
+  sim::Scheduler::EventHandle timer_;
+  sim::Scheduler::EventHandle pace_timer_;
+  sim::SimTime last_paced_send_{};
+
+  bool started_{false};
+  bool finished_{false};
+  sim::SimTime start_time_{};
+  sim::SimTime finish_time_{};
+  TcpSourceStats stats_;
+  CompletionCallback on_complete_;
+};
+
+}  // namespace rbs::tcp

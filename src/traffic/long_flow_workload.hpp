@@ -1,0 +1,60 @@
+// Workload of n long-lived TCP flows over a dumbbell (§3, §5.1.1).
+//
+// One flow per leaf, with randomly staggered start times. Start staggering
+// plus per-leaf RTT spread is what desynchronizes the sawtooths.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/dumbbell.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/tcp_sink.hpp"
+#include "tcp/tcp_source.hpp"
+
+namespace rbs::traffic {
+
+struct LongFlowWorkloadConfig {
+  tcp::TcpConfig tcp{};
+  tcp::TcpSinkConfig sink{};
+  /// Starts are drawn uniformly from [0, start_stagger].
+  sim::SimTime start_stagger{sim::SimTime::seconds(5)};
+  /// RNG stream for start times (forked from the simulation RNG).
+  std::uint64_t rng_stream{0x10F6};
+  /// First flow id used (one id per leaf, consecutive).
+  net::FlowId first_flow_id{1};
+};
+
+/// Creates, starts, and owns one long-lived flow per dumbbell leaf.
+class LongFlowWorkload {
+ public:
+  LongFlowWorkload(sim::Simulation& sim, net::Dumbbell& topo, LongFlowWorkloadConfig config);
+
+  [[nodiscard]] int num_flows() const noexcept { return static_cast<int>(sources_.size()); }
+  [[nodiscard]] tcp::TcpSource& source(int i) noexcept {
+    return *sources_.at(static_cast<std::size_t>(i));
+  }
+  [[nodiscard]] const tcp::TcpSource& source(int i) const noexcept {
+    return *sources_.at(static_cast<std::size_t>(i));
+  }
+  [[nodiscard]] tcp::TcpSink& sink(int i) noexcept {
+    return *sinks_.at(static_cast<std::size_t>(i));
+  }
+
+  /// Sum of all current congestion windows, in packets — the aggregate
+  /// window process W(t) of §3.
+  [[nodiscard]] double total_cwnd() const noexcept;
+
+  /// Per-flow windows (for synchronization analysis).
+  [[nodiscard]] std::vector<double> cwnd_snapshot() const;
+
+  /// Aggregate sender-side counters over all flows.
+  [[nodiscard]] tcp::TcpSourceStats total_stats() const noexcept;
+
+ private:
+  std::vector<std::unique_ptr<tcp::TcpSource>> sources_;
+  std::vector<std::unique_ptr<tcp::TcpSink>> sinks_;
+};
+
+}  // namespace rbs::traffic

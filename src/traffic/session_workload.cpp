@@ -1,0 +1,72 @@
+#include "traffic/session_workload.hpp"
+
+#include <cassert>
+
+namespace rbs::traffic {
+
+SessionWorkload::SessionWorkload(sim::Simulation& sim, net::Dumbbell& topo,
+                                 FlowSizeDistribution& sizes, SessionWorkloadConfig config)
+    : sim_{sim},
+      topo_{topo},
+      sizes_{sizes},
+      config_{config},
+      rng_{sim.rng().fork(config.rng_stream)},
+      next_flow_id_{config.first_flow_id} {
+  assert(config_.sessions_per_leaf >= 1);
+  const int count =
+      config_.leaf_count > 0 ? config_.leaf_count : topo_.num_leaves() - config_.leaf_offset;
+  assert(count >= 1);
+
+  sessions_.resize(static_cast<std::size_t>(count * config_.sessions_per_leaf));
+  for (int i = 0; i < count * config_.sessions_per_leaf; ++i) {
+    sessions_[static_cast<std::size_t>(i)].leaf = config_.leaf_offset + i % count;
+    // Stagger initial starts across one mean think time.
+    const auto delay =
+        sim::SimTime::from_seconds(rng_.exponential(config_.mean_think_time_sec));
+    sessions_[static_cast<std::size_t>(i)].next_start =
+        sim_.after(delay, [this, i] { start_transfer(i); });
+  }
+}
+
+SessionWorkload::~SessionWorkload() {
+  stopped_ = true;
+  for (auto& s : sessions_) s.next_start.cancel();
+}
+
+void SessionWorkload::start_transfer(int session_index) {
+  if (stopped_) return;
+  auto& session = sessions_[static_cast<std::size_t>(session_index)];
+  const net::FlowId flow = next_flow_id_++;
+  const std::int64_t length = sizes_.sample(rng_);
+
+  session.sink = std::make_unique<tcp::TcpSink>(sim_, topo_.receiver(session.leaf), flow,
+                                                config_.sink);
+  session.source = std::make_unique<tcp::TcpSource>(sim_, topo_.sender(session.leaf),
+                                                    topo_.receiver(session.leaf).id(), flow,
+                                                    config_.tcp, length);
+  session.source->set_completion_callback([this, session_index](tcp::TcpSource&) {
+    // The source is inside its ACK handler; defer the teardown.
+    sim_.after(sim::SimTime::zero(), [this, session_index] { finish_transfer(session_index); });
+  });
+  session.source->start(sim_.now());
+  ++started_;
+  ++active_;
+}
+
+void SessionWorkload::finish_transfer(int session_index) {
+  auto& session = sessions_[static_cast<std::size_t>(session_index)];
+  if (!session.source) return;
+  fct_.record(session.source->flow_packets(), session.source->start_time(),
+              session.source->finish_time());
+  session.source.reset();
+  session.sink.reset();
+  ++completed_;
+  --active_;
+
+  if (stopped_) return;
+  const auto think =
+      sim::SimTime::from_seconds(rng_.exponential(config_.mean_think_time_sec));
+  session.next_start = sim_.after(think, [this, session_index] { start_transfer(session_index); });
+}
+
+}  // namespace rbs::traffic

@@ -1,0 +1,87 @@
+// Harpoon-style session workload (Sommers & Barford, the generator used for
+// the paper's Cisco GSR experiment).
+//
+// A fixed population of "users" each runs an ON/OFF loop: transfer a file
+// (drawn from a flow-size distribution) over a fresh TCP connection, think
+// for an exponentially distributed pause, repeat. With heavy-tailed sizes
+// this produces the self-similar byte arrivals Harpoon was built to emulate,
+// and — unlike open Poisson arrivals — it is closed-loop: users back off
+// when the network is slow, as real ones do.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/dumbbell.hpp"
+#include "sim/simulation.hpp"
+#include "stats/fct_tracker.hpp"
+#include "tcp/tcp_sink.hpp"
+#include "tcp/tcp_source.hpp"
+#include "traffic/flow_size.hpp"
+
+namespace rbs::traffic {
+
+struct SessionWorkloadConfig {
+  tcp::TcpConfig tcp{};
+  tcp::TcpSinkConfig sink{};
+  int sessions_per_leaf{1};
+  double mean_think_time_sec{1.0};  ///< exponential OFF period
+  std::uint64_t rng_stream{0xA4B00};
+  net::FlowId first_flow_id{2'000'000};
+  /// Restrict to leaves [leaf_offset, leaf_offset + leaf_count);
+  /// leaf_count == 0 means all leaves.
+  int leaf_offset{0};
+  int leaf_count{0};
+};
+
+/// Runs a closed population of transfer/think sessions over a dumbbell.
+class SessionWorkload {
+ public:
+  /// `sizes` must outlive the workload.
+  SessionWorkload(sim::Simulation& sim, net::Dumbbell& topo, FlowSizeDistribution& sizes,
+                  SessionWorkloadConfig config);
+  ~SessionWorkload();
+
+  SessionWorkload(const SessionWorkload&) = delete;
+  SessionWorkload& operator=(const SessionWorkload&) = delete;
+
+  /// Lets in-flight transfers finish but starts no new ones.
+  void stop() noexcept { stopped_ = true; }
+
+  [[nodiscard]] int num_sessions() const noexcept {
+    return static_cast<int>(sessions_.size());
+  }
+  [[nodiscard]] std::uint64_t transfers_completed() const noexcept { return completed_; }
+  [[nodiscard]] std::uint64_t transfers_started() const noexcept { return started_; }
+  /// Sessions currently transferring (the rest are thinking).
+  [[nodiscard]] int sessions_active() const noexcept { return active_; }
+  [[nodiscard]] const stats::FctTracker& completions() const noexcept { return fct_; }
+
+ private:
+  struct Session {
+    int leaf{0};
+    std::unique_ptr<tcp::TcpSource> source;
+    std::unique_ptr<tcp::TcpSink> sink;
+    sim::Scheduler::EventHandle next_start;
+  };
+
+  void start_transfer(int session_index);
+  void finish_transfer(int session_index);
+
+  sim::Simulation& sim_;
+  net::Dumbbell& topo_;
+  FlowSizeDistribution& sizes_;
+  SessionWorkloadConfig config_;
+  sim::Rng rng_;
+
+  std::vector<Session> sessions_;
+  net::FlowId next_flow_id_;
+  std::uint64_t started_{0};
+  std::uint64_t completed_{0};
+  int active_{0};
+  bool stopped_{false};
+  stats::FctTracker fct_;
+};
+
+}  // namespace rbs::traffic

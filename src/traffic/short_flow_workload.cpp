@@ -1,0 +1,73 @@
+#include "traffic/short_flow_workload.hpp"
+
+#include <cassert>
+
+namespace rbs::traffic {
+
+double arrival_rate_for_load(double load, double rate_bps, double mean_flow_packets,
+                             std::int32_t packet_bytes) noexcept {
+  assert(load > 0 && mean_flow_packets > 0);
+  const double flow_bits = mean_flow_packets * 8.0 * static_cast<double>(packet_bytes);
+  return load * rate_bps / flow_bits;
+}
+
+ShortFlowWorkload::ShortFlowWorkload(sim::Simulation& sim, net::Dumbbell& topo,
+                                     FlowSizeDistribution& sizes,
+                                     ShortFlowWorkloadConfig config)
+    : sim_{sim},
+      topo_{topo},
+      sizes_{sizes},
+      config_{config},
+      rng_{sim.rng().fork(config.rng_stream)},
+      next_flow_id_{config.first_flow_id} {
+  assert(config_.arrivals_per_sec > 0);
+  arrival_event_ = sim_.at(config_.start, [this] {
+    launch_flow();
+    schedule_next_arrival();
+  });
+}
+
+ShortFlowWorkload::~ShortFlowWorkload() { stop_arrivals(); }
+
+void ShortFlowWorkload::schedule_next_arrival() {
+  const double gap_sec = rng_.exponential(1.0 / config_.arrivals_per_sec);
+  arrival_event_ = sim_.after(sim::SimTime::from_seconds(gap_sec), [this] {
+    launch_flow();
+    schedule_next_arrival();
+  });
+}
+
+void ShortFlowWorkload::launch_flow() {
+  const net::FlowId flow = next_flow_id_++;
+  const int count =
+      config_.leaf_count > 0 ? config_.leaf_count : topo_.num_leaves() - config_.leaf_offset;
+  const int leaf = config_.leaf_offset + next_leaf_;
+  next_leaf_ = (next_leaf_ + 1) % count;
+
+  const std::int64_t length = sizes_.sample(rng_);
+
+  ActiveFlow af;
+  af.sink = std::make_unique<tcp::TcpSink>(sim_, topo_.receiver(leaf), flow, config_.sink);
+  af.source = std::make_unique<tcp::TcpSource>(sim_, topo_.sender(leaf),
+                                               topo_.receiver(leaf).id(), flow, config_.tcp,
+                                               length);
+  af.source->set_completion_callback([this, flow](tcp::TcpSource&) {
+    // Defer teardown: the source is still inside its ACK handler.
+    sim_.after(sim::SimTime::zero(), [this, flow] { reap_flow(flow); });
+  });
+  af.source->start(sim_.now());
+
+  active_.emplace(flow, std::move(af));
+  ++flows_started_;
+}
+
+void ShortFlowWorkload::reap_flow(net::FlowId flow) {
+  const auto it = active_.find(flow);
+  if (it == active_.end()) return;
+  const auto& src = *it->second.source;
+  fct_.record(src.flow_packets(), src.start_time(), src.finish_time());
+  ++flows_completed_;
+  active_.erase(it);
+}
+
+}  // namespace rbs::traffic

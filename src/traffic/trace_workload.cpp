@@ -1,0 +1,107 @@
+#include "traffic/trace_workload.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rbs::traffic {
+
+std::vector<TraceRecord> parse_trace(const std::string& text) {
+  std::vector<TraceRecord> records;
+  std::istringstream in{text};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields{line};
+    double arrival;
+    long long size;
+    if (!(fields >> arrival)) continue;  // blank/comment line
+    if (!(fields >> size) || arrival < 0 || size < 1) {
+      throw std::runtime_error("trace parse error at line " + std::to_string(line_no) +
+                               ": expected '<arrival_seconds> <size_packets>'");
+    }
+    std::string extra;
+    if (fields >> extra) {
+      throw std::runtime_error("trace parse error at line " + std::to_string(line_no) +
+                               ": trailing content '" + extra + "'");
+    }
+    records.push_back({arrival, size});
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.arrival_sec < b.arrival_sec;
+                   });
+  return records;
+}
+
+std::vector<TraceRecord> load_trace_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_trace(text.str());
+}
+
+std::string format_trace(const std::vector<TraceRecord>& records) {
+  std::string out = "# arrival_seconds size_packets\n";
+  char line[64];
+  for (const auto& r : records) {
+    std::snprintf(line, sizeof line, "%.6f %lld\n", r.arrival_sec,
+                  static_cast<long long>(r.size_packets));
+    out += line;
+  }
+  return out;
+}
+
+TraceWorkload::TraceWorkload(sim::Simulation& sim, net::Dumbbell& topo,
+                             std::vector<TraceRecord> records, TraceWorkloadConfig config)
+    : sim_{sim}, topo_{topo}, config_{config}, records_{std::move(records)} {
+  assert(config_.time_scale > 0);
+  launches_.reserve(records_.size());
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const auto at =
+        sim::SimTime::from_seconds(records_[i].arrival_sec * config_.time_scale);
+    launches_.push_back(sim_.at(at, [this, i] { launch(i); }));
+  }
+}
+
+TraceWorkload::~TraceWorkload() {
+  for (auto& h : launches_) h.cancel();
+}
+
+void TraceWorkload::launch(std::size_t index) {
+  const auto& record = records_[index];
+  const net::FlowId flow = config_.first_flow_id + static_cast<net::FlowId>(index);
+  const int count =
+      config_.leaf_count > 0 ? config_.leaf_count : topo_.num_leaves() - config_.leaf_offset;
+  const int leaf = config_.leaf_offset + static_cast<int>(index % static_cast<std::size_t>(count));
+
+  ActiveFlow af;
+  af.sink = std::make_unique<tcp::TcpSink>(sim_, topo_.receiver(leaf), flow, config_.sink);
+  af.source = std::make_unique<tcp::TcpSource>(sim_, topo_.sender(leaf),
+                                               topo_.receiver(leaf).id(), flow, config_.tcp,
+                                               record.size_packets);
+  af.source->set_completion_callback([this, flow](tcp::TcpSource&) {
+    sim_.after(sim::SimTime::zero(), [this, flow] { reap(flow); });
+  });
+  af.source->start(sim_.now());
+  active_.emplace(flow, std::move(af));
+  ++started_;
+}
+
+void TraceWorkload::reap(net::FlowId flow) {
+  const auto it = active_.find(flow);
+  if (it == active_.end()) return;
+  const auto& src = *it->second.source;
+  fct_.record(src.flow_packets(), src.start_time(), src.finish_time());
+  ++completed_;
+  active_.erase(it);
+}
+
+}  // namespace rbs::traffic

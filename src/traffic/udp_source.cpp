@@ -1,0 +1,61 @@
+#include "traffic/udp_source.hpp"
+
+#include <cassert>
+
+namespace rbs::traffic {
+
+UdpSource::UdpSource(sim::Simulation& sim, net::Host& host, net::NodeId dst, net::FlowId flow,
+                     UdpSourceConfig config)
+    : sim_{sim},
+      host_{host},
+      dst_{dst},
+      flow_{flow},
+      config_{config},
+      rng_{sim.rng().fork(config.rng_stream ^ flow)} {
+  assert(config_.rate_bps > 0 && config_.packet_bytes > 0);
+  host_.register_agent(flow_, *this);
+}
+
+UdpSource::~UdpSource() {
+  stop();
+  host_.unregister_agent(flow_);
+}
+
+void UdpSource::start(sim::SimTime at) {
+  next_send_ = sim_.at(at, [this] { send_one(); });
+}
+
+sim::SimTime UdpSource::next_gap() {
+  const double mean_gap_sec =
+      8.0 * static_cast<double>(config_.packet_bytes) / config_.rate_bps;
+  if (config_.poisson_gaps) {
+    return sim::SimTime::from_seconds(rng_.exponential(mean_gap_sec));
+  }
+  return sim::SimTime::from_seconds(mean_gap_sec);
+}
+
+void UdpSource::send_one() {
+  net::Packet p;
+  p.flow = flow_;
+  p.kind = net::PacketKind::kUdp;
+  p.src = host_.id();
+  p.dst = dst_;
+  p.seq = next_seq_++;
+  p.size_bytes = config_.packet_bytes;
+  p.timestamp = sim_.now();
+  host_.send(p);
+  ++packets_sent_;
+  next_send_ = sim_.after(next_gap(), [this] { send_one(); });
+}
+
+UdpSink::UdpSink(net::Host& host, net::FlowId flow) : host_{host}, flow_{flow} {
+  host_.register_agent(flow_, *this);
+}
+
+UdpSink::~UdpSink() { host_.unregister_agent(flow_); }
+
+void UdpSink::on_packet(const net::Packet& p) {
+  if (p.kind == net::PacketKind::kUdp) ++packets_received_;
+}
+
+}  // namespace rbs::traffic

@@ -1,0 +1,145 @@
+// Tests for the exact M[X]/D/1 batch-queue simulation, including the check
+// that the paper's effective-bandwidth expression really is an upper bound.
+#include "core/batch_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/short_flow_model.hpp"
+
+namespace rbs::core {
+namespace {
+
+TEST(BatchQueue, ObservedLoadMatchesConfigured) {
+  BatchQueueConfig cfg;
+  cfg.load = 0.7;
+  cfg.num_batches = 300'000;
+  const auto r = run_batch_queue(cfg);
+  EXPECT_NEAR(r.observed_load, 0.7, 0.01);
+}
+
+TEST(BatchQueue, TailIsAProperSurvivalFunction) {
+  BatchQueueConfig cfg;
+  cfg.load = 0.8;
+  const auto r = run_batch_queue(cfg);
+  ASSERT_GE(r.tail.size(), 100u);
+  EXPECT_DOUBLE_EQ(r.tail[0], 1.0);
+  for (std::size_t b = 1; b < r.tail.size(); ++b) {
+    EXPECT_LE(r.tail[b], r.tail[b - 1] + 1e-12);
+    EXPECT_GE(r.tail[b], 0.0);
+  }
+}
+
+TEST(BatchQueue, FormulaOverestimatesTheDecayRate) {
+  // The paper's P(Q >= b) expression uses the quadratic (two-moment)
+  // approximation of the batch MGF. The approximation's root exceeds the
+  // true large-deviations exponent, so against the exact batch queue the
+  // formula decays at least as fast — it *under*-predicts deep tails of its
+  // own queueing model (dramatically so at low load), and never sits far
+  // above them. The paper's sizing still works for the network because ACK
+  // clocking spaces a flow's bursts an RTT apart instead of delivering them
+  // as one batch, putting the real tail far below both curves — see
+  // integration_test.cpp.
+  for (const double rho : {0.5, 0.7, 0.85}) {
+    for (const std::int64_t flow : {14, 62, 254}) {
+      BatchQueueConfig cfg;
+      cfg.load = rho;
+      cfg.burst_sizes = slow_start_bursts(flow);
+      cfg.num_batches = 200'000;
+      const auto exact = run_batch_queue(cfg);
+      const auto m = burst_moments_for_flow(flow);
+
+      // (a) The formula is never far above the exact tail anywhere.
+      // (b) Its decay between two depths is at least the exact decay.
+      const std::size_t b1 = 60, b2 = 240;
+      for (std::size_t b = 20; b < 300 && b < exact.tail.size(); b += 20) {
+        if (exact.tail[b] < 1e-4) break;
+        const double formula = queue_tail_probability(rho, m, static_cast<double>(b));
+        EXPECT_LT(formula, exact.tail[b] * 3.0)
+            << "rho=" << rho << " flow=" << flow << " b=" << b;
+      }
+      if (exact.tail[b2] >= 1e-4) {
+        const double exact_decay = exact.tail[b2] / exact.tail[b1];
+        const double formula_decay =
+            queue_tail_probability(rho, m, static_cast<double>(b2)) /
+            queue_tail_probability(rho, m, static_cast<double>(b1));
+        EXPECT_LE(formula_decay, exact_decay * 1.25)
+            << "rho=" << rho << " flow=" << flow;
+      }
+    }
+  }
+}
+
+TEST(BatchQueue, FormulaIsAccurateNearSaturation) {
+  // The quadratic approximation is good exactly where buffers matter: high
+  // load. At rho = 0.85 the formula stays within ~3x of the exact tail
+  // through the buffer-setting region.
+  BatchQueueConfig cfg;
+  cfg.load = 0.85;
+  cfg.burst_sizes = slow_start_bursts(62);
+  cfg.num_batches = 400'000;
+  const auto exact = run_batch_queue(cfg);
+  const auto m = burst_moments_for_flow(62);
+  for (std::size_t b = 100; b <= 300; b += 50) {
+    ASSERT_GT(exact.tail[b], 1e-4);
+    const double ratio =
+        queue_tail_probability(0.85, m, static_cast<double>(b)) / exact.tail[b];
+    EXPECT_GT(ratio, 0.3) << "b=" << b;
+    EXPECT_LT(ratio, 3.0) << "b=" << b;
+  }
+}
+
+TEST(BatchQueue, FormulaFactorAtThePaperOperatingPoint) {
+  // Pin the gap at the Fig 8 design point: load 0.8, 62-packet flows,
+  // b = 162. The exact tail is ~1.6x the formula's 0.025.
+  BatchQueueConfig cfg;
+  cfg.load = 0.8;
+  cfg.burst_sizes = slow_start_bursts(62);
+  cfg.num_batches = 400'000;
+  const auto exact = run_batch_queue(cfg);
+  const auto m = burst_moments_for_flow(62);
+  const double formula = queue_tail_probability(0.8, m, 162);
+  EXPECT_NEAR(formula, 0.025, 0.001);
+  EXPECT_NEAR(exact.tail[162] / formula, 1.6, 0.5);
+}
+
+TEST(BatchQueue, UnitBatchesReduceToMD1) {
+  // X === 1: the M/D/1 special case. The time-averaged workload equals the
+  // virtual waiting time (PASTA): E[V] = lambda*E[S^2]/(2(1-rho)) with
+  // deterministic unit service = rho/(2(1-rho)).
+  BatchQueueConfig cfg;
+  cfg.load = 0.6;
+  cfg.burst_sizes = {1};
+  cfg.num_batches = 500'000;
+  const auto r = run_batch_queue(cfg);
+  const double expected = 0.6 / (2.0 * 0.4);
+  EXPECT_NEAR(r.mean_workload_packets, expected, expected * 0.05);
+}
+
+TEST(BatchQueue, BurstierMixesHaveFatterTails) {
+  BatchQueueConfig smooth;
+  smooth.load = 0.8;
+  smooth.burst_sizes = {1};
+  BatchQueueConfig bursty;
+  bursty.load = 0.8;
+  bursty.burst_sizes = slow_start_bursts(62);
+  const auto s = run_batch_queue(smooth);
+  const auto b = run_batch_queue(bursty);
+  EXPECT_LT(s.tail[60], b.tail[60]);
+  EXPECT_LT(s.mean_workload_packets, b.mean_workload_packets);
+}
+
+TEST(BatchQueue, DeterministicPerSeed) {
+  BatchQueueConfig cfg;
+  cfg.num_batches = 50'000;
+  const auto a = run_batch_queue(cfg);
+  const auto b = run_batch_queue(cfg);
+  EXPECT_DOUBLE_EQ(a.mean_workload_packets, b.mean_workload_packets);
+  cfg.seed = 2;
+  const auto c = run_batch_queue(cfg);
+  EXPECT_NE(a.mean_workload_packets, c.mean_workload_packets);
+}
+
+}  // namespace
+}  // namespace rbs::core

@@ -1,0 +1,81 @@
+// Unit tests for burstiness diagnostics (autocorrelation, IDC).
+#include "stats/burstiness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.hpp"
+
+namespace rbs::stats {
+namespace {
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  EXPECT_DOUBLE_EQ(autocorrelation({1, 2, 3, 4, 5}, 0), 1.0);
+}
+
+TEST(Autocorrelation, PeriodicSignalPeaksAtPeriod) {
+  std::vector<double> s;
+  for (int i = 0; i < 400; ++i) s.push_back(i % 4 == 0 ? 1.0 : 0.0);
+  EXPECT_GT(autocorrelation(s, 4), 0.9);
+  EXPECT_LT(autocorrelation(s, 2), 0.0);  // anti-phase
+}
+
+TEST(Autocorrelation, WhiteNoiseDecorrelates) {
+  sim::Rng rng{1};
+  std::vector<double> s;
+  for (int i = 0; i < 50'000; ++i) s.push_back(rng.normal());
+  EXPECT_NEAR(autocorrelation(s, 1), 0.0, 0.02);
+  EXPECT_NEAR(autocorrelation(s, 10), 0.0, 0.02);
+}
+
+TEST(Autocorrelation, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(autocorrelation({}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(autocorrelation({5.0}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(autocorrelation({3, 3, 3}, 1), 0.0);  // no variance
+  EXPECT_DOUBLE_EQ(autocorrelation({1, 2, 3}, 5), 0.0);  // lag too large
+}
+
+TEST(IndexOfDispersion, PoissonCountsNearOne) {
+  sim::Rng rng{2};
+  // Approximate Poisson(5) counts by counting exponential arrivals per
+  // unit interval.
+  std::vector<double> counts;
+  double t = 0.0;
+  double interval_end = 1.0;
+  double in_interval = 0;
+  while (counts.size() < 20'000) {
+    t += rng.exponential(1.0 / 5.0);
+    while (t >= interval_end) {
+      counts.push_back(in_interval);
+      in_interval = 0;
+      interval_end += 1.0;
+    }
+    in_interval += 1;
+  }
+  EXPECT_NEAR(index_of_dispersion(counts), 1.0, 0.05);
+}
+
+TEST(IndexOfDispersion, BatchedArrivalsExceedOne) {
+  sim::Rng rng{3};
+  // Same mean rate, but arrivals come in batches of 10.
+  std::vector<double> counts(20'000, 0.0);
+  for (int b = 0; b < 10'000; ++b) {
+    const auto idx = static_cast<std::size_t>(rng.uniform_int(0, 19'999));
+    counts[idx] += 10;
+  }
+  EXPECT_GT(index_of_dispersion(counts), 5.0);
+}
+
+TEST(IndexOfDispersion, ConstantCountsAreZero) {
+  EXPECT_DOUBLE_EQ(index_of_dispersion({4, 4, 4, 4}), 0.0);
+}
+
+TEST(AggregateCounts, SumsBlocksAndDropsRemainder) {
+  const auto out = aggregate_counts({1, 2, 3, 4, 5, 6, 7}, 3);
+  EXPECT_EQ(out, (std::vector<double>{6, 15}));
+  EXPECT_EQ(aggregate_counts({1, 2, 3}, 1), (std::vector<double>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace rbs::stats

@@ -1,0 +1,98 @@
+// Unit tests for the delay recorder, fairness index, and the Link delay hook.
+#include "stats/delay_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "experiment/long_flow_experiment.hpp"
+#include "net/drop_tail_queue.hpp"
+#include "net/link.hpp"
+#include "sim/simulation.hpp"
+
+namespace rbs::stats {
+namespace {
+
+using namespace rbs::sim::literals;
+using sim::SimTime;
+
+TEST(DelayRecorder, QuantilesOfKnownSample) {
+  DelayRecorder rec;
+  for (int i = 1; i <= 100; ++i) rec.record(SimTime::milliseconds(i));
+  EXPECT_EQ(rec.count(), 100u);
+  EXPECT_NEAR(rec.mean_seconds(), 0.0505, 1e-9);
+  EXPECT_NEAR(rec.quantile_seconds(0.0), 0.001, 1e-9);
+  EXPECT_NEAR(rec.quantile_seconds(0.5), 0.0505, 0.001);
+  EXPECT_NEAR(rec.quantile_seconds(0.99), 0.100, 0.002);
+  EXPECT_NEAR(rec.quantile_seconds(1.0), 0.100, 1e-9);
+}
+
+TEST(DelayRecorder, InterleavedRecordAndQuery) {
+  DelayRecorder rec;
+  rec.record(10_ms);
+  EXPECT_NEAR(rec.quantile_seconds(0.5), 0.010, 1e-9);
+  rec.record(30_ms);  // re-sorts lazily
+  EXPECT_NEAR(rec.quantile_seconds(1.0), 0.030, 1e-9);
+}
+
+TEST(DelayRecorder, EmptyIsZero) {
+  DelayRecorder rec;
+  EXPECT_DOUBLE_EQ(rec.quantile_seconds(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(rec.mean_seconds(), 0.0);
+}
+
+TEST(JainFairness, PerfectAndDegenerate) {
+  EXPECT_DOUBLE_EQ(jain_fairness_index({5, 5, 5, 5}), 1.0);
+  EXPECT_NEAR(jain_fairness_index({1, 0, 0, 0}), 0.25, 1e-12);  // 1/n
+  EXPECT_DOUBLE_EQ(jain_fairness_index({}), 0.0);
+  EXPECT_DOUBLE_EQ(jain_fairness_index({0, 0}), 0.0);
+}
+
+TEST(JainFairness, PartialSkew) {
+  // (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+  EXPECT_NEAR(jain_fairness_index({1, 2, 3}), 36.0 / 42.0, 1e-12);
+}
+
+TEST(LinkDelayHook, ReportsQueueingPlusSerialization) {
+  sim::Simulation sim{1};
+  class NullSink final : public net::PacketSink {
+   public:
+    void receive(const net::Packet&) override {}
+  } sink;
+  net::Link link{sim, "l", net::Link::Config{1e6, SimTime::zero()},
+                 std::make_unique<net::DropTailQueue>(10), sink};
+  DelayRecorder rec;
+  link.on_queue_delay = [&rec](SimTime d) { rec.record(d); };
+
+  net::Packet p;
+  p.size_bytes = 1000;  // 8 ms serialization
+  link.receive(p);
+  link.receive(p);  // waits 8 ms, then 8 ms serialization
+  sim.run();
+
+  ASSERT_EQ(rec.count(), 2u);
+  EXPECT_NEAR(rec.quantile_seconds(0.0), 0.008, 1e-9);
+  EXPECT_NEAR(rec.quantile_seconds(1.0), 0.016, 1e-9);
+}
+
+TEST(ExperimentDelays, BiggerBuffersMeanLongerTails) {
+  experiment::LongFlowExperimentConfig cfg;
+  cfg.num_flows = 10;
+  cfg.bottleneck_rate_bps = 10e6;
+  cfg.warmup = SimTime::seconds(5);
+  cfg.measure = SimTime::seconds(10);
+  cfg.record_delays = true;
+
+  cfg.buffer_packets = 20;
+  const auto small = run_long_flow_experiment(cfg);
+  cfg.buffer_packets = 200;
+  const auto big = run_long_flow_experiment(cfg);
+
+  EXPECT_GT(small.delay_p99_sec, 0.0);
+  EXPECT_GT(big.delay_p99_sec, 2.0 * small.delay_p99_sec);
+  EXPECT_GE(big.delay_p99_sec, big.delay_p50_sec);
+  // Fairness is reported and sane.
+  EXPECT_GT(small.fairness, 0.3);
+  EXPECT_LE(small.fairness, 1.0);
+}
+
+}  // namespace
+}  // namespace rbs::stats

@@ -1,0 +1,146 @@
+// Tests for ECN: RED marking, sink echo, and the sender's once-per-window
+// reaction.
+#include <gtest/gtest.h>
+
+#include "experiment/long_flow_experiment.hpp"
+#include "net/dumbbell.hpp"
+#include "net/red_queue.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/tcp_sink.hpp"
+#include "tcp/tcp_source.hpp"
+
+namespace rbs {
+namespace {
+
+using namespace rbs::sim::literals;
+using sim::SimTime;
+
+TEST(RedEcn, MarksInsteadOfDroppingInControlRegion) {
+  sim::Simulation sim{1};
+  net::RedConfig cfg;
+  cfg.min_threshold = 2;
+  cfg.max_threshold = 50;  // wide control region
+  cfg.max_probability = 0.5;
+  cfg.weight = 0.5;
+  cfg.ecn_marking = true;
+  net::RedQueue q{sim, 100, cfg};
+
+  net::Packet p;
+  p.kind = net::PacketKind::kTcpData;
+  p.size_bytes = 1000;
+  std::uint64_t accepted = 0;
+  std::uint64_t ce_seen = 0;
+  const auto drain_one = [&] {
+    if (auto out = q.dequeue(); out && out->ecn_ce) ++ce_seen;
+  };
+  for (int i = 0; i < 500; ++i) {
+    p.seq = i;
+    if (q.enqueue(p)) ++accepted;
+    if (q.size_packets() > 10) drain_one();
+  }
+  while (q.size_packets() > 0) drain_one();
+  EXPECT_GT(q.marked_packets(), 20u);
+  EXPECT_EQ(q.early_drops(), 0u);       // everything markable was marked
+  EXPECT_EQ(ce_seen, q.marked_packets());  // marks travel with the packets
+}
+
+TEST(RedEcn, NonDataPacketsAreNeverMarked) {
+  sim::Simulation sim{1};
+  net::RedConfig cfg;
+  cfg.min_threshold = 1;
+  cfg.max_threshold = 4;
+  cfg.max_probability = 1.0;
+  cfg.weight = 1.0;
+  cfg.ecn_marking = true;
+  net::RedQueue q{sim, 50, cfg};
+
+  net::Packet ack;
+  ack.kind = net::PacketKind::kTcpAck;
+  ack.size_bytes = 40;
+  int drops = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (!q.enqueue(ack)) ++drops;
+  }
+  EXPECT_EQ(q.marked_packets(), 0u);
+  EXPECT_GT(drops, 0);  // ACKs fall back to dropping
+}
+
+TEST(TcpEcn, SinkEchoesCeOnAck) {
+  sim::Simulation sim{1};
+  net::DumbbellConfig topo_cfg;
+  topo_cfg.num_leaves = 1;
+  topo_cfg.access_delays = {5_ms};
+  net::Dumbbell topo{sim, topo_cfg};
+
+  // Capture ACKs at the sender host.
+  class AckLog final : public net::Agent {
+   public:
+    void on_packet(const net::Packet& p) override { ce.push_back(p.ecn_ce); }
+    std::vector<bool> ce;
+  } log;
+  topo.sender(0).register_agent(1, log);
+  tcp::TcpSink sink{sim, topo.receiver(0), 1};
+
+  net::Packet p;
+  p.flow = 1;
+  p.kind = net::PacketKind::kTcpData;
+  p.src = topo.sender(0).id();
+  p.dst = topo.receiver(0).id();
+  p.size_bytes = 1000;
+  p.seq = 0;
+  topo.sender(0).send(p);
+  p.seq = 1;
+  p.ecn_ce = true;
+  topo.sender(0).send(p);
+  p.seq = 2;
+  p.ecn_ce = false;
+  topo.sender(0).send(p);
+  sim.run();
+
+  ASSERT_EQ(log.ce.size(), 3u);
+  EXPECT_FALSE(log.ce[0]);
+  EXPECT_TRUE(log.ce[1]);
+  EXPECT_FALSE(log.ce[2]);
+}
+
+TEST(TcpEcn, SenderHalvesOncePerWindowWithoutRetransmitting) {
+  // ECN-marked RED bottleneck: the flow should be throttled by marks, with
+  // (almost) no packet loss and no retransmissions.
+  experiment::LongFlowExperimentConfig cfg;
+  cfg.num_flows = 10;
+  cfg.bottleneck_rate_bps = 10e6;
+  cfg.buffer_packets = 100;
+  cfg.discipline = net::QueueDiscipline::kRed;
+  cfg.red.ecn_marking = true;
+  cfg.red.min_threshold = 20;
+  cfg.red.max_threshold = 80;
+  cfg.warmup = SimTime::seconds(5);
+  cfg.measure = SimTime::seconds(15);
+  const auto r = run_long_flow_experiment(cfg);
+
+  EXPECT_GT(r.tcp_stats.ecn_reductions, 10u);
+  EXPECT_GT(r.utilization, 0.9);
+  // Marks replace early drops; forced overflows (the slow EWMA reacts late
+  // to window bursts) still cause some loss and retransmission, but far
+  // fewer than the early-drop regime would.
+  EXPECT_LT(r.loss_rate, 0.005);
+  EXPECT_LT(r.tcp_stats.retransmissions, r.tcp_stats.data_packets_sent / 50);
+}
+
+TEST(TcpEcn, EcnKeepsUtilizationComparableToDropRed) {
+  auto run = [](bool ecn) {
+    experiment::LongFlowExperimentConfig cfg;
+    cfg.num_flows = 10;
+    cfg.bottleneck_rate_bps = 10e6;
+    cfg.buffer_packets = 100;
+    cfg.discipline = net::QueueDiscipline::kRed;
+    cfg.red.ecn_marking = ecn;
+    cfg.warmup = SimTime::seconds(5);
+    cfg.measure = SimTime::seconds(15);
+    return run_long_flow_experiment(cfg).utilization;
+  };
+  EXPECT_NEAR(run(true), run(false), 0.08);
+}
+
+}  // namespace
+}  // namespace rbs

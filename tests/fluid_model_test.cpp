@@ -1,0 +1,113 @@
+// Tests for the fluid AIMD model, including cross-validation against the
+// packet-level simulator.
+#include "core/fluid_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "experiment/long_flow_experiment.hpp"
+
+namespace rbs::core {
+namespace {
+
+FluidConfig oc3(int flows, std::int64_t buffer) {
+  FluidConfig cfg;
+  cfg.rate_bps = 155e6;
+  cfg.num_flows = flows;
+  cfg.buffer_packets = buffer;
+  cfg.warmup_sec = 20;
+  cfg.measure_sec = 40;
+  return cfg;
+}
+
+TEST(FluidModel, SingleFlowWithBdpBufferIsFullyUtilized) {
+  FluidConfig cfg;
+  cfg.rate_bps = 10e6;
+  cfg.num_flows = 1;
+  cfg.rtts = {0.092};
+  cfg.buffer_packets = 115;  // = BDP
+  cfg.warmup_sec = 60;       // CA ramp at 10 Mb/s takes a while
+  cfg.measure_sec = 120;
+  const auto r = run_fluid_model(cfg);
+  EXPECT_GT(r.utilization, 0.99);
+}
+
+TEST(FluidModel, SingleFlowUnderbufferedLosesThroughput) {
+  FluidConfig cfg;
+  cfg.rate_bps = 10e6;
+  cfg.num_flows = 1;
+  cfg.rtts = {0.092};
+  cfg.buffer_packets = 29;  // BDP/4
+  cfg.warmup_sec = 60;
+  cfg.measure_sec = 120;
+  const auto r = run_fluid_model(cfg);
+  EXPECT_LT(r.utilization, 0.97);
+  EXPECT_GT(r.utilization, 0.6);
+}
+
+TEST(FluidModel, UtilizationMonotoneInBuffer) {
+  double prev = 0.0;
+  for (const std::int64_t b : {10, 40, 155, 600}) {
+    const double u = run_fluid_model(oc3(100, b)).utilization;
+    EXPECT_GE(u, prev - 0.02);
+    prev = std::max(prev, u);
+  }
+  EXPECT_GT(prev, 0.99);
+}
+
+TEST(FluidModel, SqrtRuleHoldsAtScale) {
+  // n = 400, buffer = 1550/sqrt(400) ~ 78 packets.
+  const auto r = run_fluid_model(oc3(400, 78));
+  EXPECT_GT(r.utilization, 0.97);
+}
+
+TEST(FluidModel, MoreFlowsNarrowTheAggregateWindow) {
+  const auto few = run_fluid_model(oc3(25, 310));
+  const auto many = run_fluid_model(oc3(400, 78));
+  // Coefficient of variation of sum(W) shrinks with n.
+  const double cv_few = few.stddev_total_window / few.mean_total_window;
+  const double cv_many = many.stddev_total_window / many.mean_total_window;
+  EXPECT_GT(cv_few, 1.5 * cv_many);
+}
+
+TEST(FluidModel, DeterministicGivenSeed) {
+  const auto a = run_fluid_model(oc3(50, 100));
+  const auto b = run_fluid_model(oc3(50, 100));
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+  EXPECT_DOUBLE_EQ(a.mean_queue_packets, b.mean_queue_packets);
+}
+
+TEST(FluidModel, LossEventsScaleWithCongestion) {
+  const auto tight = run_fluid_model(oc3(100, 20));
+  const auto roomy = run_fluid_model(oc3(100, 600));
+  EXPECT_GT(tight.loss_events_per_flow_per_sec, roomy.loss_events_per_flow_per_sec);
+}
+
+TEST(FluidModel, AgreesWithPacketSimulatorOnUtilization) {
+  // Cross-validation at and above the sqrt rule, where a fluid abstraction
+  // is valid. (Below the rule the fluid model is optimistic: it has no
+  // sub-RTT packet burstiness, slow start, or timeouts — the very effects
+  // that drain small buffers. See EXPERIMENTS.md.)
+  for (const std::int64_t buffer : {155, 310}) {
+    experiment::LongFlowExperimentConfig pkt;
+    pkt.num_flows = 100;
+    pkt.buffer_packets = buffer;
+    pkt.bottleneck_rate_bps = 155e6;
+    pkt.warmup = sim::SimTime::seconds(10);
+    pkt.measure = sim::SimTime::seconds(20);
+    const double packet_util = run_long_flow_experiment(pkt).utilization;
+    const double fluid_util = run_fluid_model(oc3(100, buffer)).utilization;
+    EXPECT_NEAR(fluid_util, packet_util, 0.08)
+        << "buffer " << buffer << ": fluid " << fluid_util << " vs packet " << packet_util;
+  }
+}
+
+TEST(FluidModel, MeanQueueBoundedByBuffer) {
+  const auto r = run_fluid_model(oc3(100, 155));
+  EXPECT_LE(r.mean_queue_packets, 155.0);
+  EXPECT_GT(r.mean_queue_packets, 0.0);
+}
+
+}  // namespace
+}  // namespace rbs::core

@@ -1,0 +1,73 @@
+// Unit tests for Gaussian fitting and normality diagnostics (Figure 6 math).
+#include "stats/gaussian_fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.hpp"
+
+namespace rbs::stats {
+namespace {
+
+TEST(NormalFunctions, PdfPeakAndSymmetry) {
+  EXPECT_NEAR(normal_pdf(0.0, 0.0, 1.0), 0.398942, 1e-5);
+  EXPECT_NEAR(normal_pdf(1.0, 0.0, 1.0), normal_pdf(-1.0, 0.0, 1.0), 1e-12);
+  // Scaling: pdf of N(5, 2) at 5 is (1/2)*pdf_std(0).
+  EXPECT_NEAR(normal_pdf(5.0, 5.0, 2.0), 0.398942 / 2.0, 1e-5);
+}
+
+TEST(NormalFunctions, CdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0, 0.0, 1.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96, 0.0, 1.0), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96, 0.0, 1.0), 0.025, 1e-3);
+  EXPECT_NEAR(normal_cdf(10.0, 4.0, 3.0), normal_cdf(2.0, 0.0, 1.0), 1e-12);
+}
+
+TEST(GaussianFit, RecoversParametersOfNormalSample) {
+  sim::Rng rng{1};
+  std::vector<double> xs;
+  for (int i = 0; i < 50'000; ++i) xs.push_back(rng.normal(120.0, 15.0));
+  const auto fit = fit_gaussian(xs);
+  EXPECT_NEAR(fit.mean, 120.0, 0.5);
+  EXPECT_NEAR(fit.stddev, 15.0, 0.3);
+  EXPECT_LT(fit.ks_distance, 0.01);
+  EXPECT_NEAR(fit.skewness, 0.0, 0.05);
+  EXPECT_NEAR(fit.excess_kurtosis, 0.0, 0.1);
+}
+
+TEST(GaussianFit, UniformSampleIsDetectablyNonGaussian) {
+  sim::Rng rng{2};
+  std::vector<double> xs;
+  for (int i = 0; i < 50'000; ++i) xs.push_back(rng.uniform(0.0, 1.0));
+  const auto fit = fit_gaussian(xs);
+  // Uniform has excess kurtosis -1.2 and a clearly worse KS fit.
+  EXPECT_NEAR(fit.excess_kurtosis, -1.2, 0.1);
+  EXPECT_GT(fit.ks_distance, 0.02);
+}
+
+TEST(GaussianFit, SkewedSampleHasPositiveSkewness) {
+  sim::Rng rng{3};
+  std::vector<double> xs;
+  for (int i = 0; i < 50'000; ++i) xs.push_back(rng.exponential(1.0));
+  const auto fit = fit_gaussian(xs);
+  EXPECT_GT(fit.skewness, 1.5);  // exponential skewness = 2
+  EXPECT_GT(fit.ks_distance, 0.05);
+}
+
+TEST(GaussianFit, DegenerateConstantSample) {
+  std::vector<double> xs(100, 7.0);
+  const auto fit = fit_gaussian(xs);
+  EXPECT_DOUBLE_EQ(fit.mean, 7.0);
+  EXPECT_DOUBLE_EQ(fit.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(fit.ks_distance, 1.0);  // flagged as non-fit
+}
+
+TEST(GaussianFit, TwoPointSample) {
+  const auto fit = fit_gaussian({0.0, 2.0});
+  EXPECT_DOUBLE_EQ(fit.mean, 1.0);
+  EXPECT_NEAR(fit.stddev, std::sqrt(2.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace rbs::stats

@@ -1,0 +1,49 @@
+// Tests for the gnuplot script emitter.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "experiment/reporting.hpp"
+
+namespace rbs::experiment {
+namespace {
+
+TEST(GnuplotScript, EmitsRunnableScriptStructure) {
+  const auto dir = (std::filesystem::temp_directory_path() / "rbs_gnuplot_test").string();
+  std::filesystem::remove_all(dir);
+
+  ASSERT_TRUE(write_gnuplot_script(dir, "curve", "A title", "x things", "y things",
+                                   {{"model", 1, 2}, {"measured", 1, 3}}));
+  std::ifstream in{dir + "/curve.gp"};
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  const auto gp = text.str();
+
+  EXPECT_NE(gp.find("set output 'curve.png'"), std::string::npos);
+  EXPECT_NE(gp.find("set title 'A title'"), std::string::npos);
+  EXPECT_NE(gp.find("'curve.csv' every ::1 using 1:2"), std::string::npos);
+  EXPECT_NE(gp.find("'curve.csv' every ::1 using 1:3"), std::string::npos);
+  EXPECT_NE(gp.find("title 'measured'"), std::string::npos);
+  EXPECT_EQ(gp.find("logscale"), std::string::npos);  // not requested
+  // The last series line must not end with a continuation.
+  EXPECT_EQ(gp.find("title 'measured', \\"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(GnuplotScript, LogscaleOptIn) {
+  const auto dir = (std::filesystem::temp_directory_path() / "rbs_gnuplot_test2").string();
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(write_gnuplot_script(dir, "c", "t", "x", "y", {{"s", 1, 2}},
+                                   /*logscale_y=*/true));
+  std::ifstream in{dir + "/c.gp"};
+  std::ostringstream text;
+  text << in.rdbuf();
+  EXPECT_NE(text.str().find("set logscale y"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace rbs::experiment

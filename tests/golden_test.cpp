@@ -1,0 +1,72 @@
+// Golden regression tests: pin the headline reproduction numbers for fixed
+// seeds, so any change to engine, TCP, or measurement semantics that would
+// silently shift EXPERIMENTS.md shows up as a test failure.
+//
+// Tolerances are loose enough to survive floating-point library differences
+// (exp/log inside the RNG transforms) but tight enough to catch behavioral
+// drift. If a deliberate protocol change moves these numbers, update both
+// the goldens and EXPERIMENTS.md in the same commit.
+#include <gtest/gtest.h>
+
+#include "core/short_flow_model.hpp"
+#include "experiment/long_flow_experiment.hpp"
+#include "experiment/scenarios.hpp"
+#include "experiment/short_flow_experiment.hpp"
+
+namespace rbs {
+namespace {
+
+using sim::SimTime;
+
+TEST(Golden, SingleFlowRuleOfThumbUtilization) {
+  // EXPERIMENTS.md, Fig 3 row: 100.00% at B = BDP.
+  auto cfg = experiment::scenarios::single_flow(115);
+  const auto r = run_long_flow_experiment(cfg);
+  EXPECT_NEAR(r.utilization, 1.000, 0.002);
+}
+
+TEST(Golden, SingleFlowUnderbufferedUtilization) {
+  // EXPERIMENTS.md, Fig 4 row: ~89% at B = BDP/4.
+  auto cfg = experiment::scenarios::single_flow(28);
+  const auto r = run_long_flow_experiment(cfg);
+  EXPECT_NEAR(r.utilization, 0.891, 0.015);
+}
+
+TEST(Golden, Oc3HundredFlowsAtSqrtRule) {
+  // EXPERIMENTS.md, Fig 10, n=100, 1.0x row: 97.3%.
+  auto cfg = experiment::scenarios::oc3_lab(100, 155);
+  const auto r = run_long_flow_experiment(cfg);
+  EXPECT_NEAR(r.utilization, 0.973, 0.01);
+}
+
+TEST(Golden, Oc3HundredFlowsAtHalfRule) {
+  // EXPERIMENTS.md, Fig 10, n=100, 0.5x row: 89.3%.
+  auto cfg = experiment::scenarios::oc3_lab(100, 78);
+  const auto r = run_long_flow_experiment(cfg);
+  EXPECT_NEAR(r.utilization, 0.893, 0.015);
+}
+
+TEST(Golden, Oc3FourHundredFlowsAtRule) {
+  // EXPERIMENTS.md, Fig 10, n=400, 1.0x row: 99.7%.
+  auto cfg = experiment::scenarios::oc3_lab(400, 78);
+  const auto r = run_long_flow_experiment(cfg);
+  EXPECT_NEAR(r.utilization, 0.997, 0.005);
+}
+
+TEST(Golden, ShortFlowBaselineAfctAt80Mbps) {
+  // EXPERIMENTS.md, Fig 8: 393 ms baseline AFCT at 80 Mb/s, load 0.8.
+  auto cfg = experiment::scenarios::fig8_short_flows(80e6, 4000);
+  cfg.measure = SimTime::seconds(25);
+  const auto r = run_short_flow_experiment(cfg);
+  EXPECT_NEAR(r.afct_seconds, 0.393, 0.02);
+  EXPECT_NEAR(r.utilization, 0.80, 0.03);
+}
+
+TEST(Golden, ShortFlowModelBufferIs162) {
+  // The analytic anchor: load 0.8, 62-packet flows, P = 0.025.
+  const auto m = core::burst_moments_for_flow(62);
+  EXPECT_NEAR(core::buffer_for_drop_probability(0.8, m, 0.025), 162.3, 0.5);
+}
+
+}  // namespace
+}  // namespace rbs

@@ -1,0 +1,128 @@
+// Unit tests for the Gaussian long-flow utilization model (§3).
+#include "core/long_flow_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace rbs::core {
+namespace {
+
+LongFlowLink oc3(std::int64_t n) { return LongFlowLink{155e6, 0.080, n, 1000}; }
+
+TEST(LongFlowModel, UtilizationIsMonotoneInBuffer) {
+  const auto link = oc3(100);
+  double prev = 0.0;
+  for (const std::int64_t b : {0, 10, 50, 100, 200, 400, 800}) {
+    const double u = predicted_utilization(link, b);
+    EXPECT_GE(u, prev - 1e-12);
+    EXPECT_LE(u, 1.0);
+    prev = u;
+  }
+}
+
+TEST(LongFlowModel, LargeBufferSaturatesAtFullUtilization) {
+  EXPECT_NEAR(predicted_utilization(oc3(100), 5'000), 1.0, 1e-6);
+}
+
+TEST(LongFlowModel, MoreFlowsNeedSmallerBuffers) {
+  // Required buffer shrinks roughly as 1/sqrt(n). Use a 99.9% target so the
+  // requirement stays strictly positive at both flow counts (at lax targets
+  // the model needs no buffer at all for large n and the ratio degenerates).
+  const auto b100 = required_buffer_packets(oc3(100), 0.999);
+  const auto b400 = required_buffer_packets(oc3(400), 0.999);
+  EXPECT_GT(b100, b400);
+  EXPECT_GT(b400, 0);
+  const double ratio =
+      static_cast<double>(b100) / static_cast<double>(std::max<std::int64_t>(b400, 1));
+  EXPECT_GT(ratio, 1.3);
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST(LongFlowModel, RequiredBufferSatisfiesTarget) {
+  const auto link = oc3(200);
+  for (const double target : {0.95, 0.98, 0.995, 0.999}) {
+    const auto b = required_buffer_packets(link, target);
+    EXPECT_GE(predicted_utilization(link, b), target);
+    if (b > 0) {
+      EXPECT_LT(predicted_utilization(link, b - 1), target);
+    }
+  }
+}
+
+TEST(LongFlowModel, MeanWindowSharesPipePlusHalfBuffer) {
+  const auto link = oc3(100);
+  // pipe = 0.08*155e6/8000 = 1550 pkts; with B = 100: (1550+50)/100 = 16.
+  EXPECT_NEAR(mean_flow_window(link, 100), 16.0, 1e-9);
+}
+
+TEST(LongFlowModel, AggregateStddevScalesWithSqrtN) {
+  const double s100 = aggregate_window_stddev(oc3(100), 100);
+  const double s400 = aggregate_window_stddev(oc3(400), 100);
+  // sigma ~ total/(sqrt(27)*sqrt(n)): quadrupling n halves sigma.
+  EXPECT_NEAR(s100 / s400, 2.0, 1e-9);
+}
+
+TEST(LongFlowModel, LossRateGrowsAsBuffersShrink) {
+  const auto link = oc3(100);
+  EXPECT_GT(predicted_loss_rate(link, 10), predicted_loss_rate(link, 1000));
+}
+
+TEST(LongFlowModel, LossRateMatchesMorrisFormula) {
+  const auto link = oc3(100);
+  const double w = mean_flow_window(link, 200);
+  EXPECT_NEAR(predicted_loss_rate(link, 200), 0.76 / (w * w), 1e-12);
+}
+
+TEST(LongFlowModel, SigmaScaleWidensTheCurve) {
+  auto link = oc3(100);
+  link.sigma_scale = 5.0;
+  // A wider window distribution means more buffer needed for the same
+  // target, and lower utilization at the same buffer.
+  EXPECT_LT(predicted_utilization(link, 100), predicted_utilization(oc3(100), 100));
+  EXPECT_GT(required_buffer_packets(link, 0.99),
+            required_buffer_packets(oc3(100), 0.99));
+}
+
+TEST(LongFlowModel, CalibrationRecoversKnownScale) {
+  // Generate observations from the model itself at scale 4.2; the fit must
+  // recover the scale that produced them.
+  auto truth = oc3(100);
+  truth.sigma_scale = 4.2;
+  std::vector<UtilizationObservation> obs;
+  for (const std::int64_t b : {60, 120, 240}) {
+    obs.push_back({b, predicted_utilization(truth, b)});
+  }
+  const double fitted = calibrate_sigma_scale(oc3(100), obs);
+  EXPECT_NEAR(fitted, 4.2, 0.1);
+}
+
+TEST(LongFlowModel, CalibrationImprovesPredictionAtMeasuredPoint) {
+  // A realistic use: the packet simulator measured 89.4% at half the sqrt
+  // rule (see EXPERIMENTS.md, n=100, B=78). The raw model says ~99.9%; after
+  // calibration the model must reproduce the observation closely.
+  const UtilizationObservation measured{78, 0.894};
+  auto link = oc3(100);
+  link.sigma_scale = calibrate_sigma_scale(link, {measured});
+  EXPECT_GT(link.sigma_scale, 1.5);
+  EXPECT_NEAR(predicted_utilization(link, measured.buffer_packets), 0.894, 0.01);
+  // And it stays monotone/sane elsewhere.
+  EXPECT_GT(predicted_utilization(link, 310), predicted_utilization(link, 78));
+}
+
+TEST(LongFlowModel, CalibrationWithNoDataIsIdentity) {
+  EXPECT_DOUBLE_EQ(calibrate_sigma_scale(oc3(100), {}), 1.0);
+}
+
+TEST(LongFlowModel, SingleFlowNeedsRoughlyBdp) {
+  // For n = 1 the model should require a buffer on the order of the BDP
+  // (1550 packets), far more than for many flows.
+  const auto b1 = required_buffer_packets(oc3(1), 0.99);
+  EXPECT_GT(b1, 700);
+  const auto b10k = required_buffer_packets(oc3(10'000), 0.99);
+  EXPECT_LT(b10k, 100);
+}
+
+}  // namespace
+}  // namespace rbs::core

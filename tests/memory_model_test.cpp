@@ -1,0 +1,73 @@
+// Unit tests for the router memory-technology model (§1.3), pinned to the
+// paper's numbers.
+#include "core/memory_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rbs::core {
+namespace {
+
+TEST(MemoryModel, PaperPacketTimeAt40G) {
+  // "a minimum length (40byte) packet can arrive and depart every 8ns"
+  EXPECT_NEAR(min_packet_time_ns(40e9, 40), 8.0, 1e-9);
+}
+
+TEST(MemoryModel, Paper40GLinecardSramChipCount) {
+  // 40 Gb/s * 250 ms = 10 Gbit; 36 Mbit chips -> ceil(10e9/36e6) = 278
+  // ("over 300" in the paper once overheads are added).
+  const auto f = evaluate_memory(commodity_sram_2004(), 10e9, 40e9);
+  EXPECT_EQ(f.chips_required, 278);
+  EXPECT_TRUE(f.access_time_ok);  // SRAM at 4 ns meets the 8 ns budget
+}
+
+TEST(MemoryModel, Paper40GLinecardDramChipCount) {
+  // "If instead we try to build the linecard using DRAM, we would just need
+  // 10 devices" — but 50 ns access misses the 8 ns budget.
+  const auto f = evaluate_memory(commodity_dram_2004(), 10e9, 40e9);
+  EXPECT_EQ(f.chips_required, 10);
+  EXPECT_FALSE(f.access_time_ok);
+}
+
+TEST(MemoryModel, SqrtRuleBufferFitsOnChip) {
+  // 10 Gb/s with 50k flows -> ~11.2 Mbit, well inside 256 Mbit eDRAM.
+  const auto f = evaluate_memory(embedded_dram_2004(), 11.2e6, 10e9);
+  EXPECT_TRUE(f.single_chip_ok);
+  EXPECT_EQ(f.chips_required, 1);
+}
+
+TEST(MemoryModel, RuleOfThumbBufferDoesNotFitOnChip) {
+  const auto f = evaluate_memory(embedded_dram_2004(), 2.5e9, 10e9);
+  EXPECT_FALSE(f.single_chip_ok);
+  EXPECT_GT(f.chips_required, 1);
+}
+
+TEST(MemoryModel, ZeroBufferStillNeedsOneChip) {
+  const auto f = evaluate_memory(commodity_sram_2004(), 0.0, 1e9);
+  EXPECT_EQ(f.chips_required, 1);
+}
+
+TEST(MemoryModel, ReferenceEvaluationCoversAllThreeDevices) {
+  const auto all = evaluate_reference_memories(1e9, 10e9);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].device.name, "SRAM 36Mb");
+  EXPECT_EQ(all[1].device.name, "DRAM 1Gb");
+  EXPECT_EQ(all[2].device.name, "eDRAM 256Mb");
+}
+
+TEST(MemoryModel, DramProjectionFollowsSevenPercentDecline) {
+  EXPECT_DOUBLE_EQ(projected_dram_access_ns(0), 50.0);
+  EXPECT_NEAR(projected_dram_access_ns(1), 46.5, 1e-9);
+  EXPECT_NEAR(projected_dram_access_ns(10), 50.0 * std::pow(0.93, 10), 1e-9);
+  // The paper's point: even a decade out, DRAM misses the 8 ns budget.
+  EXPECT_GT(projected_dram_access_ns(10), min_packet_time_ns(40e9));
+}
+
+TEST(MemoryModel, FasterLinesShrinkTheBudget) {
+  EXPECT_GT(min_packet_time_ns(10e9), min_packet_time_ns(40e9));
+  EXPECT_NEAR(min_packet_time_ns(100e9, 40), 3.2, 1e-9);
+}
+
+}  // namespace
+}  // namespace rbs::core

@@ -1,0 +1,130 @@
+// Edge-case tests that cut across modules: RED idle decay, ECN under
+// delayed ACKs, fluid model knobs, reporting corner cases.
+#include <gtest/gtest.h>
+
+#include "core/fluid_model.hpp"
+#include "experiment/reporting.hpp"
+#include "net/dumbbell.hpp"
+#include "net/red_queue.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/tcp_sink.hpp"
+#include "tcp/tcp_source.hpp"
+
+namespace rbs {
+namespace {
+
+using namespace rbs::sim::literals;
+using sim::SimTime;
+
+TEST(RedIdleDecay, AverageDropsAcrossIdlePeriods) {
+  sim::Simulation sim{1};
+  net::RedConfig cfg;
+  cfg.weight = 0.5;
+  cfg.mean_packet_time_sec = 0.001;  // 1 ms service time estimate
+  net::RedQueue q{sim, 50, cfg};
+
+  net::Packet p;
+  p.kind = net::PacketKind::kTcpData;
+  p.size_bytes = 1000;
+  // Build the average up...
+  for (int i = 0; i < 20; ++i) q.enqueue(p);
+  const double avg_loaded = q.average_queue();
+  ASSERT_GT(avg_loaded, 5.0);
+  // ...drain fully, idle for 100 "service times", then one arrival.
+  while (q.dequeue().has_value()) {
+  }
+  sim.run_until(100_ms);
+  q.enqueue(p);
+  EXPECT_LT(q.average_queue(), avg_loaded / 4)
+      << "idle period should have decayed the EWMA";
+}
+
+TEST(EcnWithDelayedAcks, EchoIsNotLostByAckCoalescing) {
+  // A CE mark arriving as the *first* of two coalesced packets must still
+  // be echoed when the (delayed) ACK finally goes out.
+  sim::Simulation sim{1};
+  net::DumbbellConfig topo_cfg;
+  topo_cfg.num_leaves = 1;
+  topo_cfg.access_delays = {5_ms};
+  net::Dumbbell topo{sim, topo_cfg};
+
+  class AckLog final : public net::Agent {
+   public:
+    void on_packet(const net::Packet& p) override { ce.push_back(p.ecn_ce); }
+    std::vector<bool> ce;
+  } log;
+  topo.sender(0).register_agent(1, log);
+
+  tcp::TcpSinkConfig sink_cfg;
+  sink_cfg.delayed_ack = true;
+  tcp::TcpSink sink{sim, topo.receiver(0), 1, sink_cfg};
+
+  auto data = [&](std::int64_t seq, bool ce) {
+    net::Packet p;
+    p.flow = 1;
+    p.kind = net::PacketKind::kTcpData;
+    p.src = topo.sender(0).id();
+    p.dst = topo.receiver(0).id();
+    p.seq = seq;
+    p.size_bytes = 1000;
+    p.ecn_ce = ce;
+    return p;
+  };
+  topo.receiver(0).receive(data(0, true));   // CE, ACK delayed
+  topo.receiver(0).receive(data(1, false));  // triggers the coalesced ACK
+  sim.run();
+  ASSERT_EQ(log.ce.size(), 1u);
+  EXPECT_TRUE(log.ce[0]) << "CE echo must survive ACK coalescing";
+}
+
+TEST(FluidModel, ExplicitRttsOverrideTheRange) {
+  core::FluidConfig cfg;
+  cfg.num_flows = 2;
+  cfg.rtts = {0.05, 0.15};
+  cfg.buffer_packets = 200;
+  cfg.warmup_sec = 5;
+  cfg.measure_sec = 5;
+  const auto r = core::run_fluid_model(cfg);  // must not assert/throw
+  EXPECT_GT(r.utilization, 0.0);
+}
+
+TEST(FluidModel, FinerStepsConverge) {
+  core::FluidConfig coarse;
+  coarse.num_flows = 50;
+  coarse.buffer_packets = 155;
+  coarse.warmup_sec = 10;
+  coarse.measure_sec = 20;
+  coarse.step_fraction = 0.2;
+  auto fine = coarse;
+  fine.step_fraction = 0.02;
+  EXPECT_NEAR(core::run_fluid_model(coarse).utilization,
+              core::run_fluid_model(fine).utilization, 0.03);
+}
+
+TEST(TablePrinter, EmptyTableRendersHeaderOnly) {
+  experiment::TablePrinter t{{"a", "bb"}};
+  const auto out = t.render();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);  // header + separator
+  EXPECT_EQ(t.to_csv(), "a,bb\n");
+}
+
+TEST(SimTimeEdge, NegativeDurationsRenderAndCompare) {
+  const auto d = SimTime::milliseconds(3) - SimTime::milliseconds(10);
+  EXPECT_LT(d, SimTime::zero());
+  EXPECT_EQ(d.ps(), -7'000'000'000);
+  EXPECT_EQ(d.to_string(), "-7ms");
+}
+
+TEST(DumbbellEdge, ReverseBufferConfigIsApplied) {
+  sim::Simulation sim{1};
+  net::DumbbellConfig cfg;
+  cfg.num_leaves = 1;
+  cfg.access_delays = {5_ms};
+  cfg.reverse_buffer_packets = 17;
+  net::Dumbbell topo{sim, cfg};
+  EXPECT_EQ(topo.reverse_bottleneck().queue().limit_packets(), 17);
+  EXPECT_EQ(topo.bottleneck().queue().limit_packets(), cfg.buffer_packets);
+}
+
+}  // namespace
+}  // namespace rbs

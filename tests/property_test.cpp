@@ -1,0 +1,215 @@
+// Property-based sweeps (TEST_P): invariants that must hold across the whole
+// configuration grid, not just at hand-picked points.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/long_flow_model.hpp"
+#include "core/short_flow_model.hpp"
+#include "core/sizing_rules.hpp"
+#include "experiment/long_flow_experiment.hpp"
+#include "tcp/tcp_sink.hpp"
+#include "tcp/tcp_source.hpp"
+
+namespace rbs {
+namespace {
+
+using sim::SimTime;
+
+// ---------------------------------------------------------------------------
+// Simulation invariants across (flows, buffer) grid.
+// ---------------------------------------------------------------------------
+class LongFlowGrid : public ::testing::TestWithParam<std::tuple<int, std::int64_t>> {};
+
+TEST_P(LongFlowGrid, ConservationAndSanity) {
+  const auto [flows, buffer] = GetParam();
+  experiment::LongFlowExperimentConfig cfg;
+  cfg.num_flows = flows;
+  cfg.buffer_packets = buffer;
+  cfg.bottleneck_rate_bps = 10e6;
+  cfg.warmup = SimTime::seconds(5);
+  cfg.measure = SimTime::seconds(10);
+  const auto r = run_long_flow_experiment(cfg);
+
+  // Utilization and loss are proper fractions.
+  EXPECT_GE(r.utilization, 0.0);
+  EXPECT_LE(r.utilization, 1.0 + 1e-9);
+  EXPECT_GE(r.loss_rate, 0.0);
+  EXPECT_LE(r.loss_rate, 1.0);
+
+  // The mean queue cannot exceed the configured buffer plus in-service slot.
+  EXPECT_LE(r.mean_queue_packets, static_cast<double>(buffer) + 1.0);
+
+  // TCP counters are self-consistent.
+  const auto& t = r.tcp_stats;
+  EXPECT_LE(t.retransmissions, t.data_packets_sent);
+  EXPECT_LE(t.fast_retransmits, t.retransmissions + 1);
+  EXPECT_GT(t.acks_received, 0u);
+
+  // With several flows on a congested link, something must have been sent.
+  EXPECT_GT(t.data_packets_sent, 100u);
+}
+
+TEST_P(LongFlowGrid, DeterministicAcrossRepeats) {
+  const auto [flows, buffer] = GetParam();
+  experiment::LongFlowExperimentConfig cfg;
+  cfg.num_flows = flows;
+  cfg.buffer_packets = buffer;
+  cfg.bottleneck_rate_bps = 10e6;
+  cfg.warmup = SimTime::seconds(2);
+  cfg.measure = SimTime::seconds(5);
+  const auto a = run_long_flow_experiment(cfg);
+  const auto b = run_long_flow_experiment(cfg);
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.bottleneck_drops, b.bottleneck_drops);
+  EXPECT_EQ(a.tcp_stats.data_packets_sent, b.tcp_stats.data_packets_sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LongFlowGrid,
+    ::testing::Combine(::testing::Values(1, 4, 16), ::testing::Values(4, 30, 120)),
+    [](const auto& info) {
+      return "flows" + std::to_string(std::get<0>(info.param)) + "_buf" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Utilization is (statistically) nondecreasing in buffer size.
+// ---------------------------------------------------------------------------
+class UtilizationMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(UtilizationMonotonicity, MoreBufferNeverHurtsThroughput) {
+  const int flows = GetParam();
+  experiment::LongFlowExperimentConfig cfg;
+  cfg.num_flows = flows;
+  cfg.bottleneck_rate_bps = 10e6;
+  // Single/few-flow runs need a long warm-up: the slow-start overshoot
+  // transient lasts tens of seconds at 10 Mb/s.
+  cfg.warmup = SimTime::seconds(30);
+  cfg.measure = SimTime::seconds(20);
+
+  double prev = -1.0;
+  for (const std::int64_t buffer : {3, 12, 48, 192}) {
+    cfg.buffer_packets = buffer;
+    const double u = run_long_flow_experiment(cfg).utilization;
+    EXPECT_GE(u, prev - 0.02) << "buffer " << buffer
+                              << " dropped utilization beyond noise";
+    prev = std::max(prev, u);
+  }
+  EXPECT_GT(prev, 0.9);  // with ample buffer the link fills
+}
+
+INSTANTIATE_TEST_SUITE_P(Flows, UtilizationMonotonicity, ::testing::Values(1, 5, 20),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Model properties over the (rtt, rate, n) grid.
+// ---------------------------------------------------------------------------
+class ModelGrid
+    : public ::testing::TestWithParam<std::tuple<double, double, std::int64_t>> {};
+
+TEST_P(ModelGrid, SqrtRuleScalesAndModelAgrees) {
+  const auto [rtt, rate, n] = GetParam();
+
+  // sqrt rule bits scale exactly as 1/sqrt(n).
+  const double b1 = core::sqrt_rule_bits(rtt, rate, 1);
+  const double bn = core::sqrt_rule_bits(rtt, rate, n);
+  EXPECT_NEAR(bn * std::sqrt(static_cast<double>(n)), b1, b1 * 1e-12);
+
+  // The Gaussian model, fed the sqrt-rule buffer, predicts high utilization
+  // for aggregates of many flows.
+  const core::LongFlowLink link{rate, rtt, n, 1000};
+  const auto rule_pkts = core::sqrt_rule_packets(rtt, rate, n, 1000);
+  if (n >= 64) {
+    EXPECT_GT(core::predicted_utilization(link, rule_pkts), 0.98);
+  }
+
+  // Required buffer is consistent with its own utilization curve.
+  const auto needed = core::required_buffer_packets(link, 0.99);
+  EXPECT_GE(core::predicted_utilization(link, needed), 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelGrid,
+    ::testing::Combine(::testing::Values(0.05, 0.1, 0.25),
+                       ::testing::Values(155e6, 2.5e9, 10e9),
+                       ::testing::Values(std::int64_t{16}, std::int64_t{256},
+                                         std::int64_t{10'000})));
+
+// ---------------------------------------------------------------------------
+// Short-flow model properties over (load, flow length).
+// ---------------------------------------------------------------------------
+class ShortFlowModelGrid
+    : public ::testing::TestWithParam<std::tuple<double, std::int64_t>> {};
+
+TEST_P(ShortFlowModelGrid, TailAndBufferBehaveProperly) {
+  const auto [load, flow_len] = GetParam();
+  const auto m = core::burst_moments_for_flow(flow_len);
+
+  // Moments are consistent: E[X^2] >= E[X]^2, burst mean <= flow length.
+  EXPECT_GE(m.mean_square, m.mean * m.mean - 1e-9);
+  EXPECT_LE(m.mean, static_cast<double>(flow_len));
+  EXPECT_GE(m.mean, 1.0);
+
+  // Tail decreases in buffer; buffer_for_drop inverts it.
+  double prev = 2.0;
+  for (const double b : {0.0, 20.0, 80.0, 320.0}) {
+    const double p = core::queue_tail_probability(load, m, b);
+    EXPECT_LE(p, prev);
+    EXPECT_GE(p, 0.0);
+    prev = p;
+  }
+  const double b = core::buffer_for_drop_probability(load, m, 0.01);
+  EXPECT_NEAR(core::queue_tail_probability(load, m, b), 0.01, 1e-9);
+
+  // Higher loads need bigger buffers at equal drop targets.
+  if (load < 0.9) {
+    EXPECT_LT(b, core::buffer_for_drop_probability(0.95, m, 0.01));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ShortFlowModelGrid,
+    ::testing::Combine(::testing::Values(0.3, 0.6, 0.8, 0.9),
+                       ::testing::Values(std::int64_t{2}, std::int64_t{14},
+                                         std::int64_t{62}, std::int64_t{500})));
+
+// ---------------------------------------------------------------------------
+// TCP delivers exactly-once for every flow length (loss-free path).
+// ---------------------------------------------------------------------------
+class FlowLengthSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(FlowLengthSweep, ExactDeliveryWithoutLoss) {
+  const auto length = GetParam();
+  sim::Simulation sim{7};
+  net::DumbbellConfig topo_cfg;
+  topo_cfg.num_leaves = 1;
+  topo_cfg.bottleneck_rate_bps = 10e6;
+  topo_cfg.buffer_packets = 1'000'000;  // lossless
+  topo_cfg.access_delays = {SimTime::milliseconds(5)};
+  net::Dumbbell topo{sim, topo_cfg};
+
+  tcp::TcpSink sink{sim, topo.receiver(0), 1};
+  tcp::TcpSource source{sim, topo.sender(0), topo.receiver(0).id(), 1, tcp::TcpConfig{},
+                        length};
+  source.start(SimTime::zero());
+  sim.run();
+
+  EXPECT_TRUE(source.finished());
+  EXPECT_EQ(sink.next_expected(), length);
+  EXPECT_EQ(sink.packets_received(), static_cast<std::uint64_t>(length));
+  EXPECT_EQ(source.stats().retransmissions, 0u);
+  EXPECT_EQ(source.stats().data_packets_sent, static_cast<std::uint64_t>(length));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FlowLengthSweep,
+                         ::testing::Values(1, 2, 3, 7, 8, 62, 100, 1000),
+                         [](const auto& info) {
+                           return "len" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace rbs

@@ -1,0 +1,148 @@
+// Unit tests for the deterministic RNG and its distribution transforms.
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace rbs::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  double sum = 0.0;
+  for (int i = 0; i < 100'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100'000, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng{7};
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng{11};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.uniform_int(3, 8);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 8);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all values hit
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng{11};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng{13};
+  double sum = 0.0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(2.5);
+  EXPECT_NEAR(sum / kN, 2.5, 0.05);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng{13};
+  for (int i = 0; i < 10'000; ++i) EXPECT_GT(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, ParetoRespectsMinimumAndMedian) {
+  Rng rng{17};
+  // Pareto(xm, alpha) median = xm * 2^(1/alpha).
+  const double xm = 2.0, alpha = 1.5;
+  std::vector<double> vals;
+  for (int i = 0; i < 100'000; ++i) {
+    const double v = rng.pareto(xm, alpha);
+    ASSERT_GE(v, xm);
+    vals.push_back(v);
+  }
+  std::nth_element(vals.begin(), vals.begin() + vals.size() / 2, vals.end());
+  EXPECT_NEAR(vals[vals.size() / 2], xm * std::pow(2.0, 1.0 / alpha), 0.05);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng{19};
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.normal(10.0, 3.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sum2 / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng{23};
+  int hits = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliDegenerateCases) {
+  Rng rng{23};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndStable) {
+  Rng root{99};
+  Rng f1 = root.fork(1);
+  Rng f2 = root.fork(2);
+  Rng f1_again = root.fork(1);
+
+  // Same stream id -> identical sequence; different ids -> different.
+  EXPECT_EQ(f1.next_u64(), f1_again.next_u64());
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (f1.next_u64() == f2.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkDoesNotPerturbParent) {
+  Rng a{5};
+  Rng b{5};
+  (void)a.fork(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+}  // namespace
+}  // namespace rbs::sim

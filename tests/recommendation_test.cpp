@@ -1,0 +1,99 @@
+// Unit tests for the one-stop buffer recommendation API.
+#include "core/recommendation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rbs::core {
+namespace {
+
+TEST(Recommendation, AbstractHeadline2_5GLink) {
+  // "a 2.5Gb/s link carrying 10,000 flows could reduce its buffers by 99%".
+  LinkProfile link;
+  link.rate_bps = 2.5e9;
+  link.mean_rtt_sec = 0.25;
+  link.num_long_flows = 10'000;
+  const auto rec = recommend_buffer(link);
+
+  EXPECT_EQ(rec.rule_of_thumb_pkts, 78'125);
+  EXPECT_NEAR(static_cast<double>(rec.sqrt_rule_pkts) /
+                  static_cast<double>(rec.rule_of_thumb_pkts),
+              0.01, 0.001);
+  EXPECT_GT(rec.buffer_reduction_vs_rule_of_thumb, 0.98);
+  EXPECT_GT(rec.predicted_utilization, 0.99);
+}
+
+TEST(Recommendation, ShortFlowFloorDominatesWithFewFlows) {
+  // With millions of "long flows" claimed, the sqrt rule would shrink below
+  // the short-flow floor; the recommendation must respect the floor.
+  LinkProfile link;
+  link.rate_bps = 1e9;
+  link.mean_rtt_sec = 0.1;
+  link.num_long_flows = 100'000'000;
+  link.load = 0.8;
+  const auto rec = recommend_buffer(link);
+  EXPECT_EQ(rec.recommended_pkts, rec.short_flow_floor_pkts);
+  EXPECT_GT(rec.short_flow_floor_pkts, rec.sqrt_rule_pkts);
+}
+
+TEST(Recommendation, SqrtRuleDominatesWithFewFlowsOnFatPipe) {
+  LinkProfile link;
+  link.rate_bps = 10e9;
+  link.mean_rtt_sec = 0.25;
+  link.num_long_flows = 100;
+  const auto rec = recommend_buffer(link);
+  EXPECT_EQ(rec.recommended_pkts, rec.sqrt_rule_pkts);
+}
+
+TEST(Recommendation, MemoryFeasibilityIncluded) {
+  LinkProfile link;
+  link.rate_bps = 10e9;
+  link.num_long_flows = 50'000;
+  const auto rec = recommend_buffer(link);
+  ASSERT_EQ(rec.memory.size(), 3u);
+  // ~11 Mbit fits a single SRAM chip and on-chip eDRAM.
+  EXPECT_EQ(rec.memory[0].chips_required, 1);
+  EXPECT_TRUE(rec.memory[2].single_chip_ok);
+}
+
+TEST(Recommendation, DefaultShortMixIsPaperReferenceFlow) {
+  LinkProfile link;
+  const auto rec = recommend_buffer(link);
+  // Floor for load 0.8, 62-packet flows, p = 0.025: ~163 packets.
+  EXPECT_NEAR(static_cast<double>(rec.short_flow_floor_pkts), 163.0, 2.0);
+}
+
+TEST(Recommendation, CustomMixChangesFloor) {
+  LinkProfile link;
+  link.short_flow_mix = {{8, 1.0}};  // tiny flows, bursts 2,4,2
+  const auto rec_small = recommend_buffer(link);
+  link.short_flow_mix = {{1000, 1.0}};  // big slow-start flows
+  const auto rec_big = recommend_buffer(link);
+  EXPECT_LT(rec_small.short_flow_floor_pkts, rec_big.short_flow_floor_pkts);
+}
+
+TEST(Recommendation, ReportContainsKeyNumbers) {
+  LinkProfile link;
+  link.rate_bps = 2.5e9;
+  link.num_long_flows = 10'000;
+  const auto rec = recommend_buffer(link);
+  const auto report = to_report(link, rec);
+  EXPECT_NE(report.find("rule of thumb"), std::string::npos);
+  EXPECT_NE(report.find("sqrt rule"), std::string::npos);
+  EXPECT_NE(report.find("recommended"), std::string::npos);
+  EXPECT_NE(report.find("SRAM"), std::string::npos);
+  EXPECT_FALSE(rec.rationale.empty());
+}
+
+TEST(Recommendation, RecommendationNeverBelowEitherRule) {
+  for (const std::int64_t n : {10, 1'000, 100'000}) {
+    LinkProfile link;
+    link.num_long_flows = n;
+    const auto rec = recommend_buffer(link);
+    EXPECT_GE(rec.recommended_pkts, rec.sqrt_rule_pkts);
+    EXPECT_GE(rec.recommended_pkts, rec.short_flow_floor_pkts);
+    EXPECT_LE(rec.recommended_pkts, rec.rule_of_thumb_pkts);
+  }
+}
+
+}  // namespace
+}  // namespace rbs::core

@@ -1,0 +1,67 @@
+// Unit tests for the table/CSV reporting helpers.
+#include "experiment/reporting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace rbs::experiment {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t{{"name", "value"}};
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "22"});
+  const auto out = t.render();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| longer-name "), std::string::npos);
+  // Every line ends at the same width.
+  std::size_t first_nl = out.find('\n');
+  std::size_t width = first_nl;
+  for (std::size_t pos = 0; pos < out.size();) {
+    const auto nl = out.find('\n', pos);
+    EXPECT_EQ(nl - pos, width);
+    pos = nl + 1;
+  }
+}
+
+TEST(TablePrinter, ShortRowsArePadded) {
+  TablePrinter t{{"a", "b", "c"}};
+  t.add_row({"only-one"});
+  const auto csv = t.to_csv();
+  EXPECT_EQ(csv, "a,b,c\nonly-one,,\n");
+}
+
+TEST(TablePrinter, CsvRoundTrip) {
+  TablePrinter t{{"x", "y"}};
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(Format, BehavesLikePrintf) {
+  EXPECT_EQ(format("%d-%s-%.2f", 7, "abc", 1.5), "7-abc-1.50");
+}
+
+TEST(WriteFile, CreatesParentDirectories) {
+  const auto dir = std::filesystem::temp_directory_path() / "rbs_reporting_test";
+  std::filesystem::remove_all(dir);
+  const auto path = (dir / "sub" / "file.csv").string();
+  ASSERT_TRUE(write_file(path, "hello\n"));
+  std::ifstream in{path};
+  std::string contents;
+  std::getline(in, contents);
+  EXPECT_EQ(contents, "hello");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WriteFile, FailsCleanlyOnBadPath) {
+  EXPECT_FALSE(write_file("/proc/definitely/not/writable/x.csv", "x"));
+}
+
+}  // namespace
+}  // namespace rbs::experiment

@@ -1,0 +1,97 @@
+// Unit tests for RFC 6298 RTT estimation and RTO management.
+#include "tcp/rtt_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rbs::tcp {
+namespace {
+
+using namespace rbs::sim::literals;
+using sim::SimTime;
+
+TEST(RttEstimator, InitialRtoIsConfigured) {
+  RttEstimator est;
+  EXPECT_EQ(est.rto(), SimTime::seconds(1));
+  EXPECT_FALSE(est.has_sample());
+}
+
+TEST(RttEstimator, FirstSampleInitializesSrttAndRttvar) {
+  RttEstimator est;
+  est.sample(100_ms);
+  EXPECT_EQ(est.srtt(), 100_ms);
+  EXPECT_EQ(est.rttvar(), 50_ms);
+  // RTO = SRTT + 4*RTTVAR = 300 ms.
+  EXPECT_EQ(est.rto(), 300_ms);
+  EXPECT_TRUE(est.has_sample());
+}
+
+TEST(RttEstimator, SubsequentSamplesUseEwma) {
+  RttEstimator est;
+  est.sample(100_ms);
+  est.sample(100_ms);
+  // RTTVAR = 3/4*50 + 1/4*|100-100| = 37.5 ms; SRTT stays 100 ms.
+  EXPECT_EQ(est.srtt(), 100_ms);
+  EXPECT_EQ(est.rttvar(), SimTime::microseconds(37'500));
+  EXPECT_EQ(est.rto(), 100_ms + 4 * SimTime::microseconds(37'500));
+}
+
+TEST(RttEstimator, ConvergesToStableRtt) {
+  RttEstimator est;
+  for (int i = 0; i < 100; ++i) est.sample(80_ms);
+  EXPECT_EQ(est.srtt(), 80_ms);
+  // Variance decays toward zero, so RTO approaches the min clamp.
+  EXPECT_LE(est.rto(), 210_ms);
+}
+
+TEST(RttEstimator, RtoRespectsMinimum) {
+  RttEstimator::Config cfg;
+  cfg.min_rto = 200_ms;
+  RttEstimator est{cfg};
+  for (int i = 0; i < 50; ++i) est.sample(1_ms);
+  EXPECT_EQ(est.rto(), 200_ms);
+}
+
+TEST(RttEstimator, RtoRespectsMaximum) {
+  RttEstimator::Config cfg;
+  cfg.max_rto = SimTime::seconds(10);
+  RttEstimator est{cfg};
+  est.sample(SimTime::seconds(5));  // raw RTO would be 15 s
+  EXPECT_EQ(est.rto(), SimTime::seconds(10));
+}
+
+TEST(RttEstimator, BackoffDoublesUntilCap) {
+  RttEstimator::Config cfg;
+  cfg.max_rto = SimTime::seconds(4);
+  RttEstimator est{cfg};
+  est.sample(100_ms);  // RTO 300 ms
+  est.backoff();
+  EXPECT_EQ(est.rto(), 600_ms);
+  est.backoff();
+  EXPECT_EQ(est.rto(), 1200_ms);
+  est.backoff();
+  est.backoff();
+  EXPECT_EQ(est.rto(), SimTime::seconds(4));  // capped
+  est.backoff();
+  EXPECT_EQ(est.rto(), SimTime::seconds(4));
+}
+
+TEST(RttEstimator, SampleAfterBackoffRecomputesRto) {
+  RttEstimator est;
+  est.sample(100_ms);
+  est.backoff();
+  est.backoff();
+  EXPECT_GT(est.rto(), 1_sec);
+  est.sample(100_ms);
+  EXPECT_LT(est.rto(), 400_ms);  // back to SRTT + 4*RTTVAR
+}
+
+TEST(RttEstimator, SpikeRaisesVariance) {
+  RttEstimator est;
+  for (int i = 0; i < 20; ++i) est.sample(50_ms);
+  const auto calm_rto = est.rto();
+  est.sample(400_ms);
+  EXPECT_GT(est.rto(), calm_rto);
+}
+
+}  // namespace
+}  // namespace rbs::tcp

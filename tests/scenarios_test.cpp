@@ -1,0 +1,75 @@
+// Pins the canned scenarios to the paper's numbers and smoke-runs each one.
+#include "experiment/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/sizing_rules.hpp"
+
+namespace rbs::experiment::scenarios {
+namespace {
+
+TEST(Scenarios, Oc48BackboneMatchesAbstract) {
+  const auto link = oc48_backbone();
+  const auto rec = core::recommend_buffer(link);
+  // "a 2.5Gb/s link carrying 10,000 flows could reduce its buffers by 99%".
+  EXPECT_GT(rec.buffer_reduction_vs_rule_of_thumb, 0.98);
+  EXPECT_EQ(rec.rule_of_thumb_pkts, 78'125);
+}
+
+TEST(Scenarios, Oc192BackboneMatchesAbstract) {
+  const auto rec = core::recommend_buffer(oc192_backbone());
+  // "requires only 10Mbits of buffering" (we get 11.2 Mbit before rounding).
+  EXPECT_NEAR(rec.recommended_bits / 1e6, 11.2, 0.3);
+  EXPECT_TRUE(rec.memory[2].single_chip_ok);  // fits on-chip eDRAM
+}
+
+TEST(Scenarios, Linecard40gNeedsHundredsOfSramChipsUnderRuleOfThumb) {
+  const auto link = linecard_40g();
+  const double rot_bits = core::bandwidth_delay_product_bits(link.mean_rtt_sec, link.rate_bps);
+  const auto sram = core::evaluate_memory(core::commodity_sram_2004(), rot_bits, link.rate_bps);
+  EXPECT_GT(sram.chips_required, 250);  // the paper's "over 300" argument
+}
+
+TEST(Scenarios, SingleFlowBdpIsCorrect) {
+  EXPECT_EQ(single_flow_bdp_packets(),
+            core::rule_of_thumb_packets(0.092, 10e6, 1000));
+}
+
+TEST(Scenarios, Oc3BdpIsCorrect) {
+  EXPECT_EQ(oc3_bdp_packets(), core::rule_of_thumb_packets(0.080, 155e6, 1000));
+}
+
+TEST(Scenarios, SingleFlowScenarioReproducesRuleOfThumb) {
+  auto cfg = single_flow(single_flow_bdp_packets());
+  cfg.measure = sim::SimTime::seconds(20);  // keep the smoke test fast
+  const auto r = run_long_flow_experiment(cfg);
+  EXPECT_GT(r.utilization, 0.99);
+}
+
+TEST(Scenarios, Oc3LabScenarioRuns) {
+  auto cfg = oc3_lab(50, 2 * oc3_bdp_packets() / 7);  // ~2x sqrt rule
+  cfg.warmup = sim::SimTime::seconds(5);
+  cfg.measure = sim::SimTime::seconds(10);
+  const auto r = run_long_flow_experiment(cfg);
+  EXPECT_GT(r.utilization, 0.9);
+  EXPECT_NEAR(r.mean_rtt_sec, 0.080, 0.015);
+}
+
+TEST(Scenarios, Fig8ScenarioHitsItsLoad) {
+  auto cfg = fig8_short_flows(40e6, 1000);
+  cfg.measure = sim::SimTime::seconds(15);
+  const auto r = run_short_flow_experiment(cfg);
+  EXPECT_NEAR(r.utilization, 0.8, 0.08);
+}
+
+TEST(Scenarios, ProductionNetworkScenarioRuns) {
+  auto cfg = production_network(85);
+  cfg.warmup = sim::SimTime::seconds(8);
+  cfg.measure = sim::SimTime::seconds(15);
+  const auto r = run_mixed_flow_experiment(cfg);
+  EXPECT_GT(r.utilization, 0.95);
+  EXPECT_GT(r.short_flows_completed, 10u);
+}
+
+}  // namespace
+}  // namespace rbs::experiment::scenarios

@@ -1,0 +1,169 @@
+// Unit tests for the discrete-event scheduler: ordering, determinism,
+// cancellation, and run-until semantics.
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rbs::sim {
+namespace {
+
+using namespace rbs::sim::literals;
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(30_ms, [&] { order.push_back(3); });
+  sched.schedule_at(10_ms, [&] { order.push_back(1); });
+  sched.schedule_at(20_ms, [&] { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, EqualTimesFireInScheduleOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.schedule_at(5_ms, [&order, i] { order.push_back(i); });
+  }
+  sched.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, NowAdvancesToEventTime) {
+  Scheduler sched;
+  SimTime seen;
+  sched.schedule_at(42_ms, [&] { seen = sched.now(); });
+  sched.run();
+  EXPECT_EQ(seen, 42_ms);
+  EXPECT_EQ(sched.now(), 42_ms);
+}
+
+TEST(Scheduler, ScheduleAfterIsRelative) {
+  Scheduler sched;
+  SimTime seen;
+  sched.schedule_at(10_ms, [&] {
+    sched.schedule_after(5_ms, [&] { seen = sched.now(); });
+  });
+  sched.run();
+  EXPECT_EQ(seen, 15_ms);
+}
+
+TEST(Scheduler, EventsScheduledDuringRunAreExecuted) {
+  Scheduler sched;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sched.schedule_after(1_ms, recurse);
+  };
+  sched.schedule_at(SimTime::zero(), recurse);
+  sched.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sched.now(), 99_ms);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler sched;
+  bool fired = false;
+  auto h = sched.schedule_at(10_ms, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  sched.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelIsIdempotentAndSafeAfterFire) {
+  Scheduler sched;
+  auto h = sched.schedule_at(1_ms, [] {});
+  sched.run();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no crash
+  h.cancel();
+}
+
+TEST(Scheduler, DefaultHandleIsInert) {
+  Scheduler::EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no crash
+}
+
+TEST(Scheduler, RunUntilExecutesOnlyDueEvents) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(10_ms, [&] { order.push_back(1); });
+  sched.schedule_at(20_ms, [&] { order.push_back(2); });
+  sched.schedule_at(30_ms, [&] { order.push_back(3); });
+
+  const bool drained = sched.run_until(20_ms);
+  EXPECT_FALSE(drained);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sched.now(), 20_ms);
+
+  EXPECT_TRUE(sched.run_until(100_ms));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 100_ms);
+}
+
+TEST(Scheduler, RunUntilWithEmptyQueueAdvancesClock) {
+  Scheduler sched;
+  EXPECT_TRUE(sched.run_until(77_ms));
+  EXPECT_EQ(sched.now(), 77_ms);
+}
+
+TEST(Scheduler, StopHaltsRun) {
+  Scheduler sched;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    sched.schedule_at(SimTime::milliseconds(i), [&] {
+      if (++count == 3) sched.stop();
+    });
+  }
+  sched.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sched.pending_events(), 7u);
+}
+
+TEST(Scheduler, ExecutedEventsCountsOnlyFired) {
+  Scheduler sched;
+  sched.schedule_at(1_ms, [] {});
+  auto h = sched.schedule_at(2_ms, [] {});
+  h.cancel();
+  sched.schedule_at(3_ms, [] {});
+  sched.run();
+  EXPECT_EQ(sched.executed_events(), 2u);
+}
+
+TEST(Scheduler, TimerRestartPattern) {
+  // The TCP usage pattern: repeatedly cancel + reschedule a timer.
+  Scheduler sched;
+  int fired = 0;
+  Scheduler::EventHandle timer;
+  for (int i = 0; i < 50; ++i) {
+    timer.cancel();
+    timer = sched.schedule_at(SimTime::milliseconds(100 + i), [&] { ++fired; });
+  }
+  sched.run();
+  EXPECT_EQ(fired, 1);  // only the last survives
+  EXPECT_EQ(sched.now(), SimTime::milliseconds(149));
+}
+
+TEST(Scheduler, ManyEventsStressOrdering) {
+  Scheduler sched;
+  SimTime last = SimTime::zero();
+  bool monotone = true;
+  for (int i = 0; i < 10'000; ++i) {
+    // Pseudo-shuffled times.
+    const auto t = SimTime::microseconds((i * 7919) % 10'000);
+    sched.schedule_at(t, [&, t] {
+      if (sched.now() < last) monotone = false;
+      last = sched.now();
+    });
+  }
+  sched.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(sched.executed_events(), 10'000u);
+}
+
+}  // namespace
+}  // namespace rbs::sim

@@ -1,0 +1,72 @@
+// Unit tests for the sizing rules — pinned to the paper's own numbers.
+#include "core/sizing_rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rbs::core {
+namespace {
+
+TEST(SizingRules, PaperHeadline10GLinecard) {
+  // "a 10Gb/s router linecard needs approximately 250ms x 10Gb/s = 2.5Gbits"
+  EXPECT_DOUBLE_EQ(bandwidth_delay_product_bits(0.250, 10e9), 2.5e9);
+}
+
+TEST(SizingRules, PaperHeadline10GWith50kFlows) {
+  // "a 10Gb/s link carrying 50,000 flows requires only 10Mbits of buffering"
+  EXPECT_NEAR(sqrt_rule_bits(0.250, 10e9, 50'000), 11.18e6, 0.1e6);
+}
+
+TEST(SizingRules, TenThousandFlowsIsOnePercent) {
+  // "buffer sizes that are only 1/sqrt(10000) = 1% of the delay-bandwidth
+  // product"
+  const double full = bandwidth_delay_product_bits(0.1, 2.5e9);
+  const double small = sqrt_rule_bits(0.1, 2.5e9, 10'000);
+  EXPECT_NEAR(small / full, 0.01, 1e-12);
+  EXPECT_NEAR(buffer_reduction_fraction(10'000), 0.99, 1e-12);
+}
+
+TEST(SizingRules, SingleFlowReducesToRuleOfThumb) {
+  EXPECT_DOUBLE_EQ(sqrt_rule_bits(0.1, 1e9, 1), bandwidth_delay_product_bits(0.1, 1e9));
+  EXPECT_DOUBLE_EQ(buffer_reduction_fraction(1), 0.0);
+}
+
+TEST(SizingRules, PacketConversionCeils) {
+  // 92 ms * 10 Mb/s = 920,000 bits = 115 packets of 1000 B exactly.
+  EXPECT_EQ(rule_of_thumb_packets(0.092, 10e6, 1000), 115);
+  // A hair more must round up.
+  EXPECT_EQ(rule_of_thumb_packets(0.0921, 10e6, 1000), 116);
+}
+
+TEST(SizingRules, SqrtRulePacketsMatchesBitsVersion) {
+  const auto pkts = sqrt_rule_packets(0.08, 155e6, 100, 1000);
+  const double bits = sqrt_rule_bits(0.08, 155e6, 100);
+  EXPECT_EQ(pkts, static_cast<std::int64_t>(std::ceil(bits / 8000.0)));
+  EXPECT_EQ(pkts, 155);
+}
+
+TEST(SizingRules, ReductionIsMonotoneInFlows) {
+  double prev = -1.0;
+  for (const std::int64_t n : {1, 10, 100, 1'000, 10'000, 100'000}) {
+    const double r = buffer_reduction_fraction(n);
+    EXPECT_GT(r, prev);
+    EXPECT_LT(r, 1.0);
+    prev = r;
+  }
+}
+
+TEST(LossModel, MorrisFormulaAndInverseRoundTrip) {
+  // l = 0.76 / W^2 (§5.1.1).
+  EXPECT_DOUBLE_EQ(loss_rate_for_window(10.0), 0.0076);
+  for (const double w : {2.0, 5.0, 20.0, 100.0}) {
+    EXPECT_NEAR(window_for_loss_rate(loss_rate_for_window(w)), w, 1e-9);
+  }
+}
+
+TEST(LossModel, SmallerWindowMeansMoreLoss) {
+  EXPECT_GT(loss_rate_for_window(3.0), loss_rate_for_window(30.0));
+}
+
+}  // namespace
+}  // namespace rbs::core

@@ -1,0 +1,93 @@
+// Randomized stress tests: many random configurations, each checked against
+// universal invariants. Catches interaction bugs no hand-written scenario
+// covers (the configurations are deterministic functions of the case seed,
+// so failures reproduce exactly).
+#include <gtest/gtest.h>
+
+#include "experiment/long_flow_experiment.hpp"
+#include "experiment/mixed_flow_experiment.hpp"
+#include "sim/random.hpp"
+
+namespace rbs {
+namespace {
+
+using sim::SimTime;
+
+class RandomScenario : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomScenario, LongFlowInvariantsHold) {
+  sim::Rng rng{static_cast<std::uint64_t>(GetParam()) * 0x9E3779B9u + 7};
+
+  experiment::LongFlowExperimentConfig cfg;
+  cfg.num_flows = static_cast<int>(rng.uniform_int(1, 40));
+  cfg.buffer_packets = rng.uniform_int(2, 400);
+  cfg.bottleneck_rate_bps = rng.uniform(2e6, 50e6);
+  cfg.access_rate_bps = cfg.bottleneck_rate_bps * rng.uniform(1.5, 50.0);
+  cfg.access_delay_min = SimTime::milliseconds(rng.uniform_int(1, 10));
+  cfg.access_delay_max = cfg.access_delay_min + SimTime::milliseconds(rng.uniform_int(0, 50));
+  cfg.warmup = SimTime::seconds(3);
+  cfg.measure = SimTime::seconds(6);
+  cfg.seed = static_cast<std::uint64_t>(GetParam());
+  cfg.tcp.flavor = static_cast<tcp::TcpFlavor>(rng.uniform_int(0, 2));
+  cfg.tcp.pacing = rng.bernoulli(0.3);
+  cfg.sink.delayed_ack = rng.bernoulli(0.3);
+  const int disc = static_cast<int>(rng.uniform_int(0, 2));
+  cfg.discipline = static_cast<net::QueueDiscipline>(disc);
+  if (disc == 1) cfg.red.ecn_marking = rng.bernoulli(0.5);
+  cfg.record_delays = true;
+
+  const auto r = run_long_flow_experiment(cfg);
+
+  // Universal invariants, whatever the configuration. (Utilization can read
+  // ~one packet above 1.0 when a transmission straddles the window start.)
+  EXPECT_GE(r.utilization, 0.0);
+  EXPECT_LE(r.utilization, 1.005);
+  EXPECT_GE(r.loss_rate, 0.0);
+  EXPECT_LE(r.loss_rate, 1.0);
+  EXPECT_GE(r.mean_queue_packets, 0.0);
+  EXPECT_LE(r.mean_queue_packets, static_cast<double>(cfg.buffer_packets) + 1.0);
+  EXPECT_GE(r.delay_p99_sec, r.delay_p50_sec - 1e-12);
+  EXPECT_GE(r.fairness, 0.0);
+  EXPECT_LE(r.fairness, 1.0 + 1e-9);
+  EXPECT_LE(r.tcp_stats.retransmissions, r.tcp_stats.data_packets_sent);
+  // Something flowed: a congested link with >= 1 flow can't be idle.
+  EXPECT_GT(r.tcp_stats.data_packets_sent, 10u);
+}
+
+TEST_P(RandomScenario, MixedFlowInvariantsHold) {
+  sim::Rng rng{static_cast<std::uint64_t>(GetParam()) * 0xC2B2AE35u + 13};
+
+  experiment::MixedFlowExperimentConfig cfg;
+  cfg.bottleneck_rate_bps = rng.uniform(5e6, 40e6);
+  cfg.num_long_flows = static_cast<int>(rng.uniform_int(1, 15));
+  cfg.short_flow_load = rng.uniform(0.05, 0.4);
+  cfg.short_sizing = rng.bernoulli(0.5) ? experiment::ShortFlowSizing::kPareto
+                                        : experiment::ShortFlowSizing::kFixed;
+  cfg.short_flow_packets = rng.uniform_int(2, 100);
+  cfg.pareto_max_packets = 500;
+  cfg.udp_load = rng.bernoulli(0.3) ? rng.uniform(0.01, 0.1) : 0.0;
+  cfg.num_short_leaves = static_cast<int>(rng.uniform_int(4, 20));
+  cfg.buffer_packets = rng.uniform_int(5, 300);
+  cfg.warmup = SimTime::seconds(3);
+  cfg.measure = SimTime::seconds(6);
+  cfg.seed = static_cast<std::uint64_t>(GetParam());
+
+  const auto r = run_mixed_flow_experiment(cfg);
+  EXPECT_GE(r.utilization, 0.0);
+  EXPECT_LE(r.utilization, 1.0 + 1e-9);
+  EXPECT_GE(r.drop_probability, 0.0);
+  EXPECT_LE(r.drop_probability, 1.0);
+  EXPECT_LE(r.long_flow_throughput_bps, cfg.bottleneck_rate_bps * 1.001);
+  if (r.short_flows_completed > 0) {
+    EXPECT_GT(r.afct_seconds, 0.0);
+    EXPECT_LT(r.afct_seconds, 10.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomScenario, ::testing::Range(1, 13),
+                         [](const auto& info) {
+                           return "case" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace rbs

@@ -1,0 +1,106 @@
+// Unit tests for flow-synchronization metrics (§3 analysis).
+#include "stats/synchronization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace rbs::stats {
+namespace {
+
+std::vector<double> sawtooth(int length, int period, int phase) {
+  std::vector<double> s;
+  s.reserve(static_cast<std::size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    const int pos = (i + phase) % period;
+    s.push_back(10.0 + static_cast<double>(pos));  // ramp then drop
+  }
+  return s;
+}
+
+TEST(PearsonCorrelation, PerfectAndInverse) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  const std::vector<double> b{2, 4, 6, 8, 10};
+  const std::vector<double> c{5, 4, 3, 2, 1};
+  EXPECT_NEAR(pearson_correlation(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(pearson_correlation(a, c), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(pearson_correlation({1.0}, {2.0}), 0.0);       // too short
+  EXPECT_DOUBLE_EQ(pearson_correlation({3, 3, 3}, {1, 2, 3}), 0.0);  // no variance
+}
+
+TEST(PearsonCorrelation, IndependentNoiseNearZero) {
+  sim::Rng rng{4};
+  std::vector<double> a, b;
+  for (int i = 0; i < 20'000; ++i) {
+    a.push_back(rng.normal());
+    b.push_back(rng.normal());
+  }
+  EXPECT_NEAR(pearson_correlation(a, b), 0.0, 0.03);
+}
+
+TEST(MeanPairwiseCorrelation, InPhaseSawtoothsScoreHigh) {
+  std::vector<std::vector<double>> flows;
+  for (int f = 0; f < 6; ++f) flows.push_back(sawtooth(400, 40, 0));
+  EXPECT_NEAR(mean_pairwise_correlation(flows), 1.0, 1e-9);
+}
+
+TEST(MeanPairwiseCorrelation, StaggeredSawtoothsScoreLowerThanInPhase) {
+  std::vector<std::vector<double>> staggered;
+  for (int f = 0; f < 8; ++f) staggered.push_back(sawtooth(400, 40, f * 5));
+  std::vector<std::vector<double>> in_phase;
+  for (int f = 0; f < 8; ++f) in_phase.push_back(sawtooth(400, 40, 0));
+  EXPECT_LT(mean_pairwise_correlation(staggered), 0.5);
+  EXPECT_GT(mean_pairwise_correlation(in_phase), 0.99);
+}
+
+TEST(HalvingEvents, DetectsDrops) {
+  // Ramp 0..9 then fall back: one drop per period.
+  const auto s = sawtooth(100, 10, 0);
+  const auto events = halving_events(s, 0.3);
+  // Drops at indices 10, 20, ..., 90.
+  ASSERT_EQ(events.size(), 9u);
+  EXPECT_EQ(events.front(), 10);
+  EXPECT_EQ(events.back(), 90);
+}
+
+TEST(HalvingEvents, IgnoresSmallDips) {
+  const std::vector<double> s{10, 9.5, 10, 9.4, 10};
+  EXPECT_TRUE(halving_events(s, 0.3).empty());
+}
+
+TEST(HalvingCoincidence, InPhaseIsOne) {
+  std::vector<std::vector<double>> flows;
+  for (int f = 0; f < 5; ++f) flows.push_back(sawtooth(200, 20, 0));
+  EXPECT_DOUBLE_EQ(halving_coincidence(flows), 1.0);
+}
+
+TEST(HalvingCoincidence, FullyStaggeredIsZero) {
+  std::vector<std::vector<double>> flows;
+  // Period 40, phases 10 apart, tolerance 1: no coincidences.
+  for (int f = 0; f < 4; ++f) flows.push_back(sawtooth(400, 40, f * 10));
+  EXPECT_DOUBLE_EQ(halving_coincidence(flows, 1, 0.5), 0.0);
+}
+
+TEST(HalvingCoincidence, ToleranceWidensMatching) {
+  std::vector<std::vector<double>> flows;
+  for (int f = 0; f < 4; ++f) flows.push_back(sawtooth(400, 40, f * 2));
+  // Phases within 6 samples of each other: tolerance 1 misses most,
+  // tolerance 8 catches (nearly) all — events at the series edges can lack
+  // a counterpart in flows whose matching event falls outside the window.
+  EXPECT_LT(halving_coincidence(flows, 1, 0.9), 0.7);
+  EXPECT_GT(halving_coincidence(flows, 8, 0.9), 0.9);
+}
+
+TEST(HalvingCoincidence, FewerThanTwoFlowsIsZero) {
+  EXPECT_DOUBLE_EQ(halving_coincidence({sawtooth(100, 10, 0)}), 0.0);
+  EXPECT_DOUBLE_EQ(halving_coincidence({}), 0.0);
+}
+
+}  // namespace
+}  // namespace rbs::stats

@@ -1,0 +1,114 @@
+// Tests for paced TCP: send spacing, unchanged window dynamics, and the
+// tiny-buffer benefit the pacing literature predicts.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/dumbbell.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/tcp_sink.hpp"
+#include "tcp/tcp_source.hpp"
+
+namespace rbs::tcp {
+namespace {
+
+using namespace rbs::sim::literals;
+using sim::SimTime;
+
+net::DumbbellConfig topo_cfg(std::int64_t buffer) {
+  net::DumbbellConfig cfg;
+  cfg.num_leaves = 1;
+  cfg.bottleneck_rate_bps = 10e6;
+  cfg.buffer_packets = buffer;
+  cfg.access_delays = {SimTime::milliseconds(35)};  // RTT = 92 ms
+  return cfg;
+}
+
+TEST(TcpPacing, SendsAreSpreadOverTheRtt) {
+  sim::Simulation sim{1};
+  net::Dumbbell topo{sim, topo_cfg(1'000'000)};
+  TcpConfig cfg;
+  cfg.pacing = true;
+  cfg.pacing_initial_rtt = 92_ms;
+  TcpSink sink{sim, topo.receiver(0), 1};
+  TcpSource src{sim, topo.sender(0), topo.receiver(0).id(), 1, cfg};
+
+  // Record departure times at the sender's access link.
+  std::vector<SimTime> departures;
+  // (The first link the data crosses is the sender's uplink; observe at the
+  // bottleneck instead, which all data crosses.)
+  topo.bottleneck().on_delivered = [&](const net::Packet& p) {
+    if (p.kind == net::PacketKind::kTcpData) departures.push_back(sim.now());
+  };
+  src.start(SimTime::zero());
+  sim.run_until(150_ms);  // initial window only (cwnd 2, RTT 92 ms)
+
+  // Unpaced TCP would emit the two initial packets back-to-back (0.8 ms at
+  // 10 Mb/s); paced TCP spaces them by ~RTT/cwnd = 46 ms.
+  ASSERT_GE(departures.size(), 2u);
+  EXPECT_GT((departures[1] - departures[0]).to_seconds(), 0.030);
+}
+
+TEST(TcpPacing, ThroughputMatchesUnpacedWithAmpleBuffer) {
+  auto run = [](bool pacing) {
+    sim::Simulation sim{1};
+    net::Dumbbell topo{sim, topo_cfg(115)};
+    TcpConfig cfg;
+    cfg.pacing = pacing;
+    TcpSink sink{sim, topo.receiver(0), 1};
+    TcpSource src{sim, topo.sender(0), topo.receiver(0).id(), 1, cfg};
+    src.start(SimTime::zero());
+    sim.run_until(SimTime::seconds(60));
+    return src.snd_una();
+  };
+  const auto paced = run(true);
+  const auto unpaced = run(false);
+  EXPECT_GT(static_cast<double>(paced), 0.9 * static_cast<double>(unpaced));
+}
+
+TEST(TcpPacing, WinsAtTinyBuffers) {
+  // The Enachescu-et-al. effect: with a buffer an order of magnitude below
+  // RTT*C, pacing avoids the burst losses that cripple unpaced slow start.
+  auto run = [](bool pacing) {
+    sim::Simulation sim{3};
+    net::Dumbbell topo{sim, topo_cfg(8)};  // BDP is 115
+    TcpConfig cfg;
+    cfg.pacing = pacing;
+    TcpSink sink{sim, topo.receiver(0), 1};
+    TcpSource src{sim, topo.sender(0), topo.receiver(0).id(), 1, cfg};
+    src.start(SimTime::zero());
+    sim.run_until(SimTime::seconds(60));
+    return src.snd_una();
+  };
+  EXPECT_GT(static_cast<double>(run(true)), 1.2 * static_cast<double>(run(false)));
+}
+
+TEST(TcpPacing, FiniteFlowCompletes) {
+  sim::Simulation sim{1};
+  net::Dumbbell topo{sim, topo_cfg(50)};
+  TcpConfig cfg;
+  cfg.pacing = true;
+  TcpSink sink{sim, topo.receiver(0), 1};
+  TcpSource src{sim, topo.sender(0), topo.receiver(0).id(), 1, cfg, 300};
+  src.start(SimTime::zero());
+  sim.run();
+  EXPECT_TRUE(src.finished());
+  EXPECT_EQ(sink.next_expected(), 300);
+}
+
+TEST(TcpPacing, RecoversFromLoss) {
+  sim::Simulation sim{5};
+  net::Dumbbell topo{sim, topo_cfg(10)};  // frequent loss
+  TcpConfig cfg;
+  cfg.pacing = true;
+  TcpSink sink{sim, topo.receiver(0), 1};
+  TcpSource src{sim, topo.sender(0), topo.receiver(0).id(), 1, cfg, 2000};
+  src.start(SimTime::zero());
+  sim.run();
+  EXPECT_TRUE(src.finished());
+  EXPECT_EQ(sink.next_expected(), 2000);
+  EXPECT_GT(src.stats().retransmissions, 0u);
+}
+
+}  // namespace
+}  // namespace rbs::tcp

@@ -1,0 +1,125 @@
+// Unit tests for the TCP sink: cumulative ACK generation and reordering.
+#include "tcp/tcp_sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/node.hpp"
+#include "sim/simulation.hpp"
+
+namespace rbs::tcp {
+namespace {
+
+using namespace rbs::sim::literals;
+
+/// Captures the sink's outgoing ACKs.
+class AckCapture final : public net::PacketSink {
+ public:
+  void receive(const net::Packet& p) override { acks.push_back(p); }
+  std::vector<net::Packet> acks;
+};
+
+class TcpSinkTest : public ::testing::Test {
+ protected:
+  TcpSinkTest() : host_{sim_, 5, "rcv"}, sink_{sim_, host_, 1} {
+    host_.attach_uplink(capture_);
+  }
+
+  net::Packet data(std::int64_t seq, sim::SimTime ts = sim::SimTime::zero()) {
+    net::Packet p;
+    p.flow = 1;
+    p.kind = net::PacketKind::kTcpData;
+    p.src = 9;
+    p.dst = 5;
+    p.seq = seq;
+    p.size_bytes = 1000;
+    p.timestamp = ts;
+    return p;
+  }
+
+  sim::Simulation sim_{1};
+  net::Host host_;
+  AckCapture capture_;
+  TcpSink sink_;
+};
+
+TEST_F(TcpSinkTest, AcksEveryInOrderPacket) {
+  for (int i = 0; i < 4; ++i) host_.receive(data(i));
+  ASSERT_EQ(capture_.acks.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(capture_.acks[static_cast<std::size_t>(i)].ack, i + 1);
+    EXPECT_EQ(capture_.acks[static_cast<std::size_t>(i)].kind, net::PacketKind::kTcpAck);
+  }
+  EXPECT_EQ(sink_.next_expected(), 4);
+}
+
+TEST_F(TcpSinkTest, OutOfOrderGeneratesDuplicateAcks) {
+  host_.receive(data(0));  // ack 1
+  host_.receive(data(2));  // hole at 1 -> dup ack 1
+  host_.receive(data(3));  // dup ack 1
+  ASSERT_EQ(capture_.acks.size(), 3u);
+  EXPECT_EQ(capture_.acks[1].ack, 1);
+  EXPECT_EQ(capture_.acks[2].ack, 1);
+}
+
+TEST_F(TcpSinkTest, HoleFillAdvancesCumulativelyPastBufferedData) {
+  host_.receive(data(0));
+  host_.receive(data(2));
+  host_.receive(data(3));
+  host_.receive(data(1));  // fills the hole
+  ASSERT_EQ(capture_.acks.size(), 4u);
+  EXPECT_EQ(capture_.acks.back().ack, 4);  // jumps over 2 and 3
+  EXPECT_EQ(sink_.next_expected(), 4);
+}
+
+TEST_F(TcpSinkTest, AckDestinationIsDataSource) {
+  host_.receive(data(0));
+  EXPECT_EQ(capture_.acks[0].dst, 9u);
+  EXPECT_EQ(capture_.acks[0].src, 5u);
+  EXPECT_EQ(capture_.acks[0].flow, 1u);
+}
+
+TEST_F(TcpSinkTest, EchoesTimestampOfTriggeringPacket) {
+  host_.receive(data(0, 123_ms));
+  host_.receive(data(1, 456_ms));
+  EXPECT_EQ(capture_.acks[0].timestamp, 123_ms);
+  EXPECT_EQ(capture_.acks[1].timestamp, 456_ms);
+}
+
+TEST_F(TcpSinkTest, CountsSpuriousRetransmissions) {
+  host_.receive(data(0));
+  host_.receive(data(0));  // already delivered
+  host_.receive(data(2));
+  host_.receive(data(2));  // already buffered out-of-order
+  EXPECT_EQ(sink_.duplicate_data_packets(), 2u);
+  EXPECT_EQ(capture_.acks.size(), 4u);  // still ACKs every arrival
+}
+
+TEST_F(TcpSinkTest, IgnoresNonDataPackets) {
+  net::Packet ack;
+  ack.flow = 1;
+  ack.kind = net::PacketKind::kTcpAck;
+  ack.dst = 5;
+  host_.receive(ack);
+  EXPECT_TRUE(capture_.acks.empty());
+  EXPECT_EQ(sink_.packets_received(), 0u);
+}
+
+TEST_F(TcpSinkTest, CountersTrackTraffic) {
+  for (int i = 0; i < 5; ++i) host_.receive(data(i));
+  EXPECT_EQ(sink_.packets_received(), 5u);
+  EXPECT_EQ(sink_.acks_sent(), 5u);
+}
+
+TEST_F(TcpSinkTest, LargeReorderingWindow) {
+  // Deliver 1..99 out of order, then 0; cumulative ACK must jump to 100.
+  for (int i = 99; i >= 1; --i) host_.receive(data(i));
+  EXPECT_EQ(sink_.next_expected(), 0);
+  host_.receive(data(0));
+  EXPECT_EQ(sink_.next_expected(), 100);
+  EXPECT_EQ(capture_.acks.back().ack, 100);
+}
+
+}  // namespace
+}  // namespace rbs::tcp

@@ -1,0 +1,154 @@
+// Tests for the TCP behaviour variants: Tahoe, delayed ACKs, and ACK-counted
+// (non-byte-counted) window growth.
+#include <gtest/gtest.h>
+
+#include "net/dumbbell.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/tcp_sink.hpp"
+#include "tcp/tcp_source.hpp"
+
+namespace rbs::tcp {
+namespace {
+
+using namespace rbs::sim::literals;
+using sim::SimTime;
+
+/// One-leaf lossless dumbbell harness.
+struct Net {
+  explicit Net(std::int64_t buffer = 1'000'000, std::uint64_t seed = 1)
+      : sim{seed}, topo{sim, make_cfg(buffer)} {}
+
+  static net::DumbbellConfig make_cfg(std::int64_t buffer) {
+    net::DumbbellConfig cfg;
+    cfg.num_leaves = 1;
+    cfg.bottleneck_rate_bps = 10e6;
+    cfg.buffer_packets = buffer;
+    cfg.access_delays = {SimTime::milliseconds(35)};  // RTT = 92 ms
+    return cfg;
+  }
+
+  sim::Simulation sim;
+  net::Dumbbell topo;
+};
+
+TEST(TcpTahoe, SlowStartsAfterLossInsteadOfRecovering) {
+  Net net{115};
+  TcpConfig cfg;
+  cfg.flavor = TcpFlavor::kTahoe;
+  TcpSink sink{net.sim, net.topo.receiver(0), 1};
+  TcpSource src{net.sim, net.topo.sender(0), net.topo.receiver(0).id(), 1, cfg};
+  src.start(SimTime::zero());
+  net.sim.run_until(SimTime::seconds(40));
+
+  EXPECT_GE(src.stats().fast_retransmits, 1u);
+  // Tahoe never sits in a recovery phase.
+  EXPECT_FALSE(src.in_recovery());
+  // And keeps delivering.
+  EXPECT_GT(src.snd_una(), 1000);
+}
+
+TEST(TcpTahoe, LowerThroughputThanNewRenoOnLossyPath) {
+  auto run = [](TcpFlavor flavor) {
+    Net net{20};  // small buffer -> periodic loss
+    TcpConfig cfg;
+    cfg.flavor = flavor;
+    TcpSink sink{net.sim, net.topo.receiver(0), 1};
+    TcpSource src{net.sim, net.topo.sender(0), net.topo.receiver(0).id(), 1, cfg};
+    src.start(SimTime::zero());
+    net.sim.run_until(SimTime::seconds(60));
+    return src.snd_una();
+  };
+  // Tahoe pays a slow-start restart per loss; NewReno halves. Over a minute
+  // of steady loss the ordering is systematic.
+  EXPECT_LT(run(TcpFlavor::kTahoe), run(TcpFlavor::kNewReno));
+}
+
+TEST(TcpDelayedAck, HalvesAckTrafficOnInOrderStream) {
+  Net net;
+  TcpSinkConfig sink_cfg;
+  sink_cfg.delayed_ack = true;
+  TcpSink sink{net.sim, net.topo.receiver(0), 1, sink_cfg};
+  TcpSource src{net.sim, net.topo.sender(0), net.topo.receiver(0).id(), 1, TcpConfig{}, 400};
+  src.start(SimTime::zero());
+  net.sim.run();
+
+  EXPECT_TRUE(src.finished());
+  EXPECT_EQ(sink.packets_received(), 400u);
+  // Roughly one ACK per two packets (plus timeout-forced stragglers).
+  EXPECT_LT(sink.acks_sent(), 280u);
+  EXPECT_GE(sink.acks_sent(), 200u);
+}
+
+TEST(TcpDelayedAck, TimeoutFlushesLoneSegment) {
+  Net net;
+  TcpSinkConfig sink_cfg;
+  sink_cfg.delayed_ack = true;
+  sink_cfg.delack_timeout = 100_ms;
+  TcpSink sink{net.sim, net.topo.receiver(0), 1, sink_cfg};
+  // A 1-packet flow: the only ACK must come from the delack timer.
+  TcpSource src{net.sim, net.topo.sender(0), net.topo.receiver(0).id(), 1, TcpConfig{}, 1};
+  src.start(SimTime::zero());
+  net.sim.run();
+  EXPECT_TRUE(src.finished());
+  EXPECT_EQ(sink.acks_sent(), 1u);
+  EXPECT_EQ(sink.delayed_ack_timeouts(), 1u);
+  // Completion is delayed by ~the delack timeout beyond the raw path time.
+  EXPECT_GT(src.finish_time(), 150_ms);
+}
+
+TEST(TcpDelayedAck, OutOfOrderDataAckedImmediately) {
+  Net net;
+  TcpSinkConfig sink_cfg;
+  sink_cfg.delayed_ack = true;
+  TcpSink sink{net.sim, net.topo.receiver(0), 1, sink_cfg};
+  net::Host& rcv = net.topo.receiver(0);
+
+  auto data = [&](std::int64_t seq) {
+    net::Packet p;
+    p.flow = 1;
+    p.kind = net::PacketKind::kTcpData;
+    p.src = net.topo.sender(0).id();
+    p.dst = rcv.id();
+    p.seq = seq;
+    p.size_bytes = 1000;
+    return p;
+  };
+  rcv.receive(data(0));  // in-order: delayed
+  EXPECT_EQ(sink.acks_sent(), 0u);
+  rcv.receive(data(2));  // gap: immediate dup ACK
+  EXPECT_EQ(sink.acks_sent(), 1u);
+  rcv.receive(data(1));  // fills hole but reordering persists? no: acked now
+  EXPECT_GE(sink.acks_sent(), 2u);
+}
+
+TEST(TcpDelayedAck, FlowStillCompletesWithLosses) {
+  Net net{30};
+  TcpSinkConfig sink_cfg;
+  sink_cfg.delayed_ack = true;
+  TcpSink sink{net.sim, net.topo.receiver(0), 1, sink_cfg};
+  TcpSource src{net.sim, net.topo.sender(0), net.topo.receiver(0).id(), 1, TcpConfig{},
+                2000};
+  src.start(SimTime::zero());
+  net.sim.run();
+  EXPECT_TRUE(src.finished());
+  EXPECT_EQ(sink.next_expected(), 2000);
+}
+
+TEST(TcpAckCounting, PerAckGrowthIsSlowerUnderDelayedAcks) {
+  auto cwnd_after = [](bool per_packet) {
+    Net net;
+    TcpSinkConfig sink_cfg;
+    sink_cfg.delayed_ack = true;
+    TcpConfig cfg;
+    cfg.increase_per_acked_packet = per_packet;
+    TcpSink sink{net.sim, net.topo.receiver(0), 1, sink_cfg};
+    TcpSource src{net.sim, net.topo.sender(0), net.topo.receiver(0).id(), 1, cfg};
+    src.start(SimTime::zero());
+    net.sim.run_until(500_ms);  // ~5 RTTs of slow start
+    return src.cwnd();
+  };
+  EXPECT_GT(cwnd_after(true), 1.5 * cwnd_after(false));
+}
+
+}  // namespace
+}  // namespace rbs::tcp

@@ -1,0 +1,109 @@
+// Unit tests for the token-bucket traffic shaper.
+#include "net/token_bucket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace rbs::net {
+namespace {
+
+using namespace rbs::sim::literals;
+using sim::SimTime;
+
+class RecordingSink final : public PacketSink {
+ public:
+  explicit RecordingSink(sim::Simulation& sim) : sim_{sim} {}
+  void receive(const Packet& p) override {
+    times.push_back(sim_.now());
+    seqs.push_back(p.seq);
+  }
+  std::vector<SimTime> times;
+  std::vector<std::int64_t> seqs;
+
+ private:
+  sim::Simulation& sim_;
+};
+
+Packet make_packet(std::int64_t seq, std::int32_t bytes = 1000) {
+  Packet p;
+  p.seq = seq;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TEST(TokenBucket, BurstWithinBucketPassesImmediately) {
+  sim::Simulation sim{1};
+  RecordingSink sink{sim};
+  TokenBucketShaper shaper{sim, "tb", {1e6, 3000, 100}, sink};
+  for (int i = 0; i < 3; ++i) shaper.receive(make_packet(i, 1000));
+  // 3000 bytes of credit -> all three forwarded at t = 0.
+  ASSERT_EQ(sink.times.size(), 3u);
+  for (const auto t : sink.times) EXPECT_EQ(t, SimTime::zero());
+}
+
+TEST(TokenBucket, ExcessTrafficIsPacedAtConfiguredRate) {
+  sim::Simulation sim{1};
+  RecordingSink sink{sim};
+  TokenBucketShaper shaper{sim, "tb", {1e6 /* 125 kB/s */, 1000, 100}, sink};
+  for (int i = 0; i < 5; ++i) shaper.receive(make_packet(i, 1000));
+  sim.run();
+  ASSERT_EQ(sink.times.size(), 5u);
+  // First free, then one packet every 8 ms (1000 B at 1 Mb/s).
+  EXPECT_EQ(sink.times[0], SimTime::zero());
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_NEAR((sink.times[i] - sink.times[i - 1]).to_seconds(), 0.008, 1e-6);
+  }
+}
+
+TEST(TokenBucket, PreservesOrder) {
+  sim::Simulation sim{1};
+  RecordingSink sink{sim};
+  TokenBucketShaper shaper{sim, "tb", {1e6, 1000, 100}, sink};
+  for (int i = 0; i < 10; ++i) shaper.receive(make_packet(i));
+  sim.run();
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(sink.seqs[i], static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(TokenBucket, DropsBeyondQueueLimit) {
+  sim::Simulation sim{1};
+  RecordingSink sink{sim};
+  TokenBucketShaper shaper{sim, "tb", {1e6, 1000, 4}, sink};
+  for (int i = 0; i < 10; ++i) shaper.receive(make_packet(i));
+  // 1 forwarded on credit, 4 queued, 5 dropped.
+  EXPECT_EQ(shaper.packets_dropped(), 5u);
+  sim.run();
+  EXPECT_EQ(shaper.packets_forwarded(), 5u);
+}
+
+TEST(TokenBucket, CreditAccumulatesDuringIdle) {
+  sim::Simulation sim{1};
+  RecordingSink sink{sim};
+  TokenBucketShaper shaper{sim, "tb", {1e6, 3000, 100}, sink};
+  shaper.receive(make_packet(0, 3000));  // drains the bucket
+  sim.run();
+  // After 24 ms the bucket refills fully (3000 B at 125 kB/s).
+  sim.run_until(24_ms);
+  shaper.receive(make_packet(1, 3000));
+  EXPECT_EQ(shaper.packets_forwarded(), 2u);  // immediate again
+}
+
+TEST(TokenBucket, LongRunThroughputMatchesRate) {
+  sim::Simulation sim{1};
+  RecordingSink sink{sim};
+  TokenBucketShaper shaper{sim, "tb", {2e6, 2000, 10'000}, sink};
+  // Offer 4 Mb/s for 10 s; expect ~2 Mb/s out.
+  for (int i = 0; i < 5000; ++i) {
+    sim.at(SimTime::microseconds(i * 2000), [&shaper, i] { shaper.receive(make_packet(i)); });
+  }
+  sim.run_until(SimTime::seconds(10));
+  const double delivered_bits = static_cast<double>(shaper.packets_forwarded()) * 8000.0;
+  EXPECT_NEAR(delivered_bits / 10.0, 2e6, 0.05e6);
+}
+
+}  // namespace
+}  // namespace rbs::net
