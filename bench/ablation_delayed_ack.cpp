@@ -10,6 +10,7 @@
 #include "experiment/cli.hpp"
 #include "experiment/long_flow_experiment.hpp"
 #include "experiment/reporting.hpp"
+#include "experiment/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace rbs;
@@ -33,15 +34,25 @@ int main(int argc, char** argv) {
                                   "per-packet loss", "delayed loss"}};
   std::string csv = "multiple,delayed,utilization,loss\n";
 
-  for (const double mult : {0.5, 1.0, 2.0, 3.0}) {
-    auto cfg = base;
-    cfg.buffer_packets =
-        std::max<std::int64_t>(4, static_cast<std::int64_t>(std::llround(mult * rule)));
+  // Flatten (buffer multiple) x (ACK policy) into independent sweep points;
+  // run concurrently, report in the original nested order.
+  const std::vector<double> mults{0.5, 1.0, 2.0, 3.0};
+  experiment::SweepRunner runner{opts.threads};
+  const auto results = runner.map<experiment::LongFlowExperimentResult>(
+      mults.size() * 2, [&](std::size_t idx) {
+        auto cfg = base;
+        cfg.buffer_packets = std::max<std::int64_t>(
+            4, static_cast<std::int64_t>(std::llround(mults[idx / 2] * rule)));
+        cfg.sink.delayed_ack = (idx % 2 == 1);
+        auto r = run_long_flow_experiment(cfg);
+        if (idx % 2 == 1) std::fprintf(stderr, "  [delack] finished %.1fx\n", mults[idx / 2]);
+        return r;
+      });
 
-    cfg.sink.delayed_ack = false;
-    const auto immediate = run_long_flow_experiment(cfg);
-    cfg.sink.delayed_ack = true;
-    const auto delayed = run_long_flow_experiment(cfg);
+  for (std::size_t m = 0; m < mults.size(); ++m) {
+    const double mult = mults[m];
+    const auto& immediate = results[m * 2];
+    const auto& delayed = results[m * 2 + 1];
 
     table.add_row({experiment::format("%.1f x", mult),
                    experiment::format("%.2f%%", 100 * immediate.utilization),
@@ -52,7 +63,6 @@ int main(int argc, char** argv) {
                               immediate.loss_rate);
     csv += experiment::format("%.1f,1,%.4f,%.5f\n", mult, delayed.utilization,
                               delayed.loss_rate);
-    std::fprintf(stderr, "  [delack] finished %.1fx\n", mult);
   }
   std::printf("%s\n", table.render().c_str());
   if (opts.want_csv()) experiment::write_file(opts.csv_dir + "/ablation_delack.csv", csv);

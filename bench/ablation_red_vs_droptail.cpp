@@ -7,6 +7,7 @@
 #include "experiment/cli.hpp"
 #include "experiment/long_flow_experiment.hpp"
 #include "experiment/reporting.hpp"
+#include "experiment/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace rbs;
@@ -32,25 +33,45 @@ int main(int argc, char** argv) {
   std::string csv = "multiple,droptail_util,red_util,ecn_util,drr_util,droptail_loss,"
                     "red_loss,ecn_loss,drr_loss\n";
 
-  for (const double mult : {0.5, 1.0, 2.0, 3.0}) {
-    auto cfg = base;
-    cfg.buffer_packets =
-        std::max<std::int64_t>(4, static_cast<std::int64_t>(std::llround(mult * rule)));
+  // Flatten (buffer multiple) x (discipline) into independent sweep points;
+  // run concurrently and report in the original nested order.
+  const std::vector<double> mults{0.5, 1.0, 2.0, 3.0};
+  experiment::SweepRunner runner{opts.threads};
+  const auto results = runner.map<experiment::LongFlowExperimentResult>(
+      mults.size() * 4, [&](std::size_t idx) {
+        auto cfg = base;
+        cfg.buffer_packets = std::max<std::int64_t>(
+            4, static_cast<std::int64_t>(std::llround(mults[idx / 4] * rule)));
+        switch (idx % 4) {
+          case 0:
+            cfg.discipline = net::QueueDiscipline::kDropTail;
+            break;
+          case 1:
+          case 2:
+            cfg.discipline = net::QueueDiscipline::kRed;
+            // Tune RED for the small-buffer regime: Floyd's default
+            // thresholds (limit/4, 3*limit/4) would early-drop away most of
+            // an already-small buffer; in deployment the thresholds sit
+            // near the physical limit.
+            cfg.red.min_threshold = static_cast<double>(cfg.buffer_packets) / 2.0;
+            cfg.red.max_threshold = static_cast<double>(cfg.buffer_packets);
+            cfg.red.ecn_marking = (idx % 4 == 2);
+            break;
+          case 3:
+            cfg.discipline = net::QueueDiscipline::kDrr;
+            break;
+        }
+        auto r = run_long_flow_experiment(cfg);
+        if (idx % 4 == 3) std::fprintf(stderr, "  [red] finished %.1fx\n", mults[idx / 4]);
+        return r;
+      });
 
-    cfg.discipline = net::QueueDiscipline::kDropTail;
-    const auto dt = run_long_flow_experiment(cfg);
-    cfg.discipline = net::QueueDiscipline::kRed;
-    // Tune RED for the small-buffer regime: Floyd's default thresholds
-    // (limit/4, 3*limit/4) would early-drop away most of an already-small
-    // buffer; in deployment the thresholds sit near the physical limit.
-    cfg.red.min_threshold = static_cast<double>(cfg.buffer_packets) / 2.0;
-    cfg.red.max_threshold = static_cast<double>(cfg.buffer_packets);
-    const auto red = run_long_flow_experiment(cfg);
-    cfg.red.ecn_marking = true;
-    const auto ecn = run_long_flow_experiment(cfg);
-    cfg.red.ecn_marking = false;
-    cfg.discipline = net::QueueDiscipline::kDrr;
-    const auto drr = run_long_flow_experiment(cfg);
+  for (std::size_t m = 0; m < mults.size(); ++m) {
+    const double mult = mults[m];
+    const auto& dt = results[m * 4];
+    const auto& red = results[m * 4 + 1];
+    const auto& ecn = results[m * 4 + 2];
+    const auto& drr = results[m * 4 + 3];
 
     table.add_row({experiment::format("%.1f x", mult),
                    experiment::format("%.2f%%", 100 * dt.utilization),
@@ -65,7 +86,6 @@ int main(int argc, char** argv) {
                               dt.utilization, red.utilization, ecn.utilization,
                               drr.utilization, dt.loss_rate, red.loss_rate, ecn.loss_rate,
                               drr.loss_rate);
-    std::fprintf(stderr, "  [red] finished %.1fx\n", mult);
   }
   std::printf("%s\n", table.render().c_str());
   if (opts.want_csv()) experiment::write_file(opts.csv_dir + "/ablation_red.csv", csv);

@@ -12,6 +12,7 @@
 #include "experiment/cli.hpp"
 #include "experiment/long_flow_experiment.hpp"
 #include "experiment/reporting.hpp"
+#include "experiment/sweep.hpp"
 #include "stats/synchronization.hpp"
 
 int main(int argc, char** argv) {
@@ -50,12 +51,24 @@ int main(int argc, char** argv) {
   experiment::TablePrinter table{{"spread", "pairwise corr", "utilization", "loss"}};
   std::string csv = "spread_ms,pairwise_corr,utilization,loss\n";
 
-  for (const auto& s : spreads) {
-    auto cfg = base;
-    cfg.access_delay_min = s.lo;
-    cfg.access_delay_max = s.hi;
-    cfg.buffer_packets = rule;
-    const auto r = run_long_flow_experiment(cfg);
+  // One independent simulation per spread, run concurrently on the sweep
+  // pool, reported in spread order.
+  experiment::SweepRunner runner{opts.threads};
+  const auto results = runner.map<experiment::LongFlowExperimentResult>(
+      std::size(spreads), [&](std::size_t idx) {
+        const Spread& s = spreads[idx];
+        auto cfg = base;
+        cfg.access_delay_min = s.lo;
+        cfg.access_delay_max = s.hi;
+        cfg.buffer_packets = rule;
+        auto r = run_long_flow_experiment(cfg);
+        std::fprintf(stderr, "  [spread] finished %s\n", s.name);
+        return r;
+      });
+
+  for (std::size_t idx = 0; idx < std::size(spreads); ++idx) {
+    const Spread& s = spreads[idx];
+    const auto& r = results[idx];
     const double corr = stats::mean_pairwise_correlation(r.per_flow_cwnd);
 
     table.add_row({s.name, experiment::format("%.3f", corr),
@@ -64,7 +77,6 @@ int main(int argc, char** argv) {
     csv += experiment::format("%.1f,%.4f,%.4f,%.5f\n",
                               (s.hi - s.lo).to_seconds() * 500.0, corr, r.utilization,
                               r.loss_rate);
-    std::fprintf(stderr, "  [spread] finished %s\n", s.name);
   }
   std::printf("%s\n", table.render().c_str());
   if (opts.want_csv()) experiment::write_file(opts.csv_dir + "/ablation_rtt_spread.csv", csv);

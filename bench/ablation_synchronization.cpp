@@ -11,6 +11,7 @@
 #include "experiment/cli.hpp"
 #include "experiment/long_flow_experiment.hpp"
 #include "experiment/reporting.hpp"
+#include "experiment/sweep.hpp"
 #include "stats/gaussian_fit.hpp"
 #include "stats/synchronization.hpp"
 
@@ -35,14 +36,24 @@ int main(int argc, char** argv) {
                                   "KS dist of sum(W)", "utilization"}};
   std::string csv = "n,pairwise_correlation,halving_coincidence,ks_distance,utilization\n";
 
-  for (const int n : counts) {
-    auto cfg = base;
-    cfg.num_flows = n;
-    cfg.buffer_packets =
-        std::max<std::int64_t>(4, static_cast<std::int64_t>(
-                                      std::llround(1550.0 / std::sqrt(static_cast<double>(n)))));
-    const auto r = run_long_flow_experiment(cfg);
+  // One independent simulation per flow count; run them concurrently and
+  // report in count order.
+  experiment::SweepRunner runner{opts.threads};
+  const auto results = runner.map<experiment::LongFlowExperimentResult>(
+      counts.size(), [&](std::size_t idx) {
+        const int n = counts[idx];
+        auto cfg = base;
+        cfg.num_flows = n;
+        cfg.buffer_packets = std::max<std::int64_t>(
+            4, static_cast<std::int64_t>(std::llround(1550.0 / std::sqrt(static_cast<double>(n)))));
+        auto r = run_long_flow_experiment(cfg);
+        std::fprintf(stderr, "  [sync] finished n=%d\n", n);
+        return r;
+      });
 
+  for (std::size_t idx = 0; idx < counts.size(); ++idx) {
+    const int n = counts[idx];
+    const auto& r = results[idx];
     const double corr = stats::mean_pairwise_correlation(r.per_flow_cwnd);
     // Halvings of synchronized flows land within ~one RTT of each other,
     // i.e. ~2 samples at 50 ms. Keep the window tight: with hundreds of
@@ -56,7 +67,6 @@ int main(int argc, char** argv) {
                    experiment::format("%.1f%%", 100 * r.utilization)});
     csv += experiment::format("%d,%.4f,%.4f,%.4f,%.4f\n", n, corr, coincidence,
                               fit.ks_distance, r.utilization);
-    std::fprintf(stderr, "  [sync] finished n=%d\n", n);
   }
   std::printf("%s\n", table.render().c_str());
   if (opts.want_csv()) experiment::write_file(opts.csv_dir + "/ablation_sync.csv", csv);

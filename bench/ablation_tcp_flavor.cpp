@@ -11,6 +11,7 @@
 #include "experiment/cli.hpp"
 #include "experiment/long_flow_experiment.hpp"
 #include "experiment/reporting.hpp"
+#include "experiment/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace rbs;
@@ -42,23 +43,33 @@ int main(int argc, char** argv) {
                                   "tahoe loss", "reno loss", "newreno loss"}};
   std::string csv = "multiple,flavor,utilization,loss\n";
 
-  for (const double mult : {0.5, 1.0, 2.0}) {
+  // Flatten (buffer multiple) x (flavor) into one pool of independent
+  // points; run concurrently, report in the original nested order.
+  const std::vector<double> mults{0.5, 1.0, 2.0};
+  const std::size_t num_flavors = std::size(flavors);
+  experiment::SweepRunner runner{opts.threads};
+  const auto results = runner.map<experiment::LongFlowExperimentResult>(
+      mults.size() * num_flavors, [&](std::size_t idx) {
+        auto cfg = base;
+        cfg.buffer_packets = std::max<std::int64_t>(
+            4, static_cast<std::int64_t>(std::llround(mults[idx / num_flavors] * rule)));
+        cfg.tcp.flavor = flavors[idx % num_flavors].flavor;
+        return run_long_flow_experiment(cfg);
+      });
+
+  for (std::size_t m = 0; m < mults.size(); ++m) {
+    const double mult = mults[m];
     std::vector<std::string> row{experiment::format("%.1f x", mult)};
     std::vector<std::string> losses;
-    for (const auto& f : flavors) {
-      auto cfg = base;
-      cfg.buffer_packets =
-          std::max<std::int64_t>(4, static_cast<std::int64_t>(std::llround(mult * rule)));
-      cfg.tcp.flavor = f.flavor;
-      const auto r = run_long_flow_experiment(cfg);
+    for (std::size_t f = 0; f < num_flavors; ++f) {
+      const auto& r = results[m * num_flavors + f];
       row.push_back(experiment::format("%.2f%%", 100 * r.utilization));
       losses.push_back(experiment::format("%.3f%%", 100 * r.loss_rate));
-      csv += experiment::format("%.1f,%s,%.4f,%.5f\n", mult, f.name, r.utilization,
+      csv += experiment::format("%.1f,%s,%.4f,%.5f\n", mult, flavors[f].name, r.utilization,
                                 r.loss_rate);
     }
     row.insert(row.end(), losses.begin(), losses.end());
     table.add_row(std::move(row));
-    std::fprintf(stderr, "  [flavor] finished %.1fx\n", mult);
   }
   std::printf("%s\n", table.render().c_str());
   if (opts.want_csv()) experiment::write_file(opts.csv_dir + "/ablation_flavor.csv", csv);

@@ -11,6 +11,7 @@
 #include "experiment/cli.hpp"
 #include "experiment/long_flow_experiment.hpp"
 #include "experiment/reporting.hpp"
+#include "experiment/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace rbs;
@@ -44,40 +45,57 @@ int main(int argc, char** argv) {
   for (const double t : targets) csv += experiment::format(",min_buffer_%.1f", 100 * t);
   csv += ",loss_at_sqrt_rule\n";
 
-  for (const int n : flow_counts) {
+  // Each row is an independent (n, target) study: run them all concurrently
+  // and print in flow-count order afterwards. Every point builds its own
+  // Simulation, so results are bitwise identical to a serial run.
+  struct Fig7Row {
+    std::int64_t model_pkts{0};
+    std::int64_t hi{0};
+    std::vector<std::int64_t> min_b;
+    double loss_at_rule{0.0};
+  };
+  experiment::SweepRunner runner{opts.threads};
+  const auto rows = runner.map<Fig7Row>(flow_counts.size(), [&](std::size_t idx) {
+    const int n = flow_counts[idx];
     auto cfg = base;
     cfg.num_flows = n;
-    const auto model_pkts = core::sqrt_rule_packets(rtt_sec, cfg.bottleneck_rate_bps, n, 1000);
-
-    std::vector<std::string> row{experiment::format("%d", n),
-                                 experiment::format("%lld", static_cast<long long>(model_pkts))};
-    std::string csv_row =
-        experiment::format("%d,%lld", n, static_cast<long long>(model_pkts));
+    Fig7Row out;
+    out.model_pkts = core::sqrt_rule_packets(rtt_sec, cfg.bottleneck_rate_bps, n, 1000);
 
     for (const double target : targets) {
       // Bracket the search around the model prediction; a result pinned at
       // the top of the bracket is reported as a ">= bound" (synchronized
       // small-n cases can need far more than the model says).
-      const auto lo = std::max<std::int64_t>(2, model_pkts / 3);
-      const auto hi =
-          std::min<std::int64_t>(static_cast<std::int64_t>(bdp_pkts) * 2, model_pkts * 8);
-      const auto min_b = experiment::min_buffer_for_utilization(cfg, target, lo, hi);
-      const char* prefix = min_b >= hi ? ">=" : "";
-      row.push_back(experiment::format("%s%lld (%.2fx)", prefix,
-                                       static_cast<long long>(min_b),
-                                       static_cast<double>(min_b) /
-                                           static_cast<double>(model_pkts)));
-      csv_row += experiment::format(",%lld", static_cast<long long>(min_b));
+      const auto lo = std::max<std::int64_t>(2, out.model_pkts / 3);
+      out.hi = std::min<std::int64_t>(static_cast<std::int64_t>(bdp_pkts) * 2,
+                                      out.model_pkts * 8);
+      out.min_b.push_back(experiment::min_buffer_for_utilization(cfg, target, lo, out.hi));
     }
 
-    cfg.buffer_packets = model_pkts;
-    const auto at_rule = experiment::run_long_flow_experiment(cfg);
-    row.push_back(experiment::format("%.3f%%", 100.0 * at_rule.loss_rate));
-    csv_row += experiment::format(",%.6f", at_rule.loss_rate);
+    cfg.buffer_packets = out.model_pkts;
+    out.loss_at_rule = experiment::run_long_flow_experiment(cfg).loss_rate;
+    std::fprintf(stderr, "  [fig7] finished n=%d\n", n);
+    return out;
+  });
 
+  for (std::size_t idx = 0; idx < flow_counts.size(); ++idx) {
+    const int n = flow_counts[idx];
+    const Fig7Row& r = rows[idx];
+    std::vector<std::string> row{experiment::format("%d", n),
+                                 experiment::format("%lld", static_cast<long long>(r.model_pkts))};
+    std::string csv_row = experiment::format("%d,%lld", n, static_cast<long long>(r.model_pkts));
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      const auto min_b = r.min_b[t];
+      const char* prefix = min_b >= r.hi ? ">=" : "";
+      row.push_back(experiment::format("%s%lld (%.2fx)", prefix, static_cast<long long>(min_b),
+                                       static_cast<double>(min_b) /
+                                           static_cast<double>(r.model_pkts)));
+      csv_row += experiment::format(",%lld", static_cast<long long>(min_b));
+    }
+    row.push_back(experiment::format("%.3f%%", 100.0 * r.loss_at_rule));
+    csv_row += experiment::format(",%.6f", r.loss_at_rule);
     table.add_row(std::move(row));
     csv += csv_row + "\n";
-    std::fprintf(stderr, "  [fig7] finished n=%d\n", n);
   }
   std::printf("%s\n", table.render().c_str());
 

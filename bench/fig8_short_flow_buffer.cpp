@@ -13,6 +13,7 @@
 #include "experiment/cli.hpp"
 #include "experiment/reporting.hpp"
 #include "experiment/short_flow_experiment.hpp"
+#include "experiment/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace rbs;
@@ -54,7 +55,17 @@ int main(int argc, char** argv) {
 
   const std::vector<double> rates =
       opts.full ? std::vector<double>{40e6, 80e6, 200e6} : std::vector<double>{40e6, 80e6, 200e6};
-  for (const double rate : rates) {
+
+  // One independent study per line rate (baseline run + bisection + final
+  // run), executed concurrently and reported in rate order.
+  struct Fig8Row {
+    experiment::ShortFlowExperimentResult baseline;
+    std::int64_t min_b{0};
+    experiment::ShortFlowExperimentResult at_min;
+  };
+  experiment::SweepRunner runner{opts.threads};
+  const auto rows = runner.map<Fig8Row>(rates.size(), [&](std::size_t idx) {
+    const double rate = rates[idx];
     experiment::ShortFlowExperimentConfig cfg;
     cfg.bottleneck_rate_bps = rate;
     cfg.load = load;
@@ -62,15 +73,24 @@ int main(int argc, char** argv) {
     cfg.measure = sim::SimTime::seconds(opts.full ? 60 : 25);
     cfg.seed = opts.seed;
 
+    Fig8Row out;
     // Baseline: a buffer far beyond any excursion.
     cfg.buffer_packets = 4000;
-    const auto baseline = run_short_flow_experiment(cfg);
+    out.baseline = run_short_flow_experiment(cfg);
+    out.min_b = experiment::min_buffer_for_afct(cfg, out.baseline.afct_seconds,
+                                                /*afct_penalty=*/0.125,
+                                                /*lo=*/5, /*hi=*/1200);
+    cfg.buffer_packets = out.min_b;
+    out.at_min = run_short_flow_experiment(cfg);
+    std::fprintf(stderr, "  [fig8] finished %.0f Mb/s\n", rate / 1e6);
+    return out;
+  });
 
-    const auto min_b = experiment::min_buffer_for_afct(cfg, baseline.afct_seconds,
-                                                       /*afct_penalty=*/0.125,
-                                                       /*lo=*/5, /*hi=*/1200);
-    cfg.buffer_packets = min_b;
-    const auto at_min = run_short_flow_experiment(cfg);
+  for (std::size_t idx = 0; idx < rates.size(); ++idx) {
+    const double rate = rates[idx];
+    const auto& baseline = rows[idx].baseline;
+    const auto min_b = rows[idx].min_b;
+    const auto& at_min = rows[idx].at_min;
 
     table.add_row({experiment::format("%.0f Mb/s", rate / 1e6),
                    experiment::format("%.0f", model_buffer),
@@ -80,7 +100,6 @@ int main(int argc, char** argv) {
     csv += experiment::format("%.0f,%.0f,%lld,%.3f,%.3f\n", rate, model_buffer,
                               static_cast<long long>(min_b), 1e3 * baseline.afct_seconds,
                               1e3 * at_min.afct_seconds);
-    std::fprintf(stderr, "  [fig8] finished %.0f Mb/s\n", rate / 1e6);
   }
   std::printf("%s\n", table.render().c_str());
   if (opts.want_csv()) {

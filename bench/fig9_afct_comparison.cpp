@@ -11,6 +11,7 @@
 #include "experiment/cli.hpp"
 #include "experiment/mixed_flow_experiment.hpp"
 #include "experiment/reporting.hpp"
+#include "experiment/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace rbs;
@@ -44,15 +45,26 @@ int main(int argc, char** argv) {
   const std::vector<std::int64_t> lengths = opts.full
                                                 ? std::vector<std::int64_t>{8, 16, 32, 62, 128}
                                                 : std::vector<std::int64_t>{8, 30, 62};
-  for (const auto len : lengths) {
-    auto small_cfg = base;
-    small_cfg.short_flow_packets = len;
-    small_cfg.buffer_packets = sqrt_b;
-    const auto small = run_mixed_flow_experiment(small_cfg);
+  // Flatten (flow length) x (small, big buffer) into one pool of
+  // independent simulation points; report in length order afterwards.
+  experiment::SweepRunner runner{opts.threads};
+  const auto results = runner.map<experiment::MixedFlowExperimentResult>(
+      lengths.size() * 2, [&](std::size_t idx) {
+        auto cfg = base;
+        cfg.short_flow_packets = lengths[idx / 2];
+        cfg.buffer_packets = (idx % 2 == 0) ? sqrt_b : bdp;
+        auto r = run_mixed_flow_experiment(cfg);
+        if (idx % 2 == 1) {
+          std::fprintf(stderr, "  [fig9] finished len=%lld\n",
+                       static_cast<long long>(lengths[idx / 2]));
+        }
+        return r;
+      });
 
-    auto big_cfg = small_cfg;
-    big_cfg.buffer_packets = bdp;
-    const auto big = run_mixed_flow_experiment(big_cfg);
+  for (std::size_t idx = 0; idx < lengths.size(); ++idx) {
+    const auto len = lengths[idx];
+    const auto& small = results[idx * 2];
+    const auto& big = results[idx * 2 + 1];
 
     table.add_row({experiment::format("%lld", static_cast<long long>(len)),
                    experiment::format("%.1f", 1e3 * small.afct_seconds),
@@ -63,7 +75,6 @@ int main(int argc, char** argv) {
     csv += experiment::format("%lld,%.3f,%.3f,%.4f,%.4f\n", static_cast<long long>(len),
                               1e3 * small.afct_seconds, 1e3 * big.afct_seconds,
                               small.utilization, big.utilization);
-    std::fprintf(stderr, "  [fig9] finished len=%lld\n", static_cast<long long>(len));
   }
   std::printf("%s\n", table.render().c_str());
   if (opts.want_csv()) experiment::write_file(opts.csv_dir + "/fig9_afct.csv", csv);

@@ -1,8 +1,15 @@
-// Engine microbenchmarks (google-benchmark): event scheduling, queue ops,
+// Engine microbenchmarks (google-benchmark): event scheduling, cancel and
+// reap throughput, steady-state schedule->fire, parallel sweep dispatch,
 // and end-to-end simulated-seconds-per-wall-second for a reference dumbbell.
+//
+// Emit machine-readable numbers with --benchmark_format=json; the repo's
+// BENCH_engine.json tracks these results across engine changes.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+
 #include "experiment/long_flow_experiment.hpp"
+#include "experiment/sweep.hpp"
 #include "net/drop_tail_queue.hpp"
 #include "sim/simulation.hpp"
 
@@ -23,6 +30,65 @@ void BM_SchedulerScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_SchedulerScheduleRun)->Arg(1'000)->Arg(100'000);
+
+void BM_SchedulerSteadyState(benchmark::State& state) {
+  // The simulator's true hot path: a standing population of N events where
+  // every fired event schedules its successor (packet arrivals, ACK clocks).
+  const auto n = state.range(0);
+  sim::Simulation sim;
+  sim::Scheduler& sched = sim.scheduler();
+  std::uint64_t fired = 0;
+  struct Reschedule {
+    sim::Scheduler* sched;
+    std::uint64_t* fired;
+    void operator()() const {
+      ++*fired;
+      sched->schedule_after(sim::SimTime::nanoseconds(500 + (*fired % 97)), *this);
+    }
+  };
+  for (std::int64_t i = 0; i < n; ++i) {
+    sched.schedule_after(sim::SimTime::nanoseconds(i % 97), Reschedule{&sched, &fired});
+  }
+  for (auto _ : state) {
+    const auto target = sched.executed_events() + 10'000;
+    while (sched.executed_events() < target) {
+      sim.run_until(sim.now() + sim::SimTime::microseconds(1));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10'000);
+}
+BENCHMARK(BM_SchedulerSteadyState)->Arg(64)->Arg(4'096);
+
+void BM_SchedulerScheduleCancel(benchmark::State& state) {
+  // The TCP retransmission-timer pattern: schedule a timer far out, cancel
+  // and replace it on every ACK. Exercises cancel + reaping.
+  sim::Simulation sim;
+  sim::Scheduler& sched = sim.scheduler();
+  sim::Scheduler::EventHandle timer;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    timer.cancel();
+    timer = sched.schedule_after(sim::SimTime::milliseconds(200), [] {});
+    if (++t % 64 == 0) sim.run_until(sim.now() + sim::SimTime::microseconds(1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerScheduleCancel);
+
+void BM_ParallelSweepDispatch(benchmark::State& state) {
+  // Dispatch overhead of the sweep runner on trivial points (the per-point
+  // work here is ~zero, so this measures pool handoff cost).
+  experiment::SweepRunner runner{static_cast<int>(state.range(0))};
+  for (auto _ : state) {
+    const auto results = runner.map<std::uint64_t>(64, [](std::size_t i) {
+      sim::Rng rng{static_cast<std::uint64_t>(i) + 1};
+      return rng.next_u64();
+    });
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ParallelSweepDispatch)->Arg(1)->Arg(2);
 
 void BM_DropTailEnqueueDequeue(benchmark::State& state) {
   net::DropTailQueue q{1024};

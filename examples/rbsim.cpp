@@ -14,7 +14,10 @@
 //   trace       trace file to replay (mode=trace; see traffic/trace_workload.hpp)
 //   rate_mbps   bottleneck rate               [155]
 //   flows       long-lived TCP flows          [100]
-//   buffer      packets, or "auto" = sqrt rule, or "bdp" [auto]
+//   buffer      packets, or "auto" = sqrt rule, or "bdp" [auto];
+//               a comma list (e.g. buffer=50,100,bdp) sweeps the points in
+//               parallel (modes long/short/mixed) and prints one row each
+//   threads     sweep worker threads (0 = RBS_THREADS env, else all cores) [0]
 //   duration    measurement seconds           [20]
 //   warmup      warm-up seconds               [10]
 //   short_load  short-flow offered load       [0.2, mixed/short modes]
@@ -35,7 +38,9 @@
 #include "core/sizing_rules.hpp"
 #include "experiment/long_flow_experiment.hpp"
 #include "experiment/mixed_flow_experiment.hpp"
+#include "experiment/reporting.hpp"
 #include "experiment/short_flow_experiment.hpp"
+#include "experiment/sweep.hpp"
 #include "stats/utilization.hpp"
 #include "traffic/trace_workload.hpp"
 
@@ -109,18 +114,142 @@ int main(int argc, char** argv) {
 
   const auto sqrt_rule = core::sqrt_rule_packets(rtt_sec, rate_bps, std::max(flows, 1), 1000);
   const auto bdp = core::rule_of_thumb_packets(rtt_sec, rate_bps, 1000);
-  std::int64_t buffer = sqrt_rule;
-  const std::string buffer_str = get_str(kv, "buffer", "auto");
-  if (buffer_str == "bdp") {
-    buffer = bdp;
-  } else if (buffer_str != "auto") {
-    buffer = std::atoll(buffer_str.c_str());
+
+  // `buffer` may be a comma-separated list; more than one entry turns the
+  // run into a parallel sweep over buffer sizes.
+  std::vector<std::int64_t> buffers;
+  {
+    std::istringstream list{get_str(kv, "buffer", "auto")};
+    std::string item;
+    while (std::getline(list, item, ',')) {
+      if (item.empty()) continue;
+      if (item == "auto") {
+        buffers.push_back(sqrt_rule);
+      } else if (item == "bdp") {
+        buffers.push_back(bdp);
+      } else {
+        char* end = nullptr;
+        const long long v = std::strtoll(item.c_str(), &end, 10);
+        if (end == item.c_str() || *end != '\0' || v <= 0) {
+          std::fprintf(stderr, "rbsim: bad buffer entry '%s' (want a positive packet count, "
+                               "'auto', or 'bdp')\n", item.c_str());
+          return 2;
+        }
+        buffers.push_back(v);
+      }
+    }
+    if (buffers.empty()) buffers.push_back(sqrt_rule);
   }
+  const std::int64_t buffer = buffers.front();
+  const int threads = static_cast<int>(get_num(kv, "threads", 0));
 
   std::printf("rbsim: mode=%s rate=%.0f Mb/s flows=%d buffer=%lld pkts "
               "(sqrt rule %lld, RTT*C %lld)\n\n",
               mode.c_str(), rate_bps / 1e6, flows, static_cast<long long>(buffer),
               static_cast<long long>(sqrt_rule), static_cast<long long>(bdp));
+
+  if (buffers.size() > 1) {
+    // Buffer sweep: every point is an independent simulation, run across
+    // the worker pool; rows print in list order, bitwise identical to a
+    // serial (threads=1) run.
+    experiment::SweepRunner runner{threads};
+    if (mode == "long") {
+      experiment::LongFlowExperimentConfig cfg;
+      cfg.num_flows = flows;
+      cfg.bottleneck_rate_bps = rate_bps;
+      cfg.warmup = sim::SimTime::from_seconds(warmup);
+      cfg.measure = sim::SimTime::from_seconds(duration);
+      cfg.record_delays = true;
+      cfg.seed = seed;
+      if (get_num(kv, "red", 0) > 0) cfg.discipline = net::QueueDiscipline::kRed;
+      if (get_num(kv, "ecn", 0) > 0) {
+        cfg.discipline = net::QueueDiscipline::kRed;
+        cfg.red.ecn_marking = true;
+      }
+      cfg.tcp.pacing = get_num(kv, "pacing", 0) > 0;
+      cfg.sink.delayed_ack = get_num(kv, "delack", 0) > 0;
+
+      const auto results = runner.map<experiment::LongFlowExperimentResult>(
+          buffers.size(), [&](std::size_t i) {
+            auto point = cfg;
+            point.buffer_packets = buffers[i];
+            return run_long_flow_experiment(point);
+          });
+      experiment::TablePrinter table{
+          {"buffer (pkts)", "utilization", "loss", "mean queue", "p99 delay (ms)", "fairness"}};
+      for (std::size_t i = 0; i < buffers.size(); ++i) {
+        const auto& r = results[i];
+        table.add_row({experiment::format("%lld", static_cast<long long>(buffers[i])),
+                       experiment::format("%.2f%%", 100 * r.utilization),
+                       experiment::format("%.3f%%", 100 * r.loss_rate),
+                       experiment::format("%.1f", r.mean_queue_packets),
+                       experiment::format("%.2f", 1e3 * r.delay_p99_sec),
+                       experiment::format("%.3f", r.fairness)});
+      }
+      std::printf("%s\n", table.render().c_str());
+      return 0;
+    }
+    if (mode == "short") {
+      experiment::ShortFlowExperimentConfig cfg;
+      cfg.bottleneck_rate_bps = rate_bps;
+      cfg.load = get_num(kv, "short_load", 0.8);
+      cfg.flow_packets = static_cast<std::int64_t>(get_num(kv, "flow_len", 62));
+      cfg.warmup = sim::SimTime::from_seconds(warmup);
+      cfg.measure = sim::SimTime::from_seconds(duration);
+      cfg.seed = seed;
+
+      const auto results = runner.map<experiment::ShortFlowExperimentResult>(
+          buffers.size(), [&](std::size_t i) {
+            auto point = cfg;
+            point.buffer_packets = buffers[i];
+            return run_short_flow_experiment(point);
+          });
+      experiment::TablePrinter table{
+          {"buffer (pkts)", "utilization", "AFCT (ms)", "flows", "drop prob"}};
+      for (std::size_t i = 0; i < buffers.size(); ++i) {
+        const auto& r = results[i];
+        table.add_row({experiment::format("%lld", static_cast<long long>(buffers[i])),
+                       experiment::format("%.2f%%", 100 * r.utilization),
+                       experiment::format("%.1f", 1e3 * r.afct_seconds),
+                       experiment::format("%llu",
+                                          static_cast<unsigned long long>(r.flows_completed)),
+                       experiment::format("%.4f", r.drop_probability)});
+      }
+      std::printf("%s\n", table.render().c_str());
+      return 0;
+    }
+    if (mode == "mixed") {
+      experiment::MixedFlowExperimentConfig cfg;
+      cfg.bottleneck_rate_bps = rate_bps;
+      cfg.num_long_flows = flows;
+      cfg.short_flow_load = get_num(kv, "short_load", 0.2);
+      cfg.short_flow_packets = static_cast<std::int64_t>(get_num(kv, "flow_len", 62));
+      cfg.warmup = sim::SimTime::from_seconds(warmup);
+      cfg.measure = sim::SimTime::from_seconds(duration);
+      cfg.seed = seed;
+
+      const auto results = runner.map<experiment::MixedFlowExperimentResult>(
+          buffers.size(), [&](std::size_t i) {
+            auto point = cfg;
+            point.buffer_packets = buffers[i];
+            return run_mixed_flow_experiment(point);
+          });
+      experiment::TablePrinter table{{"buffer (pkts)", "utilization", "short AFCT (ms)",
+                                      "long goodput (Mb/s)", "drop prob"}};
+      for (std::size_t i = 0; i < buffers.size(); ++i) {
+        const auto& r = results[i];
+        table.add_row({experiment::format("%lld", static_cast<long long>(buffers[i])),
+                       experiment::format("%.2f%%", 100 * r.utilization),
+                       experiment::format("%.1f", 1e3 * r.afct_seconds),
+                       experiment::format("%.1f", r.long_flow_throughput_bps / 1e6),
+                       experiment::format("%.4f", r.drop_probability)});
+      }
+      std::printf("%s\n", table.render().c_str());
+      return 0;
+    }
+    std::fprintf(stderr, "rbsim: buffer sweeps support modes long|short|mixed\n");
+    return 2;
+  }
 
   if (mode == "long") {
     experiment::LongFlowExperimentConfig cfg;

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full verification pass:
+#   1. tier-1: RelWithDebInfo build + complete ctest suite
+#   2. bench smoke: one short repetition of the engine microbenchmarks
+#   3. TSAN: rebuild scheduler + sweep runner under ThreadSanitizer and run
+#      the concurrency-sensitive tests (scheduler_test, sweep_test)
+#
+# Usage: scripts/verify.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "=== [1/3] tier-1 build + tests ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "=== [2/3] bench smoke ==="
+cmake --build build -j "$JOBS" --target bench_smoke
+
+echo "=== [3/3] ThreadSanitizer: scheduler_test + sweep_test ==="
+cmake -B build-tsan -S . -DRBS_TSAN=ON >/dev/null
+cmake --build build-tsan -j "$JOBS" --target scheduler_test sweep_test
+./build-tsan/tests/scheduler_test
+./build-tsan/tests/sweep_test
+
+echo "verify: OK"

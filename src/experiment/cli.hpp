@@ -4,6 +4,9 @@
 //   --full       paper-scale parameters (slower, closer to published setup)
 //   --csv DIR    also write machine-readable CSV into DIR
 //   --seed N     override the base RNG seed
+//   --threads N  worker threads for parallel sweeps (0 = RBS_THREADS env
+//                var, else hardware concurrency; results are bitwise
+//                identical for any thread count)
 #pragma once
 
 #include <cstdint>
@@ -18,6 +21,7 @@ struct CliOptions {
   bool full{false};
   std::string csv_dir;  ///< empty = no CSV output
   std::uint64_t seed{1};
+  int threads{0};  ///< sweep workers; 0 = default_sweep_threads()
 
   [[nodiscard]] bool want_csv() const noexcept { return !csv_dir.empty(); }
 };
@@ -33,8 +37,11 @@ inline CliOptions parse_cli(int argc, char** argv, const char* description) {
       opts.csv_dir = argv[++i];
     } else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
       opts.seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+      opts.threads = std::atoi(argv[++i]);
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
-      std::printf("%s\n\nusage: %s [--full] [--csv DIR] [--seed N]\n", description, argv[0]);
+      std::printf("%s\n\nusage: %s [--full] [--csv DIR] [--seed N] [--threads N]\n", description,
+                  argv[0]);
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown argument: %s (try --help)\n", arg);

@@ -1,0 +1,113 @@
+#include "experiment/sweep.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace rbs::experiment {
+
+int default_sweep_threads() {
+  if (const char* env = std::getenv("RBS_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+// Worker protocol: run_indexed publishes a batch (point function + size)
+// under the mutex and wakes the workers; workers claim indices with an
+// atomic fetch_add until the batch is exhausted, and the last one out
+// signals completion. Exceptions from points are captured once and rethrown
+// on the calling thread after the batch drains.
+struct SweepRunner::Impl {
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable batch_done;
+  const std::function<void(std::size_t)>* point{nullptr};
+  std::size_t batch_size{0};
+  std::uint64_t batch_id{0};
+  std::atomic<std::size_t> next_index{0};
+  std::size_t in_flight{0};
+  std::exception_ptr first_error;
+  bool shutting_down{false};
+  std::vector<std::thread> workers;
+
+  void worker_loop() {
+    std::uint64_t seen_batch = 0;
+    for (;;) {
+      const std::function<void(std::size_t)>* fn = nullptr;
+      std::size_t n = 0;
+      {
+        std::unique_lock lock{mutex};
+        work_ready.wait(lock, [&] { return shutting_down || batch_id != seen_batch; });
+        if (shutting_down) return;
+        seen_batch = batch_id;
+        fn = point;
+        n = batch_size;
+        ++in_flight;
+      }
+      for (;;) {
+        const std::size_t i = next_index.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        try {
+          (*fn)(i);
+        } catch (...) {
+          std::lock_guard lock{mutex};
+          if (!first_error) first_error = std::current_exception();
+          // Skip the remaining points; the batch still completes cleanly.
+          next_index.store(n, std::memory_order_relaxed);
+        }
+      }
+      {
+        std::lock_guard lock{mutex};
+        --in_flight;
+        if (in_flight == 0) batch_done.notify_all();
+      }
+    }
+  }
+};
+
+SweepRunner::SweepRunner(int threads)
+    : impl_{new Impl}, num_threads_{threads > 0 ? threads : default_sweep_threads()} {
+  impl_->workers.reserve(static_cast<std::size_t>(num_threads_));
+  for (int i = 0; i < num_threads_; ++i) {
+    impl_->workers.emplace_back([impl = impl_] { impl->worker_loop(); });
+  }
+}
+
+SweepRunner::~SweepRunner() {
+  {
+    std::lock_guard lock{impl_->mutex};
+    impl_->shutting_down = true;
+  }
+  impl_->work_ready.notify_all();
+  for (std::thread& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+void SweepRunner::run_indexed(std::size_t n, const std::function<void(std::size_t)>& point) {
+  if (n == 0) return;
+  if (num_threads_ <= 1 || n == 1) {
+    // Degenerate case: an in-order serial loop on the calling thread.
+    for (std::size_t i = 0; i < n; ++i) point(i);
+    return;
+  }
+  std::unique_lock lock{impl_->mutex};
+  impl_->point = &point;
+  impl_->batch_size = n;
+  impl_->next_index.store(0, std::memory_order_relaxed);
+  impl_->first_error = nullptr;
+  ++impl_->batch_id;
+  impl_->work_ready.notify_all();
+  impl_->batch_done.wait(lock, [&] {
+    return impl_->in_flight == 0 && impl_->next_index.load(std::memory_order_relaxed) >= n;
+  });
+  impl_->point = nullptr;
+  if (impl_->first_error) std::rethrow_exception(impl_->first_error);
+}
+
+}  // namespace rbs::experiment

@@ -1,0 +1,75 @@
+// Parallel sweep runner: executes independent experiment points on a small
+// thread pool with a deterministic result contract.
+//
+// Every reproduction figure is a batch of independent simulations — one per
+// (scenario, seed, buffer-size) point. Each point builds its own
+// sim::Simulation (scheduler + root RNG forked from the point's seed), so
+// two Simulations share no mutable state and a point computes bitwise the
+// same result whether it runs serially, concurrently, or on a machine with
+// a different core count. The runner only changes *when* points execute,
+// never *what* they compute:
+//
+//   1. point i writes only results[i] (index-addressed, pre-sized storage);
+//   2. points are handed out by atomic counter, results returned in index
+//      order, so output ordering never depends on thread interleaving;
+//   3. nothing in src/ has mutable global state (asserted by the
+//      parallel-vs-serial equivalence test in tests/sweep_test.cpp).
+//
+// Thread count: explicit argument > RBS_THREADS env var > hardware
+// concurrency. A single-threaded runner degenerates to an in-order serial
+// loop on the calling thread.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace rbs::experiment {
+
+/// Worker threads a sweep uses when not told otherwise: the RBS_THREADS
+/// environment variable if set to a positive integer, else
+/// std::thread::hardware_concurrency().
+[[nodiscard]] int default_sweep_threads();
+
+/// A reusable pool of worker threads for running independent experiment
+/// points. Construction spawns the workers; destruction joins them.
+class SweepRunner {
+ public:
+  /// threads <= 0 selects default_sweep_threads().
+  explicit SweepRunner(int threads = 0);
+  ~SweepRunner();
+  SweepRunner(const SweepRunner&) = delete;
+  SweepRunner& operator=(const SweepRunner&) = delete;
+
+  [[nodiscard]] int threads() const noexcept { return num_threads_; }
+
+  /// Runs point(i) for every i in [0, n), distributing points across the
+  /// pool, and blocks until all complete. `point` must confine its writes
+  /// to per-index storage. The first exception thrown by a point is
+  /// rethrown here after all workers drain.
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& point);
+
+  /// Maps i -> point(i) into a vector in index order. R must be default-
+  /// constructible and movable.
+  template <typename R, typename F>
+  std::vector<R> map(std::size_t n, F&& point) {
+    std::vector<R> out(n);
+    run_indexed(n, [&](std::size_t i) { out[i] = point(i); });
+    return out;
+  }
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  int num_threads_;
+};
+
+/// One-shot convenience: runs point(i) for i in [0, n) on a transient
+/// SweepRunner and returns the results in index order.
+template <typename R, typename F>
+std::vector<R> parallel_sweep(std::size_t n, F&& point, int threads = 0) {
+  SweepRunner runner{threads};
+  return runner.map<R>(n, std::forward<F>(point));
+}
+
+}  // namespace rbs::experiment

@@ -1,44 +1,131 @@
 #include "sim/scheduler.hpp"
 
-#include <cassert>
-#include <utility>
+#include <algorithm>
 
 namespace rbs::sim {
+namespace {
+
+// Reaping policy: sweep the heap once cancelled entries are both numerous
+// enough to matter and make up at least half the queue. The sweep is O(queue)
+// and amortizes to O(1) per cancel, keeping queue memory proportional to the
+// number of *live* events even under heavy TCP timer churn.
+constexpr std::size_t kReapMinCancelled = 64;
+
+}  // namespace
+
+Scheduler::~Scheduler() {
+  // Destroy the callbacks of events that never fired so captured state
+  // (flow objects, stats sinks, ...) is released.
+  for (const HeapEntry& entry : heap_) pool_.release(entry.slot);
+}
 
 void Scheduler::EventHandle::cancel() noexcept {
-  if (auto rec = record_.lock()) {
-    rec->cancelled = true;
-    rec->callback = nullptr;  // release captured state eagerly
-  }
+  if (scheduler_ != nullptr) scheduler_->cancel_slot(slot_, generation_);
 }
 
 bool Scheduler::EventHandle::pending() const noexcept {
-  const auto rec = record_.lock();
-  return rec != nullptr && !rec->cancelled;
+  if (scheduler_ == nullptr) return false;
+  const EventPool::Slot& slot = scheduler_->pool_[slot_];
+  return slot.generation() == generation_ && slot.armed();
 }
 
-Scheduler::EventHandle Scheduler::schedule_at(SimTime t, Callback cb) {
-  assert(t >= now_ && "cannot schedule into the past");
-  auto record = std::make_shared<EventHandle::Record>();
-  record->callback = std::move(cb);
-  queue_.push(QueueEntry{t, next_seq_++, record});
-  return EventHandle{std::move(record)};
+void Scheduler::cancel_slot(std::uint32_t idx, std::uint32_t generation) noexcept {
+  EventPool::Slot& slot = pool_[idx];
+  if (slot.generation() != generation || !slot.armed()) return;  // stale or already done
+  slot.disarm();
+  slot.destroy_callback();  // release captured state eagerly
+  --live_events_;
+  ++cancelled_in_queue_;
+  if (cancelled_in_queue_ >= kReapMinCancelled && cancelled_in_queue_ * 2 >= heap_.size()) {
+    reap();
+  }
 }
 
-Scheduler::EventHandle Scheduler::schedule_after(SimTime delay, Callback cb) {
-  return schedule_at(now_ + delay, std::move(cb));
+void Scheduler::reap() {
+  std::size_t kept = 0;
+  for (const HeapEntry& entry : heap_) {
+    if (pool_[entry.slot].armed()) {
+      heap_[kept++] = entry;
+    } else {
+      pool_.release(entry.slot);
+    }
+  }
+  heap_.resize(kept);
+  // Rebuild the heap invariant bottom-up. Ordering semantics are unchanged:
+  // pops still come out in strictly increasing (time, seq) order.
+  if (heap_.size() > 1) {
+    for (std::size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) sift_down(i);
+  }
+  cancelled_in_queue_ = 0;
+}
+
+void Scheduler::heap_push(HeapEntry entry) {
+  std::size_t i = heap_.size();
+  heap_.push_back(entry);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!entry_less(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+Scheduler::HeapEntry Scheduler::heap_pop_min() {
+  const HeapEntry top = heap_.front();
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    sift_down(0);
+  }
+  return top;
+}
+
+void Scheduler::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const HeapEntry entry = heap_[i];
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    const std::size_t end = std::min(first + 4, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (entry_less(heap_[c], heap_[best])) best = c;
+    }
+    if (!entry_less(heap_[best], entry)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = entry;
+}
+
+void Scheduler::drop_dead_top() {
+  while (!heap_.empty() && !pool_[heap_.front().slot].armed()) {
+    const HeapEntry entry = heap_pop_min();
+    --cancelled_in_queue_;
+    pool_.release(entry.slot);
+  }
 }
 
 bool Scheduler::execute_next() {
-  while (!queue_.empty()) {
-    QueueEntry entry = queue_.top();
-    queue_.pop();
-    if (entry.record->cancelled) continue;  // reap cancelled events lazily
+  while (!heap_.empty()) {
+    const HeapEntry entry = heap_pop_min();
+    EventPool::Slot& slot = pool_[entry.slot];
+    if (!slot.armed()) {  // cancelled; reap now that it surfaced
+      --cancelled_in_queue_;
+      pool_.release(entry.slot);
+      continue;
+    }
     now_ = entry.time;
-    Callback cb = std::move(entry.record->callback);
-    entry.record->cancelled = true;  // mark as fired so pending() is false
+    slot.disarm();  // fired: pending() is false, cancel() a no-op
+    --live_events_;
     ++executed_;
-    cb();
+    // Invoke straight from the slot: slabs never move, and the slot is not
+    // recycled until after the callback returns, so the callback may freely
+    // schedule or cancel other events (growing the pool if needed).
+    slot.invoke();
+    pool_.release(entry.slot);
     return true;
   }
   return false;
@@ -53,19 +140,18 @@ void Scheduler::run() {
 bool Scheduler::run_until(SimTime t) {
   stopped_ = false;
   while (!stopped_) {
-    // Peek past cancelled entries to find the next live event time.
-    while (!queue_.empty() && queue_.top().record->cancelled) queue_.pop();
-    if (queue_.empty()) {
+    drop_dead_top();  // find the next live event time
+    if (heap_.empty()) {
       now_ = t;
       return true;
     }
-    if (queue_.top().time > t) {
+    if (heap_.front().time > t) {
       now_ = t;
       return false;
     }
     execute_next();
   }
-  return queue_.empty();
+  return live_events_ == 0;
 }
 
 }  // namespace rbs::sim

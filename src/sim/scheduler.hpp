@@ -4,14 +4,22 @@
 // scheduler executes them in (time, insertion-order) order, which makes runs
 // bit-for-bit reproducible. Handles returned by schedule_*() can cancel a
 // pending event (used by TCP retransmission timers).
+//
+// The hot path is allocation-free: callbacks live in an EventPool slab (see
+// event_pool.hpp) and the ready queue is a 4-ary implicit heap of small
+// trivially-copyable entries keyed on (time, sequence). Cancellation marks
+// the pool slot and the heap reaps dead entries lazily — plus eagerly, in
+// one sweep, whenever cancelled entries come to dominate the queue — so TCP
+// timer churn cannot grow the queue without bound.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
+#include <utility>
 #include <vector>
 
+#include "sim/event_pool.hpp"
 #include "sim/time.hpp"
 
 namespace rbs::sim {
@@ -19,11 +27,15 @@ namespace rbs::sim {
 /// Executes scheduled callbacks in deterministic time order.
 class Scheduler {
  public:
+  /// Type-erased callback for call sites that need to store one; the
+  /// schedule_*() entry points accept any callable directly and store it
+  /// without a std::function wrapper.
   using Callback = std::function<void()>;
 
   /// Cancellation token for a scheduled event. Default-constructed handles
   /// refer to no event; cancelling is idempotent and safe after the event
-  /// has fired.
+  /// has fired. Handles are small value types (scheduler pointer + slot +
+  /// generation); they must not be used after their Scheduler is destroyed.
   class EventHandle {
    public:
     EventHandle() noexcept = default;
@@ -37,12 +49,15 @@ class Scheduler {
 
    private:
     friend class Scheduler;
-    struct Record;
-    explicit EventHandle(std::shared_ptr<Record> rec) noexcept : record_{std::move(rec)} {}
-    std::weak_ptr<Record> record_;
+    EventHandle(Scheduler* scheduler, std::uint32_t slot, std::uint32_t generation) noexcept
+        : scheduler_{scheduler}, slot_{slot}, generation_{generation} {}
+    Scheduler* scheduler_{nullptr};
+    std::uint32_t slot_{0};
+    std::uint32_t generation_{0};
   };
 
   Scheduler() = default;
+  ~Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
@@ -50,11 +65,27 @@ class Scheduler {
   /// events.
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
-  /// Schedules `cb` at absolute time `t`. Requires t >= now().
-  EventHandle schedule_at(SimTime t, Callback cb);
+  /// Schedules `cb` at absolute time `t`. A target earlier than now() is
+  /// clamped to now() — the event fires on the current tick, after the
+  /// events already due — so stale timers can never move the clock
+  /// backwards or be silently lost in Release builds.
+  template <typename F>
+  EventHandle schedule_at(SimTime t, F&& cb) {
+    if (t < now_) t = now_;  // clamp-to-now policy (see above)
+    const std::uint32_t idx = pool_.allocate();
+    EventPool::Slot& slot = pool_[idx];
+    slot.emplace(std::forward<F>(cb));
+    slot.arm();
+    heap_push(HeapEntry{t, next_seq_++, idx});
+    ++live_events_;
+    return EventHandle{this, idx, slot.generation()};
+  }
 
-  /// Schedules `cb` at now() + delay. Requires delay >= 0.
-  EventHandle schedule_after(SimTime delay, Callback cb);
+  /// Schedules `cb` at now() + delay. Negative delays clamp to now().
+  template <typename F>
+  EventHandle schedule_after(SimTime delay, F&& cb) {
+    return schedule_at(now_ + delay, std::forward<F>(cb));
+  }
 
   /// Runs until the event queue is empty or stop() is called.
   void run();
@@ -66,39 +97,53 @@ class Scheduler {
   /// Requests that run()/run_until() return after the current callback.
   void stop() noexcept { stopped_ = true; }
 
-  /// Number of events still scheduled (including cancelled ones not yet
-  /// reaped).
-  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+  /// Number of live events still scheduled to fire. Cancelled-but-unreaped
+  /// queue entries are excluded, so this is exactly the number of callbacks
+  /// that would still execute if the scheduler ran to completion.
+  [[nodiscard]] std::size_t pending_events() const noexcept { return live_events_; }
 
   /// Total callbacks executed so far.
   [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_; }
 
+  /// Total event slots ever allocated (high-water mark of concurrent
+  /// events, rounded up to a slab). Exposed so tests can assert that
+  /// schedule/cancel churn reuses memory instead of growing it.
+  [[nodiscard]] std::size_t pool_capacity() const noexcept { return pool_.capacity(); }
+
+  /// Raw queue entries, including cancelled ones awaiting reap (for tests
+  /// of the reaping policy; experiments should use pending_events()).
+  [[nodiscard]] std::size_t queue_entries() const noexcept { return heap_.size(); }
+
  private:
-  struct QueueEntry;
+  /// 16-byte trivially-copyable heap entry; `seq` breaks time ties in FIFO
+  /// order, which is what makes runs bit-reproducible.
+  struct HeapEntry {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+
+  static bool entry_less(const HeapEntry& a, const HeapEntry& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
   bool execute_next();  // pops and runs one event; false if queue empty
+  void heap_push(HeapEntry entry);
+  HeapEntry heap_pop_min();
+  void sift_down(std::size_t i);
+  void drop_dead_top();  // frees cancelled entries sitting at the heap top
+  void cancel_slot(std::uint32_t idx, std::uint32_t generation) noexcept;
+  void reap();  // one sweep removing every cancelled entry from the heap
 
   SimTime now_{SimTime::zero()};
   std::uint64_t next_seq_{0};
   std::uint64_t executed_{0};
+  std::size_t live_events_{0};
+  std::size_t cancelled_in_queue_{0};
   bool stopped_{false};
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>> queue_;
-};
-
-struct Scheduler::EventHandle::Record {
-  Callback callback;
-  bool cancelled{false};
-};
-
-struct Scheduler::QueueEntry {
-  SimTime time;
-  std::uint64_t seq;
-  std::shared_ptr<EventHandle::Record> record;
-
-  // priority_queue is a max-heap; invert so the earliest (time, seq) wins.
-  friend bool operator<(const QueueEntry& a, const QueueEntry& b) noexcept {
-    if (a.time != b.time) return a.time > b.time;
-    return a.seq > b.seq;
-  }
+  std::vector<HeapEntry> heap_;
+  EventPool pool_;
 };
 
 }  // namespace rbs::sim

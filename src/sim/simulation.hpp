@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
@@ -26,12 +27,15 @@ class Simulation {
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
   [[nodiscard]] SimTime now() const noexcept { return scheduler_.now(); }
 
-  /// Convenience pass-throughs.
-  Scheduler::EventHandle at(SimTime t, Scheduler::Callback cb) {
-    return scheduler_.schedule_at(t, std::move(cb));
+  /// Convenience pass-throughs. Any callable is accepted and stored in the
+  /// scheduler's event pool without a std::function wrapper.
+  template <typename F>
+  Scheduler::EventHandle at(SimTime t, F&& cb) {
+    return scheduler_.schedule_at(t, std::forward<F>(cb));
   }
-  Scheduler::EventHandle after(SimTime delay, Scheduler::Callback cb) {
-    return scheduler_.schedule_after(delay, std::move(cb));
+  template <typename F>
+  Scheduler::EventHandle after(SimTime delay, F&& cb) {
+    return scheduler_.schedule_after(delay, std::forward<F>(cb));
   }
 
   /// Runs the world forward to absolute time `t`.

@@ -4,7 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <utility>
 #include <vector>
+
+#include "sim/random.hpp"
 
 namespace rbs::sim {
 namespace {
@@ -146,6 +151,155 @@ TEST(Scheduler, TimerRestartPattern) {
   sched.run();
   EXPECT_EQ(fired, 1);  // only the last survives
   EXPECT_EQ(sched.now(), SimTime::milliseconds(149));
+}
+
+TEST(Scheduler, SchedulePastClampsToNow) {
+  // Policy: a target time earlier than now() is clamped to now() — the
+  // event still fires on the current tick, in FIFO order with other events
+  // scheduled for now().
+  Scheduler sched;
+  std::vector<int> order;
+  SimTime seen;
+  sched.schedule_at(10_ms, [&] {
+    order.push_back(1);
+    sched.schedule_at(3_ms, [&] {  // in the past: clamps to 10 ms
+      order.push_back(2);
+      seen = sched.now();
+    });
+    sched.schedule_at(10_ms, [&] { order.push_back(3); });  // scheduled later: fires later
+  });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(seen, 10_ms);
+  EXPECT_EQ(sched.now(), 10_ms);
+}
+
+TEST(Scheduler, ScheduleAfterNegativeDelayClampsToNow) {
+  Scheduler sched;
+  bool fired = false;
+  sched.schedule_at(5_ms, [&] {
+    sched.schedule_after(SimTime::zero() - 7_ms, [&] { fired = true; });
+  });
+  sched.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sched.now(), 5_ms);
+}
+
+TEST(Scheduler, StaleHandleDoesNotCancelRecycledSlot) {
+  // After an event fires, its pool slot is recycled for new events; a stale
+  // handle (same slot, older generation) must be inert against the new one.
+  Scheduler sched;
+  auto stale = sched.schedule_at(1_ms, [] {});
+  sched.run();
+  EXPECT_FALSE(stale.pending());
+
+  // Exercise slot reuse heavily so at least one new event lands in the
+  // stale handle's slot.
+  int fired = 0;
+  std::vector<Scheduler::EventHandle> handles;
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(sched.schedule_at(2_ms, [&] { ++fired; }));
+  }
+  stale.cancel();  // must not disturb any of the new events
+  EXPECT_FALSE(stale.pending());
+  sched.run();
+  EXPECT_EQ(fired, 100);
+}
+
+TEST(Scheduler, CancelDuringOwnCallbackIsNoOp) {
+  Scheduler sched;
+  Scheduler::EventHandle self;
+  int fired = 0;
+  self = sched.schedule_at(1_ms, [&] {
+    ++fired;
+    self.cancel();  // already firing: must be a no-op, not a double free
+    EXPECT_FALSE(self.pending());
+  });
+  sched.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, PendingEventsCountsOnlyLiveEvents) {
+  // pending_events() excludes cancelled-but-unreaped queue entries.
+  Scheduler sched;
+  std::vector<Scheduler::EventHandle> handles;
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(sched.schedule_at(SimTime::milliseconds(1 + i), [] {}));
+  }
+  EXPECT_EQ(sched.pending_events(), 10u);
+  for (int i = 0; i < 4; ++i) handles[static_cast<std::size_t>(i)].cancel();
+  EXPECT_EQ(sched.pending_events(), 6u);
+  sched.run();
+  EXPECT_EQ(sched.pending_events(), 0u);
+  EXPECT_EQ(sched.executed_events(), 6u);
+}
+
+TEST(Scheduler, DeterministicEventTraceAcrossRuns) {
+  // Same seed ⇒ identical (time, id) event trace, including FIFO tie-breaks
+  // and a cancellation pattern driven by the seeded RNG.
+  auto trace_for_seed = [](std::uint64_t seed) {
+    Scheduler sched;
+    Rng rng{seed};
+    std::vector<std::pair<std::int64_t, int>> trace;
+    std::vector<Scheduler::EventHandle> handles;
+    for (int i = 0; i < 2'000; ++i) {
+      const auto t = SimTime::microseconds(rng.uniform_int(0, 500));
+      handles.push_back(sched.schedule_at(t, [&trace, &sched, i] {
+        trace.emplace_back(sched.now().ps(), i);
+      }));
+    }
+    for (int i = 0; i < 2'000; ++i) {
+      if (rng.bernoulli(0.3)) handles[static_cast<std::size_t>(i)].cancel();
+    }
+    sched.run();
+    return trace;
+  };
+  const auto a = trace_for_seed(7);
+  const auto b = trace_for_seed(7);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a, b);
+  // Sanity: FIFO tie-break — equal times fire in schedule (id) order.
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    ASSERT_LE(a[i - 1].first, a[i].first);
+    if (a[i - 1].first == a[i].first) {
+      ASSERT_LT(a[i - 1].second, a[i].second);
+    }
+  }
+}
+
+TEST(Scheduler, PoolReuseKeepsMemoryBounded) {
+  // 1M schedule/cancel cycles (the TCP timer pattern) must recycle slots
+  // instead of growing the pool or the queue: a handful of live timers
+  // should never allocate more than a few slabs.
+  Scheduler sched;
+  Scheduler::EventHandle timer;
+  for (int i = 0; i < 1'000'000; ++i) {
+    timer.cancel();
+    timer = sched.schedule_at(SimTime::microseconds(100 + i), [] {});
+  }
+  // One live timer; cancelled entries must have been reaped along the way.
+  EXPECT_EQ(sched.pending_events(), 1u);
+  EXPECT_LT(sched.queue_entries(), 1'000u);
+  EXPECT_LT(sched.pool_capacity(), 10'000u);
+  sched.run();
+  EXPECT_EQ(sched.executed_events(), 1u);
+}
+
+TEST(Scheduler, OversizedCaptureFallbackWorks) {
+  // Captures beyond the slot's inline storage take the heap fallback and
+  // must still fire, cancel, and destruct correctly.
+  Scheduler sched;
+  struct Big {
+    std::array<std::uint64_t, 16> payload;  // 128 bytes, > inline storage
+  };
+  Big big{};
+  big.payload[0] = 41;
+  std::uint64_t seen = 0;
+  sched.schedule_at(1_ms, [big, &seen] { seen = big.payload[0] + 1; });
+  auto cancelled = sched.schedule_at(2_ms, [big, &seen] { seen = big.payload[0] + 100; });
+  cancelled.cancel();
+  sched.run();
+  EXPECT_EQ(seen, 42u);
 }
 
 TEST(Scheduler, ManyEventsStressOrdering) {
