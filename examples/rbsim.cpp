@@ -27,6 +27,10 @@
 //   pacing      0|1 paced TCP senders         [0]
 //   delack      0|1 delayed ACKs              [0]
 //   seed        RNG seed                      [1]
+//   paranoia    0|1 run the invariant auditor (also --paranoia): every 50k
+//               events every registered subsystem re-verifies its internal
+//               state (queue conservation, heap order, TCP sequence bounds)
+//               and the run aborts with a report on any violation [0]
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -81,18 +85,36 @@ std::string get_str(const KeyValues& kv, const std::string& key, const std::stri
   return it == kv.end() ? fallback : it->second;
 }
 
+int run_rbsim(int argc, char** argv);
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  try {
+    return run_rbsim(argc, argv);
+  } catch (const std::exception& e) {
+    // Invariant-auditor reports (and any other fatal error) land here.
+    std::fprintf(stderr, "rbsim: fatal: %s\n", e.what());
+    return 1;
+  }
+}
+
+namespace {
+
+int run_rbsim(int argc, char** argv) {
   using namespace rbs;
 
   KeyValues kv;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
-      std::printf("usage: rbsim [key=value ...] [config-file]\n"
+      std::printf("usage: rbsim [--paranoia] [key=value ...] [config-file]\n"
                   "see the header of examples/rbsim.cpp for the key list\n");
       return 0;
+    }
+    if (arg == "--paranoia") {
+      kv["paranoia"] = "1";
+      continue;
     }
     if (arg.find('=') == std::string::npos) {
       if (!load_config_file(arg, kv)) {
@@ -142,6 +164,8 @@ int main(int argc, char** argv) {
   }
   const std::int64_t buffer = buffers.front();
   const int threads = static_cast<int>(get_num(kv, "threads", 0));
+  const bool paranoia = get_num(kv, "paranoia", 0) > 0;
+  if (paranoia) std::printf("rbsim: paranoia mode on — invariant auditor attached\n");
 
   std::printf("rbsim: mode=%s rate=%.0f Mb/s flows=%d buffer=%lld pkts "
               "(sqrt rule %lld, RTT*C %lld)\n\n",
@@ -152,7 +176,7 @@ int main(int argc, char** argv) {
     // Buffer sweep: every point is an independent simulation, run across
     // the worker pool; rows print in list order, bitwise identical to a
     // serial (threads=1) run.
-    experiment::SweepRunner runner{threads};
+    experiment::SweepRunner runner{threads, paranoia};
     if (mode == "long") {
       experiment::LongFlowExperimentConfig cfg;
       cfg.num_flows = flows;
@@ -161,6 +185,7 @@ int main(int argc, char** argv) {
       cfg.measure = sim::SimTime::from_seconds(duration);
       cfg.record_delays = true;
       cfg.seed = seed;
+      cfg.checked = paranoia;
       if (get_num(kv, "red", 0) > 0) cfg.discipline = net::QueueDiscipline::kRed;
       if (get_num(kv, "ecn", 0) > 0) {
         cfg.discipline = net::QueueDiscipline::kRed;
@@ -197,6 +222,7 @@ int main(int argc, char** argv) {
       cfg.warmup = sim::SimTime::from_seconds(warmup);
       cfg.measure = sim::SimTime::from_seconds(duration);
       cfg.seed = seed;
+      cfg.checked = paranoia;
 
       const auto results = runner.map<experiment::ShortFlowExperimentResult>(
           buffers.size(), [&](std::size_t i) {
@@ -227,6 +253,7 @@ int main(int argc, char** argv) {
       cfg.warmup = sim::SimTime::from_seconds(warmup);
       cfg.measure = sim::SimTime::from_seconds(duration);
       cfg.seed = seed;
+      cfg.checked = paranoia;
 
       const auto results = runner.map<experiment::MixedFlowExperimentResult>(
           buffers.size(), [&](std::size_t i) {
@@ -260,6 +287,7 @@ int main(int argc, char** argv) {
     cfg.measure = sim::SimTime::from_seconds(duration);
     cfg.record_delays = true;
     cfg.seed = seed;
+    cfg.checked = paranoia;
     if (get_num(kv, "red", 0) > 0) cfg.discipline = net::QueueDiscipline::kRed;
     if (get_num(kv, "ecn", 0) > 0) {
       cfg.discipline = net::QueueDiscipline::kRed;
@@ -296,6 +324,7 @@ int main(int argc, char** argv) {
     cfg.warmup = sim::SimTime::from_seconds(warmup);
     cfg.measure = sim::SimTime::from_seconds(duration);
     cfg.seed = seed;
+    cfg.checked = paranoia;
     const auto r = run_short_flow_experiment(cfg);
     const auto m = core::burst_moments_for_flow(cfg.flow_packets);
     std::printf("utilization : %.2f%% (offered load %.2f)\n", 100 * r.utilization, cfg.load);
@@ -321,6 +350,7 @@ int main(int argc, char** argv) {
     cfg.warmup = sim::SimTime::from_seconds(warmup);
     cfg.measure = sim::SimTime::from_seconds(duration);
     cfg.seed = seed;
+    cfg.checked = paranoia;
     const auto r = run_mixed_flow_experiment(cfg);
     std::printf("utilization       : %.2f%%\n", 100 * r.utilization);
     std::printf("short-flow AFCT   : %.1f ms over %llu flows\n", 1e3 * r.afct_seconds,
@@ -357,10 +387,21 @@ int main(int argc, char** argv) {
     net::Dumbbell topo{sim, topo_cfg};
     traffic::TraceWorkload wl{sim, topo, records, traffic::TraceWorkloadConfig{}};
 
+    check::InvariantAuditor auditor;
+    if (paranoia) {
+      auditor.add("bottleneck.queue", topo.bottleneck().queue());
+      auditor.add("trace_flows", wl);
+      sim.enable_auditing(auditor);
+    }
+
     stats::UtilizationMeter meter{sim, topo.bottleneck()};
     meter.begin();
     const double trace_end = records.back().arrival_sec;
     sim.run_until(sim::SimTime::from_seconds(trace_end + duration));
+    if (paranoia) {
+      auditor.audit_now();
+      auditor.require_clean();
+    }
 
     std::printf("trace        : %zu flows from %s (last arrival %.1f s)\n", records.size(),
                 trace_path.c_str(), trace_end);
@@ -377,3 +418,5 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "rbsim: unknown mode '%s' (long|short|mixed|trace)\n", mode.c_str());
   return 2;
 }
+
+}  // namespace

@@ -1,0 +1,261 @@
+#!/usr/bin/env python3
+"""Determinism lint for the rbs codebase.
+
+The simulator's core contract is bitwise reproducibility: the same config and
+seed produce the same results on any machine, any thread count, any run. This
+lint flags the C++ constructs that historically break that contract:
+
+  unordered-container  declaration of std::unordered_map/set in src/ —
+                       iteration order depends on libstdc++ internals and the
+                       pointer values of heap allocations, so any result-
+                       affecting iteration is nondeterministic. Declaring one
+                       requires an annotation documenting why it is safe
+                       (lookup-only) or which ordered structure drives
+                       iteration instead.
+  unordered-iteration  range-for over an identifier that any header declared
+                       as an unordered container (tracked project-wide).
+  wall-clock           std::chrono::system_clock / steady_clock / time(),
+                       gettimeofday(), clock() — simulations must use
+                       sim::SimTime only. (bench/ is exempt: wall-clock is
+                       how benchmarks measure themselves.)
+  std-rand             std::rand/srand/random_device/mt19937 and the std::*
+                       distributions — all randomness must flow through
+                       sim::Rng (explicitly seeded xoshiro256**; std::
+                       distributions are implementation-defined and differ
+                       across standard libraries).
+  unseeded-rng         constructing sim::Rng with no arguments.
+  raw-time             picosecond literals (3+ thousands-groups, e.g.
+                       1'000'000'000) outside src/sim/time.hpp — raw tick
+                       arithmetic bypasses the SimTime type and its overflow
+                       discipline. Use sim::SimTime::seconds(...) etc.
+
+Any finding can be waived on the offending line (or the line above) with:
+
+    // rbs-lint: allow(<rule>) -- <justification>
+
+The justification is mandatory: an allow() without ' -- reason' is itself an
+error. Exit status: 0 clean, 1 findings, 2 usage error.
+
+Usage: lint_determinism.py <dir-or-file> [...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+CPP_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
+
+ALLOW_RE = re.compile(r"//\s*rbs-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)(\s*--\s*\S.*)?")
+
+UNORDERED_DECL_RE = re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<")
+# `for (... : ident)` / `for (... : ident_)` — range-for over a bare member or
+# local. Chained expressions (foo.bar()) are not matched; those are flagged by
+# the declaration rule at the container's home anyway.
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:\s*([A-Za-z_][A-Za-z0-9_]*)\s*\)")
+WALL_CLOCK_RE = re.compile(
+    r"\bstd::chrono::(?:system_clock|steady_clock|high_resolution_clock)\b"
+    r"|\b(?:::)?(?:time|gettimeofday|clock_gettime)\s*\("
+    r"|\bstd::time\s*\("
+)
+STD_RAND_RE = re.compile(
+    r"\bstd::(?:rand|srand|random_device|mt19937(?:_64)?|minstd_rand0?|default_random_engine"
+    r"|uniform_(?:int|real)_distribution|normal_distribution|exponential_distribution"
+    r"|bernoulli_distribution|poisson_distribution)\b"
+    r"|\b(?:::)?s?rand\s*\(\s*\)"
+)
+# Only explicit empty-init construction: sim::Rng has no default constructor,
+# so a bare `Rng member_;` declaration must be seeded in an init list to
+# compile at all and is not flagged.
+UNSEEDED_RNG_RE = re.compile(
+    r"\b(?:sim::)?Rng\s+[A-Za-z_][A-Za-z0-9_]*\s*\{\s*\}|\b(?:sim::)?Rng\s*[({]\s*[)}]"
+)
+# Three or more thousands-groups: 1'000'000'000 and longer. Two groups
+# (1'000'000) are common flow-id offsets and packet counts, not times.
+RAW_TIME_RE = re.compile(r"\b\d{1,3}(?:'\d{3}){3,}\b")
+
+ALL_RULES = {
+    "unordered-container",
+    "unordered-iteration",
+    "wall-clock",
+    "std-rand",
+    "unseeded-rng",
+    "raw-time",
+}
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Removes // comments and string/char literal contents (keeps quotes)."""
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c == "'" and out and (out[-1].isalnum() or out[-1] == "_"):
+            # C++14 digit separator (1'000'000) or a suffix position where a
+            # char literal cannot start; keep it.
+            out.append(c)
+            i += 1
+            continue
+        if c in "\"'":
+            quote = c
+            out.append(c)
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    break
+                i += 1
+            out.append(quote)
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def allowed_rules(lines: list[str], idx: int) -> tuple[set[str], list[str]]:
+    """Rules waived for line `idx` (self or preceding line); also validates."""
+    rules: set[str] = set()
+    errors: list[str] = []
+    for j in (idx, idx - 1):
+        if j < 0:
+            continue
+        m = ALLOW_RE.search(lines[j])
+        if not m:
+            continue
+        names = {r.strip() for r in m.group(1).split(",")}
+        unknown = names - ALL_RULES
+        if unknown:
+            errors.append(f"unknown lint rule(s) in allow(): {', '.join(sorted(unknown))}")
+        if not m.group(2):
+            errors.append("allow() without a ' -- justification'")
+        rules |= names & ALL_RULES
+    return rules, errors
+
+
+def collect_unordered_names(paths: list[Path]) -> dict[str, set[str]]:
+    """Identifiers declared as unordered containers, keyed by file stem.
+
+    Scoping by stem pairs a .cpp with its .hpp (members are declared in the
+    header, iterated in the source) without letting an unrelated file's
+    `active_` poison every other `active_` in the tree.
+    """
+    by_stem: dict[str, set[str]] = {}
+    decl = re.compile(
+        r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*?>\s+([A-Za-z_][A-Za-z0-9_]*)\s*[;{=]"
+    )
+    for path in paths:
+        try:
+            text = path.read_text(errors="replace")
+        except OSError:
+            continue
+        for m in decl.finditer(text):
+            by_stem.setdefault(path.stem, set()).add(m.group(1))
+    return by_stem
+
+
+def lint_file(path: Path, unordered_names: set[str]) -> list[str]:
+    findings: list[str] = []
+    try:
+        lines = path.read_text(errors="replace").split("\n")
+    except OSError as e:
+        return [f"{path}:0: cannot read file: {e}"]
+
+    in_bench = "bench" in path.parts
+    is_time_home = path.name == "time.hpp" and "sim" in path.parts
+    in_block_comment = False
+
+    for idx, raw in enumerate(lines):
+        lineno = idx + 1
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end == -1:
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        start = line.find("/*")
+        if start != -1 and line.find("*/", start) == -1:
+            in_block_comment = True
+            line = line[:start]
+        code = strip_comments_and_strings(line)
+        if not code.strip():
+            continue
+        allowed, allow_errors = allowed_rules(lines, idx)
+        for err in allow_errors:
+            findings.append(f"{path}:{lineno}: {err}")
+
+        def report(rule: str, message: str) -> None:
+            if rule not in allowed:
+                findings.append(f"{path}:{lineno}: [{rule}] {message}")
+
+        if UNORDERED_DECL_RE.search(code):
+            report(
+                "unordered-container",
+                "unordered container declared; iteration order is nondeterministic — "
+                "annotate with rbs-lint: allow(unordered-container) -- <proof it is "
+                "lookup-only or iterated via an ordered companion>",
+            )
+        for m in RANGE_FOR_RE.finditer(code):
+            if m.group(1) in unordered_names:
+                report(
+                    "unordered-iteration",
+                    f"range-for over unordered container '{m.group(1)}'; order depends on "
+                    "hash layout — iterate an ordered companion or sort first",
+                )
+        if not in_bench and WALL_CLOCK_RE.search(code):
+            report("wall-clock", "wall-clock time in simulation code; use sim::SimTime")
+        if STD_RAND_RE.search(code):
+            report(
+                "std-rand",
+                "std random facility; use sim::Rng (explicit seed, portable streams)",
+            )
+        if UNSEEDED_RNG_RE.search(code):
+            report("unseeded-rng", "Rng constructed without an explicit seed")
+        if not is_time_home and RAW_TIME_RE.search(code):
+            report(
+                "raw-time",
+                "raw picosecond-scale literal; use sim::SimTime factories "
+                "(seconds/milliseconds/...) instead of tick arithmetic",
+            )
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    files: list[Path] = []
+    for arg in argv[1:]:
+        root = Path(arg)
+        if root.is_dir():
+            files.extend(
+                p for p in sorted(root.rglob("*")) if p.suffix in CPP_SUFFIXES and p.is_file()
+            )
+        elif root.is_file():
+            files.append(root)
+        else:
+            print(f"lint_determinism: no such file or directory: {arg}", file=sys.stderr)
+            return 2
+    by_stem = collect_unordered_names(files)
+    findings: list[str] = []
+    for path in files:
+        findings.extend(lint_file(path, by_stem.get(path.stem, set())))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"lint_determinism: {len(findings)} finding(s) in {len(files)} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"lint_determinism: clean ({len(files)} files)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Full verification pass:
 #   1. tier-1: RelWithDebInfo build + complete ctest suite
-#   2. bench smoke: one short repetition of the engine microbenchmarks
-#   3. TSAN: rebuild scheduler + sweep runner under ThreadSanitizer and run
+#   2. determinism lint: scripts/lint_determinism.py over src/
+#   3. bench smoke: one short repetition of the engine microbenchmarks
+#   4. ASan/UBSan + RBS_CHECKED: rebuild with AddressSanitizer +
+#      UndefinedBehaviorSanitizer and the hot-path invariant macros armed,
+#      run the complete test suite
+#   5. TSAN: rebuild scheduler + sweep runner under ThreadSanitizer and run
 #      the concurrency-sensitive tests (scheduler_test, sweep_test)
 #
 # Usage: scripts/verify.sh [jobs]
@@ -11,15 +15,23 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "=== [1/3] tier-1 build + tests ==="
+echo "=== [1/5] tier-1 build + tests ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [2/3] bench smoke ==="
+echo "=== [2/5] determinism lint ==="
+cmake --build build --target lint
+
+echo "=== [3/5] bench smoke ==="
 cmake --build build -j "$JOBS" --target bench_smoke
 
-echo "=== [3/3] ThreadSanitizer: scheduler_test + sweep_test ==="
+echo "=== [4/5] ASan/UBSan + RBS_CHECKED: full test suite ==="
+cmake -B build-asan -S . -DRBS_ASAN=ON -DRBS_CHECKED=ON >/dev/null
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "=== [5/5] ThreadSanitizer: scheduler_test + sweep_test ==="
 cmake -B build-tsan -S . -DRBS_TSAN=ON >/dev/null
 cmake --build build-tsan -j "$JOBS" --target scheduler_test sweep_test
 ./build-tsan/tests/scheduler_test

@@ -1,0 +1,72 @@
+#include "check/auditor.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rbs::check {
+
+void InvariantAuditor::add(std::string name, AuditFn fn) {
+  subsystems_.emplace_back(std::move(name), std::move(fn));
+}
+
+std::size_t InvariantAuditor::audit_now() {
+  ++audits_;
+  std::size_t found = 0;
+  for (const auto& [name, fn] : subsystems_) {
+    AuditReport report;
+    fn(report);
+    found += report.messages_.size();
+    for (auto& message : report.messages_) {
+      record(name, std::move(message));
+    }
+  }
+  return found;
+}
+
+void InvariantAuditor::note_time(std::int64_t now_ps) {
+  current_time_ps_ = now_ps;
+  if (has_time_ && now_ps < last_time_ps_) {
+    record("clock", "time moved backwards: " + std::to_string(last_time_ps_) + " ps -> " +
+                        std::to_string(now_ps) + " ps");
+  }
+  has_time_ = true;
+  last_time_ps_ = now_ps;
+}
+
+void InvariantAuditor::record(const std::string& subsystem, std::string message) {
+  ++total_;
+  for (Violation& v : violations_) {
+    if (v.subsystem == subsystem && v.message == message) {
+      ++v.count;
+      return;
+    }
+  }
+  if (violations_.size() >= kMaxDistinct) return;  // counted in total_ only
+  Violation v;
+  v.subsystem = subsystem;
+  v.message = std::move(message);
+  v.first_seen_ps = current_time_ps_;
+  violations_.push_back(std::move(v));
+  if (on_violation) on_violation(violations_.back());
+}
+
+std::string InvariantAuditor::report() const {
+  if (violations_.empty()) return "invariant audit: clean";
+  std::string out = "invariant audit: " + std::to_string(total_) + " violation(s), " +
+                    std::to_string(violations_.size()) + " distinct:\n";
+  for (const Violation& v : violations_) {
+    out += "  [" + v.subsystem + "] " + v.message;
+    if (v.count > 1) out += " (x" + std::to_string(v.count) + ")";
+    if (v.first_seen_ps >= 0) {
+      out += " (first at " + std::to_string(v.first_seen_ps) + " ps)";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void InvariantAuditor::require_clean() const {
+  if (!violations_.empty()) throw std::runtime_error(report());
+}
+
+}  // namespace rbs::check

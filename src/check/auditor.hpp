@@ -1,0 +1,117 @@
+// Runtime invariant auditor — the cold-path half of the correctness tooling.
+//
+// Subsystems (queues, the scheduler, TCP endpoints, workloads) expose an
+// `audit(AuditReport&) const` method that recounts their internal state and
+// reports any inconsistency: conservation of packets and bytes, heap order,
+// sequence continuity, window bounds. An InvariantAuditor holds a registry
+// of such subsystems and runs them all on demand — experiments fire it on a
+// configurable event cadence (see Simulation::enable_auditing) and once more
+// at the end of the run.
+//
+// Audit methods are always compiled (they are off the hot path and only run
+// when an auditor is attached), so checked runs are available in every build
+// type; the RBS_CHECKED macros in check/invariant.hpp additionally arm
+// per-packet assertions. Violations are coalesced by (subsystem, message) so
+// a persistent corruption audited every cadence tick reports once with a
+// count instead of flooding.
+//
+// This header is dependency-free (no sim/ includes) so every layer of the
+// codebase, including sim/ itself, can implement audit() without cycles.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rbs::check {
+
+/// One distinct invariant violation, with an occurrence count.
+struct Violation {
+  std::string subsystem;
+  std::string message;
+  std::uint64_t count{1};        ///< identical reports are coalesced
+  std::int64_t first_seen_ps{-1};  ///< sim time of first occurrence (-1: unknown)
+};
+
+/// Collector handed to audit() methods; each problem found becomes one
+/// violation message.
+class AuditReport {
+ public:
+  /// Records one problem. Messages should state the broken invariant and
+  /// the observed values, e.g. "bytes_ = 512 but FIFO holds 1512".
+  void violation(std::string message) { messages_.push_back(std::move(message)); }
+
+  [[nodiscard]] bool clean() const noexcept { return messages_.empty(); }
+  [[nodiscard]] const std::vector<std::string>& messages() const noexcept { return messages_; }
+
+ private:
+  friend class InvariantAuditor;
+  std::vector<std::string> messages_;
+};
+
+/// Registry of auditable subsystems plus the accumulated violation log.
+class InvariantAuditor {
+ public:
+  using AuditFn = std::function<void(AuditReport&)>;
+
+  /// Registers a subsystem by callback. Subsystems are audited in
+  /// registration order, so reports are deterministic.
+  void add(std::string name, AuditFn fn);
+
+  /// Registers any object with an `audit(AuditReport&) const` method. The
+  /// object must outlive the auditor (or at least every audit_now() call).
+  /// Constrained so plain callables pick the AuditFn overload instead.
+  template <typename T,
+            typename = decltype(std::declval<const T&>().audit(std::declval<AuditReport&>()))>
+  void add(std::string name, const T& subsystem) {
+    add(std::move(name), AuditFn{[&subsystem](AuditReport& report) { subsystem.audit(report); }});
+  }
+
+  /// Audits every registered subsystem. Returns the number of violations
+  /// found in this pass (including repeats of known ones). New distinct
+  /// violations fire the on_violation hook.
+  std::size_t audit_now();
+
+  /// Feeds the auditor a clock reading; a reading earlier than the previous
+  /// one is itself a violation (clock monotonicity). Simulation's cadence
+  /// hook calls this with every audit.
+  void note_time(std::int64_t now_ps);
+
+  /// Distinct violations in first-seen order.
+  [[nodiscard]] const std::vector<Violation>& violations() const noexcept { return violations_; }
+  [[nodiscard]] bool clean() const noexcept { return violations_.empty(); }
+  /// Total violation reports, counting repeats.
+  [[nodiscard]] std::uint64_t total_violations() const noexcept { return total_; }
+  /// Number of audit_now() passes executed.
+  [[nodiscard]] std::uint64_t audits_run() const noexcept { return audits_; }
+
+  /// Multi-line human-readable summary of all distinct violations.
+  [[nodiscard]] std::string report() const;
+
+  /// Throws std::runtime_error carrying report() if any violation was ever
+  /// recorded. Checked experiments call this after the run.
+  void require_clean() const;
+
+  /// Invoked once per *distinct* violation, at first occurrence. Leave
+  /// empty to just record; install a throwing hook to fail fast.
+  std::function<void(const Violation&)> on_violation;
+
+ private:
+  void record(const std::string& subsystem, std::string message);
+
+  // Distinct violations are capped so a pathologically chatty audit cannot
+  // grow memory without bound; reports beyond the cap still count in total_.
+  static constexpr std::size_t kMaxDistinct = 1024;
+
+  std::vector<std::pair<std::string, AuditFn>> subsystems_;
+  std::vector<Violation> violations_;
+  std::uint64_t total_{0};
+  std::uint64_t audits_{0};
+  std::int64_t last_time_ps_{0};
+  bool has_time_{false};
+  std::int64_t current_time_ps_{-1};
+};
+
+}  // namespace rbs::check

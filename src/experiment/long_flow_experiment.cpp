@@ -34,6 +34,14 @@ LongFlowExperimentResult run_long_flow_experiment(const LongFlowExperimentConfig
   wl_cfg.start_stagger = std::min(config.warmup, sim::SimTime::seconds(5));
   traffic::LongFlowWorkload workload{sim, topo, wl_cfg};
 
+  std::unique_ptr<check::InvariantAuditor> auditor;
+  if (config.checked) {
+    auditor = std::make_unique<check::InvariantAuditor>();
+    auditor->add("bottleneck.queue", topo.bottleneck().queue());
+    auditor->add("tcp", workload);
+    sim.enable_auditing(*auditor, config.audit_every_events);
+  }
+
   // Warm up, then reset counters and measure.
   sim.run_until(config.warmup);
   topo.bottleneck().reset_stats();
@@ -82,6 +90,11 @@ LongFlowExperimentResult run_long_flow_experiment(const LongFlowExperimentConfig
   }
 
   sim.run_until(config.warmup + config.measure);
+
+  if (auditor) {
+    auditor->audit_now();
+    auditor->require_clean();
+  }
 
   result.utilization = meter.utilization();
   const auto& qstats = topo.bottleneck().queue().stats();

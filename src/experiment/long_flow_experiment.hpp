@@ -43,6 +43,14 @@ struct LongFlowExperimentConfig {
 
   /// Record per-packet bottleneck delay percentiles and per-flow fairness.
   bool record_delays{false};
+
+  /// Paranoia mode: attach an InvariantAuditor to the scheduler, the
+  /// bottleneck queue, and every TCP endpoint, re-verify all invariants
+  /// every `audit_every_events` executed events and once more at the end,
+  /// and throw std::runtime_error on any violation. Costs a few percent of
+  /// runtime; results are unchanged.
+  bool checked{false};
+  std::uint64_t audit_every_events{50'000};
 };
 
 struct LongFlowExperimentResult {

@@ -84,6 +84,18 @@ MixedFlowExperimentResult run_mixed_flow_experiment(const MixedFlowExperimentCon
     udp->start(sim::SimTime::zero());
   }
 
+  std::unique_ptr<check::InvariantAuditor> auditor;
+  if (config.checked) {
+    auditor = std::make_unique<check::InvariantAuditor>();
+    auditor->add("bottleneck.queue", topo.bottleneck().queue());
+    auditor->add("short_flows", short_flows);
+    auditor->add("long_flows", [&long_sources, &long_sinks](check::AuditReport& report) {
+      for (const auto& s : long_sources) s->audit(report);
+      for (const auto& s : long_sinks) s->audit(report);
+    });
+    sim.enable_auditing(*auditor, config.audit_every_events);
+  }
+
   sim.run_until(config.warmup);
   topo.bottleneck().reset_stats();
   const auto measure_start = sim.now();
@@ -107,6 +119,11 @@ MixedFlowExperimentResult run_mixed_flow_experiment(const MixedFlowExperimentCon
   queue_sampler.start(sim.now() + queue_interval);
 
   sim.run_until(config.warmup + config.measure);
+
+  if (auditor) {
+    auditor->audit_now();
+    auditor->require_clean();
+  }
 
   MixedFlowExperimentResult result;
   result.utilization = meter.utilization();

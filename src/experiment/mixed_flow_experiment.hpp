@@ -43,6 +43,11 @@ struct MixedFlowExperimentConfig {
   sim::SimTime warmup{sim::SimTime::seconds(10)};
   sim::SimTime measure{sim::SimTime::seconds(40)};
   std::uint64_t seed{1};
+
+  /// Paranoia mode: run under an InvariantAuditor (scheduler, bottleneck
+  /// queue, both workloads) and throw std::runtime_error on any violation.
+  bool checked{false};
+  std::uint64_t audit_every_events{50'000};
 };
 
 struct MixedFlowExperimentResult {

@@ -31,6 +31,14 @@ ShortFlowExperimentResult run_short_flow_experiment(const ShortFlowExperimentCon
       config.load, config.bottleneck_rate_bps, sizes.mean(), config.tcp.segment_bytes);
   traffic::ShortFlowWorkload workload{sim, topo, sizes, wl_cfg};
 
+  std::unique_ptr<check::InvariantAuditor> auditor;
+  if (config.checked) {
+    auditor = std::make_unique<check::InvariantAuditor>();
+    auditor->add("bottleneck.queue", topo.bottleneck().queue());
+    auditor->add("short_flows", workload);
+    sim.enable_auditing(*auditor, config.audit_every_events);
+  }
+
   sim.run_until(config.warmup);
   topo.bottleneck().reset_stats();
   // Only flows that start inside the measurement window count toward AFCT.
@@ -59,6 +67,11 @@ ShortFlowExperimentResult run_short_flow_experiment(const ShortFlowExperimentCon
   queue_sampler.start(sim.now() + sample_every);
 
   sim.run_until(config.warmup + config.measure);
+
+  if (auditor) {
+    auditor->audit_now();
+    auditor->require_clean();
+  }
 
   ShortFlowExperimentResult result;
   const auto afct = workload.completions().afct_filtered(measure_start);

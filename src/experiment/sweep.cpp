@@ -4,7 +4,10 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
+#include <memory>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 namespace rbs::experiment {
@@ -71,8 +74,10 @@ struct SweepRunner::Impl {
   }
 };
 
-SweepRunner::SweepRunner(int threads)
-    : impl_{new Impl}, num_threads_{threads > 0 ? threads : default_sweep_threads()} {
+SweepRunner::SweepRunner(int threads, bool checked)
+    : impl_{new Impl},
+      num_threads_{threads > 0 ? threads : default_sweep_threads()},
+      checked_{checked} {
   impl_->workers.reserve(static_cast<std::size_t>(num_threads_));
   for (int i = 0; i < num_threads_; ++i) {
     impl_->workers.emplace_back([impl = impl_] { impl->worker_loop(); });
@@ -91,23 +96,54 @@ SweepRunner::~SweepRunner() {
 
 void SweepRunner::run_indexed(std::size_t n, const std::function<void(std::size_t)>& point) {
   if (n == 0) return;
+
+  // Checked mode: count executions per index. Each counter is touched by
+  // whichever worker claims that index, so the array itself needs no lock.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> executions;
+  std::function<void(std::size_t)> counted;
+  const std::function<void(std::size_t)>* effective = &point;
+  if (checked_) {
+    executions = std::make_unique<std::atomic<std::uint32_t>[]>(n);
+    for (std::size_t i = 0; i < n; ++i) executions[i].store(0, std::memory_order_relaxed);
+    counted = [&point, &executions](std::size_t i) {
+      executions[i].fetch_add(1, std::memory_order_relaxed);
+      point(i);
+    };
+    effective = &counted;
+  }
+
   if (num_threads_ <= 1 || n == 1) {
     // Degenerate case: an in-order serial loop on the calling thread.
-    for (std::size_t i = 0; i < n; ++i) point(i);
-    return;
+    for (std::size_t i = 0; i < n; ++i) (*effective)(i);
+  } else {
+    std::unique_lock lock{impl_->mutex};
+    impl_->point = effective;
+    impl_->batch_size = n;
+    impl_->next_index.store(0, std::memory_order_relaxed);
+    impl_->first_error = nullptr;
+    ++impl_->batch_id;
+    impl_->work_ready.notify_all();
+    impl_->batch_done.wait(lock, [&] {
+      return impl_->in_flight == 0 && impl_->next_index.load(std::memory_order_relaxed) >= n;
+    });
+    impl_->point = nullptr;
+    if (impl_->first_error) std::rethrow_exception(impl_->first_error);
   }
-  std::unique_lock lock{impl_->mutex};
-  impl_->point = &point;
-  impl_->batch_size = n;
-  impl_->next_index.store(0, std::memory_order_relaxed);
-  impl_->first_error = nullptr;
-  ++impl_->batch_id;
-  impl_->work_ready.notify_all();
-  impl_->batch_done.wait(lock, [&] {
-    return impl_->in_flight == 0 && impl_->next_index.load(std::memory_order_relaxed) >= n;
-  });
-  impl_->point = nullptr;
-  if (impl_->first_error) std::rethrow_exception(impl_->first_error);
+
+  if (checked_) {
+    // A throwing point aborts the batch early (remaining points legitimately
+    // skipped), and that exception was already rethrown above — reaching
+    // here means the batch claims full completion, so every index must have
+    // run exactly once.
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto count = executions[i].load(std::memory_order_relaxed);
+      if (count != 1) {
+        throw std::runtime_error("SweepRunner checked mode: point " + std::to_string(i) +
+                                 " executed " + std::to_string(count) +
+                                 " times (expected exactly once)");
+      }
+    }
+  }
 }
 
 }  // namespace rbs::experiment

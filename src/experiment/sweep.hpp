@@ -35,13 +35,18 @@ namespace rbs::experiment {
 /// points. Construction spawns the workers; destruction joins them.
 class SweepRunner {
  public:
-  /// threads <= 0 selects default_sweep_threads().
-  explicit SweepRunner(int threads = 0);
+  /// threads <= 0 selects default_sweep_threads(). `checked` enables the
+  /// sweep's own invariant audit: every batch tracks per-index execution
+  /// counts and throws std::runtime_error if any point ran zero or multiple
+  /// times (a broken work-distribution protocol would otherwise surface as
+  /// silently wrong results). Costs one atomic increment per point.
+  explicit SweepRunner(int threads = 0, bool checked = false);
   ~SweepRunner();
   SweepRunner(const SweepRunner&) = delete;
   SweepRunner& operator=(const SweepRunner&) = delete;
 
   [[nodiscard]] int threads() const noexcept { return num_threads_; }
+  [[nodiscard]] bool checked() const noexcept { return checked_; }
 
   /// Runs point(i) for every i in [0, n), distributing points across the
   /// pool, and blocks until all complete. `point` must confine its writes
@@ -62,6 +67,7 @@ class SweepRunner {
   struct Impl;
   Impl* impl_;
   int num_threads_;
+  bool checked_;
 };
 
 /// One-shot convenience: runs point(i) for i in [0, n) on a transient

@@ -1,12 +1,22 @@
 #include "net/drop_tail_queue.hpp"
 
-#include <cassert>
+#include <stdexcept>
+#include <string>
+
+#include "check/invariant.hpp"
 
 namespace rbs::net {
 
 DropTailQueue::DropTailQueue(std::int64_t limit_packets, std::int64_t limit_bytes)
     : limit_{limit_packets}, limit_bytes_{limit_bytes} {
-  assert(limit_packets >= 0 && limit_bytes >= 0);
+  if (limit_packets < 0) {
+    throw std::invalid_argument("DropTailQueue: negative packet limit " +
+                                std::to_string(limit_packets));
+  }
+  if (limit_bytes < 0) {
+    throw std::invalid_argument("DropTailQueue: negative byte limit " +
+                                std::to_string(limit_bytes));
+  }
 }
 
 bool DropTailQueue::enqueue(const Packet& p) {
@@ -20,6 +30,7 @@ bool DropTailQueue::enqueue(const Packet& p) {
   bytes_ += p.size_bytes;
   ++stats_.enqueued_packets;
   stats_.enqueued_bytes += static_cast<std::uint64_t>(p.size_bytes);
+  RBS_INVARIANT(bytes_ >= p.size_bytes, "byte counter fell below the packet just queued");
   return true;
 }
 
@@ -29,12 +40,38 @@ std::optional<Packet> DropTailQueue::dequeue() {
   fifo_.pop_front();
   bytes_ -= p.size_bytes;
   ++stats_.dequeued_packets;
+  stats_.dequeued_bytes += static_cast<std::uint64_t>(p.size_bytes);
+  RBS_INVARIANT(bytes_ >= 0, "byte counter went negative on dequeue");
+  RBS_INVARIANT(!fifo_.empty() || bytes_ == 0, "empty FIFO with a nonzero byte counter");
   return p;
 }
 
 void DropTailQueue::set_limit_packets(std::int64_t limit) {
-  assert(limit >= 0);
+  if (limit < 0) {
+    throw std::invalid_argument("DropTailQueue: negative packet limit " +
+                                std::to_string(limit));
+  }
+  // Lowering below the current occupancy is legal: resident packets drain
+  // naturally, enqueue() rejects arrivals until the backlog fits again.
   limit_ = limit;
+}
+
+void DropTailQueue::set_limit_bytes(std::int64_t limit_bytes) {
+  if (limit_bytes < 0) {
+    throw std::invalid_argument("DropTailQueue: negative byte limit " +
+                                std::to_string(limit_bytes));
+  }
+  limit_bytes_ = limit_bytes;
+}
+
+void DropTailQueue::audit(check::AuditReport& report) const {
+  Queue::audit(report);
+  std::int64_t actual_bytes = 0;
+  for (const Packet& p : fifo_) actual_bytes += p.size_bytes;
+  if (actual_bytes != bytes_) {
+    report.violation("cached byte counter " + std::to_string(bytes_) +
+                     " != FIFO contents " + std::to_string(actual_bytes) + " bytes");
+  }
 }
 
 }  // namespace rbs::net

@@ -13,7 +13,8 @@ class DropTailQueue final : public Queue {
  public:
   /// `limit_packets` is the buffer size B in packets (the unit used
   /// throughout the paper). `limit_bytes` adds a byte ceiling as real
-  /// interface queues have; 0 disables it.
+  /// interface queues have; 0 disables it. Negative limits throw
+  /// std::invalid_argument.
   explicit DropTailQueue(std::int64_t limit_packets, std::int64_t limit_bytes = 0);
 
   bool enqueue(const Packet& p) override;
@@ -24,10 +25,26 @@ class DropTailQueue final : public Queue {
   }
   [[nodiscard]] std::int64_t size_bytes() const noexcept override { return bytes_; }
   [[nodiscard]] std::int64_t limit_packets() const noexcept override { return limit_; }
+
+  /// Throws std::invalid_argument on a negative limit. Lowering the limit
+  /// below the current occupancy keeps resident packets (no retroactive
+  /// drop); arrivals are rejected until the backlog drains below the new
+  /// limit.
   void set_limit_packets(std::int64_t limit) override;
 
   [[nodiscard]] std::int64_t limit_bytes() const noexcept { return limit_bytes_; }
-  void set_limit_bytes(std::int64_t limit_bytes) noexcept { limit_bytes_ = limit_bytes; }
+
+  /// Byte-ceiling counterpart of set_limit_packets: negative throws, 0
+  /// disables the ceiling, lowering never drops resident packets.
+  void set_limit_bytes(std::int64_t limit_bytes);
+
+  /// Recounts the FIFO against the cached byte total and the conservation
+  /// stats.
+  void audit(check::AuditReport& report) const override;
+
+  /// Test-only: skews the cached byte counter without touching the FIFO,
+  /// simulating an accounting bug for negative tests of the auditor.
+  void corrupt_byte_accounting_for_test(std::int64_t delta) noexcept { bytes_ += delta; }
 
  private:
   std::int64_t limit_;

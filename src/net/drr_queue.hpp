@@ -36,10 +36,19 @@ class DrrQueue final : public Queue {
   [[nodiscard]] std::int64_t size_packets() const noexcept override { return total_packets_; }
   [[nodiscard]] std::int64_t size_bytes() const noexcept override { return total_bytes_; }
   [[nodiscard]] std::int64_t limit_packets() const noexcept override { return limit_; }
+
+  /// Throws std::invalid_argument on a negative limit. Lowering below the
+  /// current occupancy keeps resident packets (no retroactive eviction);
+  /// arrivals trigger longest-queue drops until the backlog fits.
   void set_limit_packets(std::int64_t limit) override;
 
   /// Number of flows currently backlogged.
   [[nodiscard]] std::size_t active_flows() const noexcept { return flows_.size(); }
+
+  /// Conservation laws plus DRR bookkeeping: cached packet/byte totals match
+  /// the per-flow FIFOs, the active list and flow map agree exactly, and no
+  /// registered flow has an empty FIFO.
+  void audit(check::AuditReport& report) const override;
 
  private:
   struct FlowState {
@@ -52,6 +61,9 @@ class DrrQueue final : public Queue {
   std::int64_t total_packets_{0};
   std::int64_t total_bytes_{0};
 
+  /// Keyed store only: every result-affecting walk (eviction victim scan,
+  /// DRR service) iterates `active_`, and audit() sorts the keys first.
+  // rbs-lint: allow(unordered-container) -- lookups only; iteration goes through active_ or sorted keys
   std::unordered_map<FlowId, FlowState> flows_;
   std::list<FlowId> active_;  ///< round-robin order of backlogged flows
 };

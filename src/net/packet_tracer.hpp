@@ -69,6 +69,7 @@ class PacketTracer {
   sim::Simulation& sim_;
   std::size_t max_records_;
   std::vector<Record> records_;
+  // rbs-lint: allow(unordered-container) -- membership filter: insert + contains only, never iterated
   std::unordered_set<FlowId> flows_;
   std::uint64_t overflow_{0};
 };

@@ -9,18 +9,28 @@
 #include <cstdint>
 #include <optional>
 
+#include "check/auditor.hpp"
 #include "net/packet.hpp"
 
 namespace rbs::net {
 
 /// Running totals every queue maintains. Enqueue attempts are either
-/// accepted or dropped; bytes/packets track current occupancy.
+/// accepted or dropped; bytes/packets track current occupancy. Accepted
+/// traffic obeys two conservation laws the invariant auditor enforces:
+///   enqueued_packets == dequeued_packets + evicted_packets + resident packets
+///   enqueued_bytes   == dequeued_bytes   + evicted_bytes   + resident bytes
+/// Evictions are drops of *resident* (already-accepted) packets — DRR's
+/// longest-queue drop — as opposed to arrival drops; they count in both
+/// dropped_* and evicted_*.
 struct QueueStats {
   std::uint64_t enqueued_packets{0};
   std::uint64_t dropped_packets{0};
   std::uint64_t dequeued_packets{0};
+  std::uint64_t evicted_packets{0};
   std::uint64_t enqueued_bytes{0};
   std::uint64_t dropped_bytes{0};
+  std::uint64_t dequeued_bytes{0};
+  std::uint64_t evicted_bytes{0};
 
   [[nodiscard]] double drop_fraction() const noexcept {
     const auto offered = enqueued_packets + dropped_packets;
@@ -49,16 +59,62 @@ class Queue {
   /// Configured capacity in packets.
   [[nodiscard]] virtual std::int64_t limit_packets() const noexcept = 0;
 
-  /// Changes the capacity. Packets already queued beyond a reduced limit are
-  /// kept (they drain naturally) — mirroring how an operator resizes a live
-  /// interface queue.
+  /// Changes the capacity. Lowering the limit below the current occupancy
+  /// never drops resident packets retroactively: they drain naturally, and
+  /// new arrivals are rejected until the occupancy falls below the new
+  /// limit — mirroring how an operator resizes a live interface queue.
+  /// Implementations reject invalid limits (negative everywhere; RED also
+  /// rejects 0) by throwing std::invalid_argument, leaving the queue
+  /// unchanged.
   virtual void set_limit_packets(std::int64_t limit) = 0;
 
+  /// Recounts internal state against the QueueStats conservation laws and
+  /// reports inconsistencies. The base implementation checks the
+  /// stats-level laws using the public occupancy accessors; subclasses
+  /// extend it with discipline-specific recounts (byte sums over actual
+  /// FIFO contents, RED mark counters, DRR flow bookkeeping).
+  virtual void audit(check::AuditReport& report) const {
+    // Packets resident when stats were last reset (audit_carry_*) still
+    // dequeue after the reset, so they sit on the enqueued side of the law.
+    const auto resident_packets = static_cast<std::uint64_t>(size_packets());
+    const auto resident_bytes = static_cast<std::uint64_t>(size_bytes());
+    if (stats_.enqueued_packets + audit_carry_packets_ !=
+        stats_.dequeued_packets + stats_.evicted_packets + resident_packets) {
+      report.violation("packet conservation broken: enqueued " +
+                       std::to_string(stats_.enqueued_packets) + " + carried " +
+                       std::to_string(audit_carry_packets_) + " != dequeued " +
+                       std::to_string(stats_.dequeued_packets) + " + evicted " +
+                       std::to_string(stats_.evicted_packets) + " + resident " +
+                       std::to_string(resident_packets));
+    }
+    if (stats_.enqueued_bytes + audit_carry_bytes_ !=
+        stats_.dequeued_bytes + stats_.evicted_bytes + resident_bytes) {
+      report.violation("byte conservation broken: enqueued " +
+                       std::to_string(stats_.enqueued_bytes) + " + carried " +
+                       std::to_string(audit_carry_bytes_) + " != dequeued " +
+                       std::to_string(stats_.dequeued_bytes) + " + evicted " +
+                       std::to_string(stats_.evicted_bytes) + " + resident " +
+                       std::to_string(resident_bytes));
+    }
+    if (size_packets() < 0 || size_bytes() < 0) {
+      report.violation("negative occupancy: " + std::to_string(size_packets()) +
+                       " packets / " + std::to_string(size_bytes()) + " bytes");
+    }
+  }
+
   [[nodiscard]] const QueueStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = QueueStats{}; }
+  void reset_stats() noexcept {
+    stats_ = QueueStats{};
+    audit_carry_packets_ = static_cast<std::uint64_t>(size_packets());
+    audit_carry_bytes_ = static_cast<std::uint64_t>(size_bytes());
+  }
 
  protected:
   QueueStats stats_;
+  /// Occupancy at the last reset_stats(); keeps the audit conservation laws
+  /// exact across mid-run counter resets (warmup cutovers).
+  std::uint64_t audit_carry_packets_{0};
+  std::uint64_t audit_carry_bytes_{0};
 };
 
 }  // namespace rbs::net

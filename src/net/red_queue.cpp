@@ -1,14 +1,20 @@
 #include "net/red_queue.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "check/invariant.hpp"
 
 namespace rbs::net {
 
 RedQueue::RedQueue(sim::Simulation& sim, std::int64_t limit_packets, RedConfig config)
     : sim_{sim}, limit_{limit_packets}, cfg_{config} {
-  assert(limit_packets >= 1);
+  if (limit_packets < 1) {
+    throw std::invalid_argument("RedQueue: packet limit must be >= 1, got " +
+                                std::to_string(limit_packets));
+  }
   min_th_ = cfg_.min_threshold > 0 ? cfg_.min_threshold
                                    : std::max(1.0, static_cast<double>(limit_) / 4.0);
   max_th_ = cfg_.max_threshold > 0 ? cfg_.max_threshold
@@ -104,6 +110,8 @@ std::optional<Packet> RedQueue::dequeue() {
   fifo_.pop_front();
   bytes_ -= p.size_bytes;
   ++stats_.dequeued_packets;
+  stats_.dequeued_bytes += static_cast<std::uint64_t>(p.size_bytes);
+  RBS_INVARIANT(bytes_ >= 0, "byte counter went negative on dequeue");
   if (fifo_.empty()) {
     idle_ = true;
     idle_since_ = sim_.now();
@@ -112,11 +120,53 @@ std::optional<Packet> RedQueue::dequeue() {
 }
 
 void RedQueue::set_limit_packets(std::int64_t limit) {
-  assert(limit >= 1);
+  if (limit < 1) {
+    throw std::invalid_argument("RedQueue: packet limit must be >= 1, got " +
+                                std::to_string(limit));
+  }
+  // Lowering below the current occupancy is legal: resident packets drain
+  // naturally, enqueue() rejects arrivals until the backlog fits again.
   limit_ = limit;
   if (cfg_.min_threshold <= 0) min_th_ = std::max(1.0, static_cast<double>(limit_) / 4.0);
   if (cfg_.max_threshold <= 0)
     max_th_ = std::max(min_th_ + 1.0, 3.0 * static_cast<double>(limit_) / 4.0);
+}
+
+void RedQueue::audit(check::AuditReport& report) const {
+  Queue::audit(report);
+  std::int64_t actual_bytes = 0;
+  std::uint64_t ce_in_queue = 0;
+  for (const Packet& p : fifo_) {
+    actual_bytes += p.size_bytes;
+    if (p.ecn_ce) ++ce_in_queue;
+  }
+  if (actual_bytes != bytes_) {
+    report.violation("cached byte counter " + std::to_string(bytes_) +
+                     " != FIFO contents " + std::to_string(actual_bytes) + " bytes");
+  }
+  if (!std::isfinite(avg_) || avg_ < 0.0) {
+    report.violation("EWMA average queue is invalid: " + std::to_string(avg_));
+  }
+  if (early_drops_ > stats_.dropped_packets) {
+    report.violation("early drops " + std::to_string(early_drops_) +
+                     " exceed total drops " + std::to_string(stats_.dropped_packets));
+  }
+  if (!cfg_.ecn_marking && (marked_ != 0 || ce_in_queue != 0)) {
+    report.violation("CE marks present with ECN marking disabled (" +
+                     std::to_string(marked_) + " counted, " + std::to_string(ce_in_queue) +
+                     " resident)");
+  }
+  // Every mark this queue applied is either still resident or has departed;
+  // resident CE packets can never outnumber the marks applied. (Arriving
+  // packets are never CE already: sources send Not-ECT/ECT(0).)
+  if (ce_in_queue > marked_) {
+    report.violation(std::to_string(ce_in_queue) + " CE packets resident but only " +
+                     std::to_string(marked_) + " ever marked");
+  }
+  if (min_th_ <= 0.0 || max_th_ <= min_th_) {
+    report.violation("thresholds degenerate: min_th " + std::to_string(min_th_) +
+                     ", max_th " + std::to_string(max_th_));
+  }
 }
 
 }  // namespace rbs::net

@@ -42,6 +42,11 @@ class RedQueue final : public Queue {
   }
   [[nodiscard]] std::int64_t size_bytes() const noexcept override { return bytes_; }
   [[nodiscard]] std::int64_t limit_packets() const noexcept override { return limit_; }
+
+  /// Throws std::invalid_argument unless limit >= 1 (RED needs a nonzero
+  /// buffer for its thresholds). Lowering below the current occupancy never
+  /// drops resident packets; arrivals are rejected until the backlog
+  /// drains. Auto-derived thresholds are recomputed for the new limit.
   void set_limit_packets(std::int64_t limit) override;
 
   /// Current EWMA of the queue length, in packets.
@@ -52,6 +57,11 @@ class RedQueue final : public Queue {
 
   /// Packets marked CE instead of dropped (ECN mode only).
   [[nodiscard]] std::uint64_t marked_packets() const noexcept { return marked_; }
+
+  /// Conservation laws plus RED-specific checks: the cached byte counter
+  /// matches the FIFO, the EWMA is finite and non-negative, early drops
+  /// never exceed total drops, and ECN marks only appear in marking mode.
+  void audit(check::AuditReport& report) const override;
 
  private:
   void update_average() noexcept;

@@ -1,6 +1,10 @@
 #include "sim/scheduler.hpp"
 
 #include <algorithm>
+#include <utility>
+
+#include "check/auditor.hpp"
+#include "check/invariant.hpp"
 
 namespace rbs::sim {
 namespace {
@@ -117,6 +121,7 @@ bool Scheduler::execute_next() {
       pool_.release(entry.slot);
       continue;
     }
+    RBS_INVARIANT(entry.time >= now_, "event would move the simulation clock backwards");
     now_ = entry.time;
     slot.disarm();  // fired: pending() is false, cancel() a no-op
     --live_events_;
@@ -126,6 +131,12 @@ bool Scheduler::execute_next() {
     // schedule or cancel other events (growing the pool if needed).
     slot.invoke();
     pool_.release(entry.slot);
+    if (audit_every_ != 0 && ++events_since_audit_ >= audit_every_) {
+      // Fires between events: the finished slot is recycled, so the audit
+      // sees a consistent heap/pool pairing.
+      events_since_audit_ = 0;
+      audit_hook_();
+    }
     return true;
   }
   return false;
@@ -134,6 +145,52 @@ bool Scheduler::execute_next() {
 void Scheduler::run() {
   stopped_ = false;
   while (!stopped_ && execute_next()) {
+  }
+}
+
+void Scheduler::set_audit_hook(std::uint64_t every_n_events, std::function<void()> hook) {
+  audit_hook_ = std::move(hook);
+  audit_every_ = audit_hook_ ? every_n_events : 0;
+  events_since_audit_ = 0;
+}
+
+void Scheduler::audit(check::AuditReport& report) const {
+  // 4-ary heap order: every entry sorts at or after its parent.
+  for (std::size_t i = 1; i < heap_.size(); ++i) {
+    const std::size_t parent = (i - 1) / 4;
+    if (entry_less(heap_[i], heap_[parent])) {
+      report.violation("heap order broken at entry " + std::to_string(i) + " (time " +
+                       std::to_string(heap_[i].time.ps()) + " ps before its parent)");
+      break;  // one report is enough; deeper entries inherit the breakage
+    }
+  }
+  std::size_t armed = 0;
+  for (const HeapEntry& entry : heap_) {
+    if (entry.time < now_) {
+      report.violation("queued event at " + std::to_string(entry.time.ps()) +
+                       " ps is in the past (now " + std::to_string(now_.ps()) + " ps)");
+    }
+    if (entry.seq >= next_seq_) {
+      report.violation("queued event carries unissued sequence number " +
+                       std::to_string(entry.seq));
+    }
+    if (pool_[entry.slot].armed()) ++armed;
+  }
+  if (armed != live_events_) {
+    report.violation("live-event count " + std::to_string(live_events_) + " but " +
+                     std::to_string(armed) + " armed entries in the queue");
+  }
+  if (live_events_ + cancelled_in_queue_ != heap_.size()) {
+    report.violation("live (" + std::to_string(live_events_) + ") + cancelled (" +
+                     std::to_string(cancelled_in_queue_) + ") != queue entries (" +
+                     std::to_string(heap_.size()) + ")");
+  }
+  // Slot conservation: outside callback execution every allocated pool slot
+  // is referenced by exactly one queue entry.
+  if (pool_.allocated() != heap_.size()) {
+    report.violation("event pool has " + std::to_string(pool_.allocated()) +
+                     " allocated slots but the queue holds " + std::to_string(heap_.size()) +
+                     " entries (slot leak or double-release)");
   }
 }
 

@@ -22,6 +22,10 @@
 #include "sim/event_pool.hpp"
 #include "sim/time.hpp"
 
+namespace rbs::check {
+class AuditReport;
+}
+
 namespace rbs::sim {
 
 /// Executes scheduled callbacks in deterministic time order.
@@ -114,6 +118,22 @@ class Scheduler {
   /// of the reaping policy; experiments should use pending_events()).
   [[nodiscard]] std::size_t queue_entries() const noexcept { return heap_.size(); }
 
+  /// Installs a hook that fires after every `every_n_events` executed
+  /// callbacks — the cadence the InvariantAuditor runs on. The hook runs
+  /// between events (the finished event's slot is already recycled), so it
+  /// may inspect any scheduler state. `every_n_events` == 0 (or an empty
+  /// hook) disables auditing; the unchecked hot path then pays one
+  /// predictable branch per event.
+  void set_audit_hook(std::uint64_t every_n_events, std::function<void()> hook);
+
+  /// Recounts scheduler internals and reports inconsistencies: 4-ary heap
+  /// order, no event scheduled in the past, live/cancelled bookkeeping vs.
+  /// actual queue contents, and event-pool slot conservation. Must not be
+  /// called from inside an executing callback (the in-flight event's slot
+  /// would be counted as leaked); the audit-hook cadence and any call made
+  /// while the scheduler is not running are safe.
+  void audit(check::AuditReport& report) const;
+
  private:
   /// 16-byte trivially-copyable heap entry; `seq` breaks time ties in FIFO
   /// order, which is what makes runs bit-reproducible.
@@ -144,6 +164,9 @@ class Scheduler {
   bool stopped_{false};
   std::vector<HeapEntry> heap_;
   EventPool pool_;
+  std::uint64_t audit_every_{0};
+  std::uint64_t events_since_audit_{0};
+  std::function<void()> audit_hook_;
 };
 
 }  // namespace rbs::sim

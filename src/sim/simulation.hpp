@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "check/auditor.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
@@ -43,6 +44,22 @@ class Simulation {
 
   /// Runs until no events remain.
   void run() { scheduler_.run(); }
+
+  /// Attaches an invariant auditor: every `every_n_events` executed events
+  /// the auditor re-verifies all registered subsystems (plus clock
+  /// monotonicity). The scheduler itself is registered here; callers add
+  /// their queues, TCP endpoints, and workloads. The auditor must outlive
+  /// this Simulation or be detached with disable_auditing().
+  void enable_auditing(check::InvariantAuditor& auditor,
+                       std::uint64_t every_n_events = 50'000) {
+    auditor.add("scheduler", scheduler_);
+    scheduler_.set_audit_hook(every_n_events, [this, &auditor] {
+      auditor.note_time(scheduler_.now().ps());
+      auditor.audit_now();
+    });
+  }
+
+  void disable_auditing() { scheduler_.set_audit_hook(0, nullptr); }
 
  private:
   Scheduler scheduler_;

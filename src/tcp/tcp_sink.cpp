@@ -1,5 +1,7 @@
 #include "tcp/tcp_sink.hpp"
 
+#include <string>
+
 namespace rbs::tcp {
 
 TcpSink::TcpSink(sim::Simulation& sim, net::Host& host, net::FlowId flow,
@@ -77,6 +79,27 @@ void TcpSink::on_packet(const net::Packet& p) {
       ++delack_fires_;
       send_ack();
     });
+  }
+}
+
+void TcpSink::audit(check::AuditReport& report) const {
+  const auto delivered = static_cast<std::uint64_t>(next_expected_);
+  if (delivered + out_of_order_.size() + duplicates_ != packets_received_) {
+    report.violation("sequence continuity broken: delivered " + std::to_string(delivered) +
+                     " + buffered " + std::to_string(out_of_order_.size()) + " + duplicate " +
+                     std::to_string(duplicates_) + " != received " +
+                     std::to_string(packets_received_));
+  }
+  if (!out_of_order_.empty() && *out_of_order_.begin() <= next_expected_) {
+    report.violation("out-of-order buffer holds sequence " +
+                     std::to_string(*out_of_order_.begin()) +
+                     " at or below the cumulative-ACK point " +
+                     std::to_string(next_expected_));
+  }
+  if (acks_sent_ > packets_received_ + delack_fires_) {
+    report.violation("ACKs sent " + std::to_string(acks_sent_) +
+                     " exceed data packets received " + std::to_string(packets_received_) +
+                     " plus delayed-ACK fires " + std::to_string(delack_fires_));
   }
 }
 

@@ -49,6 +49,14 @@ class TcpSink final : public net::Agent {
   [[nodiscard]] std::uint64_t acks_sent() const noexcept { return acks_sent_; }
   [[nodiscard]] std::uint64_t delayed_ack_timeouts() const noexcept { return delack_fires_; }
 
+  /// Sequence-continuity conservation: every received data packet was
+  /// delivered in order (advancing next_expected), is buffered out of order,
+  /// or was a duplicate — so
+  ///   next_expected + |out_of_order| + duplicates == packets_received
+  /// exactly, and every buffered sequence lies strictly above the
+  /// cumulative-ACK point.
+  void audit(check::AuditReport& report) const;
+
  private:
   void send_ack();
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <string>
+
+#include "check/invariant.hpp"
 
 namespace rbs::tcp {
 
@@ -49,10 +52,16 @@ void TcpSource::send_available() {
   const std::int64_t limit =
       flow_packets_ >= 0 ? std::min(snd_una_ + effective_window(), flow_packets_)
                          : snd_una_ + effective_window();
+  const std::int64_t before = snd_nxt_;
   while (snd_nxt_ < limit) {
     transmit(snd_nxt_);
     ++snd_nxt_;
   }
+  // Recovery deflation and ECN cuts legitimately leave flight above a
+  // freshly shrunken window (it drains back under); the gate invariant is
+  // that *newly sent* data never pushes flight past the window.
+  RBS_INVARIANT(snd_nxt_ == before || packets_in_flight() <= effective_window(),
+                "new data pushed in-flight past the congestion window");
 }
 
 sim::SimTime TcpSource::pacing_interval() const noexcept {
@@ -126,9 +135,11 @@ void TcpSource::on_packet(const net::Packet& p) {
 }
 
 void TcpSource::handle_new_ack(std::int64_t ack, sim::SimTime echoed) {
+  RBS_INVARIANT(ack <= max_sent_ + 1, "cumulative ACK covers data never transmitted");
   const std::int64_t newly_acked = ack - snd_una_;
   snd_una_ = ack;
   snd_nxt_ = std::max(snd_nxt_, snd_una_);
+  RBS_INVARIANT(cwnd_ >= 1.0, "congestion window fell below one segment");
 
   // Timestamp echo makes every sample unambiguous (Karn-safe): a
   // retransmitted packet carries its own transmission time.
@@ -274,6 +285,44 @@ void TcpSource::complete() {
   disarm_timer();
   pace_timer_.cancel();
   if (on_complete_) on_complete_(*this);
+}
+
+void TcpSource::audit(check::AuditReport& report) const {
+  if (snd_una_ < 0 || snd_una_ > snd_nxt_ || snd_nxt_ > max_sent_ + 1) {
+    report.violation("sequence ordering broken: snd_una " + std::to_string(snd_una_) +
+                     ", snd_nxt " + std::to_string(snd_nxt_) + ", max_sent " +
+                     std::to_string(max_sent_));
+  }
+  if (!std::isfinite(cwnd_) || cwnd_ < 1.0) {
+    report.violation("congestion window invalid: " + std::to_string(cwnd_));
+  }
+  if (!std::isfinite(ssthresh_) || ssthresh_ <= 0.0) {
+    report.violation("ssthresh invalid: " + std::to_string(ssthresh_));
+  }
+  // +2: limited transmit may legitimately send two segments past the window.
+  if (packets_in_flight() > config_.max_window + 2) {
+    report.violation("in-flight " + std::to_string(packets_in_flight()) +
+                     " exceeds the receiver window " + std::to_string(config_.max_window));
+  }
+  if (flow_packets_ >= 0 && snd_nxt_ > flow_packets_) {
+    report.violation("snd_nxt " + std::to_string(snd_nxt_) + " past the flow length " +
+                     std::to_string(flow_packets_));
+  }
+  if (finished_ && flow_packets_ >= 0 && snd_una_ < flow_packets_) {
+    report.violation("flow finished with only " + std::to_string(snd_una_) + " of " +
+                     std::to_string(flow_packets_) + " packets acknowledged");
+  }
+  if (stats_.retransmissions > stats_.data_packets_sent) {
+    report.violation("retransmissions " + std::to_string(stats_.retransmissions) +
+                     " exceed total sends " + std::to_string(stats_.data_packets_sent));
+  }
+  if (stats_.dup_acks_received > stats_.acks_received) {
+    report.violation("dup ACKs " + std::to_string(stats_.dup_acks_received) +
+                     " exceed total ACKs " + std::to_string(stats_.acks_received));
+  }
+  if (!started_ && (snd_nxt_ != 0 || max_sent_ != -1)) {
+    report.violation("data transmitted before start()");
+  }
 }
 
 }  // namespace rbs::tcp

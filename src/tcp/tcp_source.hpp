@@ -106,6 +106,20 @@ class TcpSource final : public net::Agent {
   [[nodiscard]] const RttEstimator& rtt_estimator() const noexcept { return rtt_; }
   [[nodiscard]] const TcpConfig& config() const noexcept { return config_; }
 
+  /// Checks sender invariants that hold at any event boundary: sequence
+  /// ordering (0 <= snd_una <= snd_nxt <= max_sent+1), cwnd >= 1 MSS and
+  /// finite, in-flight bounded by the receiver window (+2 for limited
+  /// transmit), finite flows never sending past their length, and counter
+  /// sanity (retransmissions <= sends, dup ACKs <= ACKs). The strict
+  /// in-flight <= cwnd bound is enforced at the send gate by RBS_INVARIANT
+  /// instead: ECN cuts and recovery deflation legitimately leave flight
+  /// above a freshly shrunken window until it drains.
+  void audit(check::AuditReport& report) const;
+
+  /// Test-only: breaks sequence-number ordering (snd_una ahead of snd_nxt)
+  /// so negative tests can prove the auditor catches in-flight corruption.
+  void corrupt_in_flight_for_test() noexcept { snd_una_ = snd_nxt_ + 1; }
+
  private:
   void send_available();
   void schedule_paced_send();

@@ -49,4 +49,13 @@ tcp::TcpSourceStats LongFlowWorkload::total_stats() const noexcept {
   return total;
 }
 
+void LongFlowWorkload::audit(check::AuditReport& report) const {
+  if (sources_.size() != sinks_.size()) {
+    report.violation("source/sink pairing broken: " + std::to_string(sources_.size()) +
+                     " sources, " + std::to_string(sinks_.size()) + " sinks");
+  }
+  for (const auto& s : sources_) s->audit(report);
+  for (const auto& s : sinks_) s->audit(report);
+}
+
 }  // namespace rbs::traffic

@@ -52,6 +52,10 @@ class LongFlowWorkload {
   /// Aggregate sender-side counters over all flows.
   [[nodiscard]] tcp::TcpSourceStats total_stats() const noexcept;
 
+  /// Audits every source and sink (flows are stored in a vector, so the
+  /// report order is deterministic by construction).
+  void audit(check::AuditReport& report) const;
+
  private:
   std::vector<std::unique_ptr<tcp::TcpSource>> sources_;
   std::vector<std::unique_ptr<tcp::TcpSink>> sinks_;

@@ -1,6 +1,9 @@
 #include "traffic/short_flow_workload.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <string>
+#include <vector>
 
 namespace rbs::traffic {
 
@@ -68,6 +71,26 @@ void ShortFlowWorkload::reap_flow(net::FlowId flow) {
   fct_.record(src.flow_packets(), src.start_time(), src.finish_time());
   ++flows_completed_;
   active_.erase(it);
+}
+
+void ShortFlowWorkload::audit(check::AuditReport& report) const {
+  if (flows_started_ != flows_completed_ + active_.size()) {
+    report.violation("flow accounting broken: started " + std::to_string(flows_started_) +
+                     " != completed " + std::to_string(flows_completed_) + " + active " +
+                     std::to_string(active_.size()));
+  }
+  // Sort the flow ids so per-flow violations appear in the same order every
+  // run regardless of hash-map layout.
+  std::vector<net::FlowId> ids;
+  ids.reserve(active_.size());
+  // rbs-lint: allow(unordered-iteration) -- keys are sorted before any use
+  for (const auto& [id, flow] : active_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (const net::FlowId id : ids) {
+    const ActiveFlow& af = active_.at(id);
+    af.source->audit(report);
+    af.sink->audit(report);
+  }
 }
 
 }  // namespace rbs::traffic

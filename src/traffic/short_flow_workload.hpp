@@ -60,6 +60,11 @@ class ShortFlowWorkload {
   [[nodiscard]] std::uint64_t flows_completed() const noexcept { return flows_completed_; }
   [[nodiscard]] std::size_t flows_active() const noexcept { return active_.size(); }
 
+  /// Flow-accounting conservation (started == completed + active) plus a
+  /// per-flow audit of every active source and sink, visited in ascending
+  /// flow-id order so reports are deterministic.
+  void audit(check::AuditReport& report) const;
+
  private:
   struct ActiveFlow {
     std::unique_ptr<tcp::TcpSource> source;
@@ -76,6 +81,7 @@ class ShortFlowWorkload {
   ShortFlowWorkloadConfig config_;
   sim::Rng rng_;
 
+  // rbs-lint: allow(unordered-container) -- emplace/find/erase/size only; audit() sorts keys before iterating
   std::unordered_map<net::FlowId, ActiveFlow> active_;
   net::FlowId next_flow_id_;
   int next_leaf_{0};

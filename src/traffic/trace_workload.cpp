@@ -104,4 +104,27 @@ void TraceWorkload::reap(net::FlowId flow) {
   active_.erase(it);
 }
 
+void TraceWorkload::audit(check::AuditReport& report) const {
+  if (started_ != completed_ + active_.size()) {
+    report.violation("flow accounting broken: started " + std::to_string(started_) +
+                     " != completed " + std::to_string(completed_) + " + active " +
+                     std::to_string(active_.size()));
+  }
+  if (started_ > records_.size()) {
+    report.violation("started " + std::to_string(started_) + " flows from a trace of " +
+                     std::to_string(records_.size()));
+  }
+  // Sorted ids keep per-flow violation order independent of hash layout.
+  std::vector<net::FlowId> ids;
+  ids.reserve(active_.size());
+  // rbs-lint: allow(unordered-iteration) -- keys are sorted before any use
+  for (const auto& [id, flow] : active_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (const net::FlowId id : ids) {
+    const ActiveFlow& af = active_.at(id);
+    af.source->audit(report);
+    af.sink->audit(report);
+  }
+}
+
 }  // namespace rbs::traffic

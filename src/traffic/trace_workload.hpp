@@ -67,6 +67,11 @@ class TraceWorkload {
   [[nodiscard]] std::size_t flows_active() const noexcept { return active_.size(); }
   [[nodiscard]] const stats::FctTracker& completions() const noexcept { return fct_; }
 
+  /// Flow-accounting conservation (started == completed + active, started
+  /// never exceeds the trace length) plus per-flow audits in ascending
+  /// flow-id order for deterministic reports.
+  void audit(check::AuditReport& report) const;
+
  private:
   struct ActiveFlow {
     std::unique_ptr<tcp::TcpSource> source;
@@ -81,6 +86,7 @@ class TraceWorkload {
   TraceWorkloadConfig config_;
   std::vector<TraceRecord> records_;
 
+  // rbs-lint: allow(unordered-container) -- emplace/find/erase/size only; audit() sorts keys before iterating
   std::unordered_map<net::FlowId, ActiveFlow> active_;
   std::vector<sim::Scheduler::EventHandle> launches_;
   std::uint64_t started_{0};

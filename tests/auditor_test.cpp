@@ -1,0 +1,191 @@
+// Tests for the invariant auditor: the registry/report mechanics, the
+// periodic cadence hook, and — critically — negative tests that corrupt
+// internal state on purpose and prove the auditor catches it. A checker
+// that never fires is worse than none.
+#include "check/auditor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "experiment/long_flow_experiment.hpp"
+#include "experiment/short_flow_experiment.hpp"
+#include "net/drop_tail_queue.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/tcp_source.hpp"
+
+namespace rbs {
+namespace {
+
+using namespace rbs::sim::literals;
+using sim::SimTime;
+
+net::Packet make_packet(std::int64_t seq, std::int32_t bytes = 1000) {
+  net::Packet p;
+  p.flow = 1;
+  p.seq = seq;
+  p.size_bytes = bytes;
+  return p;
+}
+
+// --- Auditor mechanics -----------------------------------------------------
+
+TEST(InvariantAuditor, StartsCleanAndStaysCleanOnHealthySubsystems) {
+  check::InvariantAuditor auditor;
+  auditor.add("noop", [](check::AuditReport&) {});
+  EXPECT_EQ(auditor.audit_now(), 0u);
+  EXPECT_TRUE(auditor.clean());
+  EXPECT_EQ(auditor.audits_run(), 1u);
+  EXPECT_NO_THROW(auditor.require_clean());
+}
+
+TEST(InvariantAuditor, CoalescesRepeatedViolations) {
+  check::InvariantAuditor auditor;
+  auditor.add("broken", [](check::AuditReport& r) { r.violation("always wrong"); });
+  for (int i = 0; i < 5; ++i) auditor.audit_now();
+  ASSERT_EQ(auditor.violations().size(), 1u);
+  EXPECT_EQ(auditor.violations()[0].count, 5u);
+  EXPECT_EQ(auditor.total_violations(), 5u);
+  EXPECT_THROW(auditor.require_clean(), std::runtime_error);
+}
+
+TEST(InvariantAuditor, ReportNamesSubsystemAndMessage) {
+  check::InvariantAuditor auditor;
+  auditor.add("queue.left", [](check::AuditReport& r) { r.violation("bytes off by 7"); });
+  auditor.audit_now();
+  const std::string report = auditor.report();
+  EXPECT_NE(report.find("queue.left"), std::string::npos);
+  EXPECT_NE(report.find("bytes off by 7"), std::string::npos);
+}
+
+TEST(InvariantAuditor, ClockGoingBackwardsIsAViolation) {
+  check::InvariantAuditor auditor;
+  auditor.note_time(1000);
+  auditor.note_time(2000);
+  EXPECT_TRUE(auditor.clean());
+  auditor.note_time(1500);
+  EXPECT_FALSE(auditor.clean());
+}
+
+TEST(InvariantAuditor, OnViolationHookFiresOncePerDistinctViolation) {
+  check::InvariantAuditor auditor;
+  int fired = 0;
+  auditor.on_violation = [&fired](const check::Violation&) { ++fired; };
+  auditor.add("broken", [](check::AuditReport& r) { r.violation("same message"); });
+  auditor.audit_now();
+  auditor.audit_now();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(InvariantAuditor, PeriodicCadenceFiresDuringSimulationRun) {
+  sim::Simulation sim{1};
+  check::InvariantAuditor auditor;
+  sim.enable_auditing(auditor, 10);  // audit every 10 executed events
+  for (int i = 0; i < 100; ++i) sim.after(SimTime::microseconds(i + 1), [] {});
+  sim.run();
+  EXPECT_GE(auditor.audits_run(), 5u);
+  EXPECT_TRUE(auditor.clean());  // scheduler self-audit passes on a clean run
+}
+
+// --- Negative tests: deliberate corruption must be caught ------------------
+
+TEST(InvariantAuditor, CatchesCorruptedQueueByteAccounting) {
+  net::DropTailQueue q{10};
+  q.enqueue(make_packet(0, 500));
+  q.enqueue(make_packet(1, 500));
+
+  check::AuditReport clean_report;
+  q.audit(clean_report);
+  ASSERT_TRUE(clean_report.clean());
+
+  q.corrupt_byte_accounting_for_test(+123);
+  check::AuditReport report;
+  q.audit(report);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(InvariantAuditor, CatchesCorruptedTcpInFlightTracking) {
+  sim::Simulation sim;
+  net::Host snd{sim, 1, "snd"};
+  net::Host rcv{sim, 2, "rcv"};
+  snd.attach_uplink(rcv);
+  tcp::TcpSource src{sim, snd, rcv.id(), 1, tcp::TcpConfig{}};
+
+  check::AuditReport clean_report;
+  src.audit(clean_report);
+  ASSERT_TRUE(clean_report.clean());
+
+  src.corrupt_in_flight_for_test();  // snd_una ahead of snd_nxt
+  check::AuditReport report;
+  src.audit(report);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(InvariantAuditor, ReportsQueueAndTcpCorruptionTogether) {
+  // The acceptance test for the whole tooling layer: corrupt queue byte
+  // accounting AND TCP in-flight tracking in one world; one audit pass must
+  // attribute a violation to each subsystem by name.
+  sim::Simulation sim;
+  net::Host snd{sim, 1, "snd"};
+  net::Host rcv{sim, 2, "rcv"};
+  snd.attach_uplink(rcv);
+  net::DropTailQueue queue{10};
+  tcp::TcpSource src{sim, snd, rcv.id(), 1, tcp::TcpConfig{}};
+  queue.enqueue(make_packet(0));
+
+  check::InvariantAuditor auditor;
+  auditor.add("bottleneck.queue", queue);
+  auditor.add("tcp.source", src);
+  auditor.audit_now();
+  ASSERT_TRUE(auditor.clean());
+
+  queue.corrupt_byte_accounting_for_test(-200);
+  src.corrupt_in_flight_for_test();
+  EXPECT_GT(auditor.audit_now(), 0u);
+
+  bool queue_flagged = false;
+  bool tcp_flagged = false;
+  for (const auto& v : auditor.violations()) {
+    if (v.subsystem == "bottleneck.queue") queue_flagged = true;
+    if (v.subsystem == "tcp.source") tcp_flagged = true;
+  }
+  EXPECT_TRUE(queue_flagged);
+  EXPECT_TRUE(tcp_flagged);
+  EXPECT_THROW(auditor.require_clean(), std::runtime_error);
+}
+
+// --- Checked experiments ---------------------------------------------------
+
+TEST(CheckedExperiment, LongFlowRunPassesUnderContinuousAuditing) {
+  experiment::LongFlowExperimentConfig cfg;
+  cfg.num_flows = 5;
+  cfg.bottleneck_rate_bps = 10e6;
+  cfg.buffer_packets = 30;
+  cfg.warmup = SimTime::seconds(2);
+  cfg.measure = SimTime::seconds(4);
+  cfg.checked = true;
+  cfg.audit_every_events = 5'000;  // tight cadence; crosses the warmup reset
+  const auto checked = run_long_flow_experiment(cfg);
+
+  cfg.checked = false;
+  const auto plain = run_long_flow_experiment(cfg);
+  EXPECT_DOUBLE_EQ(checked.utilization, plain.utilization);  // audits are pure observers
+  EXPECT_EQ(checked.bottleneck_drops, plain.bottleneck_drops);
+}
+
+TEST(CheckedExperiment, ShortFlowRunPassesUnderContinuousAuditing) {
+  experiment::ShortFlowExperimentConfig cfg;
+  cfg.num_leaves = 5;
+  cfg.buffer_packets = 30;
+  cfg.warmup = SimTime::seconds(1);
+  cfg.measure = SimTime::seconds(3);
+  cfg.checked = true;
+  cfg.audit_every_events = 5'000;
+  EXPECT_NO_THROW(run_short_flow_experiment(cfg));
+}
+
+}  // namespace
+}  // namespace rbs

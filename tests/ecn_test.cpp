@@ -65,6 +65,84 @@ TEST(RedEcn, NonDataPacketsAreNeverMarked) {
   EXPECT_GT(drops, 0);  // ACKs fall back to dropping
 }
 
+// Drives a RED queue hard around its thresholds and reconciles every
+// counter against the packets actually observed: offered = accepted +
+// dropped, accepted = dequeued + resident, CE marks on the wire = the
+// queue's mark counter, early drops within total drops — then runs the
+// queue's own audit. Shared by the gentle and non-gentle boundary tests.
+void drive_and_reconcile(bool gentle, bool ecn) {
+  sim::Simulation sim{42};
+  net::RedConfig cfg;
+  cfg.min_threshold = 4;
+  cfg.max_threshold = 12;
+  cfg.max_probability = 0.3;
+  cfg.weight = 0.3;  // fast EWMA so the average actually crosses max_th
+  cfg.gentle = gentle;
+  cfg.ecn_marking = ecn;
+  net::RedQueue q{sim, 40, cfg};
+
+  net::Packet p;
+  p.flow = 1;
+  p.kind = net::PacketKind::kTcpData;
+  p.size_bytes = 1000;
+
+  std::uint64_t offered = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t dequeued = 0;
+  std::uint64_t ce_seen = 0;
+  for (int i = 0; i < 4000; ++i) {
+    p.seq = i;
+    ++offered;
+    if (q.enqueue(p)) ++accepted;
+    // Hold occupancy oscillating through [max_th, 2*max_th]: the gentle
+    // second ramp and the non-gentle cliff both get exercised.
+    if (q.size_packets() > 12 + (i % 12)) {
+      if (auto out = q.dequeue()) {
+        ++dequeued;
+        if (out->ecn_ce) ++ce_seen;
+      }
+    }
+  }
+  while (auto out = q.dequeue()) {
+    ++dequeued;
+    if (out->ecn_ce) ++ce_seen;
+  }
+
+  const auto& s = q.stats();
+  EXPECT_EQ(offered, accepted + s.dropped_packets);
+  EXPECT_EQ(s.enqueued_packets, accepted);
+  EXPECT_EQ(s.dequeued_packets, dequeued);
+  EXPECT_EQ(accepted, dequeued);  // fully drained
+  EXPECT_LE(q.early_drops(), s.dropped_packets);
+  EXPECT_EQ(ce_seen, q.marked_packets());
+  if (ecn) {
+    // Marking replaces early drops in the control region, but above the
+    // marking ceiling RED falls back to dropping, so both can be nonzero.
+    EXPECT_GT(q.marked_packets(), 0u);
+  } else {
+    EXPECT_EQ(q.marked_packets(), 0u);
+    EXPECT_GT(q.early_drops(), 0u);
+  }
+
+  check::AuditReport report;
+  q.audit(report);
+  EXPECT_TRUE(report.clean()) << (report.messages().empty() ? "" : report.messages()[0]);
+}
+
+TEST(RedEcn, GentleBoundaryCountersReconcile) { drive_and_reconcile(/*gentle=*/true, /*ecn=*/true); }
+
+TEST(RedEcn, NonGentleBoundaryCountersReconcile) {
+  drive_and_reconcile(/*gentle=*/false, /*ecn=*/true);
+}
+
+TEST(RedEcn, GentleDropModeCountersReconcile) {
+  drive_and_reconcile(/*gentle=*/true, /*ecn=*/false);
+}
+
+TEST(RedEcn, NonGentleDropModeCountersReconcile) {
+  drive_and_reconcile(/*gentle=*/false, /*ecn=*/false);
+}
+
 TEST(TcpEcn, SinkEchoesCeOnAck) {
   sim::Simulation sim{1};
   net::DumbbellConfig topo_cfg;

@@ -1,7 +1,10 @@
 // Unit tests for the drop-tail and RED queue disciplines.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "net/drop_tail_queue.hpp"
+#include "net/drr_queue.hpp"
 #include "net/red_queue.hpp"
 #include "sim/simulation.hpp"
 
@@ -71,6 +74,40 @@ TEST(DropTailQueue, ShrinkingLimitKeepsQueuedPackets) {
   EXPECT_EQ(q.size_packets(), 5);          // existing packets drain naturally
   EXPECT_FALSE(q.enqueue(make_packet(9))); // but no new ones fit
   for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.dequeue().has_value());
+  EXPECT_TRUE(q.enqueue(make_packet(10)));
+}
+
+TEST(QueueLimitValidation, NegativeLimitsAreRejectedEverywhere) {
+  EXPECT_THROW(net::DropTailQueue(-1), std::invalid_argument);
+  EXPECT_THROW(net::DropTailQueue(10, -1), std::invalid_argument);
+
+  DropTailQueue q{10};
+  EXPECT_THROW(q.set_limit_packets(-1), std::invalid_argument);
+  EXPECT_THROW(q.set_limit_bytes(-1), std::invalid_argument);
+  EXPECT_EQ(q.limit_packets(), 10);  // failed setters leave the queue unchanged
+
+  sim::Simulation sim{1};
+  EXPECT_THROW(net::RedQueue(sim, 0), std::invalid_argument);
+  EXPECT_THROW(net::RedQueue(sim, -5), std::invalid_argument);
+  RedQueue red{sim, 10};
+  EXPECT_THROW(red.set_limit_packets(0), std::invalid_argument);
+  EXPECT_EQ(red.limit_packets(), 10);
+
+  EXPECT_THROW(net::DrrQueue(-1), std::invalid_argument);
+  EXPECT_THROW(net::DrrQueue(10, 0), std::invalid_argument);
+  DrrQueue drr{10};
+  EXPECT_THROW(drr.set_limit_packets(-1), std::invalid_argument);
+  EXPECT_EQ(drr.limit_packets(), 10);
+}
+
+TEST(QueueLimitValidation, LoweringRedLimitKeepsResidentPackets) {
+  sim::Simulation sim{1};
+  RedQueue q{sim, 10};
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(q.enqueue(make_packet(i)));
+  q.set_limit_packets(4);
+  EXPECT_EQ(q.size_packets(), 8);          // no retroactive drop
+  EXPECT_FALSE(q.enqueue(make_packet(9))); // but arrivals are rejected
+  while (q.size_packets() > 2) q.dequeue();
   EXPECT_TRUE(q.enqueue(make_packet(10)));
 }
 

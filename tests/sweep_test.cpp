@@ -71,6 +71,23 @@ TEST(SweepRunner, ReusableAcrossBatches) {
   }
 }
 
+TEST(SweepRunner, CheckedModeVerifiesExactlyOnceExecution) {
+  SweepRunner runner{3, /*checked=*/true};
+  EXPECT_TRUE(runner.checked());
+  std::vector<std::atomic<int>> hits(101);
+  runner.run_indexed(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+
+  // Checked batches still propagate point exceptions and stay reusable.
+  EXPECT_THROW(runner.run_indexed(10,
+                                  [](std::size_t i) {
+                                    if (i == 3) throw std::runtime_error{"boom"};
+                                  }),
+               std::runtime_error);
+  const auto out = runner.map<int>(8, [](std::size_t i) { return static_cast<int>(i); });
+  EXPECT_EQ(out.size(), 8u);
+}
+
 TEST(SweepRunner, DefaultThreadsHonorsEnvVar) {
   ::setenv("RBS_THREADS", "3", 1);
   EXPECT_EQ(default_sweep_threads(), 3);
