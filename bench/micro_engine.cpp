@@ -12,6 +12,7 @@
 #include "experiment/sweep.hpp"
 #include "net/drop_tail_queue.hpp"
 #include "sim/simulation.hpp"
+#include "telemetry/trace.hpp"
 
 namespace {
 
@@ -121,6 +122,34 @@ void BM_DumbbellSimulatedSecond(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DumbbellSimulatedSecond)->Arg(10)->Arg(50)->Unit(benchmark::kMillisecond);
+
+void BM_TelemetryOverhead(benchmark::State& state) {
+  // Cost of the observability layer on a reference run. Arg selects the
+  // level: 0 = telemetry off (the baseline every simulation pays — one null
+  // check per would-be event), 1 = metrics sampling at 10 ms cadence,
+  // 2 = sampling plus full event tracing into a ring session. The
+  // acceptance bar: level 0 within 2% of the pre-telemetry engine baseline
+  // (BENCH_engine.json).
+  const int level = static_cast<int>(state.range(0));
+  telemetry::TraceSession session{256 * 1024};  // ring reused across iterations
+  for (auto _ : state) {
+    experiment::LongFlowExperimentConfig cfg;
+    cfg.num_flows = 10;
+    cfg.buffer_packets = 100;
+    cfg.warmup = sim::SimTime::seconds(1);
+    cfg.measure = sim::SimTime::seconds(1);
+    if (level >= 1) {
+      cfg.telemetry.metrics = true;
+      cfg.telemetry.sample_interval = sim::SimTime::milliseconds(10);
+    }
+    if (level >= 2) {
+      session.clear();
+      cfg.telemetry.trace = &session;
+    }
+    benchmark::DoNotOptimize(experiment::run_long_flow_experiment(cfg));
+  }
+}
+BENCHMARK(BM_TelemetryOverhead)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -31,10 +31,28 @@
 //               events every registered subsystem re-verifies its internal
 //               state (queue conservation, heap order, TCP sequence bounds)
 //               and the run aborts with a report on any violation [0]
+//
+// Telemetry (see docs/observability.md):
+//   --metrics PATH        (or metrics=PATH) collect the metrics registry and
+//                         the sampled time series; writes a JSON document
+//                         {"snapshot":…,"series":…} to PATH plus a sibling
+//                         PATH.series.csv. A buffer sweep writes per-point
+//                         artifacts PATH.point<N>.{json,csv,gp} instead.
+//   --trace PATH          (or trace_out=PATH) record packet/TCP/queue events
+//                         and write Chrome trace_event JSON to PATH (open in
+//                         Perfetto / chrome://tracing). Single-point runs
+//                         only — a parallel sweep would interleave sessions.
+//   --sample-interval S   (or sample_interval=S) series cadence, seconds [0.1]
+//   --profile             (or profile=1) attach the scheduler profiler and
+//                         print per-event-class timing; sweeps additionally
+//                         get a live progress line and per-worker
+//                         utilization
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -46,6 +64,8 @@
 #include "experiment/short_flow_experiment.hpp"
 #include "experiment/sweep.hpp"
 #include "stats/utilization.hpp"
+#include "telemetry/sweep_profile.hpp"
+#include "telemetry/trace.hpp"
 #include "traffic/trace_workload.hpp"
 
 namespace {
@@ -108,12 +128,31 @@ int run_rbsim(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
-      std::printf("usage: rbsim [--paranoia] [key=value ...] [config-file]\n"
+      std::printf("usage: rbsim [--paranoia] [--profile] [--metrics PATH] [--trace PATH]\n"
+                  "             [--sample-interval SEC] [key=value ...] [config-file]\n"
                   "see the header of examples/rbsim.cpp for the key list\n");
       return 0;
     }
     if (arg == "--paranoia") {
       kv["paranoia"] = "1";
+      continue;
+    }
+    if (arg == "--profile") {
+      kv["profile"] = "1";
+      continue;
+    }
+    // Flags taking a value in the following argv slot. "--trace" maps to the
+    // kv key "trace_out" because plain "trace" already names the replay
+    // input file of mode=trace.
+    if (arg == "--metrics" || arg == "--trace" || arg == "--sample-interval") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "rbsim: %s needs a value\n", arg.c_str());
+        return 2;
+      }
+      const char* key = arg == "--metrics" ? "metrics"
+                        : arg == "--trace" ? "trace_out"
+                                           : "sample_interval";
+      kv[key] = argv[++i];
       continue;
     }
     if (arg.find('=') == std::string::npos) {
@@ -167,6 +206,46 @@ int run_rbsim(int argc, char** argv) {
   const bool paranoia = get_num(kv, "paranoia", 0) > 0;
   if (paranoia) std::printf("rbsim: paranoia mode on — invariant auditor attached\n");
 
+  // Telemetry configuration shared by every mode. The trace session is a
+  // single shared ring buffer, so it only attaches to single-point runs; a
+  // parallel sweep's concurrent simulations each get their own registry and
+  // series instead (written out per point below).
+  const std::string metrics_path = get_str(kv, "metrics", "");
+  const std::string trace_path = get_str(kv, "trace_out", "");
+  const bool profile = get_num(kv, "profile", 0) > 0;
+  experiment::TelemetryConfig tele_cfg;
+  tele_cfg.metrics = !metrics_path.empty();
+  tele_cfg.sample_interval = sim::SimTime::from_seconds(get_num(kv, "sample_interval", 0.1));
+  tele_cfg.profile = profile;
+  std::unique_ptr<telemetry::TraceSession> trace_session;
+  if (!trace_path.empty()) {
+    if (buffers.size() > 1) {
+      std::fprintf(stderr, "rbsim: --trace applies to single-point runs; ignored for sweeps\n");
+    } else {
+      trace_session = std::make_unique<telemetry::TraceSession>();
+      tele_cfg.trace = trace_session.get();
+    }
+  }
+
+  // Writes the metrics/trace artifacts of a single-point run and prints the
+  // profiler summary, all no-ops for whatever was not requested.
+  const auto emit_telemetry = [&](const experiment::TelemetryResult& t) {
+    if (!t.profile_summary.empty()) std::printf("\n%s", t.profile_summary.c_str());
+    if (t.collected && !metrics_path.empty()) {
+      const std::string doc = "{\"snapshot\":" + t.snapshot.to_json() +
+                              ",\"series\":" + t.series.to_json() + "}\n";
+      if (experiment::write_file(metrics_path, doc) &&
+          experiment::write_file(metrics_path + ".series.csv", t.series.to_csv())) {
+        std::printf("metrics      : %s (series: %s.series.csv)\n", metrics_path.c_str(),
+                    metrics_path.c_str());
+      }
+    }
+    if (trace_session && trace_session->write_chrome_json(trace_path)) {
+      std::printf("trace        : %s (%zu events; open in Perfetto)\n", trace_path.c_str(),
+                  trace_session->events().size());
+    }
+  };
+
   std::printf("rbsim: mode=%s rate=%.0f Mb/s flows=%d buffer=%lld pkts "
               "(sqrt rule %lld, RTT*C %lld)\n\n",
               mode.c_str(), rate_bps / 1e6, flows, static_cast<long long>(buffer),
@@ -177,6 +256,41 @@ int run_rbsim(int argc, char** argv) {
     // the worker pool; rows print in list order, bitwise identical to a
     // serial (threads=1) run.
     experiment::SweepRunner runner{threads, paranoia};
+    telemetry::SweepProfile sweep_prof{buffers.size(), profile};
+    if (profile) {
+      runner.set_observer(
+          {[&](std::size_t i, int w) { sweep_prof.point_start(i, w); },
+           [&](std::size_t i, int w) { sweep_prof.point_done(i, w); }});
+    }
+
+    // Per-point telemetry artifacts: each sweep point owns its Simulation
+    // (and thus its registry/series), so --metrics out.json yields
+    // out.json.point<N>.json plus a plottable out.point<N>.{csv,gp} pair.
+    const auto emit_sweep_telemetry = [&](auto&& telemetry_of) {
+      if (profile) std::printf("\n%s", sweep_prof.summary().c_str());
+      if (metrics_path.empty()) return;
+      const std::filesystem::path mp{metrics_path};
+      const std::string dir = mp.has_parent_path() ? mp.parent_path().string() : std::string{"."};
+      const std::string stem = mp.stem().string();
+      bool ok = true;
+      for (std::size_t i = 0; i < buffers.size(); ++i) {
+        const experiment::TelemetryResult& t = telemetry_of(i);
+        if (!t.collected) continue;
+        const std::string tag = ".point" + std::to_string(i);
+        ok = experiment::write_file(metrics_path + tag + ".json",
+                                    "{\"snapshot\":" + t.snapshot.to_json() +
+                                        ",\"series\":" + t.series.to_json() + "}\n") &&
+             experiment::write_series_artifacts(
+                 dir, stem + tag,
+                 "buffer=" + std::to_string(static_cast<long long>(buffers[i])) + " pkts",
+                 t.series) &&
+             ok;
+      }
+      if (ok) {
+        std::printf("per-point telemetry: %s.point<N>.json (+ %s/%s.point<N>.{csv,gp})\n",
+                    metrics_path.c_str(), dir.c_str(), stem.c_str());
+      }
+    };
     if (mode == "long") {
       experiment::LongFlowExperimentConfig cfg;
       cfg.num_flows = flows;
@@ -193,6 +307,8 @@ int run_rbsim(int argc, char** argv) {
       }
       cfg.tcp.pacing = get_num(kv, "pacing", 0) > 0;
       cfg.sink.delayed_ack = get_num(kv, "delack", 0) > 0;
+      cfg.telemetry = tele_cfg;
+      cfg.telemetry.trace = nullptr;  // shared session; single-point runs only
 
       const auto results = runner.map<experiment::LongFlowExperimentResult>(
           buffers.size(), [&](std::size_t i) {
@@ -212,6 +328,9 @@ int run_rbsim(int argc, char** argv) {
                        experiment::format("%.3f", r.fairness)});
       }
       std::printf("%s\n", table.render().c_str());
+      emit_sweep_telemetry([&](std::size_t i) -> const experiment::TelemetryResult& {
+        return results[i].telemetry;
+      });
       return 0;
     }
     if (mode == "short") {
@@ -223,6 +342,8 @@ int run_rbsim(int argc, char** argv) {
       cfg.measure = sim::SimTime::from_seconds(duration);
       cfg.seed = seed;
       cfg.checked = paranoia;
+      cfg.telemetry = tele_cfg;
+      cfg.telemetry.trace = nullptr;
 
       const auto results = runner.map<experiment::ShortFlowExperimentResult>(
           buffers.size(), [&](std::size_t i) {
@@ -242,6 +363,9 @@ int run_rbsim(int argc, char** argv) {
                        experiment::format("%.4f", r.drop_probability)});
       }
       std::printf("%s\n", table.render().c_str());
+      emit_sweep_telemetry([&](std::size_t i) -> const experiment::TelemetryResult& {
+        return results[i].telemetry;
+      });
       return 0;
     }
     if (mode == "mixed") {
@@ -254,6 +378,8 @@ int run_rbsim(int argc, char** argv) {
       cfg.measure = sim::SimTime::from_seconds(duration);
       cfg.seed = seed;
       cfg.checked = paranoia;
+      cfg.telemetry = tele_cfg;
+      cfg.telemetry.trace = nullptr;
 
       const auto results = runner.map<experiment::MixedFlowExperimentResult>(
           buffers.size(), [&](std::size_t i) {
@@ -272,6 +398,9 @@ int run_rbsim(int argc, char** argv) {
                        experiment::format("%.4f", r.drop_probability)});
       }
       std::printf("%s\n", table.render().c_str());
+      emit_sweep_telemetry([&](std::size_t i) -> const experiment::TelemetryResult& {
+        return results[i].telemetry;
+      });
       return 0;
     }
     std::fprintf(stderr, "rbsim: buffer sweeps support modes long|short|mixed\n");
@@ -295,6 +424,7 @@ int run_rbsim(int argc, char** argv) {
     }
     cfg.tcp.pacing = get_num(kv, "pacing", 0) > 0;
     cfg.sink.delayed_ack = get_num(kv, "delack", 0) > 0;
+    cfg.telemetry = tele_cfg;
 
     const auto r = run_long_flow_experiment(cfg);
     const core::LongFlowLink model{rate_bps, rtt_sec, flows, 1000};
@@ -312,6 +442,7 @@ int run_rbsim(int argc, char** argv) {
                 static_cast<unsigned long long>(r.tcp_stats.timeouts),
                 static_cast<unsigned long long>(r.tcp_stats.fast_retransmits),
                 static_cast<unsigned long long>(r.tcp_stats.ecn_reductions));
+    emit_telemetry(r.telemetry);
     return 0;
   }
 
@@ -325,6 +456,7 @@ int run_rbsim(int argc, char** argv) {
     cfg.measure = sim::SimTime::from_seconds(duration);
     cfg.seed = seed;
     cfg.checked = paranoia;
+    cfg.telemetry = tele_cfg;
     const auto r = run_short_flow_experiment(cfg);
     const auto m = core::burst_moments_for_flow(cfg.flow_packets);
     std::printf("utilization : %.2f%% (offered load %.2f)\n", 100 * r.utilization, cfg.load);
@@ -337,6 +469,7 @@ int run_rbsim(int argc, char** argv) {
                 r.drop_probability,
                 core::queue_tail_probability(cfg.load, m,
                                              static_cast<double>(buffer)));
+    emit_telemetry(r.telemetry);
     return 0;
   }
 
@@ -351,6 +484,7 @@ int run_rbsim(int argc, char** argv) {
     cfg.measure = sim::SimTime::from_seconds(duration);
     cfg.seed = seed;
     cfg.checked = paranoia;
+    cfg.telemetry = tele_cfg;
     const auto r = run_mixed_flow_experiment(cfg);
     std::printf("utilization       : %.2f%%\n", 100 * r.utilization);
     std::printf("short-flow AFCT   : %.1f ms over %llu flows\n", 1e3 * r.afct_seconds,
@@ -358,6 +492,7 @@ int run_rbsim(int argc, char** argv) {
     std::printf("long-flow goodput : %.1f Mb/s\n", r.long_flow_throughput_bps / 1e6);
     std::printf("drop probability  : %.4f\n", r.drop_probability);
     std::printf("mean queue        : %.1f pkts\n", r.mean_queue_packets);
+    emit_telemetry(r.telemetry);
     return 0;
   }
 
@@ -380,12 +515,16 @@ int run_rbsim(int argc, char** argv) {
     }
 
     sim::Simulation sim{seed};
+    experiment::ExperimentTelemetry tele{sim, tele_cfg};
     net::DumbbellConfig topo_cfg;
     topo_cfg.num_leaves = std::max(flows, 1);
     topo_cfg.bottleneck_rate_bps = rate_bps;
     topo_cfg.buffer_packets = buffer;
     net::Dumbbell topo{sim, topo_cfg};
     traffic::TraceWorkload wl{sim, topo, records, traffic::TraceWorkloadConfig{}};
+    tele.add_bottleneck_probes(topo.bottleneck());
+    tele.add_probe("flows_active", [&wl] { return static_cast<double>(wl.flows_active()); });
+    tele.start(sim.now() + tele_cfg.sample_interval);
 
     check::InvariantAuditor auditor;
     if (paranoia) {
@@ -412,6 +551,7 @@ int run_rbsim(int argc, char** argv) {
     std::printf("drops        : %llu\n",
                 static_cast<unsigned long long>(
                     topo.bottleneck().queue().stats().dropped_packets));
+    emit_telemetry(tele.finish());
     return 0;
   }
 

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Validate rbsim telemetry artifacts.
+
+Checks a Chrome trace_event JSON document (``--trace``) and/or a metrics
+document (``--metrics``, the ``{"snapshot":…,"series":…}`` file rbsim's
+``--metrics`` flag writes) for schema conformance, so CI catches a broken
+exporter before a human loads the file into Perfetto and stares at an empty
+timeline.
+
+Usage:
+    python3 scripts/check_telemetry.py --trace trace.json --metrics out.json
+
+Exits 0 when every supplied artifact is valid, 1 otherwise.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+VALID_PHASES = {"X", "i", "C"}
+
+
+def fail(msg: str) -> None:
+    raise SystemExit(f"check_telemetry: FAIL: {msg}")
+
+
+def check_trace(path: str) -> int:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: missing top-level traceEvents")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents empty — the run recorded nothing")
+
+    phases_seen = set()
+    for i, e in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        for key in ("name", "cat", "ph", "ts", "pid", "tid"):
+            if key not in e:
+                fail(f"{where}: missing '{key}': {e}")
+        ph = e["ph"]
+        if ph not in VALID_PHASES:
+            fail(f"{where}: unknown phase {ph!r}")
+        phases_seen.add(ph)
+        if not isinstance(e["ts"], (int, float)) or e["ts"] < 0:
+            fail(f"{where}: bad ts {e['ts']!r}")
+        if ph == "X":
+            if not isinstance(e.get("dur"), (int, float)) or e["dur"] < 0:
+                fail(f"{where}: complete event needs a non-negative dur: {e}")
+        if ph == "C":
+            value = e.get("args", {}).get("value")
+            if not isinstance(value, (int, float)):
+                fail(f"{where}: counter event needs numeric args.value: {e}")
+        if ph == "i" and e.get("s") != "g":
+            fail(f"{where}: instant events are emitted with global scope: {e}")
+
+    dropped = doc.get("otherData", {}).get("droppedEvents")
+    print(
+        f"check_telemetry: {path}: OK — {len(events)} events, "
+        f"phases {sorted(phases_seen)}, dropped={dropped}"
+    )
+    return len(events)
+
+
+def check_metrics(path: str) -> None:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable JSON: {e}")
+
+    snapshot = doc.get("snapshot")
+    if not isinstance(snapshot, dict) or not isinstance(snapshot.get("metrics"), list):
+        fail(f"{path}: missing snapshot.metrics")
+    keys = []
+    for i, m in enumerate(snapshot["metrics"]):
+        where = f"{path}: snapshot.metrics[{i}]"
+        if not m.get("name"):
+            fail(f"{where}: metric without a name: {m}")
+        if m.get("kind") not in ("counter", "gauge", "histogram"):
+            fail(f"{where}: unknown kind {m.get('kind')!r}")
+        # The registry keys metrics by "name|k=v;k=v", so that composite
+        # string is the order a deterministic snapshot must come out in.
+        labels = m.get("labels", {})
+        keys.append(m["name"] + "|" + ";".join(f"{k}={v}" for k, v in labels.items()))
+    if keys != sorted(keys):
+        fail(f"{path}: snapshot not in deterministic registry-key order")
+
+    series = doc.get("series")
+    if not isinstance(series, dict):
+        fail(f"{path}: missing series")
+    columns = series.get("columns")
+    rows = series.get("rows")
+    if not isinstance(columns, list) or not isinstance(rows, list):
+        fail(f"{path}: series needs columns and rows")
+    for i, row in enumerate(rows):
+        if len(row) != len(columns):
+            fail(f"{path}: series.rows[{i}] has {len(row)} cells, expected {len(columns)}")
+        if not all(isinstance(v, (int, float)) for v in row):
+            fail(f"{path}: series.rows[{i}] has non-numeric cells: {row}")
+    if rows:
+        times = [r[0] for r in rows] if columns and columns[0] == "time_sec" else []
+        if times and times != sorted(times):
+            fail(f"{path}: series time column is not monotonically increasing")
+    if "utilization" in columns:
+        idx = columns.index("utilization")
+        for i, row in enumerate(rows):
+            if not -1e-9 <= row[idx] <= 1.5:
+                fail(f"{path}: series.rows[{i}] utilization {row[idx]} out of range")
+
+    print(
+        f"check_telemetry: {path}: OK — {len(snapshot['metrics'])} metrics, "
+        f"{len(rows)} series rows x {len(columns)} columns"
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", help="Chrome trace_event JSON to validate")
+    parser.add_argument("--metrics", help="rbsim --metrics JSON to validate")
+    parser.add_argument(
+        "--min-trace-events",
+        type=int,
+        default=1,
+        help="fail if the trace holds fewer events than this",
+    )
+    args = parser.parse_args()
+    if not args.trace and not args.metrics:
+        parser.error("nothing to check: pass --trace and/or --metrics")
+    if args.trace:
+        n = check_trace(args.trace)
+        if n < args.min_trace_events:
+            fail(f"{args.trace}: only {n} events (< {args.min_trace_events})")
+    if args.metrics:
+        check_metrics(args.metrics)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,10 @@ lint flags the C++ constructs that historically break that contract:
   wall-clock           std::chrono::system_clock / steady_clock / time(),
                        gettimeofday(), clock() — simulations must use
                        sim::SimTime only. (bench/ is exempt: wall-clock is
-                       how benchmarks measure themselves.)
+                       how benchmarks measure themselves. src/telemetry/ is
+                       exempt: the engine profiler times the *simulator*
+                       with the host clock; those readings feed no simulated
+                       quantity.)
   std-rand             std::rand/srand/random_device/mt19937 and the std::*
                        distributions — all randomness must flow through
                        sim::Rng (explicitly seeded xoshiro256**; std::
@@ -167,7 +170,10 @@ def lint_file(path: Path, unordered_names: set[str]) -> list[str]:
     except OSError as e:
         return [f"{path}:0: cannot read file: {e}"]
 
-    in_bench = "bench" in path.parts
+    # bench/ measures itself with wall clocks; src/telemetry/ hosts the engine
+    # profiler, whose host-clock readings measure the simulator, never the
+    # simulation (they feed no simulated quantity).
+    wall_clock_exempt = "bench" in path.parts or "telemetry" in path.parts
     is_time_home = path.name == "time.hpp" and "sim" in path.parts
     in_block_comment = False
 
@@ -209,7 +215,7 @@ def lint_file(path: Path, unordered_names: set[str]) -> list[str]:
                     f"range-for over unordered container '{m.group(1)}'; order depends on "
                     "hash layout — iterate an ordered companion or sort first",
                 )
-        if not in_bench and WALL_CLOCK_RE.search(code):
+        if not wall_clock_exempt and WALL_CLOCK_RE.search(code):
             report("wall-clock", "wall-clock time in simulation code; use sim::SimTime")
         if STD_RAND_RE.search(code):
             report(

@@ -3,10 +3,12 @@
 #   1. tier-1: RelWithDebInfo build + complete ctest suite
 #   2. determinism lint: scripts/lint_determinism.py over src/
 #   3. bench smoke: one short repetition of the engine microbenchmarks
-#   4. ASan/UBSan + RBS_CHECKED: rebuild with AddressSanitizer +
+#   4. telemetry smoke: one instrumented rbsim run; validate the Chrome
+#      trace and metrics artifacts with scripts/check_telemetry.py
+#   5. ASan/UBSan + RBS_CHECKED: rebuild with AddressSanitizer +
 #      UndefinedBehaviorSanitizer and the hot-path invariant macros armed,
 #      run the complete test suite
-#   5. TSAN: rebuild scheduler + sweep runner under ThreadSanitizer and run
+#   6. TSAN: rebuild scheduler + sweep runner under ThreadSanitizer and run
 #      the concurrency-sensitive tests (scheduler_test, sweep_test)
 #
 # Usage: scripts/verify.sh [jobs]
@@ -15,23 +17,33 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "=== [1/5] tier-1 build + tests ==="
+echo "=== [1/6] tier-1 build + tests ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [2/5] determinism lint ==="
+echo "=== [2/6] determinism lint ==="
 cmake --build build --target lint
 
-echo "=== [3/5] bench smoke ==="
+echo "=== [3/6] bench smoke ==="
 cmake --build build -j "$JOBS" --target bench_smoke
 
-echo "=== [4/5] ASan/UBSan + RBS_CHECKED: full test suite ==="
+echo "=== [4/6] telemetry smoke ==="
+mkdir -p build/telemetry_smoke
+./build/examples/rbsim mode=long flows=20 duration=2 warmup=1 \
+  --metrics build/telemetry_smoke/metrics.json \
+  --trace build/telemetry_smoke/trace.json --profile
+python3 scripts/check_telemetry.py \
+  --trace build/telemetry_smoke/trace.json \
+  --metrics build/telemetry_smoke/metrics.json \
+  --min-trace-events 1000
+
+echo "=== [5/6] ASan/UBSan + RBS_CHECKED: full test suite ==="
 cmake -B build-asan -S . -DRBS_ASAN=ON -DRBS_CHECKED=ON >/dev/null
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "=== [5/5] ThreadSanitizer: scheduler_test + sweep_test ==="
+echo "=== [6/6] ThreadSanitizer: scheduler_test + sweep_test ==="
 cmake -B build-tsan -S . -DRBS_TSAN=ON >/dev/null
 cmake --build build-tsan -j "$JOBS" --target scheduler_test sweep_test
 ./build-tsan/tests/scheduler_test

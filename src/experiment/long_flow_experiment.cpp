@@ -15,6 +15,7 @@ namespace rbs::experiment {
 LongFlowExperimentResult run_long_flow_experiment(const LongFlowExperimentConfig& config) {
   assert(config.num_flows >= 1);
   sim::Simulation sim{config.seed};
+  ExperimentTelemetry tele{sim, config.telemetry};
 
   net::DumbbellConfig topo_cfg;
   topo_cfg.num_leaves = config.num_flows;
@@ -48,6 +49,12 @@ LongFlowExperimentResult run_long_flow_experiment(const LongFlowExperimentConfig
   const tcp::TcpSourceStats tcp_at_warmup = workload.total_stats();
   stats::UtilizationMeter meter{sim, topo.bottleneck()};
   meter.begin();
+
+  // Telemetry series over the measurement window: standard bottleneck
+  // columns plus the aggregate congestion window.
+  tele.add_bottleneck_probes(topo.bottleneck());
+  tele.add_probe("cwnd_total_pkts", [&workload] { return workload.total_cwnd(); });
+  tele.start(sim.now() + config.telemetry.sample_interval);
 
   // Samplers during the measurement window.
   stats::OnlineStats queue_occupancy;
@@ -134,6 +141,7 @@ LongFlowExperimentResult run_long_flow_experiment(const LongFlowExperimentConfig
     }
     result.fairness = stats::jain_fairness_index(goodput);
   }
+  result.telemetry = tele.finish();
   return result;
 }
 

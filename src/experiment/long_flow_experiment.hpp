@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "experiment/telemetry_hookup.hpp"
 #include "net/dumbbell.hpp"
 #include "stats/time_series.hpp"
 #include "tcp/tcp_sink.hpp"
@@ -51,6 +52,9 @@ struct LongFlowExperimentConfig {
   /// runtime; results are unchanged.
   bool checked{false};
   std::uint64_t audit_every_events{50'000};
+
+  /// Observability: metrics snapshot + time series, tracing, profiling.
+  TelemetryConfig telemetry{};
 };
 
 struct LongFlowExperimentResult {
@@ -77,6 +81,9 @@ struct LongFlowExperimentResult {
   /// Jain fairness index of per-flow goodput over the measurement window;
   /// only filled when record_delays is set.
   double fairness{0.0};
+
+  /// Snapshot + series collected per the config's TelemetryConfig.
+  TelemetryResult telemetry;
 };
 
 /// Builds the dumbbell, runs warm-up + measurement, and reports.

@@ -22,6 +22,7 @@ constexpr net::FlowId kUdpFlow = 900'000;
 MixedFlowExperimentResult run_mixed_flow_experiment(const MixedFlowExperimentConfig& config) {
   assert(config.num_long_flows >= 0 && config.num_short_leaves >= 1);
   sim::Simulation sim{config.seed};
+  ExperimentTelemetry tele{sim, config.telemetry};
 
   net::DumbbellConfig topo_cfg;
   topo_cfg.num_leaves = config.num_long_flows + config.num_short_leaves;
@@ -102,6 +103,17 @@ MixedFlowExperimentResult run_mixed_flow_experiment(const MixedFlowExperimentCon
   stats::UtilizationMeter meter{sim, topo.bottleneck()};
   meter.begin();
 
+  tele.add_bottleneck_probes(topo.bottleneck());
+  tele.add_probe("cwnd_total_pkts", [&long_sources] {
+    double total = 0.0;
+    for (const auto& s : long_sources) total += s->cwnd();
+    return total;
+  });
+  tele.add_probe("flows_active", [&short_flows] {
+    return static_cast<double>(short_flows.flows_active());
+  });
+  tele.start(sim.now() + config.telemetry.sample_interval);
+
   std::uint64_t long_flow_bits = 0;
   topo.bottleneck().on_delivered = [&](const net::Packet& p) {
     if (p.kind == net::PacketKind::kTcpData && p.flow < kUdpFlow) {
@@ -143,6 +155,7 @@ MixedFlowExperimentResult run_mixed_flow_experiment(const MixedFlowExperimentCon
   result.drop_probability = offered > 0 ? static_cast<double>(qstats.dropped_packets) /
                                               static_cast<double>(offered)
                                         : 0.0;
+  result.telemetry = tele.finish();
   return result;
 }
 

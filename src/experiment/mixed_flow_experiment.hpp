@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "experiment/telemetry_hookup.hpp"
 #include "net/dumbbell.hpp"
 #include "tcp/tcp_source.hpp"
 #include "traffic/flow_size.hpp"
@@ -48,6 +49,9 @@ struct MixedFlowExperimentConfig {
   /// queue, both workloads) and throw std::runtime_error on any violation.
   bool checked{false};
   std::uint64_t audit_every_events{50'000};
+
+  /// Observability: metrics snapshot + time series, tracing, profiling.
+  TelemetryConfig telemetry{};
 };
 
 struct MixedFlowExperimentResult {
@@ -59,6 +63,9 @@ struct MixedFlowExperimentResult {
   double mean_rtt_sec{0.0};
   double bdp_packets{0.0};
   double long_flow_throughput_bps{0.0};  ///< delivered by long flows
+
+  /// Snapshot + series collected per the config's TelemetryConfig.
+  TelemetryResult telemetry;
 };
 
 [[nodiscard]] MixedFlowExperimentResult run_mixed_flow_experiment(

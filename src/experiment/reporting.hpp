@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/metrics.hpp"
+
 namespace rbs::experiment {
 
 /// Accumulates rows and renders an aligned plain-text table (paper-style).
@@ -45,5 +47,13 @@ bool write_gnuplot_script(const std::string& dir, const std::string& name,
                           const std::string& title, const std::string& xlabel,
                           const std::string& ylabel, const std::vector<PlotSeries>& series,
                           bool logscale_y = false);
+
+/// Writes one run's sampled telemetry series as `<dir>/<name>.csv` plus a
+/// companion `<name>.gp` gnuplot script plotting every column against time.
+/// Used by rbsim and the bench binaries to carry per-point sweep telemetry
+/// into the same artifact pipeline as the headline figures. No-op (returns
+/// true) for an empty series.
+bool write_series_artifacts(const std::string& dir, const std::string& name,
+                            const std::string& title, const telemetry::SeriesTable& series);
 
 }  // namespace rbs::experiment

@@ -13,6 +13,7 @@ namespace rbs::experiment {
 
 ShortFlowExperimentResult run_short_flow_experiment(const ShortFlowExperimentConfig& config) {
   sim::Simulation sim{config.seed};
+  ExperimentTelemetry tele{sim, config.telemetry};
 
   net::DumbbellConfig topo_cfg;
   topo_cfg.num_leaves = config.num_leaves;
@@ -45,6 +46,11 @@ ShortFlowExperimentResult run_short_flow_experiment(const ShortFlowExperimentCon
   const auto measure_start = sim.now();
   stats::UtilizationMeter meter{sim, topo.bottleneck()};
   meter.begin();
+
+  tele.add_bottleneck_probes(topo.bottleneck());
+  tele.add_probe("flows_active",
+                 [&workload] { return static_cast<double>(workload.flows_active()); });
+  tele.start(sim.now() + config.telemetry.sample_interval);
 
   // Sample the queue once per packet service time — fine-grained enough to
   // catch burst-scale excursions.
@@ -98,6 +104,7 @@ ShortFlowExperimentResult run_short_flow_experiment(const ShortFlowExperimentCon
       result.queue_tail[b] = above / static_cast<double>(occupancy_samples);
     }
   }
+  result.telemetry = tele.finish();
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "experiment/telemetry_hookup.hpp"
 #include "net/dumbbell.hpp"
 #include "stats/histogram.hpp"
 #include "tcp/tcp_source.hpp"
@@ -40,6 +41,9 @@ struct ShortFlowExperimentConfig {
   /// queue, workload) and throw std::runtime_error on any violation.
   bool checked{false};
   std::uint64_t audit_every_events{50'000};
+
+  /// Observability: metrics snapshot + time series, tracing, profiling.
+  TelemetryConfig telemetry{};
 };
 
 struct ShortFlowExperimentResult {
@@ -52,6 +56,9 @@ struct ShortFlowExperimentResult {
   /// sampled every packet-service-time during measurement.
   std::vector<double> queue_tail;
   double mean_rtt_sec{0.0};
+
+  /// Snapshot + series collected per the config's TelemetryConfig.
+  TelemetryResult telemetry;
 };
 
 [[nodiscard]] ShortFlowExperimentResult run_short_flow_experiment(

@@ -30,7 +30,7 @@ struct SweepRunner::Impl {
   std::mutex mutex;
   std::condition_variable work_ready;
   std::condition_variable batch_done;
-  const std::function<void(std::size_t)>* point{nullptr};
+  const std::function<void(std::size_t, int)>* point{nullptr};
   std::size_t batch_size{0};
   std::uint64_t batch_id{0};
   std::atomic<std::size_t> next_index{0};
@@ -39,10 +39,10 @@ struct SweepRunner::Impl {
   bool shutting_down{false};
   std::vector<std::thread> workers;
 
-  void worker_loop() {
+  void worker_loop(int worker) {
     std::uint64_t seen_batch = 0;
     for (;;) {
-      const std::function<void(std::size_t)>* fn = nullptr;
+      const std::function<void(std::size_t, int)>* fn = nullptr;
       std::size_t n = 0;
       {
         std::unique_lock lock{mutex};
@@ -57,7 +57,7 @@ struct SweepRunner::Impl {
         const std::size_t i = next_index.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) break;
         try {
-          (*fn)(i);
+          (*fn)(i, worker);
         } catch (...) {
           std::lock_guard lock{mutex};
           if (!first_error) first_error = std::current_exception();
@@ -80,7 +80,7 @@ SweepRunner::SweepRunner(int threads, bool checked)
       checked_{checked} {
   impl_->workers.reserve(static_cast<std::size_t>(num_threads_));
   for (int i = 0; i < num_threads_; ++i) {
-    impl_->workers.emplace_back([impl = impl_] { impl->worker_loop(); });
+    impl_->workers.emplace_back([impl = impl_, i] { impl->worker_loop(i); });
   }
 }
 
@@ -100,24 +100,27 @@ void SweepRunner::run_indexed(std::size_t n, const std::function<void(std::size_
   // Checked mode: count executions per index. Each counter is touched by
   // whichever worker claims that index, so the array itself needs no lock.
   std::unique_ptr<std::atomic<std::uint32_t>[]> executions;
-  std::function<void(std::size_t)> counted;
-  const std::function<void(std::size_t)>* effective = &point;
   if (checked_) {
     executions = std::make_unique<std::atomic<std::uint32_t>[]>(n);
     for (std::size_t i = 0; i < n; ++i) executions[i].store(0, std::memory_order_relaxed);
-    counted = [&point, &executions](std::size_t i) {
-      executions[i].fetch_add(1, std::memory_order_relaxed);
-      point(i);
-    };
-    effective = &counted;
   }
+
+  // One wrapper regardless of mode: checked counting, observer hooks, and
+  // the worker index all compose here, outside the work-distribution
+  // protocol.
+  const std::function<void(std::size_t, int)> dispatch = [&](std::size_t i, int worker) {
+    if (checked_) executions[i].fetch_add(1, std::memory_order_relaxed);
+    if (observer_.on_point_start) observer_.on_point_start(i, worker);
+    point(i);
+    if (observer_.on_point_done) observer_.on_point_done(i, worker);
+  };
 
   if (num_threads_ <= 1 || n == 1) {
     // Degenerate case: an in-order serial loop on the calling thread.
-    for (std::size_t i = 0; i < n; ++i) (*effective)(i);
+    for (std::size_t i = 0; i < n; ++i) dispatch(i, 0);
   } else {
     std::unique_lock lock{impl_->mutex};
-    impl_->point = effective;
+    impl_->point = &dispatch;
     impl_->batch_size = n;
     impl_->next_index.store(0, std::memory_order_relaxed);
     impl_->first_error = nullptr;

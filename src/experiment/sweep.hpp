@@ -31,6 +31,17 @@ namespace rbs::experiment {
 /// std::thread::hardware_concurrency().
 [[nodiscard]] int default_sweep_threads();
 
+/// Observation hooks around each sweep point, for progress display and
+/// profiling (see telemetry::SweepProfile). Hooks fire on worker threads —
+/// possibly several at once — so implementations must synchronize
+/// internally. `worker` is the executing worker's index in [0, threads());
+/// the serial fallback reports worker 0. on_point_done does not fire for a
+/// point that threw (its exception aborts the batch and is rethrown).
+struct SweepObserver {
+  std::function<void(std::size_t index, int worker)> on_point_start;
+  std::function<void(std::size_t index, int worker)> on_point_done;
+};
+
 /// A reusable pool of worker threads for running independent experiment
 /// points. Construction spawns the workers; destruction joins them.
 class SweepRunner {
@@ -47,6 +58,10 @@ class SweepRunner {
 
   [[nodiscard]] int threads() const noexcept { return num_threads_; }
   [[nodiscard]] bool checked() const noexcept { return checked_; }
+
+  /// Installs (or clears, with {}) the observation hooks. Must not be
+  /// called while a batch is running.
+  void set_observer(SweepObserver observer) { observer_ = std::move(observer); }
 
   /// Runs point(i) for every i in [0, n), distributing points across the
   /// pool, and blocks until all complete. `point` must confine its writes
@@ -68,6 +83,7 @@ class SweepRunner {
   Impl* impl_;
   int num_threads_;
   bool checked_;
+  SweepObserver observer_;
 };
 
 /// One-shot convenience: runs point(i) for i in [0, n) on a transient

@@ -1,0 +1,99 @@
+#include "experiment/telemetry_hookup.hpp"
+
+#include "net/red_queue.hpp"
+
+namespace rbs::experiment {
+
+ExperimentTelemetry::ExperimentTelemetry(sim::Simulation& sim, const TelemetryConfig& config)
+    : sim_{sim}, config_{config} {
+  sim_.set_trace(config_.trace);
+  if (config_.profile) {
+    profiler_ = std::make_unique<telemetry::EngineProfiler>();
+    sim_.set_profiler(profiler_.get());
+  }
+  if (config_.metrics) {
+    sampler_ = std::make_unique<telemetry::MetricsSampler>(sim_, config_.sample_interval);
+  }
+}
+
+ExperimentTelemetry::~ExperimentTelemetry() {
+  // Detach borrowed/owned observers so the Simulation never outlives them.
+  sim_.set_trace(nullptr);
+  if (profiler_) sim_.set_profiler(nullptr);
+}
+
+void ExperimentTelemetry::add_bottleneck_probes(net::Link& bottleneck) {
+  if (!sampler_) return;
+  const double interval_sec = config_.sample_interval.to_seconds();
+
+  sampler_->add_probe("queue_depth_pkts", [&bottleneck] {
+    return static_cast<double>(bottleneck.occupancy_packets());
+  });
+
+  // Delta-based rates: each sample covers exactly the last interval, so the
+  // column mean over the measurement window telescopes to the window-wide
+  // rate (the utilization cross-check test relies on this).
+  sampler_->add_probe("utilization",
+                      [&bottleneck, interval_sec, prev = bottleneck.stats().bits_delivered,
+                       rate = bottleneck.rate_bps()]() mutable {
+                        const std::uint64_t bits = bottleneck.stats().bits_delivered;
+                        const double delta = static_cast<double>(bits - prev);
+                        prev = bits;
+                        return delta / (rate * interval_sec);
+                      });
+
+  sampler_->add_probe("drop_rate_pps",
+                      [&bottleneck, interval_sec,
+                       prev = bottleneck.queue().stats().dropped_packets]() mutable {
+                        const std::uint64_t drops = bottleneck.queue().stats().dropped_packets;
+                        const double delta = static_cast<double>(drops - prev);
+                        prev = drops;
+                        return delta / interval_sec;
+                      });
+
+  if (const auto* red = dynamic_cast<const net::RedQueue*>(&bottleneck.queue())) {
+    sampler_->add_probe("mark_rate_pps",
+                        [red, interval_sec, prev = red->marked_packets()]() mutable {
+                          const std::uint64_t marks = red->marked_packets();
+                          const double delta = static_cast<double>(marks - prev);
+                          prev = marks;
+                          return delta / interval_sec;
+                        });
+  }
+
+  // Scheduler health on the same cadence: live events track workload churn.
+  sampler_->add_probe("events_pending",
+                      [&sim = sim_] { return static_cast<double>(sim.scheduler().pending_events()); });
+}
+
+void ExperimentTelemetry::add_probe(std::string column, std::function<double()> probe) {
+  if (!sampler_) return;
+  sampler_->add_probe(std::move(column), std::move(probe));
+}
+
+void ExperimentTelemetry::start(sim::SimTime first) {
+  if (sampler_) sampler_->start(first);
+}
+
+TelemetryResult ExperimentTelemetry::finish() {
+  TelemetryResult out;
+  out.collected = config_.metrics || config_.profile || config_.trace != nullptr;
+  telemetry::MetricsRegistry& registry = sim_.metrics();
+
+  // End-of-run engine gauges: slab-pool high-water mark and queue shape.
+  registry.gauge("engine.pool_slots").set(static_cast<double>(sim_.scheduler().pool_capacity()));
+  registry.gauge("engine.events_pending")
+      .set(static_cast<double>(sim_.scheduler().pending_events()));
+  registry.counter("engine.events_executed").reset();
+  registry.counter("engine.events_executed").add(sim_.scheduler().executed_events());
+
+  if (profiler_) {
+    profiler_->export_into(registry);
+    out.profile_summary = profiler_->summary();
+  }
+  if (sampler_) out.series = sampler_->take();
+  out.snapshot = registry.snapshot();
+  return out;
+}
+
+}  // namespace rbs::experiment

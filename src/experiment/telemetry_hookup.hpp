@@ -1,0 +1,90 @@
+// Shared observability plumbing for experiment runs.
+//
+// Every experiment (long-flow, short-flow, mixed) accepts a TelemetryConfig
+// and returns a TelemetryResult: a point-in-time metrics snapshot, a
+// fixed-cadence time series over the measurement window, and (optionally) an
+// engine-profiler summary. ExperimentTelemetry is the one place that wires
+// the Simulation's registry, a borrowed TraceSession, the scheduler
+// profiler, and the standard bottleneck probes together, so the three
+// experiment drivers stay thin and agree on metric names.
+//
+// Standard series columns (all sampled on config.sample_interval):
+//   queue_depth_pkts   bottleneck occupancy incl. the packet in service
+//   utilization        delivered bits / capacity over the last interval
+//   cwnd_total_pkts    aggregate congestion window (experiment-provided)
+//   drop_rate_pps      bottleneck drops per second over the last interval
+//   mark_rate_pps      ECN marks per second (RED bottlenecks only)
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "net/link.hpp"
+#include "sim/simulation.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/trace.hpp"
+
+namespace rbs::experiment {
+
+/// Observability knobs common to all experiments. Plain data; the default is
+/// everything off, which costs one null check per would-be event.
+struct TelemetryConfig {
+  /// Collect a metrics snapshot and the sampled time series.
+  bool metrics{false};
+  /// Cadence of the time series (and of trace counter tracks).
+  sim::SimTime sample_interval{sim::SimTime::milliseconds(100)};
+  /// Borrowed trace session (null = no tracing). Must outlive the run.
+  telemetry::TraceSession* trace{nullptr};
+  /// Attach an EngineProfiler to the scheduler for the whole run.
+  bool profile{false};
+};
+
+/// What a run hands back when telemetry was requested.
+struct TelemetryResult {
+  telemetry::MetricsSnapshot snapshot;  ///< end-of-run registry contents
+  telemetry::SeriesTable series;        ///< measurement-window time series
+  std::string profile_summary;          ///< EngineProfiler::summary(), if profiling
+  bool collected{false};                ///< false when telemetry was off
+};
+
+/// RAII wiring of one Simulation's telemetry for one experiment run.
+/// Construct right after the Simulation (so the trace covers topology
+/// construction onward), add probes once the topology exists, start() at the
+/// beginning of the measurement window, finish() after the run.
+class ExperimentTelemetry {
+ public:
+  ExperimentTelemetry(sim::Simulation& sim, const TelemetryConfig& config);
+  ~ExperimentTelemetry();
+  ExperimentTelemetry(const ExperimentTelemetry&) = delete;
+  ExperimentTelemetry& operator=(const ExperimentTelemetry&) = delete;
+
+  /// True when the sampled series is being collected.
+  [[nodiscard]] bool sampling() const noexcept { return sampler_ != nullptr; }
+
+  /// Registers the standard bottleneck columns (queue depth, utilization,
+  /// drop rate, and — for RED — mark rate). Call after the topology exists
+  /// and counters have been reset for the measurement window.
+  void add_bottleneck_probes(net::Link& bottleneck);
+
+  /// Registers an extra column (e.g. cwnd_total_pkts).
+  void add_probe(std::string column, std::function<double()> probe);
+
+  /// Begins sampling; the first row lands at `first`.
+  void start(sim::SimTime first);
+
+  /// Stops sampling, exports profiler + engine gauges into the registry,
+  /// and returns the snapshot + series.
+  [[nodiscard]] TelemetryResult finish();
+
+ private:
+  sim::Simulation& sim_;
+  TelemetryConfig config_;
+  std::unique_ptr<telemetry::MetricsSampler> sampler_;
+  std::unique_ptr<telemetry::EngineProfiler> profiler_;
+};
+
+}  // namespace rbs::experiment

@@ -3,7 +3,21 @@
 #include <cassert>
 #include <utility>
 
+#include "telemetry/trace.hpp"
+
 namespace rbs::net {
+namespace {
+
+const char* packet_span_name(PacketKind kind) {
+  switch (kind) {
+    case PacketKind::kTcpData: return "data";
+    case PacketKind::kTcpAck: return "ack";
+    case PacketKind::kUdp: return "udp";
+  }
+  return "pkt";
+}
+
+}  // namespace
 
 Link::Link(sim::Simulation& sim, std::string name, Config config, std::unique_ptr<Queue> queue,
            PacketSink& downstream)
@@ -16,6 +30,13 @@ Link::Link(sim::Simulation& sim, std::string name, Config config, std::unique_pt
   assert(queue_ != nullptr);
 }
 
+const char* Link::trace_qlen_name() {
+  if (trace_qlen_name_ == nullptr && sim_.trace() != nullptr) {
+    trace_qlen_name_ = sim_.trace()->intern(name_ + "/qlen");
+  }
+  return trace_qlen_name_;
+}
+
 void Link::receive(const Packet& p) {
   Packet stamped = p;
   stamped.hop_arrival = sim_.now();
@@ -23,27 +44,68 @@ void Link::receive(const Packet& p) {
     start_transmission(stamped);
     return;
   }
-  if (!queue_->enqueue(stamped) && on_drop) on_drop(stamped);
+  if (!queue_->enqueue(stamped)) {
+#if RBS_TRACE_ENABLED
+    if (sim_.trace() != nullptr) {
+      sim_.trace()->instant("queue", "drop", sim_.now(),
+                            telemetry::TraceArg{"seq", stamped.seq},
+                            telemetry::TraceArg{"qlen", queue_->size_packets()}, stamped.flow);
+    }
+#endif
+    if (drops_counter_ == nullptr) {
+      drops_counter_ = &sim_.metrics().counter("link.drops", {{"link", name_}});
+    }
+    drops_counter_->add();
+    if (on_drop) on_drop(stamped);
+    return;
+  }
+#if RBS_TRACE_ENABLED
+  if (const char* qlen = trace_qlen_name(); qlen != nullptr) {
+    sim_.trace()->counter("queue", qlen, sim_.now(),
+                          static_cast<double>(occupancy_packets()));
+  }
+#endif
 }
 
 void Link::start_transmission(const Packet& p) {
   busy_ = true;
   const sim::SimTime tx =
       sim::transmission_time(static_cast<std::int64_t>(p.size_bytes) * 8, config_.rate_bps);
-  sim_.after(tx, [this, p, tx] {
-    stats_.busy_time += tx;
-    finish_transmission(p);
-  });
+  sim_.after(
+      tx,
+      [this, p, tx] {
+        stats_.busy_time += tx;
+        finish_transmission(p);
+      },
+      sim::EventClass::kLinkTx);
 }
 
 void Link::finish_transmission(const Packet& p) {
   ++stats_.packets_delivered;
   stats_.bits_delivered += static_cast<std::uint64_t>(p.size_bytes) * 8;
+#if RBS_TRACE_ENABLED
+  if (telemetry::TraceSession* tr = sim_.trace(); tr != nullptr) {
+    // One span per packet-hop: [arrival at this link, end of serialization].
+    // tid = flow id, so Perfetto renders one lane per flow.
+    tr->complete("pkt", packet_span_name(p.kind), p.hop_arrival, sim_.now() - p.hop_arrival,
+                 telemetry::TraceArg{"seq", p.kind == PacketKind::kTcpAck ? p.ack : p.seq},
+                 telemetry::TraceArg{"bytes", p.size_bytes}, p.flow);
+    if (p.ecn_ce && p.kind == PacketKind::kTcpData) {
+      tr->instant("queue", "ecn-mark", sim_.now(), telemetry::TraceArg{"seq", p.seq},
+                  telemetry::TraceArg{}, p.flow);
+    }
+    if (const char* qlen = trace_qlen_name(); qlen != nullptr) {
+      tr->counter("queue", qlen, sim_.now(), static_cast<double>(queue_->size_packets()));
+    }
+  }
+#endif
   if (on_delivered) on_delivered(p);
   if (on_queue_delay) on_queue_delay(sim_.now() - p.hop_arrival);
 
   // Hand the packet to propagation; it no longer occupies the transmitter.
-  sim_.after(config_.propagation, [this, p] { downstream_.receive(p); });
+  sim_.after(
+      config_.propagation, [this, p] { downstream_.receive(p); },
+      sim::EventClass::kLinkPropagation);
 
   if (auto next = queue_->dequeue()) {
     start_transmission(*next);

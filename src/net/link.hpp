@@ -75,6 +75,11 @@ class Link final : public PacketSink {
   void start_transmission(const Packet& p);
   void finish_transmission(const Packet& p);
 
+  /// Lazily interned "<name>/qlen" counter-track name for trace events
+  /// (interned storage outlives the link, so exports never dangle). Null
+  /// while no trace session is attached.
+  const char* trace_qlen_name();
+
   sim::Simulation& sim_;
   std::string name_;
   Config config_;
@@ -82,6 +87,10 @@ class Link final : public PacketSink {
   PacketSink& downstream_;
   bool busy_{false};
   LinkStats stats_;
+  const char* trace_qlen_name_{nullptr};
+  /// Cached registry counter (registry storage is stable); created on the
+  /// first drop so unused links add no metrics.
+  telemetry::Counter* drops_counter_{nullptr};
 };
 
 }  // namespace rbs::net

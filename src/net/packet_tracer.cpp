@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "telemetry/trace.hpp"
+
 namespace rbs::net {
 
 void PacketTracer::attach(Link& link) {
@@ -23,17 +25,39 @@ void PacketTracer::attach(Link& link) {
 
 void PacketTracer::record(Event event, const std::string& link, const Packet& p) {
   if (!flows_.empty() && !flows_.contains(p.flow)) return;
+  // The tracer is also a TraceSession producer: its filtered view lands on
+  // the unified timeline under its own category, so a Perfetto user can
+  // toggle it against the links' raw packet spans.
+  if (auto* session = sim_.trace()) {
+    session->instant("tracer", event == Event::kDeliver ? "deliver" : "drop", sim_.now(),
+                     {"seq", p.seq}, {"bytes", p.size_bytes}, p.flow);
+  }
   if (records_.size() >= max_records_) {
     ++overflow_;
+    if (policy_ == OverflowPolicy::kStop) return;
+    // Ring: overwrite the oldest record and advance the chronological head.
+    records_[head_] = {sim_.now(), event, link,         p.flow,       p.seq,
+                       p.ack,      p.kind, p.size_bytes, p.retransmit};
+    head_ = (head_ + 1) % records_.size();
     return;
   }
   records_.push_back(
       {sim_.now(), event, link, p.flow, p.seq, p.ack, p.kind, p.size_bytes, p.retransmit});
 }
 
+std::vector<PacketTracer::Record> PacketTracer::records() const {
+  std::vector<Record> out;
+  out.reserve(records_.size());
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    out.push_back(records_[(head_ + i) % records_.size()]);
+  }
+  return out;
+}
+
 std::vector<PacketTracer::Record> PacketTracer::records_for_flow(FlowId flow) const {
   std::vector<Record> out;
-  for (const auto& r : records_) {
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const Record& r = records_[(head_ + i) % records_.size()];
     if (r.flow == flow) out.push_back(r);
   }
   return out;
@@ -43,7 +67,8 @@ std::string PacketTracer::to_text() const {
   std::string out;
   out.reserve(records_.size() * 64);
   char line[160];
-  for (const auto& r : records_) {
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const Record& r = records_[(head_ + i) % records_.size()];
     const char* ev = r.event == Event::kDeliver ? "DLV" : "DRP";
     const char* kind = r.kind == PacketKind::kTcpData  ? "DATA"
                        : r.kind == PacketKind::kTcpAck ? "ACK"
@@ -52,6 +77,13 @@ std::string PacketTracer::to_text() const {
                   r.time.to_seconds(), ev, r.link.c_str(), r.flow,
                   static_cast<long long>(r.seq), static_cast<long long>(r.ack), kind,
                   r.size_bytes, r.retransmit ? " RTX" : "");
+    out += line;
+  }
+  if (overflow_ > 0) {
+    std::snprintf(line, sizeof line, "# %llu record(s) %s (buffer capacity %zu)\n",
+                  static_cast<unsigned long long>(overflow_),
+                  policy_ == OverflowPolicy::kRing ? "overwritten (oldest first)" : "not stored",
+                  max_records_);
     out += line;
   }
   return out;

@@ -37,10 +37,17 @@ class PacketTracer {
     bool retransmit;
   };
 
-  /// `max_records` bounds memory; once full, further events are counted but
-  /// not stored.
-  explicit PacketTracer(sim::Simulation& sim, std::size_t max_records = 100'000)
-      : sim_{sim}, max_records_{max_records} {}
+  /// What to do once `max_records` is reached: kStop counts further events
+  /// without storing them (keeps the *start* of the run); kRing overwrites
+  /// the oldest records (keeps the most recent window — the tcpdump-style
+  /// behaviour for watching the end of a long run).
+  enum class OverflowPolicy : std::uint8_t { kStop, kRing };
+
+  /// `max_records` bounds memory; `policy` picks which side of the run
+  /// survives overflow. dropped_records() counts the casualties either way.
+  explicit PacketTracer(sim::Simulation& sim, std::size_t max_records = 100'000,
+                        OverflowPolicy policy = OverflowPolicy::kStop)
+      : sim_{sim}, max_records_{max_records ? max_records : 1}, policy_{policy} {}
 
   /// Starts tracing `link`. Chains with any hooks already installed.
   void attach(Link& link);
@@ -49,8 +56,11 @@ class PacketTracer {
   /// trace several flows). No filters = record everything.
   void filter_flow(FlowId flow) { flows_.insert(flow); }
 
-  [[nodiscard]] const std::vector<Record>& records() const noexcept { return records_; }
+  /// Stored records in time order. Returns a copy: under kRing the internal
+  /// storage wraps, so the chronological view is materialized on demand.
+  [[nodiscard]] std::vector<Record> records() const;
   [[nodiscard]] std::uint64_t dropped_records() const noexcept { return overflow_; }
+  [[nodiscard]] OverflowPolicy policy() const noexcept { return policy_; }
 
   /// Events for one flow, in time order (records are already time-ordered).
   [[nodiscard]] std::vector<Record> records_for_flow(FlowId flow) const;
@@ -60,6 +70,7 @@ class PacketTracer {
 
   void clear() {
     records_.clear();
+    head_ = 0;
     overflow_ = 0;
   }
 
@@ -68,7 +79,9 @@ class PacketTracer {
 
   sim::Simulation& sim_;
   std::size_t max_records_;
+  OverflowPolicy policy_;
   std::vector<Record> records_;
+  std::size_t head_{0};  ///< oldest record under kRing once wrapped
   // rbs-lint: allow(unordered-container) -- membership filter: insert + contains only, never iterated
   std::unordered_set<FlowId> flows_;
   std::uint64_t overflow_{0};

@@ -45,7 +45,9 @@ void TokenBucketShaper::receive(const Packet& p) {
   if (!drain_event_.pending()) {
     const double deficit = static_cast<double>(queue_.front().size_bytes) - tokens_;
     const double wait_sec = std::max(0.0, deficit * 8.0 / config_.rate_bps);
-    drain_event_ = sim_.after(sim::SimTime::from_seconds(wait_sec), [this] { drain(); });
+    drain_event_ =
+        sim_.after(sim::SimTime::from_seconds(wait_sec), [this] { drain(); },
+                   sim::EventClass::kWorkload);
   }
 }
 
@@ -59,7 +61,9 @@ void TokenBucketShaper::drain() {
   if (!queue_.empty()) {
     const double deficit = static_cast<double>(queue_.front().size_bytes) - tokens_;
     const double wait_sec = std::max(1e-9, deficit * 8.0 / config_.rate_bps);
-    drain_event_ = sim_.after(sim::SimTime::from_seconds(wait_sec), [this] { drain(); });
+    drain_event_ =
+        sim_.after(sim::SimTime::from_seconds(wait_sec), [this] { drain(); },
+                   sim::EventClass::kWorkload);
   }
 }
 

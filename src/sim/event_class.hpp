@@ -1,0 +1,42 @@
+// Coarse classification of scheduled events, used by the engine profiler.
+//
+// Call sites tag events at schedule time (schedule_at/schedule_after take an
+// optional EventClass); the scheduler carries the tag in its heap entry and
+// hands it to the attached telemetry::EngineProfiler when the event fires.
+// Tags cost nothing when no profiler is attached — they ride in padding the
+// 4-ary heap entry already had.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rbs::sim {
+
+enum class EventClass : std::uint8_t {
+  kGeneric = 0,      ///< untagged callbacks (tests, one-off deferrals)
+  kLinkTx,           ///< link serialization completion
+  kLinkPropagation,  ///< packet propagation arrival at the downstream sink
+  kTcpTimer,         ///< TCP retransmission / start timers
+  kTcpPacing,        ///< paced-send wakeups
+  kTcpDelayedAck,    ///< delayed-ACK timers
+  kSampler,          ///< periodic measurement probes (stats + telemetry)
+  kWorkload,         ///< traffic generation: flow arrivals, sessions, UDP, reaping
+};
+
+inline constexpr std::size_t kNumEventClasses = 8;
+
+[[nodiscard]] constexpr const char* event_class_name(EventClass cls) noexcept {
+  switch (cls) {
+    case EventClass::kGeneric: return "generic";
+    case EventClass::kLinkTx: return "link_tx";
+    case EventClass::kLinkPropagation: return "link_propagation";
+    case EventClass::kTcpTimer: return "tcp_timer";
+    case EventClass::kTcpPacing: return "tcp_pacing";
+    case EventClass::kTcpDelayedAck: return "tcp_delayed_ack";
+    case EventClass::kSampler: return "sampler";
+    case EventClass::kWorkload: return "workload";
+  }
+  return "unknown";
+}
+
+}  // namespace rbs::sim

@@ -5,6 +5,7 @@
 
 #include "check/auditor.hpp"
 #include "check/invariant.hpp"
+#include "telemetry/profiler.hpp"
 
 namespace rbs::sim {
 namespace {
@@ -129,7 +130,13 @@ bool Scheduler::execute_next() {
     // Invoke straight from the slot: slabs never move, and the slot is not
     // recycled until after the callback returns, so the callback may freely
     // schedule or cancel other events (growing the pool if needed).
-    slot.invoke();
+    if (profiler_ != nullptr) {
+      profiler_->begin_event();
+      slot.invoke();
+      profiler_->end_event(entry.cls);
+    } else {
+      slot.invoke();
+    }
     pool_.release(entry.slot);
     if (audit_every_ != 0 && ++events_since_audit_ >= audit_every_) {
       // Fires between events: the finished slot is recycled, so the audit

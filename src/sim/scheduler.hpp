@@ -19,11 +19,16 @@
 #include <utility>
 #include <vector>
 
+#include "sim/event_class.hpp"
 #include "sim/event_pool.hpp"
 #include "sim/time.hpp"
 
 namespace rbs::check {
 class AuditReport;
+}
+
+namespace rbs::telemetry {
+class EngineProfiler;
 }
 
 namespace rbs::sim {
@@ -73,22 +78,25 @@ class Scheduler {
   /// clamped to now() — the event fires on the current tick, after the
   /// events already due — so stale timers can never move the clock
   /// backwards or be silently lost in Release builds.
+  ///
+  /// `cls` tags the event for the engine profiler (per-class fire counts and
+  /// durations); it never affects execution order or results.
   template <typename F>
-  EventHandle schedule_at(SimTime t, F&& cb) {
+  EventHandle schedule_at(SimTime t, F&& cb, EventClass cls = EventClass::kGeneric) {
     if (t < now_) t = now_;  // clamp-to-now policy (see above)
     const std::uint32_t idx = pool_.allocate();
     EventPool::Slot& slot = pool_[idx];
     slot.emplace(std::forward<F>(cb));
     slot.arm();
-    heap_push(HeapEntry{t, next_seq_++, idx});
+    heap_push(HeapEntry{t, next_seq_++, idx, cls});
     ++live_events_;
     return EventHandle{this, idx, slot.generation()};
   }
 
   /// Schedules `cb` at now() + delay. Negative delays clamp to now().
   template <typename F>
-  EventHandle schedule_after(SimTime delay, F&& cb) {
-    return schedule_at(now_ + delay, std::forward<F>(cb));
+  EventHandle schedule_after(SimTime delay, F&& cb, EventClass cls = EventClass::kGeneric) {
+    return schedule_at(now_ + delay, std::forward<F>(cb), cls);
   }
 
   /// Runs until the event queue is empty or stop() is called.
@@ -126,6 +134,12 @@ class Scheduler {
   /// predictable branch per event.
   void set_audit_hook(std::uint64_t every_n_events, std::function<void()> hook);
 
+  /// Attaches (or detaches, with nullptr) an engine profiler: every executed
+  /// event is host-clock timed and binned by its EventClass tag. The
+  /// profiler must outlive the scheduler or be detached first. Detached cost
+  /// is one branch per event; profiling never touches simulated state.
+  void set_profiler(telemetry::EngineProfiler* profiler) noexcept { profiler_ = profiler; }
+
   /// Recounts scheduler internals and reports inconsistencies: 4-ary heap
   /// order, no event scheduled in the past, live/cancelled bookkeeping vs.
   /// actual queue contents, and event-pool slot conservation. Must not be
@@ -135,13 +149,16 @@ class Scheduler {
   void audit(check::AuditReport& report) const;
 
  private:
-  /// 16-byte trivially-copyable heap entry; `seq` breaks time ties in FIFO
-  /// order, which is what makes runs bit-reproducible.
+  /// Trivially-copyable heap entry; `seq` breaks time ties in FIFO order,
+  /// which is what makes runs bit-reproducible. The EventClass tag rides in
+  /// what was previously padding, so the entry stays 24 bytes.
   struct HeapEntry {
     SimTime time;
     std::uint64_t seq;
     std::uint32_t slot;
+    EventClass cls{EventClass::kGeneric};
   };
+  static_assert(sizeof(HeapEntry) == 24, "EventClass tag must fit in HeapEntry padding");
 
   static bool entry_less(const HeapEntry& a, const HeapEntry& b) noexcept {
     if (a.time != b.time) return a.time < b.time;
@@ -167,6 +184,7 @@ class Scheduler {
   std::uint64_t audit_every_{0};
   std::uint64_t events_since_audit_{0};
   std::function<void()> audit_hook_;
+  telemetry::EngineProfiler* profiler_{nullptr};
 };
 
 }  // namespace rbs::sim

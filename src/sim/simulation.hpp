@@ -1,9 +1,15 @@
-// Simulation context: one object that owns the scheduler and the root RNG.
+// Simulation context: one object that owns the scheduler, the root RNG, and
+// the telemetry surfaces for one simulated world.
 //
 // Every network component receives a Simulation& at construction and uses it
 // for time, event scheduling, and randomness. Two Simulations never share
 // state, so independent experiments can run side by side (or in parallel
 // threads) within one process.
+//
+// Telemetry: each Simulation owns a MetricsRegistry (components register
+// counters/gauges/histograms through metrics()) and optionally borrows a
+// TraceSession (set_trace()); producers emit through the RBS_TRACE_* macros,
+// which are no-ops while no session is attached.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +19,8 @@
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace rbs::sim {
 
@@ -28,15 +36,33 @@ class Simulation {
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
   [[nodiscard]] SimTime now() const noexcept { return scheduler_.now(); }
 
+  /// This world's metric registry. Components create metrics lazily on
+  /// first touch; the registry lives exactly as long as the Simulation.
+  [[nodiscard]] telemetry::MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const telemetry::MetricsRegistry& metrics() const noexcept { return metrics_; }
+
+  /// Attaches (or detaches, with nullptr) a trace session. The session is
+  /// borrowed — it must outlive this Simulation or be detached first — so
+  /// one session can collect several short runs, and parallel sweep points
+  /// simply leave tracing off.
+  void set_trace(telemetry::TraceSession* trace) noexcept { trace_ = trace; }
+  [[nodiscard]] telemetry::TraceSession* trace() const noexcept { return trace_; }
+
+  /// Attaches an engine profiler to the scheduler (see Scheduler::set_profiler).
+  void set_profiler(telemetry::EngineProfiler* profiler) noexcept {
+    scheduler_.set_profiler(profiler);
+  }
+
   /// Convenience pass-throughs. Any callable is accepted and stored in the
-  /// scheduler's event pool without a std::function wrapper.
+  /// scheduler's event pool without a std::function wrapper. `cls` tags the
+  /// event for the engine profiler.
   template <typename F>
-  Scheduler::EventHandle at(SimTime t, F&& cb) {
-    return scheduler_.schedule_at(t, std::forward<F>(cb));
+  Scheduler::EventHandle at(SimTime t, F&& cb, EventClass cls = EventClass::kGeneric) {
+    return scheduler_.schedule_at(t, std::forward<F>(cb), cls);
   }
   template <typename F>
-  Scheduler::EventHandle after(SimTime delay, F&& cb) {
-    return scheduler_.schedule_after(delay, std::forward<F>(cb));
+  Scheduler::EventHandle after(SimTime delay, F&& cb, EventClass cls = EventClass::kGeneric) {
+    return scheduler_.schedule_after(delay, std::forward<F>(cb), cls);
   }
 
   /// Runs the world forward to absolute time `t`.
@@ -53,6 +79,18 @@ class Simulation {
   void enable_auditing(check::InvariantAuditor& auditor,
                        std::uint64_t every_n_events = 50'000) {
     auditor.add("scheduler", scheduler_);
+    // Chain a trace producer onto the violation hook: each *distinct*
+    // violation lands on the unified timeline as an instant event, so a
+    // conservation break can be lined up against the packet/TCP events
+    // around it. Cold path — fires at most once per distinct violation.
+    auto prev = std::move(auditor.on_violation);
+    auditor.on_violation = [this, prev = std::move(prev)](const check::Violation& v) {
+      if (prev) prev(v);
+      if (trace_ != nullptr) {
+        trace_->instant_with_detail("audit", "violation", scheduler_.now(),
+                                    v.subsystem + ": " + v.message);
+      }
+    };
     scheduler_.set_audit_hook(every_n_events, [this, &auditor] {
       auditor.note_time(scheduler_.now().ps());
       auditor.audit_now();
@@ -64,6 +102,8 @@ class Simulation {
  private:
   Scheduler scheduler_;
   Rng rng_;
+  telemetry::MetricsRegistry metrics_;
+  telemetry::TraceSession* trace_{nullptr};
 };
 
 }  // namespace rbs::sim

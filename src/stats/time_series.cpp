@@ -26,12 +26,12 @@ PeriodicSampler::PeriodicSampler(sim::Simulation& sim, sim::SimTime interval, Pr
     : sim_{sim}, interval_{interval}, probe_{std::move(probe)} {}
 
 void PeriodicSampler::start(sim::SimTime first) {
-  next_ = sim_.at(first, [this] { tick(); });
+  next_ = sim_.at(first, [this] { tick(); }, sim::EventClass::kSampler);
 }
 
 void PeriodicSampler::tick() {
   series_.record(sim_.now(), probe_());
-  next_ = sim_.after(interval_, [this] { tick(); });
+  next_ = sim_.after(interval_, [this] { tick(); }, sim::EventClass::kSampler);
 }
 
 }  // namespace rbs::stats

@@ -75,10 +75,13 @@ void TcpSink::on_packet(const net::Packet& p) {
     return;
   }
   if (!delack_timer_.pending()) {
-    delack_timer_ = sim_.after(config_.delack_timeout, [this] {
-      ++delack_fires_;
-      send_ack();
-    });
+    delack_timer_ = sim_.after(
+        config_.delack_timeout,
+        [this] {
+          ++delack_fires_;
+          send_ack();
+        },
+        sim::EventClass::kTcpDelayedAck);
   }
 }
 

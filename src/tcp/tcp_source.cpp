@@ -6,6 +6,7 @@
 #include <string>
 
 #include "check/invariant.hpp"
+#include "telemetry/trace.hpp"
 
 namespace rbs::tcp {
 
@@ -35,7 +36,7 @@ void TcpSource::start(sim::SimTime at) {
   assert(!started_);
   started_ = true;
   start_time_ = at;
-  sim_.at(at, [this] { send_available(); });
+  sim_.at(at, [this] { send_available(); }, sim::EventClass::kWorkload);
 }
 
 std::int64_t TcpSource::effective_window() const noexcept {
@@ -80,17 +81,20 @@ void TcpSource::schedule_paced_send() {
 
   const auto earliest = last_paced_send_ + pacing_interval();
   const auto when = std::max(earliest, sim_.now());
-  pace_timer_ = sim_.at(when, [this] {
-    const std::int64_t lim =
-        flow_packets_ >= 0 ? std::min(snd_una_ + effective_window(), flow_packets_)
-                           : snd_una_ + effective_window();
-    if (!finished_ && snd_nxt_ < lim) {
-      last_paced_send_ = sim_.now();
-      transmit(snd_nxt_);
-      ++snd_nxt_;
-    }
-    schedule_paced_send();
-  });
+  pace_timer_ = sim_.at(
+      when,
+      [this] {
+        const std::int64_t lim =
+            flow_packets_ >= 0 ? std::min(snd_una_ + effective_window(), flow_packets_)
+                               : snd_una_ + effective_window();
+        if (!finished_ && snd_nxt_ < lim) {
+          last_paced_send_ = sim_.now();
+          transmit(snd_nxt_);
+          ++snd_nxt_;
+        }
+        schedule_paced_send();
+      },
+      sim::EventClass::kTcpPacing);
 }
 
 void TcpSource::transmit(std::int64_t seq) {
@@ -123,6 +127,9 @@ void TcpSource::on_packet(const net::Packet& p) {
     cwnd_ = ssthresh_;
     ecn_recover_ = snd_nxt_ - 1;
     ++stats_.ecn_reductions;
+    RBS_TRACE_INSTANT(sim_.trace(), "tcp", "ecn-cut", sim_.now(),
+                      (telemetry::TraceArg{"cwnd", static_cast<std::int64_t>(cwnd_)}),
+                      telemetry::TraceArg{}, flow_);
   }
 
   if (p.ack > snd_una_) {
@@ -226,6 +233,9 @@ void TcpSource::handle_dup_ack() {
 
 void TcpSource::enter_fast_recovery() {
   ++stats_.fast_retransmits;
+  RBS_TRACE_INSTANT(sim_.trace(), "tcp", "fast-retransmit", sim_.now(),
+                    (telemetry::TraceArg{"seq", snd_una_}),
+                    (telemetry::TraceArg{"cwnd", static_cast<std::int64_t>(cwnd_)}), flow_);
   const auto flight = static_cast<double>(packets_in_flight());
   ssthresh_ = std::max(flight / 2.0, 2.0);
   recover_ = snd_nxt_ - 1;
@@ -249,6 +259,9 @@ void TcpSource::enter_fast_recovery() {
 void TcpSource::on_timeout() {
   if (finished_) return;
   ++stats_.timeouts;
+  RBS_TRACE_INSTANT(sim_.trace(), "tcp", "timeout", sim_.now(),
+                    (telemetry::TraceArg{"seq", snd_una_}),
+                    (telemetry::TraceArg{"cwnd", static_cast<std::int64_t>(cwnd_)}), flow_);
   rtt_.backoff();
 
   // Reduce the window once per loss event: if the timeout interrupts an
@@ -274,7 +287,7 @@ void TcpSource::on_timeout() {
 
 void TcpSource::arm_timer() {
   disarm_timer();
-  timer_ = sim_.after(rtt_.rto(), [this] { on_timeout(); });
+  timer_ = sim_.after(rtt_.rto(), [this] { on_timeout(); }, sim::EventClass::kTcpTimer);
 }
 
 void TcpSource::disarm_timer() { timer_.cancel(); }

@@ -1,0 +1,288 @@
+#include "telemetry/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace rbs::telemetry {
+namespace {
+
+/// Shortest deterministic rendering of a double (printf %g with enough
+/// digits to round-trip the common cases; exports are compared verbatim by
+/// the determinism tests, never re-parsed for bit equality).
+std::string num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// RFC-4180: quote any cell containing a comma, quote, or newline; double
+/// embedded quotes.
+std::string csv_cell(const std::string& cell) {
+  if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string labels_text(const Labels& labels) {
+  std::string out;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ';';
+    out += labels[i].first + "=" + labels[i].second;
+  }
+  return out;
+}
+
+}  // namespace
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return min();
+  if (q >= 1.0) return max();
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += counts_[i];
+    if (static_cast<double>(seen) >= target) {
+      const double lo = bucket_lower_bound(i);
+      const double hi = bucket_upper_bound(i);
+      const double frac = (target - before) / static_cast<double>(counts_[i]);
+      const double v = lo + frac * (hi - lo);
+      // Clamp to the observed range so tails don't report past max().
+      return v < min_ ? min_ : (v > max_ ? max_ : v);
+    }
+  }
+  return max();
+}
+
+std::size_t Histogram::bucket_index(double v) noexcept {
+  if (!(v >= 1.0)) return 0;  // negatives and NaN clamp to bucket 0
+  int exp = 0;
+  const double frac = std::frexp(v, &exp);  // v = frac * 2^exp, frac in [0.5, 1)
+  const int decade = exp - 1;               // v in [2^decade, 2^(decade+1))
+  const auto sub = static_cast<int>((frac * 2.0 - 1.0) * kSubBuckets);  // [0, kSubBuckets)
+  const int clamped_sub = sub >= kSubBuckets ? kSubBuckets - 1 : sub;
+  return 1 + static_cast<std::size_t>(decade) * kSubBuckets + static_cast<std::size_t>(clamped_sub);
+}
+
+double Histogram::bucket_lower_bound(std::size_t idx) noexcept {
+  if (idx == 0) return 0.0;
+  const std::size_t decade = (idx - 1) / kSubBuckets;
+  const std::size_t sub = (idx - 1) % kSubBuckets;
+  const double base = std::ldexp(1.0, static_cast<int>(decade));
+  return base * (1.0 + static_cast<double>(sub) / kSubBuckets);
+}
+
+double Histogram::bucket_upper_bound(std::size_t idx) noexcept {
+  if (idx == 0) return 1.0;
+  return bucket_lower_bound(idx + 1);  // exclusive upper = next bucket's lower
+}
+
+std::vector<std::pair<double, std::uint64_t>> Histogram::nonempty_buckets() const {
+  std::vector<std::pair<double, std::uint64_t>> out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] != 0) out.emplace_back(bucket_upper_bound(i), counts_[i]);
+  }
+  return out;
+}
+
+MetricsRegistry::Metric& MetricsRegistry::entry(MetricKind kind, const std::string& name,
+                                                const Labels& labels) {
+  std::string key = name;
+  key += '|';
+  key += labels_text(labels);
+  auto [it, inserted] = metrics_.try_emplace(std::move(key));
+  Metric& m = it->second;
+  if (inserted) {
+    m.kind = kind;
+    m.name = name;
+    m.labels = labels;
+    switch (kind) {
+      case MetricKind::kCounter: m.counter = std::make_unique<Counter>(); break;
+      case MetricKind::kGauge: m.gauge = std::make_unique<Gauge>(); break;
+      case MetricKind::kHistogram: m.histogram = std::make_unique<Histogram>(); break;
+    }
+  } else if (m.kind != kind) {
+    throw std::logic_error("metric '" + name + "' registered as " +
+                           metric_kind_name(m.kind) + " but requested as " +
+                           metric_kind_name(kind));
+  }
+  return m;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels) {
+  return *entry(MetricKind::kCounter, name, labels).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  return *entry(MetricKind::kGauge, name, labels).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, const Labels& labels) {
+  return *entry(MetricKind::kHistogram, name, labels).histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.samples.reserve(metrics_.size());
+  for (const auto& [key, m] : metrics_) {
+    MetricSample s;
+    s.kind = m.kind;
+    s.name = m.name;
+    s.labels = m.labels;
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        s.value = static_cast<double>(m.counter->value());
+        break;
+      case MetricKind::kGauge:
+        s.value = m.gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        s.count = m.histogram->count();
+        s.sum = m.histogram->sum();
+        s.min = m.histogram->min();
+        s.max = m.histogram->max();
+        s.p50 = m.histogram->quantile(0.50);
+        s.p99 = m.histogram->quantile(0.99);
+        break;
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"metrics\":[";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const MetricSample& s = samples[i];
+    if (i) out += ',';
+    out += "{\"name\":\"";
+    json_escape_into(out, s.name);
+    out += "\",\"kind\":\"";
+    out += metric_kind_name(s.kind);
+    out += "\",\"labels\":{";
+    for (std::size_t l = 0; l < s.labels.size(); ++l) {
+      if (l) out += ',';
+      out += '"';
+      json_escape_into(out, s.labels[l].first);
+      out += "\":\"";
+      json_escape_into(out, s.labels[l].second);
+      out += '"';
+    }
+    out += '}';
+    if (s.kind == MetricKind::kHistogram) {
+      out += ",\"count\":" + std::to_string(s.count);
+      out += ",\"sum\":" + num(s.sum);
+      out += ",\"min\":" + num(s.min);
+      out += ",\"max\":" + num(s.max);
+      out += ",\"p50\":" + num(s.p50);
+      out += ",\"p99\":" + num(s.p99);
+    } else {
+      out += ",\"value\":" + num(s.value);
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string MetricsSnapshot::to_csv() const {
+  std::string out = "name,kind,labels,value,count,sum,min,max,p50,p99\n";
+  for (const MetricSample& s : samples) {
+    out += csv_cell(s.name);
+    out += ',';
+    out += metric_kind_name(s.kind);
+    out += ',';
+    out += csv_cell(labels_text(s.labels));
+    out += ',';
+    out += num(s.value);
+    out += ',' + std::to_string(s.count);
+    out += ',' + num(s.sum);
+    out += ',' + num(s.min);
+    out += ',' + num(s.max);
+    out += ',' + num(s.p50);
+    out += ',' + num(s.p99);
+    out += '\n';
+  }
+  return out;
+}
+
+const MetricSample* MetricsSnapshot::find(const std::string& name, const Labels& labels) const {
+  for (const MetricSample& s : samples) {
+    if (s.name != name) continue;
+    if (!labels.empty() && s.labels != labels) continue;
+    return &s;
+  }
+  return nullptr;
+}
+
+double SeriesTable::column_mean(const std::string& column) const {
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    if (columns[c] != column) continue;
+    if (rows.empty()) return 0.0;
+    double sum = 0.0;
+    for (const auto& row : rows) sum += row[c];
+    return sum / static_cast<double>(rows.size());
+  }
+  return 0.0;
+}
+
+std::string SeriesTable::to_csv() const {
+  std::string out = "time_sec";
+  for (const auto& c : columns) out += ',' + csv_cell(c);
+  out += '\n';
+  for (std::size_t i = 0; i < times_ps.size(); ++i) {
+    out += num(static_cast<double>(times_ps[i]) * 1e-12);
+    for (const double v : rows[i]) out += ',' + num(v);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string SeriesTable::to_json() const {
+  std::string out = "{\"columns\":[\"time_sec\"";
+  for (const auto& c : columns) {
+    out += ",\"";
+    json_escape_into(out, c);
+    out += '"';
+  }
+  out += "],\"rows\":[";
+  for (std::size_t i = 0; i < times_ps.size(); ++i) {
+    if (i) out += ',';
+    out += '[' + num(static_cast<double>(times_ps[i]) * 1e-12);
+    for (const double v : rows[i]) out += ',' + num(v);
+    out += ']';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace rbs::telemetry

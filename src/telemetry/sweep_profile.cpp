@@ -1,0 +1,152 @@
+#include "telemetry/sweep_profile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rbs::telemetry {
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+SweepProfile::SweepProfile(std::size_t total, bool progress)
+    : points_(total), progress_{progress} {}
+
+void SweepProfile::point_start(std::size_t index, int worker) {
+  const auto now = Clock::now();
+  std::lock_guard lock{mutex_};
+  if (index >= points_.size()) return;
+  points_[index].start = now;
+  points_[index].worker = worker;
+  if (!any_started_ || now < first_start_) first_start_ = now;
+  any_started_ = true;
+}
+
+void SweepProfile::point_done(std::size_t index, int worker) {
+  const auto now = Clock::now();
+  std::lock_guard lock{mutex_};
+  if (index >= points_.size()) return;
+  Point& p = points_[index];
+  p.wall_ms = ms_between(p.start, now);
+  p.worker = worker;
+  if (worker >= 0) {
+    if (static_cast<std::size_t>(worker) >= workers_.size()) {
+      workers_.resize(static_cast<std::size_t>(worker) + 1);
+    }
+    workers_[static_cast<std::size_t>(worker)].busy_ms += p.wall_ms;
+    ++workers_[static_cast<std::size_t>(worker)].points;
+  }
+  ++completed_;
+  if (now > last_done_) last_done_ = now;
+  if (progress_) render_progress_locked();
+}
+
+void SweepProfile::render_progress_locked() const {
+  std::fprintf(stderr, "\r[sweep] %zu/%zu points, %d worker(s), %.1f s elapsed%s", completed_,
+               points_.size(), workers_seen_locked(), ms_between(first_start_, last_done_) / 1e3,
+               completed_ == points_.size() ? "\n" : "");
+  std::fflush(stderr);
+}
+
+int SweepProfile::workers_seen_locked() const {
+  int seen = 0;
+  for (const Worker& w : workers_) {
+    if (w.points > 0) ++seen;
+  }
+  return seen;
+}
+
+std::size_t SweepProfile::completed() const {
+  std::lock_guard lock{mutex_};
+  return completed_;
+}
+
+double SweepProfile::point_wall_ms(std::size_t index) const {
+  std::lock_guard lock{mutex_};
+  if (index >= points_.size() || points_[index].wall_ms < 0) return 0.0;
+  return points_[index].wall_ms;
+}
+
+int SweepProfile::point_worker(std::size_t index) const {
+  std::lock_guard lock{mutex_};
+  return index < points_.size() ? points_[index].worker : -1;
+}
+
+double SweepProfile::span_ms() const {
+  std::lock_guard lock{mutex_};
+  if (!any_started_ || completed_ == 0) return 0.0;
+  return ms_between(first_start_, last_done_);
+}
+
+int SweepProfile::workers_seen() const {
+  std::lock_guard lock{mutex_};
+  return workers_seen_locked();
+}
+
+double SweepProfile::worker_busy_ms(int worker) const {
+  std::lock_guard lock{mutex_};
+  if (worker < 0 || static_cast<std::size_t>(worker) >= workers_.size()) return 0.0;
+  return workers_[static_cast<std::size_t>(worker)].busy_ms;
+}
+
+double SweepProfile::worker_utilization(int worker) const {
+  std::lock_guard lock{mutex_};
+  if (worker < 0 || static_cast<std::size_t>(worker) >= workers_.size()) return 0.0;
+  if (!any_started_ || completed_ == 0) return 0.0;
+  const double span = ms_between(first_start_, last_done_);
+  return span > 0.0 ? workers_[static_cast<std::size_t>(worker)].busy_ms / span : 0.0;
+}
+
+void SweepProfile::export_into(MetricsRegistry& registry) const {
+  std::lock_guard lock{mutex_};
+  Histogram& h = registry.histogram("sweep.point_wall_ms");
+  h = Histogram{};  // replace-on-export keeps repeated exports idempotent
+  for (const Point& p : points_) {
+    if (p.wall_ms >= 0) h.record(p.wall_ms);
+  }
+  registry.counter("sweep.points").reset();
+  registry.counter("sweep.points").add(completed_);
+  const double span = (any_started_ && completed_ > 0) ? ms_between(first_start_, last_done_) : 0.0;
+  registry.gauge("sweep.span_ms").set(span);
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (workers_[w].points == 0) continue;
+    const Labels labels{{"worker", std::to_string(w)}};
+    registry.gauge("sweep.worker_busy_ms", labels).set(workers_[w].busy_ms);
+    registry.gauge("sweep.worker_utilization", labels)
+        .set(span > 0.0 ? workers_[w].busy_ms / span : 0.0);
+  }
+}
+
+std::string SweepProfile::summary() const {
+  std::lock_guard lock{mutex_};
+  const double span = (any_started_ && completed_ > 0) ? ms_between(first_start_, last_done_) : 0.0;
+  char line[160];
+  std::string out;
+  std::snprintf(line, sizeof line, "sweep: %zu/%zu points in %.2f s\n", completed_,
+                points_.size(), span / 1e3);
+  out += line;
+  out += "worker   points   busy ms   utilization\n";
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (workers_[w].points == 0) continue;
+    std::snprintf(line, sizeof line, "%6zu %8llu %9.0f %12.2f\n", w,
+                  static_cast<unsigned long long>(workers_[w].points), workers_[w].busy_ms,
+                  span > 0.0 ? workers_[w].busy_ms / span : 0.0);
+    out += line;
+  }
+  Histogram h;
+  for (const Point& p : points_) {
+    if (p.wall_ms >= 0) h.record(p.wall_ms);
+  }
+  if (h.count() > 0) {
+    std::snprintf(line, sizeof line, "point wall ms: mean %.0f  p50 %.0f  p99 %.0f  max %.0f\n",
+                  h.mean(), h.quantile(0.50), h.quantile(0.99), h.max());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace rbs::telemetry

@@ -1,0 +1,92 @@
+// Sweep profiling: wall-clock accounting for parallel experiment batches.
+//
+// A SweepProfile plugs into SweepRunner's observer hooks (point_start /
+// point_done) and records, with the host's monotonic clock: per-point wall
+// time, per-worker busy time and point counts, and the batch's overall
+// span. Optionally renders a live one-line progress display to stderr
+// ("\r[sweep] 12/40 points ...").
+//
+// Thread-safe: the hooks fire concurrently from sweep workers; all state is
+// mutex-protected (the per-point cost of a sweep point is seconds, so a
+// mutex per start/done is noise).
+//
+// Host-clock readings here measure the *runner*, never the simulation —
+// results of the sweep are bitwise identical with or without a profile
+// attached (the lint's wall-clock rule exempts src/telemetry/ for this).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace rbs::telemetry {
+
+/// Collects wall-time statistics for one sweep batch of `total` points.
+class SweepProfile {
+ public:
+  /// `progress` turns on the live stderr progress line (finished with a
+  /// newline when the last point completes).
+  explicit SweepProfile(std::size_t total, bool progress = false);
+
+  SweepProfile(const SweepProfile&) = delete;
+  SweepProfile& operator=(const SweepProfile&) = delete;
+
+  /// Hook targets for SweepRunner::set_observer.
+  void point_start(std::size_t index, int worker);
+  void point_done(std::size_t index, int worker);
+
+  [[nodiscard]] std::size_t total() const noexcept { return points_.size(); }
+  [[nodiscard]] std::size_t completed() const;
+  /// Wall time of one completed point, ms (0 if it never finished).
+  [[nodiscard]] double point_wall_ms(std::size_t index) const;
+  /// Worker index that executed the point (-1 if it never started).
+  [[nodiscard]] int point_worker(std::size_t index) const;
+  /// First point_start to last point_done, ms.
+  [[nodiscard]] double span_ms() const;
+  /// Workers that executed at least one point.
+  [[nodiscard]] int workers_seen() const;
+  [[nodiscard]] double worker_busy_ms(int worker) const;
+  /// busy / span — how much of the batch this worker spent computing.
+  [[nodiscard]] double worker_utilization(int worker) const;
+
+  /// Copies the accounting into `registry`: sweep.point_wall_ms histogram,
+  /// sweep.points counter, per-worker sweep.worker_busy_ms /
+  /// sweep.worker_utilization gauges labelled by worker index.
+  void export_into(MetricsRegistry& registry) const;
+
+  /// Human-readable per-worker table plus the point-time distribution.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Point {
+    Clock::time_point start{};
+    double wall_ms{-1.0};  ///< -1: not finished
+    int worker{-1};
+  };
+
+  struct Worker {
+    double busy_ms{0.0};
+    std::uint64_t points{0};
+  };
+
+  void render_progress_locked() const;
+  [[nodiscard]] int workers_seen_locked() const;
+
+  mutable std::mutex mutex_;
+  std::vector<Point> points_;
+  std::vector<Worker> workers_;
+  std::size_t completed_{0};
+  Clock::time_point first_start_{};
+  Clock::time_point last_done_{};
+  bool any_started_{false};
+  bool progress_{false};
+};
+
+}  // namespace rbs::telemetry

@@ -1,0 +1,148 @@
+#include "telemetry/trace.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+namespace rbs::telemetry {
+namespace {
+
+void json_escape_into(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Picoseconds -> trace_event microseconds with enough decimals to keep
+/// distinct sim times distinct (1 ps = 1e-6 us).
+void append_us(std::string& out, std::int64_t ps) {
+  char buf[48];
+  const std::int64_t whole = ps / 1'000'000;
+  const auto frac = static_cast<long>(ps % 1'000'000);
+  std::snprintf(buf, sizeof buf, "%lld.%06ld", static_cast<long long>(whole),
+                frac < 0 ? -frac : frac);
+  out += buf;
+}
+
+}  // namespace
+
+TraceSession::TraceSession(std::size_t capacity) {
+  ring_.resize(capacity == 0 ? 1 : capacity);
+}
+
+void TraceSession::instant_with_detail(const char* cat, const char* name, sim::SimTime ts,
+                                       std::string detail) {
+  detail_storage_.push_back(std::move(detail));
+  TraceEvent e;
+  e.ts_ps = ts.ps();
+  e.name = name;
+  e.cat = cat;
+  e.detail = static_cast<std::int32_t>(detail_storage_.size() - 1);
+  e.ph = 'i';
+  push(e);
+}
+
+const char* TraceSession::intern(const std::string& s) {
+  const auto it = interned_.find(s);
+  if (it != interned_.end()) return it->second;
+  detail_storage_.push_back(s);
+  const char* p = detail_storage_.back().c_str();
+  interned_.emplace(s, p);
+  return p;
+}
+
+std::vector<TraceEvent> TraceSession::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(count_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string TraceSession::to_chrome_json() const {
+  std::string out;
+  out.reserve(count_ * 96 + 256);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < count_; ++i) {
+    const TraceEvent& e = ring_[(head_ + i) % ring_.size()];
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    json_escape_into(out, e.name);
+    out += "\",\"cat\":\"";
+    json_escape_into(out, e.cat);
+    out += "\",\"ph\":\"";
+    out += e.ph;
+    out += "\",\"ts\":";
+    append_us(out, e.ts_ps);
+    if (e.ph == 'X') {
+      out += ",\"dur\":";
+      append_us(out, e.dur_ps);
+    }
+    out += ",\"pid\":0,\"tid\":" + std::to_string(e.tid);
+    if (e.ph == 'i') out += ",\"s\":\"g\"";  // global-scope instant (renders as a marker)
+    std::string args;
+    for (const TraceArg& a : e.args) {
+      if (a.name == nullptr) continue;
+      if (!args.empty()) args += ',';
+      args += '"';
+      json_escape_into(args, a.name);
+      args += "\":";
+      if (e.ph == 'C') {
+        // Counter values are stored fixed-point at micro-resolution.
+        char buf[48];
+        const std::uint64_t mag =
+            a.value < 0 ? -static_cast<std::uint64_t>(a.value) : static_cast<std::uint64_t>(a.value);
+        std::snprintf(buf, sizeof buf, "%s%llu.%06llu", a.value < 0 ? "-" : "",
+                      static_cast<unsigned long long>(mag / 1'000'000),
+                      static_cast<unsigned long long>(mag % 1'000'000));
+        args += buf;
+      } else {
+        args += std::to_string(a.value);
+      }
+    }
+    if (e.detail >= 0 && static_cast<std::size_t>(e.detail) < detail_storage_.size()) {
+      if (!args.empty()) args += ',';
+      args += "\"detail\":\"";
+      json_escape_into(args, detail_storage_[static_cast<std::size_t>(e.detail)].c_str());
+      args += '"';
+    }
+    if (!args.empty()) out += ",\"args\":{" + args + "}";
+    out += '}';
+  }
+  out += "],\"otherData\":{\"droppedEvents\":" + std::to_string(dropped_) + "}}";
+  return out;
+}
+
+bool TraceSession::write_chrome_json(const std::string& path) const {
+  const std::filesystem::path p{path};
+  std::error_code ec;
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path(), ec);
+  std::ofstream f{p};
+  if (!f) {
+    std::fprintf(stderr, "telemetry: failed to open %s for writing\n", path.c_str());
+    return false;
+  }
+  f << to_chrome_json();
+  return static_cast<bool>(f);
+}
+
+}  // namespace rbs::telemetry

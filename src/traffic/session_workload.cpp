@@ -24,7 +24,7 @@ SessionWorkload::SessionWorkload(sim::Simulation& sim, net::Dumbbell& topo,
     const auto delay =
         sim::SimTime::from_seconds(rng_.exponential(config_.mean_think_time_sec));
     sessions_[static_cast<std::size_t>(i)].next_start =
-        sim_.after(delay, [this, i] { start_transfer(i); });
+        sim_.after(delay, [this, i] { start_transfer(i); }, sim::EventClass::kWorkload);
   }
 }
 
@@ -46,7 +46,8 @@ void SessionWorkload::start_transfer(int session_index) {
                                                     config_.tcp, length);
   session.source->set_completion_callback([this, session_index](tcp::TcpSource&) {
     // The source is inside its ACK handler; defer the teardown.
-    sim_.after(sim::SimTime::zero(), [this, session_index] { finish_transfer(session_index); });
+    sim_.after(sim::SimTime::zero(), [this, session_index] { finish_transfer(session_index); },
+               sim::EventClass::kWorkload);
   });
   session.source->start(sim_.now());
   ++started_;
@@ -66,7 +67,8 @@ void SessionWorkload::finish_transfer(int session_index) {
   if (stopped_) return;
   const auto think =
       sim::SimTime::from_seconds(rng_.exponential(config_.mean_think_time_sec));
-  session.next_start = sim_.after(think, [this, session_index] { start_transfer(session_index); });
+  session.next_start = sim_.after(
+      think, [this, session_index] { start_transfer(session_index); }, sim::EventClass::kWorkload);
 }
 
 }  // namespace rbs::traffic

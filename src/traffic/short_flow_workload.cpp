@@ -24,20 +24,26 @@ ShortFlowWorkload::ShortFlowWorkload(sim::Simulation& sim, net::Dumbbell& topo,
       rng_{sim.rng().fork(config.rng_stream)},
       next_flow_id_{config.first_flow_id} {
   assert(config_.arrivals_per_sec > 0);
-  arrival_event_ = sim_.at(config_.start, [this] {
-    launch_flow();
-    schedule_next_arrival();
-  });
+  arrival_event_ = sim_.at(
+      config_.start,
+      [this] {
+        launch_flow();
+        schedule_next_arrival();
+      },
+      sim::EventClass::kWorkload);
 }
 
 ShortFlowWorkload::~ShortFlowWorkload() { stop_arrivals(); }
 
 void ShortFlowWorkload::schedule_next_arrival() {
   const double gap_sec = rng_.exponential(1.0 / config_.arrivals_per_sec);
-  arrival_event_ = sim_.after(sim::SimTime::from_seconds(gap_sec), [this] {
-    launch_flow();
-    schedule_next_arrival();
-  });
+  arrival_event_ = sim_.after(
+      sim::SimTime::from_seconds(gap_sec),
+      [this] {
+        launch_flow();
+        schedule_next_arrival();
+      },
+      sim::EventClass::kWorkload);
 }
 
 void ShortFlowWorkload::launch_flow() {
@@ -56,7 +62,8 @@ void ShortFlowWorkload::launch_flow() {
                                                length);
   af.source->set_completion_callback([this, flow](tcp::TcpSource&) {
     // Defer teardown: the source is still inside its ACK handler.
-    sim_.after(sim::SimTime::zero(), [this, flow] { reap_flow(flow); });
+    sim_.after(sim::SimTime::zero(), [this, flow] { reap_flow(flow); },
+               sim::EventClass::kWorkload);
   });
   af.source->start(sim_.now());
 

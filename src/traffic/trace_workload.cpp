@@ -67,7 +67,7 @@ TraceWorkload::TraceWorkload(sim::Simulation& sim, net::Dumbbell& topo,
   for (std::size_t i = 0; i < records_.size(); ++i) {
     const auto at =
         sim::SimTime::from_seconds(records_[i].arrival_sec * config_.time_scale);
-    launches_.push_back(sim_.at(at, [this, i] { launch(i); }));
+    launches_.push_back(sim_.at(at, [this, i] { launch(i); }, sim::EventClass::kWorkload));
   }
 }
 
@@ -88,7 +88,7 @@ void TraceWorkload::launch(std::size_t index) {
                                                topo_.receiver(leaf).id(), flow, config_.tcp,
                                                record.size_packets);
   af.source->set_completion_callback([this, flow](tcp::TcpSource&) {
-    sim_.after(sim::SimTime::zero(), [this, flow] { reap(flow); });
+    sim_.after(sim::SimTime::zero(), [this, flow] { reap(flow); }, sim::EventClass::kWorkload);
   });
   af.source->start(sim_.now());
   active_.emplace(flow, std::move(af));

@@ -22,7 +22,7 @@ UdpSource::~UdpSource() {
 }
 
 void UdpSource::start(sim::SimTime at) {
-  next_send_ = sim_.at(at, [this] { send_one(); });
+  next_send_ = sim_.at(at, [this] { send_one(); }, sim::EventClass::kWorkload);
 }
 
 sim::SimTime UdpSource::next_gap() {
@@ -45,7 +45,7 @@ void UdpSource::send_one() {
   p.timestamp = sim_.now();
   host_.send(p);
   ++packets_sent_;
-  next_send_ = sim_.after(next_gap(), [this] { send_one(); });
+  next_send_ = sim_.after(next_gap(), [this] { send_one(); }, sim::EventClass::kWorkload);
 }
 
 UdpSink::UdpSink(net::Host& host, net::FlowId flow) : host_{host}, flow_{flow} {

@@ -88,6 +88,62 @@ TEST(PacketTracer, BoundedBufferCountsOverflow) {
   EXPECT_EQ(tracer.dropped_records(), 90u);
 }
 
+TEST(PacketTracer, ProducesUnifiedTraceEvents) {
+  sim::Simulation sim{1};
+  telemetry::TraceSession session{4096};
+  sim.set_trace(&session);
+  DumbbellConfig cfg;
+  cfg.num_leaves = 1;
+  cfg.access_delays = {5_ms};
+  Dumbbell topo{sim, cfg};
+
+  PacketTracer tracer{sim};
+  tracer.attach(topo.bottleneck());
+  tcp::TcpSink sink{sim, topo.receiver(0), 1};
+  tcp::TcpSource src{sim, topo.sender(0), topo.receiver(0).id(), 1, tcp::TcpConfig{}, 20};
+  src.start(SimTime::zero());
+  sim.run();
+
+  // The tracer's filtered view rides the same session as the links' own
+  // packet spans, under its own category.
+  std::size_t tracer_events = 0;
+  for (const auto& e : session.events()) {
+    if (std::string_view{e.cat} == "tracer") ++tracer_events;
+  }
+  EXPECT_EQ(tracer_events, tracer.records().size());
+  EXPECT_GT(tracer_events, 0u);
+}
+
+TEST(PacketTracer, RingModeKeepsTheNewestRecords) {
+  sim::Simulation sim{1};
+  DumbbellConfig cfg;
+  cfg.num_leaves = 1;
+  cfg.access_delays = {5_ms};
+  Dumbbell topo{sim, cfg};
+
+  PacketTracer tracer{sim, /*max_records=*/10, PacketTracer::OverflowPolicy::kRing};
+  tracer.attach(topo.bottleneck());
+  tcp::TcpSink sink{sim, topo.receiver(0), 1};
+  tcp::TcpSource src{sim, topo.sender(0), topo.receiver(0).id(), 1, tcp::TcpConfig{}, 100};
+  src.start(SimTime::zero());
+  sim.run();
+
+  const auto records = tracer.records();
+  ASSERT_EQ(records.size(), 10u);
+  EXPECT_EQ(tracer.dropped_records(), 90u);
+  // Ring mode keeps the most recent window in chronological order — under
+  // kStop the buffer would have frozen at the start of the run instead.
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LE(records[i - 1].time.ps(), records[i].time.ps());
+  }
+  // The surviving window is the tail of the run, not its head (kStop keeps
+  // the head; see BoundedBufferCountsOverflow above).
+  EXPECT_GT(records.front().time.ps(), 0);
+  const auto text = tracer.to_text();
+  EXPECT_NE(text.find("overwritten"), std::string::npos);
+  EXPECT_NE(text.find("90"), std::string::npos);
+}
+
 TEST(PacketTracer, TextRenderingContainsEventFields) {
   sim::Simulation sim{1};
   DumbbellConfig cfg;

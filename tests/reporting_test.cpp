@@ -43,6 +43,45 @@ TEST(TablePrinter, CsvRoundTrip) {
   EXPECT_EQ(t.to_csv(), "x,y\n1,2\n3,4\n");
 }
 
+TEST(TablePrinter, CsvQuotesSpecialCharactersPerRfc4180) {
+  // Regression: cells containing commas/quotes/newlines used to be joined
+  // verbatim, silently corrupting downstream column parsing.
+  TablePrinter t{{"name", "detail"}};
+  t.add_row({"a,b", "says \"hi\""});
+  t.add_row({"line\nbreak", "plain"});
+  EXPECT_EQ(t.to_csv(),
+            "name,detail\n"
+            "\"a,b\",\"says \"\"hi\"\"\"\n"
+            "\"line\nbreak\",plain\n");
+}
+
+TEST(WriteSeriesArtifacts, EmitsCsvAndGnuplotScript) {
+  telemetry::SeriesTable series;
+  series.columns = {"queue_depth_pkts", "utilization"};
+  series.times_ps = {1'000'000'000'000, 2'000'000'000'000};
+  series.rows = {{5.0, 0.5}, {7.0, 0.9}};
+
+  const auto dir = std::filesystem::temp_directory_path() / "rbs_series_artifacts_test";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(write_series_artifacts(dir.string(), "point0", "demo", series));
+
+  std::ifstream csv{dir / "point0.csv"};
+  std::string header;
+  std::getline(csv, header);
+  EXPECT_EQ(header, "time_sec,queue_depth_pkts,utilization");
+
+  std::ifstream gp{dir / "point0.gp"};
+  const std::string script{std::istreambuf_iterator<char>{gp}, {}};
+  EXPECT_NE(script.find("point0.csv"), std::string::npos);
+  EXPECT_NE(script.find("using 1:2"), std::string::npos);  // queue depth vs time
+  EXPECT_NE(script.find("using 1:3"), std::string::npos);  // utilization vs time
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WriteSeriesArtifacts, EmptySeriesIsANoop) {
+  EXPECT_TRUE(write_series_artifacts("/nonexistent-dir-never-created", "x", "t", {}));
+}
+
 TEST(Format, BehavesLikePrintf) {
   EXPECT_EQ(format("%d-%s-%.2f", 7, "abc", 1.5), "7-abc-1.50");
 }

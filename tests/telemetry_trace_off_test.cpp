@@ -1,0 +1,45 @@
+// Compiled with -DRBS_TRACE_ENABLED=0 (see tests/CMakeLists.txt): proves the
+// RBS_TRACE_* macros vanish at compile time — arguments are not evaluated,
+// so instrumented hot paths carry zero telemetry code in a tracing-off
+// build. A runtime-visible side effect inside each macro argument is the
+// witness: if any argument were evaluated, the counter would move.
+#include <gtest/gtest.h>
+
+#include "sim/time.hpp"
+#include "telemetry/trace.hpp"
+
+static_assert(RBS_TRACE_ENABLED == 0,
+              "this TU must be compiled with tracing disabled");
+
+namespace {
+
+using namespace rbs;
+
+int side_effects = 0;
+
+telemetry::TraceSession* touch_session() {
+  ++side_effects;
+  return nullptr;
+}
+
+sim::SimTime touch_time() {
+  ++side_effects;
+  return sim::SimTime::zero();
+}
+
+TEST(TraceOff, MacroArgumentsAreNotEvaluated) {
+  RBS_TRACE_INSTANT(touch_session(), "cat", "name", touch_time());
+  RBS_TRACE_COMPLETE(touch_session(), "cat", "name", touch_time(), touch_time());
+  RBS_TRACE_COUNTER(touch_session(), "cat", "name", touch_time(), ++side_effects);
+  EXPECT_EQ(side_effects, 0);
+}
+
+TEST(TraceOff, SessionApiStillLinks) {
+  // Disabling the macros must not disable the library: a session created
+  // explicitly keeps working (exporters, tests, tools rely on it).
+  telemetry::TraceSession s{8};
+  s.instant("t", "e", sim::SimTime::zero());
+  EXPECT_EQ(s.size(), 1u);
+}
+
+}  // namespace
