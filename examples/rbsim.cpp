@@ -31,6 +31,11 @@
 //               events every registered subsystem re-verifies its internal
 //               state (queue conservation, heap order, TCP sequence bounds)
 //               and the run aborts with a report on any violation [0]
+//   --faults FILE  (or faults=FILE) arm a fault schedule against the
+//               topology: link outages/flaps, rate brown-outs, delay
+//               surges, loss bursts, queue freezes. One directive per
+//               line; see docs/faults.md for the format. Applies to every
+//               mode (and to every point of a buffer sweep).
 //
 // Telemetry (see docs/observability.md):
 //   --metrics PATH        (or metrics=PATH) collect the metrics registry and
@@ -63,6 +68,8 @@
 #include "experiment/reporting.hpp"
 #include "experiment/short_flow_experiment.hpp"
 #include "experiment/sweep.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_schedule.hpp"
 #include "stats/utilization.hpp"
 #include "telemetry/sweep_profile.hpp"
 #include "telemetry/trace.hpp"
@@ -129,7 +136,8 @@ int run_rbsim(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::printf("usage: rbsim [--paranoia] [--profile] [--metrics PATH] [--trace PATH]\n"
-                  "             [--sample-interval SEC] [key=value ...] [config-file]\n"
+                  "             [--sample-interval SEC] [--faults FILE]\n"
+                  "             [key=value ...] [config-file]\n"
                   "see the header of examples/rbsim.cpp for the key list\n");
       return 0;
     }
@@ -144,14 +152,16 @@ int run_rbsim(int argc, char** argv) {
     // Flags taking a value in the following argv slot. "--trace" maps to the
     // kv key "trace_out" because plain "trace" already names the replay
     // input file of mode=trace.
-    if (arg == "--metrics" || arg == "--trace" || arg == "--sample-interval") {
+    if (arg == "--metrics" || arg == "--trace" || arg == "--sample-interval" ||
+        arg == "--faults") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "rbsim: %s needs a value\n", arg.c_str());
         return 2;
       }
-      const char* key = arg == "--metrics" ? "metrics"
-                        : arg == "--trace" ? "trace_out"
-                                           : "sample_interval";
+      const char* key = arg == "--metrics"         ? "metrics"
+                        : arg == "--trace"         ? "trace_out"
+                        : arg == "--sample-interval" ? "sample_interval"
+                                                     : "faults";
       kv[key] = argv[++i];
       continue;
     }
@@ -205,6 +215,16 @@ int run_rbsim(int argc, char** argv) {
   const int threads = static_cast<int>(get_num(kv, "threads", 0));
   const bool paranoia = get_num(kv, "paranoia", 0) > 0;
   if (paranoia) std::printf("rbsim: paranoia mode on — invariant auditor attached\n");
+
+  // Fault schedule, applied identically to every mode (and every sweep
+  // point). Parse errors are fatal and name the offending line.
+  fault::FaultSchedule faults;
+  const std::string faults_path = get_str(kv, "faults", "");
+  if (!faults_path.empty()) {
+    faults = fault::FaultSchedule::parse_file(faults_path);
+    std::printf("rbsim: fault schedule '%s' armed — %zu events, horizon %.1f s\n",
+                faults_path.c_str(), faults.size(), faults.horizon().to_seconds());
+  }
 
   // Telemetry configuration shared by every mode. The trace session is a
   // single shared ring buffer, so it only attaches to single-point runs; a
@@ -309,6 +329,7 @@ int run_rbsim(int argc, char** argv) {
       cfg.sink.delayed_ack = get_num(kv, "delack", 0) > 0;
       cfg.telemetry = tele_cfg;
       cfg.telemetry.trace = nullptr;  // shared session; single-point runs only
+      cfg.faults = faults;
 
       const auto results = runner.map<experiment::LongFlowExperimentResult>(
           buffers.size(), [&](std::size_t i) {
@@ -344,6 +365,7 @@ int run_rbsim(int argc, char** argv) {
       cfg.checked = paranoia;
       cfg.telemetry = tele_cfg;
       cfg.telemetry.trace = nullptr;
+      cfg.faults = faults;
 
       const auto results = runner.map<experiment::ShortFlowExperimentResult>(
           buffers.size(), [&](std::size_t i) {
@@ -380,6 +402,7 @@ int run_rbsim(int argc, char** argv) {
       cfg.checked = paranoia;
       cfg.telemetry = tele_cfg;
       cfg.telemetry.trace = nullptr;
+      cfg.faults = faults;
 
       const auto results = runner.map<experiment::MixedFlowExperimentResult>(
           buffers.size(), [&](std::size_t i) {
@@ -425,6 +448,7 @@ int run_rbsim(int argc, char** argv) {
     cfg.tcp.pacing = get_num(kv, "pacing", 0) > 0;
     cfg.sink.delayed_ack = get_num(kv, "delack", 0) > 0;
     cfg.telemetry = tele_cfg;
+    cfg.faults = faults;
 
     const auto r = run_long_flow_experiment(cfg);
     const core::LongFlowLink model{rate_bps, rtt_sec, flows, 1000};
@@ -442,6 +466,10 @@ int run_rbsim(int argc, char** argv) {
                 static_cast<unsigned long long>(r.tcp_stats.timeouts),
                 static_cast<unsigned long long>(r.tcp_stats.fast_retransmits),
                 static_cast<unsigned long long>(r.tcp_stats.ecn_reductions));
+    if (!faults.empty()) {
+      std::printf("faults          : %llu packets lost to injected faults\n",
+                  static_cast<unsigned long long>(r.fault_drops));
+    }
     emit_telemetry(r.telemetry);
     return 0;
   }
@@ -457,6 +485,7 @@ int run_rbsim(int argc, char** argv) {
     cfg.seed = seed;
     cfg.checked = paranoia;
     cfg.telemetry = tele_cfg;
+    cfg.faults = faults;
     const auto r = run_short_flow_experiment(cfg);
     const auto m = core::burst_moments_for_flow(cfg.flow_packets);
     std::printf("utilization : %.2f%% (offered load %.2f)\n", 100 * r.utilization, cfg.load);
@@ -469,6 +498,10 @@ int run_rbsim(int argc, char** argv) {
                 r.drop_probability,
                 core::queue_tail_probability(cfg.load, m,
                                              static_cast<double>(buffer)));
+    if (!faults.empty()) {
+      std::printf("faults      : %llu packets lost to injected faults\n",
+                  static_cast<unsigned long long>(r.fault_drops));
+    }
     emit_telemetry(r.telemetry);
     return 0;
   }
@@ -485,6 +518,7 @@ int run_rbsim(int argc, char** argv) {
     cfg.seed = seed;
     cfg.checked = paranoia;
     cfg.telemetry = tele_cfg;
+    cfg.faults = faults;
     const auto r = run_mixed_flow_experiment(cfg);
     std::printf("utilization       : %.2f%%\n", 100 * r.utilization);
     std::printf("short-flow AFCT   : %.1f ms over %llu flows\n", 1e3 * r.afct_seconds,
@@ -492,6 +526,10 @@ int run_rbsim(int argc, char** argv) {
     std::printf("long-flow goodput : %.1f Mb/s\n", r.long_flow_throughput_bps / 1e6);
     std::printf("drop probability  : %.4f\n", r.drop_probability);
     std::printf("mean queue        : %.1f pkts\n", r.mean_queue_packets);
+    if (!faults.empty()) {
+      std::printf("faults            : %llu packets lost to injected faults\n",
+                  static_cast<unsigned long long>(r.fault_drops));
+    }
     emit_telemetry(r.telemetry);
     return 0;
   }
@@ -526,10 +564,18 @@ int run_rbsim(int argc, char** argv) {
     tele.add_probe("flows_active", [&wl] { return static_cast<double>(wl.flows_active()); });
     tele.start(sim.now() + tele_cfg.sample_interval);
 
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (!faults.empty()) {
+      injector = std::make_unique<fault::FaultInjector>(sim);
+      for (const auto& link : topo.links()) injector->attach(*link);
+      injector->arm(faults);
+    }
+
     check::InvariantAuditor auditor;
     if (paranoia) {
       auditor.add("bottleneck.queue", topo.bottleneck().queue());
       auditor.add("trace_flows", wl);
+      if (injector) auditor.add("fault.injector", *injector);
       sim.enable_auditing(auditor);
     }
 

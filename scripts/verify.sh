@@ -1,34 +1,87 @@
 #!/usr/bin/env bash
 # Full verification pass:
+#   0. preflight: every tool the pass needs must exist up front; a missing
+#      tool is a hard failure with a named diagnostic, never a silent skip
 #   1. tier-1: RelWithDebInfo build + complete ctest suite
 #   2. determinism lint: scripts/lint_determinism.py over src/
-#   3. bench smoke: one short repetition of the engine microbenchmarks
-#   4. telemetry smoke: one instrumented rbsim run; validate the Chrome
+#   3. fault scenarios: the deterministic failure-scenario suite plus an
+#      rbsim --faults smoke run (schedule parse, arming banner, fault report)
+#   4. bench smoke: one short repetition of the engine microbenchmarks
+#   5. telemetry smoke: one instrumented rbsim run; validate the Chrome
 #      trace and metrics artifacts with scripts/check_telemetry.py
-#   5. ASan/UBSan + RBS_CHECKED: rebuild with AddressSanitizer +
+#   6. ASan/UBSan + RBS_CHECKED: rebuild with AddressSanitizer +
 #      UndefinedBehaviorSanitizer and the hot-path invariant macros armed,
 #      run the complete test suite
-#   6. TSAN: rebuild scheduler + sweep runner under ThreadSanitizer and run
+#   7. TSAN: rebuild scheduler + sweep runner under ThreadSanitizer and run
 #      the concurrency-sensitive tests (scheduler_test, sweep_test)
 #
 # Usage: scripts/verify.sh [jobs]
+#
+# gnuplot is only needed to render the .gp figure scripts the bench targets
+# emit; set RBS_VERIFY_ALLOW_MISSING_GNUPLOT=1 to run the pass without it.
+# The opt-out is printed loudly — there is no silent skip.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "=== [1/6] tier-1 build + tests ==="
+echo "=== [0/7] preflight: required tools ==="
+missing=0
+for tool in cmake ctest python3 gnuplot; do
+  if ! command -v "$tool" >/dev/null 2>&1; then
+    if [[ "$tool" == gnuplot && "${RBS_VERIFY_ALLOW_MISSING_GNUPLOT:-0}" == 1 ]]; then
+      echo "verify: WARNING: 'gnuplot' not found; figure rendering disabled" \
+           "(RBS_VERIFY_ALLOW_MISSING_GNUPLOT=1)" >&2
+      continue
+    fi
+    case "$tool" in
+      cmake)   why="configures and drives every build in this pass" ;;
+      ctest)   why="runs the test suites" ;;
+      python3) why="runs the determinism lint and telemetry validation" ;;
+      gnuplot) why="renders emitted .gp figure scripts (set RBS_VERIFY_ALLOW_MISSING_GNUPLOT=1 to proceed without figures)" ;;
+    esac
+    echo "verify: FATAL: required tool '$tool' not found in PATH — $why" >&2
+    missing=1
+  fi
+done
+if [[ "$missing" -ne 0 ]]; then
+  echo "verify: aborting before any build step; install the tools above" >&2
+  exit 1
+fi
+
+echo "=== [1/7] tier-1 build + tests ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [2/6] determinism lint ==="
+echo "=== [2/7] determinism lint ==="
 cmake --build build --target lint
 
-echo "=== [3/6] bench smoke ==="
+echo "=== [3/7] fault scenarios + rbsim --faults smoke ==="
+ctest --test-dir build --output-on-failure -j "$JOBS" \
+  -R 'FaultScenarioTest|FaultFuzz|FaultScheduleTest|FaultLinkTest|InjectorTest'
+mkdir -p build/fault_smoke
+cat > build/fault_smoke/faults.txt <<'EOF'
+# verify.sh smoke schedule: one mid-run outage plus a loss burst.
+down bottleneck_fwd 1.2 0.1
+loss bottleneck_fwd 1.6 0.2 0.3
+EOF
+./build/examples/rbsim mode=long flows=10 duration=2 warmup=1 \
+  --faults build/fault_smoke/faults.txt | tee build/fault_smoke/out.txt
+grep -q "fault schedule" build/fault_smoke/out.txt
+grep -q "injected faults" build/fault_smoke/out.txt
+# A malformed schedule must be rejected with a line-numbered diagnostic.
+if ./build/examples/rbsim mode=long duration=1 warmup=0 \
+     --faults <(echo "bogus line") >/dev/null 2>build/fault_smoke/err.txt; then
+  echo "verify: FATAL: rbsim accepted a malformed fault schedule" >&2
+  exit 1
+fi
+grep -q "line 1" build/fault_smoke/err.txt
+
+echo "=== [4/7] bench smoke ==="
 cmake --build build -j "$JOBS" --target bench_smoke
 
-echo "=== [4/6] telemetry smoke ==="
+echo "=== [5/7] telemetry smoke ==="
 mkdir -p build/telemetry_smoke
 ./build/examples/rbsim mode=long flows=20 duration=2 warmup=1 \
   --metrics build/telemetry_smoke/metrics.json \
@@ -38,12 +91,12 @@ python3 scripts/check_telemetry.py \
   --metrics build/telemetry_smoke/metrics.json \
   --min-trace-events 1000
 
-echo "=== [5/6] ASan/UBSan + RBS_CHECKED: full test suite ==="
+echo "=== [6/7] ASan/UBSan + RBS_CHECKED: full test suite ==="
 cmake -B build-asan -S . -DRBS_ASAN=ON -DRBS_CHECKED=ON >/dev/null
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "=== [6/6] ThreadSanitizer: scheduler_test + sweep_test ==="
+echo "=== [7/7] ThreadSanitizer: scheduler_test + sweep_test ==="
 cmake -B build-tsan -S . -DRBS_TSAN=ON >/dev/null
 cmake --build build-tsan -j "$JOBS" --target scheduler_test sweep_test
 ./build-tsan/tests/scheduler_test

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <memory>
 
+#include "fault/fault_injector.hpp"
 #include "sim/simulation.hpp"
 #include "stats/delay_recorder.hpp"
 #include "stats/online_stats.hpp"
@@ -35,11 +36,21 @@ LongFlowExperimentResult run_long_flow_experiment(const LongFlowExperimentConfig
   wl_cfg.start_stagger = std::min(config.warmup, sim::SimTime::seconds(5));
   traffic::LongFlowWorkload workload{sim, topo, wl_cfg};
 
+  // Arm fault injection before warm-up so schedules can hit any phase of
+  // the run. An empty schedule creates no injector and perturbs nothing.
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (!config.faults.empty()) {
+    injector = std::make_unique<fault::FaultInjector>(sim);
+    for (const auto& link : topo.links()) injector->attach(*link);
+    injector->arm(config.faults);
+  }
+
   std::unique_ptr<check::InvariantAuditor> auditor;
   if (config.checked) {
     auditor = std::make_unique<check::InvariantAuditor>();
     auditor->add("bottleneck.queue", topo.bottleneck().queue());
     auditor->add("tcp", workload);
+    if (injector) auditor->add("fault.injector", *injector);
     sim.enable_auditing(*auditor, config.audit_every_events);
   }
 
@@ -141,6 +152,7 @@ LongFlowExperimentResult run_long_flow_experiment(const LongFlowExperimentConfig
     }
     result.fairness = stats::jain_fairness_index(goodput);
   }
+  for (const auto& link : topo.links()) result.fault_drops += link->fault_stats().total();
   result.telemetry = tele.finish();
   return result;
 }

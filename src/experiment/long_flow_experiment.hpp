@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "experiment/telemetry_hookup.hpp"
+#include "fault/fault_schedule.hpp"
 #include "net/dumbbell.hpp"
 #include "stats/time_series.hpp"
 #include "tcp/tcp_sink.hpp"
@@ -55,6 +56,10 @@ struct LongFlowExperimentConfig {
 
   /// Observability: metrics snapshot + time series, tracing, profiling.
   TelemetryConfig telemetry{};
+
+  /// Injected fault windows (empty = no injector, bitwise-identical run;
+  /// see docs/faults.md). Links are addressed by topology name.
+  fault::FaultSchedule faults{};
 };
 
 struct LongFlowExperimentResult {
@@ -81,6 +86,10 @@ struct LongFlowExperimentResult {
   /// Jain fairness index of per-flow goodput over the measurement window;
   /// only filled when record_delays is set.
   double fairness{0.0};
+
+  /// Packets lost to injected faults across all links over the whole run
+  /// (down/in-flight/flushed/corrupted); zero without a fault schedule.
+  std::uint64_t fault_drops{0};
 
   /// Snapshot + series collected per the config's TelemetryConfig.
   TelemetryResult telemetry;

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <memory>
 
+#include "fault/fault_injector.hpp"
 #include "sim/simulation.hpp"
 #include "stats/online_stats.hpp"
 #include "stats/time_series.hpp"
@@ -85,11 +86,19 @@ MixedFlowExperimentResult run_mixed_flow_experiment(const MixedFlowExperimentCon
     udp->start(sim::SimTime::zero());
   }
 
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (!config.faults.empty()) {
+    injector = std::make_unique<fault::FaultInjector>(sim);
+    for (const auto& link : topo.links()) injector->attach(*link);
+    injector->arm(config.faults);
+  }
+
   std::unique_ptr<check::InvariantAuditor> auditor;
   if (config.checked) {
     auditor = std::make_unique<check::InvariantAuditor>();
     auditor->add("bottleneck.queue", topo.bottleneck().queue());
     auditor->add("short_flows", short_flows);
+    if (injector) auditor->add("fault.injector", *injector);
     auditor->add("long_flows", [&long_sources, &long_sinks](check::AuditReport& report) {
       for (const auto& s : long_sources) s->audit(report);
       for (const auto& s : long_sinks) s->audit(report);
@@ -155,6 +164,7 @@ MixedFlowExperimentResult run_mixed_flow_experiment(const MixedFlowExperimentCon
   result.drop_probability = offered > 0 ? static_cast<double>(qstats.dropped_packets) /
                                               static_cast<double>(offered)
                                         : 0.0;
+  for (const auto& link : topo.links()) result.fault_drops += link->fault_stats().total();
   result.telemetry = tele.finish();
   return result;
 }

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "experiment/telemetry_hookup.hpp"
+#include "fault/fault_schedule.hpp"
 #include "net/dumbbell.hpp"
 #include "tcp/tcp_source.hpp"
 #include "traffic/flow_size.hpp"
@@ -52,6 +53,9 @@ struct MixedFlowExperimentConfig {
 
   /// Observability: metrics snapshot + time series, tracing, profiling.
   TelemetryConfig telemetry{};
+
+  /// Injected fault windows (empty = no injector; see docs/faults.md).
+  fault::FaultSchedule faults{};
 };
 
 struct MixedFlowExperimentResult {
@@ -63,6 +67,9 @@ struct MixedFlowExperimentResult {
   double mean_rtt_sec{0.0};
   double bdp_packets{0.0};
   double long_flow_throughput_bps{0.0};  ///< delivered by long flows
+
+  /// Packets lost to injected faults across all links over the whole run.
+  std::uint64_t fault_drops{0};
 
   /// Snapshot + series collected per the config's TelemetryConfig.
   TelemetryResult telemetry;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 
+#include "fault/fault_injector.hpp"
 #include "sim/simulation.hpp"
 #include "stats/online_stats.hpp"
 #include "stats/time_series.hpp"
@@ -32,11 +34,19 @@ ShortFlowExperimentResult run_short_flow_experiment(const ShortFlowExperimentCon
       config.load, config.bottleneck_rate_bps, sizes.mean(), config.tcp.segment_bytes);
   traffic::ShortFlowWorkload workload{sim, topo, sizes, wl_cfg};
 
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (!config.faults.empty()) {
+    injector = std::make_unique<fault::FaultInjector>(sim);
+    for (const auto& link : topo.links()) injector->attach(*link);
+    injector->arm(config.faults);
+  }
+
   std::unique_ptr<check::InvariantAuditor> auditor;
   if (config.checked) {
     auditor = std::make_unique<check::InvariantAuditor>();
     auditor->add("bottleneck.queue", topo.bottleneck().queue());
     auditor->add("short_flows", workload);
+    if (injector) auditor->add("fault.injector", *injector);
     sim.enable_auditing(*auditor, config.audit_every_events);
   }
 
@@ -104,6 +114,7 @@ ShortFlowExperimentResult run_short_flow_experiment(const ShortFlowExperimentCon
       result.queue_tail[b] = above / static_cast<double>(occupancy_samples);
     }
   }
+  for (const auto& link : topo.links()) result.fault_drops += link->fault_stats().total();
   result.telemetry = tele.finish();
   return result;
 }

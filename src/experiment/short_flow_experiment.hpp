@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "experiment/telemetry_hookup.hpp"
+#include "fault/fault_schedule.hpp"
 #include "net/dumbbell.hpp"
 #include "stats/histogram.hpp"
 #include "tcp/tcp_source.hpp"
@@ -44,6 +45,9 @@ struct ShortFlowExperimentConfig {
 
   /// Observability: metrics snapshot + time series, tracing, profiling.
   TelemetryConfig telemetry{};
+
+  /// Injected fault windows (empty = no injector; see docs/faults.md).
+  fault::FaultSchedule faults{};
 };
 
 struct ShortFlowExperimentResult {
@@ -56,6 +60,9 @@ struct ShortFlowExperimentResult {
   /// sampled every packet-service-time during measurement.
   std::vector<double> queue_tail;
   double mean_rtt_sec{0.0};
+
+  /// Packets lost to injected faults across all links over the whole run.
+  std::uint64_t fault_drops{0};
 
   /// Snapshot + series collected per the config's TelemetryConfig.
   TelemetryResult telemetry;

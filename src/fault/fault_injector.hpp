@@ -1,0 +1,95 @@
+// FaultInjector: arms a FaultSchedule against a running Simulation.
+//
+// The injector owns the mapping from schedule events to link fault hooks.
+// Links are attached by name; arm() then schedules one onset and one
+// recovery callback per fault window (EventClass::kFault), emits a `fault`
+// instant on the Chrome trace timeline at each edge, and counts onsets in
+// the `faults.events` metric family.
+//
+// Overlap semantics: windows of the same kind on the same link compose —
+// a link is down while *any* down window covers it, rate factors multiply,
+// extra delays add, and overlapping loss bursts combine as independent
+// corruption processes (p = 1 - Π(1 - pᵢ)). Each state is recomputed from
+// the set of active windows, so when the last window closes the link is
+// restored to exactly its unfaulted configuration.
+//
+// Determinism: loss-burst draws come from a private fork of the
+// simulation's root RNG (forking does not consume root state), so an
+// injector with an empty schedule leaves the run bitwise identical to one
+// with no injector at all — the no-fault equivalence contract tested in
+// tests/golden_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "check/auditor.hpp"
+#include "fault/fault_schedule.hpp"
+#include "net/link.hpp"
+#include "sim/simulation.hpp"
+
+namespace rbs::fault {
+
+/// Lifetime counters for one injector.
+struct FaultInjectorTotals {
+  std::uint64_t events_armed{0};
+  std::uint64_t onsets_fired{0};
+  std::uint64_t recoveries_fired{0};
+};
+
+/// Schedules fault onsets/recoveries and drives the links' fault hooks.
+class FaultInjector {
+ public:
+  explicit FaultInjector(sim::Simulation& sim);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Registers `link` as a fault target under its name(). The link must
+  /// outlive the injector's armed events.
+  void attach(net::Link& link);
+
+  /// Number of attached links.
+  [[nodiscard]] std::size_t attached_links() const noexcept { return targets_.size(); }
+
+  /// Validates `schedule` and schedules every fault window. Throws
+  /// std::invalid_argument if the schedule is malformed or names a link
+  /// that was not attached. May be called more than once; schedules
+  /// accumulate.
+  void arm(const FaultSchedule& schedule);
+
+  [[nodiscard]] const FaultInjectorTotals& totals() const noexcept { return totals_; }
+
+  /// Invariant audit for check::InvariantAuditor: every link's fault state
+  /// must agree with the injector's active-window bookkeeping, and every
+  /// onset must eventually pair with a recovery.
+  void audit(check::AuditReport& report) const;
+
+ private:
+  /// Active fault windows for one attached link.
+  struct Target {
+    net::Link* link{nullptr};
+    int down_windows{0};
+    int freeze_windows{0};
+    std::vector<double> rate_factors;
+    std::vector<sim::SimTime> delay_extras;
+    std::vector<double> loss_probs;
+  };
+
+  void begin(Target& target, const FaultEvent& event);
+  void end(Target& target, const FaultEvent& event);
+  void apply(Target& target, FaultKind kind);
+  void trace_edge(const char* edge, const FaultEvent& event);
+
+  sim::Simulation& sim_;
+  /// Private loss-draw stream; forked (not consumed) from the root RNG so
+  /// arming an empty schedule perturbs nothing.
+  sim::Rng loss_rng_;
+  /// Ordered by link name so arming and auditing are deterministic.
+  std::map<std::string, Target> targets_;
+  FaultInjectorTotals totals_;
+};
+
+}  // namespace rbs::fault

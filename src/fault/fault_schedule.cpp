@@ -1,0 +1,287 @@
+#include "fault/fault_schedule.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rbs::fault {
+namespace {
+
+void validate_event(const FaultEvent& e) {
+  if (e.link.empty()) {
+    throw std::invalid_argument("fault event has an empty link name");
+  }
+  const std::string where = std::string(fault_kind_name(e.kind)) + " on '" + e.link + "'";
+  if (e.at < sim::SimTime::zero()) {
+    throw std::invalid_argument("fault " + where + " has a negative onset time");
+  }
+  if (e.duration <= sim::SimTime::zero()) {
+    throw std::invalid_argument("fault " + where + " has a non-positive duration");
+  }
+  if (e.kind == FaultKind::kRateDegrade && !(e.value > 0.0 && std::isfinite(e.value))) {
+    throw std::invalid_argument("fault " + where + " needs a positive finite rate factor");
+  }
+  if (e.kind == FaultKind::kLossBurst && !(e.value >= 0.0 && e.value <= 1.0)) {
+    throw std::invalid_argument("fault " + where + " needs a loss probability in [0, 1]");
+  }
+  if (e.kind == FaultKind::kDelayDegrade && e.extra <= sim::SimTime::zero()) {
+    throw std::invalid_argument("fault " + where + " needs a positive extra delay");
+  }
+}
+
+}  // namespace
+
+FaultSchedule& FaultSchedule::push(FaultEvent event) {
+  validate_event(event);
+  events_.push_back(std::move(event));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::link_down(std::string link, sim::SimTime at, sim::SimTime duration) {
+  FaultEvent e;
+  e.kind = FaultKind::kLinkDown;
+  e.link = std::move(link);
+  e.at = at;
+  e.duration = duration;
+  return push(std::move(e));
+}
+
+FaultSchedule& FaultSchedule::link_flap(std::string link, sim::SimTime first_down,
+                                        sim::SimTime down_for, sim::SimTime up_for, int cycles) {
+  if (cycles <= 0) {
+    throw std::invalid_argument("link_flap needs at least one cycle");
+  }
+  if (up_for <= sim::SimTime::zero()) {
+    throw std::invalid_argument("link_flap needs a positive up time between outages");
+  }
+  sim::SimTime at = first_down;
+  for (int i = 0; i < cycles; ++i) {
+    link_down(link, at, down_for);
+    at += down_for + up_for;
+  }
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::rate_brownout(std::string link, sim::SimTime at,
+                                            sim::SimTime duration, double factor) {
+  FaultEvent e;
+  e.kind = FaultKind::kRateDegrade;
+  e.link = std::move(link);
+  e.at = at;
+  e.duration = duration;
+  e.value = factor;
+  return push(std::move(e));
+}
+
+FaultSchedule& FaultSchedule::delay_surge(std::string link, sim::SimTime at, sim::SimTime duration,
+                                          sim::SimTime extra) {
+  FaultEvent e;
+  e.kind = FaultKind::kDelayDegrade;
+  e.link = std::move(link);
+  e.at = at;
+  e.duration = duration;
+  e.extra = extra;
+  return push(std::move(e));
+}
+
+FaultSchedule& FaultSchedule::loss_burst(std::string link, sim::SimTime at, sim::SimTime duration,
+                                         double probability) {
+  FaultEvent e;
+  e.kind = FaultKind::kLossBurst;
+  e.link = std::move(link);
+  e.at = at;
+  e.duration = duration;
+  e.value = probability;
+  return push(std::move(e));
+}
+
+FaultSchedule& FaultSchedule::queue_freeze(std::string link, sim::SimTime at,
+                                           sim::SimTime duration) {
+  FaultEvent e;
+  e.kind = FaultKind::kQueueFreeze;
+  e.link = std::move(link);
+  e.at = at;
+  e.duration = duration;
+  return push(std::move(e));
+}
+
+sim::SimTime FaultSchedule::horizon() const noexcept {
+  sim::SimTime end = sim::SimTime::zero();
+  for (const auto& e : events_) {
+    const sim::SimTime window_end = e.at + e.duration;
+    if (window_end > end) end = window_end;
+  }
+  return end;
+}
+
+void FaultSchedule::validate() const {
+  for (const auto& e : events_) validate_event(e);
+}
+
+FaultSchedule FaultSchedule::random(sim::Rng& rng, const RandomFaultConfig& config) {
+  if (config.links.empty()) {
+    throw std::invalid_argument("RandomFaultConfig needs at least one link name");
+  }
+  if (config.horizon_end <= config.horizon_begin) {
+    throw std::invalid_argument("RandomFaultConfig needs horizon_end > horizon_begin");
+  }
+  if (config.max_duration < config.min_duration ||
+      config.min_duration <= sim::SimTime::zero()) {
+    throw std::invalid_argument("RandomFaultConfig needs 0 < min_duration <= max_duration");
+  }
+  FaultSchedule schedule;
+  for (int i = 0; i < config.num_events; ++i) {
+    const auto kind = static_cast<FaultKind>(
+        rng.uniform_int(0, static_cast<std::int64_t>(kNumFaultKinds) - 1));
+    const auto& link = config.links[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(config.links.size()) - 1))];
+    const auto at = sim::SimTime::picoseconds(
+        rng.uniform_int(config.horizon_begin.ps(), config.horizon_end.ps() - 1));
+    const auto duration = sim::SimTime::picoseconds(
+        rng.uniform_int(config.min_duration.ps(), config.max_duration.ps()));
+    switch (kind) {
+      case FaultKind::kLinkDown:
+        schedule.link_down(link, at, duration);
+        break;
+      case FaultKind::kRateDegrade:
+        schedule.rate_brownout(link, at, duration,
+                               rng.uniform(config.min_rate_factor, 1.0));
+        break;
+      case FaultKind::kDelayDegrade:
+        schedule.delay_surge(link, at, duration,
+                             sim::SimTime::picoseconds(
+                                 rng.uniform_int(1, config.max_extra_delay.ps())));
+        break;
+      case FaultKind::kLossBurst:
+        schedule.loss_burst(link, at, duration,
+                            rng.uniform(0.0, config.max_loss_probability));
+        break;
+      case FaultKind::kQueueFreeze:
+        schedule.queue_freeze(link, at, duration);
+        break;
+    }
+  }
+  return schedule;
+}
+
+FaultSchedule FaultSchedule::parse(std::istream& in) {
+  FaultSchedule schedule;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string directive;
+    if (!(fields >> directive)) continue;  // blank or comment-only line
+
+    const auto fail = [line_number](const std::string& why) -> std::invalid_argument {
+      return std::invalid_argument("fault schedule line " + std::to_string(line_number) + ": " +
+                                   why);
+    };
+    const auto read_time_sec = [&](const char* what) {
+      double seconds = 0.0;
+      if (!(fields >> seconds)) throw fail(std::string("missing or malformed ") + what);
+      if (!std::isfinite(seconds) || seconds < 0.0) {
+        throw fail(std::string(what) + " must be a non-negative number of seconds");
+      }
+      return sim::SimTime::from_seconds(seconds);
+    };
+
+    std::string link;
+    if (!(fields >> link)) throw fail("missing link name");
+    try {
+      if (directive == "down") {
+        const auto at = read_time_sec("onset");
+        const auto duration = read_time_sec("duration");
+        schedule.link_down(link, at, duration);
+      } else if (directive == "flap") {
+        const auto first_down = read_time_sec("first-down time");
+        const auto down_for = read_time_sec("down time");
+        const auto up_for = read_time_sec("up time");
+        std::int64_t cycles = 0;
+        if (!(fields >> cycles)) throw fail("missing or malformed cycle count");
+        schedule.link_flap(link, first_down, down_for, up_for, static_cast<int>(cycles));
+      } else if (directive == "rate") {
+        const auto at = read_time_sec("onset");
+        const auto duration = read_time_sec("duration");
+        double factor = 0.0;
+        if (!(fields >> factor)) throw fail("missing or malformed rate factor");
+        schedule.rate_brownout(link, at, duration, factor);
+      } else if (directive == "delay") {
+        const auto at = read_time_sec("onset");
+        const auto duration = read_time_sec("duration");
+        double extra_ms = 0.0;
+        if (!(fields >> extra_ms)) throw fail("missing or malformed extra delay (ms)");
+        schedule.delay_surge(link, at, duration, sim::SimTime::from_seconds(extra_ms * 1e-3));
+      } else if (directive == "loss") {
+        const auto at = read_time_sec("onset");
+        const auto duration = read_time_sec("duration");
+        double probability = 0.0;
+        if (!(fields >> probability)) throw fail("missing or malformed loss probability");
+        schedule.loss_burst(link, at, duration, probability);
+      } else if (directive == "freeze") {
+        const auto at = read_time_sec("onset");
+        const auto duration = read_time_sec("duration");
+        schedule.queue_freeze(link, at, duration);
+      } else {
+        throw fail("unknown directive '" + directive + "'");
+      }
+    } catch (const std::invalid_argument& e) {
+      // Re-wrap builder validation errors with the offending line number.
+      std::string what = e.what();
+      if (what.rfind("fault schedule line", 0) == 0) throw;
+      throw fail(what);
+    }
+    std::string trailing;
+    if (fields >> trailing) throw fail("unexpected trailing field '" + trailing + "'");
+  }
+  return schedule;
+}
+
+FaultSchedule FaultSchedule::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot open fault schedule file '" + path + "'");
+  }
+  try {
+    return parse(in);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(path + ": " + e.what());
+  }
+}
+
+std::string FaultSchedule::to_text() const {
+  std::ostringstream out;
+  out.precision(12);
+  for (const auto& e : events_) {
+    switch (e.kind) {
+      case FaultKind::kLinkDown:
+        out << "down " << e.link << ' ' << e.at.to_seconds() << ' ' << e.duration.to_seconds();
+        break;
+      case FaultKind::kRateDegrade:
+        out << "rate " << e.link << ' ' << e.at.to_seconds() << ' ' << e.duration.to_seconds()
+            << ' ' << e.value;
+        break;
+      case FaultKind::kDelayDegrade:
+        out << "delay " << e.link << ' ' << e.at.to_seconds() << ' ' << e.duration.to_seconds()
+            << ' ' << e.extra.to_milliseconds();
+        break;
+      case FaultKind::kLossBurst:
+        out << "loss " << e.link << ' ' << e.at.to_seconds() << ' ' << e.duration.to_seconds()
+            << ' ' << e.value;
+        break;
+      case FaultKind::kQueueFreeze:
+        out << "freeze " << e.link << ' ' << e.at.to_seconds() << ' ' << e.duration.to_seconds();
+        break;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace rbs::fault

@@ -1,0 +1,142 @@
+// Fault schedules: what goes wrong, where, and when.
+//
+// A FaultSchedule is an ordered list of fault events against named links —
+// outages (with flap patterns), transient rate/propagation degradation,
+// bursty packet corruption, and queue stalls. Schedules are plain data:
+// build one programmatically (builder methods), parse one from the simple
+// text format (`rbsim --faults <file>`), or generate one randomly from a
+// seeded Rng (property tests). A FaultInjector arms a schedule against a
+// Simulation; the schedule itself never touches simulation state.
+//
+// Determinism contract: a schedule is fully determined by how it was built
+// (the builder calls, the text file, or the (seed, RandomFaultConfig) pair),
+// and an armed schedule perturbs a run only through scheduler events and the
+// injector's private RNG stream — so (config, seed, schedule) reproduces a
+// faulted run bit for bit, and an *empty* schedule reproduces the unfaulted
+// run bit for bit. See docs/faults.md.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace rbs::fault {
+
+enum class FaultKind : std::uint8_t {
+  kLinkDown,      ///< link unusable for the window; in-flight packets are lost
+  kRateDegrade,   ///< serialization rate multiplied by `value` (brown-out)
+  kDelayDegrade,  ///< propagation delay increased by `extra`
+  kLossBurst,     ///< i.i.d. packet corruption with probability `value`
+  kQueueFreeze,   ///< queue service stalls; arrivals keep queueing/dropping
+};
+
+inline constexpr std::size_t kNumFaultKinds = 5;
+
+[[nodiscard]] constexpr const char* fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kLinkDown: return "link_down";
+    case FaultKind::kRateDegrade: return "rate_degrade";
+    case FaultKind::kDelayDegrade: return "delay_degrade";
+    case FaultKind::kLossBurst: return "loss_burst";
+    case FaultKind::kQueueFreeze: return "queue_freeze";
+  }
+  return "unknown";
+}
+
+/// One fault window [at, at + duration) on one link.
+struct FaultEvent {
+  FaultKind kind{FaultKind::kLinkDown};
+  std::string link;         ///< target link name (e.g. "bottleneck_fwd")
+  sim::SimTime at{};        ///< onset, absolute simulation time
+  sim::SimTime duration{};  ///< window length (> 0)
+  double value{0.0};        ///< rate factor (kRateDegrade) or loss prob (kLossBurst)
+  sim::SimTime extra{};     ///< added propagation delay (kDelayDegrade)
+};
+
+/// Bounds for randomly generated schedules (see FaultSchedule::random).
+struct RandomFaultConfig {
+  std::vector<std::string> links{{"bottleneck_fwd"}};
+  sim::SimTime horizon_begin{};
+  sim::SimTime horizon_end{sim::SimTime::seconds(10)};
+  int num_events{4};
+  sim::SimTime min_duration{sim::SimTime::milliseconds(10)};
+  sim::SimTime max_duration{sim::SimTime::seconds(1)};
+  double max_loss_probability{0.3};
+  double min_rate_factor{0.2};
+  sim::SimTime max_extra_delay{sim::SimTime::milliseconds(50)};
+};
+
+/// Ordered list of fault events plus builders, validation, and text I/O.
+class FaultSchedule {
+ public:
+  // --- Builders (all return *this for chaining) ---------------------------
+  FaultSchedule& link_down(std::string link, sim::SimTime at, sim::SimTime duration);
+  /// `cycles` repetitions of (down for `down_for`, up for `up_for`),
+  /// starting with a down edge at `first_down`.
+  FaultSchedule& link_flap(std::string link, sim::SimTime first_down, sim::SimTime down_for,
+                           sim::SimTime up_for, int cycles);
+  /// Serialization rate multiplied by `factor` (0 < factor <= 1 typical;
+  /// any factor > 0 is legal) for the window.
+  FaultSchedule& rate_brownout(std::string link, sim::SimTime at, sim::SimTime duration,
+                               double factor);
+  /// Propagation delay increased by `extra` for the window.
+  FaultSchedule& delay_surge(std::string link, sim::SimTime at, sim::SimTime duration,
+                             sim::SimTime extra);
+  /// Each packet offered to the link is independently corrupted (dropped)
+  /// with probability `probability` for the window.
+  FaultSchedule& loss_burst(std::string link, sim::SimTime at, sim::SimTime duration,
+                            double probability);
+  /// The link stops serving its queue for the window; arrivals keep
+  /// queueing and overflow under the normal drop policy.
+  FaultSchedule& queue_freeze(std::string link, sim::SimTime at, sim::SimTime duration);
+
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept { return events_; }
+
+  /// End of the latest fault window, or zero() for an empty schedule.
+  [[nodiscard]] sim::SimTime horizon() const noexcept;
+
+  /// Throws std::invalid_argument on the first malformed event (empty link
+  /// name, non-positive duration, rate factor <= 0, loss probability
+  /// outside [0, 1], negative onset or extra delay). Builders validate
+  /// eagerly, so parse()/random() output and hand-assembled schedules all
+  /// satisfy validate() by construction; FaultInjector::arm re-validates.
+  void validate() const;
+
+  /// Seeded random schedule within `config`'s bounds: each event draws a
+  /// kind, a link, an onset in [horizon_begin, horizon_end), and parameters
+  /// inside the configured ranges. Same (rng state, config) — same schedule.
+  [[nodiscard]] static FaultSchedule random(sim::Rng& rng, const RandomFaultConfig& config);
+
+  // --- Text format (see docs/faults.md) -----------------------------------
+  //   down   <link> <at_sec> <duration_sec>
+  //   flap   <link> <first_down_sec> <down_sec> <up_sec> <cycles>
+  //   rate   <link> <at_sec> <duration_sec> <factor>
+  //   delay  <link> <at_sec> <duration_sec> <extra_ms>
+  //   loss   <link> <at_sec> <duration_sec> <probability>
+  //   freeze <link> <at_sec> <duration_sec>
+  // One directive per line; '#' starts a comment; blank lines are ignored.
+
+  /// Parses the text format. Throws std::invalid_argument naming the line
+  /// number on any malformed directive.
+  [[nodiscard]] static FaultSchedule parse(std::istream& in);
+  /// Loads and parses a schedule file. Throws std::invalid_argument if the
+  /// file cannot be read or fails to parse.
+  [[nodiscard]] static FaultSchedule parse_file(const std::string& path);
+
+  /// Renders the schedule in the text format (flaps appear expanded into
+  /// their individual down windows). parse(to_text()) round-trips.
+  [[nodiscard]] std::string to_text() const;
+
+ private:
+  FaultSchedule& push(FaultEvent event);
+
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace rbs::fault

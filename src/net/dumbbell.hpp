@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "net/drop_tail_queue.hpp"
@@ -82,6 +83,16 @@ class Dumbbell {
   [[nodiscard]] double bdp_packets(std::int32_t packet_bytes) const;
 
   [[nodiscard]] const DumbbellConfig& config() const noexcept { return config_; }
+
+  /// All links of the topology, in construction order ("bottleneck_fwd",
+  /// "bottleneck_rev", then per-leaf "acc_up_<i>", "acc_down_<i>",
+  /// "rcv_up_<i>", "rcv_down_<i>"). Fault injectors attach through this.
+  [[nodiscard]] const std::vector<std::unique_ptr<Link>>& links() const noexcept {
+    return links_;
+  }
+
+  /// Link lookup by name, or nullptr if the topology has no such link.
+  [[nodiscard]] Link* find_link(const std::string& name) noexcept;
 
  private:
   std::unique_ptr<Queue> make_bottleneck_queue();

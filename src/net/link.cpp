@@ -1,6 +1,8 @@
 #include "net/link.hpp"
 
 #include <cassert>
+#include <cmath>
+#include <stdexcept>
 #include <utility>
 
 #include "telemetry/trace.hpp"
@@ -37,10 +39,28 @@ const char* Link::trace_qlen_name() {
   return trace_qlen_name_;
 }
 
+void Link::count_fault_drop(const char* reason, std::uint64_t LinkFaultStats::* counter) {
+  ++(fault_stats_.*counter);
+  // Cold path: fault drops are rare relative to forwarding, so the registry
+  // lookup per drop is fine and unfaulted runs create no `faults.*` metrics.
+  sim_.metrics().counter("faults.drops", {{"link", name_}, {"reason", reason}}).add();
+  RBS_TRACE_INSTANT(sim_.trace(), "fault", reason, sim_.now(),
+                    telemetry::TraceArg{"total", static_cast<std::int64_t>(fault_stats_.total())});
+}
+
 void Link::receive(const Packet& p) {
+  if (fault_down_) {
+    count_fault_drop("down-drop", &LinkFaultStats::down_drops);
+    return;
+  }
+  if (fault_loss_p_ > 0.0 && fault_loss_rng_ != nullptr &&
+      fault_loss_rng_->bernoulli(fault_loss_p_)) {
+    count_fault_drop("loss-burst", &LinkFaultStats::loss_drops);
+    return;
+  }
   Packet stamped = p;
   stamped.hop_arrival = sim_.now();
-  if (!busy_) {
+  if (!busy_ && !fault_frozen_) {
     start_transmission(stamped);
     return;
   }
@@ -69,9 +89,9 @@ void Link::receive(const Packet& p) {
 
 void Link::start_transmission(const Packet& p) {
   busy_ = true;
-  const sim::SimTime tx =
-      sim::transmission_time(static_cast<std::int64_t>(p.size_bytes) * 8, config_.rate_bps);
-  sim_.after(
+  const sim::SimTime tx = sim::transmission_time(static_cast<std::int64_t>(p.size_bytes) * 8,
+                                                 config_.rate_bps * fault_rate_factor_);
+  tx_event_ = sim_.after(
       tx,
       [this, p, tx] {
         stats_.busy_time += tx;
@@ -103,15 +123,90 @@ void Link::finish_transmission(const Packet& p) {
   if (on_queue_delay) on_queue_delay(sim_.now() - p.hop_arrival);
 
   // Hand the packet to propagation; it no longer occupies the transmitter.
+  // The lambda captures the down epoch it was launched in: if the link goes
+  // down while the packet is on the wire, the epoch no longer matches and
+  // the packet is lost (accounted as an in-flight fault drop).
   sim_.after(
-      config_.propagation, [this, p] { downstream_.receive(p); },
+      config_.propagation + fault_extra_propagation_,
+      [this, p, epoch = down_epoch_] {
+        if (epoch != down_epoch_) {
+          count_fault_drop("inflight-drop", &LinkFaultStats::inflight_drops);
+          return;
+        }
+        downstream_.receive(p);
+      },
       sim::EventClass::kLinkPropagation);
 
+  if (fault_frozen_) {
+    busy_ = false;
+    return;
+  }
   if (auto next = queue_->dequeue()) {
     start_transmission(*next);
   } else {
     busy_ = false;
   }
+}
+
+void Link::maybe_resume_service() {
+  if (busy_ || fault_down_ || fault_frozen_) return;
+  if (auto next = queue_->dequeue()) start_transmission(*next);
+}
+
+void Link::fault_down() {
+  if (fault_down_) return;
+  fault_down_ = true;
+  ++down_epoch_;  // strands every packet currently in propagation
+  if (busy_) {
+    // The packet in service is lost mid-serialization.
+    tx_event_.cancel();
+    busy_ = false;
+    count_fault_drop("inflight-drop", &LinkFaultStats::inflight_drops);
+  }
+  // Flush buffered packets through the normal dequeue path so QueueStats
+  // conservation (enqueued + carry == dequeued + evicted + resident) holds.
+  while (queue_->dequeue()) {
+    count_fault_drop("flushed", &LinkFaultStats::flushed_packets);
+  }
+}
+
+void Link::fault_up() {
+  if (!fault_down_) return;
+  fault_down_ = false;
+  maybe_resume_service();
+}
+
+void Link::fault_set_rate_factor(double factor) {
+  if (!(factor > 0.0) || !std::isfinite(factor)) {
+    throw std::invalid_argument("link '" + name_ + "': fault rate factor must be positive");
+  }
+  // Applies from the next serialization; the packet in service finishes at
+  // the rate it started with.
+  fault_rate_factor_ = factor;
+}
+
+void Link::fault_set_extra_propagation(sim::SimTime extra) {
+  if (extra < sim::SimTime::zero()) {
+    throw std::invalid_argument("link '" + name_ + "': extra propagation must be >= 0");
+  }
+  fault_extra_propagation_ = extra;
+}
+
+void Link::fault_set_loss(double p, sim::Rng* rng) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("link '" + name_ + "': loss probability must be in [0, 1]");
+  }
+  if (p > 0.0 && rng == nullptr) {
+    throw std::invalid_argument("link '" + name_ + "': an active loss burst needs an Rng");
+  }
+  fault_loss_p_ = p;
+  fault_loss_rng_ = p > 0.0 ? rng : nullptr;
+}
+
+void Link::fault_set_frozen(bool frozen) {
+  if (fault_frozen_ == frozen) return;
+  fault_frozen_ = frozen;
+  if (!frozen) maybe_resume_service();
 }
 
 }  // namespace rbs::net

@@ -16,6 +16,7 @@
 
 #include "net/packet.hpp"
 #include "net/queue.hpp"
+#include "sim/random.hpp"
 #include "sim/simulation.hpp"
 
 namespace rbs::net {
@@ -25,6 +26,19 @@ struct LinkStats {
   std::uint64_t packets_delivered{0};  ///< finished serialization
   std::uint64_t bits_delivered{0};
   sim::SimTime busy_time{};  ///< total time spent serializing
+};
+
+/// Packets lost to injected faults rather than queue policy. Kept separate
+/// from LinkStats/QueueStats so conservation audits and the paper's drop
+/// metrics are not polluted by fault-layer losses.
+struct LinkFaultStats {
+  std::uint64_t down_drops{0};      ///< offered while the link was down
+  std::uint64_t inflight_drops{0};  ///< on the wire when the link went down
+  std::uint64_t flushed_packets{0}; ///< evicted from the queue on a down edge
+  std::uint64_t loss_drops{0};      ///< corrupted by an active loss burst
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return down_drops + inflight_drops + flushed_packets + loss_drops;
+  }
 };
 
 /// One direction of a point-to-point link.
@@ -52,6 +66,43 @@ class Link final : public PacketSink {
   [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
   [[nodiscard]] bool busy() const noexcept { return busy_; }
 
+  // --- Fault hooks (driven by fault::FaultInjector; see docs/faults.md) ----
+  //
+  // All hooks are idempotent and safe to call at any simulated time. They
+  // only mutate link-local state and emit `faults.*` metrics — an unfaulted
+  // link pays a single boolean/double check per packet.
+
+  /// Takes the link down: the in-service packet and everything already on
+  /// the wire are lost (counted as fault drops), the queue is flushed
+  /// through its normal dequeue path (counted as flushed), and packets
+  /// offered while down are dropped on arrival.
+  void fault_down();
+  /// Restores a downed link. Traffic resumes with the next offered packet
+  /// (TCP recovers via its own RTO machinery).
+  void fault_up();
+  /// Scales the serialization rate by `factor` (> 0). 1.0 restores normal.
+  void fault_set_rate_factor(double factor);
+  /// Adds `extra` to the propagation delay (zero() restores normal).
+  void fault_set_extra_propagation(sim::SimTime extra);
+  /// Drops each offered packet independently with probability `p`,
+  /// upstream of the queue (so these are corruption losses, not congestion
+  /// drops). Draws come from `rng`, which must outlive the burst; pass
+  /// p = 0 to end a burst.
+  void fault_set_loss(double p, sim::Rng* rng);
+  /// Freezes/unfreezes queue service: the packet in service finishes, then
+  /// nothing more is dequeued until unfreeze. Arrivals keep queueing and
+  /// overflow under the normal drop policy.
+  void fault_set_frozen(bool frozen);
+
+  [[nodiscard]] bool fault_is_down() const noexcept { return fault_down_; }
+  [[nodiscard]] bool fault_is_frozen() const noexcept { return fault_frozen_; }
+  [[nodiscard]] double fault_rate_factor() const noexcept { return fault_rate_factor_; }
+  [[nodiscard]] sim::SimTime fault_extra_propagation() const noexcept {
+    return fault_extra_propagation_;
+  }
+  [[nodiscard]] double fault_loss_probability() const noexcept { return fault_loss_p_; }
+  [[nodiscard]] const LinkFaultStats& fault_stats() const noexcept { return fault_stats_; }
+
   /// Queue occupancy including the packet in service, in packets — the value
   /// plotted as Q(t) in the paper's figures.
   [[nodiscard]] std::int64_t occupancy_packets() const noexcept {
@@ -74,6 +125,8 @@ class Link final : public PacketSink {
  private:
   void start_transmission(const Packet& p);
   void finish_transmission(const Packet& p);
+  void maybe_resume_service();
+  void count_fault_drop(const char* reason, std::uint64_t LinkFaultStats::* counter);
 
   /// Lazily interned "<name>/qlen" counter-track name for trace events
   /// (interned storage outlives the link, so exports never dangle). Null
@@ -91,6 +144,22 @@ class Link final : public PacketSink {
   /// Cached registry counter (registry storage is stable); created on the
   /// first drop so unused links add no metrics.
   telemetry::Counter* drops_counter_{nullptr};
+
+  // Fault state. Defaults mean "no fault": the extra cost on a healthy
+  // link is one boolean and one double comparison per received packet.
+  bool fault_down_{false};
+  bool fault_frozen_{false};
+  double fault_rate_factor_{1.0};
+  sim::SimTime fault_extra_propagation_{};
+  double fault_loss_p_{0.0};
+  sim::Rng* fault_loss_rng_{nullptr};
+  /// Bumped on every down edge; propagation events capture the epoch they
+  /// were launched in and discard themselves if the link went down since
+  /// (the packet was on the wire when the cable was cut).
+  std::uint64_t down_epoch_{0};
+  /// Live serialization-completion event, cancellable on a down edge.
+  sim::Scheduler::EventHandle tx_event_{};
+  LinkFaultStats fault_stats_;
 };
 
 }  // namespace rbs::net

@@ -21,9 +21,10 @@ enum class EventClass : std::uint8_t {
   kTcpDelayedAck,    ///< delayed-ACK timers
   kSampler,          ///< periodic measurement probes (stats + telemetry)
   kWorkload,         ///< traffic generation: flow arrivals, sessions, UDP, reaping
+  kFault,            ///< fault injection: onset/recovery edges (src/fault)
 };
 
-inline constexpr std::size_t kNumEventClasses = 8;
+inline constexpr std::size_t kNumEventClasses = 9;
 
 [[nodiscard]] constexpr const char* event_class_name(EventClass cls) noexcept {
   switch (cls) {
@@ -35,6 +36,7 @@ inline constexpr std::size_t kNumEventClasses = 8;
     case EventClass::kTcpDelayedAck: return "tcp_delayed_ack";
     case EventClass::kSampler: return "sampler";
     case EventClass::kWorkload: return "workload";
+    case EventClass::kFault: return "fault";
   }
   return "unknown";
 }

@@ -66,6 +66,7 @@ void ShortFlowWorkload::launch_flow() {
                sim::EventClass::kWorkload);
   });
   af.source->start(sim_.now());
+  fct_.start_flow(flow, length, sim_.now());
 
   active_.emplace(flow, std::move(af));
   ++flows_started_;
@@ -75,7 +76,7 @@ void ShortFlowWorkload::reap_flow(net::FlowId flow) {
   const auto it = active_.find(flow);
   if (it == active_.end()) return;
   const auto& src = *it->second.source;
-  fct_.record(src.flow_packets(), src.start_time(), src.finish_time());
+  fct_.finish_flow(flow, src.finish_time());
   ++flows_completed_;
   active_.erase(it);
 }
@@ -85,6 +86,14 @@ void ShortFlowWorkload::audit(check::AuditReport& report) const {
     report.violation("flow accounting broken: started " + std::to_string(flows_started_) +
                      " != completed " + std::to_string(flows_completed_) + " + active " +
                      std::to_string(active_.size()));
+  }
+  fct_.audit(report);
+  // The tracker's open set and the live-flow table must describe the same
+  // flows: every launched flow opens an FCT entry, every reap closes one.
+  if (fct_.unfinished() != active_.size()) {
+    report.violation("fct tracker holds " + std::to_string(fct_.unfinished()) +
+                     " open flows but the workload has " + std::to_string(active_.size()) +
+                     " active");
   }
   // Sort the flow ids so per-flow violations appear in the same order every
   // run regardless of hash-map layout.

@@ -1,0 +1,178 @@
+// Deterministic failure-scenario harness: named fault scenarios run through
+// the real experiment drivers, asserting (a) bitwise run-to-run determinism
+// and (b) golden envelopes on utilization / drops / FCT that pin the
+// qualitative impact of each fault class.
+//
+// Envelope bounds were calibrated against the measured values at the commit
+// that introduced them (noted inline); they are deliberately loose enough to
+// survive benign scheduling-neutral refactors but tight enough that a broken
+// recovery path (links never re-emerging, stranded packets double-counted,
+// loss bursts leaking into congestion stats) trips an assertion.
+#include <gtest/gtest.h>
+
+#include "experiment/long_flow_experiment.hpp"
+#include "experiment/short_flow_experiment.hpp"
+#include "fault/fault_schedule.hpp"
+
+namespace rbs::experiment {
+namespace {
+
+using sim::SimTime;
+
+/// Shared long-flow base: 16 flows, 40 Mb/s bottleneck, 50-packet buffer,
+/// 1 s warm-up + 4 s measurement. No-fault utilization ≈ 0.678.
+LongFlowExperimentConfig long_base() {
+  LongFlowExperimentConfig cfg;
+  cfg.num_flows = 16;
+  cfg.buffer_packets = 50;
+  cfg.bottleneck_rate_bps = 40e6;
+  cfg.warmup = SimTime::seconds(1);
+  cfg.measure = SimTime::seconds(4);
+  cfg.seed = 5;
+  return cfg;
+}
+
+/// Shared short-flow base: 20 Mb/s bottleneck, 30-packet flows at load 0.6.
+/// No-fault AFCT ≈ 0.346 s.
+ShortFlowExperimentConfig short_base() {
+  ShortFlowExperimentConfig cfg;
+  cfg.bottleneck_rate_bps = 20e6;
+  cfg.buffer_packets = 40;
+  cfg.load = 0.6;
+  cfg.flow_packets = 30;
+  cfg.num_leaves = 20;
+  cfg.warmup = SimTime::seconds(1);
+  cfg.measure = SimTime::seconds(4);
+  cfg.seed = 11;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 1: the bottleneck flaps 3× (100 ms down / 400 ms up) in the middle
+// of the measurement window. Every outage strands in-flight and queued
+// packets (accounted to faults.*, not to congestion drops), and the sources
+// must recover via RTO each time the link re-emerges.
+// Calibrated: no-fault util 0.678; faulted util 0.380, fault_drops 397,
+// timeouts 70 vs 31.
+TEST(FaultScenarioTest, MidSweepBottleneckFlap) {
+  auto cfg = long_base();
+  const auto baseline = run_long_flow_experiment(cfg);
+  EXPECT_EQ(baseline.fault_drops, 0u);
+
+  cfg.faults.link_flap("bottleneck_fwd", SimTime::milliseconds(2500),
+                       SimTime::milliseconds(100), SimTime::milliseconds(400), 3);
+  const auto faulted = run_long_flow_experiment(cfg);
+
+  // Deterministic: an identical re-run is bitwise identical.
+  const auto rerun = run_long_flow_experiment(cfg);
+  EXPECT_EQ(faulted.utilization, rerun.utilization);
+  EXPECT_EQ(faulted.loss_rate, rerun.loss_rate);
+  EXPECT_EQ(faulted.bottleneck_drops, rerun.bottleneck_drops);
+  EXPECT_EQ(faulted.tcp_stats.timeouts, rerun.tcp_stats.timeouts);
+  EXPECT_EQ(faulted.fault_drops, rerun.fault_drops);
+
+  // Envelope: three outages cost real throughput but the link recovers —
+  // utilization is hurt, not zeroed.
+  EXPECT_GT(faulted.utilization, 0.20);
+  EXPECT_LT(faulted.utilization, 0.55);
+  EXPECT_LT(faulted.utilization, baseline.utilization - 0.10);
+  // Outages strand packets and force retransmission timeouts.
+  EXPECT_GT(faulted.fault_drops, 100u);
+  EXPECT_LT(faulted.fault_drops, 2000u);
+  EXPECT_GT(faulted.tcp_stats.timeouts, baseline.tcp_stats.timeouts);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2: a correlated 30% loss burst hits the bottleneck 200 ms into the
+// measurement window, exactly when freshly admitted short flows are in
+// slow-start. Lost packets are charged to the fault layer (independent of
+// queue drops), and AFCT degrades because slow-start flows eat timeouts.
+// Calibrated: no-fault AFCT 0.346 s; faulted AFCT 0.455 s, fault_drops 158,
+// drop_probability *fell* (0.0061 → 0.0049) because fault losses are not
+// congestion drops.
+TEST(FaultScenarioTest, CorrelatedLossBurstDuringSlowStart) {
+  auto cfg = short_base();
+  const auto baseline = run_short_flow_experiment(cfg);
+  EXPECT_EQ(baseline.fault_drops, 0u);
+
+  cfg.faults.loss_burst("bottleneck_fwd", SimTime::milliseconds(1200),
+                        SimTime::milliseconds(500), 0.3);
+  const auto faulted = run_short_flow_experiment(cfg);
+
+  const auto rerun = run_short_flow_experiment(cfg);
+  EXPECT_EQ(faulted.afct_seconds, rerun.afct_seconds);
+  EXPECT_EQ(faulted.flows_completed, rerun.flows_completed);
+  EXPECT_EQ(faulted.drop_probability, rerun.drop_probability);
+  EXPECT_EQ(faulted.fault_drops, rerun.fault_drops);
+
+  // Envelope: the burst slows completions but the system drains afterwards.
+  EXPECT_GT(faulted.afct_seconds, baseline.afct_seconds);
+  EXPECT_GT(faulted.afct_seconds, 0.38);
+  EXPECT_LT(faulted.afct_seconds, 0.60);
+  EXPECT_GT(faulted.fault_drops, 50u);
+  EXPECT_LT(faulted.fault_drops, 500u);
+  // The workload keeps completing flows through the burst.
+  EXPECT_GT(faulted.flows_completed, 150u);
+  // Bursty loss is independent of queue state: congestion-drop probability
+  // must NOT absorb the fault losses.
+  EXPECT_LT(faulted.drop_probability, baseline.drop_probability + 0.005);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 3: a rate brown-out — the bottleneck serves at 30% of nominal rate
+// for 1.5 s of the 4 s measurement window. Nothing is dropped by the fault
+// layer itself; throughput falls because service genuinely slows, and the
+// excess shows up as congestion drops when the queue overflows.
+// Calibrated: faulted util 0.500 (vs 0.678), fault_drops 0, congestion drops
+// 866 vs 733.
+TEST(FaultScenarioTest, RateBrownOut) {
+  auto cfg = long_base();
+  const auto baseline = run_long_flow_experiment(cfg);
+
+  cfg.faults.rate_brownout("bottleneck_fwd", SimTime::seconds(2),
+                           SimTime::milliseconds(1500), 0.3);
+  const auto faulted = run_long_flow_experiment(cfg);
+
+  const auto rerun = run_long_flow_experiment(cfg);
+  EXPECT_EQ(faulted.utilization, rerun.utilization);
+  EXPECT_EQ(faulted.loss_rate, rerun.loss_rate);
+  EXPECT_EQ(faulted.bottleneck_drops, rerun.bottleneck_drops);
+
+  // Envelope: utilization (measured against nominal rate) drops with the
+  // brown-out but the link fully recovers for the rest of the window.
+  EXPECT_GT(faulted.utilization, 0.40);
+  EXPECT_LT(faulted.utilization, 0.62);
+  EXPECT_LT(faulted.utilization, baseline.utilization - 0.05);
+  // A brown-out degrades rate without discarding packets.
+  EXPECT_EQ(faulted.fault_drops, 0u);
+  // The slower service pushes overflow into the congestion-drop ledger.
+  EXPECT_GE(faulted.bottleneck_drops, baseline.bottleneck_drops);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 4 (bonus): the bottleneck queue freezes for 400 ms — packets keep
+// arriving and queueing (overflow drops go to the congestion ledger) but
+// nothing is served until the stall clears.
+// Calibrated: faulted util 0.554 (vs 0.678), fault_drops 0, timeouts 51.
+TEST(FaultScenarioTest, QueueFreezeStall) {
+  auto cfg = long_base();
+  const auto baseline = run_long_flow_experiment(cfg);
+
+  cfg.faults.queue_freeze("bottleneck_fwd", SimTime::seconds(2),
+                          SimTime::milliseconds(400));
+  const auto faulted = run_long_flow_experiment(cfg);
+
+  const auto rerun = run_long_flow_experiment(cfg);
+  EXPECT_EQ(faulted.utilization, rerun.utilization);
+  EXPECT_EQ(faulted.bottleneck_drops, rerun.bottleneck_drops);
+
+  EXPECT_GT(faulted.utilization, 0.45);
+  EXPECT_LT(faulted.utilization, 0.65);
+  EXPECT_LT(faulted.utilization, baseline.utilization - 0.05);
+  // A stall holds packets, it does not drop them.
+  EXPECT_EQ(faulted.fault_drops, 0u);
+  EXPECT_GE(faulted.tcp_stats.timeouts, baseline.tcp_stats.timeouts);
+}
+
+}  // namespace
+}  // namespace rbs::experiment

@@ -8,8 +8,12 @@
 // the goldens and EXPERIMENTS.md in the same commit.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+
 #include "core/short_flow_model.hpp"
 #include "experiment/long_flow_experiment.hpp"
+#include "experiment/mixed_flow_experiment.hpp"
 #include "experiment/scenarios.hpp"
 #include "experiment/short_flow_experiment.hpp"
 
@@ -17,6 +21,15 @@ namespace rbs {
 namespace {
 
 using sim::SimTime;
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
 
 TEST(Golden, SingleFlowRuleOfThumbUtilization) {
   // EXPERIMENTS.md, Fig 3 row: 100.00% at B = BDP.
@@ -60,6 +73,78 @@ TEST(Golden, ShortFlowBaselineAfctAt80Mbps) {
   const auto r = run_short_flow_experiment(cfg);
   EXPECT_NEAR(r.afct_seconds, 0.393, 0.02);
   EXPECT_NEAR(r.utilization, 0.80, 0.03);
+}
+
+// --- No-fault equivalence -------------------------------------------------
+//
+// The fault layer's zero-cost contract: an experiment configured with an
+// empty FaultSchedule must be BITWISE identical to the same run before the
+// fault subsystem existed. The constants below (hexfloat, so they are exact)
+// were captured at the commit immediately preceding the fault layer. Any
+// drift here means the injector perturbed the event order, consumed RNG
+// state, or polluted a stats path even when disarmed.
+
+TEST(Golden, NoFaultLongFlowRunIsBitwiseIdenticalToPreFaultBaseline) {
+  experiment::LongFlowExperimentConfig cfg;
+  cfg.num_flows = 20;
+  cfg.buffer_packets = 60;
+  cfg.bottleneck_rate_bps = 50e6;
+  cfg.warmup = SimTime::seconds(2);
+  cfg.measure = SimTime::seconds(5);
+  cfg.seed = 7;
+  cfg.record_delays = true;
+  cfg.telemetry.metrics = true;
+  cfg.faults = fault::FaultSchedule{};  // explicitly empty
+  const auto r = run_long_flow_experiment(cfg);
+
+  EXPECT_EQ(r.utilization, 0x1.6a98244e93e1dp-1);  // 0.70819200000000004
+  EXPECT_EQ(r.loss_rate, 0x1.c0e41e86d5617p-5);
+  EXPECT_EQ(r.bottleneck_drops, 1283u);
+  EXPECT_EQ(r.tcp_stats.data_packets_sent, 23441u);
+  EXPECT_EQ(r.tcp_stats.timeouts, 52u);
+  EXPECT_EQ(r.fault_drops, 0u);
+  // The whole observable surface, not just headline numbers: metrics
+  // snapshot JSON and the telemetry time series hash to the same bits.
+  EXPECT_EQ(fnv1a(r.telemetry.snapshot.to_json()), 3602766594769521823ull);
+  EXPECT_EQ(fnv1a(r.telemetry.series.to_csv()), 10425878644986913531ull);
+}
+
+TEST(Golden, NoFaultShortFlowRunIsBitwiseIdenticalToPreFaultBaseline) {
+  experiment::ShortFlowExperimentConfig cfg;
+  cfg.bottleneck_rate_bps = 20e6;
+  cfg.buffer_packets = 40;
+  cfg.load = 0.7;
+  cfg.flow_packets = 30;
+  cfg.warmup = SimTime::seconds(1);
+  cfg.measure = SimTime::seconds(5);
+  cfg.seed = 11;
+  const auto r = run_short_flow_experiment(cfg);
+
+  EXPECT_EQ(r.afct_seconds, 0x1.bd2fa66bce1d6p-2);  // 0.43475208313932734
+  EXPECT_EQ(r.utilization, 0x1.75d78811b1d93p-1);
+  EXPECT_EQ(r.flows_completed, 278u);
+  EXPECT_EQ(r.drop_probability, 0x1.f6dd6acb25a0cp-6);
+  EXPECT_EQ(r.fault_drops, 0u);
+}
+
+TEST(Golden, NoFaultMixedFlowRunIsBitwiseIdenticalToPreFaultBaseline) {
+  experiment::MixedFlowExperimentConfig cfg;
+  cfg.bottleneck_rate_bps = 30e6;
+  cfg.num_long_flows = 8;
+  cfg.num_short_leaves = 8;
+  cfg.buffer_packets = 50;
+  cfg.short_flow_load = 0.2;
+  cfg.short_flow_packets = 20;
+  cfg.warmup = SimTime::seconds(2);
+  cfg.measure = SimTime::seconds(5);
+  cfg.seed = 3;
+  const auto r = run_mixed_flow_experiment(cfg);
+
+  EXPECT_EQ(r.utilization, 0x1.50022f3d9397bp-1);
+  EXPECT_EQ(r.afct_seconds, 0x1.83cccdf09e60cp-2);
+  EXPECT_EQ(r.long_flow_throughput_bps, 0x1.a1a08p+23);
+  EXPECT_EQ(r.short_flows_completed, 171u);
+  EXPECT_EQ(r.fault_drops, 0u);
 }
 
 TEST(Golden, ShortFlowModelBufferIs162) {

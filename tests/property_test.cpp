@@ -3,12 +3,18 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <memory>
 #include <tuple>
 
 #include "core/long_flow_model.hpp"
 #include "core/short_flow_model.hpp"
 #include "core/sizing_rules.hpp"
 #include "experiment/long_flow_experiment.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_schedule.hpp"
+#include "net/drop_tail_queue.hpp"
+#include "net/link.hpp"
 #include "tcp/tcp_sink.hpp"
 #include "tcp/tcp_source.hpp"
 
@@ -176,6 +182,91 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(0.3, 0.6, 0.8, 0.9),
                        ::testing::Values(std::int64_t{2}, std::int64_t{14},
                                          std::int64_t{62}, std::int64_t{500})));
+
+// ---------------------------------------------------------------------------
+// Fault fuzz: 100 random seeds × random fault schedules, run in paranoia
+// mode. The InvariantAuditor (scheduler, queue conservation, TCP endpoints,
+// fault-injector composition) throws std::runtime_error on any violation, so
+// a clean pass here means arbitrary fault cocktails never corrupt the
+// engine's bookkeeping.
+// ---------------------------------------------------------------------------
+TEST(FaultFuzz, HundredRandomSchedulesUnderParanoiaAreViolationFree) {
+  fault::RandomFaultConfig fault_cfg;
+  fault_cfg.links = {"bottleneck_fwd", "bottleneck_rev", "acc_up_0", "rcv_down_1"};
+  fault_cfg.horizon_begin = SimTime::milliseconds(200);
+  fault_cfg.horizon_end = SimTime::milliseconds(1400);
+  fault_cfg.num_events = 6;
+  fault_cfg.min_duration = SimTime::milliseconds(10);
+  fault_cfg.max_duration = SimTime::milliseconds(300);
+
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    sim::Rng rng{seed};
+    experiment::LongFlowExperimentConfig cfg;
+    cfg.num_flows = 4;
+    cfg.buffer_packets = 20;
+    cfg.bottleneck_rate_bps = 5e6;
+    cfg.warmup = SimTime::milliseconds(500);
+    cfg.measure = SimTime::seconds(1);
+    cfg.seed = seed;
+    cfg.checked = true;  // paranoia: auditor throws on any violation
+    cfg.audit_every_events = 10'000;
+    cfg.faults = fault::FaultSchedule::random(rng, fault_cfg);
+
+    experiment::LongFlowExperimentResult r;
+    ASSERT_NO_THROW(r = run_long_flow_experiment(cfg)) << "seed " << seed;
+    EXPECT_GE(r.utilization, 0.0) << "seed " << seed;
+    EXPECT_LE(r.utilization, 1.0 + 1e-9) << "seed " << seed;
+
+    // Spot-check bitwise determinism of faulted runs across the fuzz corpus.
+    if (seed % 25 == 0) {
+      const auto again = run_long_flow_experiment(cfg);
+      EXPECT_EQ(r.utilization, again.utilization) << "seed " << seed;
+      EXPECT_EQ(r.fault_drops, again.fault_drops) << "seed " << seed;
+      EXPECT_EQ(r.bottleneck_drops, again.bottleneck_drops) << "seed " << seed;
+    }
+  }
+}
+
+// Every armed fault fires and clears, and nothing stays behind in the
+// scheduler once the horizon passes: no leaked recovery events, no
+// injector-held state that would keep the simulation alive.
+class DiscardSink final : public net::PacketSink {
+ public:
+  void receive(const net::Packet&) override {}
+};
+
+TEST(FaultFuzz, InjectorLeavesNoPendingEventsAfterDrain) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::Simulation sim{seed};
+    DiscardSink sink;
+    net::Link link{sim, "l", net::Link::Config{1e6, SimTime::milliseconds(5)},
+                   std::make_unique<net::DropTailQueue>(8), sink};
+
+    fault::RandomFaultConfig fault_cfg;
+    fault_cfg.links = {"l"};
+    fault_cfg.horizon_begin = SimTime::zero();
+    fault_cfg.horizon_end = SimTime::seconds(2);
+    fault_cfg.num_events = 10;
+    fault_cfg.min_duration = SimTime::milliseconds(1);
+    fault_cfg.max_duration = SimTime::milliseconds(400);
+
+    sim::Rng rng{seed};
+    const auto schedule = fault::FaultSchedule::random(rng, fault_cfg);
+    fault::FaultInjector injector{sim};
+    injector.attach(link);
+    injector.arm(schedule);
+    sim.run();
+
+    EXPECT_EQ(sim.scheduler().pending_events(), 0u) << "seed " << seed;
+    EXPECT_EQ(injector.totals().events_armed, schedule.size()) << "seed " << seed;
+    EXPECT_EQ(injector.totals().onsets_fired, schedule.size()) << "seed " << seed;
+    EXPECT_EQ(injector.totals().recoveries_fired, schedule.size()) << "seed " << seed;
+
+    check::AuditReport report;
+    injector.audit(report);
+    EXPECT_TRUE(report.clean()) << "seed " << seed << ": " << report.messages().front();
+  }
+}
 
 // ---------------------------------------------------------------------------
 // TCP delivers exactly-once for every flow length (loss-free path).
