@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
       argc, argv, "Ablation: access-link speed smooths short-flow bursts (Section 4)");
 
   experiment::ShortFlowExperimentConfig base;
-  base.bottleneck_rate_bps = 40e6;
+  base.bottleneck_rate = core::BitsPerSec{40e6};
   base.load = 0.8;
   base.flow_packets = 62;
   base.buffer_packets = 2000;  // effectively infinite: we study the tail
@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
   // over many bottleneck service times.
   for (const double ratio : {0.1, 0.3, 1.0, 10.0}) {
     auto cfg = base;
-    cfg.access_rate_bps = ratio * base.bottleneck_rate_bps;
+    cfg.access_rate = ratio * base.bottleneck_rate;
     const auto r = run_short_flow_experiment(cfg);
     table.add_row({experiment::format("%.1f x", ratio),
                    experiment::format("%.4f", tail_at(r.queue_tail, 40)),

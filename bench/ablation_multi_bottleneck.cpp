@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/units.hpp"
 #include "core/sizing_rules.hpp"
 #include "experiment/cli.hpp"
 #include "experiment/reporting.hpp"
@@ -41,12 +42,12 @@ int main(int argc, char** argv) {
     sim::Simulation sim{opts.seed};
     net::ParkingLotConfig cfg;
     cfg.num_segments = 3;
-    cfg.segment_rate_bps = 50e6;
+    cfg.segment_rate = core::BitsPerSec{50e6};
     cfg.num_e2e_leaves = e2e;
     cfg.num_local_leaves_per_segment = local_per_seg;
     // Size each segment's buffer for the flows it actually carries.
     const double rtt_sec = 0.06;  // ~mean propagation RTT in this topology
-    cfg.buffer_packets = core::sqrt_rule_packets(rtt_sec, cfg.segment_rate_bps,
+    cfg.buffer_packets = core::sqrt_rule_packets(rtt_sec, cfg.segment_rate.bps(),
                                                  e2e + local_per_seg, 1000);
     net::ParkingLot lot{sim, cfg};
 
@@ -93,7 +94,7 @@ int main(int argc, char** argv) {
       e2e_pkts += static_cast<double>(e2e_sources[i]->snd_una() - una0[i]);
     }
     const double e2e_share =
-        e2e_pkts * 8000.0 / (cfg.segment_rate_bps * measure.to_seconds());
+        e2e_pkts * 8000.0 / (cfg.segment_rate.bps() * measure.to_seconds());
     std::uint64_t timeouts1 = 0;
     for (const auto& src : sources) timeouts1 += src->stats().timeouts;
     const double to_rate =

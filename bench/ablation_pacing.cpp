@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
       argc, argv, "Extension: paced TCP sustains utilization with very small buffers");
 
   experiment::LongFlowExperimentConfig base;
-  base.bottleneck_rate_bps = 155e6;
+  base.bottleneck_rate = core::BitsPerSec{155e6};
   base.num_flows = opts.full ? 200 : 100;
   base.warmup = sim::SimTime::seconds(opts.full ? 20 : 10);
   base.measure = sim::SimTime::seconds(opts.full ? 60 : 25);
@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
 
   const double rtt_sec = 0.080;
   const auto rule =
-      core::sqrt_rule_packets(rtt_sec, base.bottleneck_rate_bps, base.num_flows, 1000);
+      core::sqrt_rule_packets(rtt_sec, base.bottleneck_rate.bps(), base.num_flows, 1000);
 
   std::printf("Pacing at very small buffers — OC3, n=%d, sqrt rule = %lld pkts\n\n",
               base.num_flows, static_cast<long long>(rule));

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
       argc, argv, "Ablation: Pareto vs fixed short-flow sizes (Section 5.1.3)");
 
   experiment::MixedFlowExperimentConfig base;
-  base.bottleneck_rate_bps = 155e6;
+  base.bottleneck_rate = core::BitsPerSec{155e6};
   base.num_long_flows = opts.full ? 100 : 50;
   base.short_flow_load = 0.2;
   base.warmup = sim::SimTime::seconds(10);
@@ -24,8 +24,8 @@ int main(int argc, char** argv) {
   base.seed = opts.seed;
 
   const double rtt_sec = 0.080;
-  const auto bdp = core::rule_of_thumb_packets(rtt_sec, base.bottleneck_rate_bps, 1000);
-  const auto sqrt_b = core::sqrt_rule_packets(rtt_sec, base.bottleneck_rate_bps,
+  const auto bdp = core::rule_of_thumb_packets(rtt_sec, base.bottleneck_rate.bps(), 1000);
+  const auto sqrt_b = core::sqrt_rule_packets(rtt_sec, base.bottleneck_rate.bps(),
                                               base.num_long_flows, 1000);
 
   std::printf("Pareto vs fixed short flows — %d long flows + short load %.1f, OC3\n\n",

@@ -15,14 +15,14 @@ int main(int argc, char** argv) {
       argc, argv, "Ablation: drop-tail vs RED at sqrt-rule buffers (Section 5.1)");
 
   experiment::LongFlowExperimentConfig base;
-  base.bottleneck_rate_bps = 155e6;
+  base.bottleneck_rate = core::BitsPerSec{155e6};
   base.num_flows = opts.full ? 200 : 100;
   base.warmup = sim::SimTime::seconds(opts.full ? 20 : 10);
   base.measure = sim::SimTime::seconds(opts.full ? 60 : 25);
   base.seed = opts.seed;
 
   const double rtt_sec = 0.080;
-  const auto rule = core::sqrt_rule_packets(rtt_sec, base.bottleneck_rate_bps,
+  const auto rule = core::sqrt_rule_packets(rtt_sec, base.bottleneck_rate.bps(),
                                             base.num_flows, 1000);
 
   std::printf("Queue disciplines — OC3, n=%d, buffer = k * RTT*C/sqrt(n) (= %lld pkts)\n\n",

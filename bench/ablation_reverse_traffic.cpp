@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
       sim::Simulation sim{opts.seed};
       net::DumbbellConfig cfg;
       cfg.num_leaves = n;
-      cfg.bottleneck_rate_bps = rate;
+      cfg.bottleneck_rate = core::BitsPerSec{rate};
       cfg.buffer_packets = buffer;
       cfg.reverse_buffer_packets = two_way ? buffer : 1'000'000;
       net::Dumbbell topo{sim, cfg};

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
       argc, argv, "Ablation: RTT spread vs synchronization (Section 3)");
 
   experiment::LongFlowExperimentConfig base;
-  base.bottleneck_rate_bps = 155e6;
+  base.bottleneck_rate = core::BitsPerSec{155e6};
   base.num_flows = opts.full ? 100 : 50;
   base.warmup = sim::SimTime::seconds(opts.full ? 20 : 10);
   base.measure = sim::SimTime::seconds(opts.full ? 60 : 30);
@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
       {"±24 ms (default)", sim::SimTime::milliseconds(5), sim::SimTime::milliseconds(53)},
   };
 
-  const auto rule = core::sqrt_rule_packets(0.080, base.bottleneck_rate_bps,
+  const auto rule = core::sqrt_rule_packets(0.080, base.bottleneck_rate.bps(),
                                             base.num_flows, 1000);
   std::printf("RTT spread sweep — OC3, n=%d, buffer = RTT*C/sqrt(n) = %lld pkts\n\n",
               base.num_flows, static_cast<long long>(rule));

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
       argc, argv, "Ablation: window synchronization vs number of flows (Section 3)");
 
   experiment::LongFlowExperimentConfig base;
-  base.bottleneck_rate_bps = 155e6;
+  base.bottleneck_rate = core::BitsPerSec{155e6};
   base.warmup = sim::SimTime::seconds(opts.full ? 20 : 10);
   base.measure = sim::SimTime::seconds(opts.full ? 60 : 30);
   base.cwnd_sample_interval = sim::SimTime::milliseconds(50);

@@ -34,7 +34,7 @@ TraceResult trace_single_flow(std::int64_t buffer_packets, sim::SimTime horizon,
 
   net::DumbbellConfig topo_cfg;
   topo_cfg.num_leaves = 1;
-  topo_cfg.bottleneck_rate_bps = 10e6;  // slow link makes the sawtooth visible
+  topo_cfg.bottleneck_rate = core::BitsPerSec{10e6};  // slow link makes the sawtooth visible
   topo_cfg.bottleneck_delay = sim::SimTime::milliseconds(10);
   topo_cfg.access_delays = {sim::SimTime::milliseconds(35)};
   topo_cfg.buffer_packets = buffer_packets;

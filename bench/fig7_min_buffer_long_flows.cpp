@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
       argc, argv, "Fig 7: minimum buffer for target utilization vs number of long flows");
 
   experiment::LongFlowExperimentConfig base;
-  base.bottleneck_rate_bps = 155e6;
+  base.bottleneck_rate = core::BitsPerSec{155e6};
   base.warmup = sim::SimTime::seconds(opts.full ? 20 : 10);
   base.measure = sim::SimTime::seconds(opts.full ? 60 : 20);
   base.seed = opts.seed;
@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
 
   // Mean RTT of the default topology: 2*(29 + 10 + 1) ms = 80 ms.
   const double rtt_sec = 0.080;
-  const double bdp_pkts = rtt_sec * base.bottleneck_rate_bps / 8000.0;
+  const double bdp_pkts = rtt_sec * base.bottleneck_rate.bps() / 8000.0;
 
   std::printf("Figure 7 — OC3 (155 Mb/s), mean RTT 80 ms, BDP = %.0f packets\n", bdp_pkts);
   std::printf("model line: B = RTT*C/sqrt(n) (2x for 99.9%%)\n\n");
@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
     auto cfg = base;
     cfg.num_flows = n;
     Fig7Row out;
-    out.model_pkts = core::sqrt_rule_packets(rtt_sec, cfg.bottleneck_rate_bps, n, 1000);
+    out.model_pkts = core::sqrt_rule_packets(rtt_sec, cfg.bottleneck_rate.bps(), n, 1000);
 
     for (const double target : targets) {
       // Bracket the search around the model prediction; a result pinned at

@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
   const auto rows = runner.map<Fig8Row>(rates.size(), [&](std::size_t idx) {
     const double rate = rates[idx];
     experiment::ShortFlowExperimentConfig cfg;
-    cfg.bottleneck_rate_bps = rate;
+    cfg.bottleneck_rate = core::BitsPerSec{rate};
     cfg.load = load;
     cfg.flow_packets = flow_packets;
     cfg.measure = sim::SimTime::seconds(opts.full ? 60 : 25);

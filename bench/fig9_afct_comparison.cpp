@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
       argc, argv, "Fig 9: short-flow AFCT with RTT*C/sqrt(n) vs RTT*C buffers");
 
   experiment::MixedFlowExperimentConfig base;
-  base.bottleneck_rate_bps = 155e6;
+  base.bottleneck_rate = core::BitsPerSec{155e6};
   base.num_long_flows = opts.full ? 100 : 50;
   base.short_flow_load = 0.2;
   base.warmup = sim::SimTime::seconds(opts.full ? 15 : 10);
@@ -28,8 +28,8 @@ int main(int argc, char** argv) {
 
   const double rtt_sec = 0.080;
   const auto bdp =
-      core::rule_of_thumb_packets(rtt_sec, base.bottleneck_rate_bps, 1000);
-  const auto sqrt_b = core::sqrt_rule_packets(rtt_sec, base.bottleneck_rate_bps,
+      core::rule_of_thumb_packets(rtt_sec, base.bottleneck_rate.bps(), 1000);
+  const auto sqrt_b = core::sqrt_rule_packets(rtt_sec, base.bottleneck_rate.bps(),
                                               base.num_long_flows, 1000);
 
   std::printf("Figure 9 — %d long flows + Poisson short flows (load %.1f), OC3\n",

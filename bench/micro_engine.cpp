@@ -18,6 +18,12 @@ namespace {
 
 using namespace rbs;
 
+/// Root seed for every RNG a microbenchmark draws from. rbs-analyze rule R4
+/// requires Rngs outside tests/ to fork from a named stream of a named seed
+/// rather than being literal-seeded in place.
+constexpr std::uint64_t kBenchSeed = 1;
+constexpr std::uint64_t kRngBenchStream = 0xBE4C;
+
 void BM_SchedulerScheduleRun(benchmark::State& state) {
   const auto n = state.range(0);
   for (auto _ : state) {
@@ -104,7 +110,7 @@ void BM_DropTailEnqueueDequeue(benchmark::State& state) {
 BENCHMARK(BM_DropTailEnqueueDequeue);
 
 void BM_RngUniform(benchmark::State& state) {
-  sim::Rng rng{42};
+  sim::Rng rng = sim::Rng{kBenchSeed}.fork(kRngBenchStream);
   for (auto _ : state) benchmark::DoNotOptimize(rng.uniform());
   state.SetItemsProcessed(state.iterations());
 }

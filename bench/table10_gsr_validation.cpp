@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
       argc, argv, "Table (Fig 10): model vs simulation vs published GSR measurements");
 
   experiment::LongFlowExperimentConfig base;
-  base.bottleneck_rate_bps = 155e6;
+  base.bottleneck_rate = core::BitsPerSec{155e6};
   base.warmup = sim::SimTime::seconds(opts.full ? 20 : 10);
   base.measure = sim::SimTime::seconds(opts.full ? 60 : 20);
   base.seed = opts.seed;
@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
 
   for (int ni = 0; ni < 4; ++ni) {
     const int n = 100 * (ni + 1);
-    const auto rule = core::sqrt_rule_packets(rtt_sec, base.bottleneck_rate_bps, n, 1000);
+    const auto rule = core::sqrt_rule_packets(rtt_sec, base.bottleneck_rate.bps(), n, 1000);
     for (int mi = 0; mi < 4; ++mi) {
       const double mult = multiples[mi];
       const auto buffer = static_cast<std::int64_t>(std::llround(mult * static_cast<double>(rule)));
@@ -70,11 +70,11 @@ int main(int argc, char** argv) {
       cfg.buffer_packets = buffer;
       const auto sim_result = run_long_flow_experiment(cfg);
 
-      const core::LongFlowLink model{base.bottleneck_rate_bps, rtt_sec, n, 1000};
+      const core::LongFlowLink model{base.bottleneck_rate.bps(), rtt_sec, n, 1000};
       const double model_util = core::predicted_utilization(model, buffer);
 
       core::FluidConfig fluid_cfg;
-      fluid_cfg.rate_bps = base.bottleneck_rate_bps;
+      fluid_cfg.rate_bps = base.bottleneck_rate.bps();
       fluid_cfg.num_flows = n;
       fluid_cfg.buffer_packets = buffer;
       fluid_cfg.seed = opts.seed;

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   // published table (0.8x/1.2x/1.5x). Short flows and UDP bring the
   // *concurrent* flow count toward the paper's "~400 estimated".
   experiment::MixedFlowExperimentConfig base;
-  base.bottleneck_rate_bps = 20e6;
+  base.bottleneck_rate = core::BitsPerSec{20e6};
   base.num_long_flows = 45;
   base.short_flow_load = 0.10;
   base.short_sizing = experiment::ShortFlowSizing::kPareto;
@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
   base.seed = opts.seed;
 
   const double rtt_sec = 2.0 * (0.061 + 0.010 + 0.001);  // mean propagation RTT = 144 ms
-  const auto sqrt_rule = core::sqrt_rule_packets(rtt_sec, base.bottleneck_rate_bps,
+  const auto sqrt_rule = core::sqrt_rule_packets(rtt_sec, base.bottleneck_rate.bps(),
                                                  base.num_long_flows, 1000);
   std::printf("Figure 11 table — 20 Mb/s, ~%d long + short/UDP mix, RTT*C/sqrt(n) = %lld pkts\n\n",
               base.num_long_flows, static_cast<long long>(sqrt_rule));
@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
     auto cfg = base;
     cfg.buffer_packets = row.buffer;
     const auto r = run_mixed_flow_experiment(cfg);
-    const core::LongFlowLink model{base.bottleneck_rate_bps, rtt_sec, base.num_long_flows,
+    const core::LongFlowLink model{base.bottleneck_rate.bps(), rtt_sec, base.num_long_flows,
                                    1000};
     const double model_util = core::predicted_utilization(model, row.buffer);
     const double multiple =
@@ -96,12 +96,12 @@ int main(int argc, char** argv) {
   {
     experiment::LongFlowExperimentConfig cfg;
     cfg.num_flows = opts.full ? 500 : 300;
-    cfg.bottleneck_rate_bps = 155e6;
+    cfg.bottleneck_rate = core::BitsPerSec{155e6};
     cfg.warmup = sim::SimTime::seconds(10);
     cfg.measure = sim::SimTime::seconds(opts.full ? 60 : 20);
     cfg.seed = opts.seed;
     const auto one_second =
-        static_cast<std::int64_t>(1.0 * cfg.bottleneck_rate_bps / 8000.0);
+        static_cast<std::int64_t>(1.0 * cfg.bottleneck_rate.bps() / 8000.0);
     cfg.buffer_packets = one_second / 200;  // 5 ms worth of packets
     const auto r = run_long_flow_experiment(cfg);
     std::printf("Internet2-style check (§5.3): %d flows, buffer = 5 ms instead of 1 s "

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
       argc, argv, "Table (Section 1.1): queueing-delay cost of overbuffering");
 
   experiment::LongFlowExperimentConfig base;
-  base.bottleneck_rate_bps = 155e6;
+  base.bottleneck_rate = core::BitsPerSec{155e6};
   base.num_flows = opts.full ? 200 : 100;
   base.warmup = sim::SimTime::seconds(opts.full ? 20 : 10);
   base.measure = sim::SimTime::seconds(opts.full ? 60 : 20);
@@ -28,8 +28,8 @@ int main(int argc, char** argv) {
 
   const double rtt_sec = 0.080;
   const auto rule =
-      core::sqrt_rule_packets(rtt_sec, base.bottleneck_rate_bps, base.num_flows, 1000);
-  const auto bdp = core::rule_of_thumb_packets(rtt_sec, base.bottleneck_rate_bps, 1000);
+      core::sqrt_rule_packets(rtt_sec, base.bottleneck_rate.bps(), base.num_flows, 1000);
+  const auto bdp = core::rule_of_thumb_packets(rtt_sec, base.bottleneck_rate.bps(), 1000);
 
   std::printf("Delay cost of buffering — OC3, n=%d, sqrt rule = %lld pkts, RTT*C = %lld\n\n",
               base.num_flows, static_cast<long long>(rule), static_cast<long long>(bdp));
@@ -69,8 +69,8 @@ int main(int argc, char** argv) {
 
   // Context: what the buffer means in worst-case milliseconds.
   std::printf("worst-case buffer drain time: sqrt rule %.1f ms vs RTT*C %.1f ms\n",
-              static_cast<double>(rule) * 8000.0 / base.bottleneck_rate_bps * 1e3,
-              static_cast<double>(bdp) * 8000.0 / base.bottleneck_rate_bps * 1e3);
+              static_cast<double>(rule) * 8000.0 / base.bottleneck_rate.bps() * 1e3,
+              static_cast<double>(bdp) * 8000.0 / base.bottleneck_rate.bps() * 1e3);
   std::printf("expected shape (§1.1): utilization saturates at ~the sqrt rule while p99\n"
               "delay keeps climbing linearly with the buffer — everything beyond the rule\n"
               "buys only latency (and slightly less loss), not throughput.\n");

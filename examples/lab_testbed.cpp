@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
     sim::Simulation sim{7};
     net::DumbbellConfig topo_cfg;
     topo_cfg.num_leaves = leaves;
-    topo_cfg.bottleneck_rate_bps = rate;
+    topo_cfg.bottleneck_rate = core::BitsPerSec{rate};
     topo_cfg.buffer_packets =
         std::max<std::int64_t>(4, static_cast<std::int64_t>(std::llround(mult * rule)));
     net::Dumbbell topo{sim, topo_cfg};

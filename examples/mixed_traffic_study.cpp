@@ -18,7 +18,7 @@ int main() {
   using namespace rbs;
 
   experiment::MixedFlowExperimentConfig cfg;
-  cfg.bottleneck_rate_bps = 50e6;
+  cfg.bottleneck_rate = core::BitsPerSec{50e6};
   cfg.num_long_flows = 40;
   cfg.short_flow_load = 0.15;
   cfg.short_sizing = experiment::ShortFlowSizing::kPareto;
@@ -30,9 +30,9 @@ int main() {
   cfg.measure = sim::SimTime::seconds(30);
 
   const double rtt = 0.080;
-  const auto bdp = core::rule_of_thumb_packets(rtt, cfg.bottleneck_rate_bps, 1000);
+  const auto bdp = core::rule_of_thumb_packets(rtt, cfg.bottleneck_rate.bps(), 1000);
   const auto sqrt_rule =
-      core::sqrt_rule_packets(rtt, cfg.bottleneck_rate_bps, cfg.num_long_flows, 1000);
+      core::sqrt_rule_packets(rtt, cfg.bottleneck_rate.bps(), cfg.num_long_flows, 1000);
 
   std::printf("mixed traffic study — 50 Mb/s, %d long flows + Pareto short flows (%.0f%%)"
               " + UDP (%.0f%%)\n",
@@ -46,7 +46,7 @@ int main() {
     cfg.buffer_packets = buffer;
     const auto r = run_mixed_flow_experiment(cfg);
     const double queue_delay_ms =
-        r.mean_queue_packets * 8000.0 / cfg.bottleneck_rate_bps * 1e3;
+        r.mean_queue_packets * 8000.0 / cfg.bottleneck_rate.bps() * 1e3;
     table.add_row({experiment::format("%lld", static_cast<long long>(buffer)),
                    experiment::format("%.2f%%", 100 * r.utilization),
                    experiment::format("%.3f%%", 100 * r.drop_probability),

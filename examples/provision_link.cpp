@@ -43,13 +43,13 @@ int main(int argc, char** argv) {
   }
 
   rbs::core::LinkProfile link;
-  link.rate_bps = arg_double(argc, argv, "--rate-gbps", 10.0) * 1e9;
+  link.rate = rbs::core::BitsPerSec::gigabits(arg_double(argc, argv, "--rate-gbps", 10.0));
   link.mean_rtt_sec = arg_double(argc, argv, "--rtt-ms", 250.0) / 1e3;
   link.num_long_flows =
       static_cast<std::int64_t>(arg_double(argc, argv, "--flows", 50'000.0));
   link.load = arg_double(argc, argv, "--load", 0.8);
-  link.packet_bytes =
-      static_cast<std::int32_t>(arg_double(argc, argv, "--packet-bytes", 1000.0));
+  link.packet_size = rbs::core::Bytes{
+      static_cast<std::int64_t>(arg_double(argc, argv, "--packet-bytes", 1000.0))};
 
   const auto rec = rbs::core::recommend_buffer(link);
   std::printf("%s\n", rbs::core::to_report(link, rec).c_str());

@@ -16,7 +16,7 @@ int main() {
 
   // --- 1. Ask the models: how much buffer does this link need? ------------
   core::LinkProfile profile;
-  profile.rate_bps = 155e6;      // an OC3 interface
+  profile.rate = core::BitsPerSec{155e6};  // an OC3 interface
   profile.mean_rtt_sec = 0.080;  // 80 ms average flow RTT
   profile.num_long_flows = 200;  // concurrent long-lived TCP flows
   profile.load = 0.8;
@@ -28,7 +28,7 @@ int main() {
   experiment::LongFlowExperimentConfig cfg;
   cfg.num_flows = 200;
   cfg.buffer_packets = rec.recommended_pkts;
-  cfg.bottleneck_rate_bps = profile.rate_bps;
+  cfg.bottleneck_rate = profile.rate;
   cfg.warmup = sim::SimTime::seconds(10);
   cfg.measure = sim::SimTime::seconds(20);
 

@@ -314,7 +314,7 @@ int run_rbsim(int argc, char** argv) {
     if (mode == "long") {
       experiment::LongFlowExperimentConfig cfg;
       cfg.num_flows = flows;
-      cfg.bottleneck_rate_bps = rate_bps;
+      cfg.bottleneck_rate = core::BitsPerSec{rate_bps};
       cfg.warmup = sim::SimTime::from_seconds(warmup);
       cfg.measure = sim::SimTime::from_seconds(duration);
       cfg.record_delays = true;
@@ -356,7 +356,7 @@ int run_rbsim(int argc, char** argv) {
     }
     if (mode == "short") {
       experiment::ShortFlowExperimentConfig cfg;
-      cfg.bottleneck_rate_bps = rate_bps;
+      cfg.bottleneck_rate = core::BitsPerSec{rate_bps};
       cfg.load = get_num(kv, "short_load", 0.8);
       cfg.flow_packets = static_cast<std::int64_t>(get_num(kv, "flow_len", 62));
       cfg.warmup = sim::SimTime::from_seconds(warmup);
@@ -392,7 +392,7 @@ int run_rbsim(int argc, char** argv) {
     }
     if (mode == "mixed") {
       experiment::MixedFlowExperimentConfig cfg;
-      cfg.bottleneck_rate_bps = rate_bps;
+      cfg.bottleneck_rate = core::BitsPerSec{rate_bps};
       cfg.num_long_flows = flows;
       cfg.short_flow_load = get_num(kv, "short_load", 0.2);
       cfg.short_flow_packets = static_cast<std::int64_t>(get_num(kv, "flow_len", 62));
@@ -434,7 +434,7 @@ int run_rbsim(int argc, char** argv) {
     experiment::LongFlowExperimentConfig cfg;
     cfg.num_flows = flows;
     cfg.buffer_packets = buffer;
-    cfg.bottleneck_rate_bps = rate_bps;
+    cfg.bottleneck_rate = core::BitsPerSec{rate_bps};
     cfg.warmup = sim::SimTime::from_seconds(warmup);
     cfg.measure = sim::SimTime::from_seconds(duration);
     cfg.record_delays = true;
@@ -476,7 +476,7 @@ int run_rbsim(int argc, char** argv) {
 
   if (mode == "short") {
     experiment::ShortFlowExperimentConfig cfg;
-    cfg.bottleneck_rate_bps = rate_bps;
+    cfg.bottleneck_rate = core::BitsPerSec{rate_bps};
     cfg.buffer_packets = buffer;
     cfg.load = get_num(kv, "short_load", 0.8);
     cfg.flow_packets = static_cast<std::int64_t>(get_num(kv, "flow_len", 62));
@@ -508,7 +508,7 @@ int run_rbsim(int argc, char** argv) {
 
   if (mode == "mixed") {
     experiment::MixedFlowExperimentConfig cfg;
-    cfg.bottleneck_rate_bps = rate_bps;
+    cfg.bottleneck_rate = core::BitsPerSec{rate_bps};
     cfg.num_long_flows = flows;
     cfg.buffer_packets = buffer;
     cfg.short_flow_load = get_num(kv, "short_load", 0.2);
@@ -556,7 +556,7 @@ int run_rbsim(int argc, char** argv) {
     experiment::ExperimentTelemetry tele{sim, tele_cfg};
     net::DumbbellConfig topo_cfg;
     topo_cfg.num_leaves = std::max(flows, 1);
-    topo_cfg.bottleneck_rate_bps = rate_bps;
+    topo_cfg.bottleneck_rate = core::BitsPerSec{rate_bps};
     topo_cfg.buffer_packets = buffer;
     net::Dumbbell topo{sim, topo_cfg};
     traffic::TraceWorkload wl{sim, topo, records, traffic::TraceWorkloadConfig{}};

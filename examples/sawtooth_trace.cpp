@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   sim::Simulation sim{1};
   net::DumbbellConfig topo_cfg;
   topo_cfg.num_leaves = 1;
-  topo_cfg.bottleneck_rate_bps = 10e6;
+  topo_cfg.bottleneck_rate = core::BitsPerSec{10e6};
   topo_cfg.bottleneck_delay = sim::SimTime::milliseconds(10);
   topo_cfg.access_delays = {sim::SimTime::milliseconds(35)};  // RTT = 92 ms
   const double bdp = 0.092 * 10e6 / 8000.0;                   // 115 packets

@@ -1,0 +1,40 @@
+"""rbs-analyze: simulator-semantics static analysis for the rbs codebase.
+
+An AST-grounded analyzer with simulator-specific rules the regex lint
+(scripts/lint_determinism.py) cannot express:
+
+  R1  nondeterminism sources (random_device, rand, wall clocks,
+      pointer-keyed ordered containers) outside an allowlist
+  R2  iteration over unordered_map/unordered_set whose loop body has
+      observable effects
+  R3  raw double/int64 parameters or members with unit-suffixed names
+      (_ps/_seconds/_bytes/_bps/_pkts) crossing public API boundaries
+      instead of the strong types in src/core/units.hpp and sim/time.hpp
+  R4  RNG discipline: every Rng forked from a named stream, never
+      default- or literal-seeded outside tests/
+  R5  event-callback lifetime: no by-reference captures in lambdas handed
+      to the pooled scheduler (schedule_at/schedule_after/at/after)
+
+Two interchangeable backends produce the same findings model:
+
+  * ``clang``   — libclang Python bindings over compile_commands.json,
+                  used automatically when ``import clang.cindex`` works.
+  * ``textual`` — a self-contained C++ lexer; no dependencies beyond the
+                  standard library, so the analyzer runs in any container.
+
+Findings are governed by a checked-in baseline (baseline.json) with a
+ratchet: per-(rule, file) counts may only go down. See
+docs/static_analysis.md for the workflow and suppression syntax.
+"""
+
+__version__ = "1.0"
+
+RULES = ("R1", "R2", "R3", "R4", "R5")
+
+RULE_TITLES = {
+    "R1": "nondeterminism source",
+    "R2": "unordered iteration with observable effects",
+    "R3": "raw unit-suffixed scalar on a public API boundary",
+    "R4": "RNG not forked from a named stream",
+    "R5": "by-reference capture in a pooled scheduler callback",
+}

@@ -1,0 +1,123 @@
+"""CLI: python3 -m rbs_analyze (run from scripts/, or with PYTHONPATH=scripts).
+
+Exit codes: 0 clean vs baseline · 1 findings above baseline · 2 tool error.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from . import RULES, RULE_TITLES, __version__
+from . import baseline as baseline_mod
+from .driver import run
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="rbs-analyze",
+        description="Simulator-semantics static analysis for rbs (rules R1-R5).",
+    )
+    ap.add_argument("--repo", type=Path, default=None,
+                    help="repository root (default: auto-detect from this file)")
+    ap.add_argument("--compdb", type=Path, default=None,
+                    help="compile_commands.json (default: <repo>/build/compile_commands.json)")
+    ap.add_argument("--backend", choices=("auto", "clang", "textual"), default="auto")
+    ap.add_argument("--rules", default=",".join(RULES),
+                    help="comma-separated subset of rules to run")
+    ap.add_argument("--files", nargs="*", type=Path, default=None,
+                    help="analyze only these files (fixture/test mode)")
+    ap.add_argument("--baseline", type=Path, default=None,
+                    help="baseline JSON (default: scripts/rbs_analyze/baseline.json)")
+    ap.add_argument("--no-baseline", action="store_true",
+                    help="ignore the baseline: any finding is a failure")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline from this run (ratchet: total may not grow)")
+    ap.add_argument("--force-baseline-growth", action="store_true",
+                    help="allow --update-baseline to raise the total (breaks the ratchet; "
+                         "reserve for rule changes)")
+    ap.add_argument("--json", type=Path, default=None, help="write findings as JSON")
+    ap.add_argument("--quiet", action="store_true", help="suppress per-finding text")
+    args = ap.parse_args(argv)
+
+    repo = (args.repo or Path(__file__).resolve().parents[2]).resolve()
+    compdb = args.compdb
+    if compdb is None:
+        cand = repo / "build" / "compile_commands.json"
+        compdb = cand if cand.exists() else None
+
+    rules = [r.strip().upper() for r in args.rules.split(",") if r.strip()]
+    bad = [r for r in rules if r not in RULES]
+    if bad:
+        print(f"rbs-analyze: unknown rule(s): {', '.join(bad)}", file=sys.stderr)
+        return 2
+
+    files = None
+    if args.files is not None:
+        files = [f if f.is_absolute() else (Path.cwd() / f) for f in args.files]
+
+    try:
+        backend_name, findings = run(repo, files, args.backend, rules, compdb)
+    except RuntimeError as e:
+        print(f"rbs-analyze: {e}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(
+            {
+                "version": __version__,
+                "backend": backend_name,
+                "rules": {r: RULE_TITLES[r] for r in rules},
+                "findings": [f.as_dict() for f in findings],
+            },
+            indent=2,
+        ) + "\n")
+
+    if not args.quiet:
+        for f in findings:
+            print(f.render())
+
+    baseline_path = args.baseline or (repo / "scripts" / "rbs_analyze" / "baseline.json")
+
+    if args.update_baseline:
+        new_counts = baseline_mod.counts_of(findings)
+        old_counts = baseline_mod.load(baseline_path)
+        old_total = baseline_mod.total(old_counts)
+        new_total = baseline_mod.total(new_counts)
+        if baseline_path.exists() and new_total > old_total and not args.force_baseline_growth:
+            print(
+                f"rbs-analyze: refusing to grow the baseline "
+                f"({old_total} -> {new_total} findings); fix the new findings or "
+                f"pass --force-baseline-growth if a rule legitimately changed",
+                file=sys.stderr,
+            )
+            return 1
+        baseline_mod.save(baseline_path, new_counts)
+        print(f"rbs-analyze[{backend_name}]: baseline updated: "
+              f"{new_total} accepted finding(s) at {baseline_path}")
+        return 0
+
+    if args.no_baseline:
+        n = len(findings)
+        print(f"rbs-analyze[{backend_name}]: {n} finding(s), no baseline")
+        return 1 if n else 0
+
+    base = baseline_mod.load(baseline_path)
+    regressions, improvements = baseline_mod.compare(findings, base)
+    for line in improvements:
+        print(f"rbs-analyze: improved: {line}")
+    if regressions:
+        print(f"rbs-analyze[{backend_name}]: FAIL — new findings above baseline:",
+              file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"rbs-analyze[{backend_name}]: clean — {len(findings)} finding(s), "
+          f"all within baseline ({baseline_mod.total(base)} accepted)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Self-contained backend: lexer + token-stream rules, no dependencies.
+
+This is the backend that runs everywhere (the container image has no
+libclang). It shares the finding model, suppression handling, baseline,
+and reporting with the clang backend, so switching backends never changes
+the workflow — only the precision of the facts.
+"""
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List
+
+from .findings import Finding, apply_suppressions, collect_suppressions
+from .lexer import tokenize
+from .rules import ALL_RULES, build_context
+
+NAME = "textual"
+
+
+def analyze(repo: Path, files: List[Path], rules: List[str]) -> List[Finding]:
+    texts: Dict[str, str] = {}
+    tokens = {}
+    for f in files:
+        rel = f.relative_to(repo).as_posix() if f.is_absolute() else f.as_posix()
+        try:
+            text = (repo / rel).read_text(errors="replace")
+        except OSError:
+            continue
+        texts[rel] = text
+        tokens[rel] = tokenize(text)
+
+    ctx = build_context(tokens)
+    findings: List[Finding] = []
+    for rel, toks in tokens.items():
+        for rule in rules:
+            findings.extend(ALL_RULES[rule](rel, toks, ctx))
+
+    suppressions = {rel: collect_suppressions(text) for rel, text in texts.items()}
+    return sorted(apply_suppressions(findings, suppressions))

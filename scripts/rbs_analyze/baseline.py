@@ -1,0 +1,73 @@
+"""Checked-in baseline with a ratchet: counts may only go down.
+
+The baseline records, per (rule, file), how many findings are accepted
+debt. A run FAILS if any (rule, file) count exceeds its baseline (new
+debt), and WARNS when counts dropped (run --update-baseline to lock the
+improvement in). --update-baseline refuses to raise the total — the
+ratchet is one-way.
+"""
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .findings import Finding
+
+BaselineCounts = Dict[str, Dict[str, int]]  # rule -> file -> count
+
+
+def counts_of(findings: List[Finding]) -> BaselineCounts:
+    c: Counter = Counter((f.rule, f.file) for f in findings)
+    out: BaselineCounts = {}
+    for (rule, file), n in sorted(c.items()):
+        out.setdefault(rule, {})[file] = n
+    return out
+
+
+def total(counts: BaselineCounts) -> int:
+    return sum(n for files in counts.values() for n in files.values())
+
+
+def load(path: Path) -> BaselineCounts:
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text())
+    return data.get("counts", {})
+
+
+def save(path: Path, counts: BaselineCounts) -> None:
+    payload = {
+        "comment": "rbs-analyze accepted-debt baseline. Counts per (rule, file) "
+                   "may only decrease; regenerate with --update-baseline after "
+                   "fixing findings. See docs/static_analysis.md.",
+        "total": total(counts),
+        "counts": counts,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def compare(
+    current: List[Finding], baseline: BaselineCounts
+) -> Tuple[List[str], List[str]]:
+    """Returns (regressions, improvements) as human-readable lines."""
+    cur = counts_of(current)
+    regressions: List[str] = []
+    improvements: List[str] = []
+    keys = {(r, f) for r, files in cur.items() for f in files} | {
+        (r, f) for r, files in baseline.items() for f in files
+    }
+    for rule, file in sorted(keys):
+        now = cur.get(rule, {}).get(file, 0)
+        base = baseline.get(rule, {}).get(file, 0)
+        if now > base:
+            regressions.append(
+                f"{file}: {rule} findings went {base} -> {now} (+{now - base})"
+            )
+        elif now < base:
+            improvements.append(
+                f"{file}: {rule} findings went {base} -> {now} "
+                f"(run --update-baseline to ratchet)"
+            )
+    return regressions, improvements

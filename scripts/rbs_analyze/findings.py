@@ -1,0 +1,87 @@
+"""Finding model and suppression handling shared by every backend."""
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, List, Set
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    file: str  # repo-relative, forward slashes
+    line: int
+    rule: str  # "R1".."R5"
+    message: str
+    hint: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "file": self.file,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def render(self) -> str:
+        out = f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+        if self.hint:
+            out += f"\n    fix: {self.hint}"
+        return out
+
+
+# `// rbs-analyze: allow(R2) -- reason` suppresses that rule on the same
+# line or the line below the comment. The legacy determinism-lint syntax
+# `// rbs-lint: allow(unordered-iteration) -- reason` is honored for the
+# rules it maps onto so existing justified sites keep working.
+_ALLOW_RE = re.compile(
+    r"//\s*rbs-analyze:\s*allow\((R[1-5](?:\s*,\s*R[1-5])*)\)\s*--\s*\S"
+)
+_LEGACY_ALLOW_RE = re.compile(
+    r"//\s*rbs-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)(\s*--\s*\S.*)?"
+)
+_LEGACY_RULE_MAP = {
+    "unordered-iteration": "R2",
+    "unordered-container": "R2",
+    "wall-clock": "R1",
+    "std-rand": "R1",
+    "raw-time": "R1",
+    "unseeded-rng": "R4",
+}
+
+
+def collect_suppressions(text: str) -> Dict[int, Set[str]]:
+    """Maps 1-based line numbers to the set of rules suppressed there.
+
+    A comment on line N suppresses findings on line N and line N+1, so the
+    annotation can sit on its own line above the flagged statement.
+    """
+    out: Dict[int, Set[str]] = {}
+    for i, line in enumerate(text.splitlines(), start=1):
+        rules: Set[str] = set()
+        m = _ALLOW_RE.search(line)
+        if m:
+            rules.update(r.strip() for r in m.group(1).split(","))
+        m = _LEGACY_ALLOW_RE.search(line)
+        if m:
+            for name in (r.strip() for r in m.group(1).split(",")):
+                mapped = _LEGACY_RULE_MAP.get(name)
+                if mapped:
+                    rules.add(mapped)
+        if rules:
+            out.setdefault(i, set()).update(rules)
+            out.setdefault(i + 1, set()).update(rules)
+    return out
+
+
+def apply_suppressions(
+    findings: List[Finding], suppressions_by_file: Dict[str, Dict[int, Set[str]]]
+) -> List[Finding]:
+    kept = []
+    for f in findings:
+        allowed = suppressions_by_file.get(f.file, {}).get(f.line, set())
+        if f.rule not in allowed:
+            kept.append(f)
+    return kept

@@ -1,0 +1,352 @@
+"""R1–R5 implemented over the lexer's token stream.
+
+Each rule is a function (path, tokens, ctx) -> [Finding]. `ctx` carries
+cross-file facts (the index of declared unordered-container variables) so
+rules can resolve names declared in a header while analyzing the .cpp.
+"""
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Set
+
+from .findings import Finding
+from .lexer import Token, find_matching, match_seq
+
+RAW_SCALAR_TYPES = {
+    "double",
+    "float",
+    "int",
+    "long",
+    "int16_t",
+    "int32_t",
+    "int64_t",
+    "uint16_t",
+    "uint32_t",
+    "uint64_t",
+    "size_t",
+}
+UNIT_SUFFIXES = ("_ps", "_seconds", "_bytes", "_bps", "_pkts")
+
+# Wall-clock reads are sanctioned where the regex lint sanctions them:
+# telemetry (profiling/tracing needs real time) and bench harnesses.
+WALL_CLOCK_ALLOWED_PREFIXES = ("src/telemetry/", "bench/")
+WALL_CLOCK_IDENTS = {
+    "system_clock",
+    "steady_clock",
+    "high_resolution_clock",
+    "gettimeofday",
+    "clock_gettime",
+}
+
+SCHEDULER_CALLS = {"schedule_at", "schedule_after", "at", "after"}
+
+
+@dataclasses.dataclass
+class AnalysisContext:
+    """Cross-file facts the rules need."""
+
+    # Variable names declared anywhere as std::unordered_{map,set}<...>.
+    unordered_names: Set[str] = dataclasses.field(default_factory=set)
+
+
+def build_context(files: Dict[str, List[Token]]) -> AnalysisContext:
+    ctx = AnalysisContext()
+    for tokens in files.values():
+        for i, t in enumerate(tokens):
+            if t.text in ("unordered_map", "unordered_set"):
+                j = i + 1
+                if j < len(tokens) and tokens[j].text == "<":
+                    close = find_matching(tokens, j, "<", ">")
+                    if close != -1 and close + 1 < len(tokens):
+                        name_tok = tokens[close + 1]
+                        if name_tok.kind == "ident":
+                            ctx.unordered_names.add(name_tok.text)
+    return ctx
+
+
+def _prev_text(tokens: List[Token], i: int) -> str:
+    return tokens[i - 1].text if i > 0 else ""
+
+
+def _is_member_or_qualified(tokens: List[Token], i: int) -> bool:
+    return _prev_text(tokens, i) in (".", "->", "::")
+
+
+def _in_tests(path: str) -> bool:
+    return path.startswith("tests/")
+
+
+# --------------------------------------------------------------------------
+# R1: nondeterminism sources
+# --------------------------------------------------------------------------
+def rule_r1(path: str, tokens: List[Token], ctx: AnalysisContext) -> List[Finding]:
+    findings: List[Finding] = []
+    wall_clock_ok = path.startswith(WALL_CLOCK_ALLOWED_PREFIXES)
+    for i, t in enumerate(tokens):
+        if t.kind != "ident":
+            continue
+        if t.text == "random_device":
+            findings.append(
+                Finding(path, t.line, "R1", "std::random_device is nondeterministic",
+                        "seed a sim::Rng from the simulation seed instead")
+            )
+        elif t.text in ("rand", "srand", "rand_r"):
+            if match_seq(tokens, i + 1, "(") and not (
+                _prev_text(tokens, i) in (".", "->")
+            ):
+                findings.append(
+                    Finding(path, t.line, "R1", f"C library {t.text}() uses hidden global state",
+                            "use sim::Rng forked from a named stream")
+                )
+        elif t.text in WALL_CLOCK_IDENTS and not wall_clock_ok:
+            findings.append(
+                Finding(path, t.line, "R1", f"wall-clock read via {t.text}",
+                        "simulated code must use sim::SimTime / Simulation::now()")
+            )
+        elif t.text == "time" and match_seq(tokens, i - 1, "::", "time") and not wall_clock_ok:
+            # std::time(...) / ::time(...) — not SimTime (type use, no call),
+            # not member calls like sim.time().
+            if match_seq(tokens, i + 1, "("):
+                findings.append(
+                    Finding(path, t.line, "R1", "wall-clock read via time()",
+                            "simulated code must use sim::SimTime / Simulation::now()")
+                )
+        elif t.text in ("map", "set") and match_seq(tokens, i - 1, "::", t.text):
+            # std::map/std::set keyed by a pointer type: iteration order is
+            # the pointer order — an address-space-layout dependency.
+            if match_seq(tokens, i + 1, "<"):
+                close = find_matching(tokens, i + 1, "<", ">")
+                if close != -1:
+                    # First template argument: up to the first comma at depth 0.
+                    depth = 0
+                    first_arg_end = close
+                    for j in range(i + 2, close):
+                        tj = tokens[j].text
+                        if tj in ("<", "(", "["):
+                            depth += 1
+                        elif tj in (">", ")", "]", ">>"):
+                            depth -= 2 if tj == ">>" else 1
+                        elif tj == "," and depth == 0:
+                            first_arg_end = j
+                            break
+                    if first_arg_end > i + 2 and tokens[first_arg_end - 1].text == "*":
+                        findings.append(
+                            Finding(path, t.line, "R1",
+                                    f"std::{t.text} keyed by a pointer type iterates in address order",
+                                    "key by a stable id (FlowId, NodeId, name) instead of a pointer")
+                        )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# R2: unordered iteration with observable effects
+# --------------------------------------------------------------------------
+def _statement_is_collect_into_local(body: List[Token]) -> str | None:
+    """Returns the local collector name if the body is exactly
+    `local.push_back(...);` / `local.insert(...);` / `local.emplace_back(...);`."""
+    if len(body) < 5:
+        return None
+    if body[0].kind != "ident" or body[1].text != ".":
+        return None
+    if body[2].text not in ("push_back", "insert", "emplace_back"):
+        return None
+    if body[3].text != "(":
+        return None
+    close = find_matching(body, 3, "(", ")")
+    if close == -1 or close + 1 >= len(body):
+        return None
+    rest = [t.text for t in body[close + 1 :]]
+    return body[0].text if rest == [";"] else None
+
+
+def rule_r2(path: str, tokens: List[Token], ctx: AnalysisContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for i, t in enumerate(tokens):
+        if t.text != "for" or not match_seq(tokens, i + 1, "("):
+            continue
+        close_paren = find_matching(tokens, i + 1, "(", ")")
+        if close_paren == -1:
+            continue
+        head = tokens[i + 2 : close_paren]
+        colon_idx = next(
+            (k for k, ht in enumerate(head) if ht.text == ":" ), None
+        )
+        if colon_idx is None:
+            continue  # classic for loop
+        range_expr = head[colon_idx + 1 :]
+        iterated = [ht.text for ht in range_expr if ht.kind == "ident"]
+        if not any(name in ctx.unordered_names for name in iterated):
+            continue
+        # Loop body: brace block or single statement.
+        body_start = close_paren + 1
+        if body_start >= len(tokens):
+            continue
+        if tokens[body_start].text == "{":
+            body_end = find_matching(tokens, body_start, "{", "}")
+            if body_end == -1:
+                continue
+            body = tokens[body_start + 1 : body_end]
+            after = tokens[body_end + 1 : body_end + 16]
+        else:
+            j = body_start
+            while j < len(tokens) and tokens[j].text != ";":
+                j += 1
+            body = tokens[body_start : j + 1]
+            after = tokens[j + 1 : j + 16]
+        collector = _statement_is_collect_into_local(body)
+        if collector is not None:
+            # Sanctioned pattern: push keys into a local, then sort it.
+            sorted_after = any(
+                match_seq(after, k, "std", "::", "sort", "(")
+                and k + 4 < len(after)
+                and after[k + 4].text == collector
+                for k in range(len(after))
+            )
+            if sorted_after:
+                continue
+        findings.append(
+            Finding(path, t.line, "R2",
+                    "iteration over an unordered container with observable effects "
+                    "(order depends on hash layout)",
+                    "collect keys into a vector and std::sort before acting, use an "
+                    "ordered container, or justify with "
+                    "// rbs-analyze: allow(R2) -- <reason>")
+        )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# R3: raw unit-suffixed scalars on public API boundaries (headers)
+# --------------------------------------------------------------------------
+def rule_r3(path: str, tokens: List[Token], ctx: AnalysisContext) -> List[Finding]:
+    if not path.endswith((".hpp", ".h")) or not path.startswith("src/"):
+        return []
+    findings: List[Finding] = []
+    for i, t in enumerate(tokens):
+        if t.kind != "ident" or t.text not in RAW_SCALAR_TYPES:
+            continue
+        # Skip the qualifier tokens: std :: int64_t — land on int64_t only.
+        if _prev_text(tokens, i) == "::" and not match_seq(tokens, i - 2, "std"):
+            continue
+        j = i + 1
+        if j < len(tokens) and tokens[j].kind == "ident":
+            name = tokens[j].text
+            stripped = name[:-1] if name.endswith("_") else name
+            if not stripped.endswith(UNIT_SUFFIXES):
+                continue
+            nxt = tokens[j + 1].text if j + 1 < len(tokens) else ""
+            # Parameter (`, name)` / `name,`), member (`name;` / `name{...};`),
+            # or defaulted (`name = ...`). A following `(` would be a function
+            # declarator — out of scope for R3.
+            if nxt in (";", ",", ")", "{", "="):
+                unit = "sim::SimTime" if stripped.endswith("_ps") or stripped.endswith("_seconds") else (
+                    "core::Bytes" if stripped.endswith("_bytes") else (
+                        "core::BitsPerSec" if stripped.endswith("_bps") else "core::Packets"))
+                findings.append(
+                    Finding(path, t.line, "R3",
+                            f"raw {t.text} '{name}' carries a unit in its name",
+                            f"use the strong type {unit} (src/core/units.hpp) across this API")
+                )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# R4: RNG discipline
+# --------------------------------------------------------------------------
+def rule_r4(path: str, tokens: List[Token], ctx: AnalysisContext) -> List[Finding]:
+    if _in_tests(path):
+        return []
+    findings: List[Finding] = []
+    for i, t in enumerate(tokens):
+        if t.text != "Rng" or t.kind != "ident":
+            continue
+        j = i + 1
+        # `Rng name ...` or a braced temporary `Rng{...}`.
+        name_tok = None
+        if j < len(tokens) and tokens[j].kind == "ident":
+            name_tok = tokens[j]
+            j += 1
+        if j >= len(tokens):
+            continue
+        nxt = tokens[j].text
+        if name_tok is not None and nxt == ";":
+            # `Rng rng_;` (trailing underscore) is a member declaration whose
+            # seeding happens in the constructor init list — the construction
+            # site there is what gets checked, not the declaration.
+            if name_tok.text.endswith("_"):
+                continue
+            findings.append(
+                Finding(path, t.line, "R4",
+                        f"Rng '{name_tok.text}' default-constructed (unseeded)",
+                        "fork from a named stream: sim.rng().fork(kMyStream)")
+            )
+        elif nxt in ("{", "("):
+            close = find_matching(tokens, j, nxt, "}" if nxt == "{" else ")")
+            if close == -1:
+                continue
+            args = tokens[j + 1 : close]
+            if len(args) == 1 and args[0].kind == "number":
+                findings.append(
+                    Finding(path, t.line, "R4",
+                            "Rng seeded with a bare integer literal",
+                            "derive from the run seed via a named stream: "
+                            "sim.rng().fork(kMyStream) or Rng{config.seed}")
+                )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# R5: event-callback lifetime
+# --------------------------------------------------------------------------
+def _lambda_captures_by_ref(tokens: List[Token], open_bracket: int) -> bool:
+    """True if the capture list contains a by-reference capture: `[&]`,
+    `[&, ...]`, `[&x]`, or the init form `[&x = expr]`. An `&` that is not
+    at the start of a capture (e.g. `[p = &obj]`) is address-of, not a
+    by-reference capture."""
+    close = find_matching(tokens, open_bracket, "[", "]")
+    if close == -1:
+        return False
+    caps = tokens[open_bracket + 1 : close]
+    for k, tok in enumerate(caps):
+        if tok.text == "&" and (k == 0 or caps[k - 1].text == ","):
+            return True
+    return False
+
+
+def rule_r5(path: str, tokens: List[Token], ctx: AnalysisContext) -> List[Finding]:
+    findings: List[Finding] = []
+    for i, t in enumerate(tokens):
+        if t.kind != "ident" or t.text not in SCHEDULER_CALLS:
+            continue
+        if not _is_member_or_qualified(tokens, i):
+            continue  # only method calls: sim.after(...), scheduler_->at(...)
+        if not match_seq(tokens, i + 1, "("):
+            continue
+        close = find_matching(tokens, i + 1, "(", ")")
+        if close == -1:
+            continue
+        j = i + 2
+        while j < close:
+            if tokens[j].text == "[" and tokens[j - 1].text in ("(", ","):
+                if _lambda_captures_by_ref(tokens, j):
+                    findings.append(
+                        Finding(path, tokens[j].line, "R5",
+                                f"by-reference capture in a lambda passed to {t.text}() — "
+                                "the pooled event may outlive the captured frame",
+                                "capture by value (or capture `this` and use members); "
+                                "events fire after the enclosing scope returns")
+                    )
+                lam_close = find_matching(tokens, j, "[", "]")
+                j = lam_close + 1 if lam_close != -1 else j + 1
+                continue
+            j += 1
+    return findings
+
+
+ALL_RULES = {
+    "R1": rule_r1,
+    "R2": rule_r2,
+    "R3": rule_r3,
+    "R4": rule_r4,
+    "R5": rule_r5,
+}

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Rule-by-rule test harness for rbs-analyze over tests/analyzer_fixtures/.
+
+Every fixture file declares the findings it must produce on its first line:
+
+    // rbs-analyze-fixture-expect: R1 R1 R3
+
+(an empty list marks a clean twin). The harness runs the analyzer over the
+fixture tree with the fixture dir as the repo root — the tree mirrors a
+src/ layout so path-scoped rules (R3 headers, R4's tests/ exemption, R1's
+telemetry allowlist) exercise their real predicates — and asserts the
+produced rule multiset per file matches the expectation exactly.
+
+Also asserts corpus completeness: every rule id must appear in at least
+one failing fixture and one clean twin.
+
+Usage: python3 scripts/run_analyzer_fixtures.py [--backend textual|clang|auto]
+Exit 0 on success, 1 on mismatch.
+"""
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from collections import Counter
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from rbs_analyze import RULES  # noqa: E402
+from rbs_analyze.driver import run  # noqa: E402
+
+EXPECT_RE = re.compile(r"//\s*rbs-analyze-fixture-expect:\s*((?:R[1-5]\s*)*)$")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--backend", default="textual",
+                    choices=("textual", "clang", "auto"))
+    ap.add_argument("--fixtures", type=Path,
+                    default=Path(__file__).resolve().parents[1]
+                    / "tests" / "analyzer_fixtures")
+    args = ap.parse_args()
+
+    fixture_root = args.fixtures.resolve()
+    files = sorted(
+        p for suffix in (".cpp", ".hpp") for p in fixture_root.rglob(f"*{suffix}")
+    )
+    if not files:
+        print(f"fixture harness: no fixtures under {fixture_root}", file=sys.stderr)
+        return 1
+
+    expectations = {}
+    for f in files:
+        first = f.read_text().splitlines()[0]
+        m = EXPECT_RE.match(first.strip())
+        if not m:
+            print(f"fixture harness: {f} lacks a rbs-analyze-fixture-expect header",
+                  file=sys.stderr)
+            return 1
+        rel = f.relative_to(fixture_root).as_posix()
+        expectations[rel] = Counter(m.group(1).split())
+
+    backend_name, findings = run(
+        repo=fixture_root, files=files, backend_name=args.backend,
+        rules=list(RULES), compdb=None,
+    )
+
+    produced: dict = {rel: Counter() for rel in expectations}
+    for finding in findings:
+        produced.setdefault(finding.file, Counter())[finding.rule] += 1
+
+    failures = []
+    for rel in sorted(expectations):
+        want, got = expectations[rel], produced.get(rel, Counter())
+        if want != got:
+            failures.append(
+                f"{rel}: expected {sorted(want.elements()) or 'no findings'}, "
+                f"got {sorted(got.elements()) or 'no findings'}"
+            )
+
+    # Corpus completeness: each rule must have a failing and a clean fixture.
+    for rule in RULES:
+        failing = [r for r, w in expectations.items() if w[rule] > 0]
+        clean = [r for r, w in expectations.items()
+                 if not w and rule.lower() in Path(r).stem.lower()]
+        if not failing:
+            failures.append(f"corpus: no failing fixture exercises {rule}")
+        if not clean:
+            failures.append(f"corpus: no clean twin exercises {rule}")
+
+    if failures:
+        print(f"fixture harness[{backend_name}]: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"fixture harness[{backend_name}]: {len(expectations)} fixtures OK, "
+          f"all {len(RULES)} rules exercised failing and clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,15 +4,17 @@
 #      tool is a hard failure with a named diagnostic, never a silent skip
 #   1. tier-1: RelWithDebInfo build + complete ctest suite
 #   2. determinism lint: scripts/lint_determinism.py over src/
-#   3. fault scenarios: the deterministic failure-scenario suite plus an
+#   3. semantics analysis: rbs-analyze rules R1-R5 against the checked-in
+#      baseline, plus the analyzer's own fixture corpus
+#   4. fault scenarios: the deterministic failure-scenario suite plus an
 #      rbsim --faults smoke run (schedule parse, arming banner, fault report)
-#   4. bench smoke: one short repetition of the engine microbenchmarks
-#   5. telemetry smoke: one instrumented rbsim run; validate the Chrome
+#   5. bench smoke: one short repetition of the engine microbenchmarks
+#   6. telemetry smoke: one instrumented rbsim run; validate the Chrome
 #      trace and metrics artifacts with scripts/check_telemetry.py
-#   6. ASan/UBSan + RBS_CHECKED: rebuild with AddressSanitizer +
+#   7. ASan/UBSan + RBS_CHECKED: rebuild with AddressSanitizer +
 #      UndefinedBehaviorSanitizer and the hot-path invariant macros armed,
 #      run the complete test suite
-#   7. TSAN: rebuild scheduler + sweep runner under ThreadSanitizer and run
+#   8. TSAN: rebuild scheduler + sweep runner under ThreadSanitizer and run
 #      the concurrency-sensitive tests (scheduler_test, sweep_test)
 #
 # Usage: scripts/verify.sh [jobs]
@@ -25,7 +27,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "=== [0/7] preflight: required tools ==="
+echo "=== [0/8] preflight: required tools ==="
 missing=0
 for tool in cmake ctest python3 gnuplot; do
   if ! command -v "$tool" >/dev/null 2>&1; then
@@ -37,7 +39,7 @@ for tool in cmake ctest python3 gnuplot; do
     case "$tool" in
       cmake)   why="configures and drives every build in this pass" ;;
       ctest)   why="runs the test suites" ;;
-      python3) why="runs the determinism lint and telemetry validation" ;;
+      python3) why="runs the determinism lint, semantics analyzer, and telemetry validation" ;;
       gnuplot) why="renders emitted .gp figure scripts (set RBS_VERIFY_ALLOW_MISSING_GNUPLOT=1 to proceed without figures)" ;;
     esac
     echo "verify: FATAL: required tool '$tool' not found in PATH — $why" >&2
@@ -49,15 +51,24 @@ if [[ "$missing" -ne 0 ]]; then
   exit 1
 fi
 
-echo "=== [1/7] tier-1 build + tests ==="
+echo "=== [1/8] tier-1 build + tests ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [2/7] determinism lint ==="
+echo "=== [2/8] determinism lint ==="
 cmake --build build --target lint
 
-echo "=== [3/7] fault scenarios + rbsim --faults smoke ==="
+echo "=== [3/8] semantics analysis (rbs-analyze + fixture corpus) ==="
+# Preflight: the analyzer package must be importable before we trust a pass.
+PYTHONPATH=scripts python3 -c "import rbs_analyze" || {
+  echo "verify: FATAL: scripts/rbs_analyze is not importable" >&2
+  exit 1
+}
+cmake --build build --target analyze
+python3 scripts/run_analyzer_fixtures.py
+
+echo "=== [4/8] fault scenarios + rbsim --faults smoke ==="
 ctest --test-dir build --output-on-failure -j "$JOBS" \
   -R 'FaultScenarioTest|FaultFuzz|FaultScheduleTest|FaultLinkTest|InjectorTest'
 mkdir -p build/fault_smoke
@@ -78,10 +89,10 @@ if ./build/examples/rbsim mode=long duration=1 warmup=0 \
 fi
 grep -q "line 1" build/fault_smoke/err.txt
 
-echo "=== [4/7] bench smoke ==="
+echo "=== [5/8] bench smoke ==="
 cmake --build build -j "$JOBS" --target bench_smoke
 
-echo "=== [5/7] telemetry smoke ==="
+echo "=== [6/8] telemetry smoke ==="
 mkdir -p build/telemetry_smoke
 ./build/examples/rbsim mode=long flows=20 duration=2 warmup=1 \
   --metrics build/telemetry_smoke/metrics.json \
@@ -91,12 +102,12 @@ python3 scripts/check_telemetry.py \
   --metrics build/telemetry_smoke/metrics.json \
   --min-trace-events 1000
 
-echo "=== [6/7] ASan/UBSan + RBS_CHECKED: full test suite ==="
+echo "=== [7/8] ASan/UBSan + RBS_CHECKED: full test suite ==="
 cmake -B build-asan -S . -DRBS_ASAN=ON -DRBS_CHECKED=ON >/dev/null
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "=== [7/7] ThreadSanitizer: scheduler_test + sweep_test ==="
+echo "=== [8/8] ThreadSanitizer: scheduler_test + sweep_test ==="
 cmake -B build-tsan -S . -DRBS_TSAN=ON >/dev/null
 cmake --build build-tsan -j "$JOBS" --target scheduler_test sweep_test
 ./build-tsan/tests/scheduler_test

@@ -23,7 +23,8 @@ std::size_t InvariantAuditor::audit_now() {
   return found;
 }
 
-void InvariantAuditor::note_time(std::int64_t now_ps) {
+void InvariantAuditor::note_time(sim::SimTime now) {
+  const std::int64_t now_ps = now.ps();
   current_time_ps_ = now_ps;
   if (has_time_ && now_ps < last_time_ps_) {
     record("clock", "time moved backwards: " + std::to_string(last_time_ps_) + " ps -> " +

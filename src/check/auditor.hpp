@@ -15,8 +15,9 @@
 // a persistent corruption audited every cadence tick reports once with a
 // count instead of flooding.
 //
-// This header is dependency-free (no sim/ includes) so every layer of the
-// codebase, including sim/ itself, can implement audit() without cycles.
+// This header depends only on sim/time.hpp — a header-only value type — so
+// every layer of the codebase, including sim/ itself, can implement audit()
+// without link cycles.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +25,8 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "sim/time.hpp"
 
 namespace rbs::check {
 
@@ -77,7 +80,7 @@ class InvariantAuditor {
   /// Feeds the auditor a clock reading; a reading earlier than the previous
   /// one is itself a violation (clock monotonicity). Simulation's cadence
   /// hook calls this with every audit.
-  void note_time(std::int64_t now_ps);
+  void note_time(sim::SimTime now);
 
   /// Distinct violations in first-seen order.
   [[nodiscard]] const std::vector<Violation>& violations() const noexcept { return violations_; }

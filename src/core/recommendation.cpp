@@ -32,10 +32,11 @@ BufferRecommendation recommend_buffer(const LinkProfile& link) {
   BufferRecommendation rec;
 
   rec.rule_of_thumb_pkts =
-      rule_of_thumb_packets(link.mean_rtt_sec, link.rate_bps, link.packet_bytes);
-  rec.sqrt_rule_pkts = sqrt_rule_packets(link.mean_rtt_sec, link.rate_bps,
+      rule_of_thumb_packets(link.mean_rtt_sec, link.rate.bps(),
+                            static_cast<std::int32_t>(link.packet_size.count()));
+  rec.sqrt_rule_pkts = sqrt_rule_packets(link.mean_rtt_sec, link.rate.bps(),
                                          std::max<std::int64_t>(link.num_long_flows, 1),
-                                         link.packet_bytes);
+                                         static_cast<std::int32_t>(link.packet_size.count()));
 
   const auto mix = link.short_flow_mix.empty() ? default_short_mix() : link.short_flow_mix;
   const BurstMoments bursts = burst_moments_for_mixture(mix);
@@ -44,18 +45,19 @@ BufferRecommendation recommend_buffer(const LinkProfile& link) {
 
   rec.recommended_pkts = std::max(rec.sqrt_rule_pkts, rec.short_flow_floor_pkts);
   rec.recommended_bits =
-      static_cast<double>(rec.recommended_pkts) * 8.0 * link.packet_bytes;
+      static_cast<double>(rec.recommended_pkts) * 8.0 *
+      static_cast<double>(link.packet_size.count());
 
-  const LongFlowLink model{link.rate_bps, link.mean_rtt_sec,
+  const LongFlowLink model{link.rate.bps(), link.mean_rtt_sec,
                            std::max<std::int64_t>(link.num_long_flows, 1),
-                           link.packet_bytes};
+                           static_cast<std::int32_t>(link.packet_size.count())};
   rec.predicted_utilization = predicted_utilization(model, rec.recommended_pkts);
   rec.buffer_reduction_vs_rule_of_thumb =
       rec.rule_of_thumb_pkts > 0
           ? 1.0 - static_cast<double>(rec.recommended_pkts) /
                       static_cast<double>(rec.rule_of_thumb_pkts)
           : 0.0;
-  rec.memory = evaluate_reference_memories(rec.recommended_bits, link.rate_bps);
+  rec.memory = evaluate_reference_memories(rec.recommended_bits, link.rate.bps());
 
   char buf[256];
   std::snprintf(buf, sizeof buf,
@@ -77,17 +79,19 @@ std::string to_report(const LinkProfile& link, const BufferRecommendation& rec) 
   char buf[256];
 
   std::snprintf(buf, sizeof buf, "Link: %.3g Gb/s, mean RTT %.0f ms, %lld long flows, load %.2f\n",
-                link.rate_bps / 1e9, link.mean_rtt_sec * 1e3,
+                link.rate.gigabits_per_sec(), link.mean_rtt_sec * 1e3,
                 static_cast<long long>(link.num_long_flows), link.load);
   out += buf;
   std::snprintf(buf, sizeof buf, "  rule of thumb  (RTT*C)   : %10lld pkts (%s)\n",
                 static_cast<long long>(rec.rule_of_thumb_pkts),
-                format_bits(static_cast<double>(rec.rule_of_thumb_pkts) * 8 * link.packet_bytes)
+                format_bits(static_cast<double>(rec.rule_of_thumb_pkts) * 8 *
+                            static_cast<double>(link.packet_size.count()))
                     .c_str());
   out += buf;
   std::snprintf(buf, sizeof buf, "  sqrt rule      (RTT*C/sqrt(n)): %6lld pkts (%s)\n",
                 static_cast<long long>(rec.sqrt_rule_pkts),
-                format_bits(static_cast<double>(rec.sqrt_rule_pkts) * 8 * link.packet_bytes)
+                format_bits(static_cast<double>(rec.sqrt_rule_pkts) * 8 *
+                            static_cast<double>(link.packet_size.count()))
                     .c_str());
   out += buf;
   std::snprintf(buf, sizeof buf, "  short-flow floor (M/G/1)  : %8lld pkts\n",

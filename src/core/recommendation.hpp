@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/long_flow_model.hpp"
+#include "core/units.hpp"
 #include "core/memory_model.hpp"
 #include "core/short_flow_model.hpp"
 
@@ -18,7 +19,7 @@ namespace rbs::core {
 
 /// Description of the link to provision.
 struct LinkProfile {
-  double rate_bps{2.5e9};
+  BitsPerSec rate{BitsPerSec{2.5e9}};
   double mean_rtt_sec{0.25};       ///< average two-way propagation of flows
   std::int64_t num_long_flows{10'000};
   double load{0.8};                ///< offered load, for the short-flow floor
@@ -26,7 +27,7 @@ struct LinkProfile {
   /// paper's reference short flow (62 packets: bursts 2,4,8,16,32).
   std::vector<FlowLengthClass> short_flow_mix{};
   double target_drop_probability{0.025};  ///< short-flow tail target (Fig 8)
-  std::int32_t packet_bytes{1000};
+  Bytes packet_size{Bytes{1000}};
 };
 
 /// The recommendation and everything needed to justify it.

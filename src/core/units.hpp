@@ -1,0 +1,193 @@
+// Compile-time unit safety for the quantities the paper's formulas mix:
+// bytes, packets, and link rates.
+//
+// The sizing results (B = RTT×C/√n, the M/G/1 short-flow bound) silently
+// break when a rate in Mb/s meets a size in bytes or a time in the wrong
+// scale. SimTime already makes time a strong type; this header does the same
+// for the other dimensions. Conversions in and out are explicit, arithmetic
+// preserves dimension, and the cross-dimension operations that are physically
+// meaningful are spelled out:
+//
+//   Bytes      / BitsPerSec -> SimTime   (serialization time)
+//   Bytes      * integer    -> Bytes
+//   Packets    * Bytes      -> Bytes     (count × per-packet wire size)
+//   BitsPerSec * double     -> BitsPerSec (rate scaling: loads, fault factors)
+//   Bytes      / Bytes      -> double    (dimensionless ratio)
+//
+// Everything is constexpr and wraps a single scalar, so adopting these types
+// on the packet hot path costs nothing: the generated code is identical to
+// the raw-scalar version (the bitwise-equivalence goldens in
+// tests/golden_test.cpp pin this down).
+//
+// The `rbs-analyze` rule R3 (see docs/static_analysis.md) flags raw
+// double/int64 parameters and members with unit-suffixed names; these types
+// are the fix it suggests.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace rbs::core {
+
+/// A byte count: packet sizes, buffer byte limits, token-bucket depths.
+class Bytes {
+ public:
+  constexpr Bytes() noexcept = default;
+  constexpr explicit Bytes(std::int64_t count) noexcept : count_{count} {}
+
+  static constexpr Bytes zero() noexcept { return Bytes{0}; }
+
+  [[nodiscard]] constexpr std::int64_t count() const noexcept { return count_; }
+  [[nodiscard]] constexpr std::int64_t bits() const noexcept { return count_ * 8; }
+  [[nodiscard]] constexpr bool is_zero() const noexcept { return count_ == 0; }
+
+  constexpr auto operator<=>(const Bytes&) const noexcept = default;
+
+  constexpr Bytes& operator+=(Bytes rhs) noexcept {
+    count_ += rhs.count_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes rhs) noexcept {
+    count_ -= rhs.count_;
+    return *this;
+  }
+  friend constexpr Bytes operator+(Bytes a, Bytes b) noexcept { return a += b; }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) noexcept { return a -= b; }
+  friend constexpr Bytes operator*(Bytes a, std::int64_t k) noexcept {
+    return Bytes{a.count_ * k};
+  }
+  friend constexpr Bytes operator*(std::int64_t k, Bytes a) noexcept { return a * k; }
+  /// Dimensionless ratio of two byte counts (e.g. occupancy / limit).
+  friend constexpr double operator/(Bytes a, Bytes b) noexcept {
+    return static_cast<double>(a.count_) / static_cast<double>(b.count_);
+  }
+
+ private:
+  std::int64_t count_{0};
+};
+
+/// A packet count: buffer limits, window sizes, flow lengths — the unit the
+/// paper states its results in.
+class Packets {
+ public:
+  constexpr Packets() noexcept = default;
+  constexpr explicit Packets(std::int64_t count) noexcept : count_{count} {}
+
+  static constexpr Packets zero() noexcept { return Packets{0}; }
+
+  [[nodiscard]] constexpr std::int64_t count() const noexcept { return count_; }
+  [[nodiscard]] constexpr bool is_zero() const noexcept { return count_ == 0; }
+
+  constexpr auto operator<=>(const Packets&) const noexcept = default;
+
+  constexpr Packets& operator+=(Packets rhs) noexcept {
+    count_ += rhs.count_;
+    return *this;
+  }
+  constexpr Packets& operator-=(Packets rhs) noexcept {
+    count_ -= rhs.count_;
+    return *this;
+  }
+  friend constexpr Packets operator+(Packets a, Packets b) noexcept { return a += b; }
+  friend constexpr Packets operator-(Packets a, Packets b) noexcept { return a -= b; }
+  friend constexpr Packets operator*(Packets a, std::int64_t k) noexcept {
+    return Packets{a.count_ * k};
+  }
+  friend constexpr Packets operator*(std::int64_t k, Packets a) noexcept { return a * k; }
+  /// count × per-packet wire size — total bytes of a packet train.
+  friend constexpr Bytes operator*(Packets n, Bytes per_packet) noexcept {
+    return Bytes{n.count_ * per_packet.count()};
+  }
+  friend constexpr Bytes operator*(Bytes per_packet, Packets n) noexcept {
+    return n * per_packet;
+  }
+  /// Dimensionless ratio (e.g. buffer / BDP).
+  friend constexpr double operator/(Packets a, Packets b) noexcept {
+    return static_cast<double>(a.count_) / static_cast<double>(b.count_);
+  }
+
+ private:
+  std::int64_t count_{0};
+};
+
+/// A link or sending rate in bits per second. Stored as double because rates
+/// are configuration-level quantities that scale by dimensionless factors
+/// (offered load, fault brown-out factors); all simulated *time* derived from
+/// a rate goes through SimTime immediately.
+class BitsPerSec {
+ public:
+  constexpr BitsPerSec() noexcept = default;
+  constexpr explicit BitsPerSec(double bps) noexcept : bps_{bps} {}
+
+  static constexpr BitsPerSec zero() noexcept { return BitsPerSec{0.0}; }
+  static constexpr BitsPerSec kilobits(double kbps) noexcept { return BitsPerSec{kbps * 1e3}; }
+  static constexpr BitsPerSec megabits(double mbps) noexcept { return BitsPerSec{mbps * 1e6}; }
+  static constexpr BitsPerSec gigabits(double gbps) noexcept { return BitsPerSec{gbps * 1e9}; }
+
+  [[nodiscard]] constexpr double bps() const noexcept { return bps_; }
+  [[nodiscard]] constexpr double megabits_per_sec() const noexcept { return bps_ / 1e6; }
+  [[nodiscard]] constexpr double gigabits_per_sec() const noexcept { return bps_ / 1e9; }
+  [[nodiscard]] constexpr double bytes_per_sec() const noexcept { return bps_ / 8.0; }
+  [[nodiscard]] constexpr bool is_zero() const noexcept { return bps_ == 0.0; }
+
+  constexpr auto operator<=>(const BitsPerSec&) const noexcept = default;
+
+  friend constexpr BitsPerSec operator+(BitsPerSec a, BitsPerSec b) noexcept {
+    return BitsPerSec{a.bps_ + b.bps_};
+  }
+  friend constexpr BitsPerSec operator-(BitsPerSec a, BitsPerSec b) noexcept {
+    return BitsPerSec{a.bps_ - b.bps_};
+  }
+  /// Rate scaling by a dimensionless factor (load fraction, fault factor).
+  friend constexpr BitsPerSec operator*(BitsPerSec r, double k) noexcept {
+    return BitsPerSec{r.bps_ * k};
+  }
+  friend constexpr BitsPerSec operator*(double k, BitsPerSec r) noexcept { return r * k; }
+  /// Dimensionless ratio of two rates (e.g. achieved / capacity).
+  friend constexpr double operator/(BitsPerSec a, BitsPerSec b) noexcept {
+    return a.bps_ / b.bps_;
+  }
+
+ private:
+  double bps_{0.0};
+};
+
+/// Serialization time of `size` at `rate` — the fundamental link-hot-path
+/// operation. Delegates to sim::transmission_time so the arithmetic (and
+/// therefore every golden result) is bit-identical to the raw-scalar code it
+/// replaced.
+[[nodiscard]] inline sim::SimTime operator/(Bytes size, BitsPerSec rate) noexcept {
+  return sim::transmission_time(size.bits(), rate.bps());
+}
+
+/// Named form of Bytes / BitsPerSec for call sites where the operator reads
+/// poorly.
+[[nodiscard]] inline sim::SimTime transmission_time(Bytes size, BitsPerSec rate) noexcept {
+  return size / rate;
+}
+
+namespace unit_literals {
+constexpr Bytes operator""_bytes(unsigned long long v) noexcept {
+  return Bytes{static_cast<std::int64_t>(v)};
+}
+constexpr Packets operator""_pkts(unsigned long long v) noexcept {
+  return Packets{static_cast<std::int64_t>(v)};
+}
+constexpr BitsPerSec operator""_mbps(long double v) noexcept {
+  return BitsPerSec::megabits(static_cast<double>(v));
+}
+constexpr BitsPerSec operator""_mbps(unsigned long long v) noexcept {
+  return BitsPerSec::megabits(static_cast<double>(v));
+}
+constexpr BitsPerSec operator""_gbps(long double v) noexcept {
+  return BitsPerSec::gigabits(static_cast<double>(v));
+}
+constexpr BitsPerSec operator""_gbps(unsigned long long v) noexcept {
+  return BitsPerSec::gigabits(static_cast<double>(v));
+}
+}  // namespace unit_literals
+
+}  // namespace rbs::core

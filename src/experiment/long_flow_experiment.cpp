@@ -20,10 +20,10 @@ LongFlowExperimentResult run_long_flow_experiment(const LongFlowExperimentConfig
 
   net::DumbbellConfig topo_cfg;
   topo_cfg.num_leaves = config.num_flows;
-  topo_cfg.bottleneck_rate_bps = config.bottleneck_rate_bps;
+  topo_cfg.bottleneck_rate = config.bottleneck_rate;
   topo_cfg.bottleneck_delay = config.bottleneck_delay;
   topo_cfg.buffer_packets = config.buffer_packets;
-  topo_cfg.access_rate_bps = config.access_rate_bps;
+  topo_cfg.access_rate = config.access_rate;
   topo_cfg.access_delay_min = config.access_delay_min;
   topo_cfg.access_delay_max = config.access_delay_max;
   topo_cfg.discipline = config.discipline;
@@ -127,7 +127,7 @@ LongFlowExperimentResult run_long_flow_experiment(const LongFlowExperimentConfig
   result.bottleneck_drops = qstats.dropped_packets;
   result.mean_queue_packets = queue_occupancy.mean();
   result.mean_rtt_sec = topo.mean_rtt().to_seconds();
-  result.bdp_packets = topo.bdp_packets(config.tcp.segment_bytes);
+  result.bdp_packets = topo.bdp_packets(config.tcp.segment);
   // Report TCP counters over the measurement window only, consistent with
   // the link/queue statistics.
   result.tcp_stats = workload.total_stats();

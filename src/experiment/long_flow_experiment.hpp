@@ -21,13 +21,13 @@ struct LongFlowExperimentConfig {
   int num_flows{100};
   std::int64_t buffer_packets{100};
 
-  double bottleneck_rate_bps{155e6};  ///< OC3
+  core::BitsPerSec bottleneck_rate{core::BitsPerSec{155e6}};  ///< OC3
   sim::SimTime bottleneck_delay{sim::SimTime::milliseconds(10)};
   /// Sender-side access delay spread; mean RTT ≈ 2*(mean access + bottleneck
   /// + receiver). Defaults give the paper's ~80 ms average RTT.
   sim::SimTime access_delay_min{sim::SimTime::milliseconds(5)};
   sim::SimTime access_delay_max{sim::SimTime::milliseconds(53)};
-  double access_rate_bps{1e9};
+  core::BitsPerSec access_rate{core::BitsPerSec::gigabits(1)};
 
   net::QueueDiscipline discipline{net::QueueDiscipline::kDropTail};
   net::RedConfig red{};  ///< used when discipline == kRed
@@ -68,7 +68,7 @@ struct LongFlowExperimentResult {
   double loss_rate{0.0};
   double mean_queue_packets{0.0};
   double mean_rtt_sec{0.0};          ///< propagation-only mean RTT of the flows
-  double bdp_packets{0.0};           ///< RTT × C in packets of tcp.segment_bytes
+  double bdp_packets{0.0};           ///< RTT × C in packets of tcp.segment
   std::uint64_t bottleneck_drops{0};
   tcp::TcpSourceStats tcp_stats{};
 

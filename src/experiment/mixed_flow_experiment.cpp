@@ -27,10 +27,10 @@ MixedFlowExperimentResult run_mixed_flow_experiment(const MixedFlowExperimentCon
 
   net::DumbbellConfig topo_cfg;
   topo_cfg.num_leaves = config.num_long_flows + config.num_short_leaves;
-  topo_cfg.bottleneck_rate_bps = config.bottleneck_rate_bps;
+  topo_cfg.bottleneck_rate = config.bottleneck_rate;
   topo_cfg.bottleneck_delay = config.bottleneck_delay;
   topo_cfg.buffer_packets = config.buffer_packets;
-  topo_cfg.access_rate_bps = config.access_rate_bps;
+  topo_cfg.access_rate = config.access_rate;
   topo_cfg.access_delay_min = config.access_delay_min;
   topo_cfg.access_delay_max = config.access_delay_max;
   net::Dumbbell topo{sim, topo_cfg};
@@ -67,8 +67,8 @@ MixedFlowExperimentResult run_mixed_flow_experiment(const MixedFlowExperimentCon
   sf_cfg.leaf_offset = config.num_long_flows;
   sf_cfg.leaf_count = config.num_short_leaves;
   sf_cfg.arrivals_per_sec = traffic::arrival_rate_for_load(
-      config.short_flow_load, config.bottleneck_rate_bps, sizes->mean(),
-      config.tcp.segment_bytes);
+      config.short_flow_load, config.bottleneck_rate, sizes->mean(),
+      config.tcp.segment);
   traffic::ShortFlowWorkload short_flows{sim, topo, *sizes, sf_cfg};
 
   // Optional non-reactive UDP share, Poisson packet gaps.
@@ -77,8 +77,8 @@ MixedFlowExperimentResult run_mixed_flow_experiment(const MixedFlowExperimentCon
   if (config.udp_load > 0) {
     const int leaf = config.num_long_flows;  // first short leaf
     traffic::UdpSourceConfig udp_cfg;
-    udp_cfg.rate_bps = config.udp_load * config.bottleneck_rate_bps;
-    udp_cfg.packet_bytes = config.tcp.segment_bytes;
+    udp_cfg.rate = config.udp_load * config.bottleneck_rate;
+    udp_cfg.packet_size = config.tcp.segment;
     udp_cfg.poisson_gaps = true;
     udp_sink = std::make_unique<traffic::UdpSink>(topo.receiver(leaf), kUdpFlow);
     udp = std::make_unique<traffic::UdpSource>(sim, topo.sender(leaf),
@@ -153,7 +153,7 @@ MixedFlowExperimentResult run_mixed_flow_experiment(const MixedFlowExperimentCon
   result.short_flows_completed = afct.count();
   result.mean_queue_packets = queue_occupancy.mean();
   result.mean_rtt_sec = topo.mean_rtt().to_seconds();
-  result.bdp_packets = topo.bdp_packets(config.tcp.segment_bytes);
+  result.bdp_packets = topo.bdp_packets(config.tcp.segment);
   result.long_flow_throughput_bps =
       static_cast<double>(long_flow_bits) / config.measure.to_seconds();
 

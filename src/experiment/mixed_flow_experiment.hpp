@@ -19,7 +19,7 @@ namespace rbs::experiment {
 enum class ShortFlowSizing : std::uint8_t { kFixed, kPareto };
 
 struct MixedFlowExperimentConfig {
-  double bottleneck_rate_bps{155e6};
+  core::BitsPerSec bottleneck_rate{core::BitsPerSec{155e6}};
   sim::SimTime bottleneck_delay{sim::SimTime::milliseconds(10)};
   std::int64_t buffer_packets{100};
 
@@ -36,7 +36,7 @@ struct MixedFlowExperimentConfig {
   /// Non-reactive traffic as a fraction of capacity (0 = none).
   double udp_load{0.0};
 
-  double access_rate_bps{1e9};
+  core::BitsPerSec access_rate{core::BitsPerSec::gigabits(1)};
   sim::SimTime access_delay_min{sim::SimTime::milliseconds(5)};
   sim::SimTime access_delay_max{sim::SimTime::milliseconds(53)};
   int num_short_leaves{50};  ///< extra leaves that carry the short flows

@@ -4,7 +4,7 @@ namespace rbs::experiment::scenarios {
 
 core::LinkProfile oc48_backbone() {
   core::LinkProfile link;
-  link.rate_bps = 2.5e9;
+  link.rate = core::BitsPerSec{2.5e9};
   link.mean_rtt_sec = 0.250;
   link.num_long_flows = 10'000;
   link.load = 0.8;
@@ -13,7 +13,7 @@ core::LinkProfile oc48_backbone() {
 
 core::LinkProfile oc192_backbone() {
   core::LinkProfile link;
-  link.rate_bps = 10e9;
+  link.rate = core::BitsPerSec{10e9};
   link.mean_rtt_sec = 0.250;
   link.num_long_flows = 50'000;
   link.load = 0.8;
@@ -22,7 +22,7 @@ core::LinkProfile oc192_backbone() {
 
 core::LinkProfile linecard_40g() {
   core::LinkProfile link;
-  link.rate_bps = 40e9;
+  link.rate = core::BitsPerSec{40e9};
   link.mean_rtt_sec = 0.250;
   link.num_long_flows = 100'000;
   link.load = 0.8;
@@ -33,7 +33,7 @@ LongFlowExperimentConfig single_flow(std::int64_t buffer_packets) {
   LongFlowExperimentConfig cfg;
   cfg.num_flows = 1;
   cfg.buffer_packets = buffer_packets;
-  cfg.bottleneck_rate_bps = 10e6;
+  cfg.bottleneck_rate = core::BitsPerSec{10e6};
   cfg.bottleneck_delay = sim::SimTime::milliseconds(10);
   cfg.access_delay_min = cfg.access_delay_max = sim::SimTime::milliseconds(35);
   // A single flow's congestion-avoidance ramp is slow at 10 Mb/s; give the
@@ -47,15 +47,15 @@ LongFlowExperimentConfig oc3_lab(int flows, std::int64_t buffer_packets) {
   LongFlowExperimentConfig cfg;
   cfg.num_flows = flows;
   cfg.buffer_packets = buffer_packets;
-  cfg.bottleneck_rate_bps = 155e6;
+  cfg.bottleneck_rate = core::BitsPerSec{155e6};
   cfg.warmup = sim::SimTime::seconds(10);
   cfg.measure = sim::SimTime::seconds(20);
   return cfg;  // default delays give the paper's ~80 ms mean RTT
 }
 
-ShortFlowExperimentConfig fig8_short_flows(double rate_bps, std::int64_t buffer_packets) {
+ShortFlowExperimentConfig fig8_short_flows(core::BitsPerSec rate, std::int64_t buffer_packets) {
   ShortFlowExperimentConfig cfg;
-  cfg.bottleneck_rate_bps = rate_bps;
+  cfg.bottleneck_rate = rate;
   cfg.buffer_packets = buffer_packets;
   cfg.load = 0.8;
   cfg.flow_packets = 62;  // bursts 2,4,8,16,32
@@ -66,7 +66,7 @@ ShortFlowExperimentConfig fig8_short_flows(double rate_bps, std::int64_t buffer_
 
 MixedFlowExperimentConfig production_network(std::int64_t buffer_packets) {
   MixedFlowExperimentConfig cfg;
-  cfg.bottleneck_rate_bps = 20e6;
+  cfg.bottleneck_rate = core::BitsPerSec{20e6};
   cfg.buffer_packets = buffer_packets;
   cfg.num_long_flows = 45;
   cfg.short_flow_load = 0.10;

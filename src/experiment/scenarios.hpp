@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "core/recommendation.hpp"
+#include "core/units.hpp"
 #include "experiment/long_flow_experiment.hpp"
 #include "experiment/mixed_flow_experiment.hpp"
 #include "experiment/short_flow_experiment.hpp"
@@ -38,7 +39,7 @@ namespace rbs::experiment::scenarios {
 
 /// Figure 8 setup: slow-start-only flows, Poisson arrivals, load 0.8,
 /// 62-packet transfers, on a bottleneck of the given rate.
-[[nodiscard]] ShortFlowExperimentConfig fig8_short_flows(double rate_bps,
+[[nodiscard]] ShortFlowExperimentConfig fig8_short_flows(core::BitsPerSec rate,
                                                          std::int64_t buffer_packets);
 
 /// Figure 11 setup: the Stanford production network — 20 Mb/s, mixed

@@ -19,10 +19,10 @@ ShortFlowExperimentResult run_short_flow_experiment(const ShortFlowExperimentCon
 
   net::DumbbellConfig topo_cfg;
   topo_cfg.num_leaves = config.num_leaves;
-  topo_cfg.bottleneck_rate_bps = config.bottleneck_rate_bps;
+  topo_cfg.bottleneck_rate = config.bottleneck_rate;
   topo_cfg.bottleneck_delay = config.bottleneck_delay;
   topo_cfg.buffer_packets = config.buffer_packets;
-  topo_cfg.access_rate_bps = config.access_rate_bps;
+  topo_cfg.access_rate = config.access_rate;
   topo_cfg.access_delay_min = config.access_delay_min;
   topo_cfg.access_delay_max = config.access_delay_max;
   net::Dumbbell topo{sim, topo_cfg};
@@ -31,7 +31,7 @@ ShortFlowExperimentResult run_short_flow_experiment(const ShortFlowExperimentCon
   traffic::ShortFlowWorkloadConfig wl_cfg;
   wl_cfg.tcp = config.tcp;
   wl_cfg.arrivals_per_sec = traffic::arrival_rate_for_load(
-      config.load, config.bottleneck_rate_bps, sizes.mean(), config.tcp.segment_bytes);
+      config.load, config.bottleneck_rate, sizes.mean(), config.tcp.segment);
   traffic::ShortFlowWorkload workload{sim, topo, sizes, wl_cfg};
 
   std::unique_ptr<fault::FaultInjector> injector;
@@ -65,7 +65,7 @@ ShortFlowExperimentResult run_short_flow_experiment(const ShortFlowExperimentCon
   // Sample the queue once per packet service time — fine-grained enough to
   // catch burst-scale excursions.
   const double pkt_time_sec =
-      8.0 * static_cast<double>(config.tcp.segment_bytes) / config.bottleneck_rate_bps;
+      8.0 * static_cast<double>(config.tcp.segment.count()) / config.bottleneck_rate.bps();
   const auto sample_every = sim::SimTime::from_seconds(std::max(pkt_time_sec, 1e-6));
   std::vector<std::uint64_t> occupancy_counts;  // index = occupancy in packets
   std::uint64_t occupancy_samples = 0;

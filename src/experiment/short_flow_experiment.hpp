@@ -17,7 +17,7 @@
 namespace rbs::experiment {
 
 struct ShortFlowExperimentConfig {
-  double bottleneck_rate_bps{80e6};
+  core::BitsPerSec bottleneck_rate{core::BitsPerSec{80e6}};
   sim::SimTime bottleneck_delay{sim::SimTime::milliseconds(20)};
   std::int64_t buffer_packets{500};
   double load{0.8};
@@ -28,7 +28,7 @@ struct ShortFlowExperimentConfig {
 
   /// Access links are faster than the bottleneck (the paper's worst case is
   /// infinitely fast access; 10× is effectively that).
-  double access_rate_bps{1e9};
+  core::BitsPerSec access_rate{core::BitsPerSec::gigabits(1)};
   sim::SimTime access_delay_min{sim::SimTime::milliseconds(2)};
   sim::SimTime access_delay_max{sim::SimTime::milliseconds(30)};
   int num_leaves{50};

@@ -7,21 +7,22 @@
 
 namespace rbs::net {
 
-DropTailQueue::DropTailQueue(std::int64_t limit_packets, std::int64_t limit_bytes)
+DropTailQueue::DropTailQueue(std::int64_t limit_packets, core::Bytes limit_bytes)
     : limit_{limit_packets}, limit_bytes_{limit_bytes} {
   if (limit_packets < 0) {
     throw std::invalid_argument("DropTailQueue: negative packet limit " +
                                 std::to_string(limit_packets));
   }
-  if (limit_bytes < 0) {
+  if (limit_bytes < core::Bytes::zero()) {
     throw std::invalid_argument("DropTailQueue: negative byte limit " +
-                                std::to_string(limit_bytes));
+                                std::to_string(limit_bytes.count()));
   }
 }
 
 bool DropTailQueue::enqueue(const Packet& p) {
   if (static_cast<std::int64_t>(fifo_.size()) >= limit_ ||
-      (limit_bytes_ > 0 && bytes_ + p.size_bytes > limit_bytes_)) {
+      (!limit_bytes_.is_zero() &&
+       core::Bytes{bytes_ + p.size_bytes} > limit_bytes_)) {
     ++stats_.dropped_packets;
     stats_.dropped_bytes += static_cast<std::uint64_t>(p.size_bytes);
     return false;
@@ -56,10 +57,10 @@ void DropTailQueue::set_limit_packets(std::int64_t limit) {
   limit_ = limit;
 }
 
-void DropTailQueue::set_limit_bytes(std::int64_t limit_bytes) {
-  if (limit_bytes < 0) {
+void DropTailQueue::set_limit_bytes(core::Bytes limit_bytes) {
+  if (limit_bytes < core::Bytes::zero()) {
     throw std::invalid_argument("DropTailQueue: negative byte limit " +
-                                std::to_string(limit_bytes));
+                                std::to_string(limit_bytes.count()));
   }
   limit_bytes_ = limit_bytes;
 }

@@ -3,6 +3,7 @@
 
 #include <deque>
 
+#include "core/units.hpp"
 #include "net/queue.hpp"
 
 namespace rbs::net {
@@ -13,9 +14,10 @@ class DropTailQueue final : public Queue {
  public:
   /// `limit_packets` is the buffer size B in packets (the unit used
   /// throughout the paper). `limit_bytes` adds a byte ceiling as real
-  /// interface queues have; 0 disables it. Negative limits throw
+  /// interface queues have; zero disables it. Negative limits throw
   /// std::invalid_argument.
-  explicit DropTailQueue(std::int64_t limit_packets, std::int64_t limit_bytes = 0);
+  explicit DropTailQueue(std::int64_t limit_packets,
+                         core::Bytes limit_bytes = core::Bytes::zero());
 
   bool enqueue(const Packet& p) override;
   std::optional<Packet> dequeue() override;
@@ -32,11 +34,11 @@ class DropTailQueue final : public Queue {
   /// limit.
   void set_limit_packets(std::int64_t limit) override;
 
-  [[nodiscard]] std::int64_t limit_bytes() const noexcept { return limit_bytes_; }
+  [[nodiscard]] core::Bytes limit_bytes() const noexcept { return limit_bytes_; }
 
-  /// Byte-ceiling counterpart of set_limit_packets: negative throws, 0
+  /// Byte-ceiling counterpart of set_limit_packets: negative throws, zero
   /// disables the ceiling, lowering never drops resident packets.
-  void set_limit_bytes(std::int64_t limit_bytes);
+  void set_limit_bytes(core::Bytes limit_bytes);
 
   /// Recounts the FIFO against the cached byte total and the conservation
   /// stats.
@@ -48,7 +50,7 @@ class DropTailQueue final : public Queue {
 
  private:
   std::int64_t limit_;
-  std::int64_t limit_bytes_;
+  core::Bytes limit_bytes_;
   std::int64_t bytes_{0};
   std::deque<Packet> fifo_;
 };

@@ -10,15 +10,15 @@
 
 namespace rbs::net {
 
-DrrQueue::DrrQueue(std::int64_t limit_packets, std::int64_t quantum_bytes)
-    : limit_{limit_packets}, quantum_{quantum_bytes} {
+DrrQueue::DrrQueue(std::int64_t limit_packets, core::Bytes quantum)
+    : limit_{limit_packets}, quantum_{quantum.count()} {
   if (limit_packets < 0) {
     throw std::invalid_argument("DrrQueue: negative packet limit " +
                                 std::to_string(limit_packets));
   }
-  if (quantum_bytes < 1) {
+  if (quantum.count() < 1) {
     throw std::invalid_argument("DrrQueue: quantum must be >= 1 byte, got " +
-                                std::to_string(quantum_bytes));
+                                std::to_string(quantum.count()));
   }
 }
 

@@ -16,6 +16,7 @@
 #include <list>
 #include <unordered_map>
 
+#include "core/units.hpp"
 #include "net/queue.hpp"
 
 namespace rbs::net {
@@ -23,9 +24,9 @@ namespace rbs::net {
 /// Fair queue with one FIFO per flow and deficit-round-robin service.
 class DrrQueue final : public Queue {
  public:
-  /// `limit_packets`: shared buffer pool. `quantum_bytes`: per-round byte
+  /// `limit_packets`: shared buffer pool. `quantum`: per-round byte
   /// allowance per flow (use ~one MTU).
-  DrrQueue(std::int64_t limit_packets, std::int64_t quantum_bytes = 1500);
+  explicit DrrQueue(std::int64_t limit_packets, core::Bytes quantum = core::Bytes{1500});
 
   /// Accepts `p` unless the arriving flow itself holds the longest backlog;
   /// otherwise a packet of the longest-backlog flow is evicted to make room

@@ -45,7 +45,7 @@ Dumbbell::Dumbbell(sim::Simulation& sim, DumbbellConfig config)
   // Bottleneck pair. Forward carries data (congested); reverse carries ACKs
   // and is provisioned to never drop.
   {
-    Link::Config cfg{config_.bottleneck_rate_bps, config_.bottleneck_delay};
+    Link::Config cfg{config_.bottleneck_rate, config_.bottleneck_delay};
     auto queue = make_bottleneck_queue();
     links_.push_back(std::make_unique<Link>(sim_, "bottleneck_fwd", cfg, std::move(queue),
                                             *right_router_));
@@ -59,8 +59,8 @@ Dumbbell::Dumbbell(sim::Simulation& sim, DumbbellConfig config)
   // Access links, four per leaf (up/down on each side).
   for (int i = 0; i < config_.num_leaves; ++i) {
     const auto idx = static_cast<std::size_t>(i);
-    const Link::Config sender_cfg{config_.access_rate_bps, leaf_delays_[idx]};
-    const Link::Config receiver_cfg{config_.access_rate_bps, config_.receiver_delay};
+    const Link::Config sender_cfg{config_.access_rate, leaf_delays_[idx]};
+    const Link::Config receiver_cfg{config_.access_rate, config_.receiver_delay};
 
     Link& sender_up = add_link("acc_up_" + std::to_string(i), sender_cfg, *left_router_,
                                config_.uncongested_buffer_packets);
@@ -81,13 +81,13 @@ Dumbbell::Dumbbell(sim::Simulation& sim, DumbbellConfig config)
 std::unique_ptr<Queue> Dumbbell::make_bottleneck_queue() {
   if (config_.discipline == QueueDiscipline::kDrr) {
     return std::make_unique<DrrQueue>(config_.buffer_packets,
-                                      /*quantum_bytes=*/kReferencePacketBytes);
+                                      /*quantum=*/core::Bytes{kReferencePacketBytes});
   }
   if (config_.discipline == QueueDiscipline::kRed) {
     RedConfig red = config_.red;
     if (red.mean_packet_time_sec <= 0) {
       red.mean_packet_time_sec =
-          static_cast<double>(kReferencePacketBytes) * 8.0 / config_.bottleneck_rate_bps;
+          static_cast<double>(kReferencePacketBytes) * 8.0 / config_.bottleneck_rate.bps();
     }
     return std::make_unique<RedQueue>(sim_, config_.buffer_packets, red);
   }
@@ -120,9 +120,9 @@ sim::SimTime Dumbbell::mean_rtt() const {
   return sim::SimTime::picoseconds(total_ps / config_.num_leaves);
 }
 
-double Dumbbell::bdp_packets(std::int32_t packet_bytes) const {
+double Dumbbell::bdp_packets(core::Bytes packet_size) const {
   const double rtt_sec = mean_rtt().to_seconds();
-  return rtt_sec * config_.bottleneck_rate_bps / (8.0 * static_cast<double>(packet_bytes));
+  return rtt_sec * config_.bottleneck_rate.bps() / static_cast<double>(packet_size.bits());
 }
 
 }  // namespace rbs::net

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/units.hpp"
 #include "net/drop_tail_queue.hpp"
 #include "net/link.hpp"
 #include "net/node.hpp"
@@ -30,11 +31,11 @@ enum class QueueDiscipline : std::uint8_t { kDropTail, kRed, kDrr };
 struct DumbbellConfig {
   int num_leaves{1};
 
-  double bottleneck_rate_bps{155e6};      ///< OC3 by default
+  core::BitsPerSec bottleneck_rate{core::BitsPerSec{155e6}};  ///< OC3 by default
   sim::SimTime bottleneck_delay{sim::SimTime::milliseconds(10)};  ///< one-way
   std::int64_t buffer_packets{100};       ///< the router buffer B under study
 
-  double access_rate_bps{1e9};            ///< per-leaf, both sides
+  core::BitsPerSec access_rate{core::BitsPerSec::gigabits(1)};  ///< per-leaf, both sides
   /// One-way access propagation delay range; each leaf draws uniformly from
   /// [min, max] unless `access_delays` supplies explicit values. Applied on
   /// the sender side only (receiver side uses `receiver_delay`), so
@@ -78,9 +79,9 @@ class Dumbbell {
   [[nodiscard]] sim::SimTime mean_rtt() const;
 
   /// Bandwidth-delay product of the bottleneck in packets of
-  /// `packet_bytes`, using the mean propagation RTT — the paper's
+  /// `packet_size`, using the mean propagation RTT — the paper's
   /// RTT × C.
-  [[nodiscard]] double bdp_packets(std::int32_t packet_bytes) const;
+  [[nodiscard]] double bdp_packets(core::Bytes packet_size) const;
 
   [[nodiscard]] const DumbbellConfig& config() const noexcept { return config_; }
 

@@ -28,7 +28,7 @@ Link::Link(sim::Simulation& sim, std::string name, Config config, std::unique_pt
       config_{config},
       queue_{std::move(queue)},
       downstream_{downstream} {
-  assert(config_.rate_bps > 0);
+  assert(config_.rate.bps() > 0);
   assert(queue_ != nullptr);
 }
 
@@ -89,8 +89,8 @@ void Link::receive(const Packet& p) {
 
 void Link::start_transmission(const Packet& p) {
   busy_ = true;
-  const sim::SimTime tx = sim::transmission_time(static_cast<std::int64_t>(p.size_bytes) * 8,
-                                                 config_.rate_bps * fault_rate_factor_);
+  const sim::SimTime tx =
+      core::Bytes{p.size_bytes} / (config_.rate * fault_rate_factor_);
   tx_event_ = sim_.after(
       tx,
       [this, p, tx] {

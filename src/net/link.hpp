@@ -14,6 +14,7 @@
 #include <memory>
 #include <string>
 
+#include "core/units.hpp"
 #include "net/packet.hpp"
 #include "net/queue.hpp"
 #include "sim/random.hpp"
@@ -45,7 +46,7 @@ struct LinkFaultStats {
 class Link final : public PacketSink {
  public:
   struct Config {
-    double rate_bps{1e9};
+    core::BitsPerSec rate{core::BitsPerSec::gigabits(1)};
     sim::SimTime propagation{};
   };
 
@@ -59,7 +60,9 @@ class Link final : public PacketSink {
   void receive(const Packet& p) override;
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
-  [[nodiscard]] double rate_bps() const noexcept { return config_.rate_bps; }
+  [[nodiscard]] core::BitsPerSec rate() const noexcept { return config_.rate; }
+  /// Raw scalar for dimensionless math (utilization ratios, reporting).
+  [[nodiscard]] double rate_bps() const noexcept { return config_.rate.bps(); }
   [[nodiscard]] sim::SimTime propagation() const noexcept { return config_.propagation; }
   [[nodiscard]] Queue& queue() noexcept { return *queue_; }
   [[nodiscard]] const Queue& queue() const noexcept { return *queue_; }

@@ -26,7 +26,7 @@ ParkingLot::ParkingLot(sim::Simulation& sim, ParkingLotConfig config)
 
   // Segment links (both directions). Forward carries the studied traffic and
   // gets the configured buffer; reverse is provisioned to never drop.
-  const Link::Config seg_cfg{config_.segment_rate_bps, config_.segment_delay};
+  const Link::Config seg_cfg{config_.segment_rate, config_.segment_delay};
   for (int s = 0; s < config_.num_segments; ++s) {
     forward_segments_.push_back(&add_link("seg_fwd_" + std::to_string(s), seg_cfg,
                                           *routers_[static_cast<std::size_t>(s + 1)],
@@ -41,7 +41,7 @@ ParkingLot::ParkingLot(sim::Simulation& sim, ParkingLotConfig config)
   const auto make_host = [&](const std::string& name, int attach,
                              sim::SimTime delay) -> std::pair<std::unique_ptr<Host>, Link*> {
     auto host = std::make_unique<Host>(sim_, next_id++, name);
-    const Link::Config acc_cfg{config_.access_rate_bps, delay};
+    const Link::Config acc_cfg{config_.access_rate, delay};
     Link& up = add_link(name + "_up", acc_cfg, *routers_[static_cast<std::size_t>(attach)],
                         config_.uncongested_buffer_packets);
     Link& down = add_link(name + "_down", acc_cfg, *host,

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/units.hpp"
 #include "net/drop_tail_queue.hpp"
 #include "net/link.hpp"
 #include "net/node.hpp"
@@ -24,14 +25,14 @@ namespace rbs::net {
 
 struct ParkingLotConfig {
   int num_segments{3};
-  double segment_rate_bps{50e6};
+  core::BitsPerSec segment_rate{core::BitsPerSec{50e6}};
   sim::SimTime segment_delay{sim::SimTime::milliseconds(5)};  ///< one-way
   std::int64_t buffer_packets{100};  ///< per congested segment queue
 
   int num_e2e_leaves{10};
   int num_local_leaves_per_segment{10};
 
-  double access_rate_bps{1e9};
+  core::BitsPerSec access_rate{core::BitsPerSec::gigabits(1)};
   sim::SimTime access_delay_min{sim::SimTime::milliseconds(2)};
   sim::SimTime access_delay_max{sim::SimTime::milliseconds(20)};
 

@@ -13,16 +13,16 @@ TokenBucketShaper::TokenBucketShaper(sim::Simulation& sim, std::string name, Con
       name_{std::move(name)},
       config_{config},
       downstream_{downstream},
-      tokens_{static_cast<double>(config.burst_bytes)},
+      tokens_{static_cast<double>(config.burst.count())},
       last_refill_{sim.now()} {
-  assert(config_.rate_bps > 0 && config_.burst_bytes > 0);
+  assert(config_.rate.bps() > 0 && config_.burst.count() > 0);
 }
 
 void TokenBucketShaper::refill() noexcept {
   const double elapsed = (sim_.now() - last_refill_).to_seconds();
   last_refill_ = sim_.now();
-  tokens_ = std::min(static_cast<double>(config_.burst_bytes),
-                     tokens_ + elapsed * config_.rate_bps / 8.0);
+  tokens_ = std::min(static_cast<double>(config_.burst.count()),
+                     tokens_ + elapsed * config_.rate.bps() / 8.0);
 }
 
 void TokenBucketShaper::forward(const Packet& p) {
@@ -44,7 +44,7 @@ void TokenBucketShaper::receive(const Packet& p) {
   queue_.push_back(p);
   if (!drain_event_.pending()) {
     const double deficit = static_cast<double>(queue_.front().size_bytes) - tokens_;
-    const double wait_sec = std::max(0.0, deficit * 8.0 / config_.rate_bps);
+    const double wait_sec = std::max(0.0, deficit * 8.0 / config_.rate.bps());
     drain_event_ =
         sim_.after(sim::SimTime::from_seconds(wait_sec), [this] { drain(); },
                    sim::EventClass::kWorkload);
@@ -60,7 +60,7 @@ void TokenBucketShaper::drain() {
   }
   if (!queue_.empty()) {
     const double deficit = static_cast<double>(queue_.front().size_bytes) - tokens_;
-    const double wait_sec = std::max(1e-9, deficit * 8.0 / config_.rate_bps);
+    const double wait_sec = std::max(1e-9, deficit * 8.0 / config_.rate.bps());
     drain_event_ =
         sim_.after(sim::SimTime::from_seconds(wait_sec), [this] { drain(); },
                    sim::EventClass::kWorkload);

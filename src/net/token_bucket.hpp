@@ -2,7 +2,7 @@
 //
 // The Stanford production experiment (§5.3) throttled a router to 20 Mb/s;
 // this is the standard mechanism for doing that. The shaper paces packets to
-// `rate_bps` with up to `burst_bytes` of credit; serialization still happens
+// `rate` with up to `burst` bytes of credit; serialization still happens
 // at the downstream link, the shaper only schedules departures.
 #pragma once
 
@@ -10,6 +10,7 @@
 #include <deque>
 #include <string>
 
+#include "core/units.hpp"
 #include "net/packet.hpp"
 #include "sim/simulation.hpp"
 
@@ -20,8 +21,8 @@ namespace rbs::net {
 class TokenBucketShaper final : public PacketSink {
  public:
   struct Config {
-    double rate_bps{1e6};
-    std::int64_t burst_bytes{3000};         ///< bucket depth
+    core::BitsPerSec rate{core::BitsPerSec{1e6}};
+    core::Bytes burst{core::Bytes{3000}};   ///< bucket depth
     std::int64_t queue_limit_packets{1000}; ///< shaper queue
   };
 

@@ -92,7 +92,7 @@ class Simulation {
       }
     };
     scheduler_.set_audit_hook(every_n_events, [this, &auditor] {
-      auditor.note_time(scheduler_.now().ps());
+      auditor.note_time(scheduler_.now());
       auditor.audit_now();
     });
   }

@@ -25,7 +25,7 @@ void TcpSink::send_ack() {
   ack.src = host_.id();
   ack.dst = peer_;
   ack.ack = next_expected_;
-  ack.size_bytes = config_.ack_bytes;
+  ack.size_bytes = static_cast<std::int32_t>(config_.ack_size.count());
   ack.timestamp = pending_echo_;  // echo for Karn-safe RTT sampling
   ack.ecn_ce = pending_ecn_echo_;  // ECN-Echo (simplified: per marked packet)
   pending_ecn_echo_ = false;

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <set>
 
+#include "core/units.hpp"
 #include "net/node.hpp"
 #include "net/packet.hpp"
 #include "sim/simulation.hpp"
@@ -16,7 +17,7 @@
 namespace rbs::tcp {
 
 struct TcpSinkConfig {
-  std::int32_t ack_bytes{40};  ///< wire size of a pure ACK
+  core::Bytes ack_size{core::Bytes{40}};  ///< wire size of a pure ACK
   bool delayed_ack{false};
   int ack_every{2};            ///< in-order packets per ACK when delaying
   sim::SimTime delack_timeout{sim::SimTime::milliseconds(200)};
@@ -31,8 +32,8 @@ class TcpSink final : public net::Agent {
 
   /// Immediate-ACK sink with the given ACK size (the common case).
   TcpSink(sim::Simulation& sim, net::Host& host, net::FlowId flow,
-          std::int32_t ack_bytes = 40)
-      : TcpSink{sim, host, flow, TcpSinkConfig{ack_bytes, false, 2, {}}} {}
+          core::Bytes ack_size = core::Bytes{40})
+      : TcpSink{sim, host, flow, TcpSinkConfig{ack_size, false, 2, {}}} {}
 
   ~TcpSink() override;
 

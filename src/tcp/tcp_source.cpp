@@ -21,7 +21,7 @@ TcpSource::TcpSource(sim::Simulation& sim, net::Host& host, net::NodeId dst, net
       cwnd_{config.initial_cwnd},
       ssthresh_{config.initial_ssthresh},
       rtt_{config.rtt} {
-  assert(config_.segment_bytes > 0);
+  assert(config_.segment.count() > 0);
   assert(config_.initial_cwnd >= 1.0);
   host_.register_agent(flow_, *this);
 }
@@ -104,7 +104,7 @@ void TcpSource::transmit(std::int64_t seq) {
   p.src = host_.id();
   p.dst = dst_;
   p.seq = seq;
-  p.size_bytes = config_.segment_bytes;
+  p.size_bytes = static_cast<std::int32_t>(config_.segment.count());
   p.timestamp = sim_.now();
   p.retransmit = seq <= max_sent_;
 

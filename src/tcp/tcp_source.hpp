@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "core/units.hpp"
 #include "net/node.hpp"
 #include "net/packet.hpp"
 #include "sim/simulation.hpp"
@@ -26,7 +27,7 @@ enum class TcpFlavor : std::uint8_t {
 };
 
 struct TcpConfig {
-  std::int32_t segment_bytes{1000};  ///< wire size of a data packet
+  core::Bytes segment{core::Bytes{1000}};  ///< wire size of a data packet
   double initial_cwnd{2.0};          ///< packets; the paper's slow start "first sends two"
   double initial_ssthresh{1e12};     ///< effectively unbounded
   std::int64_t max_window{1'000'000};  ///< receiver window cap, packets

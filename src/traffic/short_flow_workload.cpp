@@ -7,11 +7,11 @@
 
 namespace rbs::traffic {
 
-double arrival_rate_for_load(double load, double rate_bps, double mean_flow_packets,
-                             std::int32_t packet_bytes) noexcept {
+double arrival_rate_for_load(double load, core::BitsPerSec rate, double mean_flow_packets,
+                             core::Bytes packet_size) noexcept {
   assert(load > 0 && mean_flow_packets > 0);
-  const double flow_bits = mean_flow_packets * 8.0 * static_cast<double>(packet_bytes);
-  return load * rate_bps / flow_bits;
+  const double flow_bits = mean_flow_packets * 8.0 * static_cast<double>(packet_size.count());
+  return load * rate.bps() / flow_bits;
 }
 
 ShortFlowWorkload::ShortFlowWorkload(sim::Simulation& sim, net::Dumbbell& topo,
@@ -95,15 +95,9 @@ void ShortFlowWorkload::audit(check::AuditReport& report) const {
                      " open flows but the workload has " + std::to_string(active_.size()) +
                      " active");
   }
-  // Sort the flow ids so per-flow violations appear in the same order every
-  // run regardless of hash-map layout.
-  std::vector<net::FlowId> ids;
-  ids.reserve(active_.size());
-  // rbs-lint: allow(unordered-iteration) -- keys are sorted before any use
-  for (const auto& [id, flow] : active_) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());
-  for (const net::FlowId id : ids) {
-    const ActiveFlow& af = active_.at(id);
+  // active_ is an ordered map: iteration is already in flow-id order, so
+  // per-flow violations appear identically on every run.
+  for (const auto& [id, af] : active_) {
     af.source->audit(report);
     af.sink->audit(report);
   }

@@ -9,8 +9,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
+#include <map>
 
+#include "core/units.hpp"
 #include "net/dumbbell.hpp"
 #include "sim/simulation.hpp"
 #include "stats/fct_tracker.hpp"
@@ -36,9 +37,9 @@ struct ShortFlowWorkloadConfig {
 
 /// Converts a target link load into a Poisson arrival rate:
 ///   λ = ρ·C / (E[len]·packet_bits).
-[[nodiscard]] double arrival_rate_for_load(double load, double rate_bps,
+[[nodiscard]] double arrival_rate_for_load(double load, core::BitsPerSec rate,
                                            double mean_flow_packets,
-                                           std::int32_t packet_bytes) noexcept;
+                                           core::Bytes packet_size) noexcept;
 
 /// Generates, owns, and reaps short flows.
 class ShortFlowWorkload {
@@ -82,7 +83,10 @@ class ShortFlowWorkload {
   sim::Rng rng_;
 
   // rbs-lint: allow(unordered-container) -- emplace/find/erase/size only; audit() sorts keys before iterating
-  std::unordered_map<net::FlowId, ActiveFlow> active_;
+  /// Keyed flow table. Ordered map, not unordered: audits and any future
+  /// teardown sweep iterate it, and iteration order must not depend on hash
+  /// layout (rbs-analyze rule R2).
+  std::map<net::FlowId, ActiveFlow> active_;
   net::FlowId next_flow_id_;
   int next_leaf_{0};
   std::uint64_t flows_started_{0};

@@ -114,14 +114,9 @@ void TraceWorkload::audit(check::AuditReport& report) const {
     report.violation("started " + std::to_string(started_) + " flows from a trace of " +
                      std::to_string(records_.size()));
   }
-  // Sorted ids keep per-flow violation order independent of hash layout.
-  std::vector<net::FlowId> ids;
-  ids.reserve(active_.size());
-  // rbs-lint: allow(unordered-iteration) -- keys are sorted before any use
-  for (const auto& [id, flow] : active_) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());
-  for (const net::FlowId id : ids) {
-    const ActiveFlow& af = active_.at(id);
+  // active_ is an ordered map: iteration is already in flow-id order, so
+  // per-flow violations appear identically on every run.
+  for (const auto& [id, af] : active_) {
     af.source->audit(report);
     af.sink->audit(report);
   }

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -87,7 +88,9 @@ class TraceWorkload {
   std::vector<TraceRecord> records_;
 
   // rbs-lint: allow(unordered-container) -- emplace/find/erase/size only; audit() sorts keys before iterating
-  std::unordered_map<net::FlowId, ActiveFlow> active_;
+  /// Ordered so audit/teardown iteration is hash-layout independent
+  /// (rbs-analyze rule R2).
+  std::map<net::FlowId, ActiveFlow> active_;
   std::vector<sim::Scheduler::EventHandle> launches_;
   std::uint64_t started_{0};
   std::uint64_t completed_{0};

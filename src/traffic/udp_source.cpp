@@ -12,7 +12,7 @@ UdpSource::UdpSource(sim::Simulation& sim, net::Host& host, net::NodeId dst, net
       flow_{flow},
       config_{config},
       rng_{sim.rng().fork(config.rng_stream ^ flow)} {
-  assert(config_.rate_bps > 0 && config_.packet_bytes > 0);
+  assert(config_.rate.bps() > 0 && config_.packet_size.count() > 0);
   host_.register_agent(flow_, *this);
 }
 
@@ -27,7 +27,7 @@ void UdpSource::start(sim::SimTime at) {
 
 sim::SimTime UdpSource::next_gap() {
   const double mean_gap_sec =
-      8.0 * static_cast<double>(config_.packet_bytes) / config_.rate_bps;
+      8.0 * static_cast<double>(config_.packet_size.count()) / config_.rate.bps();
   if (config_.poisson_gaps) {
     return sim::SimTime::from_seconds(rng_.exponential(mean_gap_sec));
   }
@@ -41,7 +41,7 @@ void UdpSource::send_one() {
   p.src = host_.id();
   p.dst = dst_;
   p.seq = next_seq_++;
-  p.size_bytes = config_.packet_bytes;
+  p.size_bytes = static_cast<std::int32_t>(config_.packet_size.count());
   p.timestamp = sim_.now();
   host_.send(p);
   ++packets_sent_;

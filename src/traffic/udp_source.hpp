@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "core/units.hpp"
 #include "net/node.hpp"
 #include "net/packet.hpp"
 #include "sim/simulation.hpp"
@@ -15,8 +16,8 @@
 namespace rbs::traffic {
 
 struct UdpSourceConfig {
-  double rate_bps{1e6};
-  std::int32_t packet_bytes{1000};
+  core::BitsPerSec rate{core::BitsPerSec{1e6}};
+  core::Bytes packet_size{core::Bytes{1000}};
   bool poisson_gaps{false};  ///< true → exponential inter-packet gaps
   std::uint64_t rng_stream{0x0DB5};
 };

@@ -1,0 +1,30 @@
+// rbs-analyze-fixture-expect:
+// The strong-typed twin of r3_violation.hpp: same API, units in the types.
+#pragma once
+
+#include <cstdint>
+
+namespace core {
+class Bytes;
+class Packets;
+class BitsPerSec;
+}  // namespace core
+namespace sim {
+class SimTime;
+}
+
+struct LinkConfig {
+  core::BitsPerSec* rate;
+  core::Bytes* buffer;
+  core::Packets* window;
+  sim::SimTime* timeout;
+};
+
+class Shaper {
+ public:
+  void set_delay(sim::SimTime* delay);
+
+ private:
+  // A raw scalar with no unit-suffixed name is fine: nothing for R3 here.
+  std::int64_t generation{0};
+};

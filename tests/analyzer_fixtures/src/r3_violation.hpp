@@ -1,0 +1,20 @@
+// rbs-analyze-fixture-expect: R3 R3 R3 R3 R3
+// Raw scalars whose names admit they carry a unit, crossing API boundaries.
+#pragma once
+
+#include <cstdint>
+
+struct LinkConfig {
+  double rate_bps{1e9};                // R3: should be core::BitsPerSec
+  std::int64_t buffer_bytes{64000};    // R3: should be core::Bytes
+  std::int64_t window_pkts{100};       // R3: should be core::Packets
+  double timeout_seconds{1.0};         // R3: should be sim::SimTime
+};
+
+class Shaper {
+ public:
+  void set_delay(std::int64_t delay_ps);  // R3: should be sim::SimTime
+
+ private:
+  long quantum_{1500};  // clean: no unit suffix (naming debt, not R3's job)
+};

@@ -1,0 +1,22 @@
+// rbs-analyze-fixture-expect:
+// Scheduler callbacks with sound lifetimes: by-value captures, `this`
+// (whose lifetime the owner manages by cancelling the event), and
+// address-of inside an init capture (not a by-reference capture).
+struct SimTime {};
+
+struct Sim {
+  template <typename F>
+  void after(SimTime delay, F fn);
+};
+
+struct Source {
+  Sim* sim_;
+  int seq_{0};
+  void transmit();
+
+  void schedule() {
+    sim_->after(SimTime{}, [this] { transmit(); });      // owner-managed
+    sim_->after(SimTime{}, [seq = seq_] { (void)seq; }); // by value
+    sim_->after(SimTime{}, [self = this] { self->transmit(); });  // address-of
+  }
+};

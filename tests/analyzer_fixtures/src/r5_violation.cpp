@@ -1,0 +1,18 @@
+// rbs-analyze-fixture-expect: R5 R5 R5
+// By-reference captures in lambdas handed to the pooled scheduler: the
+// event outlives the enclosing frame, so these references dangle.
+struct SimTime {};
+
+struct Sim {
+  template <typename F>
+  void after(SimTime delay, F fn);
+  template <typename F>
+  void schedule_at(SimTime when, F fn);
+};
+
+void enqueue_all(Sim& sim) {
+  int pending = 3;
+  sim.after(SimTime{}, [&] { pending--; });          // R5: default ref capture
+  sim.after(SimTime{}, [&pending] { pending--; });   // R5: explicit ref capture
+  sim.schedule_at(SimTime{}, [&pending](/*tick*/) { pending--; });  // R5
+}

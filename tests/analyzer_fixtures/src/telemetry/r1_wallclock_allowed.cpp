@@ -1,0 +1,8 @@
+// rbs-analyze-fixture-expect:
+// Wall-clock reads are sanctioned under src/telemetry/ (profiling needs
+// real time); the allowlist must keep R1 quiet here.
+#include <chrono>
+
+long profile_now_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -63,10 +63,10 @@ TEST(InvariantAuditor, ReportNamesSubsystemAndMessage) {
 
 TEST(InvariantAuditor, ClockGoingBackwardsIsAViolation) {
   check::InvariantAuditor auditor;
-  auditor.note_time(1000);
-  auditor.note_time(2000);
+  auditor.note_time(sim::SimTime::picoseconds(1000));
+  auditor.note_time(sim::SimTime::picoseconds(2000));
   EXPECT_TRUE(auditor.clean());
-  auditor.note_time(1500);
+  auditor.note_time(sim::SimTime::picoseconds(1500));
   EXPECT_FALSE(auditor.clean());
 }
 
@@ -162,7 +162,7 @@ TEST(InvariantAuditor, ReportsQueueAndTcpCorruptionTogether) {
 TEST(CheckedExperiment, LongFlowRunPassesUnderContinuousAuditing) {
   experiment::LongFlowExperimentConfig cfg;
   cfg.num_flows = 5;
-  cfg.bottleneck_rate_bps = 10e6;
+  cfg.bottleneck_rate = core::BitsPerSec{10e6};
   cfg.buffer_packets = 30;
   cfg.warmup = SimTime::seconds(2);
   cfg.measure = SimTime::seconds(4);

@@ -1,4 +1,5 @@
 // Unit tests for the delay recorder, fairness index, and the Link delay hook.
+#include "core/units.hpp"
 #include "stats/delay_recorder.hpp"
 
 #include <gtest/gtest.h>
@@ -57,7 +58,7 @@ TEST(LinkDelayHook, ReportsQueueingPlusSerialization) {
    public:
     void receive(const net::Packet&) override {}
   } sink;
-  net::Link link{sim, "l", net::Link::Config{1e6, SimTime::zero()},
+  net::Link link{sim, "l", net::Link::Config{core::BitsPerSec{1e6}, SimTime::zero()},
                  std::make_unique<net::DropTailQueue>(10), sink};
   DelayRecorder rec;
   link.on_queue_delay = [&rec](SimTime d) { rec.record(d); };
@@ -76,7 +77,7 @@ TEST(LinkDelayHook, ReportsQueueingPlusSerialization) {
 TEST(ExperimentDelays, BiggerBuffersMeanLongerTails) {
   experiment::LongFlowExperimentConfig cfg;
   cfg.num_flows = 10;
-  cfg.bottleneck_rate_bps = 10e6;
+  cfg.bottleneck_rate = core::BitsPerSec{10e6};
   cfg.warmup = SimTime::seconds(5);
   cfg.measure = SimTime::seconds(10);
   cfg.record_delays = true;

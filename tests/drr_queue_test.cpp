@@ -1,4 +1,5 @@
 // Unit tests for the DRR fair queue, plus an end-to-end fairness check.
+#include "core/units.hpp"
 #include "net/drr_queue.hpp"
 
 #include <gtest/gtest.h>
@@ -47,7 +48,7 @@ TEST(DrrQueue, PerFlowOrderPreserved) {
 }
 
 TEST(DrrQueue, InterleavesBackloggedFlowsEqually) {
-  DrrQueue q{100, /*quantum=*/1000};
+  DrrQueue q{100, /*quantum=*/core::Bytes{1000}};
   // Flow 1 floods 30 packets; flow 2 has 10.
   for (int i = 0; i < 30; ++i) q.enqueue(make_packet(1, i));
   for (int i = 0; i < 10; ++i) q.enqueue(make_packet(2, i));
@@ -65,7 +66,7 @@ TEST(DrrQueue, InterleavesBackloggedFlowsEqually) {
 TEST(DrrQueue, ByteFairnessWithUnequalPacketSizes) {
   // Flow 1 sends 500 B packets, flow 2 sends 1000 B: per byte-fair DRR,
   // flow 1 should get ~2 packets for each of flow 2's.
-  DrrQueue q{200, /*quantum=*/1000};
+  DrrQueue q{200, /*quantum=*/core::Bytes{1000}};
   for (int i = 0; i < 60; ++i) q.enqueue(make_packet(1, i, 500));
   for (int i = 0; i < 30; ++i) q.enqueue(make_packet(2, i, 1000));
   std::map<FlowId, std::int64_t> bytes;
@@ -106,7 +107,7 @@ TEST(DrrQueue, LongestQueueDropPreservesVictims) {
 }
 
 TEST(DrrQueue, PacketLargerThanQuantumStillServed) {
-  DrrQueue q{10, /*quantum=*/100};
+  DrrQueue q{10, /*quantum=*/core::Bytes{100}};
   q.enqueue(make_packet(1, 0, 1000));  // needs 10 refills
   const auto p = q.dequeue();
   ASSERT_TRUE(p.has_value());
@@ -150,7 +151,7 @@ TEST(DrrQueue, EvictionAndServiceOrderIdenticalAcrossRuns) {
   // longest-queue drops across interleaved flows must produce a bitwise
   // identical dequeue transcript on every run.
   const auto transcript = [] {
-    DrrQueue q{16, 500};
+    DrrQueue q{16, core::Bytes{500}};
     std::vector<std::pair<FlowId, std::int64_t>> out;
     std::int64_t seq = 0;
     for (int round = 0; round < 400; ++round) {
@@ -188,7 +189,7 @@ TEST(DrrQueue, ImprovesInterFlowFairnessEndToEnd) {
   auto run = [](net::QueueDiscipline discipline) {
     experiment::LongFlowExperimentConfig cfg;
     cfg.num_flows = 12;
-    cfg.bottleneck_rate_bps = 10e6;
+    cfg.bottleneck_rate = core::BitsPerSec{10e6};
     cfg.buffer_packets = 30;
     cfg.discipline = discipline;
     cfg.warmup = sim::SimTime::seconds(8);

@@ -55,13 +55,13 @@ TEST(Dumbbell, BdpMatchesHandComputation) {
   sim::Simulation sim{1};
   DumbbellConfig cfg;
   cfg.num_leaves = 1;
-  cfg.bottleneck_rate_bps = 10e6;
+  cfg.bottleneck_rate = core::BitsPerSec{10e6};
   cfg.bottleneck_delay = 10_ms;
   cfg.receiver_delay = 1_ms;
   cfg.access_delays = {35_ms};
   Dumbbell topo{sim, cfg};
   // RTT = 92 ms; 10 Mb/s * 0.092 s / 8000 bits = 115 packets.
-  EXPECT_NEAR(topo.bdp_packets(1000), 115.0, 0.01);
+  EXPECT_NEAR(topo.bdp_packets(core::Bytes{1000}), 115.0, 0.01);
 }
 
 TEST(Dumbbell, ForwardPathDeliversToReceiver) {
@@ -120,8 +120,8 @@ TEST(Dumbbell, ForwardTraversalTimeMatchesPropagationPlusSerialization) {
   sim::Simulation sim{1};
   DumbbellConfig cfg;
   cfg.num_leaves = 1;
-  cfg.bottleneck_rate_bps = 1e6;
-  cfg.access_rate_bps = 1e6;
+  cfg.bottleneck_rate = core::BitsPerSec{1e6};
+  cfg.access_rate = core::BitsPerSec{1e6};
   cfg.bottleneck_delay = 10_ms;
   cfg.receiver_delay = 1_ms;
   cfg.access_delays = {5_ms};

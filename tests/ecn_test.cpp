@@ -186,7 +186,7 @@ TEST(TcpEcn, SenderHalvesOncePerWindowWithoutRetransmitting) {
   // (almost) no packet loss and no retransmissions.
   experiment::LongFlowExperimentConfig cfg;
   cfg.num_flows = 10;
-  cfg.bottleneck_rate_bps = 10e6;
+  cfg.bottleneck_rate = core::BitsPerSec{10e6};
   cfg.buffer_packets = 100;
   cfg.discipline = net::QueueDiscipline::kRed;
   cfg.red.ecn_marking = true;
@@ -209,7 +209,7 @@ TEST(TcpEcn, EcnKeepsUtilizationComparableToDropRed) {
   auto run = [](bool ecn) {
     experiment::LongFlowExperimentConfig cfg;
     cfg.num_flows = 10;
-    cfg.bottleneck_rate_bps = 10e6;
+    cfg.bottleneck_rate = core::BitsPerSec{10e6};
     cfg.buffer_packets = 100;
     cfg.discipline = net::QueueDiscipline::kRed;
     cfg.red.ecn_marking = ecn;

@@ -15,7 +15,7 @@ LongFlowExperimentConfig fast_long(int flows, std::int64_t buffer) {
   LongFlowExperimentConfig cfg;
   cfg.num_flows = flows;
   cfg.buffer_packets = buffer;
-  cfg.bottleneck_rate_bps = 10e6;
+  cfg.bottleneck_rate = core::BitsPerSec{10e6};
   cfg.warmup = SimTime::seconds(5);
   cfg.measure = SimTime::seconds(10);
   return cfg;
@@ -100,7 +100,7 @@ TEST(MinBufferSearch, ReturnsHiWhenTargetUnreachable) {
 
 ShortFlowExperimentConfig fast_short() {
   ShortFlowExperimentConfig cfg;
-  cfg.bottleneck_rate_bps = 10e6;
+  cfg.bottleneck_rate = core::BitsPerSec{10e6};
   cfg.load = 0.7;
   cfg.flow_packets = 14;  // bursts 2,4,8
   cfg.num_leaves = 20;
@@ -153,7 +153,7 @@ TEST(MinBufferForAfct, RespectsPenaltyBudget) {
 
 MixedFlowExperimentConfig fast_mixed() {
   MixedFlowExperimentConfig cfg;
-  cfg.bottleneck_rate_bps = 10e6;
+  cfg.bottleneck_rate = core::BitsPerSec{10e6};
   cfg.num_long_flows = 5;
   cfg.short_flow_load = 0.2;
   cfg.short_flow_packets = 14;

@@ -1,6 +1,7 @@
 // Unit tests for the fault layer: FaultSchedule (builders, validation, text
 // format, random generation), the Link fault hooks, and FaultInjector
 // overlap/recovery semantics plus its invariant audit.
+#include "core/units.hpp"
 #include "fault/fault_injector.hpp"
 
 #include <gtest/gtest.h>
@@ -179,7 +180,7 @@ class FaultLinkTest : public ::testing::Test {
  protected:
   FaultLinkTest()
       : sink_{sim_},
-        link_{sim_, "l", net::Link::Config{1e6, 5_ms},
+        link_{sim_, "l", net::Link::Config{core::BitsPerSec{1e6}, 5_ms},
               std::make_unique<net::DropTailQueue>(4), sink_} {}
 
   sim::Simulation sim_{1};
@@ -278,7 +279,7 @@ class InjectorTest : public ::testing::Test {
  protected:
   InjectorTest()
       : sink_{sim_},
-        link_{sim_, "bottleneck_fwd", net::Link::Config{1e6, 5_ms},
+        link_{sim_, "bottleneck_fwd", net::Link::Config{core::BitsPerSec{1e6}, 5_ms},
               std::make_unique<net::DropTailQueue>(4), sink_},
         injector_{sim_} {
     injector_.attach(link_);

@@ -25,7 +25,7 @@ LongFlowExperimentConfig long_base() {
   LongFlowExperimentConfig cfg;
   cfg.num_flows = 16;
   cfg.buffer_packets = 50;
-  cfg.bottleneck_rate_bps = 40e6;
+  cfg.bottleneck_rate = core::BitsPerSec{40e6};
   cfg.warmup = SimTime::seconds(1);
   cfg.measure = SimTime::seconds(4);
   cfg.seed = 5;
@@ -36,7 +36,7 @@ LongFlowExperimentConfig long_base() {
 /// No-fault AFCT ≈ 0.346 s.
 ShortFlowExperimentConfig short_base() {
   ShortFlowExperimentConfig cfg;
-  cfg.bottleneck_rate_bps = 20e6;
+  cfg.bottleneck_rate = core::BitsPerSec{20e6};
   cfg.buffer_packets = 40;
   cfg.load = 0.6;
   cfg.flow_packets = 30;

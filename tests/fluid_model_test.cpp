@@ -93,7 +93,7 @@ TEST(FluidModel, AgreesWithPacketSimulatorOnUtilization) {
     experiment::LongFlowExperimentConfig pkt;
     pkt.num_flows = 100;
     pkt.buffer_packets = buffer;
-    pkt.bottleneck_rate_bps = 155e6;
+    pkt.bottleneck_rate = core::BitsPerSec{155e6};
     pkt.warmup = sim::SimTime::seconds(10);
     pkt.measure = sim::SimTime::seconds(20);
     const double packet_util = run_long_flow_experiment(pkt).utilization;

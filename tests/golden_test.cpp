@@ -68,7 +68,7 @@ TEST(Golden, Oc3FourHundredFlowsAtRule) {
 
 TEST(Golden, ShortFlowBaselineAfctAt80Mbps) {
   // EXPERIMENTS.md, Fig 8: 393 ms baseline AFCT at 80 Mb/s, load 0.8.
-  auto cfg = experiment::scenarios::fig8_short_flows(80e6, 4000);
+  auto cfg = experiment::scenarios::fig8_short_flows(core::BitsPerSec{80e6}, 4000);
   cfg.measure = SimTime::seconds(25);
   const auto r = run_short_flow_experiment(cfg);
   EXPECT_NEAR(r.afct_seconds, 0.393, 0.02);
@@ -88,7 +88,7 @@ TEST(Golden, NoFaultLongFlowRunIsBitwiseIdenticalToPreFaultBaseline) {
   experiment::LongFlowExperimentConfig cfg;
   cfg.num_flows = 20;
   cfg.buffer_packets = 60;
-  cfg.bottleneck_rate_bps = 50e6;
+  cfg.bottleneck_rate = core::BitsPerSec{50e6};
   cfg.warmup = SimTime::seconds(2);
   cfg.measure = SimTime::seconds(5);
   cfg.seed = 7;
@@ -111,7 +111,7 @@ TEST(Golden, NoFaultLongFlowRunIsBitwiseIdenticalToPreFaultBaseline) {
 
 TEST(Golden, NoFaultShortFlowRunIsBitwiseIdenticalToPreFaultBaseline) {
   experiment::ShortFlowExperimentConfig cfg;
-  cfg.bottleneck_rate_bps = 20e6;
+  cfg.bottleneck_rate = core::BitsPerSec{20e6};
   cfg.buffer_packets = 40;
   cfg.load = 0.7;
   cfg.flow_packets = 30;
@@ -129,7 +129,7 @@ TEST(Golden, NoFaultShortFlowRunIsBitwiseIdenticalToPreFaultBaseline) {
 
 TEST(Golden, NoFaultMixedFlowRunIsBitwiseIdenticalToPreFaultBaseline) {
   experiment::MixedFlowExperimentConfig cfg;
-  cfg.bottleneck_rate_bps = 30e6;
+  cfg.bottleneck_rate = core::BitsPerSec{30e6};
   cfg.num_long_flows = 8;
   cfg.num_short_leaves = 8;
   cfg.buffer_packets = 50;

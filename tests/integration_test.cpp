@@ -20,7 +20,7 @@ using sim::SimTime;
 experiment::LongFlowExperimentConfig base_config(int flows) {
   experiment::LongFlowExperimentConfig cfg;
   cfg.num_flows = flows;
-  cfg.bottleneck_rate_bps = 10e6;
+  cfg.bottleneck_rate = core::BitsPerSec{10e6};
   cfg.warmup = SimTime::seconds(30);
   cfg.measure = SimTime::seconds(30);
   return cfg;
@@ -132,9 +132,9 @@ TEST(PaperClaims, ShortFlowQueueIndependentOfLineRate) {
   cfg.warmup = SimTime::seconds(3);
   cfg.measure = SimTime::seconds(15);
 
-  cfg.bottleneck_rate_bps = 10e6;
+  cfg.bottleneck_rate = core::BitsPerSec{10e6};
   const auto slow = run_short_flow_experiment(cfg);
-  cfg.bottleneck_rate_bps = 40e6;
+  cfg.bottleneck_rate = core::BitsPerSec{40e6};
   cfg.measure = SimTime::seconds(8);
   const auto fast = run_short_flow_experiment(cfg);
 
@@ -150,7 +150,7 @@ TEST(PaperClaims, ShortFlowQueueIndependentOfLineRate) {
 // §4: the M/G/1 effective-bandwidth bound upper-bounds the measured tail.
 TEST(PaperClaims, EffectiveBandwidthBoundHolds) {
   experiment::ShortFlowExperimentConfig cfg;
-  cfg.bottleneck_rate_bps = 20e6;
+  cfg.bottleneck_rate = core::BitsPerSec{20e6};
   cfg.load = 0.7;
   cfg.flow_packets = 30;  // bursts 2,4,8,16
   cfg.buffer_packets = 500;
@@ -174,7 +174,7 @@ TEST(PaperClaims, EffectiveBandwidthBoundHolds) {
 // §5.1.3/Fig 9: small buffers shorten short-flow completion times in mixes.
 TEST(PaperClaims, SmallBuffersSpeedUpShortFlows) {
   experiment::MixedFlowExperimentConfig cfg;
-  cfg.bottleneck_rate_bps = 10e6;
+  cfg.bottleneck_rate = core::BitsPerSec{10e6};
   cfg.num_long_flows = 8;
   cfg.short_flow_load = 0.2;
   cfg.short_flow_packets = 14;

@@ -1,5 +1,6 @@
 // Unit tests for Link: serialization timing, propagation, queueing, and
 // observation hooks.
+#include "core/units.hpp"
 #include "net/link.hpp"
 
 #include <gtest/gtest.h>
@@ -42,7 +43,7 @@ class LinkTest : public ::testing::Test {
  protected:
   LinkTest()
       : sink_{sim_},
-        link_{sim_, "l", Link::Config{1e6 /* 1 Mb/s */, 5_ms},
+        link_{sim_, "l", Link::Config{core::BitsPerSec{1e6} /* 1 Mb/s */, 5_ms},
               std::make_unique<DropTailQueue>(4), sink_} {}
 
   sim::Simulation sim_{1};
@@ -131,7 +132,7 @@ TEST(LinkTimingTest, HighRateSmallPacketTiming) {
   // 40-byte packet at 40 Gb/s = 8 ns, the paper's §1.3 figure.
   sim::Simulation sim{1};
   RecordingSink sink{sim};
-  Link link{sim, "fast", Link::Config{40e9, sim::SimTime::zero()},
+  Link link{sim, "fast", Link::Config{core::BitsPerSec{40e9}, sim::SimTime::zero()},
             std::make_unique<DropTailQueue>(1), sink};
   Packet p = make_packet(0, 40);
   link.receive(p);

@@ -1,6 +1,7 @@
 // Tests for the packet tracer and the byte-limited drop-tail mode.
 #include <gtest/gtest.h>
 
+#include "core/units.hpp"
 #include "net/drop_tail_queue.hpp"
 #include "net/dumbbell.hpp"
 #include "net/packet_tracer.hpp"
@@ -18,7 +19,7 @@ TEST(PacketTracer, RecordsDeliveriesAndDrops) {
   sim::Simulation sim{1};
   DumbbellConfig cfg;
   cfg.num_leaves = 1;
-  cfg.bottleneck_rate_bps = 10e6;
+  cfg.bottleneck_rate = core::BitsPerSec{10e6};
   cfg.buffer_packets = 5;  // force drops during slow start
   cfg.access_delays = {5_ms};
   Dumbbell topo{sim, cfg};
@@ -186,7 +187,7 @@ TEST(PacketTracer, ChainsWithExistingHooks) {
 }
 
 TEST(DropTailByteLimit, EnforcesByteCeiling) {
-  DropTailQueue q{100, /*limit_bytes=*/2500};
+  DropTailQueue q{100, /*limit_bytes=*/core::Bytes{2500}};
   Packet p;
   p.size_bytes = 1000;
   EXPECT_TRUE(q.enqueue(p));

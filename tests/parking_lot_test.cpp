@@ -1,4 +1,5 @@
 // Tests for the parking-lot (multi-bottleneck) topology.
+#include "core/units.hpp"
 #include "net/parking_lot.hpp"
 
 #include <gtest/gtest.h>
@@ -16,7 +17,7 @@ using sim::SimTime;
 ParkingLotConfig small_lot() {
   ParkingLotConfig cfg;
   cfg.num_segments = 3;
-  cfg.segment_rate_bps = 10e6;
+  cfg.segment_rate = core::BitsPerSec{10e6};
   cfg.num_e2e_leaves = 2;
   cfg.num_local_leaves_per_segment = 2;
   return cfg;

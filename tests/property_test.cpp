@@ -7,6 +7,7 @@
 #include <memory>
 #include <tuple>
 
+#include "core/units.hpp"
 #include "core/long_flow_model.hpp"
 #include "core/short_flow_model.hpp"
 #include "core/sizing_rules.hpp"
@@ -33,7 +34,7 @@ TEST_P(LongFlowGrid, ConservationAndSanity) {
   experiment::LongFlowExperimentConfig cfg;
   cfg.num_flows = flows;
   cfg.buffer_packets = buffer;
-  cfg.bottleneck_rate_bps = 10e6;
+  cfg.bottleneck_rate = core::BitsPerSec{10e6};
   cfg.warmup = SimTime::seconds(5);
   cfg.measure = SimTime::seconds(10);
   const auto r = run_long_flow_experiment(cfg);
@@ -62,7 +63,7 @@ TEST_P(LongFlowGrid, DeterministicAcrossRepeats) {
   experiment::LongFlowExperimentConfig cfg;
   cfg.num_flows = flows;
   cfg.buffer_packets = buffer;
-  cfg.bottleneck_rate_bps = 10e6;
+  cfg.bottleneck_rate = core::BitsPerSec{10e6};
   cfg.warmup = SimTime::seconds(2);
   cfg.measure = SimTime::seconds(5);
   const auto a = run_long_flow_experiment(cfg);
@@ -89,7 +90,7 @@ TEST_P(UtilizationMonotonicity, MoreBufferNeverHurtsThroughput) {
   const int flows = GetParam();
   experiment::LongFlowExperimentConfig cfg;
   cfg.num_flows = flows;
-  cfg.bottleneck_rate_bps = 10e6;
+  cfg.bottleneck_rate = core::BitsPerSec{10e6};
   // Single/few-flow runs need a long warm-up: the slow-start overshoot
   // transient lasts tens of seconds at 10 Mb/s.
   cfg.warmup = SimTime::seconds(30);
@@ -204,7 +205,7 @@ TEST(FaultFuzz, HundredRandomSchedulesUnderParanoiaAreViolationFree) {
     experiment::LongFlowExperimentConfig cfg;
     cfg.num_flows = 4;
     cfg.buffer_packets = 20;
-    cfg.bottleneck_rate_bps = 5e6;
+    cfg.bottleneck_rate = core::BitsPerSec{5e6};
     cfg.warmup = SimTime::milliseconds(500);
     cfg.measure = SimTime::seconds(1);
     cfg.seed = seed;
@@ -239,7 +240,7 @@ TEST(FaultFuzz, InjectorLeavesNoPendingEventsAfterDrain) {
   for (std::uint64_t seed = 1; seed <= 20; ++seed) {
     sim::Simulation sim{seed};
     DiscardSink sink;
-    net::Link link{sim, "l", net::Link::Config{1e6, SimTime::milliseconds(5)},
+    net::Link link{sim, "l", net::Link::Config{core::BitsPerSec{1e6}, SimTime::milliseconds(5)},
                    std::make_unique<net::DropTailQueue>(8), sink};
 
     fault::RandomFaultConfig fault_cfg;
@@ -278,7 +279,7 @@ TEST_P(FlowLengthSweep, ExactDeliveryWithoutLoss) {
   sim::Simulation sim{7};
   net::DumbbellConfig topo_cfg;
   topo_cfg.num_leaves = 1;
-  topo_cfg.bottleneck_rate_bps = 10e6;
+  topo_cfg.bottleneck_rate = core::BitsPerSec{10e6};
   topo_cfg.buffer_packets = 1'000'000;  // lossless
   topo_cfg.access_delays = {SimTime::milliseconds(5)};
   net::Dumbbell topo{sim, topo_cfg};

@@ -3,6 +3,7 @@
 
 #include <stdexcept>
 
+#include "core/units.hpp"
 #include "net/drop_tail_queue.hpp"
 #include "net/drr_queue.hpp"
 #include "net/red_queue.hpp"
@@ -79,11 +80,11 @@ TEST(DropTailQueue, ShrinkingLimitKeepsQueuedPackets) {
 
 TEST(QueueLimitValidation, NegativeLimitsAreRejectedEverywhere) {
   EXPECT_THROW(net::DropTailQueue(-1), std::invalid_argument);
-  EXPECT_THROW(net::DropTailQueue(10, -1), std::invalid_argument);
+  EXPECT_THROW(net::DropTailQueue(10, core::Bytes{-1}), std::invalid_argument);
 
   DropTailQueue q{10};
   EXPECT_THROW(q.set_limit_packets(-1), std::invalid_argument);
-  EXPECT_THROW(q.set_limit_bytes(-1), std::invalid_argument);
+  EXPECT_THROW(q.set_limit_bytes(core::Bytes{-1}), std::invalid_argument);
   EXPECT_EQ(q.limit_packets(), 10);  // failed setters leave the queue unchanged
 
   sim::Simulation sim{1};
@@ -94,7 +95,7 @@ TEST(QueueLimitValidation, NegativeLimitsAreRejectedEverywhere) {
   EXPECT_EQ(red.limit_packets(), 10);
 
   EXPECT_THROW(net::DrrQueue(-1), std::invalid_argument);
-  EXPECT_THROW(net::DrrQueue(10, 0), std::invalid_argument);
+  EXPECT_THROW(net::DrrQueue(10, core::Bytes{0}), std::invalid_argument);
   DrrQueue drr{10};
   EXPECT_THROW(drr.set_limit_packets(-1), std::invalid_argument);
   EXPECT_EQ(drr.limit_packets(), 10);

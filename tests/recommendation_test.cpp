@@ -9,7 +9,7 @@ namespace {
 TEST(Recommendation, AbstractHeadline2_5GLink) {
   // "a 2.5Gb/s link carrying 10,000 flows could reduce its buffers by 99%".
   LinkProfile link;
-  link.rate_bps = 2.5e9;
+  link.rate = core::BitsPerSec{2.5e9};
   link.mean_rtt_sec = 0.25;
   link.num_long_flows = 10'000;
   const auto rec = recommend_buffer(link);
@@ -26,7 +26,7 @@ TEST(Recommendation, ShortFlowFloorDominatesWithFewFlows) {
   // With millions of "long flows" claimed, the sqrt rule would shrink below
   // the short-flow floor; the recommendation must respect the floor.
   LinkProfile link;
-  link.rate_bps = 1e9;
+  link.rate = core::BitsPerSec{1e9};
   link.mean_rtt_sec = 0.1;
   link.num_long_flows = 100'000'000;
   link.load = 0.8;
@@ -37,7 +37,7 @@ TEST(Recommendation, ShortFlowFloorDominatesWithFewFlows) {
 
 TEST(Recommendation, SqrtRuleDominatesWithFewFlowsOnFatPipe) {
   LinkProfile link;
-  link.rate_bps = 10e9;
+  link.rate = core::BitsPerSec{10e9};
   link.mean_rtt_sec = 0.25;
   link.num_long_flows = 100;
   const auto rec = recommend_buffer(link);
@@ -46,7 +46,7 @@ TEST(Recommendation, SqrtRuleDominatesWithFewFlowsOnFatPipe) {
 
 TEST(Recommendation, MemoryFeasibilityIncluded) {
   LinkProfile link;
-  link.rate_bps = 10e9;
+  link.rate = core::BitsPerSec{10e9};
   link.num_long_flows = 50'000;
   const auto rec = recommend_buffer(link);
   ASSERT_EQ(rec.memory.size(), 3u);
@@ -73,7 +73,7 @@ TEST(Recommendation, CustomMixChangesFloor) {
 
 TEST(Recommendation, ReportContainsKeyNumbers) {
   LinkProfile link;
-  link.rate_bps = 2.5e9;
+  link.rate = core::BitsPerSec{2.5e9};
   link.num_long_flows = 10'000;
   const auto rec = recommend_buffer(link);
   const auto report = to_report(link, rec);

@@ -25,8 +25,8 @@ TEST(Scenarios, Oc192BackboneMatchesAbstract) {
 
 TEST(Scenarios, Linecard40gNeedsHundredsOfSramChipsUnderRuleOfThumb) {
   const auto link = linecard_40g();
-  const double rot_bits = core::bandwidth_delay_product_bits(link.mean_rtt_sec, link.rate_bps);
-  const auto sram = core::evaluate_memory(core::commodity_sram_2004(), rot_bits, link.rate_bps);
+  const double rot_bits = core::bandwidth_delay_product_bits(link.mean_rtt_sec, link.rate.bps());
+  const auto sram = core::evaluate_memory(core::commodity_sram_2004(), rot_bits, link.rate.bps());
   EXPECT_GT(sram.chips_required, 250);  // the paper's "over 300" argument
 }
 
@@ -56,7 +56,7 @@ TEST(Scenarios, Oc3LabScenarioRuns) {
 }
 
 TEST(Scenarios, Fig8ScenarioHitsItsLoad) {
-  auto cfg = fig8_short_flows(40e6, 1000);
+  auto cfg = fig8_short_flows(core::BitsPerSec{40e6}, 1000);
   cfg.measure = sim::SimTime::seconds(15);
   const auto r = run_short_flow_experiment(cfg);
   EXPECT_NEAR(r.utilization, 0.8, 0.08);

@@ -15,7 +15,7 @@ using sim::SimTime;
 net::DumbbellConfig small_topo(int leaves) {
   net::DumbbellConfig cfg;
   cfg.num_leaves = leaves;
-  cfg.bottleneck_rate_bps = 10e6;
+  cfg.bottleneck_rate = core::BitsPerSec{10e6};
   cfg.buffer_packets = 100;
   cfg.access_delay_min = 2_ms;
   cfg.access_delay_max = 20_ms;

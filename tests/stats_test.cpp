@@ -2,6 +2,7 @@
 // TimeSeries, PeriodicSampler, UtilizationMeter, FctTracker.
 #include <gtest/gtest.h>
 
+#include "core/units.hpp"
 #include "net/drop_tail_queue.hpp"
 #include "net/link.hpp"
 #include "sim/simulation.hpp"
@@ -134,7 +135,7 @@ TEST(UtilizationMeter, MeasuresDeliveredFraction) {
    public:
     void receive(const net::Packet&) override {}
   } null_sink;
-  net::Link link{sim, "l", net::Link::Config{1e6, SimTime::zero()},
+  net::Link link{sim, "l", net::Link::Config{core::BitsPerSec{1e6}, SimTime::zero()},
                  std::make_unique<net::DropTailQueue>(100), null_sink};
   UtilizationMeter meter{sim, link};
   meter.begin();
@@ -153,7 +154,7 @@ TEST(UtilizationMeter, BeginResetsWindow) {
    public:
     void receive(const net::Packet&) override {}
   } null_sink;
-  net::Link link{sim, "l", net::Link::Config{1e6, SimTime::zero()},
+  net::Link link{sim, "l", net::Link::Config{core::BitsPerSec{1e6}, SimTime::zero()},
                  std::make_unique<net::DropTailQueue>(100), null_sink};
   UtilizationMeter meter{sim, link};
   meter.begin();

@@ -21,8 +21,8 @@ TEST_P(RandomScenario, LongFlowInvariantsHold) {
   experiment::LongFlowExperimentConfig cfg;
   cfg.num_flows = static_cast<int>(rng.uniform_int(1, 40));
   cfg.buffer_packets = rng.uniform_int(2, 400);
-  cfg.bottleneck_rate_bps = rng.uniform(2e6, 50e6);
-  cfg.access_rate_bps = cfg.bottleneck_rate_bps * rng.uniform(1.5, 50.0);
+  cfg.bottleneck_rate = core::BitsPerSec{rng.uniform(2e6, 50e6)};
+  cfg.access_rate = cfg.bottleneck_rate * rng.uniform(1.5, 50.0);
   cfg.access_delay_min = SimTime::milliseconds(rng.uniform_int(1, 10));
   cfg.access_delay_max = cfg.access_delay_min + SimTime::milliseconds(rng.uniform_int(0, 50));
   cfg.warmup = SimTime::seconds(3);
@@ -58,7 +58,7 @@ TEST_P(RandomScenario, MixedFlowInvariantsHold) {
   sim::Rng rng{static_cast<std::uint64_t>(GetParam()) * 0xC2B2AE35u + 13};
 
   experiment::MixedFlowExperimentConfig cfg;
-  cfg.bottleneck_rate_bps = rng.uniform(5e6, 40e6);
+  cfg.bottleneck_rate = core::BitsPerSec{rng.uniform(5e6, 40e6)};
   cfg.num_long_flows = static_cast<int>(rng.uniform_int(1, 15));
   cfg.short_flow_load = rng.uniform(0.05, 0.4);
   cfg.short_sizing = rng.bernoulli(0.5) ? experiment::ShortFlowSizing::kPareto
@@ -77,7 +77,7 @@ TEST_P(RandomScenario, MixedFlowInvariantsHold) {
   EXPECT_LE(r.utilization, 1.0 + 1e-9);
   EXPECT_GE(r.drop_probability, 0.0);
   EXPECT_LE(r.drop_probability, 1.0);
-  EXPECT_LE(r.long_flow_throughput_bps, cfg.bottleneck_rate_bps * 1.001);
+  EXPECT_LE(r.long_flow_throughput_bps, cfg.bottleneck_rate.bps() * 1.001);
   if (r.short_flows_completed > 0) {
     EXPECT_GT(r.afct_seconds, 0.0);
     EXPECT_LT(r.afct_seconds, 10.0);

@@ -18,7 +18,7 @@ using sim::SimTime;
 net::DumbbellConfig topo_cfg(std::int64_t buffer) {
   net::DumbbellConfig cfg;
   cfg.num_leaves = 1;
-  cfg.bottleneck_rate_bps = 10e6;
+  cfg.bottleneck_rate = core::BitsPerSec{10e6};
   cfg.buffer_packets = buffer;
   cfg.access_delays = {SimTime::milliseconds(35)};  // RTT = 92 ms
   return cfg;

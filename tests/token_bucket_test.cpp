@@ -1,4 +1,5 @@
 // Unit tests for the token-bucket traffic shaper.
+#include "core/units.hpp"
 #include "net/token_bucket.hpp"
 
 #include <gtest/gtest.h>
@@ -37,7 +38,7 @@ Packet make_packet(std::int64_t seq, std::int32_t bytes = 1000) {
 TEST(TokenBucket, BurstWithinBucketPassesImmediately) {
   sim::Simulation sim{1};
   RecordingSink sink{sim};
-  TokenBucketShaper shaper{sim, "tb", {1e6, 3000, 100}, sink};
+  TokenBucketShaper shaper{sim, "tb", {core::BitsPerSec{1e6}, core::Bytes{3000}, 100}, sink};
   for (int i = 0; i < 3; ++i) shaper.receive(make_packet(i, 1000));
   // 3000 bytes of credit -> all three forwarded at t = 0.
   ASSERT_EQ(sink.times.size(), 3u);
@@ -47,7 +48,7 @@ TEST(TokenBucket, BurstWithinBucketPassesImmediately) {
 TEST(TokenBucket, ExcessTrafficIsPacedAtConfiguredRate) {
   sim::Simulation sim{1};
   RecordingSink sink{sim};
-  TokenBucketShaper shaper{sim, "tb", {1e6 /* 125 kB/s */, 1000, 100}, sink};
+  TokenBucketShaper shaper{sim, "tb", {core::BitsPerSec{1e6} /* 125 kB/s */, core::Bytes{1000}, 100}, sink};
   for (int i = 0; i < 5; ++i) shaper.receive(make_packet(i, 1000));
   sim.run();
   ASSERT_EQ(sink.times.size(), 5u);
@@ -61,7 +62,7 @@ TEST(TokenBucket, ExcessTrafficIsPacedAtConfiguredRate) {
 TEST(TokenBucket, PreservesOrder) {
   sim::Simulation sim{1};
   RecordingSink sink{sim};
-  TokenBucketShaper shaper{sim, "tb", {1e6, 1000, 100}, sink};
+  TokenBucketShaper shaper{sim, "tb", {core::BitsPerSec{1e6}, core::Bytes{1000}, 100}, sink};
   for (int i = 0; i < 10; ++i) shaper.receive(make_packet(i));
   sim.run();
   for (std::size_t i = 0; i < 10; ++i) {
@@ -72,7 +73,7 @@ TEST(TokenBucket, PreservesOrder) {
 TEST(TokenBucket, DropsBeyondQueueLimit) {
   sim::Simulation sim{1};
   RecordingSink sink{sim};
-  TokenBucketShaper shaper{sim, "tb", {1e6, 1000, 4}, sink};
+  TokenBucketShaper shaper{sim, "tb", {core::BitsPerSec{1e6}, core::Bytes{1000}, 4}, sink};
   for (int i = 0; i < 10; ++i) shaper.receive(make_packet(i));
   // 1 forwarded on credit, 4 queued, 5 dropped.
   EXPECT_EQ(shaper.packets_dropped(), 5u);
@@ -83,7 +84,7 @@ TEST(TokenBucket, DropsBeyondQueueLimit) {
 TEST(TokenBucket, CreditAccumulatesDuringIdle) {
   sim::Simulation sim{1};
   RecordingSink sink{sim};
-  TokenBucketShaper shaper{sim, "tb", {1e6, 3000, 100}, sink};
+  TokenBucketShaper shaper{sim, "tb", {core::BitsPerSec{1e6}, core::Bytes{3000}, 100}, sink};
   shaper.receive(make_packet(0, 3000));  // drains the bucket
   sim.run();
   // After 24 ms the bucket refills fully (3000 B at 125 kB/s).
@@ -95,7 +96,7 @@ TEST(TokenBucket, CreditAccumulatesDuringIdle) {
 TEST(TokenBucket, LongRunThroughputMatchesRate) {
   sim::Simulation sim{1};
   RecordingSink sink{sim};
-  TokenBucketShaper shaper{sim, "tb", {2e6, 2000, 10'000}, sink};
+  TokenBucketShaper shaper{sim, "tb", {core::BitsPerSec{2e6}, core::Bytes{2000}, 10'000}, sink};
   // Offer 4 Mb/s for 10 s; expect ~2 Mb/s out.
   for (int i = 0; i < 5000; ++i) {
     sim.at(SimTime::microseconds(i * 2000), [&shaper, i] { shaper.receive(make_packet(i)); });

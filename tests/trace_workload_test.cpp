@@ -56,7 +56,7 @@ TEST(TraceParser, LoadsFromFile) {
 net::DumbbellConfig small_topo() {
   net::DumbbellConfig cfg;
   cfg.num_leaves = 4;
-  cfg.bottleneck_rate_bps = 10e6;
+  cfg.bottleneck_rate = core::BitsPerSec{10e6};
   cfg.buffer_packets = 200;
   cfg.access_delay_min = sim::SimTime::milliseconds(2);
   cfg.access_delay_max = sim::SimTime::milliseconds(10);

@@ -1,0 +1,108 @@
+// Unit tests for the strong unit types in core/units.hpp: dimensional
+// arithmetic, explicit-conversion boundaries, and — most importantly — the
+// bitwise guarantee that Bytes / BitsPerSec computes the exact same SimTime
+// as the raw sim::transmission_time arithmetic it replaced.
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "core/units.hpp"
+#include "sim/time.hpp"
+
+namespace rbs::core {
+namespace {
+
+using namespace rbs::core::unit_literals;
+using sim::SimTime;
+
+TEST(Bytes, ArithmeticPreservesDimension) {
+  constexpr Bytes a{1500};
+  constexpr Bytes b{40};
+  static_assert((a + b).count() == 1540);
+  static_assert((a - b).count() == 1460);
+  static_assert((a * 3).count() == 4500);
+  static_assert((3 * a).count() == 4500);
+  static_assert(a.bits() == 12000);
+  EXPECT_DOUBLE_EQ(Bytes{750} / Bytes{1500}, 0.5);
+  Bytes acc = Bytes::zero();
+  acc += a;
+  acc -= b;
+  EXPECT_EQ(acc.count(), 1460);
+}
+
+TEST(Packets, ArithmeticAndTrainSize) {
+  constexpr Packets n{100};
+  static_assert((n + Packets{10}).count() == 110);
+  static_assert((n * 2).count() == 200);
+  // count × per-packet wire size: both operand orders.
+  static_assert((n * Bytes{1500}).count() == 150'000);
+  static_assert((Bytes{1500} * n).count() == 150'000);
+  EXPECT_DOUBLE_EQ(Packets{64} / Packets{256}, 0.25);
+}
+
+TEST(BitsPerSec, FactoriesAndScaling) {
+  static_assert(BitsPerSec::kilobits(1.0).bps() == 1e3);
+  static_assert(BitsPerSec::megabits(155.0).bps() == 155e6);
+  static_assert(BitsPerSec::gigabits(2.5).bps() == 2.5e9);
+  static_assert(BitsPerSec::megabits(100.0).bytes_per_sec() == 100e6 / 8.0);
+  // Rate scaling by dimensionless load factors — the UDP-load idiom.
+  constexpr BitsPerSec rate = BitsPerSec::gigabits(10.0);
+  static_assert((rate * 0.5).bps() == 5e9);
+  static_assert((0.5 * rate).bps() == 5e9);
+  EXPECT_DOUBLE_EQ(rate / BitsPerSec::gigabits(2.5), 4.0);
+  EXPECT_DOUBLE_EQ(rate.gigabits_per_sec(), 10.0);
+  EXPECT_DOUBLE_EQ(rate.megabits_per_sec(), 10'000.0);
+}
+
+TEST(BitsPerSec, LiteralsMatchFactories) {
+  static_assert(155.52_mbps == BitsPerSec::megabits(155.52));
+  static_assert(10_gbps == BitsPerSec::gigabits(10.0));
+  static_assert(1500_bytes == Bytes{1500});
+  static_assert(64_pkts == Packets{64});
+}
+
+TEST(Units, ConstructionIsExplicit) {
+  // The whole point: a raw scalar cannot silently become a quantity, and
+  // quantities of different dimensions never interconvert.
+  static_assert(!std::is_convertible_v<std::int64_t, Bytes>);
+  static_assert(!std::is_convertible_v<std::int64_t, Packets>);
+  static_assert(!std::is_convertible_v<double, BitsPerSec>);
+  static_assert(!std::is_convertible_v<Bytes, Packets>);
+  static_assert(!std::is_convertible_v<Packets, Bytes>);
+}
+
+// The bitwise contract adopted by every refactored hot path: the strong-typed
+// serialization-time expression must produce the identical SimTime — not
+// merely a close one — as the raw-scalar call, for representative and for
+// awkward (non-divisible) operand combinations.
+TEST(Units, TransmissionTimeBitwiseIdentical) {
+  const struct {
+    std::int64_t bytes;
+    double bps;
+  } cases[] = {
+      {1500, 2.5e9},    // paper's backbone link, full-size packet
+      {40, 155.52e6},   // ACK on OC-3
+      {1000, 20e6},     // throttled production router
+      {1, 1.0},         // degenerate: 8 seconds per byte
+      {1500, 10e9 / 3.0},  // non-representable rate
+      {999'999'937, 7.3e9},  // large prime byte count
+  };
+  for (const auto& c : cases) {
+    const SimTime raw = sim::transmission_time(c.bytes * 8, c.bps);
+    const SimTime typed = Bytes{c.bytes} / BitsPerSec{c.bps};
+    EXPECT_EQ(typed.ps(), raw.ps()) << c.bytes << " B @ " << c.bps << " b/s";
+    EXPECT_EQ(transmission_time(Bytes{c.bytes}, BitsPerSec{c.bps}).ps(), raw.ps());
+  }
+}
+
+TEST(Units, ZeroAndComparisons) {
+  static_assert(Bytes::zero().is_zero());
+  static_assert(Packets::zero().is_zero());
+  static_assert(BitsPerSec::zero().is_zero());
+  static_assert(Bytes{1} > Bytes::zero());
+  static_assert(Packets{2} >= Packets{2});
+  static_assert(BitsPerSec{1e6} < BitsPerSec{1e9});
+}
+
+}  // namespace
+}  // namespace rbs::core

@@ -34,7 +34,7 @@ TEST_P(VariantGrid, ReliableDeliveryThroughLossyBottleneck) {
   sim::Simulation sim{11};
   net::DumbbellConfig topo_cfg;
   topo_cfg.num_leaves = 1;
-  topo_cfg.bottleneck_rate_bps = 10e6;
+  topo_cfg.bottleneck_rate = core::BitsPerSec{10e6};
   topo_cfg.buffer_packets = 15;  // well below BDP: guarantees loss
   topo_cfg.access_delays = {SimTime::milliseconds(20)};
   net::Dumbbell topo{sim, topo_cfg};
@@ -60,7 +60,7 @@ TEST_P(VariantGrid, CongestedLinkStaysBusy) {
   experiment::LongFlowExperimentConfig cfg;
   cfg.num_flows = 8;
   cfg.buffer_packets = 60;
-  cfg.bottleneck_rate_bps = 10e6;
+  cfg.bottleneck_rate = core::BitsPerSec{10e6};
   cfg.warmup = SimTime::seconds(8);
   cfg.measure = SimTime::seconds(12);
   cfg.tcp.flavor = flavor;
@@ -78,7 +78,7 @@ TEST_P(VariantGrid, DeterministicAcrossRepeats) {
   experiment::LongFlowExperimentConfig cfg;
   cfg.num_flows = 4;
   cfg.buffer_packets = 30;
-  cfg.bottleneck_rate_bps = 10e6;
+  cfg.bottleneck_rate = core::BitsPerSec{10e6};
   cfg.warmup = SimTime::seconds(3);
   cfg.measure = SimTime::seconds(5);
   cfg.tcp.flavor = flavor;
@@ -108,7 +108,7 @@ TEST_P(DisciplineGrid, SqrtRuleBufferKeepsLinkBusy) {
   const int mode = GetParam();  // 0 droptail, 1 red, 2 red+ecn
   experiment::LongFlowExperimentConfig cfg;
   cfg.num_flows = 16;
-  cfg.bottleneck_rate_bps = 10e6;
+  cfg.bottleneck_rate = core::BitsPerSec{10e6};
   cfg.warmup = SimTime::seconds(8);
   cfg.measure = SimTime::seconds(15);
   // BDP ~ 100 pkts at the default delay spread; sqrt rule for 16 flows ~ 25.

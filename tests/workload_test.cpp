@@ -2,6 +2,7 @@
 // and UDP sources over a dumbbell.
 #include <gtest/gtest.h>
 
+#include "core/units.hpp"
 #include "net/dumbbell.hpp"
 #include "sim/simulation.hpp"
 #include "traffic/long_flow_workload.hpp"
@@ -17,7 +18,7 @@ using sim::SimTime;
 net::DumbbellConfig small_topo(int leaves) {
   net::DumbbellConfig cfg;
   cfg.num_leaves = leaves;
-  cfg.bottleneck_rate_bps = 10e6;
+  cfg.bottleneck_rate = core::BitsPerSec{10e6};
   cfg.buffer_packets = 100;
   cfg.access_delay_min = 2_ms;
   cfg.access_delay_max = 20_ms;
@@ -27,7 +28,7 @@ net::DumbbellConfig small_topo(int leaves) {
 TEST(ArrivalRateForLoad, MatchesHandComputation) {
   // load 0.8 on 80 Mb/s with 62-packet (1000 B) flows:
   // 0.8 * 80e6 / (62 * 8000) = 129.03 flows/s.
-  EXPECT_NEAR(arrival_rate_for_load(0.8, 80e6, 62, 1000), 129.03, 0.01);
+  EXPECT_NEAR(arrival_rate_for_load(0.8, core::BitsPerSec{80e6}, 62, core::Bytes{1000}), 129.03, 0.01);
 }
 
 TEST(LongFlowWorkload, StartsOneFlowPerLeaf) {
@@ -146,8 +147,8 @@ TEST(UdpSource, CbrSendsAtConfiguredRate) {
   sim::Simulation sim{1};
   net::Dumbbell topo{sim, small_topo(1)};
   UdpSourceConfig cfg;
-  cfg.rate_bps = 1e6;
-  cfg.packet_bytes = 1000;  // 125 packets/s
+  cfg.rate = core::BitsPerSec{1e6};
+  cfg.packet_size = core::Bytes{1000};  // 125 packets/s
   UdpSink sink{topo.receiver(0), 77};
   UdpSource src{sim, topo.sender(0), topo.receiver(0).id(), 77, cfg};
   src.start(SimTime::zero());
@@ -162,8 +163,8 @@ TEST(UdpSource, PoissonGapsPreserveMeanRate) {
   sim::Simulation sim{9};
   net::Dumbbell topo{sim, small_topo(1)};
   UdpSourceConfig cfg;
-  cfg.rate_bps = 2e6;
-  cfg.packet_bytes = 500;  // 500 packets/s
+  cfg.rate = core::BitsPerSec{2e6};
+  cfg.packet_size = core::Bytes{500};  // 500 packets/s
   cfg.poisson_gaps = true;
   UdpSink sink{topo.receiver(0), 77};
   UdpSource src{sim, topo.sender(0), topo.receiver(0).id(), 77, cfg};
@@ -177,7 +178,7 @@ TEST(UdpSource, StopHaltsTransmission) {
   sim::Simulation sim{1};
   net::Dumbbell topo{sim, small_topo(1)};
   UdpSourceConfig cfg;
-  cfg.rate_bps = 1e6;
+  cfg.rate = core::BitsPerSec{1e6};
   UdpSink sink{topo.receiver(0), 77};
   UdpSource src{sim, topo.sender(0), topo.receiver(0).id(), 77, cfg};
   src.start(SimTime::zero());
