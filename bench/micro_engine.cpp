@@ -66,6 +66,48 @@ void BM_SchedulerSteadyState(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerSteadyState)->Arg(64)->Arg(4'096);
 
+void backend_steady_state(benchmark::State& state, sim::SchedulerBackend backend) {
+  // Same standing-population schedule->fire pattern as BM_SchedulerSteadyState
+  // but with an explicit ready-queue backend and a TCP-like horizon mix: most
+  // events reschedule a few tens of microseconds out (packet clocks), every
+  // tenth jumps 200 ms (retransmission timers), so the wheel backend pays its
+  // cascade machinery instead of a single hot bucket.
+  const auto n = state.range(0);
+  sim::Simulation sim{kBenchSeed, backend};
+  sim::Scheduler& sched = sim.scheduler();
+  std::uint64_t fired = 0;
+  struct Reschedule {
+    sim::Scheduler* sched;
+    std::uint64_t* fired;
+    void operator()() const {
+      ++*fired;
+      const auto dt = *fired % 10 == 0 ? sim::SimTime::milliseconds(200)
+                                       : sim::SimTime::microseconds(10 + *fired % 77);
+      sched->schedule_after(dt, *this);
+    }
+  };
+  for (std::int64_t i = 0; i < n; ++i) {
+    sched.schedule_after(sim::SimTime::microseconds(i % 97), Reschedule{&sched, &fired});
+  }
+  for (auto _ : state) {
+    const auto target = sched.executed_events() + 10'000;
+    while (sched.executed_events() < target) {
+      sim.run_until(sim.now() + sim::SimTime::milliseconds(1));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10'000);
+}
+
+void BM_SchedulerBackendHeap(benchmark::State& state) {
+  backend_steady_state(state, sim::SchedulerBackend::kHeap);
+}
+BENCHMARK(BM_SchedulerBackendHeap)->Arg(300)->Arg(4'096);
+
+void BM_SchedulerBackendWheel(benchmark::State& state) {
+  backend_steady_state(state, sim::SchedulerBackend::kWheel);
+}
+BENCHMARK(BM_SchedulerBackendWheel)->Arg(300)->Arg(4'096);
+
 void BM_SchedulerScheduleCancel(benchmark::State& state) {
   // The TCP retransmission-timer pattern: schedule a timer far out, cancel
   // and replace it on every ACK. Exercises cancel + reaping.
@@ -95,7 +137,7 @@ void BM_ParallelSweepDispatch(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 64);
 }
-BENCHMARK(BM_ParallelSweepDispatch)->Arg(1)->Arg(2);
+BENCHMARK(BM_ParallelSweepDispatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_DropTailEnqueueDequeue(benchmark::State& state) {
   net::DropTailQueue q{1024};

@@ -18,6 +18,10 @@
 //               a comma list (e.g. buffer=50,100,bdp) sweeps the points in
 //               parallel (modes long/short/mixed) and prints one row each
 //   threads     sweep worker threads (0 = RBS_THREADS env, else all cores) [0]
+//   backend     wheel | heap  scheduler ready-queue backend [wheel]; both
+//               fire events in bitwise-identical order (the heap is the
+//               reference structure, the timing wheel the fast default), so
+//               this only changes engine speed, never results
 //   duration    measurement seconds           [20]
 //   warmup      warm-up seconds               [10]
 //   short_load  short-flow offered load       [0.2, mixed/short modes]
@@ -138,7 +142,10 @@ int run_rbsim(int argc, char** argv) {
       std::printf("usage: rbsim [--paranoia] [--profile] [--metrics PATH] [--trace PATH]\n"
                   "             [--sample-interval SEC] [--faults FILE]\n"
                   "             [key=value ...] [config-file]\n"
-                  "see the header of examples/rbsim.cpp for the key list\n");
+                  "keys include mode=long|short|mixed|trace, buffer=N|auto|bdp[,..],\n"
+                  "backend=wheel|heap (scheduler ready-queue; identical results,\n"
+                  "different speed), threads=N, seed=N\n"
+                  "see the header of examples/rbsim.cpp for the full key list\n");
       return 0;
     }
     if (arg == "--paranoia") {
@@ -213,6 +220,18 @@ int run_rbsim(int argc, char** argv) {
   }
   const std::int64_t buffer = buffers.front();
   const int threads = static_cast<int>(get_num(kv, "threads", 0));
+
+  // Scheduler ready-queue backend. Both fire bitwise-identically; the wheel
+  // is the fast default and the heap the reference structure.
+  const std::string backend_str = get_str(kv, "backend", "wheel");
+  sim::SchedulerBackend backend = sim::SchedulerBackend::kWheel;
+  if (backend_str == "heap") {
+    backend = sim::SchedulerBackend::kHeap;
+  } else if (backend_str != "wheel") {
+    std::fprintf(stderr, "rbsim: unknown backend '%s' (want wheel or heap)\n",
+                 backend_str.c_str());
+    return 2;
+  }
   const bool paranoia = get_num(kv, "paranoia", 0) > 0;
   if (paranoia) std::printf("rbsim: paranoia mode on — invariant auditor attached\n");
 
@@ -287,7 +306,20 @@ int run_rbsim(int argc, char** argv) {
     // (and thus its registry/series), so --metrics out.json yields
     // out.json.point<N>.json plus a plottable out.point<N>.{csv,gp} pair.
     const auto emit_sweep_telemetry = [&](auto&& telemetry_of) {
-      if (profile) std::printf("\n%s", sweep_prof.summary().c_str());
+      if (profile) {
+        std::printf("\n%s", sweep_prof.summary().c_str());
+        // Dispatch health: every worker should claim a similar share; one
+        // worker owning almost all points means the batch was too small to
+        // share or the helpers never woke in time.
+        const auto dispatch = runner.dispatch_stats();
+        std::printf("dispatch     :");
+        for (std::size_t w = 0; w < dispatch.size(); ++w) {
+          std::printf(" w%zu=%llu pts (%llu chunks)", w,
+                      static_cast<unsigned long long>(dispatch[w].points),
+                      static_cast<unsigned long long>(dispatch[w].chunks));
+        }
+        std::printf("\n");
+      }
       if (metrics_path.empty()) return;
       const std::filesystem::path mp{metrics_path};
       const std::string dir = mp.has_parent_path() ? mp.parent_path().string() : std::string{"."};
@@ -320,6 +352,7 @@ int run_rbsim(int argc, char** argv) {
       cfg.record_delays = true;
       cfg.seed = seed;
       cfg.checked = paranoia;
+      cfg.scheduler_backend = backend;
       if (get_num(kv, "red", 0) > 0) cfg.discipline = net::QueueDiscipline::kRed;
       if (get_num(kv, "ecn", 0) > 0) {
         cfg.discipline = net::QueueDiscipline::kRed;
@@ -363,6 +396,7 @@ int run_rbsim(int argc, char** argv) {
       cfg.measure = sim::SimTime::from_seconds(duration);
       cfg.seed = seed;
       cfg.checked = paranoia;
+      cfg.scheduler_backend = backend;
       cfg.telemetry = tele_cfg;
       cfg.telemetry.trace = nullptr;
       cfg.faults = faults;
@@ -400,6 +434,7 @@ int run_rbsim(int argc, char** argv) {
       cfg.measure = sim::SimTime::from_seconds(duration);
       cfg.seed = seed;
       cfg.checked = paranoia;
+      cfg.scheduler_backend = backend;
       cfg.telemetry = tele_cfg;
       cfg.telemetry.trace = nullptr;
       cfg.faults = faults;
@@ -440,6 +475,7 @@ int run_rbsim(int argc, char** argv) {
     cfg.record_delays = true;
     cfg.seed = seed;
     cfg.checked = paranoia;
+    cfg.scheduler_backend = backend;
     if (get_num(kv, "red", 0) > 0) cfg.discipline = net::QueueDiscipline::kRed;
     if (get_num(kv, "ecn", 0) > 0) {
       cfg.discipline = net::QueueDiscipline::kRed;
@@ -484,6 +520,7 @@ int run_rbsim(int argc, char** argv) {
     cfg.measure = sim::SimTime::from_seconds(duration);
     cfg.seed = seed;
     cfg.checked = paranoia;
+    cfg.scheduler_backend = backend;
     cfg.telemetry = tele_cfg;
     cfg.faults = faults;
     const auto r = run_short_flow_experiment(cfg);
@@ -517,6 +554,7 @@ int run_rbsim(int argc, char** argv) {
     cfg.measure = sim::SimTime::from_seconds(duration);
     cfg.seed = seed;
     cfg.checked = paranoia;
+    cfg.scheduler_backend = backend;
     cfg.telemetry = tele_cfg;
     cfg.faults = faults;
     const auto r = run_mixed_flow_experiment(cfg);
@@ -552,7 +590,7 @@ int run_rbsim(int argc, char** argv) {
       return 2;
     }
 
-    sim::Simulation sim{seed};
+    sim::Simulation sim{seed, backend};
     experiment::ExperimentTelemetry tele{sim, tele_cfg};
     net::DumbbellConfig topo_cfg;
     topo_cfg.num_leaves = std::max(flows, 1);

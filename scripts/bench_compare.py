@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Compare two engine-benchmark snapshots and fail on regressions.
+
+Usage:
+    scripts/bench_compare.py OLD.json NEW.json [--threshold 0.10]
+                             [--filter REGEX] [--quiet]
+
+Accepts either snapshot format the repo produces:
+
+  * raw google-benchmark JSON (``--benchmark_out``), e.g. the
+    ``build/BENCH_smoke.json`` written by the ``bench_smoke`` target;
+  * the curated ``BENCH_engine.json``-style document (a ``benchmarks`` list
+    with ``after_real_time``/``time_unit`` fields) — the ``after`` column is
+    taken as that snapshot's measurement.
+
+Benchmarks are matched by name. A benchmark whose real time grew by more
+than ``--threshold`` (default 10%) is a regression; any regression makes the
+exit status 1. Benchmarks present in only one snapshot are reported but are
+not failures (suites grow over time).
+
+Timing noise caveat: single-run snapshots on a throttling machine can move
+more than 10% on their own. Compare like with like — same machine, same
+build type, ideally repetition medians — before treating a failure as real.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+_TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def _load(path):
+    """Returns {benchmark name: real time in ns} for either snapshot format."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("name")
+        unit = _TIME_UNIT_NS.get(bench.get("time_unit", "ns"))
+        if name is None or unit is None:
+            continue
+        # google-benchmark emits aggregate rows (mean/median/stddev) when run
+        # with repetitions; prefer the median aggregate and skip the rest.
+        run_type = bench.get("run_type")
+        if run_type == "aggregate" and bench.get("aggregate_name") != "median":
+            continue
+        if run_type == "aggregate":
+            name = bench.get("run_name", name)
+        time = bench.get("after_real_time", bench.get("real_time"))
+        if time is None:
+            continue
+        # Aggregate medians overwrite the per-iteration rows seen earlier.
+        if run_type == "aggregate" or name not in out:
+            out[name] = float(time) * unit
+    return out
+
+
+def _fmt_ns(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.3f} {unit}"
+    return f"{ns:.1f} ns"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline snapshot JSON")
+    parser.add_argument("new", help="candidate snapshot JSON")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed fractional slowdown before failing "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--filter", default="",
+                        help="only compare benchmarks whose name matches "
+                             "this regex")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print regressions only")
+    args = parser.parse_args(argv)
+
+    old, new = _load(args.old), _load(args.new)
+    if not old or not new:
+        print(f"bench_compare: no benchmarks parsed from "
+              f"{args.old if not old else args.new}", file=sys.stderr)
+        return 2
+
+    pattern = re.compile(args.filter) if args.filter else None
+    names = sorted(set(old) | set(new))
+    regressions = []
+    for name in names:
+        if pattern and not pattern.search(name):
+            continue
+        if name not in old or name not in new:
+            if not args.quiet:
+                which = "candidate" if name not in old else "baseline"
+                print(f"  {name}: only in {which} snapshot (skipped)")
+            continue
+        ratio = new[name] / old[name] if old[name] else float("inf")
+        regressed = ratio > 1.0 + args.threshold
+        if regressed:
+            regressions.append(name)
+        if regressed or not args.quiet:
+            marker = "REGRESSION" if regressed else (
+                "improved" if ratio < 1.0 - args.threshold else "ok")
+            print(f"  {name}: {_fmt_ns(old[name])} -> {_fmt_ns(new[name])} "
+                  f"({ratio - 1.0:+.1%} vs baseline) {marker}")
+
+    if regressions:
+        print(f"bench_compare: {len(regressions)} benchmark(s) slower than "
+              f"baseline by more than {args.threshold:.0%}:", file=sys.stderr)
+        for name in regressions:
+            print(f"  {name}", file=sys.stderr)
+        return 1
+    print(f"bench_compare: OK — no benchmark regressed by more than "
+          f"{args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

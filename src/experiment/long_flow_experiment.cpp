@@ -15,7 +15,7 @@ namespace rbs::experiment {
 
 LongFlowExperimentResult run_long_flow_experiment(const LongFlowExperimentConfig& config) {
   assert(config.num_flows >= 1);
-  sim::Simulation sim{config.seed};
+  sim::Simulation sim{config.seed, config.scheduler_backend};
   ExperimentTelemetry tele{sim, config.telemetry};
 
   net::DumbbellConfig topo_cfg;

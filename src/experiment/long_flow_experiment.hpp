@@ -11,6 +11,7 @@
 #include "experiment/telemetry_hookup.hpp"
 #include "fault/fault_schedule.hpp"
 #include "net/dumbbell.hpp"
+#include "sim/event_queue.hpp"
 #include "stats/time_series.hpp"
 #include "tcp/tcp_sink.hpp"
 #include "tcp/tcp_source.hpp"
@@ -37,6 +38,11 @@ struct LongFlowExperimentConfig {
   sim::SimTime warmup{sim::SimTime::seconds(20)};
   sim::SimTime measure{sim::SimTime::seconds(40)};
   std::uint64_t seed{1};
+
+  /// Scheduler ready-queue backend. Both backends fire events in bitwise-
+  /// identical order (asserted by tests/golden_test.cpp under each); the
+  /// timing wheel is the fast default, the 4-ary heap the reference.
+  sim::SchedulerBackend scheduler_backend{sim::SchedulerBackend::kWheel};
 
   /// When > 0, samples the aggregate (and per-flow) congestion windows at
   /// this interval during the measurement phase.

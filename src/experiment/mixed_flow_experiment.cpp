@@ -22,7 +22,7 @@ constexpr net::FlowId kUdpFlow = 900'000;
 
 MixedFlowExperimentResult run_mixed_flow_experiment(const MixedFlowExperimentConfig& config) {
   assert(config.num_long_flows >= 0 && config.num_short_leaves >= 1);
-  sim::Simulation sim{config.seed};
+  sim::Simulation sim{config.seed, config.scheduler_backend};
   ExperimentTelemetry tele{sim, config.telemetry};
 
   net::DumbbellConfig topo_cfg;

@@ -11,6 +11,7 @@
 #include "experiment/telemetry_hookup.hpp"
 #include "fault/fault_schedule.hpp"
 #include "net/dumbbell.hpp"
+#include "sim/event_queue.hpp"
 #include "tcp/tcp_source.hpp"
 #include "traffic/flow_size.hpp"
 
@@ -45,6 +46,11 @@ struct MixedFlowExperimentConfig {
   sim::SimTime warmup{sim::SimTime::seconds(10)};
   sim::SimTime measure{sim::SimTime::seconds(40)};
   std::uint64_t seed{1};
+
+  /// Scheduler ready-queue backend. Both backends fire events in bitwise-
+  /// identical order (asserted by tests/golden_test.cpp under each); the
+  /// timing wheel is the fast default, the 4-ary heap the reference.
+  sim::SchedulerBackend scheduler_backend{sim::SchedulerBackend::kWheel};
 
   /// Paranoia mode: run under an InvariantAuditor (scheduler, bottleneck
   /// queue, both workloads) and throw std::runtime_error on any violation.

@@ -14,7 +14,7 @@
 namespace rbs::experiment {
 
 ShortFlowExperimentResult run_short_flow_experiment(const ShortFlowExperimentConfig& config) {
-  sim::Simulation sim{config.seed};
+  sim::Simulation sim{config.seed, config.scheduler_backend};
   ExperimentTelemetry tele{sim, config.telemetry};
 
   net::DumbbellConfig topo_cfg;

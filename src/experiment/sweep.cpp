@@ -1,5 +1,6 @@
 #include "experiment/sweep.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
@@ -11,6 +12,17 @@
 #include <thread>
 
 namespace rbs::experiment {
+namespace {
+
+// How long a helper spins on the batch generation before falling back to a
+// condition-variable sleep. Each probe yields, so on an oversubscribed
+// machine the spin phase donates its timeslice instead of starving the
+// workers that hold actual work. The limit is generous enough that a stream
+// of back-to-back batches (the benchmark and sweep-of-sweeps pattern) keeps
+// every helper in the spin phase and out of the futex entirely.
+constexpr int kSpinProbes = 2048;
+
+}  // namespace
 
 int default_sweep_threads() {
   if (const char* env = std::getenv("RBS_THREADS")) {
@@ -21,54 +33,113 @@ int default_sweep_threads() {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
-// Worker protocol: run_indexed publishes a batch (point function + size)
-// under the mutex and wakes the workers; workers claim indices with an
-// atomic fetch_add until the batch is exhausted, and the last one out
-// signals completion. Exceptions from points are captured once and rethrown
-// on the calling thread after the batch drains.
+// Dispatch protocol: run_indexed publishes a batch (point function, size,
+// chunk width) under the mutex, bumps the atomic batch generation, and then
+// works the batch itself as worker 0 — helpers joining is an optimization,
+// never a requirement for completion. Helpers notice the new generation
+// while spinning (or are woken if they reached the cv), register under the
+// mutex, and claim chunked index ranges off one shared cursor. The cursor
+// and generation sit on dedicated cache lines: claiming a chunk is the only
+// write to shared hot state a worker makes per `chunk` points, so dispatch
+// cost stays flat as workers are added. Completion = cursor exhausted and
+// every registered helper checked out; exceptions from points are captured
+// once and rethrown on the calling thread after the batch drains.
 struct SweepRunner::Impl {
+  struct alignas(64) PaddedCounters {
+    WorkerDispatchStats stats;  // written only by the owning worker
+  };
+
+  // Hot shared state, one cache line each: the claim cursor is written by
+  // every worker; the generation is read in the helpers' spin loop and must
+  // not share a line with it, or each claim would invalidate the spinners.
+  alignas(64) std::atomic<std::size_t> next_index{0};
+  alignas(64) std::atomic<std::uint64_t> batch_generation{0};
+  alignas(64) std::atomic<bool> shutting_down{false};
+
+  // Cold batch-publication state, guarded by `mutex`. Helpers read it only
+  // once per batch, immediately after observing a generation change.
   std::mutex mutex;
   std::condition_variable work_ready;
   std::condition_variable batch_done;
   const std::function<void(std::size_t, int)>* point{nullptr};
   std::size_t batch_size{0};
-  std::uint64_t batch_id{0};
-  std::atomic<std::size_t> next_index{0};
-  std::size_t in_flight{0};
+  std::size_t chunk{1};
+  std::size_t in_flight{0};  // helpers registered in the current batch
+  int sleeping_helpers{0};
   std::exception_ptr first_error;
-  bool shutting_down{false};
-  std::vector<std::thread> workers;
 
-  void worker_loop(int worker) {
-    std::uint64_t seen_batch = 0;
+  std::vector<PaddedCounters> counters;
+  std::vector<std::thread> helpers;
+
+  // Claims chunked ranges until the cursor passes the batch end. Shared by
+  // the caller (worker 0) and the helpers.
+  void work(const std::function<void(std::size_t, int)>& fn, std::size_t n, std::size_t width,
+            int worker) {
+    auto& mine = counters[static_cast<std::size_t>(worker)].stats;
     for (;;) {
-      const std::function<void(std::size_t, int)>* fn = nullptr;
-      std::size_t n = 0;
-      {
-        std::unique_lock lock{mutex};
-        work_ready.wait(lock, [&] { return shutting_down || batch_id != seen_batch; });
-        if (shutting_down) return;
-        seen_batch = batch_id;
-        fn = point;
-        n = batch_size;
-        ++in_flight;
-      }
-      for (;;) {
-        const std::size_t i = next_index.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) break;
+      const std::size_t start = next_index.fetch_add(width, std::memory_order_relaxed);
+      if (start >= n) break;
+      const std::size_t end = start + width < n ? start + width : n;
+      ++mine.chunks;
+      for (std::size_t i = start; i < end; ++i) {
         try {
-          (*fn)(i, worker);
+          fn(i, worker);
+          ++mine.points;
         } catch (...) {
-          std::lock_guard lock{mutex};
-          if (!first_error) first_error = std::current_exception();
+          {
+            std::lock_guard lock{mutex};
+            if (!first_error) first_error = std::current_exception();
+          }
           // Skip the remaining points; the batch still completes cleanly.
           next_index.store(n, std::memory_order_relaxed);
+          return;
         }
       }
+    }
+  }
+
+  void helper_loop(int worker) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      // Spin-then-sleep: probe the generation with plain yields first, so
+      // batches arriving close together never pay a futex round-trip.
+      int probes = 0;
+      while (batch_generation.load(std::memory_order_acquire) == seen &&
+             !shutting_down.load(std::memory_order_relaxed)) {
+        if (++probes < kSpinProbes) {
+          std::this_thread::yield();
+        } else {
+          std::unique_lock lock{mutex};
+          ++sleeping_helpers;
+          work_ready.wait(lock, [&] {
+            return shutting_down.load(std::memory_order_relaxed) ||
+                   batch_generation.load(std::memory_order_acquire) != seen;
+          });
+          --sleeping_helpers;
+          break;
+        }
+      }
+      if (shutting_down.load(std::memory_order_relaxed)) return;
+
+      // Register in the batch under the mutex: the batch parameters and the
+      // cursor are mutated only between batches, which the in_flight count
+      // makes mutually exclusive with any helper being in here.
+      const std::function<void(std::size_t, int)>* fn = nullptr;
+      std::size_t n = 0;
+      std::size_t width = 1;
       {
         std::lock_guard lock{mutex};
-        --in_flight;
-        if (in_flight == 0) batch_done.notify_all();
+        seen = batch_generation.load(std::memory_order_relaxed);
+        fn = point;
+        n = batch_size;
+        width = chunk;
+        if (fn == nullptr) continue;  // batch already fully drained and closed
+        ++in_flight;
+      }
+      work(*fn, n, width, worker);
+      {
+        std::lock_guard lock{mutex};
+        if (--in_flight == 0) batch_done.notify_one();
       }
     }
   }
@@ -78,23 +149,41 @@ SweepRunner::SweepRunner(int threads, bool checked)
     : impl_{new Impl},
       num_threads_{threads > 0 ? threads : default_sweep_threads()},
       checked_{checked} {
-  impl_->workers.reserve(static_cast<std::size_t>(num_threads_));
-  for (int i = 0; i < num_threads_; ++i) {
-    impl_->workers.emplace_back([impl = impl_, i] { impl->worker_loop(i); });
+  impl_->counters.resize(static_cast<std::size_t>(num_threads_));
+  impl_->helpers.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int i = 1; i < num_threads_; ++i) {
+    impl_->helpers.emplace_back([impl = impl_, i] { impl->helper_loop(i); });
   }
 }
 
 SweepRunner::~SweepRunner() {
   {
     std::lock_guard lock{impl_->mutex};
-    impl_->shutting_down = true;
+    impl_->shutting_down.store(true, std::memory_order_relaxed);
   }
   impl_->work_ready.notify_all();
-  for (std::thread& w : impl_->workers) w.join();
+  for (std::thread& helper : impl_->helpers) helper.join();
   delete impl_;
 }
 
+std::vector<WorkerDispatchStats> SweepRunner::dispatch_stats() const {
+  std::vector<WorkerDispatchStats> out;
+  out.reserve(impl_->counters.size());
+  for (const auto& padded : impl_->counters) out.push_back(padded.stats);
+  return out;
+}
+
 void SweepRunner::run_indexed(std::size_t n, const std::function<void(std::size_t)>& point) {
+  run_batch(n, [&point](std::size_t i, int) { point(i); });
+}
+
+void SweepRunner::run_indexed(std::size_t n,
+                              const std::function<void(std::size_t, int)>& point) {
+  run_batch(n, [&point](std::size_t i, int worker) { point(i, worker); });
+}
+
+template <typename PointFn>
+void SweepRunner::run_batch(std::size_t n, PointFn&& raw) {
   if (n == 0) return;
 
   // Checked mode: count executions per index. Each counter is touched by
@@ -108,29 +197,57 @@ void SweepRunner::run_indexed(std::size_t n, const std::function<void(std::size_
   // One wrapper regardless of mode: checked counting, observer hooks, and
   // the worker index all compose here, outside the work-distribution
   // protocol.
-  const std::function<void(std::size_t, int)> dispatch = [&](std::size_t i, int worker) {
+  const auto instrumented = [&](std::size_t i, int worker) {
     if (checked_) executions[i].fetch_add(1, std::memory_order_relaxed);
     if (observer_.on_point_start) observer_.on_point_start(i, worker);
-    point(i);
+    raw(i, worker);
     if (observer_.on_point_done) observer_.on_point_done(i, worker);
   };
 
   if (num_threads_ <= 1 || n == 1) {
-    // Degenerate case: an in-order serial loop on the calling thread.
-    for (std::size_t i = 0; i < n; ++i) dispatch(i, 0);
+    // Degenerate case: an in-order serial loop on the calling thread,
+    // calling the point with no type-erasure hop at all.
+    auto& mine = impl_->counters[0].stats;
+    ++mine.chunks;
+    for (std::size_t i = 0; i < n; ++i) {
+      instrumented(i, 0);
+      ++mine.points;
+    }
   } else {
-    std::unique_lock lock{impl_->mutex};
-    impl_->point = &dispatch;
-    impl_->batch_size = n;
-    impl_->next_index.store(0, std::memory_order_relaxed);
-    impl_->first_error = nullptr;
-    ++impl_->batch_id;
-    impl_->work_ready.notify_all();
-    impl_->batch_done.wait(lock, [&] {
-      return impl_->in_flight == 0 && impl_->next_index.load(std::memory_order_relaxed) >= n;
-    });
-    impl_->point = nullptr;
-    if (impl_->first_error) std::rethrow_exception(impl_->first_error);
+    const std::function<void(std::size_t, int)> dispatch = instrumented;
+    // Roughly 8 chunks per worker balances load (a straggling point only
+    // delays its own chunk) against handout cost (one shared atomic
+    // operation per chunk, not per point).
+    const std::size_t workers = static_cast<std::size_t>(num_threads_);
+    const std::size_t width = std::max<std::size_t>(1, n / (workers * 8));
+    {
+      std::lock_guard lock{impl_->mutex};
+      impl_->point = &dispatch;
+      impl_->batch_size = n;
+      impl_->chunk = width;
+      impl_->first_error = nullptr;
+      impl_->next_index.store(0, std::memory_order_relaxed);
+      impl_->batch_generation.fetch_add(1, std::memory_order_release);
+      if (impl_->sleeping_helpers > 0) impl_->work_ready.notify_all();
+    }
+    // The caller is worker 0: the batch completes even if no helper wakes
+    // in time, and small batches finish at serial-loop speed.
+    impl_->work(dispatch, n, width, 0);
+    {
+      std::unique_lock lock{impl_->mutex};
+      impl_->batch_done.wait(lock, [&] {
+        return impl_->in_flight == 0 &&
+               impl_->next_index.load(std::memory_order_relaxed) >= n;
+      });
+      // Close the batch: helpers arriving from now on see a null point and
+      // skip registration, so the cursor/parameters can be safely reused.
+      impl_->point = nullptr;
+      if (impl_->first_error) {
+        auto error = std::exchange(impl_->first_error, nullptr);
+        lock.unlock();
+        std::rethrow_exception(error);
+      }
+    }
   }
 
   if (checked_) {

@@ -9,11 +9,20 @@
 // a different core count. The runner only changes *when* points execute,
 // never *what* they compute:
 //
-//   1. point i writes only results[i] (index-addressed, pre-sized storage);
-//   2. points are handed out by atomic counter, results returned in index
-//      order, so output ordering never depends on thread interleaving;
+//   1. point i writes only results[i] (index-addressed storage — map()
+//      collects into per-worker arenas and merges by index afterwards);
+//   2. points are handed out as chunked index ranges claimed off one atomic
+//      cursor, results returned in index order, so output ordering never
+//      depends on thread interleaving;
 //   3. nothing in src/ has mutable global state (asserted by the
 //      parallel-vs-serial equivalence test in tests/sweep_test.cpp).
+//
+// Dispatch is built not to serialize: the calling thread participates as
+// worker 0 (a batch needs no handoff to complete), helpers claim whole index
+// ranges instead of single points, the claim cursor and batch generation
+// live on their own cache lines, and between back-to-back batches helpers
+// spin briefly on the generation counter before touching a mutex, so a
+// steady stream of small batches never pays a futex round-trip per batch.
 //
 // Thread count: explicit argument > RBS_THREADS env var > hardware
 // concurrency. A single-threaded runner degenerates to an in-order serial
@@ -21,7 +30,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 namespace rbs::experiment {
@@ -35,15 +46,27 @@ namespace rbs::experiment {
 /// profiling (see telemetry::SweepProfile). Hooks fire on worker threads —
 /// possibly several at once — so implementations must synchronize
 /// internally. `worker` is the executing worker's index in [0, threads());
-/// the serial fallback reports worker 0. on_point_done does not fire for a
+/// worker 0 is the calling thread, helpers are 1..threads()-1, and the
+/// serial fallback reports worker 0. on_point_done does not fire for a
 /// point that threw (its exception aborts the batch and is rethrown).
 struct SweepObserver {
   std::function<void(std::size_t index, int worker)> on_point_start;
   std::function<void(std::size_t index, int worker)> on_point_done;
 };
 
+/// Cumulative dispatch counters for one worker: how many index ranges it
+/// claimed and how many points it ran. A healthy parallel batch shows every
+/// worker claiming a similar number of chunks; one worker owning nearly all
+/// points means the others never woke in time (or the batch was too small
+/// to share).
+struct WorkerDispatchStats {
+  std::uint64_t chunks{0};
+  std::uint64_t points{0};
+};
+
 /// A reusable pool of worker threads for running independent experiment
-/// points. Construction spawns the workers; destruction joins them.
+/// points. Construction spawns threads()-1 helpers (the caller is worker 0);
+/// destruction joins them.
 class SweepRunner {
  public:
   /// threads <= 0 selects default_sweep_threads(). `checked` enables the
@@ -63,22 +86,56 @@ class SweepRunner {
   /// called while a batch is running.
   void set_observer(SweepObserver observer) { observer_ = std::move(observer); }
 
-  /// Runs point(i) for every i in [0, n), distributing points across the
-  /// pool, and blocks until all complete. `point` must confine its writes
-  /// to per-index storage. The first exception thrown by a point is
-  /// rethrown here after all workers drain.
+  /// Runs point(i) for every i in [0, n), distributing chunked index ranges
+  /// across the pool (the calling thread works too), and blocks until all
+  /// complete. `point` must confine its writes to per-index storage. The
+  /// first exception thrown by a point is rethrown here after all workers
+  /// drain.
   void run_indexed(std::size_t n, const std::function<void(std::size_t)>& point);
 
+  /// Worker-aware variant: the executing worker's index in [0, threads())
+  /// is passed alongside the point index, so callers can keep per-worker
+  /// state (arenas, counters) without sharing. Same distribution and
+  /// exception contract as above.
+  void run_indexed(std::size_t n, const std::function<void(std::size_t, int)>& point);
+
   /// Maps i -> point(i) into a vector in index order. R must be default-
-  /// constructible and movable.
+  /// constructible and movable. Each worker collects its results in a
+  /// private arena (no shared output line is written from two threads) and
+  /// the arenas are merged by index after the batch — the output is
+  /// identical to a serial loop regardless of interleaving.
   template <typename R, typename F>
   std::vector<R> map(std::size_t n, F&& point) {
     std::vector<R> out(n);
-    run_indexed(n, [&](std::size_t i) { out[i] = point(i); });
+    if (num_threads_ <= 1 || n == 1) {
+      run_indexed(n, [&](std::size_t i) { out[i] = point(i); });
+      return out;
+    }
+    struct alignas(64) Arena {
+      std::vector<std::pair<std::size_t, R>> items;
+    };
+    std::vector<Arena> arenas(static_cast<std::size_t>(num_threads_));
+    run_indexed(n, std::function<void(std::size_t, int)>{[&](std::size_t i, int worker) {
+                  arenas[static_cast<std::size_t>(worker)].items.emplace_back(i, point(i));
+                }});
+    for (Arena& arena : arenas) {
+      for (auto& [index, result] : arena.items) out[index] = std::move(result);
+    }
     return out;
   }
 
+  /// Per-worker dispatch counters, cumulative since construction. Index 0
+  /// is the calling thread. Must not be called while a batch is running.
+  [[nodiscard]] std::vector<WorkerDispatchStats> dispatch_stats() const;
+
  private:
+  /// Shared batch engine behind both run_indexed overloads: `raw(i, worker)`
+  /// is the caller's point with no std::function wrapper of its own, so the
+  /// serial path invokes it directly and the parallel path pays exactly one
+  /// type-erasure hop. Defined in sweep.cpp; instantiated only there.
+  template <typename PointFn>
+  void run_batch(std::size_t n, PointFn&& raw);
+
   struct Impl;
   Impl* impl_;
   int num_threads_;

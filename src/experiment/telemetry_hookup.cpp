@@ -90,6 +90,18 @@ TelemetryResult ExperimentTelemetry::finish() {
   if (profiler_) {
     profiler_->export_into(registry);
     out.profile_summary = profiler_->summary();
+    // Ready-queue shape under profiling only: these gauges differ between
+    // scheduler backends, and the bitwise cross-backend golden pins the
+    // unprofiled snapshot, so they must not leak into default runs.
+    const sim::Scheduler::WheelStats ws = sim_.scheduler().wheel_stats();
+    registry.gauge("engine.wheel.entries").set(static_cast<double>(ws.wheel_entries));
+    registry.gauge("engine.wheel.occupied_buckets")
+        .set(static_cast<double>(ws.occupied_buckets));
+    registry.gauge("engine.wheel.overflow_entries")
+        .set(static_cast<double>(ws.overflow_entries));
+    registry.gauge("engine.wheel.due_entries").set(static_cast<double>(ws.due_entries));
+    registry.counter("engine.wheel.cascades").reset();
+    registry.counter("engine.wheel.cascades").add(ws.cascades);
   }
   if (sampler_) out.series = sampler_->take();
   out.snapshot = registry.snapshot();

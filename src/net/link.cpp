@@ -89,17 +89,20 @@ void Link::receive(const Packet& p) {
 
 void Link::start_transmission(const Packet& p) {
   busy_ = true;
+  in_service_ = p;
   const sim::SimTime tx =
       core::Bytes{p.size_bytes} / (config_.rate * fault_rate_factor_);
   tx_event_ = sim_.after(
       tx,
-      [this, p, tx] {
+      [this, tx] {
         stats_.busy_time += tx;
-        finish_transmission(p);
+        finish_transmission(in_service_);
       },
       sim::EventClass::kLinkTx);
 }
 
+// `p` may alias in_service_; the tail call into start_transmission (which
+// overwrites it) is the last use of `p`.
 void Link::finish_transmission(const Packet& p) {
   ++stats_.packets_delivered;
   stats_.bits_delivered += static_cast<std::uint64_t>(p.size_bytes) * 8;

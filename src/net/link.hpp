@@ -142,6 +142,10 @@ class Link final : public PacketSink {
   std::unique_ptr<Queue> queue_;
   PacketSink& downstream_;
   bool busy_{false};
+  /// The packet currently being serialized (valid while busy_). Kept here
+  /// rather than captured in the completion event so that event's capture
+  /// stays within the EventPool's inline-slot budget.
+  Packet in_service_{};
   LinkStats stats_;
   const char* trace_qlen_name_{nullptr};
   /// Cached registry counter (registry storage is stable); created on the

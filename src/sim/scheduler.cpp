@@ -1,6 +1,6 @@
 #include "sim/scheduler.hpp"
 
-#include <algorithm>
+#include <string>
 #include <utility>
 
 #include "check/auditor.hpp"
@@ -10,10 +10,11 @@
 namespace rbs::sim {
 namespace {
 
-// Reaping policy: sweep the heap once cancelled entries are both numerous
-// enough to matter and make up at least half the queue. The sweep is O(queue)
-// and amortizes to O(1) per cancel, keeping queue memory proportional to the
-// number of *live* events even under heavy TCP timer churn.
+// Reaping policy: sweep the queues once cancelled entries are both numerous
+// enough to matter and make up at least half the queue. The sweep is
+// O(queue) and amortizes to O(1) per cancel, keeping queue memory
+// proportional to the number of *live* events even under heavy TCP timer
+// churn.
 constexpr std::size_t kReapMinCancelled = 64;
 
 }  // namespace
@@ -21,7 +22,9 @@ constexpr std::size_t kReapMinCancelled = 64;
 Scheduler::~Scheduler() {
   // Destroy the callbacks of events that never fired so captured state
   // (flow objects, stats sinks, ...) is released.
-  for (const HeapEntry& entry : heap_) pool_.release(entry.slot);
+  for (const ReadyEntry& entry : due_.entries()) pool_.release(entry.slot);
+  for (const ReadyEntry& entry : overflow_.entries()) pool_.release(entry.slot);
+  wheel_.for_each([this](int, int, const ReadyEntry& entry) { pool_.release(entry.slot); });
 }
 
 void Scheduler::EventHandle::cancel() noexcept {
@@ -34,6 +37,14 @@ bool Scheduler::EventHandle::pending() const noexcept {
   return slot.generation() == generation_ && slot.armed();
 }
 
+void Scheduler::enqueue_far(const ReadyEntry& entry) {
+  if (wheel_.accepts(entry.time)) {
+    wheel_.insert(entry);
+  } else {
+    overflow_.push(entry);
+  }
+}
+
 void Scheduler::cancel_slot(std::uint32_t idx, std::uint32_t generation) noexcept {
   EventPool::Slot& slot = pool_[idx];
   if (slot.generation() != generation || !slot.armed()) return;  // stale or already done
@@ -41,112 +52,106 @@ void Scheduler::cancel_slot(std::uint32_t idx, std::uint32_t generation) noexcep
   slot.destroy_callback();  // release captured state eagerly
   --live_events_;
   ++cancelled_in_queue_;
-  if (cancelled_in_queue_ >= kReapMinCancelled && cancelled_in_queue_ * 2 >= heap_.size()) {
+  if (cancelled_in_queue_ >= kReapMinCancelled && cancelled_in_queue_ * 2 >= queue_entries()) {
     reap();
   }
 }
 
 void Scheduler::reap() {
-  std::size_t kept = 0;
-  for (const HeapEntry& entry : heap_) {
-    if (pool_[entry.slot].armed()) {
-      heap_[kept++] = entry;
-    } else {
-      pool_.release(entry.slot);
-    }
-  }
-  heap_.resize(kept);
-  // Rebuild the heap invariant bottom-up. Ordering semantics are unchanged:
-  // pops still come out in strictly increasing (time, seq) order.
-  if (heap_.size() > 1) {
-    for (std::size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) sift_down(i);
-  }
+  const auto dead = [this](const ReadyEntry& entry) {
+    if (pool_[entry.slot].armed()) return false;
+    pool_.release(entry.slot);
+    return true;
+  };
+  due_.remove_if(dead);
+  wheel_.remove_if(dead);
+  overflow_.remove_if(dead);
   cancelled_in_queue_ = 0;
 }
 
-void Scheduler::heap_push(HeapEntry entry) {
-  std::size_t i = heap_.size();
-  heap_.push_back(entry);
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / 4;
-    if (!entry_less(entry, heap_[parent])) break;
-    heap_[i] = heap_[parent];
-    i = parent;
-  }
-  heap_[i] = entry;
-}
-
-Scheduler::HeapEntry Scheduler::heap_pop_min() {
-  const HeapEntry top = heap_.front();
-  const HeapEntry last = heap_.back();
-  heap_.pop_back();
-  if (!heap_.empty()) {
-    heap_[0] = last;
-    sift_down(0);
-  }
-  return top;
-}
-
-void Scheduler::sift_down(std::size_t i) {
-  const std::size_t n = heap_.size();
-  const HeapEntry entry = heap_[i];
-  for (;;) {
-    const std::size_t first = 4 * i + 1;
-    if (first >= n) break;
-    const std::size_t end = std::min(first + 4, n);
-    std::size_t best = first;
-    for (std::size_t c = first + 1; c < end; ++c) {
-      if (entry_less(heap_[c], heap_[best])) best = c;
-    }
-    if (!entry_less(heap_[best], entry)) break;
-    heap_[i] = heap_[best];
-    i = best;
-  }
-  heap_[i] = entry;
-}
-
-void Scheduler::drop_dead_top() {
-  while (!heap_.empty() && !pool_[heap_.front().slot].armed()) {
-    const HeapEntry entry = heap_pop_min();
+void Scheduler::drop_dead_due_tops() {
+  while (!due_.empty() && !pool_[due_.min().slot].armed()) {
+    const ReadyEntry entry = due_.pop_min();
     --cancelled_in_queue_;
     pool_.release(entry.slot);
   }
 }
 
-bool Scheduler::execute_next() {
-  while (!heap_.empty()) {
-    const HeapEntry entry = heap_pop_min();
-    EventPool::Slot& slot = pool_[entry.slot];
-    if (!slot.armed()) {  // cancelled; reap now that it surfaced
+// Moves the due window forward: drains the earliest wheel bucket (rebasing
+// an idle wheel at the overflow minimum first) into the due heap, then pulls
+// in any overflow entries that the new window now covers. Overflow entries
+// can predate wheel ones — an event scheduled beyond the horizon ends up
+// earlier than events inserted after the base advanced — so the window must
+// merge both sources before anything fires.
+void Scheduler::refill_due() {
+  if (wheel_.empty()) {
+    wheel_.rebase(overflow_.min().time);
+    while (!overflow_.empty() && wheel_.accepts(overflow_.min().time)) {
+      wheel_.insert(overflow_.pop_min());
+    }
+  }
+  scratch_.clear();
+  const std::int64_t start = wheel_.drain_earliest_bucket(scratch_);
+  due_limit_ = SimTime::picoseconds(start + TimingWheel::kBucketWidthPs);
+  for (const ReadyEntry& entry : scratch_) {
+    if (pool_[entry.slot].armed()) {
+      due_.push(entry);
+    } else {
       --cancelled_in_queue_;
       pool_.release(entry.slot);
-      continue;
     }
-    RBS_INVARIANT(entry.time >= now_, "event would move the simulation clock backwards");
-    now_ = entry.time;
-    slot.disarm();  // fired: pending() is false, cancel() a no-op
-    --live_events_;
-    ++executed_;
-    // Invoke straight from the slot: slabs never move, and the slot is not
-    // recycled until after the callback returns, so the callback may freely
-    // schedule or cancel other events (growing the pool if needed).
-    if (profiler_ != nullptr) {
-      profiler_->begin_event();
-      slot.invoke();
-      profiler_->end_event(entry.cls);
-    } else {
-      slot.invoke();
-    }
-    pool_.release(entry.slot);
-    if (audit_every_ != 0 && ++events_since_audit_ >= audit_every_) {
-      // Fires between events: the finished slot is recycled, so the audit
-      // sees a consistent heap/pool pairing.
-      events_since_audit_ = 0;
-      audit_hook_();
-    }
-    return true;
   }
-  return false;
+  while (!overflow_.empty() && overflow_.min().time < due_limit_) {
+    const ReadyEntry entry = overflow_.pop_min();
+    if (pool_[entry.slot].armed()) {
+      due_.push(entry);
+    } else {
+      --cancelled_in_queue_;
+      pool_.release(entry.slot);
+    }
+  }
+}
+
+bool Scheduler::prepare_next() {
+  for (;;) {
+    drop_dead_due_tops();
+    if (!due_.empty()) return true;
+    if (wheel_.empty() && overflow_.empty()) return false;
+    refill_due();  // may surface only tombstones; loop until a live event
+  }
+}
+
+bool Scheduler::execute_next() {
+  if (!prepare_next()) return false;
+  execute_prepared();
+  return true;
+}
+
+void Scheduler::execute_prepared() {
+  const ReadyEntry entry = due_.pop_min();
+  EventPool::Slot& slot = pool_[entry.slot];
+  RBS_INVARIANT(entry.time >= now_, "event would move the simulation clock backwards");
+  now_ = entry.time;
+  slot.disarm();  // fired: pending() is false, cancel() a no-op
+  --live_events_;
+  ++executed_;
+  // Invoke straight from the slot: slabs never move, and the slot is not
+  // recycled until after the callback returns, so the callback may freely
+  // schedule or cancel other events (growing the pool if needed).
+  if (profiler_ != nullptr) {
+    profiler_->begin_event();
+    slot.invoke();
+    profiler_->end_event(entry.cls);
+  } else {
+    slot.invoke();
+  }
+  pool_.release(entry.slot);
+  if (audit_every_ != 0 && ++events_since_audit_ >= audit_every_) {
+    // Fires between events: the finished slot is recycled, so the audit
+    // sees a consistent queue/pool pairing.
+    events_since_audit_ = 0;
+    audit_hook_();
+  }
 }
 
 void Scheduler::run() {
@@ -162,41 +167,82 @@ void Scheduler::set_audit_hook(std::uint64_t every_n_events, std::function<void(
 }
 
 void Scheduler::audit(check::AuditReport& report) const {
-  // 4-ary heap order: every entry sorts at or after its parent.
-  for (std::size_t i = 1; i < heap_.size(); ++i) {
-    const std::size_t parent = (i - 1) / 4;
-    if (entry_less(heap_[i], heap_[parent])) {
-      report.violation("heap order broken at entry " + std::to_string(i) + " (time " +
-                       std::to_string(heap_[i].time.ps()) + " ps before its parent)");
-      break;  // one report is enough; deeper entries inherit the breakage
-    }
+  if (!due_.heap_order_ok()) {
+    report.violation("due-heap order broken (an entry sorts before its 4-ary parent)");
   }
+  if (!overflow_.heap_order_ok()) {
+    report.violation("overflow-heap order broken (an entry sorts before its 4-ary parent)");
+  }
+
   std::size_t armed = 0;
-  for (const HeapEntry& entry : heap_) {
+  const auto check_entry = [&](const ReadyEntry& entry, const char* where) {
     if (entry.time < now_) {
-      report.violation("queued event at " + std::to_string(entry.time.ps()) +
+      report.violation(std::string{where} + " event at " + std::to_string(entry.time.ps()) +
                        " ps is in the past (now " + std::to_string(now_.ps()) + " ps)");
     }
     if (entry.seq >= next_seq_) {
-      report.violation("queued event carries unissued sequence number " +
+      report.violation(std::string{where} + " event carries unissued sequence number " +
                        std::to_string(entry.seq));
     }
     if (pool_[entry.slot].armed()) ++armed;
+  };
+
+  for (const ReadyEntry& entry : due_.entries()) {
+    check_entry(entry, "due");
+    // The due window is the sorted frontier: everything at or past the
+    // window limit must still be in the wheel or overflow.
+    if (entry.time >= due_limit_) {
+      report.violation("due entry at " + std::to_string(entry.time.ps()) +
+                       " ps is outside the due window (limit " +
+                       std::to_string(due_limit_.ps()) + " ps)");
+    }
   }
+  for (const ReadyEntry& entry : overflow_.entries()) {
+    check_entry(entry, "overflow");
+    if (entry.time < due_limit_) {
+      report.violation("overflow entry at " + std::to_string(entry.time.ps()) +
+                       " ps is inside the due window (limit " +
+                       std::to_string(due_limit_.ps()) + " ps) and would fire late");
+    }
+  }
+  bool wheel_placement_ok = true;
+  bool wheel_window_ok = true;
+  wheel_.for_each([&](int level, int bucket, const ReadyEntry& entry) {
+    check_entry(entry, "wheel");
+    const int shift = TimingWheel::level_shift(level);
+    const std::int64_t abs_bucket = entry.time.ps() >> shift;
+    if ((abs_bucket & (TimingWheel::kBuckets - 1)) != bucket) wheel_placement_ok = false;
+    // One-lap window: the entry's bucket must be within 256 buckets of the
+    // base at its level, else a drain would fire it a whole lap early/late.
+    const std::int64_t lap_offset = abs_bucket - (wheel_.base().ps() >> shift);
+    if (lap_offset < 0 || lap_offset >= TimingWheel::kBuckets) wheel_window_ok = false;
+    if (entry.time < due_limit_) {
+      report.violation("wheel entry at " + std::to_string(entry.time.ps()) +
+                       " ps is inside the due window (limit " +
+                       std::to_string(due_limit_.ps()) + " ps) and would fire late");
+    }
+  });
+  if (!wheel_placement_ok) {
+    report.violation("wheel entry filed in a bucket that does not match its timestamp");
+  }
+  if (!wheel_window_ok) {
+    report.violation("wheel entry outside its level's one-lap window from the base");
+  }
+
   if (armed != live_events_) {
     report.violation("live-event count " + std::to_string(live_events_) + " but " +
-                     std::to_string(armed) + " armed entries in the queue");
+                     std::to_string(armed) + " armed entries across the queues");
   }
-  if (live_events_ + cancelled_in_queue_ != heap_.size()) {
+  if (live_events_ + cancelled_in_queue_ != queue_entries()) {
     report.violation("live (" + std::to_string(live_events_) + ") + cancelled (" +
                      std::to_string(cancelled_in_queue_) + ") != queue entries (" +
-                     std::to_string(heap_.size()) + ")");
+                     std::to_string(queue_entries()) + ")");
   }
   // Slot conservation: outside callback execution every allocated pool slot
   // is referenced by exactly one queue entry.
-  if (pool_.allocated() != heap_.size()) {
+  if (pool_.allocated() != queue_entries()) {
     report.violation("event pool has " + std::to_string(pool_.allocated()) +
-                     " allocated slots but the queue holds " + std::to_string(heap_.size()) +
+                     " allocated slots but the queues hold " + std::to_string(queue_entries()) +
                      " entries (slot leak or double-release)");
   }
 }
@@ -204,16 +250,17 @@ void Scheduler::audit(check::AuditReport& report) const {
 bool Scheduler::run_until(SimTime t) {
   stopped_ = false;
   while (!stopped_) {
-    drop_dead_top();  // find the next live event time
-    if (heap_.empty()) {
+    if (!prepare_next()) {  // find the next live event time
       now_ = t;
       return true;
     }
-    if (heap_.front().time > t) {
+    if (due_.min().time > t) {
       now_ = t;
       return false;
     }
-    execute_next();
+    // prepare_next() above already surfaced the next live event; firing it
+    // directly avoids a second pass (and pool-slot touch) per event.
+    execute_prepared();
   }
   return live_events_ == 0;
 }

@@ -6,11 +6,28 @@
 // pending event (used by TCP retransmission timers).
 //
 // The hot path is allocation-free: callbacks live in an EventPool slab (see
-// event_pool.hpp) and the ready queue is a 4-ary implicit heap of small
-// trivially-copyable entries keyed on (time, sequence). Cancellation marks
-// the pool slot and the heap reaps dead entries lazily — plus eagerly, in
-// one sweep, whenever cancelled entries come to dominate the queue — so TCP
-// timer churn cannot grow the queue without bound.
+// event_pool.hpp) and ready-queue entries are small trivially-copyable
+// records keyed on (time, sequence). Two interchangeable queue backends
+// exist behind one firing path (see SchedulerBackend in event_queue.hpp):
+//
+//   * kHeap — one 4-ary implicit heap over everything pending. O(log n) per
+//     operation; the reference backend.
+//   * kWheel — a hierarchical timing wheel (timing_wheel.hpp) holds the
+//     future; events beyond its multi-day span overflow into a far heap. As
+//     the clock advances, the earliest wheel bucket (~67 µs wide) drains
+//     into a small sorted "due" heap that the firing path pops from.
+//     Scheduling into the wheel is O(1), and the due heap re-sorting a
+//     bucket's handful of entries restores the exact global (time, seq)
+//     order — both backends fire every workload in bitwise-identical order.
+//
+// Internally the heap backend is the degenerate wheel configuration: its due
+// window extends to infinity, so every event lands directly in the due heap
+// and the wheel/overflow structures stay empty. One firing path, no
+// per-event backend branches.
+//
+// Cancellation marks the pool slot and queues reap dead entries lazily —
+// plus eagerly, in one sweep, whenever cancelled entries come to dominate
+// the queue — so TCP timer churn cannot grow the queue without bound.
 #pragma once
 
 #include <cstddef>
@@ -21,7 +38,9 @@
 
 #include "sim/event_class.hpp"
 #include "sim/event_pool.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/time.hpp"
+#include "sim/timing_wheel.hpp"
 
 namespace rbs::check {
 class AuditReport;
@@ -65,10 +84,24 @@ class Scheduler {
     std::uint32_t generation_{0};
   };
 
-  Scheduler() = default;
+  /// Live occupancy counters for the wheel backend (telemetry gauges). All
+  /// zero on the heap backend except `due_entries`.
+  struct WheelStats {
+    std::size_t wheel_entries{0};
+    std::size_t occupied_buckets{0};
+    std::size_t overflow_entries{0};
+    std::size_t due_entries{0};
+    std::uint64_t cascades{0};
+  };
+
+  explicit Scheduler(SchedulerBackend backend = SchedulerBackend::kWheel) noexcept
+      : backend_{backend},
+        due_limit_{backend == SchedulerBackend::kHeap ? SimTime::infinity() : SimTime::zero()} {}
   ~Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] SchedulerBackend backend() const noexcept { return backend_; }
 
   /// Current simulated time. Advances only while run()/run_until() executes
   /// events.
@@ -85,10 +118,15 @@ class Scheduler {
   EventHandle schedule_at(SimTime t, F&& cb, EventClass cls = EventClass::kGeneric) {
     if (t < now_) t = now_;  // clamp-to-now policy (see above)
     const std::uint32_t idx = pool_.allocate();
+    pool_.emplace(idx, std::forward<F>(cb));
     EventPool::Slot& slot = pool_[idx];
-    slot.emplace(std::forward<F>(cb));
     slot.arm();
-    heap_push(HeapEntry{t, next_seq_++, idx, cls});
+    const ReadyEntry entry{t, next_seq_++, idx, cls};
+    if (t < due_limit_) {
+      due_.push(entry);  // heap backend always lands here (infinite window)
+    } else {
+      enqueue_far(entry);  // wheel backend: O(1) bucket or overflow heap
+    }
     ++live_events_;
     return EventHandle{this, idx, slot.generation()};
   }
@@ -122,9 +160,23 @@ class Scheduler {
   /// schedule/cancel churn reuses memory instead of growing it.
   [[nodiscard]] std::size_t pool_capacity() const noexcept { return pool_.capacity(); }
 
-  /// Raw queue entries, including cancelled ones awaiting reap (for tests
-  /// of the reaping policy; experiments should use pending_events()).
-  [[nodiscard]] std::size_t queue_entries() const noexcept { return heap_.size(); }
+  /// Big-slot counterpart of pool_capacity(): slots ever created for
+  /// callbacks whose captures exceed the inline budget (the per-packet link
+  /// events). Bounded-memory tests assert churn recycles these too.
+  [[nodiscard]] std::size_t pool_big_capacity() const noexcept { return pool_.big_capacity(); }
+
+  /// Raw queue entries across all backend structures (due heap + wheel
+  /// buckets + overflow heap), including cancelled ones awaiting reap (for
+  /// tests of the reaping policy; experiments should use pending_events()).
+  [[nodiscard]] std::size_t queue_entries() const noexcept {
+    return due_.size() + wheel_.size() + overflow_.size();
+  }
+
+  /// Backend occupancy snapshot for telemetry gauges.
+  [[nodiscard]] WheelStats wheel_stats() const noexcept {
+    return WheelStats{wheel_.size(), wheel_.occupied_buckets(), overflow_.size(), due_.size(),
+                      wheel_.cascades()};
+  }
 
   /// Installs a hook that fires after every `every_n_events` executed
   /// callbacks — the cadence the InvariantAuditor runs on. The hook runs
@@ -140,38 +192,24 @@ class Scheduler {
   /// is one branch per event; profiling never touches simulated state.
   void set_profiler(telemetry::EngineProfiler* profiler) noexcept { profiler_ = profiler; }
 
-  /// Recounts scheduler internals and reports inconsistencies: 4-ary heap
-  /// order, no event scheduled in the past, live/cancelled bookkeeping vs.
-  /// actual queue contents, and event-pool slot conservation. Must not be
-  /// called from inside an executing callback (the in-flight event's slot
-  /// would be counted as leaked); the audit-hook cadence and any call made
-  /// while the scheduler is not running are safe.
+  /// Recounts scheduler internals and reports inconsistencies: due/overflow
+  /// heap order, wheel bucket placement and window membership, no event
+  /// scheduled in the past, live/cancelled bookkeeping vs. actual queue
+  /// contents, and event-pool slot conservation. Must not be called from
+  /// inside an executing callback (the in-flight event's slot would be
+  /// counted as leaked); the audit-hook cadence and any call made while the
+  /// scheduler is not running are safe.
   void audit(check::AuditReport& report) const;
 
  private:
-  /// Trivially-copyable heap entry; `seq` breaks time ties in FIFO order,
-  /// which is what makes runs bit-reproducible. The EventClass tag rides in
-  /// what was previously padding, so the entry stays 24 bytes.
-  struct HeapEntry {
-    SimTime time;
-    std::uint64_t seq;
-    std::uint32_t slot;
-    EventClass cls{EventClass::kGeneric};
-  };
-  static_assert(sizeof(HeapEntry) == 24, "EventClass tag must fit in HeapEntry padding");
-
-  static bool entry_less(const HeapEntry& a, const HeapEntry& b) noexcept {
-    if (a.time != b.time) return a.time < b.time;
-    return a.seq < b.seq;
-  }
-
-  bool execute_next();  // pops and runs one event; false if queue empty
-  void heap_push(HeapEntry entry);
-  HeapEntry heap_pop_min();
-  void sift_down(std::size_t i);
-  void drop_dead_top();  // frees cancelled entries sitting at the heap top
+  bool execute_next();       // fires one event; false if nothing pending
+  void execute_prepared();   // fires due_.min(); prepare_next() must be true
+  bool prepare_next();       // surfaces the earliest live event at due_.min()
+  void refill_due();     // drains the next wheel bucket into the due heap
+  void enqueue_far(const ReadyEntry& entry);  // wheel or overflow insert
+  void drop_dead_due_tops();
   void cancel_slot(std::uint32_t idx, std::uint32_t generation) noexcept;
-  void reap();  // one sweep removing every cancelled entry from the heap
+  void reap();  // one sweep removing every cancelled entry from all queues
 
   SimTime now_{SimTime::zero()};
   std::uint64_t next_seq_{0};
@@ -179,7 +217,14 @@ class Scheduler {
   std::size_t live_events_{0};
   std::size_t cancelled_in_queue_{0};
   bool stopped_{false};
-  std::vector<HeapEntry> heap_;
+  SchedulerBackend backend_{SchedulerBackend::kWheel};
+  // Sorted near window: every pending event before due_limit_ is in due_,
+  // so the global minimum is due_.min() once tombstones are skimmed off.
+  EventHeap due_;
+  SimTime due_limit_{SimTime::zero()};
+  TimingWheel wheel_;       // [due_limit_, wheel horizon): unsorted buckets
+  EventHeap overflow_;      // beyond the wheel horizon (rare, far timers)
+  std::vector<ReadyEntry> scratch_;  // reused bucket-drain buffer
   EventPool pool_;
   std::uint64_t audit_every_{0};
   std::uint64_t events_since_audit_{0};

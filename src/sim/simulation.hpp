@@ -27,7 +27,12 @@ namespace rbs::sim {
 /// Owns the event loop and root randomness for one simulated world.
 class Simulation {
  public:
-  explicit Simulation(std::uint64_t seed = 1) : rng_{seed} {}
+  /// `backend` selects the scheduler's ready-queue structure. Both backends
+  /// fire events in bitwise-identical order (see SchedulerBackend); the
+  /// wheel is the fast default, the heap the reference.
+  explicit Simulation(std::uint64_t seed = 1,
+                      SchedulerBackend backend = SchedulerBackend::kWheel)
+      : scheduler_{backend}, rng_{seed} {}
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;

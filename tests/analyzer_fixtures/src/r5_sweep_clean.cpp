@@ -1,0 +1,30 @@
+// rbs-analyze-fixture-expect:
+// Batched sweep dispatch lambdas: SweepRunner::run_indexed / map block the
+// calling frame until every point completes, so by-reference captures of
+// batch-local state (configs, result arenas, observers) are sound and must
+// NOT trip R5 — the rule is scoped to the pooled scheduler calls, whose
+// events outlive their enclosing frame.
+#include <cstddef>
+#include <vector>
+
+struct SweepRunner {
+  template <typename F>
+  void run_indexed(std::size_t n, F point);
+  template <typename R, typename F>
+  std::vector<R> map(std::size_t n, F point);
+};
+
+void sweep_buffers(SweepRunner& runner, const std::vector<long>& buffers) {
+  std::vector<double> util(buffers.size());
+  runner.run_indexed(buffers.size(), [&](std::size_t i) {  // blocks: sound
+    util[i] = static_cast<double>(buffers[i]);
+  });
+  runner.run_indexed(buffers.size(),
+                     [&util, &buffers](std::size_t i, int /*worker*/) {  // sound
+                       util[i] += static_cast<double>(buffers[i]);
+                     });
+  (void)runner.map<double>(buffers.size(),
+                           [&buffers](std::size_t i) {  // sound
+                             return static_cast<double>(buffers[i]);
+                           });
+}

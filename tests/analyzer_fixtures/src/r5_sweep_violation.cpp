@@ -1,0 +1,29 @@
+// rbs-analyze-fixture-expect: R5
+// The sweep exemption does not launder pooled events: a point lambda runs
+// inside the (blocking) batch, but anything it hands to the scheduler
+// outlives the point. A by-reference capture flowing from the sweep frame
+// into schedule_after dangles once the point returns.
+#include <cstddef>
+
+struct SimTime {};
+
+struct Sim {
+  template <typename F>
+  void schedule_after(SimTime delay, F fn);
+};
+
+struct SweepRunner {
+  template <typename F>
+  void run_indexed(std::size_t n, F point);
+};
+
+void sweep_with_probes(SweepRunner& runner, std::size_t n) {
+  runner.run_indexed(n, [&](std::size_t i) {  // by-ref into the sweep: fine
+    Sim sim;
+    int probes_fired = 0;
+    sim.schedule_after(SimTime{}, [&probes_fired] {  // R5: outlives the point
+      ++probes_fired;
+    });
+    (void)i;
+  });
+}

@@ -109,6 +109,40 @@ TEST(Golden, NoFaultLongFlowRunIsBitwiseIdenticalToPreFaultBaseline) {
   EXPECT_EQ(fnv1a(r.telemetry.series.to_csv()), 10425878644986913531ull);
 }
 
+TEST(Golden, SchedulerBackendsProduceBitwiseIdenticalRuns) {
+  // The ready-queue backend is an implementation detail: the timing wheel
+  // and the reference heap must fire every event in the same order, so the
+  // entire observable surface — headline numbers, TCP internals, metrics
+  // JSON, telemetry series — must match bit for bit between backends.
+  experiment::LongFlowExperimentConfig cfg;
+  cfg.num_flows = 20;
+  cfg.buffer_packets = 60;
+  cfg.bottleneck_rate = core::BitsPerSec{50e6};
+  cfg.warmup = SimTime::seconds(1);
+  cfg.measure = SimTime::seconds(2);
+  cfg.seed = 7;
+  cfg.record_delays = true;
+  cfg.telemetry.metrics = true;
+
+  cfg.scheduler_backend = sim::SchedulerBackend::kHeap;
+  const auto heap = run_long_flow_experiment(cfg);
+  cfg.scheduler_backend = sim::SchedulerBackend::kWheel;
+  const auto wheel = run_long_flow_experiment(cfg);
+
+  EXPECT_EQ(heap.utilization, wheel.utilization);
+  EXPECT_EQ(heap.loss_rate, wheel.loss_rate);
+  EXPECT_EQ(heap.mean_queue_packets, wheel.mean_queue_packets);
+  EXPECT_EQ(heap.bottleneck_drops, wheel.bottleneck_drops);
+  EXPECT_EQ(heap.tcp_stats.data_packets_sent, wheel.tcp_stats.data_packets_sent);
+  EXPECT_EQ(heap.tcp_stats.timeouts, wheel.tcp_stats.timeouts);
+  EXPECT_EQ(heap.delay_p99_sec, wheel.delay_p99_sec);
+  EXPECT_EQ(heap.fairness, wheel.fairness);
+  EXPECT_EQ(fnv1a(heap.telemetry.snapshot.to_json()),
+            fnv1a(wheel.telemetry.snapshot.to_json()));
+  EXPECT_EQ(fnv1a(heap.telemetry.series.to_csv()),
+            fnv1a(wheel.telemetry.series.to_csv()));
+}
+
 TEST(Golden, NoFaultShortFlowRunIsBitwiseIdenticalToPreFaultBaseline) {
   experiment::ShortFlowExperimentConfig cfg;
   cfg.bottleneck_rate = core::BitsPerSec{20e6};

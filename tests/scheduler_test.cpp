@@ -302,6 +302,31 @@ TEST(Scheduler, OversizedCaptureFallbackWorks) {
   EXPECT_EQ(seen, 42u);
 }
 
+TEST(Scheduler, OversizedCaptureChurnReusesBigSlots) {
+  // Callbacks whose captures exceed the inline slot budget borrow big slots
+  // from the pool; steady-state churn must recycle them instead of growing
+  // the big slabs (the pre-pool behavior was a heap allocation per event).
+  Scheduler sched;
+  struct Fat {
+    Scheduler* sched;
+    std::uint64_t payload[9];  // 80 bytes of capture: inline budget is 40
+    void operator()() const {
+      if (payload[0] < 100'000) {
+        Fat next = *this;
+        ++next.payload[0];
+        sched->schedule_after(SimTime::microseconds(3), next);
+      }
+    }
+  };
+  for (int i = 0; i < 64; ++i) {
+    sched.schedule_after(SimTime::microseconds(i), Fat{&sched, {0}});
+  }
+  sched.run();
+  EXPECT_GT(sched.executed_events(), 100'000u);
+  EXPECT_LE(sched.pool_big_capacity(), 512u)
+      << "big-slot slabs grew under steady churn: recycling is broken";
+}
+
 TEST(Scheduler, ManyEventsStressOrdering) {
   Scheduler sched;
   SimTime last = SimTime::zero();
