@@ -18,10 +18,12 @@
 //               a comma list (e.g. buffer=50,100,bdp) sweeps the points in
 //               parallel (modes long/short/mixed) and prints one row each
 //   threads     sweep worker threads (0 = RBS_THREADS env, else all cores) [0]
-//   backend     wheel | heap  scheduler ready-queue backend [wheel]; both
-//               fire events in bitwise-identical order (the heap is the
-//               reference structure, the timing wheel the fast default), so
-//               this only changes engine speed, never results
+//   backend     wheel | heap | auto  scheduler ready-queue backend [wheel];
+//               both structures fire events in bitwise-identical order (the
+//               heap is the reference, the timing wheel the fast default),
+//               so this only changes engine speed, never results; auto picks
+//               per run from the schedule horizon (short-horizon runs whose
+//               whole schedule fits one wheel bucket get the heap)
 //   duration    measurement seconds           [20]
 //   warmup      warm-up seconds               [10]
 //   short_load  short-flow offered load       [0.2, mixed/short modes]
@@ -143,7 +145,7 @@ int run_rbsim(int argc, char** argv) {
                   "             [--sample-interval SEC] [--faults FILE]\n"
                   "             [key=value ...] [config-file]\n"
                   "keys include mode=long|short|mixed|trace, buffer=N|auto|bdp[,..],\n"
-                  "backend=wheel|heap (scheduler ready-queue; identical results,\n"
+                  "backend=wheel|heap|auto (scheduler ready-queue; identical results,\n"
                   "different speed), threads=N, seed=N\n"
                   "see the header of examples/rbsim.cpp for the full key list\n");
       return 0;
@@ -227,8 +229,10 @@ int run_rbsim(int argc, char** argv) {
   sim::SchedulerBackend backend = sim::SchedulerBackend::kWheel;
   if (backend_str == "heap") {
     backend = sim::SchedulerBackend::kHeap;
+  } else if (backend_str == "auto") {
+    backend = sim::SchedulerBackend::kAuto;
   } else if (backend_str != "wheel") {
-    std::fprintf(stderr, "rbsim: unknown backend '%s' (want wheel or heap)\n",
+    std::fprintf(stderr, "rbsim: unknown backend '%s' (want wheel, heap, or auto)\n",
                  backend_str.c_str());
     return 2;
   }

@@ -14,11 +14,27 @@ An AST-grounded analyzer with simulator-specific rules the regex lint
       default- or literal-seeded outside tests/
   R5  event-callback lifetime: no by-reference captures in lambdas handed
       to the pooled scheduler (schedule_at/schedule_after/at/after)
+  R6  concurrency classification: no writes through by-ref captures inside
+      parallel sweep lambdas, and every mutable field of a cross-thread
+      class (one owning mutexes/threads) must be atomic, RBS_GUARDED_BY,
+      a per-worker PaddedCounters slot, or const
+  R7  pooled-event lifetime: no EventPool slot reference/pointer captured
+      into a scheduled callback that outlives the slot's recycle point
+  R8  backend purity: simulation-semantics code must not branch on the
+      SchedulerBackend kind or read wheel internals outside src/sim/,
+      telemetry profile paths, and bench/
+
+R6–R8 consume a cross-TU symbol index (symbols.py) of per-class member
+concurrency classifications, built over every analyzed file.
 
 Two interchangeable backends produce the same findings model:
 
   * ``clang``   — libclang Python bindings over compile_commands.json,
                   used automatically when ``import clang.cindex`` works.
+                  R6–R8 are delegated to the shared token engine even here:
+                  libclang does not surface the GNU thread-safety
+                  attributes the classifications hinge on, and the
+                  delegation guarantees backend-identical findings.
   * ``textual`` — a self-contained C++ lexer; no dependencies beyond the
                   standard library, so the analyzer runs in any container.
 
@@ -27,9 +43,9 @@ ratchet: per-(rule, file) counts may only go down. See
 docs/static_analysis.md for the workflow and suppression syntax.
 """
 
-__version__ = "1.0"
+__version__ = "1.1"
 
-RULES = ("R1", "R2", "R3", "R4", "R5")
+RULES = ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8")
 
 RULE_TITLES = {
     "R1": "nondeterminism source",
@@ -37,4 +53,7 @@ RULE_TITLES = {
     "R3": "raw unit-suffixed scalar on a public API boundary",
     "R4": "RNG not forked from a named stream",
     "R5": "by-reference capture in a pooled scheduler callback",
+    "R6": "shared state written in a parallel region without classification",
+    "R7": "pooled event slot captured across a recycle point",
+    "R8": "scheduler-backend branch outside profile/stats paths",
 }

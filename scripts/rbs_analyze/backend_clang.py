@@ -8,6 +8,13 @@ falls back to the textual backend with identical rule ids and workflow.
 The visitors mirror scripts/rbs_analyze/rules.py rule-for-rule; the AST
 gives them exact type information where the textual backend approximates
 with declared-name indexes.
+
+The concurrency rules (R6–R8) are the exception: they hinge on declaration
+shapes (RBS_GUARDED_BY annotation macros, capture lists, enum-constant
+adjacency) that libclang does not surface — GNU thread-safety attributes
+are invisible to the Python bindings. Both backends therefore run R6–R8
+through the shared token engine over the same cross-TU symbol index, which
+makes their findings identical by construction rather than by convention.
 """
 from __future__ import annotations
 
@@ -16,14 +23,20 @@ from typing import List, Optional
 
 from .findings import Finding, apply_suppressions, collect_suppressions
 from .rules import (
+    ALL_RULES,
     RAW_SCALAR_TYPES,
     SCHEDULER_CALLS,
     UNIT_SUFFIXES,
     WALL_CLOCK_ALLOWED_PREFIXES,
     WALL_CLOCK_IDENTS,
+    build_context,
 )
 
 NAME = "clang"
+
+# Rules evaluated by the shared token engine in every backend (see module
+# docstring).
+TOKEN_ENGINE_RULES = ("R6", "R7", "R8")
 
 
 def available() -> bool:
@@ -50,7 +63,13 @@ def analyze(repo: Path, files: List[Path], rules: List[str],
             compdb_dir: Optional[Path] = None) -> List[Finding]:
     import clang.cindex as ci
 
+    ast_rules = [r for r in rules if r not in TOKEN_ENGINE_RULES]
+    token_rules = [r for r in rules if r in TOKEN_ENGINE_RULES]
+
     findings: List[Finding] = []
+    if token_rules:
+        findings.extend(_token_engine(repo, files, token_rules))
+
     index = ci.Index.create()
     compdb = None
     if compdb_dir is not None and (compdb_dir / "compile_commands.json").exists():
@@ -70,7 +89,7 @@ def analyze(repo: Path, files: List[Path], rules: List[str],
             tu = index.parse(str(src), args=args)
         except ci.TranslationUnitLoadError:
             continue
-        findings.extend(_visit_tu(repo, tu, rules, want))
+        findings.extend(_visit_tu(repo, tu, ast_rules, want))
 
     suppressions = {}
     for f in files:
@@ -82,6 +101,29 @@ def analyze(repo: Path, files: List[Path], rules: List[str],
                 pass
     # A header is parsed once per includer: dedupe identical findings.
     return sorted(set(apply_suppressions(findings, suppressions)))
+
+
+def _token_engine(repo: Path, files: List[Path], rules: List[str]) -> List[Finding]:
+    """Runs the shared token-based rules (R6–R8) exactly as the textual
+    backend does, so both backends agree on every concurrency finding."""
+    from .lexer import tokenize
+
+    tokens = {}
+    for f in files:
+        rel = _rel(repo, str(f)) if f.is_absolute() else f.as_posix()
+        if rel is None:
+            continue
+        try:
+            text = (repo / rel).read_text(errors="replace")
+        except OSError:
+            continue
+        tokens[rel] = tokenize(text)
+    ctx = build_context(tokens)
+    out: List[Finding] = []
+    for rel, toks in tokens.items():
+        for rule in rules:
+            out.extend(ALL_RULES[rule](rel, toks, ctx))
+    return out
 
 
 def _visit_tu(repo: Path, tu, rules: List[str], want) -> List[Finding]:

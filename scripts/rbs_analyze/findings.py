@@ -12,7 +12,7 @@ class Finding:
 
     file: str  # repo-relative, forward slashes
     line: int
-    rule: str  # "R1".."R5"
+    rule: str  # "R1".."R8"
     message: str
     hint: str = ""
 
@@ -37,7 +37,7 @@ class Finding:
 # `// rbs-lint: allow(unordered-iteration) -- reason` is honored for the
 # rules it maps onto so existing justified sites keep working.
 _ALLOW_RE = re.compile(
-    r"//\s*rbs-analyze:\s*allow\((R[1-5](?:\s*,\s*R[1-5])*)\)\s*--\s*\S"
+    r"//\s*rbs-analyze:\s*allow\((R\d+(?:\s*,\s*R\d+)*)\)\s*--\s*\S"
 )
 _LEGACY_ALLOW_RE = re.compile(
     r"//\s*rbs-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)(\s*--\s*\S.*)?"

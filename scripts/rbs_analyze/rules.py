@@ -1,16 +1,18 @@
-"""R1–R5 implemented over the lexer's token stream.
+"""R1–R8 implemented over the lexer's token stream.
 
 Each rule is a function (path, tokens, ctx) -> [Finding]. `ctx` carries
-cross-file facts (the index of declared unordered-container variables) so
-rules can resolve names declared in a header while analyzing the .cpp.
+cross-file facts (the index of declared unordered-container variables and
+the cross-TU symbol index of concurrency classifications) so rules can
+resolve names declared in a header while analyzing the .cpp.
 """
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from .findings import Finding
 from .lexer import Token, find_matching, match_seq
+from .symbols import SymbolIndex, build_symbol_index
 
 RAW_SCALAR_TYPES = {
     "double",
@@ -40,6 +42,28 @@ WALL_CLOCK_IDENTS = {
 
 SCHEDULER_CALLS = {"schedule_at", "schedule_after", "at", "after"}
 
+# Entry points that run the passed lambda concurrently on sweep workers.
+PARALLEL_CALLS = {"run_indexed", "map", "parallel_sweep", "set_observer"}
+
+# Member calls that mutate a standard container.
+CONTAINER_MUTATORS = {
+    "push_back", "emplace_back", "pop_back", "insert", "emplace", "erase",
+    "clear", "resize", "assign",
+}
+
+# R7 does not police the scheduler's own internals: src/sim owns the pool
+# and its firing path legitimately holds slot references.
+POOL_LIFETIME_ALLOWED_PREFIXES = ("src/sim/",)
+
+# R8 (backend purity) exemptions: the scheduler itself, profile/stats-only
+# telemetry, and bench harnesses that compare engine speeds by design.
+BACKEND_PURITY_ALLOWED_PREFIXES = ("src/sim/", "src/telemetry/", "bench/")
+
+# Field classifications (see symbols.py) that sanction a cross-thread write.
+_SANCTIONED_WRITE_CLASSES = {"atomic", "guarded", "padded"}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
 
 @dataclasses.dataclass
 class AnalysisContext:
@@ -47,10 +71,13 @@ class AnalysisContext:
 
     # Variable names declared anywhere as std::unordered_{map,set}<...>.
     unordered_names: Set[str] = dataclasses.field(default_factory=set)
+    # Cross-TU class/member concurrency classifications (R6–R8).
+    symbols: SymbolIndex = dataclasses.field(default_factory=SymbolIndex)
 
 
 def build_context(files: Dict[str, List[Token]]) -> AnalysisContext:
     ctx = AnalysisContext()
+    ctx.symbols = build_symbol_index(files)
     for tokens in files.values():
         for i, t in enumerate(tokens):
             if t.text in ("unordered_map", "unordered_set"):
@@ -343,10 +370,373 @@ def rule_r5(path: str, tokens: List[Token], ctx: AnalysisContext) -> List[Findin
     return findings
 
 
+# --------------------------------------------------------------------------
+# R6: shared state written inside a parallel region
+# --------------------------------------------------------------------------
+def _explicit_ref_captures(tokens: List[Token], open_bracket: int) -> Set[str]:
+    """Names explicitly captured by reference in a lambda's capture list:
+    `[&x]`, `[&x, ...]`, and the init form `[&x = expr]` all yield x. A
+    blanket `[&]` yields nothing — bare identifiers in the body cannot be
+    told apart from lambda locals, so the blanket form is out of scope
+    (documented imprecision; the thread-safety analysis covers fields)."""
+    close = find_matching(tokens, open_bracket, "[", "]")
+    if close == -1:
+        return set()
+    caps = tokens[open_bracket + 1 : close]
+    names: Set[str] = set()
+    for k, tok in enumerate(caps):
+        if tok.text == "&" and (k == 0 or caps[k - 1].text == ","):
+            if k + 1 < len(caps) and caps[k + 1].kind == "ident":
+                names.add(caps[k + 1].text)
+    return names
+
+
+def _lambda_body_range(tokens: List[Token], open_bracket: int) -> Tuple[int, int]:
+    """(body_start, body_end) token indices of the lambda's compound body
+    (exclusive of the braces), or (-1, -1) if this is not a lambda."""
+    close = find_matching(tokens, open_bracket, "[", "]")
+    if close == -1:
+        return -1, -1
+    j = close + 1
+    if j < len(tokens) and tokens[j].text == "(":
+        params_close = find_matching(tokens, j, "(", ")")
+        if params_close == -1:
+            return -1, -1
+        j = params_close + 1
+    # Skip mutable/noexcept/-> trailing-return up to the body.
+    while j < len(tokens) and tokens[j].text != "{":
+        if tokens[j].text in (";", ")", ",", "]", "}"):
+            return -1, -1
+        j += 1
+    if j >= len(tokens):
+        return -1, -1
+    body_close = find_matching(tokens, j, "{", "}")
+    if body_close == -1:
+        return -1, -1
+    return j + 1, body_close
+
+
+def _skip_group_backwards(body: List[Token], k: int, close: str, open_: str) -> int:
+    depth = 0
+    while k >= 0:
+        if body[k].text == close:
+            depth += 1
+        elif body[k].text == open_:
+            depth -= 1
+            if depth == 0:
+                break
+        k -= 1
+    return k - 1
+
+
+def _lvalue_base(body: List[Token], p: int) -> Tuple[Optional[int], bool]:
+    """Walks the lvalue chain ending at body[p] back to its base identifier.
+    Returns (index of the base ident, saw_subscript)."""
+    subscripted = False
+    k = p
+    while k >= 0:
+        t = body[k].text
+        if t == "]":
+            k = _skip_group_backwards(body, k, "]", "[")
+            subscripted = True
+            continue
+        if t == ")":
+            k = _skip_group_backwards(body, k, ")", "(")
+            continue
+        if body[k].kind == "ident":
+            if k >= 1 and body[k - 1].text in (".", "->", "::"):
+                k -= 2
+                continue
+            return k, subscripted
+        if t == "*":
+            k -= 1
+            continue
+        return None, subscripted
+    return None, subscripted
+
+
+def _shared_write_targets(body: List[Token]) -> List[Tuple[Token, bool]]:
+    """(base identifier token, subscripted) for every write in `body`:
+    assignments, compound assignments, increments/decrements, and container
+    mutator calls."""
+    out: List[Tuple[Token, bool]] = []
+    for idx, tok in enumerate(body):
+        if tok.text in _ASSIGN_OPS and idx > 0:
+            base, subscripted = _lvalue_base(body, idx - 1)
+            if base is None:
+                continue
+            if tok.text == "=":
+                # Declarations (`int x = 5;`, `auto& r = ...;`) and init
+                # captures / designated initializers are not shared writes.
+                before = body[base - 1].text if base > 0 else ""
+                before_kind = body[base - 1].kind if base > 0 else ""
+                if before_kind == "ident" or before in ("&", "*", ">", ">>", "[", ",", "."):
+                    continue
+            out.append((body[base], subscripted))
+        elif tok.text in ("++", "--"):
+            p = None
+            if idx > 0 and (body[idx - 1].kind == "ident" or body[idx - 1].text in ("]", ")")):
+                p = idx - 1  # postfix
+            elif idx + 1 < len(body) and body[idx + 1].kind == "ident":
+                # Prefix: the chain extends to the right; find its end.
+                q = idx + 1
+                while q + 2 < len(body) and body[q + 1].text in (".", "->", "::") \
+                        and body[q + 2].kind == "ident":
+                    q += 2
+                if q + 1 < len(body) and body[q + 1].text == "[":
+                    sub_close = find_matching(body, q + 1, "[", "]")
+                    if sub_close != -1:
+                        q = sub_close
+                p = q
+            if p is not None:
+                base, subscripted = _lvalue_base(body, p)
+                if base is not None:
+                    out.append((body[base], subscripted))
+        elif tok.kind == "ident" and tok.text in CONTAINER_MUTATORS and idx >= 2 \
+                and body[idx - 1].text in (".", "->") \
+                and idx + 1 < len(body) and body[idx + 1].text == "(":
+            base, subscripted = _lvalue_base(body, idx - 2)
+            if base is not None:
+                out.append((body[base], subscripted))
+    return out
+
+
+def _parallel_call_lambdas(tokens: List[Token]):
+    """Yields (call_name, capture_open_index) for every lambda argument of a
+    parallel-dispatch call (run_indexed / map / parallel_sweep /
+    set_observer)."""
+    for i, t in enumerate(tokens):
+        if t.kind != "ident" or t.text not in PARALLEL_CALLS:
+            continue
+        if not _is_member_or_qualified(tokens, i):
+            continue
+        j = i + 1
+        if j < len(tokens) and tokens[j].text == "<":  # map<R>(...)
+            tmpl_close = find_matching(tokens, j, "<", ">")
+            if tmpl_close != -1:
+                j = tmpl_close + 1
+        if not match_seq(tokens, j, "("):
+            continue
+        close = find_matching(tokens, j, "(", ")")
+        if close == -1:
+            continue
+        k = j + 1
+        while k < close:
+            if tokens[k].text == "[" and tokens[k - 1].text in ("(", ",", "{"):
+                yield t.text, k
+                # Skip the whole lambda (capture list, params, body): lambdas
+                # nested inside it are scheduler callbacks, not sweep points,
+                # and must only be judged against the outer capture list.
+                _, body_end = _lambda_body_range(tokens, k)
+                if body_end != -1:
+                    k = body_end + 1
+                else:
+                    lam_close = find_matching(tokens, k, "[", "]")
+                    k = lam_close + 1 if lam_close != -1 else k + 1
+                continue
+            k += 1
+
+
+def rule_r6(path: str, tokens: List[Token], ctx: AnalysisContext) -> List[Finding]:
+    if _in_tests(path):
+        return []
+    findings: List[Finding] = []
+
+    # Prong (a): writes through explicitly by-ref-captured names inside a
+    # lambda handed to the parallel sweep engine. Index-addressed targets
+    # (`out[i] = ...`) are the sanctioned disjoint-slot contract.
+    for call_name, cap_open in _parallel_call_lambdas(tokens):
+        ref_caps = _explicit_ref_captures(tokens, cap_open)
+        if not ref_caps:
+            continue
+        body_start, body_end = _lambda_body_range(tokens, cap_open)
+        if body_start == -1:
+            continue
+        body = tokens[body_start:body_end]
+        seen: Set[Tuple[str, int]] = set()
+        for base_tok, subscripted in _shared_write_targets(body):
+            if subscripted or base_tok.text not in ref_caps:
+                continue
+            cls = ctx.symbols.field_classification(base_tok.text)
+            if cls in _SANCTIONED_WRITE_CLASSES:
+                continue
+            key = (base_tok.text, base_tok.line)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(
+                Finding(path, base_tok.line, "R6",
+                        f"'{base_tok.text}' is captured by reference and written "
+                        f"inside a {call_name}() lambda — sweep workers race on it",
+                        "give each point its own slot (write through the point index "
+                        "into a preallocated array), use std::atomic, or guard it "
+                        "with RBS_GUARDED_BY + core::LockGuard")
+            )
+
+    # Prong (b): a class that owns threads/mutexes/condition variables is
+    # cross-thread by construction; every mutable member must carry a
+    # concurrency classification (atomic / RBS_GUARDED_BY / PaddedCounter /
+    # const). Unclassified members are exactly the state -Wthread-safety
+    # cannot see.
+    if path.startswith("src/"):
+        for cls_info in ctx.symbols.classes:
+            if cls_info.file != path or not cls_info.cross_thread:
+                continue
+            for field in cls_info.fields:
+                if field.classification != "plain":
+                    continue
+                findings.append(
+                    Finding(path, field.line, "R6",
+                            f"field '{field.name}' of cross-thread class "
+                            f"'{cls_info.name}' has no concurrency classification",
+                            "classify it: std::atomic, RBS_GUARDED_BY(mutex), a "
+                            "per-worker PaddedCounters slot, or const — the "
+                            "thread-safety analysis cannot check what is not "
+                            "annotated")
+                )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# R7: pooled-event lifetime across a recycle point
+# --------------------------------------------------------------------------
+def _slot_bound_names(tokens: List[Token]) -> Set[str]:
+    """Local names bound to EventPool slots: `EventPool::Slot& s = ...`,
+    `EventPool::Slot* p = ...`, and `auto& s = pool_[...]`."""
+    names: Set[str] = set()
+    for i, t in enumerate(tokens):
+        if t.text == "Slot" and match_seq(tokens, i - 2, "EventPool", "::"):
+            j = i + 1
+            while j < len(tokens) and tokens[j].text in ("&", "*", "const"):
+                j += 1
+            if j < len(tokens) and tokens[j].kind == "ident":
+                names.add(tokens[j].text)
+        elif t.text == "auto" and match_seq(tokens, i + 1, "&") \
+                and i + 2 < len(tokens) and tokens[i + 2].kind == "ident" \
+                and match_seq(tokens, i + 3, "="):
+            k = i + 4
+            while k < len(tokens) and tokens[k].text != ";":
+                if tokens[k].kind == "ident" and "pool" in tokens[k].text.lower() \
+                        and match_seq(tokens, k + 1, "["):
+                    names.add(tokens[i + 2].text)
+                    break
+                k += 1
+    return names
+
+
+def rule_r7(path: str, tokens: List[Token], ctx: AnalysisContext) -> List[Finding]:
+    if _in_tests(path) or path.startswith(POOL_LIFETIME_ALLOWED_PREFIXES):
+        return []
+    slot_names = _slot_bound_names(tokens)
+    if not slot_names:
+        return []
+    findings: List[Finding] = []
+    for i, t in enumerate(tokens):
+        if t.kind != "ident" or t.text not in SCHEDULER_CALLS:
+            continue
+        if not _is_member_or_qualified(tokens, i):
+            continue
+        if not match_seq(tokens, i + 1, "("):
+            continue
+        close = find_matching(tokens, i + 1, "(", ")")
+        if close == -1:
+            continue
+        j = i + 2
+        while j < close:
+            if tokens[j].text == "[" and tokens[j - 1].text in ("(", ","):
+                cap_close = find_matching(tokens, j, "[", "]")
+                if cap_close != -1:
+                    captured = {tok.text for tok in tokens[j + 1 : cap_close]
+                                if tok.kind == "ident"}
+                    for name in sorted(captured & slot_names):
+                        findings.append(
+                            Finding(path, tokens[j].line, "R7",
+                                    f"pooled event slot '{name}' captured into a "
+                                    f"{t.text}() callback — the slot can be recycled "
+                                    "(and its 128-byte big-slot storage reused) "
+                                    "before the event fires",
+                                    "copy the data you need into the callback, or "
+                                    "keep an EventHandle and re-resolve it when the "
+                                    "event fires; slot references die at the next "
+                                    "pool recycle")
+                        )
+                j = cap_close + 1 if cap_close != -1 else j + 1
+                continue
+            j += 1
+    return findings
+
+
+# --------------------------------------------------------------------------
+# R8: scheduler-backend purity outside profile/stats paths
+# --------------------------------------------------------------------------
+def rule_r8(path: str, tokens: List[Token], ctx: AnalysisContext) -> List[Finding]:
+    if _in_tests(path) or path.startswith(BACKEND_PURITY_ALLOWED_PREFIXES):
+        return []
+    findings: List[Finding] = []
+    seen_lines: Set[int] = set()
+
+    def emit(line: int, what: str) -> None:
+        if line in seen_lines:
+            return
+        seen_lines.add(line)
+        findings.append(
+            Finding(path, line, "R8",
+                    f"simulation-semantics code branches on the scheduler backend "
+                    f"({what}) — both backends fire bitwise-identically, so any "
+                    "behavioral difference here is a determinism bug",
+                    "keep backend probes inside src/sim/, src/telemetry/ profile "
+                    "paths, or bench/; if this read is stats-only, justify with "
+                    "// rbs-analyze: allow(R8) -- <reason>")
+        )
+
+    for i, t in enumerate(tokens):
+        if t.kind != "ident":
+            continue
+        if t.text in ("kHeap", "kWheel", "kAuto") \
+                and match_seq(tokens, i - 2, "SchedulerBackend", "::"):
+            before = tokens[i - 3].text if i >= 3 else ""
+            after = tokens[i + 1].text if i + 1 < len(tokens) else ""
+            if before in ("==", "!=", "case") or after in ("==", "!="):
+                emit(t.line, f"comparison against SchedulerBackend::{t.text}")
+        elif t.text == "backend" and _is_member_or_qualified(tokens, i) \
+                and match_seq(tokens, i + 1, "(", ")"):
+            after = tokens[i + 3].text if i + 3 < len(tokens) else ""
+            # Walk left over the object chain (`x == sim.scheduler().backend()`).
+            k = i - 1
+            while k >= 0:
+                tk = tokens[k].text
+                if tk in (".", "->", "::") or tokens[k].kind == "ident":
+                    k -= 1
+                    continue
+                if tk == ")":
+                    depth = 0
+                    while k >= 0:
+                        if tokens[k].text == ")":
+                            depth += 1
+                        elif tokens[k].text == "(":
+                            depth -= 1
+                            if depth == 0:
+                                break
+                        k -= 1
+                    k -= 1
+                    continue
+                break
+            before = tokens[k].text if k >= 0 else ""
+            if after in ("==", "!=") or before in ("==", "!="):
+                emit(t.line, "comparison of backend()")
+        elif t.text == "wheel_stats" and _is_member_or_qualified(tokens, i) \
+                and match_seq(tokens, i + 1, "("):
+            emit(t.line, "read of wheel backend internals via wheel_stats()")
+    return findings
+
+
 ALL_RULES = {
     "R1": rule_r1,
     "R2": rule_r2,
     "R3": rule_r3,
     "R4": rule_r4,
     "R5": rule_r5,
+    "R6": rule_r6,
+    "R7": rule_r7,
+    "R8": rule_r8,
 }

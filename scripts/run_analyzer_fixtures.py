@@ -30,7 +30,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from rbs_analyze import RULES  # noqa: E402
 from rbs_analyze.driver import run  # noqa: E402
 
-EXPECT_RE = re.compile(r"//\s*rbs-analyze-fixture-expect:\s*((?:R[1-5]\s*)*)$")
+EXPECT_RE = re.compile(r"//\s*rbs-analyze-fixture-expect:\s*((?:R\d+\s*)*)$")
 
 
 def main() -> int:
@@ -80,14 +80,24 @@ def main() -> int:
             )
 
     # Corpus completeness: each rule must have a failing and a clean fixture.
+    # A rule with no failing fixture is a rule nothing proves still fires —
+    # fail loudly and name the file to add.
     for rule in RULES:
         failing = [r for r, w in expectations.items() if w[rule] > 0]
         clean = [r for r, w in expectations.items()
                  if not w and rule.lower() in Path(r).stem.lower()]
         if not failing:
-            failures.append(f"corpus: no failing fixture exercises {rule}")
+            failures.append(
+                f"corpus: no failing fixture exercises {rule} — add e.g. "
+                f"tests/analyzer_fixtures/src/{rule.lower()}_violation.cpp with a "
+                f"'// rbs-analyze-fixture-expect: {rule}' header"
+            )
         if not clean:
-            failures.append(f"corpus: no clean twin exercises {rule}")
+            failures.append(
+                f"corpus: no clean twin exercises {rule} — add e.g. "
+                f"tests/analyzer_fixtures/src/{rule.lower()}_clean.cpp with an "
+                f"empty '// rbs-analyze-fixture-expect:' header"
+            )
 
     if failures:
         print(f"fixture harness[{backend_name}]: FAIL", file=sys.stderr)

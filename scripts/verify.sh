@@ -4,7 +4,7 @@
 #      tool is a hard failure with a named diagnostic, never a silent skip
 #   1. tier-1: RelWithDebInfo build + complete ctest suite
 #   2. determinism lint: scripts/lint_determinism.py over src/
-#   3. semantics analysis: rbs-analyze rules R1-R5 against the checked-in
+#   3. semantics analysis: rbs-analyze rules R1-R8 against the checked-in
 #      baseline, plus the analyzer's own fixture corpus
 #   4. fault scenarios: the deterministic failure-scenario suite plus an
 #      rbsim --faults smoke run (schedule parse, arming banner, fault report)
@@ -15,7 +15,12 @@
 #      UndefinedBehaviorSanitizer and the hot-path invariant macros armed,
 #      run the complete test suite
 #   8. TSAN: rebuild scheduler + sweep runner under ThreadSanitizer and run
-#      the concurrency-sensitive tests (scheduler_test, sweep_test)
+#      the concurrency-sensitive tests (scheduler_test, sweep_test,
+#      timing_wheel_test, property_test)
+#   9. thread-safety annotations: clang++ -Wthread-safety positive +
+#      compile-fail harness (scripts/check_thread_safety.py). Needs a
+#      clang++ binary; skipped loudly when none exists (the analysis is
+#      Clang-only — there is nothing equivalent to run under GCC).
 #
 # Usage: scripts/verify.sh [jobs]
 #
@@ -27,7 +32,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "=== [0/8] preflight: required tools ==="
+echo "=== [0/9] preflight: required tools ==="
 missing=0
 for tool in cmake ctest python3 gnuplot; do
   if ! command -v "$tool" >/dev/null 2>&1; then
@@ -51,15 +56,15 @@ if [[ "$missing" -ne 0 ]]; then
   exit 1
 fi
 
-echo "=== [1/8] tier-1 build + tests ==="
+echo "=== [1/9] tier-1 build + tests ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [2/8] determinism lint ==="
+echo "=== [2/9] determinism lint ==="
 cmake --build build --target lint
 
-echo "=== [3/8] semantics analysis (rbs-analyze + fixture corpus) ==="
+echo "=== [3/9] semantics analysis (rbs-analyze + fixture corpus) ==="
 # Preflight: the analyzer package must be importable before we trust a pass.
 PYTHONPATH=scripts python3 -c "import rbs_analyze" || {
   echo "verify: FATAL: scripts/rbs_analyze is not importable" >&2
@@ -68,7 +73,7 @@ PYTHONPATH=scripts python3 -c "import rbs_analyze" || {
 cmake --build build --target analyze
 python3 scripts/run_analyzer_fixtures.py
 
-echo "=== [4/8] fault scenarios + rbsim --faults smoke ==="
+echo "=== [4/9] fault scenarios + rbsim --faults smoke ==="
 ctest --test-dir build --output-on-failure -j "$JOBS" \
   -R 'FaultScenarioTest|FaultFuzz|FaultScheduleTest|FaultLinkTest|InjectorTest'
 mkdir -p build/fault_smoke
@@ -89,10 +94,10 @@ if ./build/examples/rbsim mode=long duration=1 warmup=0 \
 fi
 grep -q "line 1" build/fault_smoke/err.txt
 
-echo "=== [5/8] bench smoke ==="
+echo "=== [5/9] bench smoke ==="
 cmake --build build -j "$JOBS" --target bench_smoke
 
-echo "=== [6/8] telemetry smoke ==="
+echo "=== [6/9] telemetry smoke ==="
 mkdir -p build/telemetry_smoke
 ./build/examples/rbsim mode=long flows=20 duration=2 warmup=1 \
   --metrics build/telemetry_smoke/metrics.json \
@@ -102,15 +107,27 @@ python3 scripts/check_telemetry.py \
   --metrics build/telemetry_smoke/metrics.json \
   --min-trace-events 1000
 
-echo "=== [7/8] ASan/UBSan + RBS_CHECKED: full test suite ==="
+echo "=== [7/9] ASan/UBSan + RBS_CHECKED: full test suite ==="
 cmake -B build-asan -S . -DRBS_ASAN=ON -DRBS_CHECKED=ON >/dev/null
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "=== [8/8] ThreadSanitizer: scheduler_test + sweep_test ==="
+echo "=== [8/9] ThreadSanitizer: concurrency tests ==="
 cmake -B build-tsan -S . -DRBS_TSAN=ON >/dev/null
-cmake --build build-tsan -j "$JOBS" --target scheduler_test sweep_test
+cmake --build build-tsan -j "$JOBS" \
+  --target scheduler_test sweep_test timing_wheel_test property_test
 ./build-tsan/tests/scheduler_test
 ./build-tsan/tests/sweep_test
+./build-tsan/tests/timing_wheel_test
+./build-tsan/tests/property_test
+
+echo "=== [9/9] thread-safety annotations (clang -Wthread-safety) ==="
+if command -v clang++ >/dev/null 2>&1; then
+  python3 scripts/check_thread_safety.py
+else
+  echo "verify: WARNING: 'clang++' not found; skipping the thread-safety" \
+       "annotation harness — only Clang implements -Wthread-safety." \
+       "The CI thread-safety job still enforces it." >&2
+fi
 
 echo "verify: OK"

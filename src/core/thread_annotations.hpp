@@ -1,0 +1,129 @@
+// Clang thread-safety annotations for the parallel sweep engine and the
+// sharded engine to come.
+//
+// The macros wrap Clang's capability-based thread-safety attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) and expand to
+// nothing on every other compiler, so annotated code builds unchanged under
+// GCC. Under Clang with -Wthread-safety (the RBS_THREAD_SAFETY CMake
+// option turns it on with -Werror=thread-safety), every access to an
+// RBS_GUARDED_BY member outside its mutex becomes a compile error — the
+// lock discipline is part of the type signature, not a comment.
+//
+// Annotation style (see docs/static_analysis.md for the full guide):
+//
+//   * Cross-thread mutable state uses core::AnnotatedMutex (never a bare
+//     std::mutex) and every field it protects carries
+//     RBS_GUARDED_BY(that_mutex).
+//   * Lock with core::LockGuard; when a condition variable must release the
+//     lock, use core::CvLock and wait on its native() handle in an explicit
+//     predicate loop.
+//   * Private helpers that assume the lock is held are annotated
+//     RBS_REQUIRES(mutex) and conventionally named *_locked().
+//   * Structures that are single-threaded by construction (one Simulation
+//     per sweep point) declare it with RBS_THREAD_CONFINED("why") instead
+//     of sprouting needless locks; rbs-analyze rule R6 polices the boundary.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define RBS_TSA(x) __attribute__((x))
+#else
+#define RBS_TSA(x)  // no-op: GCC and MSVC do not implement the analysis
+#endif
+
+/// Marks a class as a capability (a lockable resource) for the analysis.
+#define RBS_CAPABILITY(name) RBS_TSA(capability(name))
+
+/// Marks a RAII class whose constructor acquires and destructor releases.
+#define RBS_SCOPED_CAPABILITY RBS_TSA(scoped_lockable)
+
+/// Data member readable/writable only while holding `mutex`.
+#define RBS_GUARDED_BY(mutex) RBS_TSA(guarded_by(mutex))
+
+/// Pointer member whose *pointee* is protected by `mutex`.
+#define RBS_PT_GUARDED_BY(mutex) RBS_TSA(pt_guarded_by(mutex))
+
+/// Function that must be called with `...` held (the *_locked() helpers).
+#define RBS_REQUIRES(...) RBS_TSA(requires_capability(__VA_ARGS__))
+
+/// Function that acquires `...` and returns holding it.
+#define RBS_ACQUIRE(...) RBS_TSA(acquire_capability(__VA_ARGS__))
+
+/// Function that releases `...`.
+#define RBS_RELEASE(...) RBS_TSA(release_capability(__VA_ARGS__))
+
+/// Function that conditionally acquires: returns `result` on success.
+#define RBS_TRY_ACQUIRE(result, ...) RBS_TSA(try_acquire_capability(result, __VA_ARGS__))
+
+/// Function that must NOT be called with `...` held (deadlock guard).
+#define RBS_EXCLUDES(...) RBS_TSA(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch for code the analysis cannot model; always pair with a
+/// comment explaining the manual proof.
+#define RBS_NO_THREAD_SAFETY_ANALYSIS RBS_TSA(no_thread_safety_analysis)
+
+/// Declares that a class is confined to one thread by construction — no
+/// locks, and none needed — and records why. Expands to a no-op member
+/// declaration; the claim is enforced socially by rbs-analyze rule R6,
+/// which flags any unclassified mutable field the moment such a class
+/// grows a cross-thread member (mutex/atomic/thread).
+#define RBS_THREAD_CONFINED(why) static_assert(true, why)
+
+namespace rbs::core {
+
+/// std::mutex with the capability attribute the thread-safety analysis
+/// needs. Identical layout and cost; native() exposes the underlying
+/// std::mutex for condition-variable waits (via CvLock).
+class RBS_CAPABILITY("mutex") AnnotatedMutex {
+ public:
+  AnnotatedMutex() = default;
+  AnnotatedMutex(const AnnotatedMutex&) = delete;
+  AnnotatedMutex& operator=(const AnnotatedMutex&) = delete;
+
+  void lock() RBS_ACQUIRE() { m_.lock(); }
+  void unlock() RBS_RELEASE() { m_.unlock(); }
+  bool try_lock() RBS_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  /// The raw mutex, for std::condition_variable::wait only. Callers must
+  /// already hold this capability (CvLock guarantees it).
+  [[nodiscard]] std::mutex& native() noexcept { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// std::lock_guard over an AnnotatedMutex, visible to the analysis.
+class RBS_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(AnnotatedMutex& mutex) RBS_ACQUIRE(mutex) : mutex_{mutex} {
+    mutex_.lock();
+  }
+  ~LockGuard() RBS_RELEASE() { mutex_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  AnnotatedMutex& mutex_;
+};
+
+/// Scoped lock for condition-variable waits: owns a std::unique_lock on the
+/// annotated mutex's native handle so std::condition_variable::wait can
+/// release and reacquire it. The analysis treats the capability as held for
+/// the whole scope — wait() always returns with the lock re-held, so every
+/// guarded access in the waiting function remains sound.
+class RBS_SCOPED_CAPABILITY CvLock {
+ public:
+  explicit CvLock(AnnotatedMutex& mutex) RBS_ACQUIRE(mutex) : lock_{mutex.native()} {}
+  ~CvLock() RBS_RELEASE() {}  // unique_lock's destructor does the release
+  CvLock(const CvLock&) = delete;
+  CvLock& operator=(const CvLock&) = delete;
+
+  /// Handle for std::condition_variable::wait(native()).
+  [[nodiscard]] std::unique_lock<std::mutex>& native() noexcept { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace rbs::core

@@ -15,7 +15,10 @@ namespace rbs::experiment {
 
 LongFlowExperimentResult run_long_flow_experiment(const LongFlowExperimentConfig& config) {
   assert(config.num_flows >= 1);
-  sim::Simulation sim{config.seed, config.scheduler_backend};
+  // The schedule horizon is bounded by the run length: nothing is ever
+  // scheduled past warmup + measure, so backend=auto can resolve from it.
+  sim::Simulation sim{config.seed, config.scheduler_backend,
+                      config.warmup + config.measure};
   ExperimentTelemetry tele{sim, config.telemetry};
 
   net::DumbbellConfig topo_cfg;

@@ -22,7 +22,10 @@ constexpr net::FlowId kUdpFlow = 900'000;
 
 MixedFlowExperimentResult run_mixed_flow_experiment(const MixedFlowExperimentConfig& config) {
   assert(config.num_long_flows >= 0 && config.num_short_leaves >= 1);
-  sim::Simulation sim{config.seed, config.scheduler_backend};
+  // The schedule horizon is bounded by the run length: nothing is ever
+  // scheduled past warmup + measure, so backend=auto can resolve from it.
+  sim::Simulation sim{config.seed, config.scheduler_backend,
+                      config.warmup + config.measure};
   ExperimentTelemetry tele{sim, config.telemetry};
 
   net::DumbbellConfig topo_cfg;

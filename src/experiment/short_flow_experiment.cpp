@@ -14,7 +14,10 @@
 namespace rbs::experiment {
 
 ShortFlowExperimentResult run_short_flow_experiment(const ShortFlowExperimentConfig& config) {
-  sim::Simulation sim{config.seed, config.scheduler_backend};
+  // The schedule horizon is bounded by the run length: nothing is ever
+  // scheduled past warmup + measure, so backend=auto can resolve from it.
+  sim::Simulation sim{config.seed, config.scheduler_backend,
+                      config.warmup + config.measure};
   ExperimentTelemetry tele{sim, config.telemetry};
 
   net::DumbbellConfig topo_cfg;

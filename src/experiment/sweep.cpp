@@ -2,14 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <utility>
+
+#include "core/thread_annotations.hpp"
+#include "experiment/sweep_dispatch.hpp"
 
 namespace rbs::experiment {
 namespace {
@@ -25,6 +27,9 @@ constexpr int kSpinProbes = 2048;
 }  // namespace
 
 int default_sweep_threads() {
+  // Read-only environment probe, before any helper thread exists; no other
+  // thread in this process mutates the environment.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("RBS_THREADS")) {
     const int n = std::atoi(env);
     if (n > 0) return n;
@@ -44,29 +49,15 @@ int default_sweep_threads() {
 // cost stays flat as workers are added. Completion = cursor exhausted and
 // every registered helper checked out; exceptions from points are captured
 // once and rethrown on the calling thread after the batch drains.
-struct SweepRunner::Impl {
+//
+// The shared fields live in detail::SweepBatchState (sweep_dispatch.hpp),
+// annotated for the thread-safety analysis: every guarded access below is
+// provably under core::LockGuard / core::CvLock when built with
+// -Wthread-safety.
+struct SweepRunner::Impl : detail::SweepBatchState {
   struct alignas(64) PaddedCounters {
     WorkerDispatchStats stats;  // written only by the owning worker
   };
-
-  // Hot shared state, one cache line each: the claim cursor is written by
-  // every worker; the generation is read in the helpers' spin loop and must
-  // not share a line with it, or each claim would invalidate the spinners.
-  alignas(64) std::atomic<std::size_t> next_index{0};
-  alignas(64) std::atomic<std::uint64_t> batch_generation{0};
-  alignas(64) std::atomic<bool> shutting_down{false};
-
-  // Cold batch-publication state, guarded by `mutex`. Helpers read it only
-  // once per batch, immediately after observing a generation change.
-  std::mutex mutex;
-  std::condition_variable work_ready;
-  std::condition_variable batch_done;
-  const std::function<void(std::size_t, int)>* point{nullptr};
-  std::size_t batch_size{0};
-  std::size_t chunk{1};
-  std::size_t in_flight{0};  // helpers registered in the current batch
-  int sleeping_helpers{0};
-  std::exception_ptr first_error;
 
   std::vector<PaddedCounters> counters;
   std::vector<std::thread> helpers;
@@ -87,7 +78,7 @@ struct SweepRunner::Impl {
           ++mine.points;
         } catch (...) {
           {
-            std::lock_guard lock{mutex};
+            core::LockGuard lock{mutex};
             if (!first_error) first_error = std::current_exception();
           }
           // Skip the remaining points; the batch still completes cleanly.
@@ -109,12 +100,12 @@ struct SweepRunner::Impl {
         if (++probes < kSpinProbes) {
           std::this_thread::yield();
         } else {
-          std::unique_lock lock{mutex};
+          core::CvLock lock{mutex};
           ++sleeping_helpers;
-          work_ready.wait(lock, [&] {
-            return shutting_down.load(std::memory_order_relaxed) ||
-                   batch_generation.load(std::memory_order_acquire) != seen;
-          });
+          while (!shutting_down.load(std::memory_order_relaxed) &&
+                 batch_generation.load(std::memory_order_acquire) == seen) {
+            work_ready.wait(lock.native());
+          }
           --sleeping_helpers;
           break;
         }
@@ -128,7 +119,7 @@ struct SweepRunner::Impl {
       std::size_t n = 0;
       std::size_t width = 1;
       {
-        std::lock_guard lock{mutex};
+        core::LockGuard lock{mutex};
         seen = batch_generation.load(std::memory_order_relaxed);
         fn = point;
         n = batch_size;
@@ -138,7 +129,7 @@ struct SweepRunner::Impl {
       }
       work(*fn, n, width, worker);
       {
-        std::lock_guard lock{mutex};
+        core::LockGuard lock{mutex};
         if (--in_flight == 0) batch_done.notify_one();
       }
     }
@@ -158,7 +149,7 @@ SweepRunner::SweepRunner(int threads, bool checked)
 
 SweepRunner::~SweepRunner() {
   {
-    std::lock_guard lock{impl_->mutex};
+    core::LockGuard lock{impl_->mutex};
     impl_->shutting_down.store(true, std::memory_order_relaxed);
   }
   impl_->work_ready.notify_all();
@@ -221,7 +212,7 @@ void SweepRunner::run_batch(std::size_t n, PointFn&& raw) {
     const std::size_t workers = static_cast<std::size_t>(num_threads_);
     const std::size_t width = std::max<std::size_t>(1, n / (workers * 8));
     {
-      std::lock_guard lock{impl_->mutex};
+      core::LockGuard lock{impl_->mutex};
       impl_->point = &dispatch;
       impl_->batch_size = n;
       impl_->chunk = width;
@@ -233,21 +224,19 @@ void SweepRunner::run_batch(std::size_t n, PointFn&& raw) {
     // The caller is worker 0: the batch completes even if no helper wakes
     // in time, and small batches finish at serial-loop speed.
     impl_->work(dispatch, n, width, 0);
+    std::exception_ptr error;
     {
-      std::unique_lock lock{impl_->mutex};
-      impl_->batch_done.wait(lock, [&] {
-        return impl_->in_flight == 0 &&
-               impl_->next_index.load(std::memory_order_relaxed) >= n;
-      });
+      core::CvLock lock{impl_->mutex};
+      while (impl_->in_flight != 0 ||
+             impl_->next_index.load(std::memory_order_relaxed) < n) {
+        impl_->batch_done.wait(lock.native());
+      }
       // Close the batch: helpers arriving from now on see a null point and
       // skip registration, so the cursor/parameters can be safely reused.
       impl_->point = nullptr;
-      if (impl_->first_error) {
-        auto error = std::exchange(impl_->first_error, nullptr);
-        lock.unlock();
-        std::rethrow_exception(error);
-      }
+      error = std::exchange(impl_->first_error, nullptr);
     }
+    if (error) std::rethrow_exception(error);
   }
 
   if (checked_) {

@@ -1,0 +1,55 @@
+// Shared dispatch state behind SweepRunner — the cross-thread heart of the
+// parallel sweep engine, annotated for Clang's thread-safety analysis.
+//
+// Split out of sweep.cpp so the annotations are load-bearing beyond the one
+// translation unit: tests/thread_safety/ compiles fail-fixtures against this
+// header and asserts that touching any batch-publication field without the
+// mutex is a compile error under -Wthread-safety (see
+// scripts/check_thread_safety.py). Removing an RBS_GUARDED_BY here makes
+// that harness — and the CI thread-safety leg — fail.
+//
+// Protocol recap (the authoritative walkthrough is in sweep.cpp): the
+// publisher writes the batch parameters under `mutex`, bumps the lock-free
+// `batch_generation`, and workers claim chunked index ranges off the
+// lock-free `next_index` cursor. The three atomics are the *only* shared
+// state touched inside a batch; everything guarded is written strictly
+// between batches.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+
+#include "core/thread_annotations.hpp"
+
+namespace rbs::experiment::detail {
+
+/// Cross-thread dispatch state shared by the sweep publisher (worker 0) and
+/// the helper threads. Hot lock-free state sits on dedicated cache lines;
+/// cold batch-publication state is guarded by `mutex` and checked by the
+/// thread-safety analysis.
+struct SweepBatchState {
+  // Hot shared state, one cache line each: the claim cursor is written by
+  // every worker; the generation is read in the helpers' spin loop and must
+  // not share a line with it, or each claim would invalidate the spinners.
+  alignas(64) std::atomic<std::size_t> next_index{0};
+  alignas(64) std::atomic<std::uint64_t> batch_generation{0};
+  alignas(64) std::atomic<bool> shutting_down{false};
+
+  // Cold batch-publication state. Helpers read it only once per batch,
+  // immediately after observing a generation change.
+  core::AnnotatedMutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable batch_done;
+  const std::function<void(std::size_t, int)>* point RBS_GUARDED_BY(mutex) = nullptr;
+  std::size_t batch_size RBS_GUARDED_BY(mutex) = 0;
+  std::size_t chunk RBS_GUARDED_BY(mutex) = 1;
+  std::size_t in_flight RBS_GUARDED_BY(mutex) = 0;  // helpers registered in the batch
+  int sleeping_helpers RBS_GUARDED_BY(mutex) = 0;
+  std::exception_ptr first_error RBS_GUARDED_BY(mutex);
+};
+
+}  // namespace rbs::experiment::detail

@@ -93,6 +93,7 @@ TelemetryResult ExperimentTelemetry::finish() {
     // Ready-queue shape under profiling only: these gauges differ between
     // scheduler backends, and the bitwise cross-backend golden pins the
     // unprofiled snapshot, so they must not leak into default runs.
+    // rbs-analyze: allow(R8) -- profile-only gauges; results never observe them
     const sim::Scheduler::WheelStats ws = sim_.scheduler().wheel_stats();
     registry.gauge("engine.wheel.entries").set(static_cast<double>(ws.wheel_entries));
     registry.gauge("engine.wheel.occupied_buckets")

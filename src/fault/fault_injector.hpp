@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "check/auditor.hpp"
+#include "core/thread_annotations.hpp"
 #include "fault/fault_schedule.hpp"
 #include "net/link.hpp"
 #include "sim/simulation.hpp"
@@ -41,6 +42,10 @@ struct FaultInjectorTotals {
 
 /// Schedules fault onsets/recoveries and drives the links' fault hooks.
 class FaultInjector {
+  RBS_THREAD_CONFINED(
+      "composed per-target state (down/loss windows, forked loss RNG) is "
+      "mutated only from the owning Simulation's event callbacks.");
+
  public:
   explicit FaultInjector(sim::Simulation& sim);
 

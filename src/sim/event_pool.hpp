@@ -27,10 +27,17 @@
 #include <utility>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
+
 namespace rbs::sim {
 
 /// Recycling pool of event slots with inline callback storage.
 class EventPool {
+  RBS_THREAD_CONFINED(
+      "owned by one Scheduler; slots are armed, fired, and recycled on the "
+      "owning simulation thread only — handing a Slot reference to another "
+      "thread (or past a recycle point) is the R7 hazard rbs-analyze flags.");
+
  public:
   /// Sentinel slot index ("no slot").
   static constexpr std::uint32_t kNullIndex = 0xffff'ffffu;

@@ -27,13 +27,27 @@ namespace rbs::sim {
 ///    small due-window heap in front and an overflow heap behind the wheel
 ///    horizon; O(1) schedule for the dense near-future events that dominate
 ///    packet simulations, with sorting deferred to bucket granularity.
+///  * kAuto: resolved at Scheduler construction from the caller's
+///    schedule-horizon hint (see resolve_scheduler_backend in
+///    sim/scheduler.hpp): workloads whose whole schedule fits one wheel
+///    bucket get the heap, everything else the wheel. Scheduler::backend()
+///    always reports the resolved value, never kAuto.
 enum class SchedulerBackend : std::uint8_t {
   kHeap = 0,
   kWheel,
+  kAuto,
 };
 
 [[nodiscard]] constexpr const char* scheduler_backend_name(SchedulerBackend b) noexcept {
-  return b == SchedulerBackend::kHeap ? "heap" : "wheel";
+  switch (b) {
+    case SchedulerBackend::kHeap:
+      return "heap";
+    case SchedulerBackend::kAuto:
+      return "auto";
+    case SchedulerBackend::kWheel:
+      break;
+  }
+  return "wheel";
 }
 
 /// Trivially-copyable queue entry; `seq` breaks time ties in FIFO order.

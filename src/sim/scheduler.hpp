@@ -36,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "sim/event_class.hpp"
 #include "sim/event_pool.hpp"
 #include "sim/event_queue.hpp"
@@ -52,9 +53,30 @@ class EngineProfiler;
 
 namespace rbs::sim {
 
+/// Resolves SchedulerBackend::kAuto against a schedule-horizon hint: the
+/// furthest-ahead-of-now() delay the workload will ever schedule. Workloads
+/// whose whole schedule fits inside one wheel bucket (~67 µs) would keep the
+/// wheel's cascade machinery busy for nothing — every event lands in the
+/// current bucket and the due-heap refill degenerates into a per-event
+/// resort, the documented 12–24% BM_SchedulerScheduleRun regression — so
+/// they get the plain heap. Everything else (including an absent hint,
+/// SimTime::infinity()) gets the wheel. Explicit kHeap/kWheel requests pass
+/// through untouched.
+[[nodiscard]] constexpr SchedulerBackend resolve_scheduler_backend(
+    SchedulerBackend requested, SimTime horizon_hint) noexcept {
+  if (requested != SchedulerBackend::kAuto) return requested;
+  return horizon_hint.ps() < TimingWheel::kBucketWidthPs ? SchedulerBackend::kHeap
+                                                         : SchedulerBackend::kWheel;
+}
+
 /// Executes scheduled callbacks in deterministic time order.
 class Scheduler {
  public:
+  RBS_THREAD_CONFINED(
+      "one Scheduler belongs to one Simulation, driven by one thread; parallel "
+      "sweep points own disjoint Simulations. Backend selection and all queue "
+      "mutation paths (schedule/cancel/fire/reap) assume this confinement.");
+
   /// Type-erased callback for call sites that need to store one; the
   /// schedule_*() entry points accept any callable directly and store it
   /// without a std::function wrapper.
@@ -94,9 +116,13 @@ class Scheduler {
     std::uint64_t cascades{0};
   };
 
-  explicit Scheduler(SchedulerBackend backend = SchedulerBackend::kWheel) noexcept
-      : backend_{backend},
-        due_limit_{backend == SchedulerBackend::kHeap ? SimTime::infinity() : SimTime::zero()} {}
+  /// `horizon_hint` only matters for SchedulerBackend::kAuto (see
+  /// resolve_scheduler_backend); it is the furthest schedule_after() delay
+  /// the workload expects to use. backend() reports the resolved choice.
+  explicit Scheduler(SchedulerBackend backend = SchedulerBackend::kWheel,
+                     SimTime horizon_hint = SimTime::infinity()) noexcept
+      : backend_{resolve_scheduler_backend(backend, horizon_hint)},
+        due_limit_{backend_ == SchedulerBackend::kHeap ? SimTime::infinity() : SimTime::zero()} {}
   ~Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;

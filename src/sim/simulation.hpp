@@ -29,10 +29,13 @@ class Simulation {
  public:
   /// `backend` selects the scheduler's ready-queue structure. Both backends
   /// fire events in bitwise-identical order (see SchedulerBackend); the
-  /// wheel is the fast default, the heap the reference.
+  /// wheel is the fast default, the heap the reference, and kAuto picks per
+  /// workload using `horizon_hint` — the furthest-ahead delay the caller
+  /// expects to schedule (see resolve_scheduler_backend).
   explicit Simulation(std::uint64_t seed = 1,
-                      SchedulerBackend backend = SchedulerBackend::kWheel)
-      : scheduler_{backend}, rng_{seed} {}
+                      SchedulerBackend backend = SchedulerBackend::kWheel,
+                      SimTime horizon_hint = SimTime::infinity())
+      : scheduler_{backend, horizon_hint}, rng_{seed} {}
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;

@@ -26,6 +26,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
+
 namespace rbs::telemetry {
 
 /// Static labels attached at registration, e.g. {{"link", "bottleneck_fwd"}}.
@@ -150,6 +152,10 @@ struct MetricsSnapshot {
 /// Owns every metric of one simulation. See the header comment for the
 /// threading and determinism contract.
 class MetricsRegistry {
+  RBS_THREAD_CONFINED(
+      "one registry per Simulation, mutated only by that simulation's thread; "
+      "the lock-free hot path is sound because producers never cross threads.");
+
  public:
   MetricsRegistry() = default;
   MetricsRegistry(const MetricsRegistry&) = delete;

@@ -14,11 +14,11 @@ double ms_between(std::chrono::steady_clock::time_point a,
 }  // namespace
 
 SweepProfile::SweepProfile(std::size_t total, bool progress)
-    : points_(total), progress_{progress} {}
+    : points_(total), total_{total}, progress_{progress} {}
 
 void SweepProfile::point_start(std::size_t index, int worker) {
   const auto now = Clock::now();
-  std::lock_guard lock{mutex_};
+  core::LockGuard lock{mutex_};
   if (index >= points_.size()) return;
   points_[index].start = now;
   points_[index].worker = worker;
@@ -28,7 +28,7 @@ void SweepProfile::point_start(std::size_t index, int worker) {
 
 void SweepProfile::point_done(std::size_t index, int worker) {
   const auto now = Clock::now();
-  std::lock_guard lock{mutex_};
+  core::LockGuard lock{mutex_};
   if (index >= points_.size()) return;
   Point& p = points_[index];
   p.wall_ms = ms_between(p.start, now);
@@ -61,40 +61,40 @@ int SweepProfile::workers_seen_locked() const {
 }
 
 std::size_t SweepProfile::completed() const {
-  std::lock_guard lock{mutex_};
+  core::LockGuard lock{mutex_};
   return completed_;
 }
 
 double SweepProfile::point_wall_ms(std::size_t index) const {
-  std::lock_guard lock{mutex_};
+  core::LockGuard lock{mutex_};
   if (index >= points_.size() || points_[index].wall_ms < 0) return 0.0;
   return points_[index].wall_ms;
 }
 
 int SweepProfile::point_worker(std::size_t index) const {
-  std::lock_guard lock{mutex_};
+  core::LockGuard lock{mutex_};
   return index < points_.size() ? points_[index].worker : -1;
 }
 
 double SweepProfile::span_ms() const {
-  std::lock_guard lock{mutex_};
+  core::LockGuard lock{mutex_};
   if (!any_started_ || completed_ == 0) return 0.0;
   return ms_between(first_start_, last_done_);
 }
 
 int SweepProfile::workers_seen() const {
-  std::lock_guard lock{mutex_};
+  core::LockGuard lock{mutex_};
   return workers_seen_locked();
 }
 
 double SweepProfile::worker_busy_ms(int worker) const {
-  std::lock_guard lock{mutex_};
+  core::LockGuard lock{mutex_};
   if (worker < 0 || static_cast<std::size_t>(worker) >= workers_.size()) return 0.0;
   return workers_[static_cast<std::size_t>(worker)].busy_ms;
 }
 
 double SweepProfile::worker_utilization(int worker) const {
-  std::lock_guard lock{mutex_};
+  core::LockGuard lock{mutex_};
   if (worker < 0 || static_cast<std::size_t>(worker) >= workers_.size()) return 0.0;
   if (!any_started_ || completed_ == 0) return 0.0;
   const double span = ms_between(first_start_, last_done_);
@@ -102,7 +102,7 @@ double SweepProfile::worker_utilization(int worker) const {
 }
 
 void SweepProfile::export_into(MetricsRegistry& registry) const {
-  std::lock_guard lock{mutex_};
+  core::LockGuard lock{mutex_};
   Histogram& h = registry.histogram("sweep.point_wall_ms");
   h = Histogram{};  // replace-on-export keeps repeated exports idempotent
   for (const Point& p : points_) {
@@ -122,7 +122,7 @@ void SweepProfile::export_into(MetricsRegistry& registry) const {
 }
 
 std::string SweepProfile::summary() const {
-  std::lock_guard lock{mutex_};
+  core::LockGuard lock{mutex_};
   const double span = (any_started_ && completed_ > 0) ? ms_between(first_start_, last_done_) : 0.0;
   char line[160];
   std::string out;

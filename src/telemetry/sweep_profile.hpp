@@ -8,7 +8,9 @@
 //
 // Thread-safe: the hooks fire concurrently from sweep workers; all state is
 // mutex-protected (the per-point cost of a sweep point is seconds, so a
-// mutex per start/done is noise).
+// mutex per start/done is noise). The lock discipline is machine-checked:
+// every field is RBS_GUARDED_BY(mutex_) and builds with -Wthread-safety
+// under the RBS_THREAD_SAFETY CMake option.
 //
 // Host-clock readings here measure the *runner*, never the simulation —
 // results of the sweep are bitwise identical with or without a profile
@@ -18,10 +20,10 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace rbs::telemetry {
@@ -40,7 +42,7 @@ class SweepProfile {
   void point_start(std::size_t index, int worker);
   void point_done(std::size_t index, int worker);
 
-  [[nodiscard]] std::size_t total() const noexcept { return points_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
   [[nodiscard]] std::size_t completed() const;
   /// Wall time of one completed point, ms (0 if it never finished).
   [[nodiscard]] double point_wall_ms(std::size_t index) const;
@@ -76,17 +78,18 @@ class SweepProfile {
     std::uint64_t points{0};
   };
 
-  void render_progress_locked() const;
-  [[nodiscard]] int workers_seen_locked() const;
+  void render_progress_locked() const RBS_REQUIRES(mutex_);
+  [[nodiscard]] int workers_seen_locked() const RBS_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<Point> points_;
-  std::vector<Worker> workers_;
-  std::size_t completed_{0};
-  Clock::time_point first_start_{};
-  Clock::time_point last_done_{};
-  bool any_started_{false};
-  bool progress_{false};
+  mutable core::AnnotatedMutex mutex_;
+  std::vector<Point> points_ RBS_GUARDED_BY(mutex_);
+  const std::size_t total_;
+  std::vector<Worker> workers_ RBS_GUARDED_BY(mutex_);
+  std::size_t completed_ RBS_GUARDED_BY(mutex_) = 0;
+  Clock::time_point first_start_ RBS_GUARDED_BY(mutex_) = Clock::time_point{};
+  Clock::time_point last_done_ RBS_GUARDED_BY(mutex_) = Clock::time_point{};
+  bool any_started_ RBS_GUARDED_BY(mutex_) = false;
+  const bool progress_;
 };
 
 }  // namespace rbs::telemetry

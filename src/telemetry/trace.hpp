@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "sim/time.hpp"
 
 #ifndef RBS_TRACE_ENABLED
@@ -61,6 +62,10 @@ struct TraceEvent {
 /// session per Simulation (parallel sweep points must not share one).
 class TraceSession {
  public:
+  RBS_THREAD_CONFINED(
+      "producers emit on the one thread driving the attached Simulation; the "
+      "ring buffer and string-interning tables carry no locks by design.");
+
   /// `capacity` bounds memory at ~72 bytes/event; the default holds the
   /// most recent ~1M events (~72 MiB would be excessive — default 256k).
   explicit TraceSession(std::size_t capacity = 256 * 1024);

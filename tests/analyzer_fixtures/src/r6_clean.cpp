@@ -1,0 +1,47 @@
+// rbs-analyze-fixture-expect:
+// The sanctioned parallel-write patterns, none of which may trip R6:
+// index-addressed disjoint slots, atomics, RBS_GUARDED_BY fields under a
+// lock, per-worker PaddedCounters, and lambda-local state.
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#define RBS_GUARDED_BY(m)
+
+struct SweepRunner {
+  template <typename F>
+  void run_indexed(std::size_t n, F point);
+};
+
+struct PaddedCounters {
+  long points = 0;
+};
+
+struct Tally {
+  std::mutex m;
+  std::atomic<long> hits{0};
+  long total RBS_GUARDED_BY(m) = 0;
+  std::vector<PaddedCounters> per_worker;
+  const int workers = 4;
+};
+
+double compute(std::size_t i);
+
+void sweep_soundly(SweepRunner& runner, std::size_t n, Tally& tally) {
+  std::vector<double> out(n);
+  runner.run_indexed(n, [&out](std::size_t i) {  // disjoint slots: clean
+    out[i] = compute(i);
+  });
+
+  auto& hits = tally.hits;
+  runner.run_indexed(n, [&hits](std::size_t i) {  // atomic: clean
+    hits += static_cast<long>(i != 0);
+  });
+
+  runner.run_indexed(n, [&](std::size_t i) {  // lambda-local state: clean
+    double local = 0.0;
+    local += compute(i);
+    (void)local;
+  });
+}

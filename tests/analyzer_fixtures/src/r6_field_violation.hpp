@@ -1,0 +1,19 @@
+// rbs-analyze-fixture-expect: R6 R6
+// A class that owns a mutex (or worker threads) is cross-thread by
+// construction, so every mutable member needs a concurrency classification
+// the analyses can check: std::atomic, RBS_GUARDED_BY, a per-worker
+// PaddedCounters slot, or const. Unclassified members are exactly the
+// state -Wthread-safety cannot see.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+
+struct ProgressBoard {
+  std::mutex m;
+  std::atomic<std::size_t> started{0};  // classified: fine
+  std::size_t completed = 0;            // R6: mutable, unclassified
+  double last_wall = 0.0;               // R6: mutable, unclassified
+  const std::size_t capacity = 64;      // immutable: fine
+};

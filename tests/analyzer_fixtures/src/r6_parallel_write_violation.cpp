@@ -1,0 +1,26 @@
+// rbs-analyze-fixture-expect: R6 R6
+// Sweep points run concurrently on worker threads: accumulating into a
+// by-reference-captured local races every worker on the same address. The
+// sound patterns are an index-addressed slot per point, an atomic, or an
+// RBS_GUARDED_BY field — this fixture uses none of them.
+#include <cstddef>
+#include <vector>
+
+struct SweepRunner {
+  template <typename F>
+  void run_indexed(std::size_t n, F point);
+};
+
+double compute(std::size_t i);
+
+void sweep_and_accumulate(SweepRunner& runner, std::size_t n) {
+  double sum = 0.0;
+  runner.run_indexed(n, [&sum](std::size_t i) {  // R6: racy accumulation
+    sum += compute(i);
+  });
+
+  std::vector<double> results;
+  runner.run_indexed(n, [&results](std::size_t i) {  // R6: racy push_back
+    results.push_back(compute(i));
+  });
+}

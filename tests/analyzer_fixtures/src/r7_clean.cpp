@@ -1,0 +1,32 @@
+// rbs-analyze-fixture-expect:
+// The sound pooled-event patterns: read what you need out of the slot
+// before scheduling and capture the copy by value. Synchronous use of a
+// slot reference (no capture) is also fine — the reference never outlives
+// the statement that obtained it.
+#include <cstddef>
+
+struct SimTime {};
+
+struct EventPool {
+  struct Slot {
+    int value = 0;
+    void touch();
+  };
+  Slot& operator[](std::size_t i);
+};
+
+struct Sim {
+  template <typename F>
+  void schedule_after(SimTime delay, F fn);
+};
+
+void consume(int payload);
+
+void arm_by_value(Sim& sim, EventPool& pool, std::size_t idx) {
+  EventPool::Slot& slot = pool[idx];
+  slot.touch();  // synchronous use: fine
+  const int payload = slot.value;
+  sim.schedule_after(SimTime{}, [payload] {  // value copy: fine
+    consume(payload);
+  });
+}

@@ -1,0 +1,26 @@
+// rbs-analyze-fixture-expect: R5 R7
+// Capturing a slot reference obtained via `auto&` from the pool trips both
+// rules: R5 (by-reference capture into a pooled scheduler callback) and R7
+// (the captured name is bound to pool storage that a recycle invalidates).
+#include <cstddef>
+
+struct SimTime {};
+
+struct Slots {
+  struct Slot {
+    int value = 0;
+  };
+  Slot& operator[](std::size_t i);
+};
+
+struct Sim {
+  template <typename F>
+  void schedule_at(SimTime t, F fn);
+};
+
+void arm_from_pool(Sim& sim, Slots& event_pool_, std::size_t idx) {
+  auto& slot = event_pool_[idx];
+  sim.schedule_at(SimTime{}, [&slot] {  // R5 + R7: dies at the next recycle
+    slot.value += 1;
+  });
+}

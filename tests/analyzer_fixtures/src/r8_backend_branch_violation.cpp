@@ -1,0 +1,25 @@
+// rbs-analyze-fixture-expect: R8 R8
+// Both scheduler backends fire every workload in bitwise-identical order;
+// they may differ only in speed. Simulation-semantics code that branches
+// on the backend kind therefore encodes a determinism bug (or at best a
+// pointless fork) — backend probes belong in src/sim/, telemetry profile
+// paths, or bench/.
+#include <cstddef>
+
+enum class SchedulerBackend { kHeap, kWheel, kAuto };
+
+struct Scheduler {
+  SchedulerBackend backend() const;
+};
+
+std::size_t pick_batch(const Scheduler& sched) {
+  if (sched.backend() == SchedulerBackend::kWheel) {  // R8: semantics fork
+    return 64;
+  }
+  switch (sched.backend()) {
+    case SchedulerBackend::kHeap:  // R8: semantics fork
+      return 16;
+    default:
+      return 32;
+  }
+}

@@ -1,0 +1,31 @@
+// rbs-analyze-fixture-expect:
+// Sanctioned backend interactions: choosing a backend (plain assignment /
+// construction) is configuration, not semantics, and a stats-only read can
+// be justified with an explicit suppression naming its reason.
+#include <cstddef>
+
+enum class SchedulerBackend { kHeap, kWheel, kAuto };
+
+struct WheelStats {
+  std::size_t wheel_entries = 0;
+};
+
+struct Scheduler {
+  explicit Scheduler(SchedulerBackend backend);
+  WheelStats wheel_stats() const;
+};
+
+const char* label(SchedulerBackend b);
+
+Scheduler make_reference_engine() {
+  SchedulerBackend backend = SchedulerBackend::kHeap;  // selection: fine
+  backend = SchedulerBackend::kWheel;                  // reassignment: fine
+  (void)label(backend);
+  return Scheduler{backend};
+}
+
+std::size_t debug_occupancy(const Scheduler& sched) {
+  // rbs-analyze: allow(R8) -- debug log line only; results never read this
+  const WheelStats ws = sched.wheel_stats();
+  return ws.wheel_entries;
+}

@@ -1,0 +1,19 @@
+// rbs-analyze-fixture-expect: R8
+// wheel_stats() exposes the wheel backend's occupancy counters for
+// telemetry gauges. Reading them from experiment logic couples results to
+// which backend happens to be running — the counters are all zero on the
+// heap backend, so any decision made on them diverges between backends.
+#include <cstddef>
+
+struct WheelStats {
+  std::size_t wheel_entries = 0;
+};
+
+struct Scheduler {
+  WheelStats wheel_stats() const;
+};
+
+bool queue_looks_busy(const Scheduler& sched) {
+  const WheelStats ws = sched.wheel_stats();  // R8: backend internals
+  return ws.wheel_entries > 1000;
+}

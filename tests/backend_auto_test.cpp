@@ -1,0 +1,119 @@
+// Tests for SchedulerBackend::kAuto: the horizon-hint resolution rule, the
+// Scheduler/Simulation plumbing that applies it, and the guarantee that the
+// automatic choice can never change results — every backend fires every
+// workload in bitwise-identical (time, insertion-order) order.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+#include "sim/timing_wheel.hpp"
+
+namespace rbs::sim {
+namespace {
+
+using namespace rbs::sim::literals;
+
+constexpr SimTime bucket_width() { return SimTime::picoseconds(TimingWheel::kBucketWidthPs); }
+
+TEST(ResolveSchedulerBackend, ExplicitRequestsPassThroughUnchanged) {
+  // An explicit backend choice must never be second-guessed by the hint.
+  for (const SimTime hint : {SimTime::zero(), bucket_width(), SimTime::infinity()}) {
+    EXPECT_EQ(resolve_scheduler_backend(SchedulerBackend::kHeap, hint), SchedulerBackend::kHeap);
+    EXPECT_EQ(resolve_scheduler_backend(SchedulerBackend::kWheel, hint), SchedulerBackend::kWheel);
+  }
+}
+
+TEST(ResolveSchedulerBackend, AutoPicksHeapInsideOneWheelBucket) {
+  // A schedule horizon inside one wheel bucket is the degenerate wheel
+  // workload (every event cascades through the current bucket); auto must
+  // choose the heap there and the wheel everywhere else.
+  EXPECT_EQ(resolve_scheduler_backend(SchedulerBackend::kAuto, SimTime::zero()),
+            SchedulerBackend::kHeap);
+  EXPECT_EQ(resolve_scheduler_backend(SchedulerBackend::kAuto,
+                                      bucket_width() - SimTime::picoseconds(1)),
+            SchedulerBackend::kHeap);
+  EXPECT_EQ(resolve_scheduler_backend(SchedulerBackend::kAuto, bucket_width()),
+            SchedulerBackend::kWheel);
+  EXPECT_EQ(resolve_scheduler_backend(SchedulerBackend::kAuto, 1_ms), SchedulerBackend::kWheel);
+  EXPECT_EQ(resolve_scheduler_backend(SchedulerBackend::kAuto, SimTime::infinity()),
+            SchedulerBackend::kWheel);
+}
+
+TEST(ResolveSchedulerBackend, ResolutionIsConstexpr) {
+  static_assert(resolve_scheduler_backend(SchedulerBackend::kAuto, SimTime::zero()) ==
+                SchedulerBackend::kHeap);
+  static_assert(resolve_scheduler_backend(SchedulerBackend::kAuto, SimTime::infinity()) ==
+                SchedulerBackend::kWheel);
+}
+
+TEST(BackendAuto, SchedulerReportsResolvedBackendNeverAuto) {
+  const Scheduler short_horizon{SchedulerBackend::kAuto, 10_us};
+  EXPECT_EQ(short_horizon.backend(), SchedulerBackend::kHeap);
+
+  const Scheduler long_horizon{SchedulerBackend::kAuto, 1_sec};
+  EXPECT_EQ(long_horizon.backend(), SchedulerBackend::kWheel);
+
+  // No hint means "unknown horizon": the conservative fast default.
+  const Scheduler no_hint{SchedulerBackend::kAuto};
+  EXPECT_EQ(no_hint.backend(), SchedulerBackend::kWheel);
+}
+
+TEST(BackendAuto, SimulationForwardsHorizonHint) {
+  Simulation short_horizon{1, SchedulerBackend::kAuto, 10_us};
+  EXPECT_EQ(short_horizon.scheduler().backend(), SchedulerBackend::kHeap);
+
+  Simulation long_horizon{1, SchedulerBackend::kAuto, 1_sec};
+  EXPECT_EQ(long_horizon.scheduler().backend(), SchedulerBackend::kWheel);
+}
+
+TEST(BackendAuto, BackendNameCoversAuto) {
+  EXPECT_EQ(std::string{scheduler_backend_name(SchedulerBackend::kAuto)}, "auto");
+  EXPECT_EQ(std::string{scheduler_backend_name(SchedulerBackend::kHeap)}, "heap");
+  EXPECT_EQ(std::string{scheduler_backend_name(SchedulerBackend::kWheel)}, "wheel");
+}
+
+// Runs a seeded schedule/cancel churn workload, bounded to `horizon`, and
+// returns the exact (fire-time ps, event id) trace.
+std::vector<std::pair<std::int64_t, int>> fire_trace(SchedulerBackend backend, SimTime horizon,
+                                                     std::uint64_t seed) {
+  Scheduler sched{backend, horizon};
+  Rng rng{seed};
+  std::vector<std::pair<std::int64_t, int>> trace;
+  std::vector<Scheduler::EventHandle> handles;
+  const std::int64_t span_us = horizon.ps() / 1'000'000;
+  for (int i = 0; i < 3'000; ++i) {
+    const auto t = SimTime::microseconds(rng.uniform_int(0, span_us));
+    handles.push_back(
+        sched.schedule_at(t, [&trace, &sched, i] { trace.emplace_back(sched.now().ps(), i); }));
+  }
+  for (auto& handle : handles) {
+    if (rng.bernoulli(0.25)) handle.cancel();
+  }
+  sched.run();
+  return trace;
+}
+
+TEST(BackendAuto, AutoIsBitwiseEquivalentToBothExplicitBackends) {
+  // The pinned contract behind kAuto: whatever it resolves to, the event
+  // trace matches both explicit backends bit for bit, so auto can never
+  // change simulation results — only engine speed.
+  for (const SimTime horizon : {30_us, 50_ms}) {
+    const auto heap = fire_trace(SchedulerBackend::kHeap, horizon, 42);
+    const auto wheel = fire_trace(SchedulerBackend::kWheel, horizon, 42);
+    const auto self_resolved = fire_trace(SchedulerBackend::kAuto, horizon, 42);
+    ASSERT_FALSE(heap.empty());
+    EXPECT_EQ(heap, wheel);
+    EXPECT_EQ(self_resolved, heap);
+  }
+}
+
+}  // namespace
+}  // namespace rbs::sim

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstring>
 #include <numeric>
 #include <stdexcept>
@@ -157,6 +158,69 @@ TEST(SweepRunner, ParallelShortFlowSweepIsBitwiseIdenticalToSerial) {
     EXPECT_EQ(serial[i].flows_completed, parallel[i].flows_completed);
     EXPECT_EQ(serial[i].queue_tail, parallel[i].queue_tail);
   }
+}
+
+std::uint64_t total_points(const std::vector<WorkerDispatchStats>& stats) {
+  std::uint64_t sum = 0;
+  for (const WorkerDispatchStats& s : stats) sum += s.points;
+  return sum;
+}
+
+std::uint64_t total_chunks(const std::vector<WorkerDispatchStats>& stats) {
+  std::uint64_t sum = 0;
+  for (const WorkerDispatchStats& s : stats) sum += s.chunks;
+  return sum;
+}
+
+TEST(SweepRunnerDispatchStats, OneEntryPerWorker) {
+  for (int threads : {1, 2, 4}) {
+    SweepRunner runner{threads};
+    EXPECT_EQ(runner.dispatch_stats().size(), static_cast<std::size_t>(runner.threads()));
+  }
+}
+
+TEST(SweepRunnerDispatchStats, PointsSumToBatchSizeAcrossWorkerCounts) {
+  constexpr std::size_t kPoints = 513;
+  for (int threads : {1, 2, 4}) {
+    SweepRunner runner{threads};
+    std::atomic<std::size_t> ran{0};
+    runner.run_indexed(kPoints, [&](std::size_t) { ++ran; });
+
+    const auto stats = runner.dispatch_stats();
+    EXPECT_EQ(ran.load(), kPoints);
+    EXPECT_EQ(total_points(stats), kPoints) << "threads=" << threads;
+    // Every claimed chunk ran at least one point, and no worker can claim
+    // more chunks than it ran points.
+    EXPECT_GE(total_chunks(stats), 1u);
+    EXPECT_LE(total_chunks(stats), total_points(stats));
+  }
+}
+
+TEST(SweepRunnerDispatchStats, CountersAccumulateAcrossRepeatedSweeps) {
+  SweepRunner runner{2};
+  constexpr std::size_t kPoints = 100;
+  constexpr int kSweeps = 5;
+  std::uint64_t prev_points = 0;
+  std::uint64_t prev_chunks = 0;
+  for (int sweep = 1; sweep <= kSweeps; ++sweep) {
+    runner.run_indexed(kPoints, [](std::size_t) {});
+    const auto stats = runner.dispatch_stats();
+    ASSERT_EQ(stats.size(), static_cast<std::size_t>(runner.threads()));
+    // Cumulative since construction: each batch adds exactly its size.
+    EXPECT_EQ(total_points(stats), kPoints * static_cast<std::uint64_t>(sweep));
+    EXPECT_GT(total_points(stats), prev_points);
+    EXPECT_GE(total_chunks(stats), prev_chunks);
+    prev_points = total_points(stats);
+    prev_chunks = total_chunks(stats);
+  }
+}
+
+TEST(SweepRunnerDispatchStats, SerialRunnerAttributesEverythingToWorkerZero) {
+  SweepRunner runner{1};
+  runner.run_indexed(64, [](std::size_t) {});
+  const auto stats = runner.dispatch_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].points, 64u);
 }
 
 }  // namespace

@@ -1,0 +1,35 @@
+// Positive thread-safety fixture: every guarded SweepBatchState access
+// below holds the mutex through core::LockGuard / core::CvLock, so this TU
+// must compile cleanly under -Wthread-safety -Werror=thread-safety (see
+// scripts/check_thread_safety.py).
+#include <cstddef>
+
+#include "core/thread_annotations.hpp"
+#include "experiment/sweep_dispatch.hpp"
+
+namespace {
+
+std::size_t guarded_reads(rbs::experiment::detail::SweepBatchState& state) {
+  rbs::core::LockGuard lock{state.mutex};
+  return state.batch_size + state.chunk + state.in_flight +
+         static_cast<std::size_t>(state.sleeping_helpers) +
+         static_cast<std::size_t>(state.point != nullptr) +
+         static_cast<std::size_t>(static_cast<bool>(state.first_error));
+}
+
+void guarded_writes(rbs::experiment::detail::SweepBatchState& state) {
+  rbs::core::CvLock lock{state.mutex};
+  state.batch_size = 8;
+  state.chunk = 2;
+  state.in_flight = 0;
+  ++state.sleeping_helpers;
+  state.first_error = nullptr;
+  state.point = nullptr;
+}
+
+}  // namespace
+
+int run_fixture(rbs::experiment::detail::SweepBatchState& state) {
+  guarded_writes(state);
+  return static_cast<int>(guarded_reads(state));
+}
