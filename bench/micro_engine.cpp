@@ -6,12 +6,15 @@
 // BENCH_engine.json tracks these results across engine changes.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdint>
+#include <vector>
 
 #include "experiment/long_flow_experiment.hpp"
 #include "experiment/sweep.hpp"
 #include "net/drop_tail_queue.hpp"
 #include "sim/simulation.hpp"
+#include "telemetry/sketch.hpp"
 #include "telemetry/trace.hpp"
 
 namespace {
@@ -198,6 +201,46 @@ void BM_TelemetryOverhead(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TelemetryOverhead)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_SketchRecord(benchmark::State& state) {
+  // Record-path throughput of the DDSketch quantile sketch. Values are
+  // drawn once into a table spanning ~5 decades (an FCT-shaped spread, so
+  // collapse pressure is realistic) and replayed, so the loop measures
+  // bucket indexing rather than RNG cost.
+  sim::Rng rng = sim::Rng{kBenchSeed}.fork(kRngBenchStream + 1);
+  std::vector<double> values(4096);
+  for (auto& v : values) v = std::exp((rng.uniform() - 0.5) * 12.0);
+  telemetry::QuantileSketch sketch{telemetry::QuantileSketch::Config{0.01, 2048}};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sketch.record(values[i++ & 4095]);
+  }
+  benchmark::DoNotOptimize(sketch.count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SketchRecord);
+
+void BM_FlowStatsOverhead(benchmark::State& state) {
+  // Flow-stats rollup cost on the reference dumbbell. Arg 0 keeps telemetry
+  // off entirely (the flag-off baseline the "existing outputs byte-identical,
+  // overhead <= 0.1%" contract compares against); Arg 1 enables metrics plus
+  // per-flow rollups, which adds one FlowObservation harvest per flow at
+  // measurement end on top of level-1 sampling.
+  const bool flow_stats = state.range(0) != 0;
+  for (auto _ : state) {
+    experiment::LongFlowExperimentConfig cfg;
+    cfg.num_flows = 10;
+    cfg.buffer_packets = 100;
+    cfg.warmup = sim::SimTime::seconds(1);
+    cfg.measure = sim::SimTime::seconds(1);
+    if (flow_stats) {
+      cfg.telemetry.metrics = true;
+      cfg.telemetry.flow_stats = true;
+    }
+    benchmark::DoNotOptimize(experiment::run_long_flow_experiment(cfg));
+  }
+}
+BENCHMARK(BM_FlowStatsOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -58,6 +58,18 @@
 //                         print per-event-class timing; sweeps additionally
 //                         get a live progress line and per-worker
 //                         utilization
+//   --flow-stats          (or flow_stats=1) collect per-flow rollups: FCT /
+//                         goodput / retransmit / peak-cwnd sketches plus the
+//                         "who hogs the bottleneck" top-K table. Printed as
+//                         a table and, with --metrics, embedded in the JSON
+//                         document under "flow_stats". Off by default; when
+//                         off, every output byte matches a build without the
+//                         feature.
+//   --post-mortem PATH    (or post_mortem=PATH) arm the flight recorder: on
+//                         an invariant-auditor violation or uncaught
+//                         exception, dump recent trace events, a metrics
+//                         snapshot, and live queue/scheduler state as
+//                         deterministic JSON to PATH (single-point runs)
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -142,8 +154,8 @@ int run_rbsim(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::printf("usage: rbsim [--paranoia] [--profile] [--metrics PATH] [--trace PATH]\n"
-                  "             [--sample-interval SEC] [--faults FILE]\n"
-                  "             [key=value ...] [config-file]\n"
+                  "             [--sample-interval SEC] [--faults FILE] [--flow-stats]\n"
+                  "             [--post-mortem PATH] [key=value ...] [config-file]\n"
                   "keys include mode=long|short|mixed|trace, buffer=N|auto|bdp[,..],\n"
                   "backend=wheel|heap|auto (scheduler ready-queue; identical results,\n"
                   "different speed), threads=N, seed=N\n"
@@ -158,18 +170,23 @@ int run_rbsim(int argc, char** argv) {
       kv["profile"] = "1";
       continue;
     }
+    if (arg == "--flow-stats") {
+      kv["flow_stats"] = "1";
+      continue;
+    }
     // Flags taking a value in the following argv slot. "--trace" maps to the
     // kv key "trace_out" because plain "trace" already names the replay
     // input file of mode=trace.
     if (arg == "--metrics" || arg == "--trace" || arg == "--sample-interval" ||
-        arg == "--faults") {
+        arg == "--faults" || arg == "--post-mortem") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "rbsim: %s needs a value\n", arg.c_str());
         return 2;
       }
-      const char* key = arg == "--metrics"         ? "metrics"
-                        : arg == "--trace"         ? "trace_out"
+      const char* key = arg == "--metrics"           ? "metrics"
+                        : arg == "--trace"           ? "trace_out"
                         : arg == "--sample-interval" ? "sample_interval"
+                        : arg == "--post-mortem"     ? "post_mortem"
                                                      : "faults";
       kv[key] = argv[++i];
       continue;
@@ -260,6 +277,18 @@ int run_rbsim(int argc, char** argv) {
   tele_cfg.metrics = !metrics_path.empty();
   tele_cfg.sample_interval = sim::SimTime::from_seconds(get_num(kv, "sample_interval", 0.1));
   tele_cfg.profile = profile;
+  tele_cfg.flow_stats = get_num(kv, "flow_stats", 0) > 0;
+  // The flight recorder writes one post-mortem file, so a sweep's concurrent
+  // points would race on it; single-point runs only, like --trace.
+  const std::string post_mortem_path = get_str(kv, "post_mortem", "");
+  if (!post_mortem_path.empty()) {
+    if (buffers.size() > 1) {
+      std::fprintf(stderr,
+                   "rbsim: --post-mortem applies to single-point runs; ignored for sweeps\n");
+    } else {
+      tele_cfg.flight_recorder_path = post_mortem_path;
+    }
+  }
   std::unique_ptr<telemetry::TraceSession> trace_session;
   if (!trace_path.empty()) {
     if (buffers.size() > 1) {
@@ -270,14 +299,50 @@ int run_rbsim(int argc, char** argv) {
     }
   }
 
+  // Prints the per-flow rollup: headline counters, FCT/goodput quantiles,
+  // and the heavy-hitter table. No-op unless --flow-stats collected one.
+  const auto print_flow_stats = [](const experiment::TelemetryResult& t) {
+    if (!t.flow_stats_collected) return;
+    const auto& fs = t.flow_stats;
+    std::printf("flow stats   : %llu flows (%llu completed), %llu rtx, %llu ECN marks\n",
+                static_cast<unsigned long long>(fs.flows()),
+                static_cast<unsigned long long>(fs.flows_completed()),
+                static_cast<unsigned long long>(fs.total_retransmits()),
+                static_cast<unsigned long long>(fs.total_ecn_marks()));
+    if (fs.flows_completed() > 0) {
+      std::printf("  fct        : p50 %.4f s, p99 %.4f s\n", fs.fct().quantile(0.50),
+                  fs.fct().quantile(0.99));
+    }
+    if (fs.flows() > 0) {
+      std::printf("  goodput    : p50 %.3f Mb/s   peak cwnd: p99 %.1f pkts\n",
+                  fs.goodput().quantile(0.50) / 1e6, fs.peak_cwnd().quantile(0.99));
+    }
+    const auto hogs = fs.hogs().top(5);
+    for (const auto& h : hogs) {
+      std::printf("  hog flow %-8llu %10.3f MB acked (overcount <= %.3f MB)\n",
+                  static_cast<unsigned long long>(h.key),
+                  static_cast<double>(h.weight) / 1e6, static_cast<double>(h.error) / 1e6);
+    }
+  };
+
+  // Serializes one run's metrics document. --flow-stats appends its rollup
+  // as a third top-level key, so documents without it are byte-identical to
+  // pre-flow-stats builds.
+  const auto metrics_doc = [](const experiment::TelemetryResult& t) {
+    std::string doc = "{\"snapshot\":" + t.snapshot.to_json() +
+                      ",\"series\":" + t.series.to_json();
+    if (t.flow_stats_collected) doc += ",\"flow_stats\":" + t.flow_stats.to_json();
+    doc += "}\n";
+    return doc;
+  };
+
   // Writes the metrics/trace artifacts of a single-point run and prints the
   // profiler summary, all no-ops for whatever was not requested.
   const auto emit_telemetry = [&](const experiment::TelemetryResult& t) {
     if (!t.profile_summary.empty()) std::printf("\n%s", t.profile_summary.c_str());
+    print_flow_stats(t);
     if (t.collected && !metrics_path.empty()) {
-      const std::string doc = "{\"snapshot\":" + t.snapshot.to_json() +
-                              ",\"series\":" + t.series.to_json() + "}\n";
-      if (experiment::write_file(metrics_path, doc) &&
+      if (experiment::write_file(metrics_path, metrics_doc(t)) &&
           experiment::write_file(metrics_path + ".series.csv", t.series.to_csv())) {
         std::printf("metrics      : %s (series: %s.series.csv)\n", metrics_path.c_str(),
                     metrics_path.c_str());
@@ -333,9 +398,7 @@ int run_rbsim(int argc, char** argv) {
         const experiment::TelemetryResult& t = telemetry_of(i);
         if (!t.collected) continue;
         const std::string tag = ".point" + std::to_string(i);
-        ok = experiment::write_file(metrics_path + tag + ".json",
-                                    "{\"snapshot\":" + t.snapshot.to_json() +
-                                        ",\"series\":" + t.series.to_json() + "}\n") &&
+        ok = experiment::write_file(metrics_path + tag + ".json", metrics_doc(t)) &&
              experiment::write_series_artifacts(
                  dir, stem + tag,
                  "buffer=" + std::to_string(static_cast<long long>(buffers[i])) + " pkts",

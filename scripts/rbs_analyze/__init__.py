@@ -45,7 +45,7 @@ docs/static_analysis.md for the workflow and suppression syntax.
 
 __version__ = "1.1"
 
-RULES = ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8")
+RULES = ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9")
 
 RULE_TITLES = {
     "R1": "nondeterminism source",
@@ -56,4 +56,5 @@ RULE_TITLES = {
     "R6": "shared state written in a parallel region without classification",
     "R7": "pooled event slot captured across a recycle point",
     "R8": "scheduler-backend branch outside profile/stats paths",
+    "R9": "metric/trace name not in the documented reference",
 }

@@ -17,7 +17,7 @@ from .driver import run
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(
         prog="rbs-analyze",
-        description="Simulator-semantics static analysis for rbs (rules R1-R8).",
+        description="Simulator-semantics static analysis for rbs (rules R1-R9).",
     )
     ap.add_argument("--repo", type=Path, default=None,
                     help="repository root (default: auto-detect from this file)")

@@ -35,8 +35,9 @@ from .rules import (
 NAME = "clang"
 
 # Rules evaluated by the shared token engine in every backend (see module
-# docstring).
-TOKEN_ENGINE_RULES = ("R6", "R7", "R8")
+# docstring). R9 rides along: it reads raw text, not the AST, so both
+# backends agree on every metric-name finding by construction.
+TOKEN_ENGINE_RULES = ("R6", "R7", "R8", "R9")
 
 
 def available() -> bool:
@@ -118,7 +119,7 @@ def _token_engine(repo: Path, files: List[Path], rules: List[str]) -> List[Findi
         except OSError:
             continue
         tokens[rel] = tokenize(text)
-    ctx = build_context(tokens)
+    ctx = build_context(tokens, repo)
     out: List[Finding] = []
     for rel, toks in tokens.items():
         for rule in rules:

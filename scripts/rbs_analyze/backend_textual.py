@@ -29,7 +29,7 @@ def analyze(repo: Path, files: List[Path], rules: List[str]) -> List[Finding]:
         texts[rel] = text
         tokens[rel] = tokenize(text)
 
-    ctx = build_context(tokens)
+    ctx = build_context(tokens, repo)
     findings: List[Finding] = []
     for rel, toks in tokens.items():
         for rule in rules:

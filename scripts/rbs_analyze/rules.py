@@ -1,13 +1,20 @@
-"""R1–R8 implemented over the lexer's token stream.
+"""R1–R9 implemented over the lexer's token stream.
 
 Each rule is a function (path, tokens, ctx) -> [Finding]. `ctx` carries
-cross-file facts (the index of declared unordered-container variables and
-the cross-TU symbol index of concurrency classifications) so rules can
-resolve names declared in a header while analyzing the .cpp.
+cross-file facts (the index of declared unordered-container variables, the
+cross-TU symbol index of concurrency classifications, and the documented
+metric-name reference) so rules can resolve names declared in a header
+while analyzing the .cpp.
+
+R9 is the one exception to the token-stream diet: the lexer strips string
+literal contents, so the metric-name rule re-reads the file and scans raw
+text for registry/trace name literals.
 """
 from __future__ import annotations
 
 import dataclasses
+import re
+from pathlib import Path
 from typing import Dict, List, Optional, Set, Tuple
 
 from .findings import Finding
@@ -73,11 +80,30 @@ class AnalysisContext:
     unordered_names: Set[str] = dataclasses.field(default_factory=set)
     # Cross-TU class/member concurrency classifications (R6–R8).
     symbols: SymbolIndex = dataclasses.field(default_factory=SymbolIndex)
+    # Repo root, for rules that need raw file text (R9). None in unit use.
+    repo: Optional[Path] = None
+    # Backticked tokens from docs/observability.md — the normative metric
+    # and trace-name reference R9 checks against. None when the doc is
+    # absent (R9 then stays silent rather than flagging everything).
+    metric_reference: Optional[Set[str]] = None
 
 
-def build_context(files: Dict[str, List[Token]]) -> AnalysisContext:
+def _load_metric_reference(repo: Optional[Path]) -> Optional[Set[str]]:
+    if repo is None:
+        return None
+    try:
+        text = (repo / "docs" / "observability.md").read_text(errors="replace")
+    except OSError:
+        return None
+    return set(re.findall(r"`([^`\n]+)`", text))
+
+
+def build_context(files: Dict[str, List[Token]],
+                  repo: Optional[Path] = None) -> AnalysisContext:
     ctx = AnalysisContext()
     ctx.symbols = build_symbol_index(files)
+    ctx.repo = repo
+    ctx.metric_reference = _load_metric_reference(repo)
     for tokens in files.values():
         for i, t in enumerate(tokens):
             if t.text in ("unordered_map", "unordered_set"):
@@ -730,6 +756,105 @@ def rule_r8(path: str, tokens: List[Token], ctx: AnalysisContext) -> List[Findin
     return findings
 
 
+# --------------------------------------------------------------------------
+# R9: undocumented metric / trace names
+# --------------------------------------------------------------------------
+# The metrics-name reference table in docs/observability.md is normative:
+# every metric registered on a MetricsRegistry and every trace category or
+# event name emitted as a string literal in src/ must appear there
+# (backticked). Names built at runtime (variables, concatenation) are out of
+# scope — the rule checks only literal arguments in name positions.
+
+_R9_REGISTRY_CALL_RE = re.compile(r"(?:\.|->)\s*(?:counter|gauge|histogram)\s*\(")
+_R9_TRACE_METHOD_RE = re.compile(
+    r"(?:\.|->)\s*(?:instant|complete|instant_with_detail)\s*\(")
+_R9_TRACE_MACRO_RE = re.compile(r"\bRBS_TRACE_(?:INSTANT|COMPLETE|COUNTER)\s*\(")
+_R9_STRING_LITERAL_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
+
+
+def _r9_strip_comments(text: str) -> str:
+    """Blanks comments while preserving offsets and line structure."""
+
+    def blank(m: "re.Match[str]") -> str:
+        return re.sub(r"[^\n]", " ", m.group(0))
+
+    text = re.sub(r"/\*.*?\*/", blank, text, flags=re.DOTALL)
+    return re.sub(r"//[^\n]*", blank, text)
+
+
+def _r9_call_args(text: str, open_paren: int) -> List[Tuple[str, int]]:
+    """Splits the argument list of the call whose '(' sits at `open_paren`
+    into top-level (arg_text, start_offset) pairs."""
+    args: List[Tuple[str, int]] = []
+    depth = 1
+    start = i = open_paren + 1
+    in_string = False
+    while i < len(text):
+        c = text[i]
+        if in_string:
+            if c == "\\":
+                i += 2
+                continue
+            if c == '"':
+                in_string = False
+        elif c == '"':
+            in_string = True
+        elif c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+            if depth == 0:
+                args.append((text[start:i], start))
+                return args
+        elif c == "," and depth == 1:
+            args.append((text[start:i], start))
+            start = i + 1
+        i += 1
+    return args
+
+
+def rule_r9(path: str, tokens: List[Token], ctx: AnalysisContext) -> List[Finding]:
+    if not path.startswith("src/"):
+        return []
+    if ctx.repo is None or ctx.metric_reference is None:
+        return []
+    try:
+        raw = (ctx.repo / path).read_text(errors="replace")
+    except OSError:
+        return []
+    text = _r9_strip_comments(raw)
+    findings: List[Finding] = []
+
+    def check_args(args: List[Tuple[str, int]]) -> None:
+        for arg, start in args:
+            m = _R9_STRING_LITERAL_RE.fullmatch(arg.strip())
+            if m is None:
+                continue  # runtime-built name: out of scope
+            name = m.group(1)
+            if name in ctx.metric_reference:
+                continue
+            line = text.count("\n", 0, start) + 1
+            findings.append(
+                Finding(path, line, "R9",
+                        f'metric/trace name "{name}" is not in the '
+                        "docs/observability.md reference",
+                        "add it to the metrics-name reference table "
+                        "(the table is normative) or reuse a documented name")
+            )
+
+    for m in _R9_REGISTRY_CALL_RE.finditer(text):
+        # Name position: first argument. This also covers
+        # TraceSession::counter, whose first argument is the category.
+        check_args(_r9_call_args(text, m.end() - 1)[:1])
+    for m in _R9_TRACE_METHOD_RE.finditer(text):
+        # Category and event name.
+        check_args(_r9_call_args(text, m.end() - 1)[:2])
+    for m in _R9_TRACE_MACRO_RE.finditer(text):
+        # Argument 0 is the session expression; 1 and 2 are cat and name.
+        check_args(_r9_call_args(text, m.end() - 1)[1:3])
+    return findings
+
+
 ALL_RULES = {
     "R1": rule_r1,
     "R2": rule_r2,
@@ -739,4 +864,5 @@ ALL_RULES = {
     "R6": rule_r6,
     "R7": rule_r7,
     "R8": rule_r8,
+    "R9": rule_r9,
 }

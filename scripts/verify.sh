@@ -4,13 +4,14 @@
 #      tool is a hard failure with a named diagnostic, never a silent skip
 #   1. tier-1: RelWithDebInfo build + complete ctest suite
 #   2. determinism lint: scripts/lint_determinism.py over src/
-#   3. semantics analysis: rbs-analyze rules R1-R8 against the checked-in
+#   3. semantics analysis: rbs-analyze rules R1-R9 against the checked-in
 #      baseline, plus the analyzer's own fixture corpus
 #   4. fault scenarios: the deterministic failure-scenario suite plus an
 #      rbsim --faults smoke run (schedule parse, arming banner, fault report)
 #   5. bench smoke: one short repetition of the engine microbenchmarks
-#   6. telemetry smoke: one instrumented rbsim run; validate the Chrome
-#      trace and metrics artifacts with scripts/check_telemetry.py
+#   6. telemetry smoke: one instrumented rbsim run with per-flow rollups and
+#      the flight recorder armed; validate the Chrome trace, metrics, and
+#      flow-stats artifacts (and any post-mortem) with check_telemetry.py
 #   7. ASan/UBSan + RBS_CHECKED: rebuild with AddressSanitizer +
 #      UndefinedBehaviorSanitizer and the hot-path invariant macros armed,
 #      run the complete test suite
@@ -101,11 +102,17 @@ echo "=== [6/9] telemetry smoke ==="
 mkdir -p build/telemetry_smoke
 ./build/examples/rbsim mode=long flows=20 duration=2 warmup=1 \
   --metrics build/telemetry_smoke/metrics.json \
-  --trace build/telemetry_smoke/trace.json --profile
+  --trace build/telemetry_smoke/trace.json --profile --flow-stats \
+  --post-mortem build/telemetry_smoke/post_mortem.json
 python3 scripts/check_telemetry.py \
   --trace build/telemetry_smoke/trace.json \
   --metrics build/telemetry_smoke/metrics.json \
   --min-trace-events 1000
+# A healthy run writes no post-mortem; validate only if the recorder fired.
+if [ -f build/telemetry_smoke/post_mortem.json ]; then
+  python3 scripts/check_telemetry.py \
+    --post-mortem build/telemetry_smoke/post_mortem.json
+fi
 
 echo "=== [7/9] ASan/UBSan + RBS_CHECKED: full test suite ==="
 cmake -B build-asan -S . -DRBS_ASAN=ON -DRBS_CHECKED=ON >/dev/null

@@ -55,10 +55,12 @@ LongFlowExperimentResult run_long_flow_experiment(const LongFlowExperimentConfig
     auditor->add("tcp", workload);
     if (injector) auditor->add("fault.injector", *injector);
     sim.enable_auditing(*auditor, config.audit_every_events);
+    tele.attach_auditor(*auditor);
   }
+  tele.arm_crash_probes(topo.bottleneck());
 
   // Warm up, then reset counters and measure.
-  sim.run_until(config.warmup);
+  tele.run_guarded(config.warmup);
   topo.bottleneck().reset_stats();
   const tcp::TcpSourceStats tcp_at_warmup = workload.total_stats();
   stats::UtilizationMeter meter{sim, topo.bottleneck()};
@@ -110,7 +112,45 @@ LongFlowExperimentResult run_long_flow_experiment(const LongFlowExperimentConfig
     cwnd_sampler->start(sim.now() + config.cwnd_sample_interval);
   }
 
-  sim.run_until(config.warmup + config.measure);
+  // Steady-state detection over the measurement window, fed by its own
+  // delta-based probe on the telemetry cadence. Runs whenever metrics are
+  // collected (to document settling time) or early exit is requested.
+  std::unique_ptr<telemetry::ConvergenceDetector> conv;
+  std::unique_ptr<stats::PeriodicSampler> conv_sampler;
+  if (config.telemetry.metrics || config.convergence_early_exit) {
+    conv = std::make_unique<telemetry::ConvergenceDetector>(config.convergence);
+    const double interval_sec = config.telemetry.sample_interval.to_seconds();
+    conv_sampler = std::make_unique<stats::PeriodicSampler>(
+        sim, config.telemetry.sample_interval,
+        [&sim, &topo, det = conv.get(), interval_sec,
+         prev_bits = topo.bottleneck().stats().bits_delivered,
+         prev_drops = topo.bottleneck().queue().stats().dropped_packets,
+         rate = topo.bottleneck().rate_bps()]() mutable {
+          const std::uint64_t bits = topo.bottleneck().stats().bits_delivered;
+          const std::uint64_t drops = topo.bottleneck().queue().stats().dropped_packets;
+          const double util = static_cast<double>(bits - prev_bits) / (rate * interval_sec);
+          const double drop_pps = static_cast<double>(drops - prev_drops) / interval_sec;
+          prev_bits = bits;
+          prev_drops = drops;
+          det->observe(sim.now(), util,
+                       static_cast<double>(topo.bottleneck().occupancy_packets()), drop_pps);
+          return det->converged() ? 1.0 : 0.0;
+        });
+    conv_sampler->start(sim.now() + config.telemetry.sample_interval);
+  }
+
+  const sim::SimTime measure_end = config.warmup + config.measure;
+  if (config.convergence_early_exit && conv) {
+    // Interval-bounded chunks: splitting run_until at times where the only
+    // due work is the sampler tick itself preserves event order exactly, so
+    // a run that never converges early matches the single-run_until run.
+    while (sim.now() < measure_end && !conv->converged()) {
+      tele.run_guarded(std::min(measure_end, sim.now() + config.telemetry.sample_interval));
+    }
+    if (sim.now() < measure_end) conv->mark_truncated();
+  } else {
+    tele.run_guarded(measure_end);
+  }
 
   if (auditor) {
     auditor->audit_now();
@@ -156,6 +196,15 @@ LongFlowExperimentResult run_long_flow_experiment(const LongFlowExperimentConfig
     result.fairness = stats::jain_fairness_index(goodput);
   }
   for (const auto& link : topo.links()) result.fault_drops += link->fault_stats().total();
+
+  // Per-flow harvest: long flows never complete, so each reports its
+  // lifetime-to-date summary (completed = false) at measurement end.
+  if (tele.flow_stats() != nullptr) {
+    for (int i = 0; i < config.num_flows; ++i) {
+      tele.record_tcp_flow(workload.source(i), sim.now());
+    }
+  }
+  if (conv) conv->export_into(sim.metrics());
   result.telemetry = tele.finish();
   return result;
 }

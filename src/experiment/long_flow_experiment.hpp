@@ -60,8 +60,21 @@ struct LongFlowExperimentConfig {
   bool checked{false};
   std::uint64_t audit_every_events{50'000};
 
-  /// Observability: metrics snapshot + time series, tracing, profiling.
+  /// Observability: metrics snapshot + time series, tracing, profiling,
+  /// flow stats, flight recorder.
   TelemetryConfig telemetry{};
+
+  /// Stop the measurement window early once the convergence detector
+  /// declares steady state. Opt-in: the default run is one uninterrupted
+  /// run_until and produces byte-identical outputs with or without this
+  /// field existing. When an exit actually triggers, the truncation is
+  /// recorded in the metrics (convergence.truncated = 1) and utilization /
+  /// rates stay correct because they are elapsed-time normalized.
+  bool convergence_early_exit{false};
+  /// Detector tuning (windows are counted in telemetry.sample_interval
+  /// ticks). The detector runs whenever metrics are on or early exit is
+  /// requested, and exports convergence.* gauges either way.
+  telemetry::ConvergenceConfig convergence{};
 
   /// Injected fault windows (empty = no injector, bitwise-identical run;
   /// see docs/faults.md). Links are addressed by topology name.

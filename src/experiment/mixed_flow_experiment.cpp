@@ -107,11 +107,22 @@ MixedFlowExperimentResult run_mixed_flow_experiment(const MixedFlowExperimentCon
       for (const auto& s : long_sinks) s->audit(report);
     });
     sim.enable_auditing(*auditor, config.audit_every_events);
+    tele.attach_auditor(*auditor);
   }
+  tele.arm_crash_probes(topo.bottleneck());
 
-  sim.run_until(config.warmup);
+  tele.run_guarded(config.warmup);
   topo.bottleneck().reset_stats();
   const auto measure_start = sim.now();
+
+  // Per-flow rollup: short flows report at reap time (measurement-window
+  // starters only, mirroring afct_filtered); long flows report once at the
+  // end of the run.
+  if (tele.flow_stats() != nullptr) {
+    short_flows.on_flow_complete = [&tele, &sim, measure_start](const tcp::TcpSource& src) {
+      if (src.start_time() >= measure_start) tele.record_tcp_flow(src, sim.now());
+    };
+  }
   stats::UtilizationMeter meter{sim, topo.bottleneck()};
   meter.begin();
 
@@ -142,7 +153,7 @@ MixedFlowExperimentResult run_mixed_flow_experiment(const MixedFlowExperimentCon
   }};
   queue_sampler.start(sim.now() + queue_interval);
 
-  sim.run_until(config.warmup + config.measure);
+  tele.run_guarded(config.warmup + config.measure);
 
   if (auditor) {
     auditor->audit_now();
@@ -168,6 +179,9 @@ MixedFlowExperimentResult run_mixed_flow_experiment(const MixedFlowExperimentCon
                                               static_cast<double>(offered)
                                         : 0.0;
   for (const auto& link : topo.links()) result.fault_drops += link->fault_stats().total();
+  if (tele.flow_stats() != nullptr) {
+    for (const auto& s : long_sources) tele.record_tcp_flow(*s, sim.now());
+  }
   result.telemetry = tele.finish();
   return result;
 }

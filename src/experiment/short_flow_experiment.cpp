@@ -51,12 +51,23 @@ ShortFlowExperimentResult run_short_flow_experiment(const ShortFlowExperimentCon
     auditor->add("short_flows", workload);
     if (injector) auditor->add("fault.injector", *injector);
     sim.enable_auditing(*auditor, config.audit_every_events);
+    tele.attach_auditor(*auditor);
   }
+  tele.arm_crash_probes(topo.bottleneck());
 
-  sim.run_until(config.warmup);
+  tele.run_guarded(config.warmup);
   topo.bottleneck().reset_stats();
   // Only flows that start inside the measurement window count toward AFCT.
   const auto measure_start = sim.now();
+
+  // Per-flow harvest at reap time, armed at measurement start so warmup
+  // completions stay out of the rollup (mirroring afct_filtered). The hub
+  // sees every completed flow once; memory stays bounded by the active set.
+  if (tele.flow_stats() != nullptr) {
+    workload.on_flow_complete = [&tele, &sim, measure_start](const tcp::TcpSource& src) {
+      if (src.start_time() >= measure_start) tele.record_tcp_flow(src, sim.now());
+    };
+  }
   stats::UtilizationMeter meter{sim, topo.bottleneck()};
   meter.begin();
 
@@ -85,7 +96,41 @@ ShortFlowExperimentResult run_short_flow_experiment(const ShortFlowExperimentCon
   }};
   queue_sampler.start(sim.now() + sample_every);
 
-  sim.run_until(config.warmup + config.measure);
+  // Steady-state detection on the telemetry cadence (see the long-flow
+  // experiment for the probe rationale).
+  std::unique_ptr<telemetry::ConvergenceDetector> conv;
+  std::unique_ptr<stats::PeriodicSampler> conv_sampler;
+  if (config.telemetry.metrics || config.convergence_early_exit) {
+    conv = std::make_unique<telemetry::ConvergenceDetector>(config.convergence);
+    const double interval_sec = config.telemetry.sample_interval.to_seconds();
+    conv_sampler = std::make_unique<stats::PeriodicSampler>(
+        sim, config.telemetry.sample_interval,
+        [&sim, &topo, det = conv.get(), interval_sec,
+         prev_bits = topo.bottleneck().stats().bits_delivered,
+         prev_drops = topo.bottleneck().queue().stats().dropped_packets,
+         rate = topo.bottleneck().rate_bps()]() mutable {
+          const std::uint64_t bits = topo.bottleneck().stats().bits_delivered;
+          const std::uint64_t drops = topo.bottleneck().queue().stats().dropped_packets;
+          const double util = static_cast<double>(bits - prev_bits) / (rate * interval_sec);
+          const double drop_pps = static_cast<double>(drops - prev_drops) / interval_sec;
+          prev_bits = bits;
+          prev_drops = drops;
+          det->observe(sim.now(), util,
+                       static_cast<double>(topo.bottleneck().occupancy_packets()), drop_pps);
+          return det->converged() ? 1.0 : 0.0;
+        });
+    conv_sampler->start(sim.now() + config.telemetry.sample_interval);
+  }
+
+  const sim::SimTime measure_end = config.warmup + config.measure;
+  if (config.convergence_early_exit && conv) {
+    while (sim.now() < measure_end && !conv->converged()) {
+      tele.run_guarded(std::min(measure_end, sim.now() + config.telemetry.sample_interval));
+    }
+    if (sim.now() < measure_end) conv->mark_truncated();
+  } else {
+    tele.run_guarded(measure_end);
+  }
 
   if (auditor) {
     auditor->audit_now();
@@ -118,6 +163,7 @@ ShortFlowExperimentResult run_short_flow_experiment(const ShortFlowExperimentCon
     }
   }
   for (const auto& link : topo.links()) result.fault_drops += link->fault_stats().total();
+  if (conv) conv->export_into(sim.metrics());
   result.telemetry = tele.finish();
   return result;
 }

@@ -49,8 +49,14 @@ struct ShortFlowExperimentConfig {
   bool checked{false};
   std::uint64_t audit_every_events{50'000};
 
-  /// Observability: metrics snapshot + time series, tracing, profiling.
+  /// Observability: metrics snapshot + time series, tracing, profiling,
+  /// flow stats, flight recorder.
   TelemetryConfig telemetry{};
+
+  /// Stop measuring early at detected steady state (opt-in; see the same
+  /// field on LongFlowExperimentConfig for semantics and caveats).
+  bool convergence_early_exit{false};
+  telemetry::ConvergenceConfig convergence{};
 
   /// Injected fault windows (empty = no injector; see docs/faults.md).
   fault::FaultSchedule faults{};

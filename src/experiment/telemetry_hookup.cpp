@@ -1,5 +1,7 @@
 #include "experiment/telemetry_hookup.hpp"
 
+#include <stdexcept>
+
 #include "net/red_queue.hpp"
 
 namespace rbs::experiment {
@@ -13,6 +15,18 @@ ExperimentTelemetry::ExperimentTelemetry(sim::Simulation& sim, const TelemetryCo
   }
   if (config_.metrics) {
     sampler_ = std::make_unique<telemetry::MetricsSampler>(sim_, config_.sample_interval);
+  }
+  if (config_.flow_stats) {
+    telemetry::FlowStatsHub::Config fs;
+    fs.top_k = config_.flow_stats_top_k;
+    flow_stats_ = std::make_unique<telemetry::FlowStatsHub>(fs);
+  }
+  if (!config_.flight_recorder_path.empty()) {
+    telemetry::FlightRecorder::Config fr;
+    fr.path = config_.flight_recorder_path;
+    recorder_ = std::make_unique<telemetry::FlightRecorder>(fr);
+    recorder_->attach(&sim_.metrics(), config_.trace);
+    recorder_->set_clock([&sim = sim_] { return sim.now(); });
   }
 }
 
@@ -64,6 +78,17 @@ void ExperimentTelemetry::add_bottleneck_probes(net::Link& bottleneck) {
   // Scheduler health on the same cadence: live events track workload churn.
   sampler_->add_probe("events_pending",
                       [&sim = sim_] { return static_cast<double>(sim.scheduler().pending_events()); });
+
+  // With flow stats on, track the rollup as it fills: how many flows have
+  // reported, and the running median FCT. Constant columns for long-flow
+  // runs (which harvest at measurement end), live for short-flow runs.
+  if (flow_stats_) {
+    sampler_->add_probe("flows_observed", [hub = flow_stats_.get()] {
+      return static_cast<double>(hub->flows());
+    });
+    sampler_->add_probe("fct_p50_sec",
+                        [hub = flow_stats_.get()] { return hub->fct().quantile(0.50); });
+  }
 }
 
 void ExperimentTelemetry::add_probe(std::string column, std::function<double()> probe) {
@@ -73,6 +98,73 @@ void ExperimentTelemetry::add_probe(std::string column, std::function<double()> 
 
 void ExperimentTelemetry::start(sim::SimTime first) {
   if (sampler_) sampler_->start(first);
+}
+
+void ExperimentTelemetry::record_tcp_flow(const tcp::TcpSource& src, sim::SimTime now) {
+  if (!flow_stats_ || !src.started()) return;
+  telemetry::FlowObservation obs;
+  obs.flow_id = static_cast<std::uint64_t>(src.flow());
+  obs.completed = src.finished();
+  const sim::SimTime end = obs.completed ? src.finish_time() : now;
+  obs.fct = end - src.start_time();
+  const double elapsed = obs.fct.to_seconds();
+  obs.bytes_acked =
+      static_cast<std::uint64_t>(src.snd_una()) *
+      static_cast<std::uint64_t>(src.config().segment.count());
+  obs.goodput = core::BitsPerSec{
+      elapsed > 0.0 ? static_cast<double>(obs.bytes_acked) * 8.0 / elapsed : 0.0};
+  obs.retransmits = src.stats().retransmissions;
+  obs.peak_cwnd_packets = src.cwnd_peak();
+  obs.ecn_marks = src.stats().ecn_reductions;
+  flow_stats_->record_flow(obs);
+}
+
+void ExperimentTelemetry::arm_crash_probes(net::Link& bottleneck) {
+  if (!recorder_) return;
+  recorder_->add_state_probe("queue_depth_pkts", [&bottleneck] {
+    return static_cast<double>(bottleneck.occupancy_packets());
+  });
+  recorder_->add_state_probe("queue_dropped_packets", [&bottleneck] {
+    return static_cast<double>(bottleneck.queue().stats().dropped_packets);
+  });
+  recorder_->add_state_probe("link_bits_delivered", [&bottleneck] {
+    return static_cast<double>(bottleneck.stats().bits_delivered);
+  });
+  recorder_->add_state_probe("events_pending", [&sim = sim_] {
+    return static_cast<double>(sim.scheduler().pending_events());
+  });
+  recorder_->add_state_probe("events_executed", [&sim = sim_] {
+    return static_cast<double>(sim.scheduler().executed_events());
+  });
+}
+
+void ExperimentTelemetry::attach_auditor(check::InvariantAuditor& auditor) {
+  if (!recorder_) return;
+  auto prev = std::move(auditor.on_violation);
+  auditor.on_violation = [rec = recorder_.get(), prev = std::move(prev)](
+                             const check::Violation& v) {
+    if (prev) prev(v);
+    rec->note(v.subsystem + ": " + v.message);
+    // Dump at violation time, while the world is still in the violating
+    // state — require_clean()'s later throw unwinds past it.
+    rec->dump("auditor violation: " + v.subsystem);
+  };
+}
+
+void ExperimentTelemetry::run_guarded(sim::SimTime until) {
+  if (!recorder_) {
+    sim_.run_until(until);
+    return;
+  }
+  try {
+    sim_.run_until(until);
+  } catch (const std::exception& e) {
+    recorder_->dump(std::string{"uncaught exception: "} + e.what());
+    throw;
+  } catch (...) {
+    recorder_->dump("uncaught exception: unknown");
+    throw;
+  }
 }
 
 TelemetryResult ExperimentTelemetry::finish() {
@@ -86,6 +178,14 @@ TelemetryResult ExperimentTelemetry::finish() {
       .set(static_cast<double>(sim_.scheduler().pending_events()));
   registry.counter("engine.events_executed").reset();
   registry.counter("engine.events_executed").add(sim_.scheduler().executed_events());
+
+  // Ring overflow visibility: how much of the run scrolled out of the trace
+  // buffer. Only registered when tracing ran, so untraced snapshots (and
+  // their goldens) are unchanged.
+  if (config_.trace != nullptr) {
+    registry.gauge("trace.dropped_records")
+        .set(static_cast<double>(config_.trace->dropped_events()));
+  }
 
   if (profiler_) {
     profiler_->export_into(registry);
@@ -103,6 +203,12 @@ TelemetryResult ExperimentTelemetry::finish() {
     registry.gauge("engine.wheel.due_entries").set(static_cast<double>(ws.due_entries));
     registry.counter("engine.wheel.cascades").reset();
     registry.counter("engine.wheel.cascades").add(ws.cascades);
+  }
+  if (flow_stats_) {
+    flow_stats_->export_into(registry);
+    out.flow_stats = *flow_stats_;
+    out.flow_stats_collected = true;
+    out.collected = true;
   }
   if (sampler_) out.series = sampler_->take();
   out.snapshot = registry.snapshot();

@@ -2,10 +2,11 @@
 //
 // Every experiment (long-flow, short-flow, mixed) accepts a TelemetryConfig
 // and returns a TelemetryResult: a point-in-time metrics snapshot, a
-// fixed-cadence time series over the measurement window, and (optionally) an
-// engine-profiler summary. ExperimentTelemetry is the one place that wires
-// the Simulation's registry, a borrowed TraceSession, the scheduler
-// profiler, and the standard bottleneck probes together, so the three
+// fixed-cadence time series over the measurement window, an optional
+// per-flow rollup (FlowStatsHub), and (optionally) an engine-profiler
+// summary. ExperimentTelemetry is the one place that wires the Simulation's
+// registry, a borrowed TraceSession, the scheduler profiler, the flight
+// recorder, and the standard bottleneck probes together, so the three
 // experiment drivers stay thin and agree on metric names.
 //
 // Standard series columns (all sampled on config.sample_interval):
@@ -14,6 +15,9 @@
 //   cwnd_total_pkts    aggregate congestion window (experiment-provided)
 //   drop_rate_pps      bottleneck drops per second over the last interval
 //   mark_rate_pps      ECN marks per second (RED bottlenecks only)
+// With flow stats on, two more columns track the rollup as it fills:
+//   flows_observed     observations recorded so far
+//   fct_p50_sec        running median FCT over completed flows
 #pragma once
 
 #include <functional>
@@ -21,8 +25,13 @@
 #include <string>
 #include <utility>
 
+#include "check/auditor.hpp"
 #include "net/link.hpp"
 #include "sim/simulation.hpp"
+#include "tcp/tcp_source.hpp"
+#include "telemetry/convergence.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/flow_stats.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/profiler.hpp"
 #include "telemetry/sampler.hpp"
@@ -41,6 +50,15 @@ struct TelemetryConfig {
   telemetry::TraceSession* trace{nullptr};
   /// Attach an EngineProfiler to the scheduler for the whole run.
   bool profile{false};
+  /// Collect per-flow rollups (FCT/goodput/retransmit/cwnd sketches and the
+  /// bottleneck hog table). Off by default: the default run records nothing
+  /// per flow and existing outputs stay byte-identical.
+  bool flow_stats{false};
+  /// Hog-table capacity when flow_stats is on.
+  std::size_t flow_stats_top_k{16};
+  /// Write a post-mortem JSON here on auditor violation or uncaught
+  /// exception (see telemetry::FlightRecorder). Empty = recorder off.
+  std::string flight_recorder_path;
 };
 
 /// What a run hands back when telemetry was requested.
@@ -49,6 +67,8 @@ struct TelemetryResult {
   telemetry::SeriesTable series;        ///< measurement-window time series
   std::string profile_summary;          ///< EngineProfiler::summary(), if profiling
   bool collected{false};                ///< false when telemetry was off
+  telemetry::FlowStatsHub flow_stats;   ///< per-flow rollup (empty if off)
+  bool flow_stats_collected{false};     ///< false when flow stats were off
 };
 
 /// RAII wiring of one Simulation's telemetry for one experiment run.
@@ -76,8 +96,39 @@ class ExperimentTelemetry {
   /// Begins sampling; the first row lands at `first`.
   void start(sim::SimTime first);
 
-  /// Stops sampling, exports profiler + engine gauges into the registry,
-  /// and returns the snapshot + series.
+  // --- Per-flow stats -------------------------------------------------------
+
+  /// Non-null iff config.flow_stats was set.
+  [[nodiscard]] telemetry::FlowStatsHub* flow_stats() noexcept { return flow_stats_.get(); }
+
+  /// Harvests one TCP source into the hub: FCT for finished flows, elapsed
+  /// time plus a completed=false marker otherwise, goodput from acked
+  /// payload over the flow's own active span. `now` is the observation
+  /// time (usually measurement end); no-op with flow stats off.
+  void record_tcp_flow(const tcp::TcpSource& src, sim::SimTime now);
+
+  // --- Flight recorder ------------------------------------------------------
+
+  /// Non-null iff config.flight_recorder_path was set.
+  [[nodiscard]] telemetry::FlightRecorder* recorder() noexcept { return recorder_.get(); }
+
+  /// Registers the standard crash-state probes (queue depth, events
+  /// pending, delivered/dropped counters) on the recorder. No-op when the
+  /// recorder is off.
+  void arm_crash_probes(net::Link& bottleneck);
+
+  /// Chains the recorder onto the auditor's violation hook: each violation
+  /// is noted, and the first one dumps a post-mortem at violation time
+  /// (i.e. before require_clean() unwinds the run). No-op when off.
+  void attach_auditor(check::InvariantAuditor& auditor);
+
+  /// Runs sim.run_until(until) with post-mortem coverage: an exception
+  /// escaping the event loop dumps (reason = the exception text) and
+  /// rethrows. With no recorder armed this is exactly run_until.
+  void run_guarded(sim::SimTime until);
+
+  /// Stops sampling, exports profiler + engine gauges + flow-stats +
+  /// trace-drop gauges into the registry, and returns the snapshot + series.
   [[nodiscard]] TelemetryResult finish();
 
  private:
@@ -85,6 +136,8 @@ class ExperimentTelemetry {
   TelemetryConfig config_;
   std::unique_ptr<telemetry::MetricsSampler> sampler_;
   std::unique_ptr<telemetry::EngineProfiler> profiler_;
+  std::unique_ptr<telemetry::FlowStatsHub> flow_stats_;
+  std::unique_ptr<telemetry::FlightRecorder> recorder_;
 };
 
 }  // namespace rbs::experiment

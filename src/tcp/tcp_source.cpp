@@ -36,6 +36,7 @@ void TcpSource::start(sim::SimTime at) {
   assert(!started_);
   started_ = true;
   start_time_ = at;
+  cwnd_peak_ = cwnd_;
   sim_.at(at, [this] { send_available(); }, sim::EventClass::kWorkload);
 }
 
@@ -139,6 +140,10 @@ void TcpSource::on_packet(const net::Packet& p) {
     handle_dup_ack();
   }
   // ACKs below snd_una_ are stale; ignore.
+
+  // Every cwnd increase happens on the ACK path above, so sampling here
+  // (plus once at start()) captures the exact high-water mark.
+  if (cwnd_ > cwnd_peak_) cwnd_peak_ = cwnd_;
 }
 
 void TcpSource::handle_new_ack(std::int64_t ack, sim::SimTime echoed) {

@@ -91,6 +91,11 @@ class TcpSource final : public net::Agent {
 
   // --- Observability -------------------------------------------------------
   [[nodiscard]] double cwnd() const noexcept { return cwnd_; }
+  /// High-water congestion window over the connection's lifetime, in
+  /// packets. Tracked outside TcpSourceStats so the experiment-layer stats
+  /// delta arithmetic (which subtracts warmup counters field by field) never
+  /// sees it — a peak is not a counter and must not be differenced.
+  [[nodiscard]] double cwnd_peak() const noexcept { return cwnd_peak_; }
   [[nodiscard]] double ssthresh() const noexcept { return ssthresh_; }
   [[nodiscard]] bool in_slow_start() const noexcept { return cwnd_ < ssthresh_; }
   [[nodiscard]] bool in_recovery() const noexcept { return in_recovery_; }
@@ -147,6 +152,7 @@ class TcpSource final : public net::Agent {
   std::int64_t snd_nxt_{0};   ///< next to send
   std::int64_t max_sent_{-1}; ///< highest sequence ever transmitted
   double cwnd_;
+  double cwnd_peak_{0.0};
   double ssthresh_;
   int dup_acks_{0};
   bool in_recovery_{false};

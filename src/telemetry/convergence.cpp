@@ -1,0 +1,65 @@
+#include "telemetry/convergence.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace rbs::telemetry {
+
+ConvergenceDetector::ConvergenceDetector(ConvergenceConfig config) : config_{config} {
+  assert(config_.window_samples >= 1);
+  assert(config_.stable_windows >= 1);
+}
+
+namespace {
+/// |a-b| within `rel` of max(|a|,|b|), falling back to an absolute bound of
+/// `abs_floor` near zero (a relative test on two near-zero drop rates would
+/// never pass).
+bool close_rel(double a, double b, double rel, double abs_floor) {
+  const double diff = std::fabs(a - b);
+  const double scale = std::fmax(std::fabs(a), std::fabs(b));
+  if (scale < abs_floor) return diff < abs_floor;
+  return diff <= rel * scale;
+}
+}  // namespace
+
+bool ConvergenceDetector::windows_agree(const WindowMeans& a, const WindowMeans& b) const {
+  return std::fabs(a.utilization - b.utilization) <= config_.utilization_tolerance &&
+         close_rel(a.qlen, b.qlen, config_.qlen_tolerance, 1.0) &&
+         close_rel(a.drop_rate, b.drop_rate, config_.drop_rate_tolerance, 1.0);
+}
+
+void ConvergenceDetector::observe(sim::SimTime t, double utilization, double qlen_packets,
+                                  double drop_rate_pps) {
+  ++samples_;
+  util_sum_ += utilization;
+  qlen_sum_ += qlen_packets;
+  drop_sum_ += drop_rate_pps;
+  if (++in_window_ < config_.window_samples) return;
+
+  const double n = static_cast<double>(config_.window_samples);
+  const WindowMeans current{util_sum_ / n, qlen_sum_ / n, drop_sum_ / n};
+  util_sum_ = qlen_sum_ = drop_sum_ = 0.0;
+  in_window_ = 0;
+  ++windows_;
+
+  if (have_prev_window_ && windows_agree(prev_window_, current)) {
+    ++stable_streak_;
+    if (!converged_ && stable_streak_ >= config_.stable_windows) {
+      converged_ = true;
+      converged_at_ = t;
+    }
+  } else {
+    stable_streak_ = 0;
+  }
+  prev_window_ = current;
+  have_prev_window_ = true;
+}
+
+void ConvergenceDetector::export_into(MetricsRegistry& registry) const {
+  registry.gauge("convergence.converged").set(converged_ ? 1.0 : 0.0);
+  registry.gauge("convergence.at_sec").set(converged_at_.to_seconds());
+  registry.gauge("convergence.windows").set(static_cast<double>(windows_));
+  registry.gauge("convergence.truncated").set(truncated_ ? 1.0 : 0.0);
+}
+
+}  // namespace rbs::telemetry

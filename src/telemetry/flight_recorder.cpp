@@ -1,0 +1,111 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "telemetry/export_util.hpp"
+
+namespace rbs::telemetry {
+
+using detail::json_escape_into;
+using detail::num;
+
+FlightRecorder::FlightRecorder(Config config) : config_{std::move(config)} {}
+
+void FlightRecorder::attach(const MetricsRegistry* metrics, const TraceSession* trace) {
+  metrics_ = metrics;
+  trace_ = trace;
+}
+
+void FlightRecorder::add_state_probe(std::string name, std::function<double()> probe) {
+  probes_.emplace_back(std::move(name), std::move(probe));
+}
+
+void FlightRecorder::note(const std::string& text) {
+  if (notes_.size() >= config_.max_notes) notes_.erase(notes_.begin());
+  notes_.push_back(text);
+}
+
+std::string FlightRecorder::to_json(const std::string& reason) const {
+  std::string out = "{\"post_mortem\":{\"reason\":\"";
+  json_escape_into(out, reason);
+  out += '"';
+  const std::int64_t now_ps = now_ ? now_().ps() : 0;
+  out += ",\"sim_time_ps\":" + std::to_string(now_ps);
+  out += ",\"notes\":[";
+  for (std::size_t i = 0; i < notes_.size(); ++i) {
+    if (i) out += ',';
+    out += '"';
+    json_escape_into(out, notes_[i]);
+    out += '"';
+  }
+  out += "],\"state\":{";
+  for (std::size_t i = 0; i < probes_.size(); ++i) {
+    if (i) out += ',';
+    out += '"';
+    json_escape_into(out, probes_[i].first);
+    out += "\":" + num(probes_[i].second ? probes_[i].second() : 0.0);
+  }
+  out += '}';
+  if (metrics_ != nullptr) {
+    out += ",\"snapshot\":" + metrics_->snapshot().to_json();
+  }
+  if (trace_ != nullptr) {
+    out += ",\"trace\":{\"total_events\":" + std::to_string(trace_->total_events());
+    out += ",\"dropped_events\":" + std::to_string(trace_->dropped_events());
+    out += ",\"tail\":[";
+    const auto events = trace_->events();  // oldest first
+    const std::size_t tail =
+        events.size() > config_.trace_tail ? events.size() - config_.trace_tail : 0;
+    for (std::size_t i = tail; i < events.size(); ++i) {
+      const TraceEvent& e = events[i];
+      if (i != tail) out += ',';
+      out += "{\"ph\":\"";
+      out += e.ph;
+      out += "\",\"ts_ps\":" + std::to_string(e.ts_ps);
+      if (e.ph == 'X') out += ",\"dur_ps\":" + std::to_string(e.dur_ps);
+      out += ",\"name\":\"";
+      json_escape_into(out, e.name != nullptr ? e.name : "");
+      out += "\",\"cat\":\"";
+      json_escape_into(out, e.cat != nullptr ? e.cat : "");
+      out += "\",\"tid\":" + std::to_string(e.tid);
+      std::string args;
+      for (const TraceArg& a : e.args) {
+        if (a.name == nullptr) continue;
+        if (!args.empty()) args += ',';
+        args += '"';
+        json_escape_into(args, a.name);
+        args += "\":" + std::to_string(a.value);
+      }
+      if (!args.empty()) out += ",\"args\":{" + args + '}';
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+bool FlightRecorder::dump(const std::string& reason) noexcept {
+  if (dumped_ || config_.path.empty()) return false;
+  dumped_ = true;  // set before any work: a throw below must not re-trigger
+  try {
+    const std::filesystem::path p{config_.path};
+    std::error_code ec;
+    if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path(), ec);
+    std::ofstream f{p};
+    if (!f) {
+      std::fprintf(stderr, "flight-recorder: failed to open %s for writing\n",
+                   config_.path.c_str());
+      return false;
+    }
+    f << to_json(reason) << '\n';
+    return static_cast<bool>(f);
+  } catch (...) {
+    std::fprintf(stderr, "flight-recorder: dump to %s failed\n", config_.path.c_str());
+    return false;
+  }
+}
+
+}  // namespace rbs::telemetry

@@ -1,0 +1,92 @@
+// FlightRecorder: post-mortem capture for experiment runs.
+//
+// When something goes wrong deep inside a long deterministic run — an
+// invariant-auditor violation, a fault-audit mismatch, an uncaught exception
+// — the interesting state is what the simulator looked like *just before*
+// the failure. The recorder borrows the run's TraceSession (already a ring
+// of the most recent events) and MetricsRegistry, lets components register
+// named state probes (queue depth, scheduler occupancy, clock), and on
+// dump() writes one deterministic JSON document combining:
+//
+//   - the dump reason and simulated time,
+//   - a note log (violation messages recorded before the dump),
+//   - every registered state probe's current value,
+//   - a full metrics snapshot,
+//   - the trace ring's tail (most recent `trace_tail` events, oldest first)
+//     plus total/dropped counts.
+//
+// Determinism: the document contains only simulated state — no wall-clock
+// timestamps, no pointers — so two identically seeded failing runs produce
+// byte-identical post-mortems, and a post-mortem can be diffed against a
+// known-good run's. dump() is once-only per recorder (first reason wins);
+// later calls are no-ops so a violation followed by the exception it causes
+// yields one file attributed to the root cause.
+//
+// scripts/check_telemetry.py validates the schema; CI uploads the files
+// when tests fail.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace rbs::telemetry {
+
+class FlightRecorder {
+ public:
+  struct Config {
+    /// Destination file. Empty disables the recorder (dump() returns
+    /// false without writing).
+    std::string path;
+    /// Most recent trace events included in the dump.
+    std::size_t trace_tail{512};
+    /// Notes retained (oldest dropped first).
+    std::size_t max_notes{64};
+  };
+
+  explicit FlightRecorder(Config config);
+
+  /// Attach the run's observability surfaces. Borrowed, not owned; both
+  /// must outlive the recorder. Either may be null (section omitted).
+  void attach(const MetricsRegistry* metrics, const TraceSession* trace);
+
+  /// Provides "now" for dumps; typically [&sim]{ return sim.now(); }.
+  void set_clock(std::function<sim::SimTime()> now) { now_ = std::move(now); }
+
+  /// Registers a named live-state probe sampled at dump time (queue depth,
+  /// events pending, ...). Registration order is preserved in the output;
+  /// callers register in deterministic order.
+  void add_state_probe(std::string name, std::function<double()> probe);
+
+  /// Records a pre-failure note (e.g. the auditor's violation text).
+  void note(const std::string& text);
+
+  /// Writes the post-mortem. Only the first call writes (see header);
+  /// returns true if a file was written. Never throws — failure to write
+  /// (bad path) prints to stderr and returns false, because dump() runs on
+  /// error paths where a second exception would mask the first.
+  bool dump(const std::string& reason) noexcept;
+
+  [[nodiscard]] bool dumped() const noexcept { return dumped_; }
+  [[nodiscard]] bool armed() const noexcept { return !config_.path.empty(); }
+
+  /// The document dump() writes, for tests and in-process consumers.
+  [[nodiscard]] std::string to_json(const std::string& reason) const;
+
+ private:
+  Config config_;
+  const MetricsRegistry* metrics_{nullptr};
+  const TraceSession* trace_{nullptr};
+  std::function<sim::SimTime()> now_;
+  std::vector<std::pair<std::string, std::function<double()>>> probes_;
+  std::vector<std::string> notes_;
+  bool dumped_{false};
+};
+
+}  // namespace rbs::telemetry

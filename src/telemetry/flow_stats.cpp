@@ -1,0 +1,74 @@
+#include "telemetry/flow_stats.hpp"
+
+namespace rbs::telemetry {
+
+namespace {
+QuantileSketch::Config sketch_config(const FlowStatsHub::Config& c) {
+  return QuantileSketch::Config{c.relative_error, 2048};
+}
+}  // namespace
+
+FlowStatsHub::FlowStatsHub(Config config)
+    : config_{config},
+      fct_{sketch_config(config)},
+      goodput_{sketch_config(config)},
+      retransmit_counts_{sketch_config(config)},
+      peak_cwnd_{sketch_config(config)},
+      hogs_{config.top_k} {}
+
+void FlowStatsHub::record_flow(const FlowObservation& obs) {
+  ++flows_;
+  if (obs.completed) {
+    ++flows_completed_;
+    fct_.record_seconds(obs.fct);
+  }
+  retransmits_ += obs.retransmits;
+  ecn_marks_ += obs.ecn_marks;
+  bytes_acked_ += obs.bytes_acked;
+  goodput_.record_rate(obs.goodput);
+  retransmit_counts_.record(static_cast<double>(obs.retransmits));
+  peak_cwnd_.record(obs.peak_cwnd_packets);
+  if (obs.bytes_acked > 0) hogs_.add(obs.flow_id, obs.bytes_acked);
+}
+
+void FlowStatsHub::merge(const FlowStatsHub& other) {
+  flows_ += other.flows_;
+  flows_completed_ += other.flows_completed_;
+  retransmits_ += other.retransmits_;
+  ecn_marks_ += other.ecn_marks_;
+  bytes_acked_ += other.bytes_acked_;
+  fct_.merge(other.fct_);
+  goodput_.merge(other.goodput_);
+  retransmit_counts_.merge(other.retransmit_counts_);
+  peak_cwnd_.merge(other.peak_cwnd_);
+  hogs_.merge(other.hogs_);
+}
+
+void FlowStatsHub::export_into(MetricsRegistry& registry) const {
+  registry.gauge("flowstats.flows").set(static_cast<double>(flows_));
+  registry.gauge("flowstats.flows_completed").set(static_cast<double>(flows_completed_));
+  registry.gauge("flowstats.retransmits").set(static_cast<double>(retransmits_));
+  registry.gauge("flowstats.ecn_marks").set(static_cast<double>(ecn_marks_));
+  registry.gauge("flowstats.bytes_acked").set(static_cast<double>(bytes_acked_));
+  registry.gauge("flowstats.fct_p50_sec").set(fct_.quantile(0.50));
+  registry.gauge("flowstats.fct_p99_sec").set(fct_.quantile(0.99));
+  registry.gauge("flowstats.goodput_p50_bps").set(goodput_.quantile(0.50));
+  registry.gauge("flowstats.peak_cwnd_p99_pkts").set(peak_cwnd_.quantile(0.99));
+}
+
+std::string FlowStatsHub::to_json() const {
+  std::string out = "{\"flows\":" + std::to_string(flows_);
+  out += ",\"flows_completed\":" + std::to_string(flows_completed_);
+  out += ",\"retransmits\":" + std::to_string(retransmits_);
+  out += ",\"ecn_marks\":" + std::to_string(ecn_marks_);
+  out += ",\"bytes_acked\":" + std::to_string(bytes_acked_);
+  out += ",\"fct\":" + fct_.to_json();
+  out += ",\"goodput\":" + goodput_.to_json();
+  out += ",\"retransmit_counts\":" + retransmit_counts_.to_json();
+  out += ",\"peak_cwnd\":" + peak_cwnd_.to_json();
+  out += ",\"hogs\":" + hogs_.to_json();
+  out += '}';
+  return out;
+}
+
+}  // namespace rbs::telemetry

@@ -1,0 +1,104 @@
+// FlowStatsHub: per-flow rollups aggregated into mergeable sketches.
+//
+// The paper's √n result is a statement about *populations* of flows, but the
+// simulator's metrics so far summarize links and queues. This hub closes the
+// gap: every flow that completes (or is still running at measurement end)
+// contributes one FlowObservation — flow completion time, goodput,
+// retransmits, peak congestion window, ECN marks — and the hub folds it into
+// QuantileSketch distributions plus a space-saving "who hogs the bottleneck"
+// table keyed by flow id and weighted by delivered bytes.
+//
+// Memory is O(1) per observation beyond the active flow set: nothing is
+// retained per flow after record_flow() returns; the sketches and the top-K
+// table are the only state. merge() inherits the sketches' determinism
+// contract (see sketch.hpp), so sharded sweep workers can each own a hub and
+// combine them in any order with byte-identical to_json() output.
+//
+// This header is telemetry-layer only (std + sketches + metrics); the TCP
+// and workload types that *produce* observations feed it from the experiment
+// layer, keeping telemetry free of protocol dependencies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/sketch.hpp"
+
+namespace rbs::telemetry {
+
+/// One flow's lifetime summary, produced when the flow completes or when
+/// measurement ends with the flow still active.
+struct FlowObservation {
+  std::uint64_t flow_id{0};
+  sim::SimTime fct{};             ///< completion time; elapsed time if !completed
+  core::BitsPerSec goodput{};     ///< acked payload bits / elapsed seconds
+  std::uint64_t bytes_acked{0};   ///< cumulative acked payload bytes
+  std::uint64_t retransmits{0};
+  double peak_cwnd_packets{0.0};  ///< high-water congestion window
+  std::uint64_t ecn_marks{0};     ///< ECN-triggered window reductions
+  bool completed{false};          ///< flow finished before measurement end
+};
+
+class FlowStatsHub {
+ public:
+  struct Config {
+    double relative_error{0.01};  ///< sketch accuracy (see QuantileSketch)
+    std::size_t top_k{16};        ///< hog-table capacity
+  };
+
+  FlowStatsHub() : FlowStatsHub(Config{}) {}
+  explicit FlowStatsHub(Config config);
+
+  void record_flow(const FlowObservation& obs);
+
+  /// Folds another hub in; order-independent (see header comment).
+  void merge(const FlowStatsHub& other);
+
+  [[nodiscard]] std::uint64_t flows() const noexcept { return flows_; }
+  [[nodiscard]] std::uint64_t flows_completed() const noexcept { return flows_completed_; }
+  [[nodiscard]] std::uint64_t total_retransmits() const noexcept { return retransmits_; }
+  [[nodiscard]] std::uint64_t total_ecn_marks() const noexcept { return ecn_marks_; }
+  [[nodiscard]] std::uint64_t total_bytes_acked() const noexcept { return bytes_acked_; }
+
+  /// FCT distribution over *completed* flows only (an unfinished flow's
+  /// elapsed time is a lower bound, not an FCT).
+  [[nodiscard]] const QuantileSketch& fct() const noexcept { return fct_; }
+  /// Goodput distribution over all observed flows.
+  [[nodiscard]] const QuantileSketch& goodput() const noexcept { return goodput_; }
+  /// Per-flow retransmit-count distribution over all observed flows.
+  [[nodiscard]] const QuantileSketch& retransmit_counts() const noexcept {
+    return retransmit_counts_;
+  }
+  /// Peak-cwnd distribution over all observed flows.
+  [[nodiscard]] const QuantileSketch& peak_cwnd() const noexcept { return peak_cwnd_; }
+  /// Heavy hitters by acked bytes.
+  [[nodiscard]] const TopK& hogs() const noexcept { return hogs_; }
+
+  /// Registers flowstats.* metrics reflecting the current rollup state.
+  /// Call once per snapshot, after the last record_flow(); metric names are
+  /// listed in docs/observability.md.
+  void export_into(MetricsRegistry& registry) const;
+
+  /// Deterministic snapshot combining counters, all four sketches, and the
+  /// hog table:
+  /// {"flows":..,"flows_completed":..,"retransmits":..,"ecn_marks":..,
+  ///  "bytes_acked":..,"fct":{...},"goodput":{...},"retransmit_counts":{...},
+  ///  "peak_cwnd":{...},"hogs":{...}}
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  Config config_;
+  std::uint64_t flows_{0};
+  std::uint64_t flows_completed_{0};
+  std::uint64_t retransmits_{0};
+  std::uint64_t ecn_marks_{0};
+  std::uint64_t bytes_acked_{0};
+  QuantileSketch fct_;
+  QuantileSketch goodput_;
+  QuantileSketch retransmit_counts_;
+  QuantileSketch peak_cwnd_;
+  TopK hogs_;
+};
+
+}  // namespace rbs::telemetry

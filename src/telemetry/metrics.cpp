@@ -4,51 +4,14 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "telemetry/export_util.hpp"
+
 namespace rbs::telemetry {
 namespace {
 
-/// Shortest deterministic rendering of a double (printf %g with enough
-/// digits to round-trip the common cases; exports are compared verbatim by
-/// the determinism tests, never re-parsed for bit equality).
-std::string num(double v) {
-  if (!std::isfinite(v)) return "0";
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.12g", v);
-  return buf;
-}
-
-void json_escape_into(std::string& out, const std::string& s) {
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-}
-
-/// RFC-4180: quote any cell containing a comma, quote, or newline; double
-/// embedded quotes.
-std::string csv_cell(const std::string& cell) {
-  if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
-  std::string out = "\"";
-  for (const char c : cell) {
-    if (c == '"') out += "\"\"";
-    else out += c;
-  }
-  out += '"';
-  return out;
-}
+using detail::csv_cell;
+using detail::json_escape_into;
+using detail::num;
 
 std::string labels_text(const Labels& labels) {
   std::string out;
@@ -65,18 +28,18 @@ double Histogram::quantile(double q) const {
   if (count_ == 0) return 0.0;
   if (q <= 0.0) return min();
   if (q >= 1.0) return max();
-  const double target = q * static_cast<double>(count_);
+  // Nearest-rank: report the bucket containing the sample of rank
+  // ceil(q * n), rendered as that bucket's midpoint clamped to the observed
+  // range. QuantileSketch::quantile uses the same convention, so histogram
+  // and sketch percentiles are directly comparable (docs/observability.md).
+  const auto target =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     if (counts_[i] == 0) continue;
-    const double before = static_cast<double>(seen);
     seen += counts_[i];
-    if (static_cast<double>(seen) >= target) {
-      const double lo = bucket_lower_bound(i);
-      const double hi = bucket_upper_bound(i);
-      const double frac = (target - before) / static_cast<double>(counts_[i]);
-      const double v = lo + frac * (hi - lo);
-      // Clamp to the observed range so tails don't report past max().
+    if (seen >= target) {
+      const double v = 0.5 * (bucket_lower_bound(i) + bucket_upper_bound(i));
       return v < min_ ? min_ : (v > max_ ? max_ : v);
     }
   }
@@ -171,6 +134,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
         s.min = m.histogram->min();
         s.max = m.histogram->max();
         s.p50 = m.histogram->quantile(0.50);
+        s.p90 = m.histogram->quantile(0.90);
         s.p99 = m.histogram->quantile(0.99);
         break;
     }
@@ -204,6 +168,7 @@ std::string MetricsSnapshot::to_json() const {
       out += ",\"min\":" + num(s.min);
       out += ",\"max\":" + num(s.max);
       out += ",\"p50\":" + num(s.p50);
+      out += ",\"p90\":" + num(s.p90);
       out += ",\"p99\":" + num(s.p99);
     } else {
       out += ",\"value\":" + num(s.value);
@@ -215,7 +180,7 @@ std::string MetricsSnapshot::to_json() const {
 }
 
 std::string MetricsSnapshot::to_csv() const {
-  std::string out = "name,kind,labels,value,count,sum,min,max,p50,p99\n";
+  std::string out = "name,kind,labels,value,count,sum,min,max,p50,p90,p99\n";
   for (const MetricSample& s : samples) {
     out += csv_cell(s.name);
     out += ',';
@@ -229,6 +194,7 @@ std::string MetricsSnapshot::to_csv() const {
     out += ',' + num(s.min);
     out += ',' + num(s.max);
     out += ',' + num(s.p50);
+    out += ',' + num(s.p90);
     out += ',' + num(s.p99);
     out += '\n';
   }

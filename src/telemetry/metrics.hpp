@@ -84,8 +84,11 @@ class Histogram {
   [[nodiscard]] double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
   [[nodiscard]] double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
 
-  /// Quantile estimate (q in [0,1]) by linear interpolation inside the
-  /// containing bucket. Exact to one bucket width (<= 12.5% relative error).
+  /// Nearest-rank quantile estimate (q in [0,1]): the midpoint of the
+  /// bucket containing the sample of rank ceil(q*count), clamped to the
+  /// observed [min, max]. Exact to one bucket width (<= 12.5% relative
+  /// error), and the same convention QuantileSketch uses, so histogram and
+  /// sketch percentiles are directly comparable.
   [[nodiscard]] double quantile(double q) const;
 
   /// Maps a value to its bucket index. Negative values clamp to bucket 0.
@@ -118,7 +121,7 @@ enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
 }
 
 /// One metric's value at snapshot time. Histograms carry a summary
-/// (count/sum/min/max/p50/p99) instead of raw buckets.
+/// (count/sum/min/max/p50/p90/p99, nearest-rank) instead of raw buckets.
 struct MetricSample {
   MetricKind kind{MetricKind::kCounter};
   std::string name;
@@ -131,6 +134,7 @@ struct MetricSample {
   double min{0.0};
   double max{0.0};
   double p50{0.0};
+  double p90{0.0};
   double p99{0.0};
 };
 
@@ -140,8 +144,8 @@ struct MetricsSnapshot {
 
   /// {"metrics":[{"name":...,"kind":...,"labels":{...},...}, ...]}
   [[nodiscard]] std::string to_json() const;
-  /// name,kind,labels,value,count,sum,min,max,p50,p99 — one row per metric,
-  /// RFC-4180 quoted.
+  /// name,kind,labels,value,count,sum,min,max,p50,p90,p99 — one row per
+  /// metric, RFC-4180 quoted.
   [[nodiscard]] std::string to_csv() const;
 
   /// First sample matching `name` (and `labels`, when given), or nullptr.

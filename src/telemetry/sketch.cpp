@@ -1,0 +1,188 @@
+#include "telemetry/sketch.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "telemetry/export_util.hpp"
+
+namespace rbs::telemetry {
+
+using detail::num;
+
+QuantileSketch::QuantileSketch(Config config) : config_{config} {
+  assert(config_.relative_error > 0.0 && config_.relative_error < 1.0);
+  assert(config_.max_buckets >= 2);
+  gamma_ = (1.0 + config_.relative_error) / (1.0 - config_.relative_error);
+  inv_log_gamma_ = 1.0 / std::log(gamma_);
+}
+
+std::int32_t QuantileSketch::bucket_index(double v) const {
+  // v in (gamma^(i-1), gamma^i] maps to i. ceil() on the exact log would be
+  // the textbook form; the +tiny nudge below keeps values that land exactly
+  // on a bucket boundary from flapping between neighbours across platforms
+  // with different libm rounding. Either neighbour satisfies the error
+  // bound, so correctness is unaffected.
+  return static_cast<std::int32_t>(std::ceil(std::log(v) * inv_log_gamma_ - 1e-9));
+}
+
+double QuantileSketch::bucket_representative(std::int32_t index) const {
+  // Midpoint of (gamma^(i-1), gamma^i] in the multiplicative sense:
+  // 2*gamma^i/(gamma+1), within relative_error of every value in the bucket.
+  return 2.0 * std::pow(gamma_, static_cast<double>(index)) / (gamma_ + 1.0);
+}
+
+void QuantileSketch::record(double v) {
+  if (std::isnan(v)) return;
+  ++count_;
+  if (count_ == 1 || v < min_) min_ = v;
+  if (count_ == 1 || v > max_) max_ = v;
+  if (v < kMinIndexable) {  // zero, negative, or denormal-small
+    ++zero_count_;
+    return;
+  }
+  ++buckets_[bucket_index(v)];
+  collapse_if_needed();
+}
+
+void QuantileSketch::collapse_if_needed() {
+  while (buckets_.size() > config_.max_buckets) {
+    // Fold the lowest bucket into its neighbour above, overestimating the
+    // collapsed samples by at most one bucket step per collapse.
+    auto lowest = buckets_.begin();
+    auto second = std::next(lowest);
+    second->second += lowest->second;
+    buckets_.erase(lowest);
+  }
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  assert(config_.relative_error == other.config_.relative_error &&
+         "merging sketches with different error bounds is meaningless");
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  zero_count_ += other.zero_count_;
+  // Integer sums over the key union: commutative and associative, so any
+  // merge order yields identical state. No collapse here — see the header.
+  for (const auto& [idx, n] : other.buckets_) buckets_[idx] += n;
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return min();
+  if (q >= 1.0) return max();
+  const auto target =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  // The zero bucket holds the smallest samples, so it is scanned first.
+  std::uint64_t seen = zero_count_;
+  if (seen >= target) return 0.0;
+  for (const auto& [idx, n] : buckets_) {
+    seen += n;
+    if (seen >= target) {
+      const double v = bucket_representative(idx);
+      return v < min_ ? min_ : (v > max_ ? max_ : v);
+    }
+  }
+  return max();
+}
+
+double QuantileSketch::approx_sum() const {
+  double sum = 0.0;
+  // Fixed (ascending-index) accumulation order: derived at snapshot time
+  // from merged state, so permutation invariance of merge() is preserved.
+  for (const auto& [idx, n] : buckets_) {
+    sum += bucket_representative(idx) * static_cast<double>(n);
+  }
+  return sum;
+}
+
+std::string QuantileSketch::to_json() const {
+  std::string out = "{\"alpha\":" + num(config_.relative_error);
+  out += ",\"count\":" + std::to_string(count_);
+  out += ",\"zero_count\":" + std::to_string(zero_count_);
+  out += ",\"min\":" + num(min());
+  out += ",\"max\":" + num(max());
+  out += ",\"p50\":" + num(quantile(0.50));
+  out += ",\"p90\":" + num(quantile(0.90));
+  out += ",\"p99\":" + num(quantile(0.99));
+  out += ",\"buckets\":[";
+  bool first = true;
+  for (const auto& [idx, n] : buckets_) {
+    if (!first) out += ',';
+    first = false;
+    out += '[' + std::to_string(idx) + ',' + std::to_string(n) + ']';
+  }
+  out += "]}";
+  return out;
+}
+
+TopK::TopK(std::size_t capacity) : capacity_{capacity == 0 ? 1 : capacity} {}
+
+void TopK::add(std::uint64_t key, std::uint64_t weight) {
+  total_weight_ += weight;
+  if (auto it = entries_.find(key); it != entries_.end()) {
+    it->second.weight += weight;
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    entries_.emplace(key, Counter{weight, 0});
+    return;
+  }
+  // Space-saving eviction: replace the (weight, key)-minimal entry; the new
+  // entry inherits the evicted weight as both floor and error bound.
+  auto victim = entries_.begin();
+  for (auto it = std::next(entries_.begin()); it != entries_.end(); ++it) {
+    if (it->second.weight < victim->second.weight) victim = it;
+    // Map order already breaks weight ties toward the smaller key.
+  }
+  const std::uint64_t floor = victim->second.weight;
+  entries_.erase(victim);
+  entries_.emplace(key, Counter{floor + weight, floor});
+}
+
+void TopK::merge(const TopK& other) {
+  total_weight_ += other.total_weight_;
+  for (const auto& [key, c] : other.entries_) {
+    Counter& mine = entries_[key];
+    mine.weight += c.weight;
+    mine.error += c.error;
+  }
+}
+
+std::vector<TopK::Entry> TopK::top(std::size_t k) const {
+  if (k == 0 || k > capacity_) k = capacity_;
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, c] : entries_) out.push_back({key, c.weight, c.error});
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.key < b.key;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::string TopK::to_json() const {
+  std::string out = "{\"capacity\":" + std::to_string(capacity_);
+  out += ",\"total_weight\":" + std::to_string(total_weight_);
+  out += ",\"top\":[";
+  const auto entries = top();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i) out += ',';
+    out += "{\"key\":" + std::to_string(entries[i].key);
+    out += ",\"weight\":" + std::to_string(entries[i].weight);
+    out += ",\"error\":" + std::to_string(entries[i].error);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace rbs::telemetry

@@ -1,0 +1,165 @@
+// Mergeable distribution summaries: a DDSketch-style relative-error
+// quantile sketch and a space-saving heavy-hitter tracker.
+//
+// Both structures exist for the flow-scale telemetry the √n analysis needs:
+// per-flow FCT / goodput / cwnd distributions over 10⁵–10⁶ flows, collected
+// shard-locally and combined afterwards. The contract that makes that safe:
+//
+//   - merge() is order-independent. A sketch merged from k shards holds
+//     bitwise-identical state (and therefore byte-identical to_json()
+//     snapshots) no matter the permutation in which the shards were merged.
+//     This holds because merged state is integer bucket counts summed over
+//     a key union plus min/max folds — all commutative and associative —
+//     and every derived statistic (quantiles, approximate sum) is computed
+//     from that state at snapshot time, never accumulated in floating
+//     point along the way. tests/sketch_test.cpp pins the property.
+//   - record() is O(1) (one log, one map update) and allocation-free once
+//     a bucket exists; memory is bounded by `max_buckets` via the standard
+//     DDSketch collapse of the lowest buckets. Collapse happens only on the
+//     record path (deterministic for a single-threaded producer); merge()
+//     never collapses, so it cannot reintroduce order dependence.
+//   - Quantiles are nearest-rank: quantile(q) returns the representative
+//     value of the bucket containing the sample of rank ceil(q*n), the same
+//     convention telemetry::Histogram::quantile uses. The representative is
+//     within `relative_error` of every sample the bucket absorbed.
+//
+// This header is dependency-light (std + the unit types) so shard workers,
+// the stats layer, and tests can all own instances without include cycles.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/units.hpp"
+#include "sim/time.hpp"
+
+namespace rbs::telemetry {
+
+/// Relative-error quantile sketch over non-negative values.
+///
+/// Values below kMinIndexable (including zero and negatives, which the
+/// simulator's non-negative quantities only produce as "no data") land in a
+/// dedicated zero bucket that quantiles report as 0.0.
+class QuantileSketch {
+ public:
+  struct Config {
+    /// Guaranteed bound on |quantile(q) - exact|/exact, 0 < alpha < 1.
+    double relative_error{0.01};
+    /// Bucket budget; exceeding it collapses the lowest two buckets into
+    /// one (biasing only the extreme low tail, the standard DDSketch
+    /// trade). 2048 buckets at 1% error cover ~17 decades.
+    std::size_t max_buckets{2048};
+  };
+
+  /// Smallest indexable magnitude; anything below counts as zero.
+  static constexpr double kMinIndexable = 1e-12;
+
+  QuantileSketch() : QuantileSketch(Config{}) {}
+  explicit QuantileSketch(Config config);
+
+  void record(double v);
+
+  // Unit-typed record paths, so call sites keep their dimensions explicit.
+  void record_seconds(sim::SimTime t) { record(t.to_seconds()); }
+  void record_bytes(core::Bytes b) { record(static_cast<double>(b.count())); }
+  void record_packets(core::Packets p) { record(static_cast<double>(p.count())); }
+  void record_rate(core::BitsPerSec r) { record(r.bps()); }
+
+  /// Folds `other` into this sketch. Requires identical relative_error
+  /// (asserted); see the header comment for the determinism contract.
+  void merge(const QuantileSketch& other);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::uint64_t zero_count() const noexcept { return zero_count_; }
+  [[nodiscard]] double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] double relative_error() const noexcept { return config_.relative_error; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return buckets_.size(); }
+
+  /// Nearest-rank quantile (q clamped to [0,1]); 0 with no samples.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Sum reconstructed from bucket representatives (within relative_error
+  /// of the exact sum). Derived, not accumulated, so merged snapshots stay
+  /// permutation-invariant; see the header comment.
+  [[nodiscard]] double approx_sum() const;
+  [[nodiscard]] double approx_mean() const {
+    return count_ == 0 ? 0.0 : approx_sum() / static_cast<double>(count_);
+  }
+
+  /// Deterministic snapshot:
+  /// {"alpha":..,"count":..,"zero_count":..,"min":..,"max":..,
+  ///  "p50":..,"p90":..,"p99":..,"buckets":[[index,count],...]}
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  [[nodiscard]] std::int32_t bucket_index(double v) const;
+  [[nodiscard]] double bucket_representative(std::int32_t index) const;
+  void collapse_if_needed();
+
+  Config config_;
+  double gamma_{1.0};          ///< (1+alpha)/(1-alpha)
+  double inv_log_gamma_{0.0};  ///< 1/ln(gamma), cached for record()
+  /// Ordered bucket counts keyed by logarithmic index: value v maps to
+  /// ceil(ln(v)/ln(gamma)), i.e. v in (gamma^(i-1), gamma^i]. std::map keeps
+  /// iteration (and so quantiles and snapshots) deterministic.
+  std::map<std::int32_t, std::uint64_t> buckets_;
+  std::uint64_t count_{0};
+  std::uint64_t zero_count_{0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+/// Space-saving top-K tracker over integer keys (flow ids) with integer
+/// weights (bytes, packets).
+///
+/// add() implements the classic Metwally et al. algorithm with a
+/// deterministic eviction rule (smallest weight, ties to the smallest key).
+/// merge() unions survivor entries and sums their weights and error bounds
+/// — it deliberately does NOT truncate back to `capacity`, because any
+/// truncation during merging would make the result depend on merge order.
+/// Memory after merging s shards is therefore O(s * capacity); top() always
+/// reports at most `capacity` entries, heaviest first.
+class TopK {
+ public:
+  struct Entry {
+    std::uint64_t key{0};
+    std::uint64_t weight{0};  ///< upper bound on the key's true total weight
+    std::uint64_t error{0};   ///< overestimate bound inherited on eviction
+  };
+
+  explicit TopK(std::size_t capacity = 16);
+
+  void add(std::uint64_t key, std::uint64_t weight = 1);
+
+  /// Folds `other` in (see class comment for the no-truncation rationale).
+  void merge(const TopK& other);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::uint64_t total_weight() const noexcept { return total_weight_; }
+
+  /// Up to min(k, capacity) entries, heaviest first; ties break toward the
+  /// smaller key so the order is deterministic. k == 0 means capacity.
+  [[nodiscard]] std::vector<Entry> top(std::size_t k = 0) const;
+
+  /// Deterministic snapshot:
+  /// {"capacity":..,"total_weight":..,"top":[{"key":..,"weight":..,"error":..},...]}
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  struct Counter {
+    std::uint64_t weight{0};
+    std::uint64_t error{0};
+  };
+
+  std::size_t capacity_;
+  /// Ordered so eviction scans and snapshots are deterministic.
+  std::map<std::uint64_t, Counter> entries_;
+  std::uint64_t total_weight_{0};
+};
+
+}  // namespace rbs::telemetry

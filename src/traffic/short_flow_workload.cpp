@@ -78,6 +78,7 @@ void ShortFlowWorkload::reap_flow(net::FlowId flow) {
   const auto& src = *it->second.source;
   fct_.finish_flow(flow, src.finish_time());
   ++flows_completed_;
+  if (on_flow_complete) on_flow_complete(src);
   active_.erase(it);
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <map>
 
@@ -54,6 +55,11 @@ class ShortFlowWorkload {
 
   /// Stops launching new flows (in-progress flows run to completion).
   void stop_arrivals() noexcept { arrival_event_.cancel(); }
+
+  /// Invoked just before a completed flow's source is destroyed, with the
+  /// source still fully readable — the flow-stats hub harvests its lifetime
+  /// summary (FCT, goodput, retransmits, peak cwnd) here. Null = off.
+  std::function<void(const tcp::TcpSource&)> on_flow_complete;
 
   [[nodiscard]] const stats::FctTracker& completions() const noexcept { return fct_; }
   [[nodiscard]] stats::FctTracker& completions() noexcept { return fct_; }

@@ -1,0 +1,175 @@
+// Flight-recorder tests: the post-mortem document's shape, the once-only
+// dump contract, and — the acceptance test — a forced auditor violation
+// inside a telemetry-armed world producing a post-mortem file on disk that
+// attributes the failure, carries the violation note, and embeds the
+// metrics snapshot and trace tail.
+#include "telemetry/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/auditor.hpp"
+#include "experiment/telemetry_hookup.hpp"
+#include "net/drop_tail_queue.hpp"
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "sim/simulation.hpp"
+#include "tcp/tcp_source.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace rbs {
+namespace {
+
+using telemetry::FlightRecorder;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(FlightRecorder, UnarmedRecorderNeverWrites) {
+  FlightRecorder rec{FlightRecorder::Config{}};
+  EXPECT_FALSE(rec.armed());
+  EXPECT_FALSE(rec.dump("whatever"));
+  EXPECT_FALSE(rec.dumped());
+}
+
+TEST(FlightRecorder, DocumentCarriesReasonNotesProbesAndSections) {
+  telemetry::MetricsRegistry metrics;
+  metrics.gauge("queue.depth").set(17.0);
+  telemetry::TraceSession trace;
+  trace.instant("sim", "tick", sim::SimTime::from_seconds(1.0));
+
+  FlightRecorder::Config cfg;
+  cfg.path = temp_path("rbs_fr_doc.json");
+  FlightRecorder rec{cfg};
+  rec.attach(&metrics, &trace);
+  rec.set_clock([] { return sim::SimTime::from_seconds(2.5); });
+  rec.add_state_probe("probe_a", [] { return 1.0; });
+  rec.add_state_probe("probe_b", [] { return 2.0; });
+  rec.note("first sign of trouble");
+
+  const std::string doc = rec.to_json("test reason");
+  for (const char* needle :
+       {"\"post_mortem\"", "\"reason\":\"test reason\"", "\"sim_time_ps\"",
+        "\"first sign of trouble\"", "\"probe_a\":1", "\"probe_b\":2",
+        "\"snapshot\"", "queue.depth", "\"trace\"", "\"tail\"", "\"tick\""}) {
+    EXPECT_NE(doc.find(needle), std::string::npos) << needle << " missing in " << doc;
+  }
+}
+
+TEST(FlightRecorder, DumpIsOnceOnlyFirstReasonWins) {
+  FlightRecorder::Config cfg;
+  cfg.path = temp_path("rbs_fr_once.json");
+  std::filesystem::remove(cfg.path);
+  FlightRecorder rec{cfg};
+  EXPECT_TRUE(rec.dump("root cause"));
+  EXPECT_TRUE(rec.dumped());
+  EXPECT_FALSE(rec.dump("secondary failure"));  // no-op, file untouched
+  const std::string doc = slurp(cfg.path);
+  EXPECT_NE(doc.find("root cause"), std::string::npos);
+  EXPECT_EQ(doc.find("secondary failure"), std::string::npos);
+  std::filesystem::remove(cfg.path);
+}
+
+TEST(FlightRecorder, TraceTailIsBounded) {
+  telemetry::TraceSession trace;
+  std::vector<std::string> names;
+  for (int i = 0; i < 100; ++i) names.push_back(std::string{"e"} + std::to_string(i));
+  for (int i = 0; i < 100; ++i) {
+    trace.instant("sim", names[i].c_str(), sim::SimTime::from_seconds(0.01 * i));
+  }
+  FlightRecorder::Config cfg;
+  cfg.path = temp_path("rbs_fr_tail.json");
+  cfg.trace_tail = 3;
+  FlightRecorder rec{cfg};
+  rec.attach(nullptr, &trace);
+  const std::string doc = rec.to_json("tail check");
+  // Only the most recent three events appear, oldest first.
+  EXPECT_EQ(doc.find("\"e96\""), std::string::npos);
+  EXPECT_NE(doc.find("\"e97\""), std::string::npos);
+  EXPECT_NE(doc.find("\"e99\""), std::string::npos);
+  EXPECT_LT(doc.find("\"e97\""), doc.find("\"e99\""));
+}
+
+// --- Acceptance: forced violation produces a post-mortem -------------------
+
+TEST(FlightRecorder, ForcedAuditorViolationWritesAttributedPostMortem) {
+  const std::string path = temp_path("rbs_fr_violation.json");
+  std::filesystem::remove(path);
+
+  sim::Simulation sim;
+  telemetry::TraceSession trace;
+  experiment::TelemetryConfig tcfg;
+  tcfg.metrics = true;
+  tcfg.trace = &trace;
+  tcfg.flight_recorder_path = path;
+  experiment::ExperimentTelemetry tele{sim, tcfg};
+
+  net::Host snd{sim, 1, "snd"};
+  net::Host rcv{sim, 2, "rcv"};
+  net::Link link{sim, "bottleneck",
+                 net::Link::Config{core::BitsPerSec{1e6}, sim::SimTime::zero()},
+                 std::make_unique<net::DropTailQueue>(10), rcv};
+  snd.attach_uplink(link);
+  tcp::TcpSource src{sim, snd, rcv.id(), 1, tcp::TcpConfig{}};
+
+  check::InvariantAuditor auditor;
+  auditor.add("tcp.source", src);
+  tele.attach_auditor(auditor);
+  tele.arm_crash_probes(link);
+
+  ASSERT_EQ(auditor.audit_now(), 0u);
+  EXPECT_FALSE(std::filesystem::exists(path));
+
+  src.corrupt_in_flight_for_test();
+  EXPECT_GT(auditor.audit_now(), 0u);
+
+  // The violation hook must have dumped at audit time, before any throw.
+  ASSERT_TRUE(std::filesystem::exists(path));
+  const std::string doc = slurp(path);
+  for (const char* needle :
+       {"\"post_mortem\"", "auditor violation: tcp.source", "\"notes\"",
+        "\"tcp.source: ", "\"state\"", "\"queue_depth_pkts\"", "\"events_pending\"",
+        "\"snapshot\"", "\"trace\""}) {
+    EXPECT_NE(doc.find(needle), std::string::npos) << needle << " missing";
+  }
+  EXPECT_THROW(auditor.require_clean(), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(FlightRecorder, RunGuardedDumpsOnUncaughtException) {
+  const std::string path = temp_path("rbs_fr_exception.json");
+  std::filesystem::remove(path);
+
+  sim::Simulation sim;
+  experiment::TelemetryConfig tcfg;
+  tcfg.flight_recorder_path = path;
+  experiment::ExperimentTelemetry tele{sim, tcfg};
+
+  sim.at(sim::SimTime::from_seconds(1.0),
+         [] { throw std::runtime_error("injected failure"); });
+
+  EXPECT_THROW(tele.run_guarded(sim::SimTime::from_seconds(2.0)), std::runtime_error);
+  ASSERT_TRUE(std::filesystem::exists(path));
+  const std::string doc = slurp(path);
+  EXPECT_NE(doc.find("uncaught exception: injected failure"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace rbs

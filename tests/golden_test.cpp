@@ -105,8 +105,12 @@ TEST(Golden, NoFaultLongFlowRunIsBitwiseIdenticalToPreFaultBaseline) {
   EXPECT_EQ(r.fault_drops, 0u);
   // The whole observable surface, not just headline numbers: metrics
   // snapshot JSON and the telemetry time series hash to the same bits.
-  EXPECT_EQ(fnv1a(r.telemetry.snapshot.to_json()), 3602766594769521823ull);
-  EXPECT_EQ(fnv1a(r.telemetry.series.to_csv()), 10425878644986913531ull);
+  // (Re-pinned when histograms gained p50/p90/p99 in their snapshot and the
+  // sampler gained convergence tracking; the headline numbers above did not
+  // move — flow-stats-off runs stay byte-identical on every pre-existing
+  // field.)
+  EXPECT_EQ(fnv1a(r.telemetry.snapshot.to_json()), 4802808256603441306ull);
+  EXPECT_EQ(fnv1a(r.telemetry.series.to_csv()), 7373469491668119683ull);
 }
 
 TEST(Golden, SchedulerBackendsProduceBitwiseIdenticalRuns) {

@@ -1,0 +1,366 @@
+// Mergeable-sketch property tests: the permutation-invariance contract
+// (k-shard merges are byte-identical under any merge order), the DDSketch
+// relative-error bound against an exact sort, space-saving top-K semantics,
+// the FlowStatsHub rollup, and the convergence detector's latching logic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "telemetry/convergence.hpp"
+#include "telemetry/flow_stats.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/sketch.hpp"
+
+namespace {
+
+using namespace rbs;
+using telemetry::ConvergenceConfig;
+using telemetry::ConvergenceDetector;
+using telemetry::FlowObservation;
+using telemetry::FlowStatsHub;
+using telemetry::QuantileSketch;
+using telemetry::TopK;
+
+// Deterministic heavy-tailed sample set spanning several decades, the shape
+// the sketches see in practice (FCTs, goodputs).
+std::vector<double> lognormal_samples(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng{seed};
+  std::lognormal_distribution<double> dist{0.0, 2.0};
+  std::vector<double> out(n);
+  for (auto& v : out) v = dist(rng);
+  return out;
+}
+
+// Exact nearest-rank quantile over a sorted copy, the reference the sketch's
+// relative-error bound is stated against.
+double exact_quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const auto n = values.size();
+  std::size_t rank = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return values[rank - 1];
+}
+
+TEST(QuantileSketch, EmptySketchReportsZeros) {
+  QuantileSketch s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.approx_sum(), 0.0);
+}
+
+TEST(QuantileSketch, QuantilesWithinRelativeErrorOfExactSort) {
+  // Acceptance bound from the issue: 1e5 samples, every reported quantile
+  // within the configured relative error of the exact nearest-rank value.
+  const auto samples = lognormal_samples(100'000, 0xC0FFEE);
+  QuantileSketch s;  // alpha = 0.01
+  for (double v : samples) s.record(v);
+  ASSERT_EQ(s.count(), samples.size());
+
+  for (double q : {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999}) {
+    const double exact = exact_quantile(samples, q);
+    const double approx = s.quantile(q);
+    // Nearest-rank on ties can land one sample away; allow a hair over
+    // alpha for the bucket-boundary case.
+    EXPECT_NEAR(approx, exact, exact * (s.relative_error() * 1.05))
+        << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, MinMaxAndSumTrackExactValues) {
+  const auto samples = lognormal_samples(10'000, 42);
+  QuantileSketch s;
+  for (double v : samples) s.record(v);
+  const auto [mn, mx] = std::minmax_element(samples.begin(), samples.end());
+  EXPECT_EQ(s.min(), *mn);
+  EXPECT_EQ(s.max(), *mx);
+  const double exact_sum = std::accumulate(samples.begin(), samples.end(), 0.0);
+  EXPECT_NEAR(s.approx_sum(), exact_sum, exact_sum * s.relative_error() * 1.05);
+}
+
+TEST(QuantileSketch, ZeroAndSubThresholdValuesLandInZeroBucket) {
+  QuantileSketch s;
+  s.record(0.0);
+  s.record(QuantileSketch::kMinIndexable / 2.0);
+  s.record(-1.0);  // non-negative quantities only produce this as "no data"
+  s.record(5.0);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_EQ(s.zero_count(), 3u);
+  EXPECT_EQ(s.quantile(0.5), 0.0);   // rank 2 of 4 is in the zero bucket
+  EXPECT_GT(s.quantile(0.99), 4.0);  // rank 4 is the real sample
+}
+
+TEST(QuantileSketch, NaNIsIgnored) {
+  QuantileSketch s;
+  s.record(std::nan(""));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(QuantileSketch, MergeIsPermutationInvariantByteIdentical) {
+  // The core contract: shard 1e5 samples into k sketches, merge the shards
+  // in several different permutations, and require bitwise-identical
+  // snapshots (compared via to_json, which serializes every piece of state
+  // a consumer can observe).
+  const auto samples = lognormal_samples(100'000, 0xBEEF);
+  constexpr std::size_t kShards = 7;
+  std::vector<QuantileSketch> shards(kShards);
+  for (std::size_t i = 0; i < samples.size(); ++i) shards[i % kShards].record(samples[i]);
+
+  const auto merged_json = [&](const std::vector<std::size_t>& order) {
+    QuantileSketch acc;
+    for (std::size_t idx : order) acc.merge(shards[idx]);
+    return acc.to_json();
+  };
+
+  std::vector<std::size_t> order(kShards);
+  std::iota(order.begin(), order.end(), 0u);
+  const std::string reference = merged_json(order);
+
+  std::mt19937 rng{99};
+  for (int trial = 0; trial < 10; ++trial) {
+    std::shuffle(order.begin(), order.end(), rng);
+    EXPECT_EQ(merged_json(order), reference) << "trial " << trial;
+  }
+
+  // Pairwise tree merge must agree with the linear fold too.
+  QuantileSketch left, right;
+  for (std::size_t i = 0; i < 3; ++i) left.merge(shards[i]);
+  for (std::size_t i = 3; i < kShards; ++i) right.merge(shards[i]);
+  left.merge(right);
+  EXPECT_EQ(left.to_json(), reference);
+}
+
+TEST(QuantileSketch, MergedShardsMatchSingleSketchQuantiles) {
+  // Sharded collection must not cost accuracy: the merged sketch answers
+  // quantiles within the same bound as one sketch fed everything.
+  const auto samples = lognormal_samples(50'000, 0xABCD);
+  QuantileSketch whole;
+  std::vector<QuantileSketch> shards(4);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    whole.record(samples[i]);
+    shards[i % shards.size()].record(samples[i]);
+  }
+  QuantileSketch merged;
+  for (const auto& s : shards) merged.merge(s);
+  ASSERT_EQ(merged.count(), whole.count());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    const double exact = exact_quantile(samples, q);
+    EXPECT_NEAR(merged.quantile(q), exact, exact * merged.relative_error() * 1.05);
+  }
+}
+
+TEST(QuantileSketch, CollapseBoundsBucketCountAndKeepsUpperQuantiles) {
+  // sigma=2 lognormal spans ~6 decades ~= 690 buckets at alpha=0.01; a
+  // 256-bucket budget forces collapse but still covers the top ~2 decades,
+  // so the squash bites only quantiles deep in the low tail.
+  QuantileSketch s{QuantileSketch::Config{0.01, 256}};
+  const auto samples = lognormal_samples(20'000, 7);
+  for (double v : samples) s.record(v);
+  EXPECT_EQ(s.bucket_count(), 256u);  // budget hit => collapse happened
+  for (double q : {0.9, 0.99}) {
+    const double exact = exact_quantile(samples, q);
+    EXPECT_NEAR(s.quantile(q), exact, exact * s.relative_error() * 1.05);
+  }
+  // The collapsed low tail only ever over-reports (counts slide upward into
+  // the surviving lowest bucket), never under.
+  EXPECT_GE(s.quantile(0.01), exact_quantile(samples, 0.01) * (1.0 - s.relative_error()));
+}
+
+TEST(TopK, ExactBelowCapacityAndDeterministicOrder) {
+  TopK t{4};
+  t.add(30, 5);
+  t.add(10, 9);
+  t.add(20, 9);
+  const auto top = t.top();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, 10u);  // weight ties break toward the smaller key
+  EXPECT_EQ(top[1].key, 20u);
+  EXPECT_EQ(top[2].key, 30u);
+  EXPECT_EQ(top[0].error, 0u);  // no eviction yet: counts are exact
+  EXPECT_EQ(t.total_weight(), 23u);
+}
+
+TEST(TopK, EvictionInheritsVictimWeightAsErrorBound) {
+  TopK t{2};
+  t.add(1, 10);
+  t.add(2, 3);
+  t.add(3, 1);  // evicts key 2? no — evicts the minimum, key 2 (weight 3)
+  const auto top = t.top();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, 1u);
+  EXPECT_EQ(top[0].weight, 10u);
+  // The newcomer absorbed the victim's weight as its floor and error.
+  EXPECT_EQ(top[1].key, 3u);
+  EXPECT_EQ(top[1].weight, 4u);  // victim 3 + own 1
+  EXPECT_EQ(top[1].error, 3u);
+  // Space-saving guarantee: true weight <= reported weight.
+  EXPECT_EQ(t.total_weight(), 14u);
+}
+
+TEST(TopK, HeavyHittersSurviveChurn) {
+  // Two heavy keys among a churn of 1000 light ones must surface with
+  // weights no less than their true totals (space-saving overestimates).
+  TopK t{8};
+  std::mt19937 rng{123};
+  for (int round = 0; round < 5000; ++round) {
+    t.add(1'000'000, 50);
+    t.add(2'000'000, 30);
+    t.add(rng() % 1000, 1);
+  }
+  const auto top = t.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, 1'000'000u);
+  EXPECT_GE(top[0].weight, 250'000u);
+  EXPECT_EQ(top[1].key, 2'000'000u);
+  EXPECT_GE(top[1].weight, 150'000u);
+}
+
+TEST(TopK, MergeIsPermutationInvariantByteIdentical) {
+  constexpr std::size_t kShards = 5;
+  std::vector<TopK> shards;
+  for (std::size_t i = 0; i < kShards; ++i) shards.emplace_back(4);
+  std::mt19937 rng{77};
+  for (int n = 0; n < 2000; ++n) shards[n % kShards].add(rng() % 64, rng() % 100);
+
+  const auto merged_json = [&](const std::vector<std::size_t>& order) {
+    TopK acc{4};
+    for (std::size_t idx : order) acc.merge(shards[idx]);
+    return acc.to_json();
+  };
+  std::vector<std::size_t> order(kShards);
+  std::iota(order.begin(), order.end(), 0u);
+  const std::string reference = merged_json(order);
+  std::mt19937 shuffler{5};
+  for (int trial = 0; trial < 10; ++trial) {
+    std::shuffle(order.begin(), order.end(), shuffler);
+    EXPECT_EQ(merged_json(order), reference) << "trial " << trial;
+  }
+}
+
+FlowObservation make_obs(std::uint64_t id, double fct_sec, std::uint64_t bytes,
+                         bool completed = true) {
+  FlowObservation obs;
+  obs.flow_id = id;
+  obs.fct = sim::SimTime::from_seconds(fct_sec);
+  obs.bytes_acked = bytes;
+  obs.goodput = core::BitsPerSec{fct_sec > 0 ? static_cast<double>(bytes) * 8 / fct_sec : 0.0};
+  obs.retransmits = id % 3;
+  obs.peak_cwnd_packets = 10.0 + static_cast<double>(id % 7);
+  obs.ecn_marks = id % 2;
+  obs.completed = completed;
+  return obs;
+}
+
+TEST(FlowStatsHub, CountsAndCompletedOnlyFct) {
+  FlowStatsHub hub;
+  hub.record_flow(make_obs(1, 0.5, 1000, true));
+  hub.record_flow(make_obs(2, 2.0, 8000, false));  // still running: no FCT
+  EXPECT_EQ(hub.flows(), 2u);
+  EXPECT_EQ(hub.flows_completed(), 1u);
+  EXPECT_EQ(hub.fct().count(), 1u);      // only the completed flow
+  EXPECT_EQ(hub.goodput().count(), 2u);  // goodput counts both
+  EXPECT_EQ(hub.total_bytes_acked(), 9000u);
+  EXPECT_NEAR(hub.fct().quantile(0.5), 0.5, 0.5 * 0.011);
+}
+
+TEST(FlowStatsHub, MergeIsPermutationInvariantByteIdentical) {
+  constexpr std::size_t kShards = 4;
+  std::vector<FlowStatsHub> shards(kShards);
+  for (std::uint64_t id = 1; id <= 400; ++id) {
+    shards[id % kShards].record_flow(
+        make_obs(id, 0.01 * static_cast<double>(id), id * 1000, id % 5 != 0));
+  }
+  const auto merged_json = [&](const std::vector<std::size_t>& order) {
+    FlowStatsHub acc;
+    for (std::size_t idx : order) acc.merge(shards[idx]);
+    return acc.to_json();
+  };
+  std::vector<std::size_t> order(kShards);
+  std::iota(order.begin(), order.end(), 0u);
+  const std::string reference = merged_json(order);
+  std::mt19937 rng{31};
+  for (int trial = 0; trial < 8; ++trial) {
+    std::shuffle(order.begin(), order.end(), rng);
+    EXPECT_EQ(merged_json(order), reference) << "trial " << trial;
+  }
+}
+
+TEST(FlowStatsHub, ExportRegistersDocumentedMetricNames) {
+  FlowStatsHub hub;
+  hub.record_flow(make_obs(1, 0.25, 4000));
+  telemetry::MetricsRegistry reg;
+  hub.export_into(reg);
+  const std::string snap = reg.snapshot().to_json();
+  for (const char* name :
+       {"flowstats.flows", "flowstats.flows_completed", "flowstats.retransmits",
+        "flowstats.ecn_marks", "flowstats.bytes_acked", "flowstats.fct_p50_sec",
+        "flowstats.fct_p99_sec", "flowstats.goodput_p50_bps",
+        "flowstats.peak_cwnd_p99_pkts"}) {
+    EXPECT_NE(snap.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(ConvergenceDetector, LatchesAfterStableWindowsAndRecordsTime) {
+  ConvergenceConfig cfg;
+  cfg.window_samples = 5;
+  cfg.stable_windows = 2;
+  ConvergenceDetector det{cfg};
+  // Two noisy windows, then steady state.
+  int tick = 0;
+  const auto feed = [&](double util, double qlen, double drops, int n) {
+    for (int i = 0; i < n; ++i) {
+      det.observe(sim::SimTime::from_seconds(0.1 * ++tick), util, qlen, drops);
+    }
+  };
+  feed(0.30, 5.0, 0.0, 5);
+  feed(0.90, 80.0, 10.0, 5);
+  ASSERT_FALSE(det.converged());
+  feed(0.95, 100.0, 12.0, 5);  // disagrees with the 0.90 window
+  ASSERT_FALSE(det.converged());
+  feed(0.95, 100.0, 12.0, 5);  // streak 1
+  feed(0.95, 100.0, 12.0, 5);  // streak 2 -> converged
+  EXPECT_TRUE(det.converged());
+  EXPECT_EQ(det.converged_at(), sim::SimTime::from_seconds(0.1 * 25));
+  EXPECT_EQ(det.windows_observed(), 5u);
+
+  // Latches: a later divergent window must not clear it.
+  feed(0.10, 1.0, 0.0, 5);
+  EXPECT_TRUE(det.converged());
+  EXPECT_EQ(det.converged_at(), sim::SimTime::from_seconds(0.1 * 25));
+}
+
+TEST(ConvergenceDetector, ToleratesSmallRelativeWiggleAndExports) {
+  ConvergenceConfig cfg;
+  cfg.window_samples = 4;
+  cfg.stable_windows = 2;
+  ConvergenceDetector det{cfg};
+  int tick = 0;
+  for (int w = 0; w < 3; ++w) {
+    for (int i = 0; i < 4; ++i) {
+      // Within tolerance: utilization +-0.002 abs, qlen/drops +-2% rel.
+      const double jitter = (w % 2 == 0) ? 1.0 : 1.02;
+      det.observe(sim::SimTime::from_seconds(0.1 * ++tick), 0.80 + 0.002 * w,
+                  50.0 * jitter, 5.0 * jitter);
+    }
+  }
+  EXPECT_TRUE(det.converged());
+  det.mark_truncated();
+  telemetry::MetricsRegistry reg;
+  det.export_into(reg);
+  const std::string snap = reg.snapshot().to_json();
+  for (const char* name : {"convergence.converged", "convergence.at_sec",
+                           "convergence.windows", "convergence.truncated"}) {
+    EXPECT_NE(snap.find(name), std::string::npos) << name;
+  }
+}
+
+}  // namespace
