@@ -1,0 +1,63 @@
+// Buffer requirement vs congestion-control algorithm × flow count, after
+// Spang, Arslan & McKeown, "Updating the Theory of Buffer Sizing"
+// (arXiv 2109.11693).
+//
+// The paper's √n rule was derived for Reno-style AIMD. This matrix reruns
+// the min-buffer bisection per (CCA, n) cell and shows how the rule breaks
+// for modern CCAs:
+//   - CUBIC's shallower backoff (β = 0.7) needs MORE buffer than Reno at
+//     the same flow count;
+//   - a BBRv1-style rate model holds its utilization plateau almost
+//     independently of buffer depth — its requirement decouples from √n;
+//   - DCTCP reaches full utilization with a shallow *marked* buffer: the
+//     step-marking threshold K, not the buffer, sets the operating point.
+#include <cstdio>
+#include <vector>
+
+#include "experiment/cca_matrix.hpp"
+#include "experiment/cli.hpp"
+#include "experiment/reporting.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rbs;
+  const auto opts = experiment::parse_cli(
+      argc, argv, "CCA matrix: minimum buffer per congestion-control flavor x flow count");
+
+  experiment::CcaMatrixConfig mc;
+  mc.threads = opts.threads;
+  mc.base.seed = opts.seed;
+  if (opts.full) {
+    // Paper-like scale: OC3 with the default ~80 ms RTT spread.
+    mc.base.bottleneck_rate = core::BitsPerSec{155e6};
+    mc.base.warmup = sim::SimTime::seconds(15);
+    mc.base.measure = sim::SimTime::seconds(30);
+    mc.flow_counts = {10, 40, 100};
+  } else {
+    mc.base.bottleneck_rate = core::BitsPerSec{50e6};
+    mc.base.warmup = sim::SimTime::seconds(10);
+    mc.base.measure = sim::SimTime::seconds(15);
+    mc.flow_counts = {10, 40};
+  }
+
+  std::printf("CCA x flow-count buffer matrix (target utilization %.0f%%)\n\n",
+              100.0 * mc.target_utilization);
+  const auto result = run_cca_buffer_matrix(mc);
+  std::printf("%s\n", experiment::to_table(result).c_str());
+
+  if (opts.want_csv()) {
+    experiment::write_file(opts.csv_dir + "/fig_cca_matrix.csv", experiment::to_csv(result));
+    const std::vector<experiment::PlotSeries> series{{"min buffer (pkts)", 2, 3},
+                                                     {"sqrt rule (pkts)", 2, 5}};
+    experiment::write_gnuplot_script(opts.csv_dir, "fig_cca_matrix",
+                                     "Minimum buffer vs flow count per CCA",
+                                     "concurrent long-lived flows n", "buffer (pkts)", series,
+                                     /*logscale_y=*/true);
+  }
+
+  std::printf(
+      "expected shape (Spang et al.): reno/newreno track the sqrt rule (vs_sqrt near 1x);\n"
+      "cubic needs more buffer than newreno at the same n; bbr's min buffer stays small\n"
+      "and nearly flat in n (decoupled from the sqrt rule); dctcp reaches the target with\n"
+      "a shallow marked buffer and near-zero drops.\n");
+  return 0;
+}

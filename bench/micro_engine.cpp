@@ -14,6 +14,7 @@
 #include "experiment/sweep.hpp"
 #include "net/drop_tail_queue.hpp"
 #include "sim/simulation.hpp"
+#include "tcp/congestion_control.hpp"
 #include "telemetry/sketch.hpp"
 #include "telemetry/trace.hpp"
 
@@ -160,6 +161,42 @@ void BM_RngUniform(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RngUniform);
+
+void BM_CcaStep(benchmark::State& state) {
+  // Per-ACK cost of each congestion-control strategy: the model update
+  // (on_ack) plus window growth (on_acked_increase), with a loss event every
+  // 8192 ACKs so the reduction/epoch paths stay in the profile. Arg indexes
+  // all_flavors(); the label names the flavor. The Reno row is the cost the
+  // pre-refactor inlined arithmetic paid; CUBIC adds the cubic-root epoch
+  // math, BBR the max-filter and phase machine, DCTCP the EWMA fold.
+  const auto flavor = tcp::all_flavors()[static_cast<std::size_t>(state.range(0))];
+  const tcp::CcConfig cfg;
+  const auto cc = tcp::make_congestion_control(flavor, cfg);
+  tcp::CcContext ctx;
+  ctx.srtt = sim::SimTime::milliseconds(50);
+  ctx.min_rtt = ctx.srtt;
+  ctx.has_rtt = true;
+  std::int64_t una = 0;
+  auto now = sim::SimTime::zero();
+  for (auto _ : state) {
+    now = now + sim::SimTime::microseconds(500);
+    ++una;
+    ctx.now = now;
+    ctx.snd_una = una;
+    ctx.snd_nxt = una + 100;
+    ctx.in_flight = 100;
+    cc->on_ack(ctx, 1, ctx.srtt, 0);
+    cc->on_acked_increase(ctx, 1);
+    if ((una & 8191) == 0) {
+      cc->on_loss_detected(ctx);
+      cc->on_recovery_exit(ctx);
+    }
+    benchmark::DoNotOptimize(cc->cwnd());
+  }
+  state.SetLabel(tcp::flavor_name(flavor));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CcaStep)->Arg(2)->Arg(3)->Arg(4)->Arg(5);  // newreno cubic bbr dctcp
 
 void BM_DumbbellSimulatedSecond(benchmark::State& state) {
   // How long one simulated second of a loaded 50-flow OC3 dumbbell takes.

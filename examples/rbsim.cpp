@@ -30,6 +30,11 @@
 //   flow_len    short-flow length in packets  [62]
 //   red         0|1 use RED at the bottleneck [0]
 //   ecn         0|1 RED marks instead of drops [0]
+//   cca         tahoe | reno | newreno | cubic | bbr | dctcp  congestion
+//               control for the TCP senders (long/mixed modes) [newreno].
+//               cca=dctcp additionally switches the bottleneck (long mode)
+//               to step-marking RED with threshold K = buffer/2, the
+//               operating point DCTCP assumes (experiment::apply_cca_profile)
 //   pacing      0|1 paced TCP senders         [0]
 //   delack      0|1 delayed ACKs              [0]
 //   seed        RNG seed                      [1]
@@ -76,11 +81,13 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "core/recommendation.hpp"
 #include "core/sizing_rules.hpp"
+#include "experiment/cca_matrix.hpp"
 #include "experiment/long_flow_experiment.hpp"
 #include "experiment/mixed_flow_experiment.hpp"
 #include "experiment/reporting.hpp"
@@ -157,6 +164,7 @@ int run_rbsim(int argc, char** argv) {
                   "             [--sample-interval SEC] [--faults FILE] [--flow-stats]\n"
                   "             [--post-mortem PATH] [key=value ...] [config-file]\n"
                   "keys include mode=long|short|mixed|trace, buffer=N|auto|bdp[,..],\n"
+                  "cca=tahoe|reno|newreno|cubic|bbr|dctcp (sender congestion control),\n"
                   "backend=wheel|heap|auto (scheduler ready-queue; identical results,\n"
                   "different speed), threads=N, seed=N\n"
                   "see the header of examples/rbsim.cpp for the full key list\n");
@@ -255,6 +263,18 @@ int run_rbsim(int argc, char** argv) {
   }
   const bool paranoia = get_num(kv, "paranoia", 0) > 0;
   if (paranoia) std::printf("rbsim: paranoia mode on — invariant auditor attached\n");
+
+  // Congestion-control flavor for the TCP senders (long/mixed modes).
+  std::optional<tcp::TcpFlavor> cca;
+  const std::string cca_str = get_str(kv, "cca", "");
+  if (!cca_str.empty()) {
+    cca = tcp::flavor_from_name(cca_str);
+    if (!cca) {
+      std::fprintf(stderr, "rbsim: unknown cca '%s' (want tahoe, reno, newreno, cubic, bbr, or dctcp)\n",
+                   cca_str.c_str());
+      return 2;
+    }
+  }
 
   // Fault schedule, applied identically to every mode (and every sweep
   // point). Parse errors are fatal and name the offending line.
@@ -435,6 +455,8 @@ int run_rbsim(int argc, char** argv) {
           buffers.size(), [&](std::size_t i) {
             auto point = cfg;
             point.buffer_packets = buffers[i];
+            // Per point, not once: DCTCP's marking threshold tracks the buffer.
+            if (cca) experiment::apply_cca_profile(point, *cca, buffers[i]);
             return run_long_flow_experiment(point);
           });
       experiment::TablePrinter table{
@@ -550,6 +572,7 @@ int run_rbsim(int argc, char** argv) {
     }
     cfg.tcp.pacing = get_num(kv, "pacing", 0) > 0;
     cfg.sink.delayed_ack = get_num(kv, "delack", 0) > 0;
+    if (cca) experiment::apply_cca_profile(cfg, *cca, buffer);
     cfg.telemetry = tele_cfg;
     cfg.faults = faults;
 
@@ -617,6 +640,9 @@ int run_rbsim(int argc, char** argv) {
     cfg.buffer_packets = buffer;
     cfg.short_flow_load = get_num(kv, "short_load", 0.2);
     cfg.short_flow_packets = static_cast<std::int64_t>(get_num(kv, "flow_len", 62));
+    // Flavor only: the mixed experiment owns its queue discipline, so the
+    // DCTCP step-marking profile applies in long mode alone.
+    if (cca) cfg.tcp.flavor = *cca;
     cfg.warmup = sim::SimTime::from_seconds(warmup);
     cfg.measure = sim::SimTime::from_seconds(duration);
     cfg.seed = seed;

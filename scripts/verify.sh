@@ -12,13 +12,16 @@
 #   6. telemetry smoke: one instrumented rbsim run with per-flow rollups and
 #      the flight recorder armed; validate the Chrome trace, metrics, and
 #      flow-stats artifacts (and any post-mortem) with check_telemetry.py
-#   7. ASan/UBSan + RBS_CHECKED: rebuild with AddressSanitizer +
+#   7. CCA smoke: one short rbsim run per modern congestion-control flavor
+#      (cubic, bbr, dctcp); each must finish, report utilization, and label
+#      every flow with its flavor in the flow-stats rollup
+#   8. ASan/UBSan + RBS_CHECKED: rebuild with AddressSanitizer +
 #      UndefinedBehaviorSanitizer and the hot-path invariant macros armed,
 #      run the complete test suite
-#   8. TSAN: rebuild scheduler + sweep runner under ThreadSanitizer and run
+#   9. TSAN: rebuild scheduler + sweep runner under ThreadSanitizer and run
 #      the concurrency-sensitive tests (scheduler_test, sweep_test,
 #      timing_wheel_test, property_test)
-#   9. thread-safety annotations: clang++ -Wthread-safety positive +
+#  10. thread-safety annotations: clang++ -Wthread-safety positive +
 #      compile-fail harness (scripts/check_thread_safety.py). Needs a
 #      clang++ binary; skipped loudly when none exists (the analysis is
 #      Clang-only — there is nothing equivalent to run under GCC).
@@ -33,7 +36,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "=== [0/9] preflight: required tools ==="
+echo "=== [0/10] preflight: required tools ==="
 missing=0
 for tool in cmake ctest python3 gnuplot; do
   if ! command -v "$tool" >/dev/null 2>&1; then
@@ -57,15 +60,15 @@ if [[ "$missing" -ne 0 ]]; then
   exit 1
 fi
 
-echo "=== [1/9] tier-1 build + tests ==="
+echo "=== [1/10] tier-1 build + tests ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [2/9] determinism lint ==="
+echo "=== [2/10] determinism lint ==="
 cmake --build build --target lint
 
-echo "=== [3/9] semantics analysis (rbs-analyze + fixture corpus) ==="
+echo "=== [3/10] semantics analysis (rbs-analyze + fixture corpus) ==="
 # Preflight: the analyzer package must be importable before we trust a pass.
 PYTHONPATH=scripts python3 -c "import rbs_analyze" || {
   echo "verify: FATAL: scripts/rbs_analyze is not importable" >&2
@@ -74,7 +77,7 @@ PYTHONPATH=scripts python3 -c "import rbs_analyze" || {
 cmake --build build --target analyze
 python3 scripts/run_analyzer_fixtures.py
 
-echo "=== [4/9] fault scenarios + rbsim --faults smoke ==="
+echo "=== [4/10] fault scenarios + rbsim --faults smoke ==="
 ctest --test-dir build --output-on-failure -j "$JOBS" \
   -R 'FaultScenarioTest|FaultFuzz|FaultScheduleTest|FaultLinkTest|InjectorTest'
 mkdir -p build/fault_smoke
@@ -95,10 +98,10 @@ if ./build/examples/rbsim mode=long duration=1 warmup=0 \
 fi
 grep -q "line 1" build/fault_smoke/err.txt
 
-echo "=== [5/9] bench smoke ==="
+echo "=== [5/10] bench smoke ==="
 cmake --build build -j "$JOBS" --target bench_smoke
 
-echo "=== [6/9] telemetry smoke ==="
+echo "=== [6/10] telemetry smoke ==="
 mkdir -p build/telemetry_smoke
 ./build/examples/rbsim mode=long flows=20 duration=2 warmup=1 \
   --metrics build/telemetry_smoke/metrics.json \
@@ -114,12 +117,33 @@ if [ -f build/telemetry_smoke/post_mortem.json ]; then
     --post-mortem build/telemetry_smoke/post_mortem.json
 fi
 
-echo "=== [7/9] ASan/UBSan + RBS_CHECKED: full test suite ==="
+echo "=== [7/10] CCA smoke: cubic / bbr / dctcp short runs ==="
+mkdir -p build/cca_smoke
+for cca in cubic bbr dctcp; do
+  ./build/examples/rbsim mode=long flows=6 duration=2 warmup=1 "cca=$cca" \
+    --flow-stats --metrics "build/cca_smoke/metrics_$cca.json" \
+    > "build/cca_smoke/out_$cca.txt"
+  grep -q "utilization" "build/cca_smoke/out_$cca.txt"
+  # Every flow must be labeled with its flavor in the flow-stats rollup,
+  # and the per-CCA gauge must have reached the metrics document.
+  RBS_CCA="$cca" python3 - <<'EOF'
+import json, os
+cca = os.environ["RBS_CCA"]
+doc = json.load(open(f"build/cca_smoke/metrics_{cca}.json"))
+labeled = doc["flow_stats"]["cca"]
+assert labeled.get(cca, 0) == 6, f"cca={cca}: flow labels wrong: {labeled}"
+names = {m["name"] for m in doc["snapshot"]["metrics"]}
+assert f"flowstats.cca.{cca}" in names, \
+    f"cca={cca}: per-CCA gauge missing from metrics"
+EOF
+done
+
+echo "=== [8/10] ASan/UBSan + RBS_CHECKED: full test suite ==="
 cmake -B build-asan -S . -DRBS_ASAN=ON -DRBS_CHECKED=ON >/dev/null
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "=== [8/9] ThreadSanitizer: concurrency tests ==="
+echo "=== [9/10] ThreadSanitizer: concurrency tests ==="
 cmake -B build-tsan -S . -DRBS_TSAN=ON >/dev/null
 cmake --build build-tsan -j "$JOBS" \
   --target scheduler_test sweep_test timing_wheel_test property_test
@@ -128,7 +152,7 @@ cmake --build build-tsan -j "$JOBS" \
 ./build-tsan/tests/timing_wheel_test
 ./build-tsan/tests/property_test
 
-echo "=== [9/9] thread-safety annotations (clang -Wthread-safety) ==="
+echo "=== [10/10] thread-safety annotations (clang -Wthread-safety) ==="
 if command -v clang++ >/dev/null 2>&1; then
   python3 scripts/check_thread_safety.py
 else

@@ -59,6 +59,25 @@ BufferRecommendation recommend_buffer(const LinkProfile& link) {
           : 0.0;
   rec.memory = evaluate_reference_memories(rec.recommended_bits, link.rate.bps());
 
+  // Per-CCA shifts of the headline number (Spang et al., arXiv 2109.11693;
+  // factors match the simulator's own CCA matrix, bench/fig_cca_matrix).
+  const std::int64_t bdp = rec.rule_of_thumb_pkts;
+  rec.cca_guidance.push_back({"newreno", Packets{rec.recommended_pkts},
+                              "the paper's sqrt rule (Reno-style AIMD)"});
+  rec.cca_guidance.push_back(
+      {"cubic", Packets{std::max(rec.short_flow_floor_pkts, 2 * rec.sqrt_rule_pkts)},
+       "beta = 0.7 backoff: about twice the sqrt rule at equal n"});
+  rec.cca_guidance.push_back({"bbr", Packets{std::max<std::int64_t>(8, bdp / 50)},
+                              "rate model keeps the pipe full; decoupled from sqrt(n)"});
+  const std::int64_t dctcp_k =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(std::ceil(
+                                    static_cast<double>(bdp) / 7.0)));
+  char dctcp_note[128];
+  std::snprintf(dctcp_note, sizeof dctcp_note,
+                "marking threshold K = RTT*C/7 = %lld pkts, buffer 2K",
+                static_cast<long long>(dctcp_k));
+  rec.cca_guidance.push_back({"dctcp", Packets{2 * dctcp_k}, dctcp_note});
+
   char buf[256];
   std::snprintf(buf, sizeof buf,
                 "%s of buffering (%lld pkts) suffices for %lld long flows; "
@@ -104,6 +123,14 @@ std::string to_report(const LinkProfile& link, const BufferRecommendation& rec) 
   std::snprintf(buf, sizeof buf, "  buffer reduction vs rule of thumb: %.1f%%\n",
                 100.0 * rec.buffer_reduction_vs_rule_of_thumb);
   out += buf;
+  if (!rec.cca_guidance.empty()) {
+    out += "  per-CCA guidance:\n";
+    for (const auto& g : rec.cca_guidance) {
+      std::snprintf(buf, sizeof buf, "    %-8s: %8lld pkts  (%s)\n", g.cca.c_str(),
+                    static_cast<long long>(g.buffer.count()), g.note.c_str());
+      out += buf;
+    }
+  }
   out += "  memory feasibility:\n";
   for (const auto& m : rec.memory) {
     std::snprintf(buf, sizeof buf, "    %-12s: %6lld chip(s), access %s (budget %.2f ns)%s\n",

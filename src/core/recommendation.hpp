@@ -30,6 +30,17 @@ struct LinkProfile {
   Bytes packet_size{Bytes{1000}};
 };
 
+/// Per-CCA sizing guidance. The paper's √n rule assumes Reno-style AIMD;
+/// modern CCAs shift the requirement (Spang, Arslan & McKeown, arXiv
+/// 2109.11693), so the recommendation carries one row per flavor family.
+/// The flavor is a plain name ("newreno", "cubic", "bbr", "dctcp") — the
+/// model layer deliberately does not depend on the TCP implementation.
+struct CcaBufferGuidance {
+  std::string cca;
+  Packets buffer{Packets::zero()};
+  std::string note;  ///< one-line rationale for the figure
+};
+
 /// The recommendation and everything needed to justify it.
 struct BufferRecommendation {
   std::int64_t rule_of_thumb_pkts{0};   ///< B = RTT·C
@@ -41,6 +52,9 @@ struct BufferRecommendation {
   double predicted_utilization{0};      ///< long-flow model at the recommendation
   double buffer_reduction_vs_rule_of_thumb{0};  ///< e.g. 0.99 = "remove 99%"
   std::vector<MemoryFeasibility> memory{};      ///< SRAM/DRAM/eDRAM check
+  /// How the headline (Reno-derived) number shifts per CCA family, in enum
+  /// order newreno / cubic / bbr / dctcp.
+  std::vector<CcaBufferGuidance> cca_guidance{};
   std::string rationale;                ///< human-readable summary
 };
 

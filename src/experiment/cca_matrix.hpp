@@ -1,0 +1,85 @@
+// Buffer requirement vs congestion-control algorithm × flow count.
+//
+// The paper's √n rule was derived for Reno-style AIMD. Spang, Arslan &
+// McKeown ("Updating the Theory of Buffer Sizing", arXiv 2109.11693) show
+// the required buffer depends strongly on the CCA: CUBIC's shallower backoff
+// (β = 0.7) leaves a taller sawtooth to absorb, so it needs *more* buffer
+// than Reno at equal n; BBR's rate model keeps the pipe full almost
+// independently of buffer depth, decoupling its requirement from √n; and
+// DCTCP holds full utilization with a shallow *marked* buffer because the
+// marking threshold — not the buffer — sets the operating point.
+//
+// This module reruns the paper's min-buffer bisection per (CCA, n) cell and
+// reports each cell against BDP and the √n rule. It is the engine behind
+// bench/fig_cca_matrix; rbsim's `cca=` key applies the same per-flavor
+// scenario profile to single runs and buffer sweeps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "experiment/long_flow_experiment.hpp"
+#include "tcp/congestion_control.hpp"
+
+namespace rbs::experiment {
+
+/// Applies a flavor's scenario profile to a long-flow config: sets
+/// tcp.flavor and the queue discipline the flavor assumes. DCTCP gets RED
+/// in step-marking mode (instantaneous queue, mark-all cliff) with the
+/// threshold K at half the probed buffer — coupling K to the buffer is what
+/// makes "min buffer" meaningful for a marking-controlled CCA. Other
+/// flavors keep the config's discipline untouched.
+void apply_cca_profile(LongFlowExperimentConfig& config, tcp::TcpFlavor flavor,
+                       std::int64_t buffer_packets);
+
+struct CcaMatrixConfig {
+  std::vector<tcp::TcpFlavor> ccas{tcp::TcpFlavor::kNewReno, tcp::TcpFlavor::kCubic,
+                                   tcp::TcpFlavor::kBbr, tcp::TcpFlavor::kDctcp};
+  std::vector<int> flow_counts{10, 40};
+  /// Bisection target. 0.8 sits below the ~86-90% plateau a BBRv1-style
+  /// rate model cruises at in this machinery (ProbeBw drain slots + no
+  /// SACK) and above the underbuffered knee of the loss-based CCAs, so the
+  /// utilization-vs-buffer curve crosses it monotonically for every flavor.
+  /// Targets inside 0.85..0.9 straddle BBR's plateau and make its cell
+  /// degenerate to the bisection's upper bound.
+  double target_utilization{0.8};
+  /// Base scenario; buffer_packets / num_flows / flavor are overwritten per
+  /// cell, everything else (rate, delays, warmup, measure, seed) is shared.
+  LongFlowExperimentConfig base{};
+  /// Bisection range: [min_buffer, ceil(bdp_multiple × BDP)] packets.
+  std::int64_t min_buffer{2};
+  double bdp_multiple{2.0};
+  /// Worker threads for the per-cell sweep (0 = default_sweep_threads()).
+  int threads{0};
+};
+
+/// One (CCA, n) cell of the matrix.
+struct CcaMatrixCell {
+  tcp::TcpFlavor cca{};
+  int num_flows{0};
+  std::int64_t min_buffer_packets{0};  ///< bisection result
+  std::int64_t bdp_packets{0};         ///< RTT × C for the scenario
+  std::int64_t sqrt_rule_packets{0};   ///< BDP / √n
+  double utilization_at_min{0.0};      ///< measured at min_buffer_packets
+  /// min_buffer_packets / sqrt_rule_packets: ≈1 when the √n rule holds.
+  double ratio_vs_sqrt_rule{0.0};
+};
+
+struct CcaMatrixResult {
+  CcaMatrixConfig config;
+  std::vector<CcaMatrixCell> cells;  ///< row-major: ccas × flow_counts
+};
+
+/// Runs the full matrix; cells are independent simulations and run on the
+/// sweep pool, bitwise-reproducible regardless of thread count.
+[[nodiscard]] CcaMatrixResult run_cca_buffer_matrix(const CcaMatrixConfig& config);
+
+/// Fixed-width table (one row per cell) for reports and the figure runner.
+[[nodiscard]] std::string to_table(const CcaMatrixResult& result);
+
+/// CSV with a header row: cca,flows,min_buffer_pkts,bdp_pkts,sqrt_rule_pkts,
+/// utilization,ratio_vs_sqrt_rule.
+[[nodiscard]] std::string to_csv(const CcaMatrixResult& result);
+
+}  // namespace rbs::experiment

@@ -212,9 +212,17 @@ LongFlowExperimentResult run_long_flow_experiment(const LongFlowExperimentConfig
 std::int64_t min_buffer_for_utilization(LongFlowExperimentConfig config,
                                         double target_utilization, std::int64_t lo,
                                         std::int64_t hi) {
+  return min_buffer_for_utilization(std::move(config), target_utilization, lo, hi,
+                                    BufferProbePrepare{});
+}
+
+std::int64_t min_buffer_for_utilization(LongFlowExperimentConfig config,
+                                        double target_utilization, std::int64_t lo,
+                                        std::int64_t hi, const BufferProbePrepare& prepare) {
   assert(lo >= 1 && hi >= lo);
   auto measure = [&](std::int64_t buffer) {
     config.buffer_packets = buffer;
+    if (prepare) prepare(config, buffer);
     return run_long_flow_experiment(config).utilization;
   };
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "experiment/telemetry_hookup.hpp"
@@ -125,5 +126,18 @@ struct LongFlowExperimentResult {
 [[nodiscard]] std::int64_t min_buffer_for_utilization(LongFlowExperimentConfig config,
                                                       double target_utilization,
                                                       std::int64_t lo, std::int64_t hi);
+
+/// Per-probe configuration hook for the bisection: called with the config
+/// and the buffer about to be probed, before the run. Lets buffer-coupled
+/// settings track the probe — e.g. DCTCP's step-marking threshold K must
+/// scale with the buffer or every probe below a fixed K measures the same
+/// marked queue (see experiment::apply_cca_profile).
+using BufferProbePrepare = std::function<void(LongFlowExperimentConfig&, std::int64_t)>;
+
+/// Bisection with a per-probe prepare hook (empty hook = the plain variant).
+[[nodiscard]] std::int64_t min_buffer_for_utilization(LongFlowExperimentConfig config,
+                                                      double target_utilization,
+                                                      std::int64_t lo, std::int64_t hi,
+                                                      const BufferProbePrepare& prepare);
 
 }  // namespace rbs::experiment

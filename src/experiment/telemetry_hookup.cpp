@@ -116,6 +116,7 @@ void ExperimentTelemetry::record_tcp_flow(const tcp::TcpSource& src, sim::SimTim
   obs.retransmits = src.stats().retransmissions;
   obs.peak_cwnd_packets = src.cwnd_peak();
   obs.ecn_marks = src.stats().ecn_reductions;
+  obs.cca = tcp::flavor_name(src.config().flavor);
   flow_stats_->record_flow(obs);
 }
 

@@ -56,6 +56,12 @@ struct Packet {
   /// (data packets), and echoed by the receiver on ACKs (ECN-Echo).
   bool ecn_ce{false};
 
+  /// ACK only: number of CE-marked data packets the receiver saw since its
+  /// previous ACK (0 with no marks; equals 0/1 for immediate ACKs, may
+  /// exceed 1 under delayed ACKs). Carries the exact marked fraction DCTCP
+  /// needs; `ecn_ce` above stays the boolean echo every flavor understands.
+  std::int32_t ecn_echo_count{0};
+
   /// Set by a Link when the packet is offered to it; used to measure the
   /// queueing (+ serialization) delay at that hop. Links overwrite it hop by
   /// hop, so it is only meaningful within one hop.

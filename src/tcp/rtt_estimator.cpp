@@ -6,11 +6,14 @@
 namespace rbs::tcp {
 
 void RttEstimator::sample(sim::SimTime rtt) noexcept {
+  latest_ = rtt;
   if (!has_sample_) {
     srtt_ = rtt;
     rttvar_ = sim::SimTime::picoseconds(rtt.ps() / 2);
+    min_rtt_ = rtt;
     has_sample_ = true;
   } else {
+    min_rtt_ = std::min(min_rtt_, rtt);
     // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - R'|; SRTT = 7/8 SRTT + 1/8 R'
     const std::int64_t err = std::llabs(srtt_.ps() - rtt.ps());
     rttvar_ = sim::SimTime::picoseconds((3 * rttvar_.ps() + err) / 4);

@@ -30,6 +30,12 @@ class RttEstimator {
   [[nodiscard]] sim::SimTime srtt() const noexcept { return srtt_; }
   [[nodiscard]] sim::SimTime rttvar() const noexcept { return rttvar_; }
   [[nodiscard]] bool has_sample() const noexcept { return has_sample_; }
+  /// Lifetime minimum RTT (zero before the first sample). Unlike the SRTT
+  /// EWMA, this reacts to an RTT collapse immediately — rate-based pacing
+  /// (BBR) keys off it rather than the slowly converging smoothed value.
+  [[nodiscard]] sim::SimTime min_rtt() const noexcept { return min_rtt_; }
+  /// The most recent raw sample (zero before the first sample).
+  [[nodiscard]] sim::SimTime latest() const noexcept { return latest_; }
 
  private:
   void recompute_rto() noexcept;
@@ -37,6 +43,8 @@ class RttEstimator {
   Config config_;
   sim::SimTime srtt_{};
   sim::SimTime rttvar_{};
+  sim::SimTime min_rtt_{};
+  sim::SimTime latest_{};
   sim::SimTime rto_;
   bool has_sample_{false};
 };

@@ -28,7 +28,9 @@ void TcpSink::send_ack() {
   ack.size_bytes = static_cast<std::int32_t>(config_.ack_size.count());
   ack.timestamp = pending_echo_;  // echo for Karn-safe RTT sampling
   ack.ecn_ce = pending_ecn_echo_;  // ECN-Echo (simplified: per marked packet)
+  ack.ecn_echo_count = pending_ecn_count_;  // exact marked count (DCTCP)
   pending_ecn_echo_ = false;
+  pending_ecn_count_ = 0;
   host_.send(ack);
   ++acks_sent_;
 }
@@ -38,7 +40,10 @@ void TcpSink::on_packet(const net::Packet& p) {
   ++packets_received_;
   peer_ = p.src;
   pending_echo_ = p.timestamp;
-  if (p.ecn_ce) pending_ecn_echo_ = true;
+  if (p.ecn_ce) {
+    pending_ecn_echo_ = true;
+    ++pending_ecn_count_;
+  }
 
   const bool had_gap = !out_of_order_.empty();
   bool in_order = false;

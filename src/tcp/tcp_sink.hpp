@@ -77,6 +77,7 @@ class TcpSink final : public net::Agent {
   net::NodeId peer_{net::kInvalidNode};
   sim::SimTime pending_echo_{};
   bool pending_ecn_echo_{false};
+  std::int32_t pending_ecn_count_{0};  ///< marked data packets since last ACK
   int unacked_in_order_{0};
   sim::Scheduler::EventHandle delack_timer_;
 };

@@ -10,6 +10,18 @@
 
 namespace rbs::tcp {
 
+CcConfig cc_config_from(const TcpConfig& config) noexcept {
+  CcConfig cc;
+  cc.initial_cwnd = config.initial_cwnd;
+  cc.initial_ssthresh = config.initial_ssthresh;
+  cc.max_window = config.max_window;
+  cc.segment = config.segment;
+  cc.cubic = config.cubic;
+  cc.bbr = config.bbr;
+  cc.dctcp = config.dctcp;
+  return cc;
+}
+
 TcpSource::TcpSource(sim::Simulation& sim, net::Host& host, net::NodeId dst, net::FlowId flow,
                      TcpConfig config, std::int64_t flow_packets)
     : sim_{sim},
@@ -18,8 +30,7 @@ TcpSource::TcpSource(sim::Simulation& sim, net::Host& host, net::NodeId dst, net
       flow_{flow},
       config_{config},
       flow_packets_{flow_packets},
-      cwnd_{config.initial_cwnd},
-      ssthresh_{config.initial_ssthresh},
+      cc_{make_congestion_control(config.flavor, cc_config_from(config))},
       rtt_{config.rtt} {
   assert(config_.segment.count() > 0);
   assert(config_.initial_cwnd >= 1.0);
@@ -36,18 +47,30 @@ void TcpSource::start(sim::SimTime at) {
   assert(!started_);
   started_ = true;
   start_time_ = at;
-  cwnd_peak_ = cwnd_;
+  cwnd_peak_ = cc_->cwnd();
   sim_.at(at, [this] { send_available(); }, sim::EventClass::kWorkload);
 }
 
+CcContext TcpSource::cc_ctx() const noexcept {
+  CcContext ctx;
+  ctx.now = sim_.now();
+  ctx.srtt = rtt_.srtt();
+  ctx.min_rtt = rtt_.min_rtt();
+  ctx.has_rtt = rtt_.has_sample();
+  ctx.snd_una = snd_una_;
+  ctx.snd_nxt = snd_nxt_;
+  ctx.in_flight = packets_in_flight();
+  return ctx;
+}
+
 std::int64_t TcpSource::effective_window() const noexcept {
-  const auto w = static_cast<std::int64_t>(cwnd_);
+  const auto w = static_cast<std::int64_t>(cc_->cwnd());
   return std::min(std::max<std::int64_t>(w, 1), config_.max_window);
 }
 
 void TcpSource::send_available() {
   if (finished_) return;
-  if (config_.pacing) {
+  if (pacing_enabled()) {
     schedule_paced_send();
     return;
   }
@@ -68,13 +91,11 @@ void TcpSource::send_available() {
 
 sim::SimTime TcpSource::pacing_interval() const noexcept {
   const auto rtt = rtt_.has_sample() ? rtt_.srtt() : config_.pacing_initial_rtt;
-  const double window = std::max(cwnd_, 1.0);
-  return sim::SimTime::picoseconds(
-      static_cast<std::int64_t>(static_cast<double>(rtt.ps()) / window));
+  return cc_->pacing_interval(cc_ctx(), rtt);
 }
 
 void TcpSource::schedule_paced_send() {
-  if (pace_timer_.pending() || finished_) return;
+  if (finished_) return;
   const std::int64_t limit =
       flow_packets_ >= 0 ? std::min(snd_una_ + effective_window(), flow_packets_)
                          : snd_una_ + effective_window();
@@ -82,6 +103,16 @@ void TcpSource::schedule_paced_send() {
 
   const auto earliest = last_paced_send_ + pacing_interval();
   const auto when = std::max(earliest, sim_.now());
+  if (pace_timer_.pending()) {
+    // Pacing-rate collapse fix: a tick armed under a stale (slower) rate —
+    // e.g. the pre-sample pacing_initial_rtt guess, or a BBR gain/bandwidth
+    // change — must not delay the next send once the current rate allows an
+    // earlier one. Rearm when the freshly computed deadline is sooner; a
+    // later deadline keeps the pending (earlier) tick.
+    if (when >= pace_deadline_) return;
+    pace_timer_.cancel();
+  }
+  pace_deadline_ = when;
   pace_timer_ = sim_.at(
       when,
       [this] {
@@ -121,20 +152,22 @@ void TcpSource::on_packet(const net::Packet& p) {
   if (p.kind != net::PacketKind::kTcpAck || finished_) return;
   ++stats_.acks_received;
 
-  // ECN-Echo: reduce the window once per window of data (RFC 3168), without
-  // retransmitting anything — the packet was delivered, only marked.
+  // ECN-Echo: react once per window of data (RFC 3168), without
+  // retransmitting anything — the packet was delivered, only marked. The
+  // strategy decides the cut (halving for Reno, alpha-proportional for
+  // DCTCP, ignored by BBR).
   if (p.ecn_ce && !in_recovery_ && snd_una_ > ecn_recover_) {
-    ssthresh_ = std::max(cwnd_ / 2.0, 2.0);
-    cwnd_ = ssthresh_;
-    ecn_recover_ = snd_nxt_ - 1;
-    ++stats_.ecn_reductions;
-    RBS_TRACE_INSTANT(sim_.trace(), "tcp", "ecn-cut", sim_.now(),
-                      (telemetry::TraceArg{"cwnd", static_cast<std::int64_t>(cwnd_)}),
-                      telemetry::TraceArg{}, flow_);
+    if (cc_->on_ecn_reduction(cc_ctx())) {
+      ecn_recover_ = snd_nxt_ - 1;
+      ++stats_.ecn_reductions;
+      RBS_TRACE_INSTANT(sim_.trace(), "tcp", "ecn-cut", sim_.now(),
+                        (telemetry::TraceArg{"cwnd", static_cast<std::int64_t>(cc_->cwnd())}),
+                        telemetry::TraceArg{}, flow_);
+    }
   }
 
   if (p.ack > snd_una_) {
-    handle_new_ack(p.ack, p.timestamp);
+    handle_new_ack(p.ack, p.timestamp, p.ecn_echo_count);
   } else if (p.ack == snd_una_ && snd_nxt_ > snd_una_) {
     ++stats_.dup_acks_received;
     handle_dup_ack();
@@ -143,31 +176,38 @@ void TcpSource::on_packet(const net::Packet& p) {
 
   // Every cwnd increase happens on the ACK path above, so sampling here
   // (plus once at start()) captures the exact high-water mark.
-  if (cwnd_ > cwnd_peak_) cwnd_peak_ = cwnd_;
+  if (cc_->cwnd() > cwnd_peak_) cwnd_peak_ = cc_->cwnd();
 }
 
-void TcpSource::handle_new_ack(std::int64_t ack, sim::SimTime echoed) {
+void TcpSource::handle_new_ack(std::int64_t ack, sim::SimTime echoed,
+                               std::int32_t ecn_echo_count) {
   RBS_INVARIANT(ack <= max_sent_ + 1, "cumulative ACK covers data never transmitted");
   const std::int64_t newly_acked = ack - snd_una_;
   snd_una_ = ack;
   snd_nxt_ = std::max(snd_nxt_, snd_una_);
-  RBS_INVARIANT(cwnd_ >= 1.0, "congestion window fell below one segment");
+  RBS_INVARIANT(cc_->cwnd() >= 1.0, "congestion window fell below one segment");
 
   // Timestamp echo makes every sample unambiguous (Karn-safe): a
   // retransmitted packet carries its own transmission time.
-  rtt_.sample(sim_.now() - echoed);
+  const sim::SimTime rtt_sample = sim_.now() - echoed;
+  rtt_.sample(rtt_sample);
+
+  // Model update (delivery-rate / min-RTT / DCTCP alpha bookkeeping). A
+  // no-op for the Reno family, whose state is exactly the pre-strategy
+  // window arithmetic below.
+  cc_->on_ack(cc_ctx(), newly_acked, rtt_sample, ecn_echo_count);
 
   if (in_recovery_) {
     if (ack > recover_) {
-      // Full ACK: deflate to ssthresh and leave recovery.
-      cwnd_ = ssthresh_;
+      // Full ACK: deflate and leave recovery.
+      cc_->on_recovery_exit(cc_ctx());
       in_recovery_ = false;
       dup_acks_ = 0;
       partial_ack_seen_ = false;
-    } else if (config_.flavor == TcpFlavor::kNewReno) {
+    } else if (cc_->partial_ack_repair()) {
       // Partial ACK: the next hole is also lost. Retransmit it, deflate by
       // the amount acknowledged, and stay in recovery (RFC 6582).
-      cwnd_ = std::max(1.0, cwnd_ - static_cast<double>(newly_acked) + 1.0);
+      cc_->on_recovery_partial_ack(cc_ctx(), newly_acked);
       transmit(snd_una_);
       // "Impatient" variant: only the first partial ACK restarts the
       // retransmit timer. A burst with many holes then falls back to RTO +
@@ -180,21 +220,14 @@ void TcpSource::handle_new_ack(std::int64_t ack, sim::SimTime echoed) {
       return;
     } else {
       // Plain Reno leaves recovery on any new ACK.
-      cwnd_ = ssthresh_;
+      cc_->on_recovery_exit(cc_ctx());
       in_recovery_ = false;
       dup_acks_ = 0;
     }
   } else {
     dup_acks_ = 0;
     const std::int64_t increments = config_.increase_per_acked_packet ? newly_acked : 1;
-    for (std::int64_t i = 0; i < increments; ++i) {
-      if (cwnd_ < ssthresh_) {
-        cwnd_ += 1.0;  // slow start
-      } else {
-        cwnd_ += 1.0 / cwnd_;  // congestion avoidance
-      }
-    }
-    cwnd_ = std::min(cwnd_, static_cast<double>(config_.max_window));
+    cc_->on_acked_increase(cc_ctx(), increments);
   }
 
   if (flow_packets_ >= 0 && snd_una_ >= flow_packets_) {
@@ -212,7 +245,7 @@ void TcpSource::handle_new_ack(std::int64_t ack, sim::SimTime echoed) {
 
 void TcpSource::handle_dup_ack() {
   if (in_recovery_) {
-    cwnd_ += 1.0;  // inflation: each dup ACK signals a departure
+    cc_->on_recovery_dup_ack(cc_ctx());  // inflation: each dup ACK signals a departure
     send_available();
     return;
   }
@@ -220,7 +253,7 @@ void TcpSource::handle_dup_ack() {
   // RFC 6582 gate: only treat 3 dup ACKs as a new loss event once the
   // cumulative ACK has passed `recover_`. Dup ACKs generated while holes
   // from a previous loss event (or post-timeout go-back-N resends) are
-  // still being repaired must not trigger another window halving.
+  // still being repaired must not trigger another window reduction.
   if (dup_acks_ >= 3 && snd_una_ > recover_) {
     enter_fast_recovery();
     return;
@@ -240,13 +273,11 @@ void TcpSource::enter_fast_recovery() {
   ++stats_.fast_retransmits;
   RBS_TRACE_INSTANT(sim_.trace(), "tcp", "fast-retransmit", sim_.now(),
                     (telemetry::TraceArg{"seq", snd_una_}),
-                    (telemetry::TraceArg{"cwnd", static_cast<std::int64_t>(cwnd_)}), flow_);
-  const auto flight = static_cast<double>(packets_in_flight());
-  ssthresh_ = std::max(flight / 2.0, 2.0);
+                    (telemetry::TraceArg{"cwnd", static_cast<std::int64_t>(cc_->cwnd())}), flow_);
+  cc_->on_loss_detected(cc_ctx());
   recover_ = snd_nxt_ - 1;
-  if (config_.flavor == TcpFlavor::kTahoe) {
+  if (cc_->loss_restarts_slow_start()) {
     // Tahoe: retransmit and restart from slow start; no recovery phase.
-    cwnd_ = 1.0;
     in_recovery_ = false;
     dup_acks_ = 0;
     snd_nxt_ = snd_una_;  // go-back-N, as after a timeout
@@ -254,7 +285,6 @@ void TcpSource::enter_fast_recovery() {
     arm_timer();
     return;
   }
-  cwnd_ = ssthresh_ + 3.0;
   in_recovery_ = true;
   partial_ack_seen_ = false;
   transmit(snd_una_);
@@ -266,18 +296,10 @@ void TcpSource::on_timeout() {
   ++stats_.timeouts;
   RBS_TRACE_INSTANT(sim_.trace(), "tcp", "timeout", sim_.now(),
                     (telemetry::TraceArg{"seq", snd_una_}),
-                    (telemetry::TraceArg{"cwnd", static_cast<std::int64_t>(cwnd_)}), flow_);
+                    (telemetry::TraceArg{"cwnd", static_cast<std::int64_t>(cc_->cwnd())}), flow_);
   rtt_.backoff();
 
-  // Reduce the window once per loss event: if the timeout interrupts an
-  // ongoing fast recovery, ssthresh was already halved when that event was
-  // detected, and flight is inflated by recovery sends — halving again from
-  // it would shrink the window far below half and trigger oscillation.
-  if (!in_recovery_) {
-    const auto flight = static_cast<double>(packets_in_flight());
-    ssthresh_ = std::max(flight / 2.0, 2.0);
-  }
-  cwnd_ = 1.0;
+  cc_->on_timeout(cc_ctx(), in_recovery_);
   dup_acks_ = 0;
   in_recovery_ = false;
   partial_ack_seen_ = false;
@@ -311,11 +333,11 @@ void TcpSource::audit(check::AuditReport& report) const {
                      ", snd_nxt " + std::to_string(snd_nxt_) + ", max_sent " +
                      std::to_string(max_sent_));
   }
-  if (!std::isfinite(cwnd_) || cwnd_ < 1.0) {
-    report.violation("congestion window invalid: " + std::to_string(cwnd_));
+  if (!std::isfinite(cc_->cwnd()) || cc_->cwnd() < 1.0) {
+    report.violation("congestion window invalid: " + std::to_string(cc_->cwnd()));
   }
-  if (!std::isfinite(ssthresh_) || ssthresh_ <= 0.0) {
-    report.violation("ssthresh invalid: " + std::to_string(ssthresh_));
+  if (!std::isfinite(cc_->ssthresh()) || cc_->ssthresh() <= 0.0) {
+    report.violation("ssthresh invalid: " + std::to_string(cc_->ssthresh()));
   }
   // +2: limited transmit may legitimately send two segments past the window.
   if (packets_in_flight() > config_.max_window + 2) {

@@ -1,6 +1,9 @@
-// TCP sender implementing Reno / NewReno congestion control at packet
-// granularity: slow start, congestion avoidance (AIMD), fast retransmit,
-// fast recovery, and RFC 6298 retransmission timeouts.
+// TCP sender at packet granularity: the shared machinery (sequence
+// bookkeeping, fast retransmit, fast recovery, RFC 6298 retransmission
+// timeouts, limited transmit, pacing) with every congestion decision
+// delegated to a pluggable CongestionControl strategy — Tahoe / Reno /
+// NewReno (the paper's flavors, bitwise-identical to the pre-strategy code),
+// CUBIC, a BBRv1-style rate model, and DCTCP. See docs/congestion_control.md.
 //
 // Windows are counted in packets (MSS units), matching the paper. The flow
 // either sends forever (long-lived, the paper's §2–3) or exactly
@@ -10,21 +13,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "core/units.hpp"
 #include "net/node.hpp"
 #include "net/packet.hpp"
 #include "sim/simulation.hpp"
+#include "tcp/congestion_control.hpp"
 #include "tcp/rtt_estimator.hpp"
 
 namespace rbs::tcp {
-
-/// Congestion-control flavor.
-enum class TcpFlavor : std::uint8_t {
-  kTahoe,    ///< fast retransmit, then slow start from cwnd = 1 (no recovery)
-  kReno,     ///< fast recovery; exit on any new ACK
-  kNewReno,  ///< fast recovery; repair each hole on partial ACKs (RFC 6582)
-};
 
 struct TcpConfig {
   core::Bytes segment{core::Bytes{1000}};  ///< wire size of a data packet
@@ -40,7 +38,8 @@ struct TcpConfig {
   /// Pace new data at cwnd/SRTT instead of sending back-to-back on each
   /// ACK. Pacing removes the slow-start burst structure, which is what lets
   /// buffers shrink to O(log W) in the "very small buffers" follow-up work
-  /// (Enachescu et al.). Retransmissions are never paced.
+  /// (Enachescu et al.). Retransmissions are never paced. BBR always paces
+  /// (the model drives the pacing rate) regardless of this flag.
   bool pacing{false};
   /// Limited transmit (RFC 3042): send one new segment on each of the first
   /// two duplicate ACKs, so flows with windows too small to generate three
@@ -50,7 +49,13 @@ struct TcpConfig {
   /// RTT assumed for the pacing rate before the first RTT sample arrives.
   sim::SimTime pacing_initial_rtt{sim::SimTime::milliseconds(100)};
   RttEstimator::Config rtt{};
+  CubicConfig cubic{};  ///< used when flavor == kCubic
+  BbrConfig bbr{};      ///< used when flavor == kBbr
+  DctcpConfig dctcp{};  ///< used when flavor == kDctcp
 };
+
+/// The strategy-facing slice of a TcpConfig.
+[[nodiscard]] CcConfig cc_config_from(const TcpConfig& config) noexcept;
 
 /// Sender-side counters for analysis.
 struct TcpSourceStats {
@@ -60,7 +65,7 @@ struct TcpSourceStats {
   std::uint64_t timeouts{0};
   std::uint64_t acks_received{0};
   std::uint64_t dup_acks_received{0};
-  std::uint64_t ecn_reductions{0};  ///< window halvings from ECN-Echo
+  std::uint64_t ecn_reductions{0};  ///< window reductions from ECN-Echo
 };
 
 /// One TCP connection's sender.
@@ -90,14 +95,14 @@ class TcpSource final : public net::Agent {
   void set_completion_callback(CompletionCallback cb) { on_complete_ = std::move(cb); }
 
   // --- Observability -------------------------------------------------------
-  [[nodiscard]] double cwnd() const noexcept { return cwnd_; }
+  [[nodiscard]] double cwnd() const noexcept { return cc_->cwnd(); }
   /// High-water congestion window over the connection's lifetime, in
   /// packets. Tracked outside TcpSourceStats so the experiment-layer stats
   /// delta arithmetic (which subtracts warmup counters field by field) never
   /// sees it — a peak is not a counter and must not be differenced.
   [[nodiscard]] double cwnd_peak() const noexcept { return cwnd_peak_; }
-  [[nodiscard]] double ssthresh() const noexcept { return ssthresh_; }
-  [[nodiscard]] bool in_slow_start() const noexcept { return cwnd_ < ssthresh_; }
+  [[nodiscard]] double ssthresh() const noexcept { return cc_->ssthresh(); }
+  [[nodiscard]] bool in_slow_start() const noexcept { return cc_->in_slow_start(); }
   [[nodiscard]] bool in_recovery() const noexcept { return in_recovery_; }
   [[nodiscard]] std::int64_t packets_in_flight() const noexcept { return snd_nxt_ - snd_una_; }
   [[nodiscard]] std::int64_t snd_una() const noexcept { return snd_una_; }
@@ -111,6 +116,8 @@ class TcpSource final : public net::Agent {
   [[nodiscard]] const TcpSourceStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const RttEstimator& rtt_estimator() const noexcept { return rtt_; }
   [[nodiscard]] const TcpConfig& config() const noexcept { return config_; }
+  /// The congestion-control strategy (read access for telemetry and tests).
+  [[nodiscard]] const CongestionControl& congestion_control() const noexcept { return *cc_; }
 
   /// Checks sender invariants that hold at any event boundary: sequence
   /// ordering (0 <= snd_una <= snd_nxt <= max_sent+1), cwnd >= 1 MSS and
@@ -129,9 +136,13 @@ class TcpSource final : public net::Agent {
  private:
   void send_available();
   void schedule_paced_send();
+  [[nodiscard]] bool pacing_enabled() const noexcept {
+    return config_.pacing || cc_->wants_pacing();
+  }
+  [[nodiscard]] CcContext cc_ctx() const noexcept;
   [[nodiscard]] sim::SimTime pacing_interval() const noexcept;
   void transmit(std::int64_t seq);
-  void handle_new_ack(std::int64_t ack, sim::SimTime echoed);
+  void handle_new_ack(std::int64_t ack, sim::SimTime echoed, std::int32_t ecn_echo_count);
   void handle_dup_ack();
   void enter_fast_recovery();
   void on_timeout();
@@ -147,13 +158,13 @@ class TcpSource final : public net::Agent {
   TcpConfig config_;
   std::int64_t flow_packets_;
 
-  // Reno state. Sequence numbers count packets.
+  // Shared machinery state. Sequence numbers count packets. The congestion
+  // window itself lives in cc_.
   std::int64_t snd_una_{0};   ///< lowest unacknowledged
   std::int64_t snd_nxt_{0};   ///< next to send
   std::int64_t max_sent_{-1}; ///< highest sequence ever transmitted
-  double cwnd_;
+  std::unique_ptr<CongestionControl> cc_;
   double cwnd_peak_{0.0};
-  double ssthresh_;
   int dup_acks_{0};
   bool in_recovery_{false};
   bool partial_ack_seen_{false};  ///< impatient-timer state (RFC 6582)
@@ -164,6 +175,7 @@ class TcpSource final : public net::Agent {
   sim::Scheduler::EventHandle timer_;
   sim::Scheduler::EventHandle pace_timer_;
   sim::SimTime last_paced_send_{};
+  sim::SimTime pace_deadline_{};  ///< fire time of the pending pace tick
 
   bool started_{false};
   bool finished_{false};

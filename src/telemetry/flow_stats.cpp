@@ -29,6 +29,7 @@ void FlowStatsHub::record_flow(const FlowObservation& obs) {
   retransmit_counts_.record(static_cast<double>(obs.retransmits));
   peak_cwnd_.record(obs.peak_cwnd_packets);
   if (obs.bytes_acked > 0) hogs_.add(obs.flow_id, obs.bytes_acked);
+  if (!obs.cca.empty()) ++cca_flows_[obs.cca];
 }
 
 void FlowStatsHub::merge(const FlowStatsHub& other) {
@@ -42,6 +43,7 @@ void FlowStatsHub::merge(const FlowStatsHub& other) {
   retransmit_counts_.merge(other.retransmit_counts_);
   peak_cwnd_.merge(other.peak_cwnd_);
   hogs_.merge(other.hogs_);
+  for (const auto& [name, count] : other.cca_flows_) cca_flows_[name] += count;
 }
 
 void FlowStatsHub::export_into(MetricsRegistry& registry) const {
@@ -54,6 +56,9 @@ void FlowStatsHub::export_into(MetricsRegistry& registry) const {
   registry.gauge("flowstats.fct_p99_sec").set(fct_.quantile(0.99));
   registry.gauge("flowstats.goodput_p50_bps").set(goodput_.quantile(0.50));
   registry.gauge("flowstats.peak_cwnd_p99_pkts").set(peak_cwnd_.quantile(0.99));
+  for (const auto& [name, count] : cca_flows_) {
+    registry.gauge("flowstats.cca." + name).set(static_cast<double>(count));
+  }
 }
 
 std::string FlowStatsHub::to_json() const {
@@ -67,7 +72,14 @@ std::string FlowStatsHub::to_json() const {
   out += ",\"retransmit_counts\":" + retransmit_counts_.to_json();
   out += ",\"peak_cwnd\":" + peak_cwnd_.to_json();
   out += ",\"hogs\":" + hogs_.to_json();
-  out += '}';
+  out += ",\"cca\":{";
+  bool first = true;
+  for (const auto& [name, count] : cca_flows_) {  // std::map: deterministic order
+    if (!first) out += ',';
+    first = false;
+    out += '"' + name + "\":" + std::to_string(count);
+  }
+  out += "}}";
   return out;
 }
 

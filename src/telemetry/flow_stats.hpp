@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 
 #include "telemetry/metrics.hpp"
@@ -38,6 +39,10 @@ struct FlowObservation {
   double peak_cwnd_packets{0.0};  ///< high-water congestion window
   std::uint64_t ecn_marks{0};     ///< ECN-triggered window reductions
   bool completed{false};          ///< flow finished before measurement end
+  /// Congestion-control flavor label ("newreno", "cubic", ...; see
+  /// tcp::flavor_name). Empty = unlabeled; labeled flows are counted per
+  /// flavor so mixed-CCA experiments can attribute the rollup.
+  std::string cca;
 };
 
 class FlowStatsHub {
@@ -74,6 +79,11 @@ class FlowStatsHub {
   [[nodiscard]] const QuantileSketch& peak_cwnd() const noexcept { return peak_cwnd_; }
   /// Heavy hitters by acked bytes.
   [[nodiscard]] const TopK& hogs() const noexcept { return hogs_; }
+  /// Flow counts per congestion-control label (ordered map: deterministic
+  /// iteration for export/serialization; unlabeled flows are not counted).
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& cca_flows() const noexcept {
+    return cca_flows_;
+  }
 
   /// Registers flowstats.* metrics reflecting the current rollup state.
   /// Call once per snapshot, after the last record_flow(); metric names are
@@ -84,7 +94,7 @@ class FlowStatsHub {
   /// hog table:
   /// {"flows":..,"flows_completed":..,"retransmits":..,"ecn_marks":..,
   ///  "bytes_acked":..,"fct":{...},"goodput":{...},"retransmit_counts":{...},
-  ///  "peak_cwnd":{...},"hogs":{...}}
+  ///  "peak_cwnd":{...},"hogs":{...},"cca":{...}}
   [[nodiscard]] std::string to_json() const;
 
  private:
@@ -99,6 +109,7 @@ class FlowStatsHub {
   QuantileSketch retransmit_counts_;
   QuantileSketch peak_cwnd_;
   TopK hogs_;
+  std::map<std::string, std::uint64_t> cca_flows_;
 };
 
 }  // namespace rbs::telemetry

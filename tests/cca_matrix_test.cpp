@@ -1,0 +1,142 @@
+// Golden-envelope tests for the buffer-requirement-vs-CCA matrix
+// (src/experiment/cca_matrix.*), pinning the three qualitative results of
+// Spang, Arslan & McKeown ("Updating the Theory of Buffer Sizing", arXiv
+// 2109.11693) at the quick scale bench/fig_cca_matrix runs by default:
+//   1. CUBIC needs strictly more buffer than NewReno at equal n — its
+//      β = 0.7 backoff leaves a taller sawtooth to absorb;
+//   2. a BBRv1-style rate model's requirement is tiny and nearly flat in n —
+//      decoupled from the √n rule;
+//   3. DCTCP reaches the target with a shallow *marked* buffer, and holds
+//      essentially full utilization with zero drops at the √n-rule depth.
+// Envelopes are deliberately loose around measured values (the exact
+// numbers are scenario calibration, not theory); bitwise reproducibility is
+// pinned separately by running one cell twice.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "experiment/cca_matrix.hpp"
+#include "experiment/long_flow_experiment.hpp"
+
+namespace rbs {
+namespace {
+
+using experiment::CcaMatrixConfig;
+using experiment::CcaMatrixCell;
+
+// The quick scale from bench/fig_cca_matrix: 50 Mb/s, ~80 ms mean RTT,
+// 10 s warmup + 15 s measure, n ∈ {10, 40}, target utilization 0.8.
+CcaMatrixConfig quick_config() {
+  CcaMatrixConfig mc;
+  mc.base.bottleneck_rate = core::BitsPerSec{50e6};
+  mc.base.warmup = sim::SimTime::seconds(10);
+  mc.base.measure = sim::SimTime::seconds(15);
+  mc.flow_counts = {10, 40};
+  return mc;
+}
+
+TEST(CcaMatrix, ReproducesSpangOrderings) {
+  const auto result = run_cca_buffer_matrix(quick_config());
+  ASSERT_EQ(result.cells.size(), 8u);  // 4 CCAs × 2 flow counts
+
+  std::map<std::pair<tcp::TcpFlavor, int>, CcaMatrixCell> cell;
+  for (const auto& c : result.cells) {
+    // Every cell's bisection must actually have met the target.
+    EXPECT_GE(c.utilization_at_min, result.config.target_utilization)
+        << tcp::flavor_name(c.cca) << " n=" << c.num_flows;
+    EXPECT_GT(c.sqrt_rule_packets, 0);
+    cell[{c.cca, c.num_flows}] = c;
+  }
+  const auto at = [&](tcp::TcpFlavor f, int n) { return cell.at({f, n}); };
+
+  for (const int n : result.config.flow_counts) {
+    // (1) CUBIC strictly above NewReno at equal n.
+    EXPECT_GT(at(tcp::TcpFlavor::kCubic, n).min_buffer_packets,
+              at(tcp::TcpFlavor::kNewReno, n).min_buffer_packets)
+        << "n=" << n;
+    // NewReno stays within a loose band of the √n rule (at 80% target it
+    // sits below the full-utilization requirement, never above ~1.2×).
+    const auto& nr = at(tcp::TcpFlavor::kNewReno, n);
+    EXPECT_GE(nr.ratio_vs_sqrt_rule, 0.1) << "n=" << n;
+    EXPECT_LE(nr.ratio_vs_sqrt_rule, 1.2) << "n=" << n;
+    // (3) DCTCP: the marking threshold, not the buffer, sets the operating
+    // point — its requirement sits below the √n rule.
+    EXPECT_LT(at(tcp::TcpFlavor::kDctcp, n).min_buffer_packets, nr.sqrt_rule_packets)
+        << "n=" << n;
+  }
+
+  // (2) BBR: tiny and flat. Measured 3/3 pkts at n = 10/40; the envelope
+  // allows drift but must stay an order of magnitude under the √n rule.
+  const auto bbr10 = at(tcp::TcpFlavor::kBbr, 10).min_buffer_packets;
+  const auto bbr40 = at(tcp::TcpFlavor::kBbr, 40).min_buffer_packets;
+  EXPECT_LE(bbr10, 16);
+  EXPECT_LE(bbr40, 16);
+  EXPECT_LE(std::abs(bbr10 - bbr40), 8);  // decoupled from n
+}
+
+TEST(CcaMatrix, DctcpHoldsFullUtilizationWithZeroDropsAtSqrtRuleDepth) {
+  // Showcase cell, independent of the 0.8 bisection target: at the √n-rule
+  // buffer (158 pkts for n = 40 here, K = 79), step marking keeps the queue
+  // around K — full throughput, empty-enough buffer, no drops at all.
+  auto cfg = quick_config().base;
+  cfg.num_flows = 40;
+  cfg.buffer_packets = 158;
+  experiment::apply_cca_profile(cfg, tcp::TcpFlavor::kDctcp, cfg.buffer_packets);
+  const auto r = run_long_flow_experiment(cfg);
+  EXPECT_GE(r.utilization, 0.99);
+  EXPECT_EQ(r.bottleneck_drops, 0u);
+  EXPECT_DOUBLE_EQ(r.loss_rate, 0.0);
+  // The marked queue cruises near the threshold, far below the buffer.
+  EXPECT_LT(r.mean_queue_packets, static_cast<double>(cfg.buffer_packets));
+}
+
+TEST(CcaMatrix, CellsAreBitwiseReproducible) {
+  // A deliberately small cell (cheap scenario, one CCA, one n): two fresh
+  // matrix runs must agree bit for bit, including the measured utilization —
+  // the matrix inherits the sweep pool's determinism contract.
+  CcaMatrixConfig mc;
+  mc.base.bottleneck_rate = core::BitsPerSec{20e6};
+  mc.base.warmup = sim::SimTime::seconds(5);
+  mc.base.measure = sim::SimTime::seconds(8);
+  mc.ccas = {tcp::TcpFlavor::kCubic};
+  mc.flow_counts = {6};
+
+  const auto a = run_cca_buffer_matrix(mc);
+  const auto b = run_cca_buffer_matrix(mc);
+  ASSERT_EQ(a.cells.size(), 1u);
+  ASSERT_EQ(b.cells.size(), 1u);
+  EXPECT_EQ(a.cells[0].min_buffer_packets, b.cells[0].min_buffer_packets);
+  EXPECT_EQ(a.cells[0].utilization_at_min, b.cells[0].utilization_at_min);
+  EXPECT_EQ(a.cells[0].ratio_vs_sqrt_rule, b.cells[0].ratio_vs_sqrt_rule);
+  EXPECT_EQ(experiment::to_csv(a), experiment::to_csv(b));
+
+  // And a different thread count must not change the answer either.
+  auto serial = mc;
+  serial.threads = 1;
+  const auto c = run_cca_buffer_matrix(serial);
+  EXPECT_EQ(experiment::to_csv(a), experiment::to_csv(c));
+}
+
+TEST(CcaMatrix, TableAndCsvCarryOneRowPerCell) {
+  CcaMatrixConfig mc;
+  mc.base.bottleneck_rate = core::BitsPerSec{20e6};
+  mc.base.warmup = sim::SimTime::seconds(5);
+  mc.base.measure = sim::SimTime::seconds(8);
+  mc.ccas = {tcp::TcpFlavor::kNewReno, tcp::TcpFlavor::kBbr};
+  mc.flow_counts = {6};
+  const auto result = run_cca_buffer_matrix(mc);
+
+  const auto csv = experiment::to_csv(result);
+  EXPECT_NE(csv.find("cca,flows,min_buffer_pkts"), std::string::npos);
+  EXPECT_NE(csv.find("newreno,6,"), std::string::npos);
+  EXPECT_NE(csv.find("bbr,6,"), std::string::npos);
+
+  const auto table = experiment::to_table(result);
+  EXPECT_NE(table.find("newreno"), std::string::npos);
+  EXPECT_NE(table.find("bbr"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rbs

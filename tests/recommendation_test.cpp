@@ -84,6 +84,38 @@ TEST(Recommendation, ReportContainsKeyNumbers) {
   EXPECT_FALSE(rec.rationale.empty());
 }
 
+TEST(Recommendation, CcaGuidanceCarriesTheMatrixOrderings) {
+  LinkProfile link;
+  link.rate = core::BitsPerSec{2.5e9};
+  link.num_long_flows = 10'000;
+  const auto rec = recommend_buffer(link);
+
+  ASSERT_EQ(rec.cca_guidance.size(), 4u);
+  EXPECT_EQ(rec.cca_guidance[0].cca, "newreno");
+  EXPECT_EQ(rec.cca_guidance[1].cca, "cubic");
+  EXPECT_EQ(rec.cca_guidance[2].cca, "bbr");
+  EXPECT_EQ(rec.cca_guidance[3].cca, "dctcp");
+
+  // The headline row is the recommendation itself; CUBIC needs more buffer
+  // than NewReno; BBR decouples from sqrt(n) and sits far below the BDP;
+  // DCTCP's buffer is twice its marking threshold, well under the BDP.
+  EXPECT_EQ(rec.cca_guidance[0].buffer, Packets{rec.recommended_pkts});
+  EXPECT_GT(rec.cca_guidance[1].buffer, rec.cca_guidance[0].buffer);
+  EXPECT_LT(rec.cca_guidance[2].buffer.count(), rec.rule_of_thumb_pkts / 10);
+  EXPECT_GE(rec.cca_guidance[2].buffer.count(), 8);
+  EXPECT_LT(rec.cca_guidance[3].buffer.count(), rec.rule_of_thumb_pkts);
+  for (const auto& g : rec.cca_guidance) {
+    EXPECT_GT(g.buffer.count(), 0) << g.cca;
+    EXPECT_FALSE(g.note.empty()) << g.cca;
+  }
+
+  const auto report = to_report(link, rec);
+  EXPECT_NE(report.find("per-CCA guidance"), std::string::npos);
+  for (const char* name : {"newreno", "cubic", "bbr", "dctcp"}) {
+    EXPECT_NE(report.find(name), std::string::npos) << name;
+  }
+}
+
 TEST(Recommendation, RecommendationNeverBelowEitherRule) {
   for (const std::int64_t n : {10, 1'000, 100'000}) {
     LinkProfile link;

@@ -93,5 +93,34 @@ TEST(RttEstimator, SpikeRaisesVariance) {
   EXPECT_GT(est.rto(), calm_rto);
 }
 
+TEST(RttEstimator, MinRttAndLatestAreZeroBeforeFirstSample) {
+  RttEstimator est;
+  EXPECT_EQ(est.min_rtt(), SimTime::zero());
+  EXPECT_EQ(est.latest(), SimTime::zero());
+}
+
+TEST(RttEstimator, MinRttTracksLifetimeFloorAndLatestTheRawSample) {
+  RttEstimator est;
+  est.sample(100_ms);
+  EXPECT_EQ(est.min_rtt(), 100_ms);
+  EXPECT_EQ(est.latest(), 100_ms);
+  est.sample(80_ms);
+  EXPECT_EQ(est.min_rtt(), 80_ms);
+  est.sample(120_ms);
+  EXPECT_EQ(est.min_rtt(), 80_ms);  // floor is monotone
+  EXPECT_EQ(est.latest(), 120_ms);  // latest is raw, not smoothed
+}
+
+TEST(RttEstimator, MinRttReactsToCollapseImmediately) {
+  // Rate-based pacing (BBR) keys off min_rtt precisely because the SRTT
+  // EWMA converges slowly: after a route change shortens the path, the
+  // floor must reflect the new propagation delay on the very next sample.
+  RttEstimator est;
+  for (int i = 0; i < 50; ++i) est.sample(100_ms);
+  est.sample(20_ms);
+  EXPECT_EQ(est.min_rtt(), 20_ms);
+  EXPECT_GT(est.srtt(), 80_ms);  // the EWMA barely moved — that's the point
+}
+
 }  // namespace
 }  // namespace rbs::tcp

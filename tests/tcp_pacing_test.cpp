@@ -110,5 +110,37 @@ TEST(TcpPacing, RecoversFromLoss) {
   EXPECT_GT(src.stats().retransmissions, 0u);
 }
 
+TEST(TcpPacing, StaleInitialGuessDoesNotDelayPacedSends) {
+  // Regression: the first pace tick is armed from pacing_initial_rtt. When
+  // that guess is far above the real RTT, the first ACK computes a much
+  // earlier deadline — the pending stale tick must be rearmed to it, not
+  // kept. (Pre-fix, schedule_paced_send() returned whenever a tick was
+  // pending, so a 2 s guess froze the young connection at the guessed rate
+  // even though real samples were already in hand.)
+  sim::Simulation sim{1};
+  net::Dumbbell topo{sim, topo_cfg(1'000'000)};
+  TcpConfig cfg;
+  cfg.pacing = true;
+  cfg.pacing_initial_rtt = SimTime::seconds(2);  // real RTT is 92 ms
+  TcpSink sink{sim, topo.receiver(0), 1};
+  TcpSource src{sim, topo.sender(0), topo.receiver(0).id(), 1, cfg};
+
+  std::vector<SimTime> departures;
+  topo.bottleneck().on_delivered = [&](const net::Packet& p) {
+    if (p.kind == net::PacketKind::kTcpData) departures.push_back(sim.now());
+  };
+  src.start(SimTime::zero());
+  sim.run_until(SimTime::seconds(5));
+
+  // Packet 1 leaves after the guessed interval (~1 s); its ACK (92 ms
+  // later) carries the first real sample and must pull packet 2 forward to
+  // ~RTT after packet 1 — not the stale guess-spaced deadline ~1 s later.
+  ASSERT_GE(departures.size(), 2u);
+  EXPECT_LT((departures[1] - departures[0]).to_seconds(), 0.5);
+  // With the rearm in place the whole first second of samples compounds:
+  // the connection reaches steady sending well inside the 5 s window.
+  EXPECT_GT(departures.size(), 50u);
+}
+
 }  // namespace
 }  // namespace rbs::tcp
