@@ -23,6 +23,15 @@ An AST-grounded analyzer with simulator-specific rules the regex lint
   R8  backend purity: simulation-semantics code must not branch on the
       SchedulerBackend kind or read wheel internals outside src/sim/,
       telemetry profile paths, and bench/
+  R10 raw std::atomic/std::mutex/std::condition_variable outside the
+      sanctioned wrapper layer (src/core/thread_annotations.hpp,
+      src/check/mc/) — everywhere else the check::mc wrappers are required
+  R11 memory-order audit: a relaxed load guarding a free/reset branch is an
+      error (no happens-before edge); an explicit memory_order_seq_cst is
+      informational (it restates the default)
+  R12 cross-thread classes whose fields spell raw std primitives instead of
+      the MC-wrappable types — such classes can never run under the
+      interleaving explorer (tests/mc/)
 
 R6–R8 consume a cross-TU symbol index (symbols.py) of per-class member
 concurrency classifications, built over every analyzed file.
@@ -43,9 +52,10 @@ ratchet: per-(rule, file) counts may only go down. See
 docs/static_analysis.md for the workflow and suppression syntax.
 """
 
-__version__ = "1.1"
+__version__ = "1.2"
 
-RULES = ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9")
+RULES = ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9",
+         "R10", "R11", "R12")
 
 RULE_TITLES = {
     "R1": "nondeterminism source",
@@ -57,4 +67,7 @@ RULE_TITLES = {
     "R7": "pooled event slot captured across a recycle point",
     "R8": "scheduler-backend branch outside profile/stats paths",
     "R9": "metric/trace name not in the documented reference",
+    "R10": "raw concurrency primitive outside the sanctioned wrapper layer",
+    "R11": "memory-order hazard (relaxed publish/free guard or needless seq_cst)",
+    "R12": "cross-thread class not expressible in MC-wrappable types",
 }

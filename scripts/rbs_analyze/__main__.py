@@ -17,7 +17,7 @@ from .driver import run
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(
         prog="rbs-analyze",
-        description="Simulator-semantics static analysis for rbs (rules R1-R9).",
+        description="Simulator-semantics static analysis for rbs (rules R1-R12).",
     )
     ap.add_argument("--repo", type=Path, default=None,
                     help="repository root (default: auto-detect from this file)")
@@ -79,10 +79,16 @@ def main(argv=None) -> int:
         for f in findings:
             print(f.render())
 
+    # Only error-severity findings gate the exit code and the baseline;
+    # informational findings (e.g. R11's needless-seq_cst prong) are
+    # advisory — printed and JSON-exported above, never a failure.
+    errors = [f for f in findings if f.severity == "error"]
+    info_count = len(findings) - len(errors)
+
     baseline_path = args.baseline or (repo / "scripts" / "rbs_analyze" / "baseline.json")
 
     if args.update_baseline:
-        new_counts = baseline_mod.counts_of(findings)
+        new_counts = baseline_mod.counts_of(errors)
         old_counts = baseline_mod.load(baseline_path)
         old_total = baseline_mod.total(old_counts)
         new_total = baseline_mod.total(new_counts)
@@ -100,12 +106,13 @@ def main(argv=None) -> int:
         return 0
 
     if args.no_baseline:
-        n = len(findings)
-        print(f"rbs-analyze[{backend_name}]: {n} finding(s), no baseline")
+        n = len(errors)
+        extra = f" + {info_count} informational" if info_count else ""
+        print(f"rbs-analyze[{backend_name}]: {n} finding(s){extra}, no baseline")
         return 1 if n else 0
 
     base = baseline_mod.load(baseline_path)
-    regressions, improvements = baseline_mod.compare(findings, base)
+    regressions, improvements = baseline_mod.compare(errors, base)
     for line in improvements:
         print(f"rbs-analyze: improved: {line}")
     if regressions:
@@ -114,7 +121,8 @@ def main(argv=None) -> int:
         for line in regressions:
             print(f"  {line}", file=sys.stderr)
         return 1
-    print(f"rbs-analyze[{backend_name}]: clean — {len(findings)} finding(s), "
+    extra = f" + {info_count} informational" if info_count else ""
+    print(f"rbs-analyze[{backend_name}]: clean — {len(errors)} finding(s){extra}, "
           f"all within baseline ({baseline_mod.total(base)} accepted)")
     return 0
 

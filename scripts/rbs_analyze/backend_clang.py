@@ -36,8 +36,10 @@ NAME = "clang"
 
 # Rules evaluated by the shared token engine in every backend (see module
 # docstring). R9 rides along: it reads raw text, not the AST, so both
-# backends agree on every metric-name finding by construction.
-TOKEN_ENGINE_RULES = ("R6", "R7", "R8", "R9")
+# backends agree on every metric-name finding by construction. R10–R12 hinge
+# on spelling (std:: qualification vs the check::mc wrapper names), which
+# the AST erases through typedefs — token engine in both backends.
+TOKEN_ENGINE_RULES = ("R6", "R7", "R8", "R9", "R10", "R11", "R12")
 
 
 def available() -> bool:

@@ -12,9 +12,13 @@ class Finding:
 
     file: str  # repo-relative, forward slashes
     line: int
-    rule: str  # "R1".."R8"
+    rule: str  # "R1".."R12"
     message: str
     hint: str = ""
+    # "error" findings gate the baseline/exit code; "info" findings are
+    # advisory (printed, JSON-exported, fixture-checked) but never fail a
+    # run — R11's needless-seq_cst prong is the first user.
+    severity: str = "error"
 
     def as_dict(self) -> dict:
         return {
@@ -23,10 +27,12 @@ class Finding:
             "line": self.line,
             "message": self.message,
             "hint": self.hint,
+            "severity": self.severity,
         }
 
     def render(self) -> str:
-        out = f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+        tag = self.rule if self.severity == "error" else f"{self.rule}:{self.severity}"
+        out = f"{self.file}:{self.line}: [{tag}] {self.message}"
         if self.hint:
             out += f"\n    fix: {self.hint}"
         return out

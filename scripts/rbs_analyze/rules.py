@@ -1,4 +1,4 @@
-"""R1–R9 implemented over the lexer's token stream.
+"""R1–R12 implemented over the lexer's token stream.
 
 Each rule is a function (path, tokens, ctx) -> [Finding]. `ctx` carries
 cross-file facts (the index of declared unordered-container variables, the
@@ -68,6 +68,16 @@ BACKEND_PURITY_ALLOWED_PREFIXES = ("src/sim/", "src/telemetry/", "bench/")
 
 # Field classifications (see symbols.py) that sanction a cross-thread write.
 _SANCTIONED_WRITE_CLASSES = {"atomic", "guarded", "padded"}
+
+# The concurrency-primitive layer: the annotated-mutex wrappers and the
+# model-checker instrumentation/scheduler. R10 sanctions raw std primitives
+# here (these files are what everything else must use instead), and R6
+# prong (b) / R12 skip it (the scheduler's single-baton synchronization has
+# no per-field classification to express).
+MC_SANCTIONED_PREFIXES = (
+    "src/core/thread_annotations.hpp",
+    "src/check/mc/",
+)
 
 _ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
 
@@ -603,8 +613,12 @@ def rule_r6(path: str, tokens: List[Token], ctx: AnalysisContext) -> List[Findin
     # cross-thread by construction; every mutable member must carry a
     # concurrency classification (atomic / RBS_GUARDED_BY / PaddedCounter /
     # const). Unclassified members are exactly the state -Wthread-safety
-    # cannot see.
-    if path.startswith("src/"):
+    # cannot see. The concurrency-primitive layer itself (annotation
+    # wrappers, the model-checker scheduler) is sanctioned: it is the
+    # instrument these classifications are expressed in, and its own
+    # synchronization (a single controller/vthread baton documented in
+    # check/mc/scheduler.hpp) has no per-field spelling.
+    if path.startswith("src/") and not path.startswith(MC_SANCTIONED_PREFIXES):
         for cls_info in ctx.symbols.classes:
             if cls_info.file != path or not cls_info.cross_thread:
                 continue
@@ -855,6 +869,164 @@ def rule_r9(path: str, tokens: List[Token], ctx: AnalysisContext) -> List[Findin
     return findings
 
 
+# --------------------------------------------------------------------------
+# R10: raw concurrency primitives outside the sanctioned wrapper layer
+# --------------------------------------------------------------------------
+# Every std::atomic / std::mutex / std::condition_variable (and the
+# shared/recursive/any variants) spelled in src/ must live in the
+# concurrency-primitive layer (MC_SANCTIONED_PREFIXES). Everywhere else the
+# MC-wrappable spellings — check::mc::Atomic / check::mc::Mutex /
+# check::mc::CondVar, or core::AnnotatedMutex — are required: they compile
+# to the std types when RBS_MODEL_CHECK is off, and a raw primitive is state
+# the interleaving explorer can never schedule around.
+
+RAW_PRIMITIVE_TOKENS = {
+    "atomic",
+    "mutex",
+    "shared_mutex",
+    "recursive_mutex",
+    "condition_variable",
+    "condition_variable_any",
+}
+
+_RAW_PRIMITIVE_REPLACEMENT = {
+    "atomic": "check::mc::Atomic<T> (src/check/mc/types.hpp)",
+    "mutex": "check::mc::Mutex or core::AnnotatedMutex",
+    "shared_mutex": "check::mc::Mutex or core::AnnotatedMutex",
+    "recursive_mutex": "check::mc::Mutex or core::AnnotatedMutex",
+    "condition_variable": "check::mc::CondVar",
+    "condition_variable_any": "check::mc::CondVar",
+}
+
+
+def rule_r10(path: str, tokens: List[Token], ctx: AnalysisContext) -> List[Finding]:
+    if not path.startswith("src/") or path.startswith(MC_SANCTIONED_PREFIXES):
+        return []
+    findings: List[Finding] = []
+    for i, t in enumerate(tokens):
+        if t.kind != "ident" or t.text not in RAW_PRIMITIVE_TOKENS:
+            continue
+        if not (i >= 2 and tokens[i - 1].text == "::" and tokens[i - 2].text == "std"):
+            continue
+        findings.append(
+            Finding(path, t.line, "R10",
+                    f"raw std::{t.text} outside the sanctioned wrapper layer "
+                    "(src/core/thread_annotations.hpp, src/check/mc/)",
+                    f"use {_RAW_PRIMITIVE_REPLACEMENT[t.text]} — identical codegen "
+                    "with RBS_MODEL_CHECK off, schedulable by the interleaving "
+                    "explorer with it on")
+        )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# R11: memory-order audit
+# --------------------------------------------------------------------------
+# Error prong: a memory_order_relaxed load in a branch condition whose body
+# frees or resets an object (`delete` / `free(...)` / `.reset(...)`). A
+# relaxed load carries no happens-before edge, so the branch can observe the
+# flag before the writes it is meant to publish — freeing on its say-so is a
+# use-after-free window. Informational prong: an explicit
+# memory_order_seq_cst argument restates the default; either drop it or
+# weaken to the acquire/release pair the algorithm actually needs.
+
+_R11_FREE_IDENTS = {"delete", "free", "reset"}
+
+
+def _r11_condition_has_relaxed_load(cond: List[Token]) -> Optional[Token]:
+    for k, t in enumerate(cond):
+        if t.kind == "ident" and t.text == "load" and match_seq(cond, k + 1, "("):
+            close = find_matching(cond, k + 1, "(", ")")
+            if close == -1:
+                continue
+            if any(a.text == "memory_order_relaxed" for a in cond[k + 2 : close]):
+                return t
+    return None
+
+
+def rule_r11(path: str, tokens: List[Token], ctx: AnalysisContext) -> List[Finding]:
+    if not path.startswith("src/") or path.startswith(MC_SANCTIONED_PREFIXES):
+        return []
+    findings: List[Finding] = []
+    for i, t in enumerate(tokens):
+        if t.kind != "ident":
+            continue
+        if t.text == "memory_order_seq_cst":
+            findings.append(
+                Finding(path, t.line, "R11",
+                        "explicit memory_order_seq_cst restates the default",
+                        "drop the argument, or weaken to the acquire/release "
+                        "pair the protocol needs and document the edge",
+                        severity="info")
+            )
+        elif t.text in ("if", "while") and match_seq(tokens, i + 1, "("):
+            close = find_matching(tokens, i + 1, "(", ")")
+            if close == -1:
+                continue
+            load_tok = _r11_condition_has_relaxed_load(tokens[i + 2 : close])
+            if load_tok is None:
+                continue
+            body_start = close + 1
+            if body_start >= len(tokens):
+                continue
+            if tokens[body_start].text == "{":
+                body_end = find_matching(tokens, body_start, "{", "}")
+                if body_end == -1:
+                    continue
+                body = tokens[body_start + 1 : body_end]
+            else:
+                j = body_start
+                while j < len(tokens) and tokens[j].text != ";":
+                    j += 1
+                body = tokens[body_start:j]
+            frees = any(b.kind == "ident" and b.text in _R11_FREE_IDENTS
+                        for b in body)
+            if frees:
+                findings.append(
+                    Finding(path, load_tok.line, "R11",
+                            "relaxed load guards a free/reset branch — no "
+                            "happens-before edge orders the freed object's "
+                            "last use before this observation",
+                            "load with std::memory_order_acquire (paired with "
+                            "a release store on the publishing side), or hold "
+                            "the owning mutex across the branch")
+                )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# R12: cross-thread class fields not expressed via MC-wrappable types
+# --------------------------------------------------------------------------
+# A cross-thread class (one owning sync members — see symbols.py) whose
+# fields spell raw std primitives can never run under the interleaving
+# explorer: the model checker schedules only through check::mc::Atomic /
+# Mutex / CondVar (which ARE the std types when RBS_MODEL_CHECK is off).
+# One finding per class, naming every unwrappable field.
+
+
+def rule_r12(path: str, tokens: List[Token], ctx: AnalysisContext) -> List[Finding]:
+    if not path.startswith("src/") or path.startswith(MC_SANCTIONED_PREFIXES):
+        return []
+    findings: List[Finding] = []
+    for cls_info in ctx.symbols.classes:
+        if cls_info.file != path or not cls_info.cross_thread:
+            continue
+        raw_fields = [f.name for f in cls_info.fields if f.raw_sync]
+        if not raw_fields:
+            continue
+        findings.append(
+            Finding(path, cls_info.line, "R12",
+                    f"cross-thread class '{cls_info.name}' holds raw-primitive "
+                    f"field(s) {', '.join(repr(n) for n in raw_fields)} — it "
+                    "cannot be driven by the interleaving explorer",
+                    "spell them as check::mc::Atomic / check::mc::Mutex / "
+                    "check::mc::CondVar (or core::AnnotatedMutex): identical "
+                    "codegen with RBS_MODEL_CHECK off, and the class becomes "
+                    "modelable in tests/mc/")
+        )
+    return findings
+
+
 ALL_RULES = {
     "R1": rule_r1,
     "R2": rule_r2,
@@ -865,4 +1037,7 @@ ALL_RULES = {
     "R7": rule_r7,
     "R8": rule_r8,
     "R9": rule_r9,
+    "R10": rule_r10,
+    "R11": rule_r11,
+    "R12": rule_r12,
 }

@@ -38,6 +38,9 @@ from typing import Dict, List, Optional
 from .lexer import Token, find_matching
 
 # Type-token spellings that mark a member as a synchronization primitive.
+# The wrapper spellings (core::AnnotatedMutex, check::mc::Mutex/CondVar) are
+# the sanctioned ones; the raw std spellings still classify — a class owning
+# a bare std::mutex IS cross-thread — but R12 flags them as unwrappable.
 SYNC_TYPE_TOKENS = {
     "mutex",
     "shared_mutex",
@@ -47,6 +50,20 @@ SYNC_TYPE_TOKENS = {
     "thread",
     "jthread",
     "AnnotatedMutex",
+    "Mutex",
+    "CondVar",
+}
+
+# Raw std primitive type tokens: when one of these appears std::-qualified
+# in a field's declarator, the field cannot be routed through the model
+# checker's instrumentation (check/mc/types.hpp) — R12's predicate.
+RAW_STD_SYNC_TOKENS = {
+    "atomic",
+    "mutex",
+    "shared_mutex",
+    "recursive_mutex",
+    "condition_variable",
+    "condition_variable_any",
 }
 
 # Statements starting with these can never be data-member declarations.
@@ -62,6 +79,10 @@ class FieldInfo:
     name: str
     classification: str  # atomic | sync | guarded | padded | const | plain
     line: int
+    # True when the declarator spells a std::-qualified primitive (raw
+    # std::atomic / std::mutex / std::condition_variable ...) instead of the
+    # MC-wrappable types (check::mc::Atomic/Mutex/CondVar, AnnotatedMutex).
+    raw_sync: bool = False
 
 
 @dataclasses.dataclass
@@ -263,8 +284,15 @@ def _classify_member(stmt: List[Token]) -> Optional[FieldInfo]:
         return None
 
     classification = _classification(texts, name_tok.text)
+    raw_sync = any(
+        t.text in RAW_STD_SYNC_TOKENS
+        and k >= 2
+        and decl[k - 1].text == "::"
+        and decl[k - 2].text == "std"
+        for k, t in enumerate(decl)
+    )
     return FieldInfo(name=name_tok.text, classification=classification,
-                     line=name_tok.line)
+                     line=name_tok.line, raw_sync=raw_sync)
 
 
 def _classification(texts: List[str], name: str) -> str:
@@ -277,7 +305,7 @@ def _classification(texts: List[str], name: str) -> str:
         if type_texts[k] == name:
             del type_texts[k]
             break
-    if "atomic" in type_texts:
+    if "atomic" in type_texts or "Atomic" in type_texts:
         return "atomic"
     if any(t in SYNC_TYPE_TOKENS for t in type_texts):
         return "sync"

@@ -84,8 +84,10 @@ def main() -> int:
     # fail loudly and name the file to add.
     for rule in RULES:
         failing = [r for r, w in expectations.items() if w[rule] > 0]
+        # Prefix match on the stem ("r1_clean" is R1's twin, not R10's —
+        # a bare substring test would hand every r1*_... file to R1).
         clean = [r for r, w in expectations.items()
-                 if not w and rule.lower() in Path(r).stem.lower()]
+                 if not w and Path(r).stem.lower().startswith(rule.lower() + "_")]
         if not failing:
             failures.append(
                 f"corpus: no failing fixture exercises {rule} — add e.g. "

@@ -1,8 +1,9 @@
 #include "check/invariant.hpp"
 
-#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+
+#include "check/mc/types.hpp"
 
 namespace rbs::check {
 namespace {
@@ -15,7 +16,7 @@ void default_handler(const char* file, int line, const char* condition, const ch
 
 // Atomic so checked code running on the sweep worker pool can report
 // concurrently with a test swapping handlers on the main thread.
-std::atomic<InvariantHandler> g_handler{&default_handler};
+mc::Atomic<InvariantHandler> g_handler{&default_handler};
 
 }  // namespace
 

@@ -1,0 +1,194 @@
+// Stateless model checker: a cooperative virtual-thread scheduler that
+// explores thread interleavings of a small concurrent program.
+//
+// The design follows Loom / CDSChecker / CHESS: the program under test is
+// written against the mc::Atomic / mc::Mutex / mc::CondVar wrappers
+// (check/mc/types.hpp), every one of whose operations is a *schedule point*.
+// explore() runs the program repeatedly; at each schedule point exactly one
+// virtual thread is granted the step while all others stay parked, so the
+// interleaving is fully controlled. A DFS over the per-point choices
+// enumerates interleavings, with two classic pruning devices:
+//
+//   * sleep sets (Godefroid): after exploring child `t` of a node, `t`
+//     sleeps for the node's remaining children and stays asleep down a
+//     sibling branch until some dependent operation executes — schedules
+//     that differ only by commuting independent steps are visited once;
+//   * a preemption bound (CHESS): schedules are explored in order of how
+//     many times they switch away from a thread that could have continued.
+//     Most protocol bugs need only 1-2 preemptions, so a small bound keeps
+//     exploration polynomial while the unbounded tail is reachable by
+//     raising it.
+//
+// Happens-before is tracked with vector clocks (mutex acquire/release,
+// acquire/release atomics including release sequences through RMWs, and
+// standalone fences), which powers a data-race detector over mc::NonAtomic
+// cells and makes "weaken this order to relaxed" mutations observable.
+// Deadlocks — every unfinished thread blocked, including lost cv wakeups —
+// are violations too. Every violation carries the schedule that produced
+// it, replayable via Options::replay.
+//
+// Virtual threads are real OS threads coordinated by a single mutex/condvar
+// baton: cooperative, never truly concurrent, so the scheduler itself needs
+// no lock-free cleverness and the explored program's plain memory accesses
+// are ordered by the baton handoff.
+//
+// This header is macro-independent: the scheduler library (rbs_mc) is built
+// once, without RBS_MODEL_CHECK, and only the instrumentation wrappers in
+// types.hpp change shape with the flag.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rbs::check::mc {
+
+/// Thrown through a virtual thread to unwind it when the current execution
+/// is being abandoned (violation found, or backtracking cancelled it).
+/// Deliberately not derived from std::exception: a model's `catch (...)`
+/// handlers must rethrow it (see RBS_MC_RETHROW_ABORT in types.hpp), and
+/// anything narrower must not swallow it by accident.
+struct AbortExecution {};
+
+/// One step of a schedule: virtual thread `thread` performed the operation
+/// rendered in `label` (e.g. "t1 next_index.fetch_add(relaxed)").
+struct Step {
+  int thread = 0;
+  std::string label;
+};
+
+struct Options {
+  enum class Mode {
+    kExhaustive,  ///< DFS with sleep sets + preemption bound
+    kRandom,      ///< seeded uniform schedule sampling
+  };
+  Mode mode = Mode::kExhaustive;
+
+  /// Maximum context switches away from a runnable thread per schedule
+  /// (kExhaustive only). Negative = unbounded.
+  int preemption_bound = 4;
+
+  /// Hard cap on executions; exceeding it ends exploration with
+  /// Result::hit_execution_cap (never a silent pass: check exhausted).
+  std::uint64_t max_executions = 200000;
+
+  /// Executions to sample in kRandom mode.
+  std::uint64_t random_executions = 4000;
+
+  /// Steps per execution before the run is declared a livelock violation.
+  int max_steps = 20000;
+
+  /// Enables sleep-set pruning (kExhaustive only).
+  bool sleep_sets = true;
+
+  /// Seed for kRandom mode's deterministic PRNG.
+  std::uint64_t seed = 1;
+
+  /// Virtual-thread capacity (program + spawned); exceeding it is a
+  /// violation.
+  int max_threads = 8;
+
+  /// When non-empty: the first execution follows this thread-id sequence
+  /// at each schedule point for as long as the prefix lasts (and the listed
+  /// thread is enabled), then continues per `mode`. Feed Result::trace
+  /// thread ids back in to replay a reported violation.
+  std::vector<int> replay;
+};
+
+struct Result {
+  bool violation = false;   ///< a model assertion, race, or deadlock fired
+  std::string message;      ///< what went wrong (empty when !violation)
+  std::vector<Step> trace;  ///< full schedule of the violating execution
+  std::uint64_t executions = 0;
+  std::uint64_t steps = 0;  ///< schedule points granted, summed over runs
+  bool exhausted = false;   ///< kExhaustive: DFS ran dry within the bounds
+  bool hit_execution_cap = false;
+  std::uint64_t sleep_set_skips = 0;   ///< children pruned by sleep sets
+  std::uint64_t preemption_skips = 0;  ///< children pruned by the bound
+
+  /// Multi-line human-readable rendering: verdict, stats, and (on a
+  /// violation) the schedule trace plus the replay vector.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Runs `program` (the body of virtual thread 0) under the scheduler and
+/// explores its interleavings. The program spawns peers with mc::spawn and
+/// must join them before returning. Not reentrant.
+Result explore(const Options& opts, const std::function<void()>& program);
+
+/// True while the calling thread is a virtual thread inside explore().
+/// Instrumented types degrade to uninstrumented single-thread behavior
+/// when false, so model-checked builds can still construct them outside a
+/// model.
+[[nodiscard]] bool model_active() noexcept;
+
+/// Handle to a spawned virtual thread (join exactly once).
+struct ThreadHandle {
+  int id = -1;
+};
+
+/// Spawns a virtual thread running `fn`. Only callable from inside a model.
+ThreadHandle spawn(std::function<void()> fn);
+
+/// Joins a spawned virtual thread; establishes happens-before from
+/// everything it did.
+void join(ThreadHandle handle);
+
+/// A pure schedule point: lets the scheduler switch threads here. The
+/// instrumented std::this_thread::yield.
+void yield();
+
+/// Reports a model violation and unwinds the current execution. Inside a
+/// model this never returns; outside one it throws std::logic_error.
+[[noreturn]] void fail(const std::string& what);
+
+/// Model assertion: fail(what) when !ok. Usable from any virtual thread.
+inline void require(bool ok, const char* what) {
+  if (!ok) fail(what);
+}
+
+// ---------------------------------------------------------------------------
+// Instrumentation interface (called by the wrappers in types.hpp; not for
+// direct use in models). Every function is a no-op unless model_active().
+// Each *parking* call returns only once the scheduler has granted the step;
+// the caller then applies the value effect while it exclusively runs.
+// ---------------------------------------------------------------------------
+namespace ops {
+
+/// Atomic load; `acquire` = acquire (or stronger) semantics. Parks.
+void atomic_load(const void* obj, bool acquire);
+/// Atomic store; `release` = release (or stronger) semantics. Parks.
+void atomic_store(const void* obj, bool release);
+/// Read-modify-write schedule point (fetch_add / exchange / CAS attempt);
+/// `acquire` covers the read side. Parks.
+void atomic_rmw(const void* obj, bool acquire);
+/// Publishes the write side of an RMW whose schedule point was
+/// atomic_rmw(); `release` = release semantics. A successful CAS and every
+/// unconditional RMW call this; a failed CAS does not (its read side
+/// already happened). Never parks.
+void atomic_rmw_commit(const void* obj, bool release);
+/// Race-checked plain read / write of a NonAtomic cell. Parks.
+void plain_read(const void* obj);
+void plain_write(const void* obj);
+/// Standalone fences (std::atomic_thread_fence). Park.
+void fence_acquire();
+void fence_release();
+/// Mutex acquire: parks until the scheduler grants it with the mutex free.
+void mutex_lock(const void* mutex);
+/// Mutex release. Never parks and never throws, so RAII guard destructors
+/// stay safe during an execution abort.
+void mutex_unlock(const void* mutex);
+/// Condition-variable wait: atomically releases `mutex`, enqueues the
+/// thread, parks until notified, and reacquires `mutex` before returning.
+/// No spurious wakeups: callers still loop on their predicate, and the
+/// model explores real wakeups only.
+void cv_wait(const void* cv, const void* mutex);
+/// Wakes the longest-waiting (or every) waiter. Parks.
+void cv_notify(const void* cv, bool all);
+/// Names an object for trace rendering (default: kind + creation ordinal).
+void set_name(const void* obj, const char* name);
+
+}  // namespace ops
+
+}  // namespace rbs::check::mc

@@ -1,0 +1,305 @@
+// Model-checkable concurrency primitives.
+//
+// Code that participates in a lock-free protocol spells its shared state
+// with these wrappers instead of the raw std:: primitives (analyzer rule
+// R10 enforces this in src/). The spelling is free:
+//
+//   * RBS_MODEL_CHECK off (the default, every production build): every name
+//     here is an alias for the plain primitive — `Atomic<T>` IS
+//     `std::atomic<T>`, `Mutex` IS `core::AnnotatedMutex` — so codegen,
+//     goldens, and the Clang thread-safety analysis are untouched.
+//   * RBS_MODEL_CHECK on (tests/mc only, applied per-target): every
+//     operation becomes a schedule point of the mc scheduler
+//     (check/mc/scheduler.hpp), and `explore()` enumerates the
+//     interleavings. Outside an explore() the instrumented types degrade to
+//     single-threaded behavior (ops are no-ops; Mutex falls back to a real
+//     std::mutex), so fixtures can be constructed at test scope.
+//
+// The two shapes must never meet in one binary: tests/mc executables link
+// only rbs_mc + gtest, never the production libraries, so the ON-compiled
+// inline definitions cannot collide with the OFF-compiled ones (ODR).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "core/thread_annotations.hpp"
+#include "check/mc/scheduler.hpp"
+
+namespace rbs::check::mc {
+
+#ifdef RBS_MODEL_CHECK
+
+inline constexpr bool kModelCheckEnabled = true;
+
+/// A model's `catch (...)` must not swallow the scheduler's unwind signal.
+/// Place this clause *before* any `catch (...)` in instrumented code.
+#define RBS_MC_RETHROW_ABORT \
+  catch (const ::rbs::check::mc::AbortExecution&) { throw; }
+
+namespace detail {
+inline bool is_acquire(std::memory_order o) noexcept {
+  return o == std::memory_order_acquire || o == std::memory_order_acq_rel ||
+         o == std::memory_order_seq_cst || o == std::memory_order_consume;
+}
+inline bool is_release(std::memory_order o) noexcept {
+  return o == std::memory_order_release || o == std::memory_order_acq_rel ||
+         o == std::memory_order_seq_cst;
+}
+}  // namespace detail
+
+/// Instrumented std::atomic<T>. The value itself is plain memory: inside a
+/// model at most one virtual thread runs between schedule points, and the
+/// scheduler's vector clocks carry the ordering semantics of the memory
+/// order each call names.
+template <class T>
+class Atomic {
+ public:
+  constexpr Atomic() noexcept = default;
+  constexpr Atomic(T v) noexcept : value_(v) {}  // NOLINT(runtime/explicit)
+  Atomic(const Atomic&) = delete;
+  Atomic& operator=(const Atomic&) = delete;
+
+  T load(std::memory_order order = std::memory_order_seq_cst) const {
+    ops::atomic_load(this, detail::is_acquire(order));
+    return value_;
+  }
+  void store(T v, std::memory_order order = std::memory_order_seq_cst) {
+    ops::atomic_store(this, detail::is_release(order));
+    value_ = v;
+  }
+  T fetch_add(T d, std::memory_order order = std::memory_order_seq_cst) {
+    ops::atomic_rmw(this, detail::is_acquire(order));
+    const T old = value_;
+    value_ = static_cast<T>(old + d);
+    ops::atomic_rmw_commit(this, detail::is_release(order));
+    return old;
+  }
+  T fetch_sub(T d, std::memory_order order = std::memory_order_seq_cst) {
+    ops::atomic_rmw(this, detail::is_acquire(order));
+    const T old = value_;
+    value_ = static_cast<T>(old - d);
+    ops::atomic_rmw_commit(this, detail::is_release(order));
+    return old;
+  }
+  T exchange(T v, std::memory_order order = std::memory_order_seq_cst) {
+    ops::atomic_rmw(this, detail::is_acquire(order));
+    const T old = value_;
+    value_ = v;
+    ops::atomic_rmw_commit(this, detail::is_release(order));
+    return old;
+  }
+  bool compare_exchange_strong(
+      T& expected, T desired,
+      std::memory_order success = std::memory_order_seq_cst,
+      std::memory_order failure = std::memory_order_seq_cst) {
+    ops::atomic_rmw(this,
+                    detail::is_acquire(success) || detail::is_acquire(failure));
+    if (value_ == expected) {
+      value_ = desired;
+      ops::atomic_rmw_commit(this, detail::is_release(success));
+      return true;
+    }
+    expected = value_;
+    return false;
+  }
+  /// The model has no spurious CAS failures; weak == strong here. Protocol
+  /// loops that retry on weak failure are still exercised via the
+  /// value-changed path.
+  bool compare_exchange_weak(
+      T& expected, T desired,
+      std::memory_order success = std::memory_order_seq_cst,
+      std::memory_order failure = std::memory_order_seq_cst) {
+    return compare_exchange_strong(expected, desired, success, failure);
+  }
+
+ private:
+  T value_{};
+};
+
+/// Instrumented mutex. Inside a model, lock/unlock are schedule points and
+/// the scheduler owns the blocking; outside one it is a plain std::mutex.
+class RBS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RBS_ACQUIRE() {
+    if (model_active()) {
+      ops::mutex_lock(this);
+    } else {
+      real_.lock();
+    }
+  }
+  void unlock() RBS_RELEASE() {
+    if (model_active()) {
+      ops::mutex_unlock(this);
+    } else {
+      real_.unlock();
+    }
+  }
+
+  /// BasicLockable fallback object for the degraded (!model_active) path.
+  std::mutex& real() { return real_; }
+
+ private:
+  std::mutex real_;
+};
+
+class RBS_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) RBS_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~LockGuard() RBS_RELEASE() { m_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// Lock whose mutex a CondVar can release and reacquire across a wait.
+class RBS_SCOPED_CAPABILITY CvLock {
+ public:
+  explicit CvLock(Mutex& m) RBS_ACQUIRE(m) : m_(&m) { m_->lock(); }
+  ~CvLock() RBS_RELEASE() { m_->unlock(); }
+  CvLock(const CvLock&) = delete;
+  CvLock& operator=(const CvLock&) = delete;
+
+  Mutex* mutex() { return m_; }
+
+ private:
+  Mutex* m_;
+};
+
+/// Instrumented condition variable. In a model, wait atomically releases
+/// the mutex and enqueues the waiter (one schedule point spanning the wait
+/// and the reacquire) and there are no spurious wakeups — callers loop on
+/// their predicate as usual, and the scheduler explores every real-wakeup
+/// interleaving including the lost ones.
+class CondVar {
+ public:
+  void wait(CvLock& lk) {
+    if (model_active()) {
+      ops::cv_wait(this, lk.mutex());
+    } else {
+      real_.wait(*lk.mutex());
+    }
+  }
+  void notify_one() {
+    if (model_active()) {
+      ops::cv_notify(this, /*all=*/false);
+    } else {
+      real_.notify_one();
+    }
+  }
+  void notify_all() {
+    if (model_active()) {
+      ops::cv_notify(this, /*all=*/true);
+    } else {
+      real_.notify_all();
+    }
+  }
+
+ private:
+  std::condition_variable_any real_;
+};
+
+inline void cv_wait(CondVar& cv, CvLock& lk) { cv.wait(lk); }
+
+/// Race-checked plain cell: reads and writes must be ordered by
+/// happens-before or the model reports a data race. The model-checking
+/// analogue of "this field is guarded by the protocol, not by a mutex".
+template <class T>
+class NonAtomic {
+ public:
+  constexpr NonAtomic() noexcept = default;
+  constexpr NonAtomic(T v) noexcept : value_(v) {}  // NOLINT(runtime/explicit)
+
+  T load() const {
+    ops::plain_read(this);
+    return value_;
+  }
+  void store(T v) {
+    ops::plain_write(this);
+    value_ = v;
+  }
+
+ private:
+  T value_{};
+};
+
+inline void acquire_fence() {
+  if (model_active()) {
+    ops::fence_acquire();
+  } else {
+    std::atomic_thread_fence(std::memory_order_acquire);
+  }
+}
+
+inline void release_fence() {
+  if (model_active()) {
+    ops::fence_release();
+  } else {
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+}
+
+inline void yield_now() {
+  if (model_active()) {
+    yield();
+  } else {
+    std::this_thread::yield();
+  }
+}
+
+/// Names an object in violation traces (no-op outside a model).
+inline void set_name(const void* obj, const char* name) {
+  ops::set_name(obj, name);
+}
+
+#else  // !RBS_MODEL_CHECK — production: plain primitives, zero overhead
+
+inline constexpr bool kModelCheckEnabled = false;
+
+#define RBS_MC_RETHROW_ABORT
+
+template <class T>
+using Atomic = std::atomic<T>;
+
+using Mutex = core::AnnotatedMutex;
+using LockGuard = core::LockGuard;
+using CvLock = core::CvLock;
+using CondVar = std::condition_variable;
+
+inline void cv_wait(CondVar& cv, CvLock& lk) { cv.wait(lk.native()); }
+
+/// Production shape of the race-checked cell: a plain value with the same
+/// load/store surface, so protocol code reads identically in both builds.
+template <class T>
+class NonAtomic {
+ public:
+  constexpr NonAtomic() noexcept = default;
+  constexpr NonAtomic(T v) noexcept : value_(v) {}  // NOLINT(runtime/explicit)
+
+  T load() const { return value_; }
+  void store(T v) { value_ = v; }
+
+ private:
+  T value_{};
+};
+
+inline void acquire_fence() {
+  std::atomic_thread_fence(std::memory_order_acquire);
+}
+inline void release_fence() {
+  std::atomic_thread_fence(std::memory_order_release);
+}
+inline void yield_now() { std::this_thread::yield(); }
+inline void set_name(const void*, const char*) {}
+
+#endif  // RBS_MODEL_CHECK
+
+}  // namespace rbs::check::mc

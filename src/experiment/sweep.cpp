@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "core/thread_annotations.hpp"
+#include "experiment/dispatch_protocol.hpp"
 #include "experiment/sweep_dispatch.hpp"
 
 namespace rbs::experiment {
@@ -43,116 +44,36 @@ int default_sweep_threads() {
 // works the batch itself as worker 0 — helpers joining is an optimization,
 // never a requirement for completion. Helpers notice the new generation
 // while spinning (or are woken if they reached the cv), register under the
-// mutex, and claim chunked index ranges off one shared cursor. The cursor
-// and generation sit on dedicated cache lines: claiming a chunk is the only
-// write to shared hot state a worker makes per `chunk` points, so dispatch
-// cost stays flat as workers are added. Completion = cursor exhausted and
-// every registered helper checked out; exceptions from points are captured
-// once and rethrown on the calling thread after the batch drains.
+// mutex, and claim chunked index ranges off one shared cursor.
 //
-// The shared fields live in detail::SweepBatchState (sweep_dispatch.hpp),
-// annotated for the thread-safety analysis: every guarded access below is
-// provably under core::LockGuard / core::CvLock when built with
-// -Wthread-safety.
+// The protocol itself lives in experiment/dispatch_protocol.hpp as free
+// functions over detail::SweepBatchState (sweep_dispatch.hpp) — the same
+// functions the model checker explores exhaustively in tests/mc/, and the
+// thread-safety analysis proves lock discipline for when this TU is
+// compiled with -Wthread-safety. This struct only owns the state, the
+// helper threads, and the per-worker counters.
 struct SweepRunner::Impl : detail::SweepBatchState {
-  struct alignas(64) PaddedCounters {
-    WorkerDispatchStats stats;  // written only by the owning worker
-  };
-
-  std::vector<PaddedCounters> counters;
+  std::vector<detail::PaddedCounters> counters;
   std::vector<std::thread> helpers;
-
-  // Claims chunked ranges until the cursor passes the batch end. Shared by
-  // the caller (worker 0) and the helpers.
-  void work(const std::function<void(std::size_t, int)>& fn, std::size_t n, std::size_t width,
-            int worker) {
-    auto& mine = counters[static_cast<std::size_t>(worker)].stats;
-    for (;;) {
-      const std::size_t start = next_index.fetch_add(width, std::memory_order_relaxed);
-      if (start >= n) break;
-      const std::size_t end = start + width < n ? start + width : n;
-      ++mine.chunks;
-      for (std::size_t i = start; i < end; ++i) {
-        try {
-          fn(i, worker);
-          ++mine.points;
-        } catch (...) {
-          {
-            core::LockGuard lock{mutex};
-            if (!first_error) first_error = std::current_exception();
-          }
-          // Skip the remaining points; the batch still completes cleanly.
-          next_index.store(n, std::memory_order_relaxed);
-          return;
-        }
-      }
-    }
-  }
-
-  void helper_loop(int worker) {
-    std::uint64_t seen = 0;
-    for (;;) {
-      // Spin-then-sleep: probe the generation with plain yields first, so
-      // batches arriving close together never pay a futex round-trip.
-      int probes = 0;
-      while (batch_generation.load(std::memory_order_acquire) == seen &&
-             !shutting_down.load(std::memory_order_relaxed)) {
-        if (++probes < kSpinProbes) {
-          std::this_thread::yield();
-        } else {
-          core::CvLock lock{mutex};
-          ++sleeping_helpers;
-          while (!shutting_down.load(std::memory_order_relaxed) &&
-                 batch_generation.load(std::memory_order_acquire) == seen) {
-            work_ready.wait(lock.native());
-          }
-          --sleeping_helpers;
-          break;
-        }
-      }
-      if (shutting_down.load(std::memory_order_relaxed)) return;
-
-      // Register in the batch under the mutex: the batch parameters and the
-      // cursor are mutated only between batches, which the in_flight count
-      // makes mutually exclusive with any helper being in here.
-      const std::function<void(std::size_t, int)>* fn = nullptr;
-      std::size_t n = 0;
-      std::size_t width = 1;
-      {
-        core::LockGuard lock{mutex};
-        seen = batch_generation.load(std::memory_order_relaxed);
-        fn = point;
-        n = batch_size;
-        width = chunk;
-        if (fn == nullptr) continue;  // batch already fully drained and closed
-        ++in_flight;
-      }
-      work(*fn, n, width, worker);
-      {
-        core::LockGuard lock{mutex};
-        if (--in_flight == 0) batch_done.notify_one();
-      }
-    }
-  }
 };
 
 SweepRunner::SweepRunner(int threads, bool checked)
     : impl_{new Impl},
       num_threads_{threads > 0 ? threads : default_sweep_threads()},
       checked_{checked} {
-  impl_->counters.resize(static_cast<std::size_t>(num_threads_));
+  impl_->counters = std::vector<detail::PaddedCounters>(
+      static_cast<std::size_t>(num_threads_));
   impl_->helpers.reserve(static_cast<std::size_t>(num_threads_ - 1));
   for (int i = 1; i < num_threads_; ++i) {
-    impl_->helpers.emplace_back([impl = impl_, i] { impl->helper_loop(i); });
+    impl_->helpers.emplace_back([impl = impl_, i] {
+      detail::dispatch_helper_loop(*impl, i, kSpinProbes,
+                                   impl->counters.data());
+    });
   }
 }
 
 SweepRunner::~SweepRunner() {
-  {
-    core::LockGuard lock{impl_->mutex};
-    impl_->shutting_down.store(true, std::memory_order_relaxed);
-  }
-  impl_->work_ready.notify_all();
+  detail::dispatch_shutdown(*impl_);
   for (std::thread& helper : impl_->helpers) helper.join();
   delete impl_;
 }
@@ -160,7 +81,15 @@ SweepRunner::~SweepRunner() {
 std::vector<WorkerDispatchStats> SweepRunner::dispatch_stats() const {
   std::vector<WorkerDispatchStats> out;
   out.reserve(impl_->counters.size());
-  for (const auto& padded : impl_->counters) out.push_back(padded.stats);
+  for (const auto& padded : impl_->counters) {
+    out.push_back(detail::sample_counters(padded));
+  }
+  // Acquire fence after the relaxed loads: pairs with the release stores in
+  // bump_counter, so everything a worker did before a counted increment
+  // happens-before anything the caller does with this snapshot. Makes a
+  // concurrent snapshot a safe (if instantaneously stale) read instead of
+  // an ordering hazard. Pinned by tests/mc/dispatch_stats_mc_test.cpp.
+  detail::counters_snapshot_fence();
   return out;
 }
 
@@ -179,9 +108,9 @@ void SweepRunner::run_batch(std::size_t n, PointFn&& raw) {
 
   // Checked mode: count executions per index. Each counter is touched by
   // whichever worker claims that index, so the array itself needs no lock.
-  std::unique_ptr<std::atomic<std::uint32_t>[]> executions;
+  std::unique_ptr<check::mc::Atomic<std::uint32_t>[]> executions;
   if (checked_) {
-    executions = std::make_unique<std::atomic<std::uint32_t>[]>(n);
+    executions = std::make_unique<check::mc::Atomic<std::uint32_t>[]>(n);
     for (std::size_t i = 0; i < n; ++i) executions[i].store(0, std::memory_order_relaxed);
   }
 
@@ -198,11 +127,10 @@ void SweepRunner::run_batch(std::size_t n, PointFn&& raw) {
   if (num_threads_ <= 1 || n == 1) {
     // Degenerate case: an in-order serial loop on the calling thread,
     // calling the point with no type-erasure hop at all.
-    auto& mine = impl_->counters[0].stats;
-    ++mine.chunks;
+    detail::bump_counter(impl_->counters[0].chunks);
     for (std::size_t i = 0; i < n; ++i) {
       instrumented(i, 0);
-      ++mine.points;
+      detail::bump_counter(impl_->counters[0].points);
     }
   } else {
     const std::function<void(std::size_t, int)> dispatch = instrumented;
@@ -211,31 +139,12 @@ void SweepRunner::run_batch(std::size_t n, PointFn&& raw) {
     // operation per chunk, not per point).
     const std::size_t workers = static_cast<std::size_t>(num_threads_);
     const std::size_t width = std::max<std::size_t>(1, n / (workers * 8));
-    {
-      core::LockGuard lock{impl_->mutex};
-      impl_->point = &dispatch;
-      impl_->batch_size = n;
-      impl_->chunk = width;
-      impl_->first_error = nullptr;
-      impl_->next_index.store(0, std::memory_order_relaxed);
-      impl_->batch_generation.fetch_add(1, std::memory_order_release);
-      if (impl_->sleeping_helpers > 0) impl_->work_ready.notify_all();
-    }
+    detail::dispatch_publish(*impl_, dispatch, n, width);
     // The caller is worker 0: the batch completes even if no helper wakes
     // in time, and small batches finish at serial-loop speed.
-    impl_->work(dispatch, n, width, 0);
-    std::exception_ptr error;
-    {
-      core::CvLock lock{impl_->mutex};
-      while (impl_->in_flight != 0 ||
-             impl_->next_index.load(std::memory_order_relaxed) < n) {
-        impl_->batch_done.wait(lock.native());
-      }
-      // Close the batch: helpers arriving from now on see a null point and
-      // skip registration, so the cursor/parameters can be safely reused.
-      impl_->point = nullptr;
-      error = std::exchange(impl_->first_error, nullptr);
-    }
+    detail::dispatch_work(*impl_, dispatch, n, width, 0,
+                          impl_->counters.data());
+    std::exception_ptr error = detail::dispatch_drain_and_close(*impl_, n);
     if (error) std::rethrow_exception(error);
   }
 

@@ -125,7 +125,12 @@ class SweepRunner {
   }
 
   /// Per-worker dispatch counters, cumulative since construction. Index 0
-  /// is the calling thread. Must not be called while a batch is running.
+  /// is the calling thread. Safe to call concurrently with a running batch:
+  /// counters are published with release stores and the snapshot closes
+  /// with an acquire fence, so each value is a consistent (if momentarily
+  /// stale) prefix of that worker's progress — everything a counted
+  /// increment summarizes happens-before the snapshot's return. Pinned by
+  /// the model in tests/mc/dispatch_stats_mc_test.cpp.
   [[nodiscard]] std::vector<WorkerDispatchStats> dispatch_stats() const;
 
  private:

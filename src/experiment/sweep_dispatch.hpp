@@ -1,5 +1,6 @@
 // Shared dispatch state behind SweepRunner — the cross-thread heart of the
-// parallel sweep engine, annotated for Clang's thread-safety analysis.
+// parallel sweep engine, annotated for Clang's thread-safety analysis and
+// spelled with the model-checkable primitives from check/mc/types.hpp.
 //
 // Split out of sweep.cpp so the annotations are load-bearing beyond the one
 // translation unit: tests/thread_safety/ compiles fail-fixtures against this
@@ -8,21 +9,27 @@
 // scripts/check_thread_safety.py). Removing an RBS_GUARDED_BY here makes
 // that harness — and the CI thread-safety leg — fail.
 //
-// Protocol recap (the authoritative walkthrough is in sweep.cpp): the
-// publisher writes the batch parameters under `mutex`, bumps the lock-free
-// `batch_generation`, and workers claim chunked index ranges off the
-// lock-free `next_index` cursor. The three atomics are the *only* shared
-// state touched inside a batch; everything guarded is written strictly
-// between batches.
+// The mc:: spellings are the second half of the correctness story: in
+// production builds (RBS_MODEL_CHECK off) they ARE std::atomic /
+// core::AnnotatedMutex / std::condition_variable, bit-for-bit; under
+// RBS_MODEL_CHECK (tests/mc only) every operation becomes a schedule point
+// and tests/mc/dispatch_protocol_mc_test.cpp exhaustively explores the
+// protocol's interleavings (see docs/model_checking.md).
+//
+// Protocol recap (the authoritative walkthrough is in
+// dispatch_protocol.hpp): the publisher writes the batch parameters under
+// `mutex`, bumps the lock-free `batch_generation`, and workers claim
+// chunked index ranges off the lock-free `next_index` cursor. The three
+// atomics are the *only* shared state touched inside a batch; everything
+// guarded is written strictly between batches.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
 
+#include "check/mc/types.hpp"
 #include "core/thread_annotations.hpp"
 
 namespace rbs::experiment::detail {
@@ -35,21 +42,31 @@ struct SweepBatchState {
   // Hot shared state, one cache line each: the claim cursor is written by
   // every worker; the generation is read in the helpers' spin loop and must
   // not share a line with it, or each claim would invalidate the spinners.
-  alignas(64) std::atomic<std::size_t> next_index{0};
-  alignas(64) std::atomic<std::uint64_t> batch_generation{0};
-  alignas(64) std::atomic<bool> shutting_down{false};
+  alignas(64) check::mc::Atomic<std::size_t> next_index{0};
+  alignas(64) check::mc::Atomic<std::uint64_t> batch_generation{0};
+  alignas(64) check::mc::Atomic<bool> shutting_down{false};
 
   // Cold batch-publication state. Helpers read it only once per batch,
   // immediately after observing a generation change.
-  core::AnnotatedMutex mutex;
-  std::condition_variable work_ready;
-  std::condition_variable batch_done;
+  check::mc::Mutex mutex;
+  check::mc::CondVar work_ready;
+  check::mc::CondVar batch_done;
   const std::function<void(std::size_t, int)>* point RBS_GUARDED_BY(mutex) = nullptr;
   std::size_t batch_size RBS_GUARDED_BY(mutex) = 0;
   std::size_t chunk RBS_GUARDED_BY(mutex) = 1;
   std::size_t in_flight RBS_GUARDED_BY(mutex) = 0;  // helpers registered in the batch
   int sleeping_helpers RBS_GUARDED_BY(mutex) = 0;
   std::exception_ptr first_error RBS_GUARDED_BY(mutex);
+};
+
+/// Per-worker dispatch counters, one cache line per worker so counting never
+/// bounces lines between workers. Each counter is written only by its owning
+/// worker; publication to concurrent dispatch_stats() readers uses release
+/// stores paired with the snapshot's acquire fence (see bump_counter /
+/// sample_counters in dispatch_protocol.hpp).
+struct alignas(64) PaddedCounters {
+  check::mc::Atomic<std::uint64_t> chunks{0};
+  check::mc::Atomic<std::uint64_t> points{0};
 };
 
 }  // namespace rbs::experiment::detail

@@ -1,0 +1,32 @@
+// rbs-analyze-fixture-expect:
+// The sanctioned spellings for the same code: check::mc::Atomic / Mutex /
+// CondVar and core::AnnotatedMutex. With RBS_MODEL_CHECK off these ARE the
+// std types (see src/check/mc/types.hpp), so there is no cost — and with
+// it on, every access becomes a schedule point the explorer can drive.
+#include <cstdint>
+
+namespace core {
+struct AnnotatedMutex {};
+}  // namespace core
+
+namespace rbs::check::mc {
+template <typename T>
+struct Atomic {
+  T v{};
+  T load() const { return v; }
+};
+struct Mutex {};
+struct CondVar {};
+}  // namespace rbs::check::mc
+
+namespace mc = rbs::check::mc;
+
+std::uint64_t poll_progress(mc::Atomic<std::uint64_t>& progress) {
+  core::AnnotatedMutex m;
+  mc::Mutex baton;
+  mc::CondVar work_ready;
+  (void)m;
+  (void)baton;
+  (void)work_ready;
+  return progress.load();
+}

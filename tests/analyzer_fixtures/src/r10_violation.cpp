@@ -1,0 +1,18 @@
+// rbs-analyze-fixture-expect: R10 R10 R10
+// Raw std concurrency primitives outside the sanctioned wrapper layer
+// (src/core/thread_annotations.hpp, src/check/mc/). Each one is state the
+// interleaving explorer can never schedule around: the model checker
+// instruments only the check::mc spellings. Function-local on purpose, so
+// R6/R12 (which look at class fields) stay out of the expectation.
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+int poll_progress() {
+  static std::atomic<int> progress{0};  // R10: raw std::atomic
+  std::mutex m;                         // R10: raw std::mutex
+  std::condition_variable cv;           // R10: raw std::condition_variable
+  (void)m;
+  (void)cv;
+  return progress.load();
+}

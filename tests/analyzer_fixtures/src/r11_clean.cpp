@@ -1,0 +1,34 @@
+// rbs-analyze-fixture-expect:
+// The sanctioned orderings for the same two sites: an acquire load pairs
+// with the retiring thread's release store before the delete, and a relaxed
+// load is fine for control flow that frees nothing (counters, progress
+// probes) — R11 only fires when the branch body reclaims memory.
+#include <atomic>
+
+namespace rbs::check::mc {
+template <typename T>
+struct Atomic {
+  T v{};
+  T load(std::memory_order) const;
+  void store(T, std::memory_order);
+};
+}  // namespace rbs::check::mc
+
+namespace mc = rbs::check::mc;
+
+struct Node {
+  int payload = 0;
+};
+
+void reap(mc::Atomic<bool>& retired, Node*& node) {
+  if (retired.load(std::memory_order_acquire)) {  // pairs a release store
+    delete node;
+    node = nullptr;
+  }
+}
+
+void note_progress(mc::Atomic<int>& hits, long& observations) {
+  if (hits.load(std::memory_order_relaxed) > 0) {
+    ++observations;  // stats-only branch: relaxed is the right order
+  }
+}

@@ -1,0 +1,33 @@
+// rbs-analyze-fixture-expect: R11 R11
+// Memory-order audit. Error prong: a memory_order_relaxed load carries no
+// happens-before edge, so using it to guard a delete frees an object whose
+// last writes may not yet be visible to this thread — a use-after-free
+// window. Informational prong: spelling memory_order_seq_cst restates the
+// default; it usually marks an ordering nobody has thought about.
+#include <atomic>
+
+namespace rbs::check::mc {
+template <typename T>
+struct Atomic {
+  T v{};
+  T load(std::memory_order) const;
+  void store(T, std::memory_order);
+};
+}  // namespace rbs::check::mc
+
+namespace mc = rbs::check::mc;
+
+struct Node {
+  int payload = 0;
+};
+
+void reap(mc::Atomic<bool>& retired, Node*& node) {
+  if (retired.load(std::memory_order_relaxed)) {  // R11: guards a delete
+    delete node;
+    node = nullptr;
+  }
+}
+
+void publish_done(mc::Atomic<int>& flag) {
+  flag.store(1, std::memory_order_seq_cst);  // R11 (info): restates default
+}

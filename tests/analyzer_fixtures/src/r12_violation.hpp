@@ -1,0 +1,20 @@
+// rbs-analyze-fixture-expect: R10 R10 R12
+// A cross-thread class whose fields spell raw std primitives. Each raw
+// spelling is its own R10; R12 adds the class-level consequence, once per
+// class: with fields the model checker cannot instrument, no protocol over
+// this class can ever run under the interleaving explorer (tests/mc/).
+// The guarded field is classified (no R6) — classification and
+// wrappability are separate properties.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+#define RBS_GUARDED_BY(m)
+
+struct WorkQueue {
+  std::mutex m;                    // R10; unwrappable
+  std::atomic<int> head{0};        // R10; unwrappable
+  int tail RBS_GUARDED_BY(m) = 0;  // classified, but the class still
+                                   // cannot be modeled: R12 on the class
+};

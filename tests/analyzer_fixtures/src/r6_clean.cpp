@@ -1,13 +1,28 @@
 // rbs-analyze-fixture-expect:
 // The sanctioned parallel-write patterns, none of which may trip R6:
 // index-addressed disjoint slots, atomics, RBS_GUARDED_BY fields under a
-// lock, per-worker PaddedCounters, and lambda-local state.
-#include <atomic>
+// lock, per-worker PaddedCounters, and lambda-local state. Spelled with the
+// wrapper types (check::mc::Atomic, core::AnnotatedMutex) so R10/R12 stay
+// quiet too — this is what sanctioned cross-thread state looks like.
 #include <cstddef>
-#include <mutex>
 #include <vector>
 
 #define RBS_GUARDED_BY(m)
+
+namespace core {
+struct AnnotatedMutex {};
+}  // namespace core
+
+namespace rbs::check::mc {
+template <typename T>
+struct Atomic {
+  T v{};
+  Atomic& operator+=(T d) {
+    v += d;
+    return *this;
+  }
+};
+}  // namespace rbs::check::mc
 
 struct SweepRunner {
   template <typename F>
@@ -19,8 +34,8 @@ struct PaddedCounters {
 };
 
 struct Tally {
-  std::mutex m;
-  std::atomic<long> hits{0};
+  core::AnnotatedMutex m;
+  rbs::check::mc::Atomic<long> hits{};
   long total RBS_GUARDED_BY(m) = 0;
   std::vector<PaddedCounters> per_worker;
   const int workers = 4;

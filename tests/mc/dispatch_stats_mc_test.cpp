@@ -1,0 +1,71 @@
+// Model pinning the dispatch_stats() read-side ordering fix.
+//
+// Workers publish their PaddedCounters with release stores (bump_counter);
+// a stats snapshot reads them relaxed and closes with an acquire fence
+// (sample_counters + counters_snapshot_fence — what
+// SweepRunner::dispatch_stats() does). The model makes the edge
+// observable: the worker writes a race-checked payload cell before bumping
+// its counter, and the reader dereferences the payload only after a
+// snapshot that saw the bump. With the release/fence pairing the read is
+// ordered; with the kRelaxedCounterPublish mutation it is a detected data
+// race — which is exactly the bug dispatch_stats() had when it read the
+// counters with plain unsynchronized loads.
+#include "experiment/dispatch_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace mc = rbs::check::mc;
+using rbs::experiment::detail::bump_counter;
+using rbs::experiment::detail::counters_snapshot_fence;
+using rbs::experiment::detail::g_protocol_mutation;
+using rbs::experiment::detail::PaddedCounters;
+using rbs::experiment::detail::ProtocolMutation;
+using rbs::experiment::detail::sample_counters;
+using rbs::experiment::WorkerDispatchStats;
+
+namespace {
+
+class ScopedMutation {
+ public:
+  explicit ScopedMutation(ProtocolMutation m) { g_protocol_mutation = m; }
+  ~ScopedMutation() { g_protocol_mutation = ProtocolMutation::kNone; }
+};
+
+void stats_snapshot_model() {
+  PaddedCounters counters;
+  mc::NonAtomic<int> payload;
+  mc::set_name(&payload, "counted_work");
+  auto worker = mc::spawn([&] {
+    payload.store(7);                // the work the counter summarizes
+    bump_counter(counters.points);   // release-publishes it
+  });
+
+  const WorkerDispatchStats snap = sample_counters(counters);
+  counters_snapshot_fence();
+  if (snap.points == 1) {
+    // The snapshot claims one point completed; with the release/acquire
+    // pairing intact, the work behind that count must be visible.
+    mc::require(payload.load() == 7, "counted work not visible");
+  }
+  mc::join(worker);
+}
+
+TEST(DispatchStatsMc, SnapshotDuringPublishIsOrderedAndComplete) {
+  mc::Options opts;
+  const mc::Result r = mc::explore(opts, &stats_snapshot_model);
+  EXPECT_FALSE(r.violation) << r.summary();
+  EXPECT_TRUE(r.exhausted) << r.summary();
+}
+
+TEST(DispatchStatsMc, RelaxedCounterPublishIsARace) {
+  ScopedMutation arm{ProtocolMutation::kRelaxedCounterPublish};
+  mc::Options opts;
+  const mc::Result r = mc::explore(opts, &stats_snapshot_model);
+  ASSERT_TRUE(r.violation) << r.summary();
+  EXPECT_NE(r.message.find("data race"), std::string::npos) << r.message;
+  EXPECT_FALSE(r.trace.empty());
+}
+
+}  // namespace

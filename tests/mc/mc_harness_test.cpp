@@ -1,0 +1,295 @@
+// Self-checks of the model-checking harness (src/check/mc): before trusting
+// it on the dispatch protocol, prove on classic litmus programs that it
+// (a) finds known-bad interleavings — data races, lost wakeups, torn RMWs —
+// and (b) exhausts known-good programs without a false positive. These are
+// the harness's own conformance tests; the protocol models live in
+// dispatch_protocol_mc_test.cpp.
+#include "check/mc/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mc = rbs::check::mc;
+
+namespace {
+
+// --- race detection on plain cells ----------------------------------------
+
+TEST(McHarness, FindsRaceBetweenUnorderedPlainWrites) {
+  mc::Options opts;
+  const mc::Result r = mc::explore(opts, [] {
+    mc::NonAtomic<int> cell;
+    mc::set_name(&cell, "cell");
+    auto h = mc::spawn([&] { cell.store(1); });
+    cell.store(2);
+    mc::join(h);
+  });
+  ASSERT_TRUE(r.violation) << r.summary();
+  EXPECT_NE(r.message.find("data race"), std::string::npos) << r.message;
+  EXPECT_NE(r.message.find("cell"), std::string::npos) << r.message;
+  EXPECT_FALSE(r.trace.empty());
+}
+
+TEST(McHarness, MutexGuardedWritesAreCleanAndExhaustive) {
+  mc::Options opts;
+  const mc::Result r = mc::explore(opts, [] {
+    mc::Mutex m;
+    mc::NonAtomic<int> cell;
+    auto h = mc::spawn([&] {
+      mc::LockGuard g{m};
+      cell.store(1);
+    });
+    {
+      mc::LockGuard g{m};
+      cell.store(2);
+    }
+    mc::join(h);
+  });
+  EXPECT_FALSE(r.violation) << r.summary();
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_GE(r.executions, 2u);  // both lock orders explored
+}
+
+// --- release/acquire message passing --------------------------------------
+
+TEST(McHarness, ReleaseAcquireMessagePassingIsClean) {
+  mc::Options opts;
+  const mc::Result r = mc::explore(opts, [] {
+    mc::Atomic<int> flag{0};
+    mc::NonAtomic<int> data;
+    auto h = mc::spawn([&] {
+      data.store(42);
+      flag.store(1, std::memory_order_release);
+    });
+    if (flag.load(std::memory_order_acquire) == 1) {
+      mc::require(data.load() == 42, "published data not visible");
+    }
+    mc::join(h);
+  });
+  EXPECT_FALSE(r.violation) << r.summary();
+  EXPECT_TRUE(r.exhausted);
+}
+
+TEST(McHarness, RelaxedMessagePassingIsARace) {
+  mc::Options opts;
+  const mc::Result r = mc::explore(opts, [] {
+    mc::Atomic<int> flag{0};
+    mc::NonAtomic<int> data;
+    auto h = mc::spawn([&] {
+      data.store(42);
+      flag.store(1, std::memory_order_relaxed);
+    });
+    if (flag.load(std::memory_order_relaxed) == 1) {
+      (void)data.load();
+    }
+    mc::join(h);
+  });
+  ASSERT_TRUE(r.violation) << r.summary();
+  EXPECT_NE(r.message.find("data race"), std::string::npos) << r.message;
+}
+
+// Fence-based publication: relaxed atomics strengthened by standalone
+// fences must synchronize exactly like release/acquire ops do.
+TEST(McHarness, FenceBasedMessagePassingIsClean) {
+  mc::Options opts;
+  const mc::Result r = mc::explore(opts, [] {
+    mc::Atomic<int> flag{0};
+    mc::NonAtomic<int> data;
+    auto h = mc::spawn([&] {
+      data.store(42);
+      mc::release_fence();
+      flag.store(1, std::memory_order_relaxed);
+    });
+    if (flag.load(std::memory_order_relaxed) == 1) {
+      mc::acquire_fence();
+      mc::require(data.load() == 42, "fence-published data not visible");
+    }
+    mc::join(h);
+  });
+  EXPECT_FALSE(r.violation) << r.summary();
+  EXPECT_TRUE(r.exhausted);
+}
+
+// --- torn read-modify-write ------------------------------------------------
+
+TEST(McHarness, AtomicIncrementsNeverLoseUpdates) {
+  mc::Options opts;
+  const mc::Result r = mc::explore(opts, [] {
+    mc::Atomic<int> x{0};
+    auto h = mc::spawn([&] { x.fetch_add(1, std::memory_order_relaxed); });
+    x.fetch_add(1, std::memory_order_relaxed);
+    mc::join(h);
+    mc::require(x.load(std::memory_order_relaxed) == 2, "lost increment");
+  });
+  EXPECT_FALSE(r.violation) << r.summary();
+  EXPECT_TRUE(r.exhausted);
+}
+
+TEST(McHarness, TornLoadStoreIncrementLosesAnUpdate) {
+  mc::Options opts;
+  const mc::Result r = mc::explore(opts, [] {
+    mc::Atomic<int> x{0};
+    auto h = mc::spawn([&] {
+      const int v = x.load(std::memory_order_relaxed);
+      x.store(v + 1, std::memory_order_relaxed);
+    });
+    const int v = x.load(std::memory_order_relaxed);
+    x.store(v + 1, std::memory_order_relaxed);
+    mc::join(h);
+    mc::require(x.load(std::memory_order_relaxed) == 2, "lost increment");
+  });
+  ASSERT_TRUE(r.violation) << r.summary();
+  EXPECT_NE(r.message.find("lost increment"), std::string::npos) << r.message;
+}
+
+// --- condition variables ---------------------------------------------------
+
+TEST(McHarness, LostWakeupIsADeadlockViolation) {
+  mc::Options opts;
+  const mc::Result r = mc::explore(opts, [] {
+    mc::Mutex m;
+    mc::CondVar cv;
+    mc::Atomic<bool> ready{false};
+    auto h = mc::spawn([&] {
+      mc::CvLock lk{m};
+      while (!ready.load(std::memory_order_relaxed)) cv.wait(lk);
+    });
+    // BUG under test: the flag is published outside the mutex, so the
+    // store + notify can land between the waiter's predicate check and its
+    // wait — the classic lost wakeup.
+    ready.store(true, std::memory_order_relaxed);
+    cv.notify_one();
+    mc::join(h);
+  });
+  ASSERT_TRUE(r.violation) << r.summary();
+  EXPECT_NE(r.message.find("deadlock"), std::string::npos) << r.message;
+}
+
+TEST(McHarness, FlagUnderMutexNeverLosesTheWakeup) {
+  mc::Options opts;
+  const mc::Result r = mc::explore(opts, [] {
+    mc::Mutex m;
+    mc::CondVar cv;
+    mc::Atomic<bool> ready{false};
+    auto h = mc::spawn([&] {
+      mc::CvLock lk{m};
+      while (!ready.load(std::memory_order_relaxed)) cv.wait(lk);
+    });
+    {
+      mc::LockGuard g{m};
+      ready.store(true, std::memory_order_relaxed);
+    }
+    cv.notify_one();
+    mc::join(h);
+  });
+  EXPECT_FALSE(r.violation) << r.summary();
+  EXPECT_TRUE(r.exhausted);
+}
+
+// --- replay ----------------------------------------------------------------
+
+TEST(McHarness, ViolationTraceReplaysInOneExecution) {
+  const auto program = [] {
+    mc::Mutex m;
+    mc::CondVar cv;
+    mc::Atomic<bool> ready{false};
+    auto h = mc::spawn([&] {
+      mc::CvLock lk{m};
+      while (!ready.load(std::memory_order_relaxed)) cv.wait(lk);
+    });
+    ready.store(true, std::memory_order_relaxed);
+    cv.notify_one();
+    mc::join(h);
+  };
+  mc::Options opts;
+  const mc::Result found = mc::explore(opts, program);
+  ASSERT_TRUE(found.violation) << found.summary();
+
+  mc::Options replay;
+  for (const mc::Step& s : found.trace) {
+    if (s.label.find("[effect]") == std::string::npos) {
+      replay.replay.push_back(s.thread);
+    }
+  }
+  const mc::Result again = mc::explore(replay, program);
+  ASSERT_TRUE(again.violation) << again.summary();
+  EXPECT_EQ(again.executions, 1u)
+      << "replayed schedule should reproduce the violation immediately";
+  EXPECT_EQ(again.message, found.message);
+}
+
+// --- random sampling mode ---------------------------------------------------
+
+TEST(McHarness, RandomModeRunsExactlyTheRequestedSamples) {
+  mc::Options opts;
+  opts.mode = mc::Options::Mode::kRandom;
+  opts.random_executions = 100;
+  const mc::Result r = mc::explore(opts, [] {
+    mc::Atomic<int> x{0};
+    auto h = mc::spawn([&] { x.fetch_add(1, std::memory_order_relaxed); });
+    x.fetch_add(1, std::memory_order_relaxed);
+    mc::join(h);
+    mc::require(x.load(std::memory_order_relaxed) == 2, "lost increment");
+  });
+  EXPECT_FALSE(r.violation) << r.summary();
+  EXPECT_EQ(r.executions, 100u);
+  EXPECT_FALSE(r.exhausted);
+}
+
+TEST(McHarness, RandomModeStillFindsAnEasyRace) {
+  mc::Options opts;
+  opts.mode = mc::Options::Mode::kRandom;
+  opts.random_executions = 500;
+  opts.seed = 7;
+  const mc::Result r = mc::explore(opts, [] {
+    mc::NonAtomic<int> cell;
+    auto h = mc::spawn([&] { cell.store(1); });
+    cell.store(2);
+    mc::join(h);
+  });
+  ASSERT_TRUE(r.violation) << r.summary();
+}
+
+// --- bounds and diagnostics -------------------------------------------------
+
+TEST(McHarness, UnboundedSpinIsReportedAsLivelock) {
+  mc::Options opts;
+  opts.max_steps = 200;
+  const mc::Result r = mc::explore(opts, [] {
+    mc::Atomic<bool> flag{false};
+    // Nobody ever sets the flag: the spin cannot terminate.
+    while (!flag.load(std::memory_order_relaxed)) {
+      mc::yield_now();
+    }
+  });
+  ASSERT_TRUE(r.violation) << r.summary();
+  EXPECT_NE(r.message.find("max_steps"), std::string::npos) << r.message;
+}
+
+TEST(McHarness, SummaryCarriesTraceAndStats) {
+  mc::Options opts;
+  const mc::Result bad = mc::explore(opts, [] {
+    mc::NonAtomic<int> cell;
+    auto h = mc::spawn([&] { cell.store(1); });
+    cell.store(2);
+    mc::join(h);
+  });
+  ASSERT_TRUE(bad.violation);
+  const std::string s = bad.summary();
+  EXPECT_NE(s.find("VIOLATION"), std::string::npos);
+  EXPECT_NE(s.find("replay thread ids"), std::string::npos);
+
+  const mc::Result ok = mc::explore(opts, [] {
+    auto h = mc::spawn([] {});
+    mc::join(h);
+  });
+  ASSERT_FALSE(ok.violation);
+  EXPECT_NE(ok.summary().find("exhausted"), std::string::npos);
+}
+
+TEST(McHarness, FailOutsideModelThrows) {
+  EXPECT_THROW(mc::fail("not in a model"), std::logic_error);
+}
+
+}  // namespace
